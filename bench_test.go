@@ -1,0 +1,309 @@
+// Package memgaze's benchmark harness regenerates every table and
+// figure of the paper's evaluation (one Benchmark per experiment; see
+// DESIGN.md's per-experiment index). Benchmarks run the experiment once
+// per iteration at Quick sizes and report the experiment's headline
+// numbers as custom metrics, so `go test -bench=. -benchmem` doubles as
+// the reproduction harness. For full-scale runs use cmd/memgaze-bench.
+package memgaze_test
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/experiments"
+)
+
+func sizes() experiments.Sizes { return experiments.Quick() }
+
+func BenchmarkFig6_Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstTrace, worstCode float64
+		for _, r := range res.Rows {
+			if r.TraceF > worstTrace {
+				worstTrace = r.TraceF
+			}
+			if r.CodeF > worstCode {
+				worstCode = r.CodeF
+			}
+		}
+		b.ReportMetric(worstTrace, "worst-trace-MAPE-%")
+		b.ReportMetric(worstCode, "worst-code-err-%")
+	}
+}
+
+func BenchmarkFig7_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxOv, maxOpt float64
+		for _, r := range res.Rows {
+			if r.PhaseHot > maxOv {
+				maxOv = r.PhaseHot
+			}
+			if r.OptHot > maxOpt {
+				maxOpt = r.OptHot
+			}
+		}
+		b.ReportMetric(100*maxOv, "max-hot-overhead-%")
+		b.ReportMetric(100*maxOpt, "max-opt-overhead-%")
+	}
+}
+
+func BenchmarkTable2_Toolchain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var instrUS, analysisUS float64
+		for _, r := range res.Rows {
+			instrUS += float64(r.Instrument.Microseconds())
+			analysisUS += float64(r.Analysis1.Microseconds() + r.Analysis2.Microseconds())
+		}
+		b.ReportMetric(instrUS, "instrument-us")
+		b.ReportMetric(analysisUS, "analysis-us")
+	}
+}
+
+func BenchmarkTable3_Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sumRatio float64
+		var n int
+		for _, r := range res.Rows {
+			if _, all, _ := r.Ratios(); all > 0 {
+				sumRatio += all
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sumRatio/float64(n), "mean-sampled/all-%")
+		}
+	}
+}
+
+func BenchmarkTable4_MiniviteTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1 := float64(res.Runtimes["v1"].Cycles)
+		v3 := float64(res.Runtimes["v3"].Cycles)
+		if v3 > 0 {
+			b.ReportMetric(v1/v3, "v1/v3-speedup")
+		}
+	}
+}
+
+func BenchmarkTable5_MiniviteLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rd := range res.Regions {
+			if rd.Region == "map (hash table)" && rd.Variant == "v1" {
+				b.ReportMetric(rd.Diag.D, "v1-map-D")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6_DarknetTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fa, fr float64
+		for _, fd := range res.Funcs {
+			if fd.Func == "gemm" {
+				if fd.Variant == "AlexNet" {
+					fa = fd.Diag.F
+				} else {
+					fr = fd.Diag.F
+				}
+			}
+		}
+		if fa > 0 {
+			b.ReportMetric(fr/fa, "resnet/alexnet-F")
+		}
+	}
+}
+
+func BenchmarkTable7_DarknetLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table7(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Regions)), "regions")
+	}
+}
+
+func BenchmarkTable8_DarknetIntervals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table8(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// D rises over time as gemm's inner dimension shrinks: report the
+		// late/early reuse-distance ratio for AlexNet.
+		var first, last float64
+		for _, r := range res.Rows {
+			if r.Model == "AlexNet" {
+				if r.Interval == 0 {
+					first = r.Diag.D
+				}
+				last = r.Diag.D
+			}
+		}
+		if first > 0 {
+			b.ReportMetric(last/first, "alexnet-D-late/early")
+		}
+	}
+}
+
+func BenchmarkTable9_GapLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table9(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prD, spmvD float64
+		for _, rd := range res.Regions {
+			switch rd.Variant {
+			case "pr":
+				prD = rd.Diag.D
+			case "pr-spmv":
+				spmvD = rd.Diag.D
+			}
+		}
+		if prD > 0 {
+			b.ReportMetric(spmvD/prD, "spmv/pr-D")
+		}
+	}
+}
+
+func BenchmarkFig8_Heatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Dist["cc"].OutlierFrac, "cc-D-outliers-%")
+	}
+}
+
+func BenchmarkFig9_GapIntervals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Points)), "algorithms")
+	}
+}
+
+func BenchmarkAblation_Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCompression(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var o0 float64
+		for _, r := range res.Rows {
+			if r.SavingsFactor > o0 {
+				o0 = r.SavingsFactor
+			}
+		}
+		b.ReportMetric(o0, "best-savings-x")
+	}
+}
+
+func BenchmarkAblation_Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSweep(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Rows)), "points")
+	}
+}
+
+func BenchmarkAblation_ZoomContiguity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationZoomContiguity(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ContiguousD, "contiguous-D")
+		b.ReportMetric(res.HotBlocksD, "hotblocks-D")
+	}
+}
+
+func BenchmarkAblation_BlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationBlockSize(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Rows)), "benchmarks")
+	}
+}
+
+func BenchmarkAblation_ParallelTracing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationParallel(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		first := res.Rows[0]
+		if last.Cycles > 0 {
+			b.ReportMetric(float64(first.Cycles)/float64(last.Cycles), "speedup-4w")
+		}
+		b.ReportMetric(last.MAPEF, "MAPE-vs-serial-%")
+	}
+}
+
+func BenchmarkAblation_GemmTiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationGemmTiling(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := float64(res.Rows[0].Cycles)
+		best := base
+		for _, r := range res.Rows[1:] {
+			if float64(r.Cycles) < best {
+				best = float64(r.Cycles)
+			}
+		}
+		if best > 0 {
+			b.ReportMetric(base/best, "best-tiling-speedup")
+		}
+	}
+}
+
+func BenchmarkAblation_MissRatioCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMRC(sizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the small-cache agreement (the resolved region).
+		if len(res.Rows) > 0 && res.Rows[0].Simulated > 0 {
+			b.ReportMetric(res.Rows[0].Predicted/res.Rows[0].Simulated, "pred/sim-4KiB")
+		}
+	}
+}

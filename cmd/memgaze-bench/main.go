@@ -1,0 +1,147 @@
+// Command memgaze-bench regenerates the MemGaze paper's evaluation: every
+// table and figure of §VI and §VII plus the ablations DESIGN.md calls
+// out, printed in the paper's layout.
+//
+//	memgaze-bench                  # run everything at full sizes
+//	memgaze-bench -quick           # test sizes (seconds)
+//	memgaze-bench -run fig6,table4 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	run  func(experiments.Sizes) (string, error)
+}
+
+func text[T any](f func(experiments.Sizes) (T, error), get func(T) string) func(experiments.Sizes) (string, error) {
+	return func(s experiments.Sizes) (string, error) {
+		r, err := f(s)
+		if err != nil {
+			return "", err
+		}
+		return get(r), nil
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use test-scale sizes")
+	outPath := flag.String("o", "", "also write the report to this file")
+	run := flag.String("run", "all", "comma-separated experiments (fig6,fig7,table2,table3,table4,table5,table6,table7,table8,table9,fig8,fig9,ablations,extras)")
+	flag.Parse()
+
+	sizes := experiments.Full()
+	if *quick {
+		sizes = experiments.Quick()
+	}
+
+	exps := []experiment{
+		{"fig6", text(experiments.Fig6, func(r *experiments.Fig6Result) string { return r.Text })},
+		{"fig7", text(experiments.Fig7, func(r *experiments.Fig7Result) string { return r.Text })},
+		{"table2", text(experiments.Table2, func(r *experiments.Table2Result) string { return r.Text })},
+		{"table3", text(experiments.Table3, func(r *experiments.Table3Result) string { return r.Text })},
+		{"table4", text(experiments.Table4, func(r *experiments.CaseStudyResult) string { return r.Text })},
+		{"table5", text(experiments.Table5, func(r *experiments.CaseStudyResult) string { return r.Text })},
+		{"table6", text(experiments.Table6, func(r *experiments.CaseStudyResult) string { return r.Text })},
+		{"table7", text(experiments.Table7, func(r *experiments.CaseStudyResult) string { return r.Text })},
+		{"table8", text(experiments.Table8, func(r *experiments.Table8Result) string { return r.Text })},
+		{"table9", text(experiments.Table9, func(r *experiments.CaseStudyResult) string { return r.Text })},
+		{"fig8", text(experiments.Fig8, func(r *experiments.Fig8Result) string { return r.Text })},
+		{"fig9", text(experiments.Fig9, func(r *experiments.Fig9Result) string { return r.Text })},
+		{"ablations", runAblations},
+		{"extras", text(experiments.Extras, func(r *experiments.ExtrasResult) string { return r.Text })},
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	all := want["all"]
+
+	var report strings.Builder
+	failed := false
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.run(sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		section := fmt.Sprintf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(t0).Seconds(), out)
+		fmt.Print(section)
+		report.WriteString(section)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *outPath, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runAblations(s experiments.Sizes) (string, error) {
+	var b strings.Builder
+	comp, err := experiments.AblationCompression(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(comp.Text)
+	b.WriteByte('\n')
+	sweep, err := experiments.AblationSweep(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(sweep.Text)
+	b.WriteByte('\n')
+	zc, err := experiments.AblationZoomContiguity(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(zc.Text)
+	b.WriteByte('\n')
+	bs, err := experiments.AblationBlockSize(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(bs.Text)
+	b.WriteByte('\n')
+	par, err := experiments.AblationParallel(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(par.Text)
+	b.WriteByte('\n')
+	til, err := experiments.AblationGemmTiling(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(til.Text)
+	b.WriteByte('\n')
+	mrc, err := experiments.AblationMRC(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(mrc.Text)
+	b.WriteByte('\n')
+	pk, err := experiments.AblationPacking(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(pk.Text)
+	return b.String(), nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the memgaze binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "memgaze")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("memgaze %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// TestCLIEndToEnd drives the whole tool surface the way a user would:
+// trace two workload variants, analyze, dump, and compare.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.mgt")
+	v3 := filepath.Join(dir, "v3.mgt")
+
+	out := runCLI(t, bin, "trace", "-workload", "minivite:v1", "-scale", "9",
+		"-period", "8000", "-o", v1)
+	if !strings.Contains(out, "samples") || !strings.Contains(out, "ρ=") {
+		t.Errorf("trace output missing summary:\n%s", out)
+	}
+	runCLI(t, bin, "trace", "-workload", "minivite:v3", "-scale", "9",
+		"-period", "8000", "-o", v3)
+
+	an := runCLI(t, bin, "analyze", "-trace", v1, "-top", "5")
+	for _, want := range []string{
+		"Hot functions", "buildMap", "Trace windows",
+		"Execution intervals", "Working set", "Suggested region of interest",
+		"Hot memory regions",
+	} {
+		if !strings.Contains(an, want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+
+	dump := runCLI(t, bin, "dump", "-trace", v1, "-n", "3", "-samples", "2")
+	if !strings.Contains(dump, "sample 0") || !strings.Contains(dump, "ip 0x") {
+		t.Errorf("dump output malformed:\n%.400s", dump)
+	}
+
+	cmp := runCLI(t, bin, "compare", "-a", v1, "-b", v3, "-top", "4")
+	if !strings.Contains(cmp, "getMax") || !strings.Contains(cmp, "miniVite-O3-v1") {
+		t.Errorf("compare output malformed:\n%.400s", cmp)
+	}
+
+	// instrument a temp .s file.
+	asm := filepath.Join(dir, "p.s")
+	src := "main: (frame 16)\n  .entry:\n    movi r4, 0x20000000\n    movi r5, 0\n" +
+		"  .loop:\n    load r0, [r4+r5*8]\n    addi r5, r5, 1\n    bri.lt r5, 64, loop\n" +
+		"  .done:\n    halt\n"
+	if err := os.WriteFile(asm, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ins := runCLI(t, bin, "instrument", "-file", asm, "-disasm")
+	if !strings.Contains(ins, "ptwrite") || !strings.Contains(ins, "strided") {
+		t.Errorf("instrument -file output malformed:\n%.400s", ins)
+	}
+
+	// list and help never fail.
+	if l := runCLI(t, bin, "list"); !strings.Contains(l, "gap:pr") {
+		t.Errorf("list output malformed:\n%s", l)
+	}
+}

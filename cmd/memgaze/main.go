@@ -1,0 +1,582 @@
+// Command memgaze is the MemGaze-Go toolchain driver, mirroring the
+// paper's pipeline (Fig. 1):
+//
+//	memgaze list                              — available workloads
+//	memgaze instrument -workload micro:str1   — static analysis + rewriting (IR workloads)
+//	memgaze trace -workload gap:pr -o pr.mgt  — run under a collector, save the trace
+//	memgaze analyze -trace pr.mgt             — diagnostics, windows, zoom tree
+//
+// Traces are saved in the MGTR binary format (internal/trace) next to a
+// JSON annotation file, so analyze runs offline like the real tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/heatmap"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "instrument":
+		err = cmdInstrument(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "memgaze: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memgaze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: memgaze <command> [flags]
+
+commands:
+  list        list built-in workloads
+  instrument  statically analyse and rewrite an IR workload binary or .s file
+  trace       execute a workload under a trace collector and save the trace
+  analyze     run MemGaze analyses over a saved trace
+  dump        print a saved trace's records (perf-script style)
+  compare     side-by-side function diagnostics of two traces
+
+run "memgaze <command> -h" for flags.
+`)
+}
+
+func cmdList() error {
+	fmt.Println(`IR workloads (full binary pipeline):
+  micro:str1 micro:str2 micro:str8 micro:irr micro:ptr
+  micro:str1|irr micro:str1/irr micro:str8/ptr        (suffix -O0 for unoptimised)
+
+application workloads (sites pipeline):
+  minivite:v1 minivite:v2 minivite:v3                 (suffix -O0)
+  gap:pr gap:pr-spmv gap:cc gap:cc-sv                 (suffix -O0)
+  darknet:alexnet darknet:resnet`)
+	return nil
+}
+
+// microSpec parses micro:<pattern>[-O0].
+func microSpec(name string, accesses, reps int) (micro.Spec, bool) {
+	opt := micro.O3
+	if strings.HasSuffix(name, "-O0") {
+		opt = micro.O0
+		name = strings.TrimSuffix(name, "-O0")
+	}
+	name = strings.TrimSuffix(name, "-O3")
+	for _, s := range micro.Suite(opt, accesses, reps) {
+		if strings.TrimSuffix(strings.TrimSuffix(s.Name(), "-O3"), "-O0") == name {
+			return s, true
+		}
+	}
+	return micro.Spec{}, false
+}
+
+type workloadFlags struct {
+	scale, degree, reps, accesses, shrink int
+	cacheKB                               int
+}
+
+func (wf *workloadFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&wf.scale, "scale", 10, "graph scale (log2 vertices)")
+	fs.IntVar(&wf.degree, "degree", 8, "graph average degree")
+	fs.IntVar(&wf.reps, "reps", 50, "micro-benchmark repetitions")
+	fs.IntVar(&wf.accesses, "accesses", 2048, "micro-benchmark accesses per pass")
+	fs.IntVar(&wf.shrink, "shrink", 16, "darknet per-axis shrink factor")
+	fs.IntVar(&wf.cacheKB, "cache-kb", 32, "cache model size in KiB (0 disables)")
+}
+
+// buildApp resolves an application workload name.
+func (wf *workloadFlags) buildApp(name string) (core.App, []analysis.Region, error) {
+	var cc *cache.Config
+	if wf.cacheKB > 0 {
+		c := cache.DefaultConfig()
+		c.SizeBytes = wf.cacheKB << 10
+		cc = &c
+	}
+	opt3 := !strings.HasSuffix(name, "-O0")
+	base := strings.TrimSuffix(strings.TrimSuffix(name, "-O0"), "-O3")
+	switch {
+	case strings.HasPrefix(base, "minivite:"):
+		v := map[string]minivite.Variant{"v1": minivite.V1, "v2": minivite.V2, "v3": minivite.V3}[strings.TrimPrefix(base, "minivite:")]
+		if v == 0 {
+			return core.App{}, nil, fmt.Errorf("unknown miniVite variant in %q", name)
+		}
+		o := minivite.O0
+		if opt3 {
+			o = minivite.O3
+		}
+		w := minivite.New(minivite.Config{Scale: wf.scale, Degree: wf.degree, Variant: v, Opt: o}, true)
+		return core.App{Name: w.Name(), Mod: w.Mod,
+			Exec: func(r *sites.Runner) { w.Run(r) }, CacheCfg: cc}, w.Regions(), nil
+	case strings.HasPrefix(base, "gap:"):
+		algo, ok := map[string]gap.Algorithm{
+			"pr": gap.PR, "pr-spmv": gap.PRSpmv, "cc": gap.CC, "cc-sv": gap.CCSV,
+		}[strings.TrimPrefix(base, "gap:")]
+		if !ok {
+			return core.App{}, nil, fmt.Errorf("unknown GAP kernel in %q", name)
+		}
+		o := gap.O0
+		if opt3 {
+			o = gap.O3
+		}
+		w := gap.New(gap.Config{Scale: wf.scale, Degree: wf.degree, Algo: algo, Opt: o}, true)
+		return core.App{Name: w.Name(), Mod: w.Mod,
+			Exec: func(r *sites.Runner) { w.Run(r) }, CacheCfg: cc}, w.Regions(), nil
+	case strings.HasPrefix(base, "darknet:"):
+		model := darknet.AlexNet
+		if strings.Contains(base, "resnet") {
+			model = darknet.ResNet152
+		}
+		w := darknet.New(darknet.Config{Model: model, Shrink: wf.shrink})
+		return core.App{Name: w.Name(), Mod: w.Mod,
+			Exec: func(r *sites.Runner) { w.Run(r) }, CacheCfg: cc}, w.Regions(), nil
+	}
+	return core.App{}, nil, fmt.Errorf("unknown workload %q (try 'memgaze list')", name)
+}
+
+func cmdInstrument(args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
+	var wf workloadFlags
+	wf.register(fs)
+	name := fs.String("workload", "micro:str1", "IR workload to instrument")
+	file := fs.String("file", "", "assembly file to instrument instead of a built-in workload")
+	disasm := fs.Bool("disasm", false, "print instrumented disassembly")
+	annOut := fs.String("annotations", "", "write annotation file (JSON)")
+	fs.Parse(args)
+
+	var prog *isa.Program
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err := isa.Parse(*file, f)
+		if err != nil {
+			return err
+		}
+		prog = p
+	} else {
+		spec, ok := microSpec(strings.TrimPrefix(*name, "micro:"), wf.accesses, wf.reps)
+		if !ok {
+			return fmt.Errorf("instrument supports IR workloads (micro:*) or -file; got %q", *name)
+		}
+		p, _, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		prog = p
+	}
+	out, classes, err := core.Instrument(prog, instrument.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("module %s: %d instrs, %d B text -> %d instrs, %d B instrumented\n",
+		prog.Name, prog.NumInstrs(), prog.Size(), out.Prog.NumInstrs(), out.Prog.Size())
+	var counts [3]int
+	for _, li := range classes.Loads {
+		counts[li.Class]++
+	}
+	fmt.Printf("loads: %d constant, %d strided, %d irregular; %d ptwrites inserted, %d constants elided\n",
+		counts[dataflow.Constant], counts[dataflow.Strided], counts[dataflow.Irregular],
+		out.Notes.NumPTWrites, out.Notes.NumConstElided)
+	if *annOut != "" {
+		if err := out.Notes.Save(*annOut); err != nil {
+			return err
+		}
+		fmt.Printf("annotations written to %s\n", *annOut)
+	}
+	if *disasm {
+		fmt.Println(out.Prog.Disasm())
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var wf workloadFlags
+	wf.register(fs)
+	name := fs.String("workload", "gap:pr", "workload to trace")
+	file := fs.String("file", "", "assembly file to trace instead of a built-in workload")
+	mode := fs.String("mode", "sampled", "collector: sampled, opt, or full")
+	period := fs.Uint64("period", 10_000, "sampling period in loads")
+	buf := fs.Int("buf", 8<<10, "trace buffer bytes")
+	out := fs.String("o", "trace.mgt", "output trace file")
+	roi := fs.String("hw-filter", "", "comma-separated procedures for PT hardware guards")
+	fs.Parse(args)
+
+	cfg := core.DefaultConfig()
+	cfg.Period = *period
+	cfg.BufBytes = *buf
+	switch *mode {
+	case "sampled":
+		cfg.Mode = pt.ModeContinuous
+	case "opt":
+		cfg.Mode = pt.ModeSampledPT
+	case "full":
+		cfg.Mode = pt.ModeFull
+		cfg.CopyBytesPerCycle = 1.2
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *roi != "" {
+		cfg.HWFilterProcs = strings.Split(*roi, ",")
+	}
+
+	var tr *trace.Trace
+	var overhead, ptwRatio float64
+	if *file != "" {
+		path := *file
+		res, err := core.Run(core.FuncWorkload{WName: path, BuildFn: func() (*isa.Program, *mem.Space, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer f.Close()
+			p, err := isa.Parse(path, f)
+			return p, mem.NewSpace(), err
+		}}, cfg)
+		if err != nil {
+			return err
+		}
+		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+	} else if strings.HasPrefix(*name, "micro:") {
+		spec, ok := microSpec(strings.TrimPrefix(*name, "micro:"), wf.accesses, wf.reps)
+		if !ok {
+			return fmt.Errorf("unknown micro workload %q", *name)
+		}
+		res, err := core.Run(core.FuncWorkload{WName: spec.Name(), BuildFn: spec.Build}, cfg)
+		if err != nil {
+			return err
+		}
+		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+	} else {
+		app, _, err := wf.buildApp(*name)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunApp(app, cfg)
+		if err != nil {
+			return err
+		}
+		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d samples, %d records (w̄=%.0f), ρ=%.1f κ=%.3f\n",
+		tr.Module, len(tr.Samples), tr.NumRecords(), tr.MeanW(), tr.Rho(), tr.Kappa())
+	fmt.Printf("trace: %s recorded (%s on disk: %s); overhead %.1f%%, ptwrite ratio %.3f\n",
+		report.Bytes(tr.Bytes), *out, fileSize(*out), 100*overhead, ptwRatio)
+	if tr.DroppedEvents > 0 {
+		fmt.Printf("dropped events: %d (%.1f%%)\n", tr.DroppedEvents,
+			100*float64(tr.DroppedEvents)/float64(tr.DroppedEvents+tr.RecordedEvents))
+	}
+	return nil
+}
+
+func fileSize(path string) string {
+	st, err := os.Stat(path)
+	if err != nil {
+		return "?"
+	}
+	return report.Bytes(uint64(st.Size()))
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("trace", "trace.mgt", "trace file to analyse")
+	block := fs.Uint64("block", 64, "access-block size in bytes")
+	topK := fs.Int("top", 10, "rows per table")
+	doLines := fs.Bool("lines", false, "also print per-source-line diagnostics")
+	doZoom := fs.Bool("zoom", true, "run the location zoom tree")
+	doWindows := fs.Bool("windows", true, "print the trace-window histogram")
+	doWorkingSet := fs.Bool("working-set", true, "print the page-granularity working-set curve")
+	intervals := fs.Int("intervals", 8, "time intervals for the interval-tree breakdown (0 disables)")
+	doMRC := fs.Bool("mrc", false, "print the predicted LRU miss-ratio curve")
+	doHeatmap := fs.Bool("heatmap", false, "render the hottest region's location × time heatmap")
+	roiPct := fs.Float64("suggest-roi", 90, "suggest a region of interest covering this % of loads (0 disables)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("module %s (%s): %d samples, %d records, ρ=%.1f κ=%.3f\n\n",
+		tr.Module, tr.Mode, len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
+
+	diags := analysis.FunctionDiagnostics(tr, *block)
+	t := report.NewTable("Hot functions (code windows)",
+		"function", "Ŵ loads", "F", "dF", "dFstr", "dFirr", "Fstr%", "Aconst%", "D")
+	for i, d := range diags {
+		if i >= *topK {
+			break
+		}
+		t.Add(d.Name, report.Count(d.EstLoads), report.Count(d.F), d.DeltaF,
+			d.DeltaFstr, d.DeltaFirr, d.FstrPct, d.AconstPct, d.D)
+	}
+	fmt.Println(t.Render())
+
+	if *doWindows {
+		hist := analysis.WindowHistogram(tr, analysis.PowerOfTwoWindows(4, 16))
+		h := report.NewHistogram("Trace windows (footprint vs window size)", "window", "F", "Fstr", "Firr")
+		for _, m := range hist {
+			if m.N > 0 {
+				h.Add(float64(m.W), m.F, m.Fstr, m.Firr)
+			}
+		}
+		fmt.Println(h.Render())
+	}
+
+	// Undersampling detection (§VI-A): flag code windows whose
+	// diagnostics rest on too few samples or unstable estimates.
+	conf := analysis.SampleConfidence(tr, analysis.ConfidenceConfig{BlockSize: *block})
+	flagged := 0
+	for _, c := range conf {
+		if c.Flagged {
+			flagged++
+		}
+	}
+	if flagged > 0 {
+		ct := report.NewTable("Undersampled code windows",
+			"function", "samples", "records", "split-half spread", "reason")
+		for _, c := range conf {
+			if c.Flagged {
+				ct.Add(c.Name, c.Samples, c.Records, c.HalfSpread, c.Reason)
+			}
+		}
+		fmt.Println(ct.Render())
+	}
+
+	if *doMRC {
+		caps := []int{64, 256, 1024, 4096, 16384}
+		mt := report.NewTable("Predicted LRU miss-ratio curve (co-design what-if)",
+			"capacity", "miss% (point)", "miss% lower", "miss% upper")
+		for _, c := range caps {
+			pts := analysis.MissRatioCurve(tr, *block, []int{c})
+			lo, hi := analysis.MissRatioBounds(tr, *block, c)
+			mt.Add(report.Bytes(uint64(c)*64), 100*pts[0].MissRatio, 100*lo, 100*hi)
+		}
+		fmt.Println(mt.Render())
+	}
+
+	if *doLines {
+		lt := report.NewTable("Hot source lines (§III-D attribution)",
+			"line", "Ŵ loads", "F", "dF", "Fstr%", "D")
+		for i, d := range analysis.LineDiagnostics(tr, *block) {
+			if i >= *topK {
+				break
+			}
+			lt.Add(d.Name, report.Count(d.EstLoads), report.Count(d.F), d.DeltaF, d.FstrPct, d.D)
+		}
+		fmt.Println(lt.Render())
+	}
+
+	if *intervals > 0 {
+		tree := interval.Build(tr, *block)
+		it := report.NewTable("Execution intervals (Fig. 4's multi-resolution time analysis)",
+			"interval", "samples", "Ŵ loads", "F", "dF", "D")
+		for i, d := range interval.IntervalDiagnostics(tr, *intervals, *block) {
+			it.Add(i, "-", report.Count(d.EstLoads), report.Count(d.F), d.DeltaF, d.D)
+		}
+		fmt.Println(it.Render())
+		path := tree.ZoomHot(nil)
+		if len(path) > 1 {
+			leaf := path[len(path)-1]
+			fmt.Printf("hot-interval zoom: root -> sample %d (Ŵ=%s, dF=%s)\n\n",
+				leaf.Start, report.Count(leaf.Diag.EstLoads), report.FormatFloat(leaf.Diag.DeltaF))
+		}
+	}
+
+	if *doWorkingSet {
+		ws := analysis.WorkingSet(tr, 8, 4096)
+		wt := report.NewTable("Working set over time (4 KiB pages, §V-B)",
+			"interval", "samples", "pages obs", "pages est")
+		for _, p := range ws {
+			wt.Add(p.Interval, p.Samples, p.PagesObs, p.PagesEst)
+		}
+		fmt.Println(wt.Render())
+	}
+
+	if *roiPct > 0 {
+		roi := analysis.SuggestROI(tr, *roiPct)
+		fmt.Printf("Suggested region of interest (≥%.0f%% of loads): %s\n",
+			*roiPct, strings.Join(roi, ", "))
+		fmt.Printf("  retrace with: memgaze trace -hw-filter %s ...\n\n", strings.Join(roi, ","))
+	}
+
+	if *doZoom || *doHeatmap {
+		root := zoom.Build(tr, zoom.Config{Block: *block})
+		leaves := zoom.Leaves(root)
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i].Accesses > leaves[j].Accesses })
+		t := report.NewTable("Hot memory regions (location zoom)",
+			"region", "size", "hot%", "D", "A", "A/block", "code")
+		for i, lf := range leaves {
+			if i >= *topK {
+				break
+			}
+			apb := 0.0
+			blocks := analysis.BlocksTouched(tr, lf.Lo, lf.Hi, *block)
+			if blocks > 0 {
+				apb = float64(lf.Accesses) / float64(blocks)
+			}
+			t.Add(fmt.Sprintf("%#x-%#x", lf.Lo, lf.Hi),
+				report.Bytes(lf.Hi-lf.Lo), lf.Pct, lf.Diag.D,
+				report.Count(float64(lf.Accesses)), apb,
+				strings.Join(lf.HotFuncs(2), ","))
+		}
+		fmt.Println(t.Render())
+		if *doHeatmap && len(leaves) > 0 {
+			lf := leaves[0]
+			h := heatmap.Build(tr, lf.Lo, lf.Hi, 20, 56, *block)
+			fmt.Println(report.RenderHeatmap(
+				fmt.Sprintf("Accesses over %#x-%#x (rows=addr, cols=time)", lf.Lo, lf.Hi),
+				h.Access))
+			fmt.Println(report.RenderHeatmap("Reuse distance D over the same region", h.Dist))
+		}
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("trace", "trace.mgt", "trace file to dump")
+	limit := fs.Int("n", 50, "records per sample to print (0 = all)")
+	samples := fs.Int("samples", 3, "samples to print (0 = all)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# module %s mode %s period %d buffer %d B\n", tr.Module, tr.Mode, tr.Period, tr.BufBytes)
+	fmt.Printf("# %d samples, %d records, rho %.1f kappa %.3f\n", len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
+	for si, s := range tr.Samples {
+		if *samples > 0 && si >= *samples {
+			fmt.Printf("... %d more samples\n", len(tr.Samples)-si)
+			break
+		}
+		fmt.Printf("sample %d cpu %d trigger@%d loads, w=%d\n", s.Seq, s.CPU, s.TriggerLoads, len(s.Records))
+		for i := range s.Records {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("  ... %d more records\n", len(s.Records)-i)
+				break
+			}
+			r := &s.Records[i]
+			fmt.Printf("  %12d  ip %#x  addr %#x  %-9s +%d  %s:%d\n",
+				r.TS, r.IP, r.Addr, r.Class, r.Implied, r.Proc, r.Line)
+		}
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	aPath := fs.String("a", "", "first trace file (the candidate)")
+	bPath := fs.String("b", "", "second trace file (the baseline)")
+	block := fs.Uint64("block", 64, "access-block size in bytes")
+	topK := fs.Int("top", 12, "rows to print")
+	fs.Parse(args)
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("compare needs -a and -b trace files")
+	}
+	load := func(p string) (*trace.Trace, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	ta, err := load(*aPath)
+	if err != nil {
+		return err
+	}
+	tb, err := load(*bPath)
+	if err != nil {
+		return err
+	}
+	da := analysis.FunctionDiagnostics(ta, *block)
+	db := analysis.FunctionDiagnostics(tb, *block)
+	byName := map[string]*analysis.Diag{}
+	for _, d := range db {
+		byName[d.Name] = d
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Function diagnostics: %s (A) vs %s (B)", ta.Module, tb.Module),
+		"function", "Ŵ A", "Ŵ B", "F A", "F B", "dF A", "dF B", "Fstr% A", "Fstr% B", "D A", "D B")
+	for i, d := range da {
+		if i >= *topK {
+			break
+		}
+		o := byName[d.Name]
+		if o == nil {
+			o = &analysis.Diag{Name: d.Name}
+		}
+		t.Add(d.Name, report.Count(d.EstLoads), report.Count(o.EstLoads),
+			report.Count(d.F), report.Count(o.F),
+			d.DeltaF, o.DeltaF, d.FstrPct, o.FstrPct, d.D, o.D)
+	}
+	fmt.Println(t.Render())
+	fmt.Printf("A: %d samples, %d records, κ=%.3f   B: %d samples, %d records, κ=%.3f\n",
+		len(ta.Samples), ta.NumRecords(), ta.Kappa(),
+		len(tb.Samples), tb.NumRecords(), tb.Kappa())
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMicroSpecParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"str1", "str1-O3", true},
+		{"str8-O0", "str8-O0", true},
+		{"irr", "irr-O3", true},
+		{"str1|irr", "str1|irr-O3", true},
+		{"str1/irr-O0", "str1/irr-O0", true},
+		{"nope", "", false},
+	}
+	for _, c := range cases {
+		spec, ok := microSpec(c.in, 128, 2)
+		if ok != c.ok {
+			t.Errorf("microSpec(%q) ok=%v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && spec.Name() != c.want {
+			t.Errorf("microSpec(%q) = %q, want %q", c.in, spec.Name(), c.want)
+		}
+	}
+}
+
+func TestBuildAppResolvesWorkloads(t *testing.T) {
+	wf := workloadFlags{scale: 7, degree: 4, shrink: 32, cacheKB: 8}
+	good := []string{
+		"minivite:v1", "minivite:v2-O0", "minivite:v3",
+		"gap:pr", "gap:pr-spmv-O0", "gap:cc", "gap:cc-sv",
+		"darknet:alexnet", "darknet:resnet",
+	}
+	for _, name := range good {
+		app, regions, err := wf.buildApp(name)
+		if err != nil {
+			t.Errorf("buildApp(%q): %v", name, err)
+			continue
+		}
+		if app.Mod == nil || app.Exec == nil {
+			t.Errorf("buildApp(%q): incomplete app", name)
+		}
+		if len(regions) == 0 {
+			t.Errorf("buildApp(%q): no regions", name)
+		}
+	}
+	for _, name := range []string{"minivite:v9", "gap:zz", "what:ever"} {
+		if _, _, err := wf.buildApp(name); err == nil {
+			t.Errorf("buildApp(%q) should fail", name)
+		}
+	}
+}
+
+func TestAppNamesReflectOpt(t *testing.T) {
+	wf := workloadFlags{scale: 7, degree: 4, shrink: 32}
+	app, _, err := wf.buildApp("gap:pr-O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(app.Name, "O0") {
+		t.Errorf("app name %q lost the opt level", app.Name)
+	}
+}

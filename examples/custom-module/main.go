@@ -1,0 +1,118 @@
+// Custom-module: run the whole toolchain on a hand-written assembly
+// module — the workflow a user brings their own code to.
+//
+// The module below walks a linked list whose nodes it first lays out
+// strided, computing a checksum; the classifier must see the builder
+// loop as strided and the chase as irregular, and the analyses must
+// attribute the footprint accordingly.
+//
+//	go run ./examples/custom-module
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/report"
+)
+
+// The module: build() writes a linked structure with strided
+// stores/loads; chase() follows it. Node i lives at base + i*16; the
+// next pointer of node i points at node (7i+1) mod 1024. That affine
+// map is a permutation, but the orbit of node 0 has length 256 — the
+// chase only ever touches a quarter of the array. A checksum-style
+// reading of the code would not reveal that; the footprint analysis
+// does.
+const module = `
+entry main
+main: (frame 32)
+  .entry:
+    call build
+    movi r13, 0          ; r13-r15 survive calls (callees use r0-r12)
+  .reps:
+    call chase
+    addi r13, r13, 1
+    bri.lt r13, 50, reps
+  .done:
+    halt
+build: (frame 16)
+  .entry:
+    movi r4, 0x20000000
+    movi r5, 0
+  .loop:
+    muli r1, r5, 7
+    addi r1, r1, 1
+    movi r2, 1023
+    and r1, r1, r2
+    shli r1, r1, 4
+    movi r2, 0x20000000
+    add r1, r1, r2
+    store [r4+r5*16], r1
+    load r0, [r4+r5*16]
+    addi r5, r5, 1
+    bri.lt r5, 1024, loop
+  .done:
+    ret
+chase: (frame 16)
+  .entry:
+    movi r9, 0x20000000
+    movi r5, 0
+  .loop:
+    load r9, [r9]
+    addi r5, r5, 1
+    bri.lt r5, 1024, loop
+  .done:
+    ret
+`
+
+func main() {
+	// Parse once up front for early syntax errors and a disassembly line.
+	prog, err := isa.Parse("listwalk", strings.NewReader(module))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d procedures, %d instructions\n", len(prog.Procs), prog.NumInstrs())
+
+	cfg := memgaze.DefaultConfig()
+	cfg.Period = 4_000
+	cfg.BufBytes = 8 << 10
+	res, err := memgaze.Run(memgaze.FuncWorkload{
+		WName: "listwalk",
+		BuildFn: func() (*isa.Program, *mem.Space, error) {
+			p, err := isa.Parse("listwalk", strings.NewReader(module))
+			return p, mem.NewSpace(), err
+		},
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("listwalk: %d B -> %d B instrumented, %d ptwrites\n",
+		res.OrigSize, res.InstrSize, res.Notes.NumPTWrites)
+	fmt.Printf("trace: %d samples, %d records, overhead %.0f%%\n\n",
+		len(res.Trace.Samples), res.Trace.NumRecords(), 100*res.Overhead())
+
+	t := report.NewTable("Per-function diagnostics", "function", "est loads", "F", "Fstr%", "D")
+	for _, d := range memgaze.FunctionDiagnostics(res.Trace, 64) {
+		t.Add(d.Name, report.Count(d.EstLoads), report.Count(d.F), d.FstrPct, d.D)
+	}
+	fmt.Println(t.Render())
+
+	// Reuse-interval observability for this configuration (§IV-A).
+	for _, bs := range analysis.BlindSpots(uint64(res.Trace.MeanW()), cfg.Period) {
+		fmt.Printf("blind spot: reuse intervals with d mod %d in [%d, %d] (%s)\n",
+			cfg.Period, bs.Lo, bs.Hi, bs.Why)
+	}
+	fmt.Println(`
+Reading the result: build() classifies strided (laid out by an
+induction variable) and chase() irregular (the address comes from
+memory). The giveaway is chase's footprint: ~2 KiB, not the 16 KiB the
+array occupies — the (7i+1) mod 1024 pointer map has an orbit of only
+256 nodes, so the walk revisits a quarter of the structure forever.
+The sampled trace exposes the bug without reading a line of the code.`)
+}

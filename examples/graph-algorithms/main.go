@@ -1,0 +1,91 @@
+// Graph-algorithms: the paper's GAP case study (§VII-C).
+//
+// Two PageRank algorithms (Gauss-Seidel pr vs Jacobi pr-spmv) and two
+// Connected Components algorithms (Afforest cc vs Shiloach-Vishkin
+// cc-sv) run on the same Kronecker graph. The example reproduces Table
+// IX's hot-object reuse comparison, Fig. 8's heatmaps showing why cc's
+// summary metrics are outlier-dominated, and Fig. 9's intra-sample
+// locality histograms.
+//
+//	go run ./examples/graph-algorithms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/heatmap"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func main() {
+	cacheCfg := cache.DefaultConfig()
+	cacheCfg.SizeBytes = 32 << 10
+
+	t9 := report.NewTable("Hot-object reuse (Table IX)",
+		"object", "algorithm", "D", "max D", "A", "A/block", "time (cycles)")
+
+	for _, algo := range []gap.Algorithm{gap.PR, gap.PRSpmv, gap.CC, gap.CCSV} {
+		w := gap.New(gap.Config{Scale: 11, Degree: 8, Algo: algo}, true)
+		cfg := core.DefaultConfig()
+		cfg.Period = 10_000
+		cfg.BufBytes = 8 << 10
+		res, err := core.RunApp(core.App{
+			Name: w.Name(), Mod: w.Mod,
+			Exec:     func(r *sites.Runner) { w.Run(r) },
+			CacheCfg: &cacheCfg,
+		}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		hot := w.Regions()[0]
+		d := analysis.RegionDiagnostics(res.Trace, []analysis.Region{hot}, 64)[0]
+		blocks := analysis.BlocksTouched(res.Trace, hot.Lo, hot.Hi, 64)
+		apb := 0.0
+		if blocks > 0 {
+			apb = float64(d.A) / float64(blocks)
+		}
+		t9.Add(hot.Name, algo.String(), d.D, d.DMax,
+			report.Count(float64(d.A)), apb,
+			report.Count(float64(res.BaseStats.Cycles)))
+
+		// Heatmaps for the CC pair (Fig. 8).
+		if algo == gap.CC || algo == gap.CCSV {
+			kt := res.Trace.FilterProc("components")
+			h := heatmap.Build(kt, hot.Lo, hot.Hi, 16, 56, 64)
+			fmt.Println(report.RenderHeatmap(
+				fmt.Sprintf("Fig. 8 — %s accesses over the cc array (rows=addr, cols=time)", algo),
+				h.Access))
+			st := heatmap.Summarize(h.Dist)
+			fmt.Printf("reuse-distance cells: mean %.2f, max %.0f, outliers %.1f%%\n\n",
+				st.Mean, st.Max, 100*st.OutlierFrac)
+		}
+
+		// Intra-sample locality histogram (Fig. 9).
+		if algo == gap.PR || algo == gap.CC {
+			h := report.NewHistogram(
+				fmt.Sprintf("Fig. 9 — %s: locality of hot access intervals", algo),
+				"interval", "dF", "D")
+			for _, p := range interval.IntraLocalityHistogram(res.Trace,
+				analysis.PowerOfTwoWindows(3, 8), 64) {
+				h.Add(float64(p.W), p.DeltaF, p.D)
+			}
+			fmt.Println(h.Render())
+		}
+	}
+
+	fmt.Println(t9.Render())
+	fmt.Println(`What §VII-C concludes: pr's in-place (Gauss-Seidel) updates give the
+o-score object a clearly smaller reuse distance than pr-spmv's deferred
+updates, and it converges in fewer sweeps. For CC, the summary metrics
+alone would crown cc-sv (lower average D) — but cc runs an order of
+magnitude faster; the heatmaps show cc's average is dragged by a few
+dark outlier bands while its typical behaviour matches cc-sv.`)
+}

@@ -1,0 +1,92 @@
+// Hashtable-locality: the paper's miniVite case study (§VII-A).
+//
+// Louvain community detection spends its time building a per-vertex map
+// of neighbouring communities. This example traces three map
+// implementations — v1 chained open hashing (unordered_map-style), v2
+// closed hopscotch-style probing with default sizing, v3 the same table
+// right-sized per vertex — and shows how MemGaze's time- and
+// location-centric analyses explain their run-time differences.
+//
+//	go run ./examples/hashtable-locality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func main() {
+	cacheCfg := cache.DefaultConfig()
+	cacheCfg.SizeBytes = 32 << 10 // scaled to the 2^11-vertex graph
+
+	funcs := report.NewTable("Data locality of hot function accesses (Table IV)",
+		"function", "variant", "F", "dF", "Fstr%", "A")
+	regions := report.NewTable("Spatio-temporal reuse of hot memory, 64 B blocks (Table V)",
+		"object", "variant", "D", "#blocks", "A/block")
+	times := report.NewTable("Run times", "variant", "cycles", "vs v1")
+
+	var v1Cycles uint64
+	for _, variant := range []minivite.Variant{minivite.V1, minivite.V2, minivite.V3} {
+		w := minivite.New(minivite.Config{
+			Scale: 11, Degree: 8, Variant: variant, Iterations: 3,
+		}, true)
+		cfg := core.DefaultConfig()
+		cfg.Period = 20_000
+		cfg.BufBytes = 8 << 10
+		res, err := core.RunApp(core.App{
+			Name: w.Name(), Mod: w.Mod,
+			Exec:     func(r *sites.Runner) { w.Run(r) },
+			CacheCfg: &cacheCfg,
+		}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vn := fmt.Sprintf("v%d", int(variant))
+
+		for _, fn := range []string{"buildMap", "map.insert", "getMax"} {
+			for _, d := range analysis.FunctionDiagnostics(res.Trace, 64) {
+				if d.Name == fn {
+					funcs.Add(fn, vn, report.Count(d.F), d.DeltaF, d.FstrPct,
+						report.Count(d.DecompA))
+				}
+			}
+		}
+		regs := w.Regions()
+		diags := analysis.RegionDiagnostics(res.Trace, regs, 64)
+		for i, g := range regs {
+			blocks := analysis.BlocksTouched(res.Trace, g.Lo, g.Hi, 64)
+			apb := 0.0
+			if blocks > 0 {
+				apb = float64(diags[i].A) / float64(blocks)
+			}
+			regions.Add(g.Name, vn, diags[i].D, blocks, apb)
+		}
+		cyc := res.BaseStats.Cycles
+		if variant == minivite.V1 {
+			v1Cycles = cyc
+		}
+		times.Add(vn, report.Count(float64(cyc)),
+			fmt.Sprintf("%.2fx", float64(cyc)/float64(v1Cycles)))
+	}
+
+	fmt.Println(funcs.Render())
+	fmt.Println(regions.Render())
+	fmt.Println(times.Render())
+	fmt.Println(`Reading the tables the way §VII-A does:
+ - v1's getMax is almost entirely irregular (Fstr% ~ 0): iterating a
+   chained hash table is pointer chasing, so no prefetcher can help.
+ - v2 goes strided but pays for dynamic resizing: map.insert's accesses
+   jump (rehash copies + over-allocation probing).
+ - v3 keeps the strided pattern and drops the resize traffic; run time
+   improves v1 > v2 > v3 even though v1 touches the least data —
+   "sparse structures have smaller footprint but more irregular access
+   patterns, whereas dense structures have larger footprints but more
+   regular access patterns."`)
+}

@@ -1,0 +1,65 @@
+// Memory-whatif: the conclusion's co-design direction — use one sampled
+// trace to ask what different memory systems would do with the
+// workload.
+//
+// A single MemGaze trace of Gauss-Seidel PageRank drives a predicted
+// LRU miss-ratio curve (from the sampled reuse distances, with bounds
+// where sampling is structurally blind) which is then checked against
+// the cache timing model actually executing the workload at each size.
+//
+//	go run ./examples/memory-whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func main() {
+	w := gap.New(gap.Config{Scale: 11, Degree: 8, Algo: gap.PR}, true)
+	cfg := memgaze.DefaultConfig()
+	cfg.Period = 8_000
+	res, err := memgaze.RunApp(memgaze.App{
+		Name: w.Name(), Mod: w.Mod,
+		Exec: func(r *sites.Runner) { w.Run(r) },
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one sampled trace: %d samples, %d records (1/%.0f of all loads)\n\n",
+		len(res.Trace.Samples), res.Trace.NumRecords(), res.Trace.Rho())
+
+	t := report.NewTable("What-if: LRU miss ratio vs cache size",
+		"cache", "predicted", "bounds", "simulated")
+	for _, kb := range []int{4, 16, 64, 256} {
+		capBlocks := kb << 10 / 64
+		pred := memgaze.MissRatioCurve(res.Trace, 64, []int{capBlocks})[0]
+		lo, hi := memgaze.MissRatioBounds(res.Trace, 64, capBlocks)
+
+		// Check against the cache model actually running the workload.
+		cc := cache.DefaultConfig()
+		cc.SizeBytes = kb << 10
+		cc.Prefetch = false
+		w.Mod.ResetGroups()
+		runner := sites.NewRunner(memgaze.DefaultCosts(), nil, false)
+		runner.Cache = cache.New(cc)
+		w.Run(runner)
+
+		t.Add(fmt.Sprintf("%d KiB", kb),
+			report.Pct(100*pred.MissRatio),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", 100*lo, 100*hi),
+			report.Pct(100*runner.Cache.MissRate()))
+	}
+	fmt.Println(t.Render())
+	fmt.Println(`Small caches are resolved exactly by intra-sample distances; the band
+between the sample window's footprint and a period's footprint is
+sampling's structural blind spot (§IV-A's R2 projected into capacity
+space), where only the bounds are honest. One trace, any cache size —
+no re-execution needed for the prediction column.`)
+}

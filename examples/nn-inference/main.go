@@ -1,0 +1,98 @@
+// NN-inference: the paper's Darknet case study (§VII-B).
+//
+// Image-classification inference lowers convolutions to gemm via
+// im2col. The example traces AlexNet-shaped and ResNet-152-shaped layer
+// stacks and reproduces the three perspectives of Tables VI-VIII: per
+// kernel (time), per memory object (location), and per access interval
+// (time × location), plus the store-interference tracing overhead the
+// paper attributes Darknet's 5-7× slowdown to.
+//
+//	go run ./examples/nn-inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+func main() {
+	t6 := report.NewTable("Hot kernels (Table VI)",
+		"function", "model", "F", "dF", "Fstr%", "A")
+	t7 := report.NewTable("Hot memory (Table VII, 64 B blocks)",
+		"object", "model", "D", "#blocks", "A/block")
+	t8 := report.NewTable("gemm locality over time (Table VIII)",
+		"model", "interval", "F", "dF", "D", "A")
+
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		w := darknet.New(darknet.Config{Model: model, Shrink: 12})
+		cfg := core.DefaultConfig()
+		cfg.Period = 50_000
+		cfg.BufBytes = 8 << 10
+		res, err := core.RunApp(core.App{
+			Name: w.Name(), Mod: w.Mod,
+			Exec: func(r *sites.Runner) { w.Run(r) },
+		}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d layers, %d loads, tracing overhead %.1fx (store interference)\n",
+			w.Name(), len(w.Layers), res.BaseStats.Loads, res.Overhead()+1)
+
+		for _, d := range analysis.FunctionDiagnostics(res.Trace, 64) {
+			if d.Name == "gemm" || d.Name == "im2col" {
+				t6.Add(d.Name, model.String(), report.Count(d.F), d.DeltaF,
+					d.FstrPct, report.Count(d.DecompA))
+			}
+		}
+		regs := w.Regions()
+		diags := analysis.RegionDiagnostics(res.Trace, regs, 64)
+		for i, g := range regs {
+			blocks := analysis.BlocksTouched(res.Trace, g.Lo, g.Hi, 64)
+			apb := 0.0
+			if blocks > 0 {
+				apb = float64(diags[i].A) / float64(blocks)
+			}
+			t7.Add(g.Name, model.String(), diags[i].D, blocks, apb)
+		}
+		gt := res.Trace.FilterProc("gemm")
+		for i, d := range interval.IntervalDiagnostics(gt, 8, 64) {
+			t8.Add(model.String(), i, report.Count(d.F), d.DeltaF, d.D,
+				report.Count(d.DecompA))
+		}
+
+		// Time × location: where the hot regions sit in each quarter of
+		// the run (activation buffers march forward layer by layer).
+		fmt.Printf("%s hot-region drift over time:\n", w.Name())
+		for i, leaves := range zoom.BuildOverTime(res.Trace, 4, zoom.DefaultConfig()) {
+			if len(leaves) == 0 {
+				continue
+			}
+			hot := leaves[0]
+			for _, lf := range leaves {
+				if lf.Accesses > hot.Accesses {
+					hot = lf
+				}
+			}
+			fmt.Printf("  quarter %d: [%#x, %#x) %s, %d accesses\n",
+				i, hot.Lo, hot.Hi, report.Bytes(hot.Hi-hot.Lo), hot.Accesses)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println(t6.Render())
+	fmt.Println(t7.Render())
+	fmt.Println(t8.Render())
+	fmt.Println(`§VII-B's observations: gemm dominates footprint and is ~100% strided
+(prefetchable); ResNet-152's footprint dwarfs AlexNet's (deeper, more
+consistent convolutions); and over the access intervals the reuse
+distance D rises as the networks synthesise higher-level features
+(gemm's innermost dimension N shrinks layer by layer).`)
+}

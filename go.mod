@@ -1,0 +1,3 @@
+module github.com/memgaze/memgaze-go
+
+go 1.22

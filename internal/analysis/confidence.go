@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// The paper notes that "it should be possible to automatically detect
+// most undersampling by analyzing sample density and forming confidence
+// intervals. One could flag regions with insufficient samples" (§VI-A).
+// Confidence implements that: per code window it reports how many
+// samples contributed, and a split-half spread — the relative
+// disagreement between footprint estimates computed from the even- and
+// odd-numbered samples. Two independent half-estimates agreeing is
+// exactly the stability the aggregation argument of §IV-B relies on.
+
+// Confidence summarises estimate stability for one code window.
+type Confidence struct {
+	Name    string
+	Samples int // samples containing at least one record of the window
+	Records int
+	// HalfSpread is |F̂(even) − F̂(odd)| / mean — 0 is perfect agreement.
+	HalfSpread float64
+	// Flagged marks windows whose diagnostics should not be trusted:
+	// too few samples or unstable half-estimates.
+	Flagged bool
+	Reason  string
+}
+
+// ConfidenceConfig sets the flagging thresholds.
+type ConfidenceConfig struct {
+	MinSamples    int     // default 8
+	MinRecords    int     // default 64
+	MaxHalfSpread float64 // default 0.5 (50% disagreement)
+	BlockSize     uint64  // default 64
+}
+
+func (c *ConfidenceConfig) fill() {
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	if c.MinRecords == 0 {
+		c.MinRecords = 64
+	}
+	if c.MaxHalfSpread == 0 {
+		c.MaxHalfSpread = 0.5
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+}
+
+// SampleConfidence evaluates every code window of the trace and returns
+// per-function confidence reports, most-flagged first.
+func SampleConfidence(t *trace.Trace, cfg ConfidenceConfig) []Confidence {
+	cfg.fill()
+
+	// Per-function presence counts.
+	samplesOf := map[string]int{}
+	recordsOf := map[string]int{}
+	for _, s := range t.Samples {
+		seen := map[string]bool{}
+		for i := range s.Records {
+			p := s.Records[i].Proc
+			recordsOf[p]++
+			if !seen[p] {
+				seen[p] = true
+				samplesOf[p]++
+			}
+		}
+	}
+
+	// Split-half estimates: diagnostics over even vs odd samples.
+	even := halfTrace(t, 0)
+	odd := halfTrace(t, 1)
+	fEven := diagF(even, cfg.BlockSize)
+	fOdd := diagF(odd, cfg.BlockSize)
+
+	var out []Confidence
+	for name, recs := range recordsOf {
+		c := Confidence{Name: name, Samples: samplesOf[name], Records: recs}
+		a, b := fEven[name], fOdd[name]
+		if a+b > 0 {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			c.HalfSpread = d / ((a + b) / 2)
+		}
+		switch {
+		case c.Samples < cfg.MinSamples:
+			c.Flagged = true
+			c.Reason = "too few samples"
+		case c.Records < cfg.MinRecords:
+			c.Flagged = true
+			c.Reason = "too few records"
+		case c.HalfSpread > cfg.MaxHalfSpread:
+			c.Flagged = true
+			c.Reason = "unstable split-half estimates"
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flagged != out[j].Flagged {
+			return out[i].Flagged
+		}
+		if out[i].HalfSpread != out[j].HalfSpread {
+			return out[i].HalfSpread > out[j].HalfSpread
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// halfTrace keeps samples whose index ≡ parity (mod 2). TotalLoads is
+// halved so ρ stays comparable.
+func halfTrace(t *trace.Trace, parity int) *trace.Trace {
+	nt := &trace.Trace{
+		Module: t.Module, Mode: t.Mode, Period: t.Period,
+		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads / 2,
+	}
+	for i, s := range t.Samples {
+		if i%2 == parity {
+			nt.Samples = append(nt.Samples, s)
+		}
+	}
+	return nt
+}
+
+func diagF(t *trace.Trace, blockSize uint64) map[string]float64 {
+	out := map[string]float64{}
+	for _, d := range FunctionDiagnostics(t, blockSize) {
+		out[d.Name] = d.F
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+func TestSampleConfidenceFlagsSparseFunctions(t *testing.T) {
+	tr := &trace.Trace{Period: 1000, TotalLoads: 32_000}
+	for s := 0; s < 32; s++ {
+		smp := &trace.Sample{Seq: s}
+		// "steady" appears in every sample with a stable working set.
+		for i := 0; i < 40; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x1000 + uint64(i%32)*8, Class: dataflow.Irregular, Proc: "steady",
+			})
+		}
+		// "rare" appears in only two samples.
+		if s == 3 || s == 17 {
+			for i := 0; i < 10; i++ {
+				smp.Records = append(smp.Records, trace.Record{
+					Addr: 0x90000 + uint64(s*64+i)*8, Class: dataflow.Irregular, Proc: "rare",
+				})
+			}
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	out := SampleConfidence(tr, ConfidenceConfig{})
+	byName := map[string]Confidence{}
+	for _, c := range out {
+		byName[c.Name] = c
+	}
+	if c := byName["steady"]; c.Flagged {
+		t.Errorf("steady flagged: %+v", c)
+	}
+	if c := byName["rare"]; !c.Flagged {
+		t.Errorf("rare not flagged: %+v", c)
+	}
+	if byName["steady"].Samples != 32 || byName["rare"].Samples != 2 {
+		t.Errorf("sample counts: %+v", byName)
+	}
+	// Flagged entries sort first.
+	if !out[0].Flagged {
+		t.Error("flagged entries should sort first")
+	}
+	// The steady function's split halves agree closely.
+	if byName["steady"].HalfSpread > 0.05 {
+		t.Errorf("steady half-spread = %v", byName["steady"].HalfSpread)
+	}
+}

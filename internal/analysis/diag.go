@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Diag is a footprint access diagnostic (§V-E) for one code window
+// (function) or memory region: footprint decomposed by access pattern,
+// growth rates, and spatio-temporal reuse.
+//
+// Conventions (Table I):
+//
+//	A        — observed (possibly compressed) accesses in the window.
+//	DecompA  — 𝒜: decompressed accesses, κ·A.
+//	EstLoads — Ŵ: estimated executed loads attributed to the window, ρ·𝒜.
+//	F        — estimated footprint in bytes (ρ-scaled; 8 B per address).
+//	Fstr/Firr— strided/irregular components of F (by the static class of
+//	           the access that first touched each address).
+//	DeltaF   — footprint growth: F per executed load (Eq. 4).
+//	D        — mean intra-sample spatio-temporal reuse distance in
+//	           blocks; DMax is the largest observed distance.
+type Diag struct {
+	Name string
+
+	A         int
+	Kappa     float64
+	DecompA   float64
+	EstLoads  float64
+	F         float64
+	Fstr      float64
+	Firr      float64
+	FstrPct   float64 // 100·Fstr/(Fstr+Firr)
+	FirrPct   float64
+	DeltaF    float64
+	DeltaFstr float64
+	DeltaFirr float64
+	AconstPct float64 // fraction of accesses to constant-sized data
+
+	D      float64
+	DMax   int
+	Reuses int // pairs contributing to D
+
+	Captures  int // addresses with reuse within samples
+	Survivals int // addresses without reuse
+}
+
+// wordBytes is the footprint unit: one 8-byte word per distinct address.
+const wordBytes = 8
+
+// accumulator builds a Diag from a record stream.
+type accumulator struct {
+	name     string
+	a        int
+	implied  uint64
+	firstCls map[uint64]dataflow.Class // address -> class of first touch
+	counts   map[uint64]int
+	dist     *StackDist
+	sumD     float64
+	reuses   int
+	dmax     int
+	constAcc uint64
+}
+
+func newAccumulator(name string, blockSize uint64) *accumulator {
+	return &accumulator{
+		name:     name,
+		firstCls: make(map[uint64]dataflow.Class),
+		counts:   make(map[uint64]int),
+		dist:     NewStackDist(blockSize),
+	}
+}
+
+// startSample resets intra-sample state (the reuse-distance stream).
+func (ac *accumulator) startSample() { ac.dist.Reset() }
+
+func (ac *accumulator) add(r *trace.Record) {
+	ac.a++
+	ac.implied += uint64(r.Implied)
+	if r.Class == dataflow.Constant {
+		ac.constAcc++
+	}
+	ac.constAcc += uint64(r.Implied)
+	if _, ok := ac.firstCls[r.Addr]; !ok {
+		ac.firstCls[r.Addr] = r.Class
+	}
+	ac.counts[r.Addr]++
+	if d, _ := ac.dist.Access(r.Addr); d >= 0 {
+		ac.sumD += float64(d)
+		ac.reuses++
+		if d > ac.dmax {
+			ac.dmax = d
+		}
+	}
+}
+
+func (ac *accumulator) finish(rho float64) *Diag {
+	d := &Diag{Name: ac.name, A: ac.a}
+	if ac.a == 0 {
+		d.Kappa = 1
+		return d
+	}
+	d.Kappa = 1 + float64(ac.implied)/float64(ac.a)
+	d.DecompA = d.Kappa * float64(ac.a)
+	d.EstLoads = rho * d.DecompA
+	// Footprint estimation per access class via capture-recapture over
+	// the aggregated code window (§IV-B; see estimate.go).
+	var cs [3]CSCounts
+	var strAddrs []uint64
+	for addr, n := range ac.counts {
+		k := int(ac.firstCls[addr])
+		cs[k].Unique++
+		if n == 1 {
+			cs[k].Singletons++
+		} else if n == 2 {
+			cs[k].Doubletons++
+		}
+		cs[k].Draws += float64(n)
+		if dataflow.Class(k) == dataflow.Strided {
+			strAddrs = append(strAddrs, addr)
+		}
+	}
+	sort.Slice(strAddrs, func(i, j int) bool { return strAddrs[i] < strAddrs[j] })
+	lattice := LatticePopulation(strAddrs)
+	scale := rho * d.Kappa
+	est := func(k dataflow.Class) float64 {
+		c := cs[k]
+		fallback := 0.0
+		if k == dataflow.Strided {
+			fallback = lattice
+		}
+		return EstimateUnique(k, c, scale*c.Draws, c.Unique*scale, fallback)
+	}
+	fc := est(dataflow.Constant)
+	fs := est(dataflow.Strided)
+	fi := est(dataflow.Irregular)
+	d.F = (fc + fs + fi) * wordBytes
+	d.Fstr = fs * wordBytes
+	d.Firr = fi * wordBytes
+	if fs+fi > 0 {
+		d.FstrPct = 100 * fs / (fs + fi)
+		d.FirrPct = 100 * fi / (fs + fi)
+	}
+	if d.EstLoads > 0 {
+		d.DeltaF = d.F / d.EstLoads
+		d.DeltaFstr = d.Fstr / d.EstLoads
+		d.DeltaFirr = d.Firr / d.EstLoads
+	}
+	d.AconstPct = 100 * float64(ac.constAcc) / d.DecompA
+	if ac.reuses > 0 {
+		d.D = ac.sumD / float64(ac.reuses)
+	}
+	d.DMax = ac.dmax
+	d.Reuses = ac.reuses
+	for _, c := range ac.counts {
+		if c > 1 {
+			d.Captures++
+		} else {
+			d.Survivals++
+		}
+	}
+	return d
+}
+
+// FunctionDiagnostics aggregates the trace into code windows — one per
+// procedure (§IV-B) — and computes a Diag for each. Reuse distance is
+// intra-sample (§V-B). Results are sorted by descending estimated loads,
+// i.e. hotness.
+func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
+	rho := t.Rho()
+	accs := make(map[string]*accumulator)
+	for _, s := range t.Samples {
+		for _, ac := range accs {
+			ac.startSample()
+		}
+		for i := range s.Records {
+			r := &s.Records[i]
+			ac, ok := accs[r.Proc]
+			if !ok {
+				ac = newAccumulator(r.Proc, blockSize)
+				accs[r.Proc] = ac
+			}
+			ac.add(r)
+		}
+	}
+	out := make([]*Diag, 0, len(accs))
+	for _, ac := range accs {
+		out = append(out, ac.finish(rho))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EstLoads > out[j].EstLoads })
+	return out
+}
+
+// LineDiagnostics aggregates the trace into source-line code windows
+// ("proc:line" keys) — the finest attribution granularity §III-D's
+// source remapping supports — and computes a Diag for each, hottest
+// first.
+func LineDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
+	rho := t.Rho()
+	accs := make(map[string]*accumulator)
+	for _, s := range t.Samples {
+		for _, ac := range accs {
+			ac.startSample()
+		}
+		for i := range s.Records {
+			r := &s.Records[i]
+			key := fmt.Sprintf("%s:%d", r.Proc, r.Line)
+			ac, ok := accs[key]
+			if !ok {
+				ac = newAccumulator(key, blockSize)
+				accs[key] = ac
+			}
+			ac.add(r)
+		}
+	}
+	out := make([]*Diag, 0, len(accs))
+	for _, ac := range accs {
+		out = append(out, ac.finish(rho))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EstLoads > out[j].EstLoads })
+	return out
+}
+
+// Region is an address range [Lo, Hi) with a display name.
+type Region struct {
+	Name   string
+	Lo, Hi uint64
+}
+
+// Contains reports whether addr falls in the region.
+func (g Region) Contains(addr uint64) bool { return addr >= g.Lo && addr < g.Hi }
+
+// RegionDiagnostics computes a Diag per region over the accesses that
+// fall inside it (location windows, §IV-C2). The reuse-distance stream
+// of each region is restricted to that region's accesses, so D reflects
+// the spatio-temporal locality of the object itself (Tables V, VII, IX).
+func RegionDiagnostics(t *trace.Trace, regions []Region, blockSize uint64) []*Diag {
+	rho := t.Rho()
+	accs := make([]*accumulator, len(regions))
+	for i, g := range regions {
+		accs[i] = newAccumulator(g.Name, blockSize)
+	}
+	for _, s := range t.Samples {
+		for _, ac := range accs {
+			ac.startSample()
+		}
+		for i := range s.Records {
+			r := &s.Records[i]
+			for j := range regions {
+				if regions[j].Contains(r.Addr) {
+					accs[j].add(r)
+					break
+				}
+			}
+		}
+	}
+	out := make([]*Diag, len(accs))
+	for i, ac := range accs {
+		out[i] = ac.finish(rho)
+	}
+	return out
+}
+
+// BlocksTouched returns the number of distinct blocks of the given size
+// accessed within [lo, hi) across the whole trace.
+func BlocksTouched(t *trace.Trace, lo, hi, blockSize uint64) int {
+	blocks := make(map[uint64]struct{})
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			a := s.Records[i].Addr
+			if a >= lo && a < hi {
+				blocks[a/blockSize] = struct{}{}
+			}
+		}
+	}
+	return len(blocks)
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+)
+
+// randomCounts draws a plausible observation: unique ≤ draws, singletons
+// + 2·doubletons ≤ draws, singletons + doubletons ≤ unique.
+func randomCounts(rng *rand.Rand) CSCounts {
+	draws := float64(1 + rng.Intn(5000))
+	unique := 1 + rng.Intn(int(draws))
+	singles := rng.Intn(unique + 1)
+	doubles := 0
+	if unique-singles > 0 {
+		doubles = rng.Intn(unique - singles + 1)
+	}
+	// Repair consistency: counted accesses must not exceed draws.
+	for float64(singles+2*doubles) > draws && singles > 0 {
+		singles--
+	}
+	return CSCounts{
+		Unique:     float64(unique),
+		Singletons: float64(singles),
+		Doubletons: float64(doubles),
+		Draws:      draws,
+	}
+}
+
+// TestEstimateUniqueBounds: for any observation and any class, the
+// estimate lies within [observed unique, linear cap] and is monotone
+// non-decreasing in the draw count.
+func TestEstimateUniqueBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCounts(rng)
+		scale := 1 + rng.Float64()*50
+		cap_ := c.Unique * scale
+		fallback := float64(rng.Intn(3)) * float64(rng.Intn(5000))
+		for _, cls := range []dataflow.Class{dataflow.Constant, dataflow.Strided, dataflow.Irregular} {
+			var prev float64
+			for _, mult := range []float64{0.5, 1, 2, 8, 64} {
+				est := EstimateUnique(cls, c, c.Draws*mult, cap_, fallback)
+				if est < c.Unique-1e-9 || est > cap_+1e-9 {
+					return false
+				}
+				if est+1e-9 < prev {
+					return false // not monotone in draws
+				}
+				prev = est
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPopulationDominatesUnique: the population estimate never falls
+// below the observed unique count.
+func TestPopulationDominatesUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCounts(rng)
+		pop := c.Population()
+		return pop >= c.Unique-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatticePopulationScaleInvariance: translating all addresses or
+// multiplying the pitch must not change the point count.
+func TestLatticePopulationScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pitch := uint64(8) << uint(rng.Intn(4))
+		base := uint64(0x10000000)
+		var a, b, c []uint64
+		for _, start := range []int{0, 40, 95} {
+			for i := 0; i < 30; i++ {
+				idx := uint64(start + i)
+				a = append(a, base+idx*pitch)
+				b = append(b, base+0x5000_0000+idx*pitch) // translated
+				c = append(c, base+idx*pitch*2)           // pitch doubled
+			}
+		}
+		pa, pb, pc := LatticePopulation(a), LatticePopulation(b), LatticePopulation(c)
+		return pa == pb && pa == pc && pa > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+)
+
+func TestLatticePopulationSingleArray(t *testing.T) {
+	// A stride-8 array of 1000 elements, sampled in contiguous runs.
+	var addrs []uint64
+	for _, start := range []int{0, 300, 650} {
+		for i := start; i < start+120 && i < 1000; i++ {
+			addrs = append(addrs, 0x20000000+uint64(i)*8)
+		}
+	}
+	pop := LatticePopulation(addrs)
+	// The estimator fills in the unobserved positions *between* sampled
+	// runs (the observed span at the recovered pitch: indexes 0..769),
+	// but never extrapolates beyond the last observed address.
+	if pop < 740 || pop > 800 {
+		t.Errorf("lattice pop = %.0f, want ≈770 (observed span / pitch)", pop)
+	}
+}
+
+func TestLatticePopulationTwoClusters(t *testing.T) {
+	// Two arrays far apart: spans sum, the gap does not count.
+	var addrs []uint64
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, 0x10000000+uint64(i)*8)
+	}
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, 0x50000000+uint64(i)*8)
+	}
+	pop := LatticePopulation(addrs)
+	if pop < 190 || pop > 220 {
+		t.Errorf("two-cluster pop = %.0f, want ≈200", pop)
+	}
+}
+
+func TestLatticePopulationSplitsDistantRuns(t *testing.T) {
+	// Runs separated by gaps far beyond the pitch are treated as
+	// distinct objects (the estimator is deliberately conservative: it
+	// cannot distinguish one sparsely sampled array from several small
+	// ones, and under-estimation is bounded by the linear cap upstream).
+	var addrs []uint64
+	for _, start := range []int{0, 512, 1500} {
+		for i := 0; i < 50; i++ {
+			addrs = append(addrs, uint64(0x30000000)+uint64(start+i)*64)
+		}
+	}
+	pop := LatticePopulation(addrs)
+	if pop < 140 || pop > 160 {
+		t.Errorf("split-run pop = %.0f, want ≈150 (3 clusters × 50)", pop)
+	}
+	// Runs with small inter-run gaps (dense phase coverage) fuse into
+	// one lattice.
+	addrs = addrs[:0]
+	for _, start := range []int{0, 60, 130} {
+		for i := 0; i < 50; i++ {
+			addrs = append(addrs, uint64(0x30000000)+uint64(start+i)*64)
+		}
+	}
+	pop = LatticePopulation(addrs)
+	if pop < 170 || pop > 200 {
+		t.Errorf("fused pop = %.0f, want ≈181", pop)
+	}
+}
+
+func TestLatticePopulationDegenerate(t *testing.T) {
+	if p := LatticePopulation(nil); p != 0 {
+		t.Errorf("nil input pop = %v", p)
+	}
+	if p := LatticePopulation([]uint64{1, 2, 3}); p != 0 {
+		t.Errorf("too-few input pop = %v", p)
+	}
+}
+
+func TestGoodTuringPopulation(t *testing.T) {
+	// Draw 2000 samples uniformly from 1000 species; GT must land near
+	// the truth.
+	rng := rand.New(rand.NewSource(99))
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		counts[rng.Intn(1000)]++
+	}
+	var c CSCounts
+	for _, n := range counts {
+		c.Unique++
+		if n == 1 {
+			c.Singletons++
+		} else if n == 2 {
+			c.Doubletons++
+		}
+		c.Draws += float64(n)
+	}
+	pop := c.Population()
+	if pop < 800 || pop > 1250 {
+		t.Errorf("GT pop = %.0f, want ≈1000", pop)
+	}
+}
+
+func TestPopulationNoReuseIsInfinite(t *testing.T) {
+	c := CSCounts{Unique: 50, Singletons: 50, Draws: 50}
+	if !math.IsInf(c.Population(), 1) {
+		t.Error("all-singleton population should be +Inf")
+	}
+}
+
+func TestEstimateUniqueClamps(t *testing.T) {
+	// Streaming (no reuse): falls back to the linear cap.
+	c := CSCounts{Unique: 100, Singletons: 100, Draws: 100}
+	if got := EstimateUnique(dataflow.Irregular, c, 1000, 1000, 0); got != 1000 {
+		t.Errorf("streaming est = %v, want linearCap", got)
+	}
+	// Saturated: estimate stays near the observed unique count.
+	sat := CSCounts{Unique: 100, Singletons: 1, Doubletons: 2, Draws: 1000}
+	got := EstimateUnique(dataflow.Irregular, sat, 10_000, 100_000, 0)
+	if got < 100 || got > 120 {
+		t.Errorf("saturated est = %v, want ≈100", got)
+	}
+	// Never below the observed unique count.
+	if got := EstimateUnique(dataflow.Irregular, sat, 1, 100_000, 0); got < 100 {
+		t.Errorf("est %v below observed", got)
+	}
+	// Empty observation.
+	if got := EstimateUnique(dataflow.Strided, CSCounts{}, 10, 10, 5); got != 0 {
+		t.Errorf("empty est = %v", got)
+	}
+}
+
+func TestEstimateUniqueStridedRampThenFlat(t *testing.T) {
+	// Strided with a known lattice population of 500: linear below, flat
+	// above.
+	c := CSCounts{Unique: 100, Singletons: 100, Draws: 100} // no local reuse
+	small := EstimateUnique(dataflow.Strided, c, 300, 300, 500)
+	if small != 300 {
+		t.Errorf("ramp est = %v, want 300 (linear)", small)
+	}
+	big := EstimateUnique(dataflow.Strided, c, 5000, 5000, 500)
+	if big != 500 {
+		t.Errorf("flat est = %v, want 500 (lattice pop)", big)
+	}
+}
+
+func TestEstimateUniqueFallbackPopForIrregular(t *testing.T) {
+	// Local window shows no reuse, but the aggregate knows pop = 400:
+	// rarefaction applies against the fallback.
+	c := CSCounts{Unique: 50, Singletons: 50, Draws: 50}
+	got := EstimateUnique(dataflow.Irregular, c, 800, 10_000, 400)
+	want := 400 * (1 - math.Exp(-800.0/400))
+	if math.Abs(got-want) > 1 {
+		t.Errorf("fallback rarefaction = %v, want %v", got, want)
+	}
+}

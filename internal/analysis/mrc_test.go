@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// cyclicTrace visits `blocks` distinct 64B blocks round-robin — the
+// LRU worst case: capacity < blocks misses every access, capacity ≥
+// blocks hits every access after warmup.
+func cyclicTrace(blocks, rounds, samples int) *trace.Trace {
+	tr := &trace.Trace{Period: 1000, TotalLoads: uint64(blocks * rounds * samples)}
+	for s := 0; s < samples; s++ {
+		smp := &trace.Sample{Seq: s, TriggerLoads: uint64(s+1) * 1000}
+		for r := 0; r < rounds; r++ {
+			for b := 0; b < blocks; b++ {
+				smp.Records = append(smp.Records, trace.Record{
+					Addr: uint64(b) * 64, Class: dataflow.Irregular, Proc: "f",
+				})
+			}
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func TestMRCCyclicStep(t *testing.T) {
+	// 32 blocks cycled 10 times per sample: distances are all 31.
+	tr := cyclicTrace(32, 10, 4)
+	mrc := MissRatioCurve(tr, 64, []int{8, 16, 31, 32, 4096})
+	byCap := map[int]float64{}
+	for _, p := range mrc {
+		byCap[p.CacheBlocks] = p.MissRatio
+	}
+	// Below capacity 32: every reuse has distance 31 ≥ c → all miss.
+	for _, c := range []int{8, 16, 31} {
+		if byCap[c] < 0.99 {
+			t.Errorf("cap %d: miss ratio %.3f, want ≈1 (LRU cyclic thrash)", c, byCap[c])
+		}
+	}
+	// At 32: intra reuses hit; the only residual mass is the (small)
+	// cross-sample distance estimates and cold touches.
+	if byCap[32] > 0.12 {
+		t.Errorf("cap 32: miss ratio %.3f, want small", byCap[32])
+	}
+	// Far beyond any estimated distance: only true cold misses remain,
+	// and the population estimate keeps them a tiny fraction.
+	if byCap[4096] > 0.03 {
+		t.Errorf("huge cache: miss ratio %.3f, want ≈0", byCap[4096])
+	}
+	// Monotone non-increasing in capacity.
+	for i := 1; i < len(mrc); i++ {
+		if mrc[i].MissRatio > mrc[i-1].MissRatio+1e-12 {
+			t.Error("MRC not monotone")
+		}
+	}
+}
+
+func TestMissRatioBoundsBracket(t *testing.T) {
+	tr := cyclicTrace(32, 10, 4)
+	lo, hi := MissRatioBounds(tr, 64, 16)
+	if lo > hi {
+		t.Fatalf("bounds inverted: %v > %v", lo, hi)
+	}
+	// The point estimate sits at the upper bound by construction.
+	mrc := MissRatioCurve(tr, 64, []int{16})
+	if mrc[0].MissRatio != hi {
+		t.Errorf("point %.4f != upper %.4f", mrc[0].MissRatio, hi)
+	}
+	if hi-lo > 0.15 {
+		t.Errorf("bounds too loose for long samples: [%.3f, %.3f]", lo, hi)
+	}
+}
+
+func TestMRCEmptyTrace(t *testing.T) {
+	if got := MissRatioCurve(&trace.Trace{}, 64, []int{8}); got != nil {
+		t.Errorf("empty trace MRC = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+func TestReuseIntervalCategoriesIntra(t *testing.T) {
+	// One sample: A x x x A — intra interval 4 (bucket log2=2).
+	smp := &trace.Sample{TriggerLoads: 1000}
+	addrs := []uint64{0x10, 0x20, 0x30, 0x40, 0x10}
+	for _, a := range addrs {
+		smp.Records = append(smp.Records, trace.Record{Addr: a, Proc: "f"})
+	}
+	tr := &trace.Trace{Period: 1000, Samples: []*trace.Sample{smp}}
+	h := ReuseIntervalHistogram(tr)
+	if len(h) != 1 || h[0].Log2 != 2 || h[0].Intra != 1 || h[0].Inter != 0 {
+		t.Errorf("histogram = %+v, want one intra bucket at log2=2", h)
+	}
+}
+
+func TestReuseIntervalCategoriesInter(t *testing.T) {
+	// Address 0x10 appears in samples triggered 1000 loads apart:
+	// an R3 estimate of ~1000 (bucket log2=9).
+	mk := func(trigger uint64) *trace.Sample {
+		return &trace.Sample{TriggerLoads: trigger,
+			Records: []trace.Record{{Addr: 0x10, Proc: "f"}}}
+	}
+	tr := &trace.Trace{Period: 1000, Samples: []*trace.Sample{mk(1000), mk(2000)}}
+	h := ReuseIntervalHistogram(tr)
+	if len(h) != 1 || h[0].Log2 != 9 || h[0].Inter != 1 || h[0].Intra != 0 {
+		t.Errorf("histogram = %+v, want one inter bucket at log2=9", h)
+	}
+}
+
+func TestBlindSpotsStructure(t *testing.T) {
+	// w=100, period=1000 (z=900): blind for interval mod 1000 in
+	// [100, 900].
+	spots := BlindSpots(100, 1000)
+	if len(spots) != 1 {
+		t.Fatalf("spots = %+v", spots)
+	}
+	if spots[0].Lo != 100 || spots[0].Hi != 900 {
+		t.Errorf("blind spot = %+v", spots[0])
+	}
+	// Degenerate configurations have no structural gaps.
+	if s := BlindSpots(0, 1000); s != nil {
+		t.Errorf("w=0 spots = %+v", s)
+	}
+	if s := BlindSpots(1000, 1000); s != nil {
+		t.Errorf("w=period spots = %+v", s)
+	}
+}
+
+func TestObservableRule(t *testing.T) {
+	const w, period = 100, 1000
+	// R1: short intervals are observable.
+	if !Observable(50, w, period) || !Observable(99, w, period) {
+		t.Error("intra-window intervals should be observable")
+	}
+	// R2: the blind window.
+	for _, iv := range []uint64{100, 500, 900} {
+		if Observable(iv, w, period) {
+			t.Errorf("interval %d should be blind (R2)", iv)
+		}
+	}
+	// R3: intervals whose value mod period lands inside a window.
+	if !Observable(1950, w, period) { // 1950 mod 1000 = 950 > z=900
+		t.Error("interval 1950 should be observable (R3)")
+	}
+	if !Observable(2050, w, period) { // 2050 mod 1000 = 50 < w=100
+		t.Error("interval 2050 should be observable (ends in different windows)")
+	}
+	if Observable(2500, w, period) { // 2500 mod 1000 = 500 in [100, 900]
+		t.Error("interval 2500 should be blind (gap rule)")
+	}
+	// Full traces observe everything.
+	if !Observable(12345, 0, 0) {
+		t.Error("full trace must observe all intervals")
+	}
+}
+
+// TestBlindSpotsMatchSimulatedObservability cross-checks the analytic
+// rule against a brute-force simulation of a periodic sampler.
+func TestBlindSpotsMatchSimulatedObservability(t *testing.T) {
+	const w, period = 8, 32
+	captured := map[uint64]bool{}
+	// A window records loads [k*period+z, (k+1)*period) for z=24.
+	inWindow := func(pos uint64) bool { return pos%period >= period-w }
+	for start := uint64(0); start < 4*period; start++ {
+		for iv := uint64(1); iv < 3*period; iv++ {
+			if inWindow(start) && inWindow(start+iv) {
+				// Same window or different windows — either way both
+				// ends were recorded.
+				captured[iv] = true
+			}
+		}
+	}
+	for iv := uint64(1); iv < 2*period; iv++ {
+		if captured[iv] != Observable(iv, w, period) {
+			t.Errorf("interval %d: simulated %v, analytic %v", iv, captured[iv], Observable(iv, w, period))
+		}
+	}
+}

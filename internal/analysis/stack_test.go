@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDistances computes reuse distance and interval by brute force.
+func naiveDistances(addrs []uint64, block uint64) (dist, interval []int) {
+	last := map[uint64]int{}
+	for i, a := range addrs {
+		b := a / block
+		if p, ok := last[b]; ok {
+			seen := map[uint64]bool{}
+			for j := p + 1; j < i; j++ {
+				if addrs[j]/block != b {
+					seen[addrs[j]/block] = true
+				}
+			}
+			dist = append(dist, len(seen))
+			interval = append(interval, i-p-1)
+		} else {
+			dist = append(dist, -1)
+			interval = append(interval, -1)
+		}
+		last[b] = i
+	}
+	return
+}
+
+func TestStackDistMatchesNaive(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		addrs := make([]uint64, int(n)+2)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(40)) * 8 // small space forces reuse
+		}
+		wantD, wantI := naiveDistances(addrs, 64)
+		s := NewStackDist(64)
+		for i, a := range addrs {
+			d, iv := s.Access(a)
+			if d != wantD[i] || iv != wantI[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackDistKnownSequence(t *testing.T) {
+	// Blocks: A B C A -> distance(A) = 2 (B, C), interval = 2.
+	s := NewStackDist(64)
+	seq := []uint64{0, 64, 128, 0}
+	var lastD, lastI int
+	for _, a := range seq {
+		lastD, lastI = s.Access(a)
+	}
+	if lastD != 2 || lastI != 2 {
+		t.Errorf("d=%d i=%d, want 2, 2", lastD, lastI)
+	}
+	// Immediate re-access: both zero.
+	d, i := s.Access(0)
+	if d != 0 || i != 0 {
+		t.Errorf("immediate reuse d=%d i=%d", d, i)
+	}
+	if s.Blocks() != 3 {
+		t.Errorf("blocks = %d, want 3", s.Blocks())
+	}
+	if s.N() != 5 {
+		t.Errorf("n = %d, want 5", s.N())
+	}
+}
+
+func TestStackDistBlockGranularity(t *testing.T) {
+	// Two addresses in the same 64 B line are the same block.
+	s := NewStackDist(64)
+	s.Access(0)
+	d, _ := s.Access(32)
+	if d != 0 {
+		t.Errorf("same-line access d=%d, want 0", d)
+	}
+	// At 8-byte granularity they differ.
+	s8 := NewStackDist(8)
+	s8.Access(0)
+	if d, _ := s8.Access(32); d != -1 {
+		t.Errorf("8B granularity first access d=%d, want -1", d)
+	}
+}
+
+func TestStackDistReset(t *testing.T) {
+	s := NewStackDist(64)
+	s.Access(0)
+	s.Access(64)
+	s.Reset()
+	if s.N() != 0 || s.Blocks() != 0 {
+		t.Error("reset incomplete")
+	}
+	if d, _ := s.Access(0); d != -1 {
+		t.Errorf("post-reset access d=%d, want -1 (first)", d)
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import "math"
+
+// MAPEResult reports the mean absolute percentage error of the footprint
+// access diagnostics between an estimated (sampled) histogram and a
+// reference (full-trace) histogram, per metric (Fig. 6's data series).
+type MAPEResult struct {
+	F, Fstr, Firr float64 // percent
+	Points        int     // window sizes compared
+}
+
+// MAPE compares histograms point-wise at matching window sizes. Windows
+// where the reference metric is zero are skipped for that metric (the
+// percentage error is undefined there).
+func MAPE(est, ref []WindowMetrics) MAPEResult {
+	refByW := make(map[uint64]WindowMetrics, len(ref))
+	for _, r := range ref {
+		if r.N > 0 {
+			refByW[r.W] = r
+		}
+	}
+	var res MAPEResult
+	var nF, nS, nI int
+	for _, e := range est {
+		r, ok := refByW[e.W]
+		if !ok || e.N == 0 {
+			continue
+		}
+		res.Points++
+		if r.F > 0 {
+			res.F += 100 * math.Abs(e.F-r.F) / r.F
+			nF++
+		}
+		if r.Fstr > 0 {
+			res.Fstr += 100 * math.Abs(e.Fstr-r.Fstr) / r.Fstr
+			nS++
+		}
+		if r.Firr > 0 {
+			res.Firr += 100 * math.Abs(e.Firr-r.Firr) / r.Firr
+			nI++
+		}
+	}
+	if nF > 0 {
+		res.F /= float64(nF)
+	}
+	if nS > 0 {
+		res.Fstr /= float64(nS)
+	}
+	if nI > 0 {
+		res.Firr /= float64(nI)
+	}
+	return res
+}
+
+// DiagError reports the signed percentage error of code-window (per
+// function) diagnostics between an estimate and a reference — the second
+// triple of series in Fig. 6. RefLoads carries the reference's estimated
+// loads so callers can weight errors by function hotness, as the paper's
+// hotspot-focused diagnostics do.
+type DiagError struct {
+	Name          string
+	F, Fstr, Firr float64 // percent, signed
+	RefLoads      float64
+}
+
+// CompareDiags matches diagnostics by name and reports per-function
+// errors. Functions absent from either side are skipped.
+func CompareDiags(est, ref []*Diag) []DiagError {
+	refBy := make(map[string]*Diag, len(ref))
+	for _, d := range ref {
+		refBy[d.Name] = d
+	}
+	var out []DiagError
+	for _, e := range est {
+		r, ok := refBy[e.Name]
+		if !ok {
+			continue
+		}
+		de := DiagError{Name: e.Name, RefLoads: r.EstLoads}
+		if r.F > 0 {
+			de.F = 100 * (e.F - r.F) / r.F
+		}
+		if r.Fstr > 0 {
+			de.Fstr = 100 * (e.Fstr - r.Fstr) / r.Fstr
+		}
+		if r.Firr > 0 {
+			de.Firr = 100 * (e.Firr - r.Firr) / r.Firr
+		}
+		out = append(out, de)
+	}
+	return out
+}

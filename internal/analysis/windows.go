@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// WindowMetrics holds the mean footprint access diagnostics for one
+// nominal window size of a trace-window histogram (§VI-A, Fig. 6).
+// Sizes are in decompressed accesses; footprints in bytes.
+type WindowMetrics struct {
+	W      uint64  // nominal window size (decompressed accesses)
+	N      int     // windows measured
+	F      float64 // mean estimated footprint F̂
+	Fstr   float64 // mean strided footprint
+	Firr   float64 // mean irregular footprint
+	DeltaF float64 // mean footprint growth F̂/W
+	C      float64 // mean captures (scaled)
+	S      float64 // mean survivals (scaled)
+}
+
+// PowerOfTwoWindows returns {2^lo, ..., 2^hi}.
+func PowerOfTwoWindows(lo, hi int) []uint64 {
+	var out []uint64
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<uint(e))
+	}
+	return out
+}
+
+// WindowHistogram computes metric histograms over varying dynamic
+// sequence lengths (the paper's trace windows). For window sizes that
+// fit inside a sample, metrics are exact (intra-window form of Eq. 3);
+// for larger sizes, consecutive samples are grouped to span the window
+// and footprints are scaled by the local sample ratio (inter-window
+// form). Full traces (Period == 0) are always measured exactly.
+func WindowHistogram(t *trace.Trace, windows []uint64) []WindowMetrics {
+	out := make([]WindowMetrics, 0, len(windows))
+	meanW := t.MeanW() * t.Kappa() // decompressed mean sample size
+	globalPop := globalPopulations(t)
+	for _, w := range windows {
+		var m WindowMetrics
+		if t.Period == 0 || float64(w) <= meanW {
+			m = intraWindows(t, w)
+		} else {
+			m = interWindows(t, w, globalPop)
+		}
+		m.W = w
+		if m.N > 0 && w > 0 {
+			m.DeltaF = m.F / float64(w)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// winAcc accumulates one window's worth of records.
+type winAcc struct {
+	weight    float64 // decompressed accesses so far
+	clsWeight [3]float64
+	addrs     map[uint64]dataflow.Class
+	counts    map[uint64]int
+}
+
+func newWinAcc() *winAcc {
+	return &winAcc{addrs: make(map[uint64]dataflow.Class), counts: make(map[uint64]int)}
+}
+
+func (wa *winAcc) reset() {
+	wa.weight = 0
+	wa.clsWeight = [3]float64{}
+	clear(wa.addrs)
+	clear(wa.counts)
+}
+
+func (wa *winAcc) add(r *trace.Record) {
+	wa.weight += 1 + float64(r.Implied)
+	cls, ok := wa.addrs[r.Addr]
+	if !ok {
+		cls = r.Class
+		wa.addrs[r.Addr] = cls
+	}
+	wa.clsWeight[cls] += 1 + float64(r.Implied)
+	wa.counts[r.Addr]++
+}
+
+// stridedLattice estimates the lattice population of the accumulated
+// strided addresses (0 when indeterminate).
+func (wa *winAcc) stridedLattice() float64 {
+	var addrs []uint64
+	for addr := range wa.counts {
+		if wa.addrs[addr] == dataflow.Strided {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return LatticePopulation(addrs)
+}
+
+// globalPopulations aggregates all samples per class and returns the
+// population estimates (0 where unusable) — the fallback saturation
+// evidence for windows that are individually blind (§IV-B). The strided
+// class uses the lattice estimator; others use Good–Turing.
+func globalPopulations(t *trace.Trace) [3]float64 {
+	wa := newWinAcc()
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			wa.add(&s.Records[i])
+		}
+	}
+	var cs [3]CSCounts
+	for addr, n := range wa.counts {
+		k := int(wa.addrs[addr])
+		cs[k].Unique++
+		if n == 1 {
+			cs[k].Singletons++
+		} else if n == 2 {
+			cs[k].Doubletons++
+		}
+		cs[k].Draws += float64(n)
+	}
+	var out [3]float64
+	for k := range cs {
+		p := cs[k].Population()
+		if !isInf(p) {
+			out[k] = p
+		}
+	}
+	if lat := wa.stridedLattice(); lat > 0 {
+		out[dataflow.Strided] = lat
+	}
+	return out
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+// flush folds the window into the running metrics. ratio is the span
+// being estimated over the span observed: 1 for exact intra windows;
+// above 1, footprints are extrapolated with the capture-recapture
+// estimator of estimate.go, bounded by linear scaling (Eq. 3).
+func (wa *winAcc) flush(m *WindowMetrics, ratio float64, globalPop [3]float64) {
+	var cs [3]CSCounts
+	for addr, n := range wa.counts {
+		k := int(wa.addrs[addr])
+		cs[k].Unique++
+		if n == 1 {
+			cs[k].Singletons++
+		} else if n == 2 {
+			cs[k].Doubletons++
+		}
+		cs[k].Draws += float64(n)
+	}
+	var f, fs, fi float64
+	if ratio <= 1 {
+		f = cs[0].Unique + cs[1].Unique + cs[2].Unique
+		fs = cs[dataflow.Strided].Unique
+		fi = cs[dataflow.Irregular].Unique
+	} else {
+		est := func(k dataflow.Class) float64 {
+			c := cs[k]
+			fallback := globalPop[k]
+			if k == dataflow.Strided && fallback == 0 {
+				fallback = wa.stridedLattice()
+			}
+			return EstimateUnique(k, c, ratio*wa.clsWeight[k], c.Unique*ratio, fallback)
+		}
+		fc := est(dataflow.Constant)
+		fs = est(dataflow.Strided)
+		fi = est(dataflow.Irregular)
+		f = fc + fs + fi
+	}
+	var c, s float64
+	for _, n := range wa.counts {
+		if n > 1 {
+			c++
+		} else {
+			s++
+		}
+	}
+	m.N++
+	m.F += f * wordBytes
+	m.Fstr += fs * wordBytes
+	m.Firr += fi * wordBytes
+	m.C += ratio * c
+	m.S += ratio * s
+}
+
+func meanOf(m *WindowMetrics) {
+	if m.N == 0 {
+		return
+	}
+	n := float64(m.N)
+	m.F /= n
+	m.Fstr /= n
+	m.Firr /= n
+	m.C /= n
+	m.S /= n
+}
+
+// intraWindows slices each sample into consecutive windows of w
+// decompressed accesses; partial tail windows of at least w/2 are scaled
+// up, smaller tails are discarded.
+func intraWindows(t *trace.Trace, w uint64) WindowMetrics {
+	var m WindowMetrics
+	wa := newWinAcc()
+	for _, s := range t.Samples {
+		wa.reset()
+		for i := range s.Records {
+			wa.add(&s.Records[i])
+			if wa.weight >= float64(w) {
+				wa.flush(&m, 1, [3]float64{})
+				wa.reset()
+			}
+		}
+		if wa.weight >= float64(w)/2 {
+			wa.flush(&m, float64(w)/wa.weight, [3]float64{})
+		}
+	}
+	meanOf(&m)
+	return m
+}
+
+// interWindows groups ceil(w/period) consecutive samples per window and
+// scales observed footprints to the window span (Eq. 3, inter-window).
+func interWindows(t *trace.Trace, w uint64, globalPop [3]float64) WindowMetrics {
+	var m WindowMetrics
+	if t.Period == 0 || len(t.Samples) == 0 {
+		return m
+	}
+	k := int((w + t.Period - 1) / t.Period)
+	if k < 1 {
+		k = 1
+	}
+	wa := newWinAcc()
+	for i := 0; i < len(t.Samples); i += k {
+		wa.reset()
+		end := i + k
+		if end > len(t.Samples) {
+			end = len(t.Samples)
+		}
+		for _, s := range t.Samples[i:end] {
+			for j := range s.Records {
+				wa.add(&s.Records[j])
+			}
+		}
+		if wa.weight == 0 {
+			continue
+		}
+		// The group observed wa.weight decompressed accesses standing in
+		// for a window of w executed accesses.
+		ratio := float64(w) / wa.weight
+		if ratio < 1 {
+			ratio = 1
+		}
+		wa.flush(&m, ratio, globalPop)
+	}
+	meanOf(&m)
+	return m
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// fullStridedTrace builds a full trace (Period 0) streaming `elems`
+// distinct addresses `passes` times.
+func fullStridedTrace(elems, passes int) *trace.Trace {
+	smp := &trace.Sample{}
+	ts := uint64(0)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < elems; i++ {
+			ts += 5
+			smp.Records = append(smp.Records, trace.Record{
+				IP: 0x401000, Addr: 0x20000000 + uint64(i)*8, TS: ts,
+				Class: dataflow.Strided, Stride: 8, Proc: "f",
+			})
+		}
+	}
+	t := &trace.Trace{Module: "m", Mode: "full", Samples: []*trace.Sample{smp}}
+	t.TotalLoads = uint64(elems * passes)
+	return t
+}
+
+func TestWindowHistogramExactOnFullTrace(t *testing.T) {
+	tr := fullStridedTrace(256, 8)
+	hist := WindowHistogram(tr, []uint64{16, 64, 256, 1024})
+	for _, m := range hist {
+		var want float64
+		if m.W <= 256 {
+			want = float64(m.W) * wordBytes // all-distinct inside one pass
+		} else {
+			want = 256 * wordBytes // saturates at the array
+		}
+		if m.N == 0 {
+			t.Fatalf("W=%d: no windows", m.W)
+		}
+		if rel(m.F, want) > 0.05 {
+			t.Errorf("W=%d: F=%.0f, want %.0f", m.W, m.F, want)
+		}
+		if m.Firr != 0 {
+			t.Errorf("W=%d: Firr=%.0f on a strided trace", m.W, m.Firr)
+		}
+		if rel(m.Fstr, m.F) > 0.001 {
+			t.Errorf("W=%d: Fstr=%.0f != F=%.0f", m.W, m.Fstr, m.F)
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestWindowHistogramDeltaF(t *testing.T) {
+	tr := fullStridedTrace(1024, 2)
+	hist := WindowHistogram(tr, []uint64{64})
+	if len(hist) != 1 {
+		t.Fatal("missing window")
+	}
+	// 64 distinct 8-byte words in a 64-access window: ΔF = 8 bytes/access.
+	if rel(hist[0].DeltaF, 8) > 0.05 {
+		t.Errorf("DeltaF = %v, want 8", hist[0].DeltaF)
+	}
+}
+
+func TestCapturesSurvivalsWithinWindows(t *testing.T) {
+	// Each window of 8 sees 4 addresses twice: C=4, S=0.
+	smp := &trace.Sample{}
+	for w := 0; w < 10; w++ {
+		for i := 0; i < 4; i++ {
+			for rep := 0; rep < 2; rep++ {
+				smp.Records = append(smp.Records, trace.Record{
+					Addr: uint64(w*4+i) * 8, Class: dataflow.Irregular, Proc: "f",
+				})
+			}
+		}
+	}
+	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 80}
+	hist := WindowHistogram(tr, []uint64{8})
+	if hist[0].C != 4 || hist[0].S != 0 {
+		t.Errorf("C=%v S=%v, want 4, 0", hist[0].C, hist[0].S)
+	}
+}
+
+func TestMAPEIdenticalIsZero(t *testing.T) {
+	tr := fullStridedTrace(128, 4)
+	h := WindowHistogram(tr, PowerOfTwoWindows(4, 8))
+	m := MAPE(h, h)
+	if m.F != 0 || m.Fstr != 0 {
+		t.Errorf("self-MAPE = %+v, want zeros", m)
+	}
+	if m.Points == 0 {
+		t.Error("no points compared")
+	}
+}
+
+func TestMAPESkipsUnmatchedWindows(t *testing.T) {
+	tr := fullStridedTrace(128, 4)
+	a := WindowHistogram(tr, []uint64{16, 32})
+	b := WindowHistogram(tr, []uint64{32, 64})
+	m := MAPE(a, b)
+	if m.Points != 1 {
+		t.Errorf("points = %d, want 1 (only W=32 shared)", m.Points)
+	}
+}
+
+func TestCompareDiagsSignedErrors(t *testing.T) {
+	est := []*Diag{{Name: "f", F: 110, Fstr: 55, Firr: 55, EstLoads: 100}}
+	ref := []*Diag{{Name: "f", F: 100, Fstr: 50, Firr: 50, EstLoads: 100}}
+	errs := CompareDiags(est, ref)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if rel(errs[0].F, 10) > 0.001 || rel(errs[0].Fstr, 10) > 0.001 {
+		t.Errorf("errors = %+v, want +10%%", errs[0])
+	}
+	if errs[0].RefLoads != 100 {
+		t.Errorf("RefLoads = %v", errs[0].RefLoads)
+	}
+	// Unmatched functions are skipped.
+	if got := CompareDiags(est, []*Diag{{Name: "other"}}); len(got) != 0 {
+		t.Errorf("unmatched compare = %v", got)
+	}
+}
+
+func TestFunctionDiagnosticsBasics(t *testing.T) {
+	// Two functions: one strided streamer, one revisiting a tiny set.
+	var samples []*trace.Sample
+	for s := 0; s < 8; s++ {
+		smp := &trace.Sample{Seq: s}
+		for i := 0; i < 50; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x1000_0000 + uint64(s*50+i)*8, Class: dataflow.Strided,
+				Stride: 8, Proc: "stream",
+			})
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x2000_0000 + uint64(i%4)*8, Class: dataflow.Irregular,
+				Proc: "hotset", Implied: 1,
+			})
+		}
+		samples = append(samples, smp)
+	}
+	tr := &trace.Trace{Samples: samples, Period: 1000, TotalLoads: 8 * 1000}
+	// Word granularity so the streamer's block sharing does not register
+	// as reuse.
+	diags := FunctionDiagnostics(tr, 8)
+	byName := map[string]*Diag{}
+	for _, d := range diags {
+		byName[d.Name] = d
+	}
+	hs := byName["hotset"]
+	if hs == nil {
+		t.Fatal("missing hotset diag")
+	}
+	if hs.Kappa != 2 {
+		t.Errorf("hotset kappa = %v, want 2", hs.Kappa)
+	}
+	// Hot set of 4 words: F must stay near 32 bytes, far below the
+	// linear bound.
+	if hs.F < 32 || hs.F > 64 {
+		t.Errorf("hotset F = %v, want ≈32", hs.F)
+	}
+	if hs.FirrPct != 100 {
+		t.Errorf("hotset Firr%% = %v", hs.FirrPct)
+	}
+	st := byName["stream"]
+	if st.FstrPct != 100 {
+		t.Errorf("stream Fstr%% = %v", st.FstrPct)
+	}
+	// The streamer's D never fires (no reuse), the hot set's D is small.
+	if st.Reuses != 0 {
+		t.Errorf("stream has %d reuses", st.Reuses)
+	}
+	if hs.Reuses == 0 || hs.D > 4 {
+		t.Errorf("hotset D = %v (reuses %d)", hs.D, hs.Reuses)
+	}
+}
+
+func TestRegionDiagnosticsRestriction(t *testing.T) {
+	smp := &trace.Sample{}
+	for i := 0; i < 100; i++ {
+		smp.Records = append(smp.Records, trace.Record{
+			Addr: uint64(0x1000 + (i%10)*8), Class: dataflow.Irregular, Proc: "f",
+		})
+		smp.Records = append(smp.Records, trace.Record{
+			Addr: uint64(0x9000 + i*8), Class: dataflow.Strided, Proc: "f",
+		})
+	}
+	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 200}
+	regions := []Region{
+		{Name: "hot", Lo: 0x1000, Hi: 0x2000},
+		{Name: "stream", Lo: 0x9000, Hi: 0x10000},
+	}
+	diags := RegionDiagnostics(tr, regions, 8)
+	if diags[0].A != 100 || diags[1].A != 100 {
+		t.Errorf("region A = %d, %d; want 100 each", diags[0].A, diags[1].A)
+	}
+	// The hot region's reuse distance is computed over its own stream:
+	// 10 words cycling = distance ≈ 1 block (80 bytes spans 2 blocks).
+	if diags[0].Reuses == 0 {
+		t.Error("hot region saw no reuse")
+	}
+	if diags[1].Reuses != 0 {
+		t.Error("stream region should have no reuse")
+	}
+	if n := BlocksTouched(tr, 0x1000, 0x2000, 64); n != 2 {
+		t.Errorf("hot region blocks = %d, want 2", n)
+	}
+}
+
+func TestLineDiagnostics(t *testing.T) {
+	smp := &trace.Sample{}
+	for i := 0; i < 100; i++ {
+		smp.Records = append(smp.Records, trace.Record{
+			Addr: uint64(0x1000 + i*8), Class: dataflow.Strided, Proc: "f", Line: 10,
+		})
+		if i%4 == 0 {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: uint64(0x9000 + i*8), Class: dataflow.Irregular, Proc: "f", Line: 20,
+			})
+		}
+	}
+	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 125}
+	diags := LineDiagnostics(tr, 64)
+	if len(diags) != 2 {
+		t.Fatalf("line windows = %d", len(diags))
+	}
+	if diags[0].Name != "f:10" || diags[1].Name != "f:20" {
+		t.Errorf("ordering = %s, %s", diags[0].Name, diags[1].Name)
+	}
+	if diags[0].A != 100 || diags[1].A != 25 {
+		t.Errorf("counts = %d, %d", diags[0].A, diags[1].A)
+	}
+	if diags[0].FstrPct != 100 || diags[1].FirrPct != 100 {
+		t.Errorf("classes mixed across lines")
+	}
+}

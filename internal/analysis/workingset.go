@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Working-set analysis (§V-B): "For working-set analysis, we use
+// inter-sample reuse and blocks of OS page size." The trace's samples
+// are partitioned into consecutive time intervals; each interval's
+// working set is the estimated number of distinct pages the program
+// touched during it, extrapolated from the sampled pages with the same
+// capture-recapture machinery as the footprint estimators.
+
+// WorkingSetPoint is one time interval of the working-set curve.
+type WorkingSetPoint struct {
+	Interval int
+	Samples  int
+	PagesObs int     // distinct pages observed in the interval's samples
+	PagesEst float64 // estimated distinct pages over the whole interval
+	EstLoads float64 // estimated executed loads in the interval
+}
+
+// WorkingSet computes the working-set curve over k consecutive time
+// intervals at the given page size (0 selects 4 KiB).
+func WorkingSet(t *trace.Trace, k int, pageSize uint64) []WorkingSetPoint {
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if k <= 0 {
+		k = 8
+	}
+	if k > len(t.Samples) {
+		k = len(t.Samples)
+	}
+	rho := t.Rho()
+	var out []WorkingSetPoint
+	for i := 0; i < k; i++ {
+		start := i * len(t.Samples) / k
+		end := (i + 1) * len(t.Samples) / k
+		if end == start {
+			continue
+		}
+		counts := map[uint64]int{}
+		var draws, implied float64
+		for _, s := range t.Samples[start:end] {
+			for j := range s.Records {
+				counts[s.Records[j].Addr/pageSize]++
+				draws++
+				implied += float64(s.Records[j].Implied)
+			}
+		}
+		var cs CSCounts
+		for _, n := range counts {
+			cs.Unique++
+			if n == 1 {
+				cs.Singletons++
+			} else if n == 2 {
+				cs.Doubletons++
+			}
+		}
+		cs.Draws = draws
+		kappa := 1.0
+		if draws > 0 {
+			kappa = 1 + implied/draws
+		}
+		estLoads := rho * kappa * draws
+		est := EstimateUnique(dataflow.Irregular, cs, estLoads, cs.Unique*rho*kappa, 0)
+		out = append(out, WorkingSetPoint{
+			Interval: i, Samples: end - start,
+			PagesObs: len(counts), PagesEst: est, EstLoads: estLoads,
+		})
+	}
+	return out
+}
+
+// SuggestROI returns the smallest set of procedures whose estimated
+// loads cover at least coverPct percent of the trace — the §II hotspot
+// analysis that defines a region of interest for selective
+// instrumentation or PT hardware guards.
+func SuggestROI(t *trace.Trace, coverPct float64) []string {
+	diags := FunctionDiagnostics(t, 64) // already sorted by hotness
+	var total float64
+	for _, d := range diags {
+		total += d.EstLoads
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []string
+	var covered float64
+	for _, d := range diags {
+		out = append(out, d.Name)
+		covered += d.EstLoads
+		if 100*covered/total >= coverPct {
+			break
+		}
+	}
+	return out
+}

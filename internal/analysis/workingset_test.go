@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// twoPhaseTrace: first half touches 4 pages, second half 64 pages.
+func twoPhaseTrace() *trace.Trace {
+	tr := &trace.Trace{Period: 1000, TotalLoads: 16_000}
+	for s := 0; s < 16; s++ {
+		smp := &trace.Sample{Seq: s}
+		pages := 4
+		if s >= 8 {
+			pages = 64
+		}
+		for i := 0; i < 100; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr:  0x100000 + uint64(i%pages)*4096 + uint64(i)%4096,
+				Class: dataflow.Irregular, Proc: "f",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func TestWorkingSetTracksPhases(t *testing.T) {
+	pts := WorkingSet(twoPhaseTrace(), 2, 4096)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].PagesObs != 4 {
+		t.Errorf("phase 1 observed %d pages, want 4", pts[0].PagesObs)
+	}
+	if pts[1].PagesObs != 64 {
+		t.Errorf("phase 2 observed %d pages, want 64", pts[1].PagesObs)
+	}
+	// Heavily recaptured pages: estimates stay near the observation.
+	if pts[0].PagesEst < 4 || pts[0].PagesEst > 8 {
+		t.Errorf("phase 1 estimate %.1f, want ≈4", pts[0].PagesEst)
+	}
+	if pts[1].PagesEst < 64 || pts[1].PagesEst > 100 {
+		t.Errorf("phase 2 estimate %.1f, want ≈64", pts[1].PagesEst)
+	}
+	if pts[1].PagesEst <= pts[0].PagesEst*4 {
+		t.Errorf("working-set growth not detected: %.1f vs %.1f", pts[0].PagesEst, pts[1].PagesEst)
+	}
+}
+
+func TestWorkingSetDefaults(t *testing.T) {
+	tr := twoPhaseTrace()
+	pts := WorkingSet(tr, 0, 0) // defaults: 8 intervals, 4 KiB pages
+	if len(pts) != 8 {
+		t.Errorf("default intervals = %d, want 8", len(pts))
+	}
+	if got := WorkingSet(&trace.Trace{}, 4, 4096); len(got) != 0 {
+		t.Errorf("empty trace produced %d points", len(got))
+	}
+}
+
+func TestSuggestROI(t *testing.T) {
+	tr := &trace.Trace{Period: 1000, TotalLoads: 10_000}
+	smp := &trace.Sample{}
+	// hotA: 70%, hotB: 25%, cold: 5%.
+	addN := func(proc string, n int) {
+		for i := 0; i < n; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: uint64(0x1000 + i*8), Class: dataflow.Irregular, Proc: proc,
+			})
+		}
+	}
+	addN("hotA", 700)
+	addN("hotB", 250)
+	addN("cold", 50)
+	tr.Samples = []*trace.Sample{smp}
+
+	if roi := SuggestROI(tr, 60); len(roi) != 1 || roi[0] != "hotA" {
+		t.Errorf("ROI@60 = %v", roi)
+	}
+	if roi := SuggestROI(tr, 90); len(roi) != 2 || roi[1] != "hotB" {
+		t.Errorf("ROI@90 = %v", roi)
+	}
+	if roi := SuggestROI(tr, 100); len(roi) != 3 {
+		t.Errorf("ROI@100 = %v", roi)
+	}
+	if roi := SuggestROI(&trace.Trace{}, 90); roi != nil {
+		t.Errorf("empty ROI = %v", roi)
+	}
+}

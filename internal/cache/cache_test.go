@@ -1,0 +1,91 @@
+package cache
+
+import "testing"
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(Config{Prefetch: false})
+	if cost := c.Access(0x1000); cost != c.cfg.MissCost {
+		t.Errorf("first access cost %d, want miss %d", cost, c.cfg.MissCost)
+	}
+	if cost := c.Access(0x1000); cost != c.cfg.HitCost {
+		t.Errorf("second access cost %d, want hit %d", cost, c.cfg.HitCost)
+	}
+	// Same line, different offset.
+	if cost := c.Access(0x1030); cost != c.cfg.HitCost {
+		t.Errorf("same-line access cost %d, want hit", cost)
+	}
+	// Next line misses.
+	if cost := c.Access(0x1040); cost != c.cfg.MissCost {
+		t.Errorf("next-line access cost %d, want miss", cost)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 1-set cache: capacity 2 lines.
+	c := New(Config{SizeBytes: 128, Assoc: 2, Prefetch: false})
+	c.Access(0)   // miss, installs line 0
+	c.Access(64)  // miss, installs line 1
+	c.Access(0)   // hit, line 0 becomes MRU
+	c.Access(128) // miss, evicts line 1 (LRU)
+	if cost := c.Access(0); cost != c.cfg.HitCost {
+		t.Error("line 0 should have survived (MRU)")
+	}
+	if cost := c.Access(64); cost != c.cfg.MissCost {
+		t.Error("line 1 should have been evicted")
+	}
+}
+
+func TestStreamPrefetch(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 20, Assoc: 8, Prefetch: true, PrefetchDepth: 4})
+	// Sequential line walk: after the stream is detected (two ascending
+	// misses), most lines are prefetched.
+	var misses int
+	for line := uint64(0); line < 64; line++ {
+		if c.Access(line*64) == c.cfg.MissCost {
+			misses++
+		}
+	}
+	if misses > 20 {
+		t.Errorf("sequential walk took %d misses of 64; streamer ineffective", misses)
+	}
+	// Random-ish far jumps never trigger the streamer.
+	c2 := New(Config{SizeBytes: 1 << 20, Assoc: 8, Prefetch: true, PrefetchDepth: 4})
+	addrs := []uint64{0, 1 << 14, 2 << 15, 3 << 13, 5 << 16}
+	for _, a := range addrs {
+		if c2.Access(a) != c2.cfg.MissCost {
+			t.Errorf("jump to %#x unexpectedly hit", a)
+		}
+	}
+}
+
+func TestMissRateAndReset(t *testing.T) {
+	c := New(Config{Prefetch: false})
+	c.Access(0)
+	c.Access(0)
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", mr)
+	}
+	c.Reset()
+	if mr := c.MissRate(); mr != 0 {
+		t.Errorf("miss rate after reset = %v", mr)
+	}
+	if cost := c.Access(0); cost != c.cfg.MissCost {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	c := New(Config{})
+	if c.cfg.SizeBytes == 0 || c.cfg.Assoc == 0 || c.cfg.LineBytes == 0 ||
+		c.cfg.HitCost == 0 || c.cfg.MissCost == 0 {
+		t.Errorf("defaults not filled: %+v", c.cfg)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) & (1<<22 - 1))
+	}
+}

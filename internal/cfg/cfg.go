@@ -1,0 +1,225 @@
+// Package cfg builds control-flow graphs over isa procedures and derives
+// dominators and natural loops. The instrumentor's load classifier
+// (internal/dataflow) uses loops to find induction variables, which in
+// turn identify Strided loads (§III-B of the MemGaze paper).
+package cfg
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// Graph is the control-flow graph of one procedure. Node i corresponds to
+// proc.Blocks[i]; node 0 is the entry.
+type Graph struct {
+	Proc  *isa.Proc
+	Succs [][]int
+	Preds [][]int
+	// IDom[i] is the immediate dominator of node i (IDom[0] == 0).
+	// Unreachable nodes have IDom == -1.
+	IDom []int
+	// Loops found in the graph, outermost first for each header.
+	Loops []*Loop
+}
+
+// Loop is a natural loop: the header block plus the body reachable
+// backwards from the back edge's source.
+type Loop struct {
+	Header int
+	// Body holds block indices in the loop, including the header.
+	Body map[int]bool
+	// Backedges are the sources of back edges into Header.
+	Backedges []int
+}
+
+// Contains reports whether block b is in the loop.
+func (l *Loop) Contains(b int) bool { return l.Body[b] }
+
+// Build constructs the CFG, dominator tree, and natural loops for proc.
+func Build(proc *isa.Proc) (*Graph, error) {
+	n := len(proc.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: %s has no blocks", proc.Name)
+	}
+	g := &Graph{
+		Proc:  proc,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	idx := make(map[string]int, n)
+	for i, b := range proc.Blocks {
+		idx[b.Label] = i
+	}
+	addEdge := func(from, to int) {
+		g.Succs[from] = append(g.Succs[from], to)
+		g.Preds[to] = append(g.Preds[to], from)
+	}
+	for i, b := range proc.Blocks {
+		fall := true // control can fall through to block i+1
+		if len(b.Instrs) > 0 {
+			last := &b.Instrs[len(b.Instrs)-1]
+			switch last.Op {
+			case isa.OpJmp:
+				addEdge(i, idx[last.Target])
+				fall = false
+			case isa.OpBr, isa.OpBrImm:
+				addEdge(i, idx[last.Target])
+			case isa.OpRet, isa.OpHalt:
+				fall = false
+			}
+			// Conditional branches that are not the final instruction are
+			// not allowed by the builder, but mid-block branches would be
+			// a program bug; detect them.
+			for k := 0; k < len(b.Instrs)-1; k++ {
+				if b.Instrs[k].IsTerminator() {
+					return nil, fmt.Errorf("cfg: %s.%s: terminator %s not at block end",
+						proc.Name, b.Label, b.Instrs[k].String())
+				}
+			}
+		}
+		if fall && i+1 < n {
+			addEdge(i, i+1)
+		}
+	}
+	g.computeDominators()
+	g.findLoops()
+	return g, nil
+}
+
+// computeDominators runs the iterative dataflow algorithm (Cooper,
+// Harvey & Kennedy) over a reverse-postorder traversal.
+func (g *Graph) computeDominators() {
+	n := len(g.Succs)
+	// Reverse postorder.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(0)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, u := range order {
+			if u == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[u] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.IDom = idom
+}
+
+// Dominates reports whether block a dominates block b.
+func (g *Graph) Dominates(a, b int) bool {
+	if g.IDom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = g.IDom[b]
+	}
+}
+
+// findLoops detects back edges (tail -> header where header dominates
+// tail) and collects each natural loop body. Back edges sharing a header
+// are merged into one loop.
+func (g *Graph) findLoops() {
+	byHeader := make(map[int]*Loop)
+	for tail := range g.Succs {
+		for _, head := range g.Succs[tail] {
+			if !g.Dominates(head, tail) {
+				continue
+			}
+			l, ok := byHeader[head]
+			if !ok {
+				l = &Loop{Header: head, Body: map[int]bool{head: true}}
+				byHeader[head] = l
+				g.Loops = append(g.Loops, l)
+			}
+			l.Backedges = append(l.Backedges, tail)
+			// Collect body: nodes reaching tail backwards without
+			// passing through head.
+			stack := []int{tail}
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Body[u] {
+					continue
+				}
+				l.Body[u] = true
+				for _, p := range g.Preds[u] {
+					if !l.Body[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// InnermostLoop returns the smallest loop containing block b, or nil.
+func (g *Graph) InnermostLoop(b int) *Loop {
+	var best *Loop
+	for _, l := range g.Loops {
+		if l.Contains(b) && (best == nil || len(l.Body) < len(best.Body)) {
+			best = l
+		}
+	}
+	return best
+}

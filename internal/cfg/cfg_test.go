@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// diamond builds: entry -> (left | right) -> join.
+func diamond() *isa.Proc {
+	return isa.NewProc("d", 0).
+		BrImm(isa.CondEQ, isa.R0, 0, "right"). // entry: block 0
+		Label("left").Nop().Jmp("join").       // block 1
+		Label("right").Nop().                  // block 2, falls through
+		Label("join").Halt().                  // block 3
+		Finish()
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g, err := Build(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry dominates everything; neither branch dominates the join.
+	for b := 0; b < 4; b++ {
+		if !g.Dominates(0, b) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	if g.Dominates(1, 3) || g.Dominates(2, 3) {
+		t.Error("branch blocks must not dominate the join")
+	}
+	if g.IDom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0", g.IDom[3])
+	}
+}
+
+func loopProc() *isa.Proc {
+	return isa.NewProc("l", 0).
+		MovImm(isa.R5, 0).   // block 0: entry
+		Label("head").Nop(). // block 1: loop header
+		Label("body").       // block 2
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 10, "head").
+		Label("exit").Halt(). // block 3
+		Finish()
+}
+
+func TestNaturalLoop(t *testing.T) {
+	g, err := Build(loopProc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if l.Header != 1 {
+		t.Errorf("loop header = %d, want 1", l.Header)
+	}
+	if !l.Contains(1) || !l.Contains(2) {
+		t.Errorf("loop body wrong: %v", l.Body)
+	}
+	if l.Contains(0) || l.Contains(3) {
+		t.Errorf("loop leaked outside: %v", l.Body)
+	}
+}
+
+func nestedLoops() *isa.Proc {
+	return isa.NewProc("n", 0).
+		MovImm(isa.R5, 0).
+		Label("outer").MovImm(isa.R6, 0). // block 1
+		Label("inner").                   // block 2
+		AddImm(isa.R6, isa.R6, 1).
+		BrImm(isa.CondLT, isa.R6, 5, "inner").
+		Label("outerlatch"). // block 3
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 5, "outer").
+		Label("exit").Halt(). // block 4
+		Finish()
+}
+
+func TestNestedLoopsAndInnermost(t *testing.T) {
+	g, err := Build(nestedLoops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(g.Loops))
+	}
+	inner := g.InnermostLoop(2)
+	if inner == nil || inner.Header != 2 {
+		t.Fatalf("innermost loop of block 2 = %+v", inner)
+	}
+	if inner.Contains(1) {
+		t.Error("inner loop should not contain the outer header")
+	}
+	outer := g.InnermostLoop(3)
+	if outer == nil || outer.Header != 1 {
+		t.Fatalf("innermost loop of latch = %+v", outer)
+	}
+	if !outer.Contains(2) {
+		t.Error("outer loop must contain the inner loop body")
+	}
+}
+
+func TestMidBlockTerminatorRejected(t *testing.T) {
+	p := &isa.Proc{Name: "bad"}
+	p.Blocks = []*isa.Block{{
+		Label: "entry",
+		Instrs: []isa.Instr{
+			{Op: isa.OpRet},
+			{Op: isa.OpNop},
+		},
+	}}
+	if _, err := Build(p); err == nil {
+		t.Error("expected error for mid-block terminator")
+	}
+}
+
+func TestEmptyProcRejected(t *testing.T) {
+	if _, err := Build(&isa.Proc{Name: "empty"}); err == nil {
+		t.Error("expected error for empty procedure")
+	}
+}
+
+func TestUnreachableBlockHandled(t *testing.T) {
+	p := isa.NewProc("u", 0).
+		Jmp("end").
+		Label("dead").Nop(). // unreachable
+		Label("end").Halt().
+		Finish()
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IDom[1] != -1 {
+		t.Errorf("unreachable block got idom %d", g.IDom[1])
+	}
+	if g.Dominates(1, 2) {
+		t.Error("unreachable block must not dominate")
+	}
+}

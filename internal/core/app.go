@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/vm"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// App is a sites-based application workload: a frozen module plus an
+// execution function. Exec must be deterministic across calls — the
+// pipeline runs it twice (baseline and traced).
+type App struct {
+	Name string
+	Mod  *sites.Module
+	Exec func(r *sites.Runner)
+	// CacheCfg, when non-nil, prices loads/stores through the cache
+	// timing model (fresh instance per run).
+	CacheCfg *cache.Config
+}
+
+// AppResult is the outcome of one application pipeline run.
+type AppResult struct {
+	Workload string
+	Config   Config
+
+	Trace     *trace.Trace
+	Decode    pt.DecodeStats
+	Stats     vm.Stats // instrumented + traced run
+	BaseStats vm.Stats // uninstrumented baseline
+
+	Phases     []sites.PhaseMark // from the traced run
+	BasePhases []sites.PhaseMark // from the baseline run
+
+	CollectTime time.Duration
+	BuildTime   time.Duration
+}
+
+// Overhead returns cycles(traced)/cycles(baseline) − 1.
+func (r *AppResult) Overhead() float64 {
+	if r.BaseStats.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles)/float64(r.BaseStats.Cycles) - 1
+}
+
+// PTWriteRatio returns executed ptwrites per non-ptwrite instruction.
+func (r *AppResult) PTWriteRatio() float64 {
+	ptw := r.Stats.PTWrites + r.Stats.PTWMasked
+	rest := r.Stats.Instrs - ptw
+	if rest == 0 {
+		return 0
+	}
+	return float64(ptw) / float64(rest)
+}
+
+// PhaseOverheads pairs up phase marks from the baseline and traced runs
+// and returns per-phase overhead fractions keyed by phase name. A phase
+// spans from its mark to the next mark (or end of run).
+func (r *AppResult) PhaseOverheads() map[string]float64 {
+	spans := func(marks []sites.PhaseMark, total vm.Stats) map[string]uint64 {
+		out := make(map[string]uint64, len(marks))
+		for i, m := range marks {
+			endCycles := total.Cycles
+			if i+1 < len(marks) {
+				endCycles = marks[i+1].Stats.Cycles
+			}
+			out[m.Name] = endCycles - m.Stats.Cycles
+		}
+		return out
+	}
+	base := spans(r.BasePhases, r.BaseStats)
+	traced := spans(r.Phases, r.Stats)
+	out := make(map[string]float64)
+	for name, tc := range traced {
+		if bc := base[name]; bc > 0 {
+			out[name] = float64(tc)/float64(bc) - 1
+		}
+	}
+	return out
+}
+
+// PhasePtwRatios returns executed ptwrites per non-ptwrite instruction
+// for each phase of the traced run — Fig. 7's red correlation series at
+// phase granularity.
+func (r *AppResult) PhasePtwRatios() map[string]float64 {
+	out := make(map[string]float64, len(r.Phases))
+	for i, m := range r.Phases {
+		end := r.Stats
+		if i+1 < len(r.Phases) {
+			end = r.Phases[i+1].Stats
+		}
+		ptw := (end.PTWrites + end.PTWMasked) - (m.Stats.PTWrites + m.Stats.PTWMasked)
+		instr := end.Instrs - m.Stats.Instrs
+		if instr > ptw {
+			out[m.Name] = float64(ptw) / float64(instr-ptw)
+		}
+	}
+	return out
+}
+
+// RunApp executes the application pipeline: baseline run, traced run
+// under the configured collector, and trace building.
+func RunApp(app App, cfg Config) (*AppResult, error) {
+	if cfg.Costs == (vm.CostModel{}) {
+		cfg.Costs = vm.DefaultCosts()
+	}
+	res := &AppResult{Workload: app.Name, Config: cfg}
+
+	newCache := func() *cache.Cache {
+		if app.CacheCfg == nil {
+			return nil
+		}
+		return cache.New(*app.CacheCfg)
+	}
+
+	// Baseline: uninstrumented binary, no tracing. Group rotations are
+	// reset before each execution so both runs perform identical loads.
+	app.Mod.ResetGroups()
+	base := sites.NewRunner(cfg.Costs, nil, false)
+	base.Cache = newCache()
+	app.Exec(base)
+	res.BaseStats = base.Stats()
+	res.BasePhases = base.Phases()
+
+	pcfg := pt.Config{
+		Mode:              cfg.Mode,
+		Period:            cfg.Period,
+		BufBytes:          cfg.BufBytes,
+		CopyBytesPerCycle: cfg.CopyBytesPerCycle,
+		Seed:              cfg.Seed,
+	}
+	if len(cfg.HWFilterProcs) > 0 {
+		lo := ^uint64(0)
+		hi := uint64(0)
+		for _, name := range cfg.HWFilterProcs {
+			plo, phi, err := app.Mod.ProcRange(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", app.Name, err)
+			}
+			if plo < lo {
+				lo = plo
+			}
+			if phi > hi {
+				hi = phi
+			}
+		}
+		pcfg.FilterLo, pcfg.FilterHi = lo, hi
+	}
+	col := pt.NewCollector(pcfg)
+
+	t0 := time.Now()
+	app.Mod.ResetGroups()
+	run := sites.NewRunner(cfg.Costs, col, true)
+	run.Cache = newCache()
+	app.Exec(run)
+	res.Stats = run.Stats()
+	res.Phases = run.Phases()
+	res.CollectTime = time.Since(t0)
+
+	t0 = time.Now()
+	if cfg.Mode == pt.ModeFull {
+		res.Trace, res.Decode = pt.BuildFullTrace(col, app.Mod.Notes())
+	} else {
+		res.Trace, res.Decode = pt.BuildSampledTrace(col, app.Mod.Notes())
+	}
+	res.BuildTime = time.Since(t0)
+	return res, nil
+}

@@ -1,0 +1,244 @@
+// Package core is MemGaze-Go's toolchain driver: it wires the pipeline
+// of Fig. 1 — static analysis + binary instrumentation (Step 1), sampled
+// trace collection on the simulated machine (Step 2), trace building
+// (Analysis/1), and hands the result to the analyses of internal/analysis,
+// internal/interval, internal/zoom and internal/heatmap (Analysis/2).
+//
+// The package is the programmatic API used by cmd/memgaze, the examples,
+// and the benchmark harness.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/vm"
+)
+
+// Workload builds a fresh program + address space pair. Build must be
+// deterministic: the toolchain builds twice to compare instrumented and
+// uninstrumented executions on identical inputs.
+type Workload interface {
+	Name() string
+	Build() (*isa.Program, *mem.Space, error)
+}
+
+// Config selects the collection regime and instrumentation scope.
+type Config struct {
+	// Mode is the collection regime (continuous MemGaze, MemGaze-opt,
+	// or full tracing).
+	Mode pt.Mode
+	// Period is the sampling period w+z in loads.
+	Period uint64
+	// BufBytes is the hardware trace-buffer size.
+	BufBytes int
+	// ROI selectively instruments only these procedures (Step 1 scoping).
+	ROI []string
+	// HWFilterProcs scopes tracing with PT's hardware address guards
+	// instead of re-instrumentation (Step 2 scoping).
+	HWFilterProcs []string
+	// CompressConstants toggles §III-B trace compression (default on via
+	// DefaultConfig).
+	CompressConstants bool
+	// CopyBytesPerCycle models kernel copy bandwidth (0 = default).
+	CopyBytesPerCycle float64
+	// Costs is the machine cost model (zero value = DefaultCosts).
+	Costs vm.CostModel
+	// Seed perturbs collection jitter deterministically.
+	Seed uint64
+	// MaxInstrs bounds execution (0 = unlimited).
+	MaxInstrs uint64
+}
+
+// DefaultConfig returns a typical application configuration: continuous
+// mode, 5M-load period, 8 KiB buffer, compression on.
+func DefaultConfig() Config {
+	return Config{
+		Mode:              pt.ModeContinuous,
+		Period:            5_000_000,
+		BufBytes:          8 << 10,
+		CompressConstants: true,
+		Costs:             vm.DefaultCosts(),
+	}
+}
+
+// Result is the outcome of one toolchain run.
+type Result struct {
+	Workload string
+	Config   Config
+
+	Prog      *isa.Program // instrumented binary
+	Notes     *instrument.Annotations
+	Classes   *dataflow.Result
+	Trace     *trace.Trace
+	Decode    pt.DecodeStats
+	Stats     vm.Stats // instrumented, traced execution
+	BaseStats vm.Stats // uninstrumented execution, same inputs
+
+	// Toolchain step timings (Table II).
+	InstrumentTime time.Duration
+	CollectTime    time.Duration
+	BuildTime      time.Duration // trace building (Analysis/1)
+
+	OrigSize  int // original binary text bytes
+	InstrSize int // instrumented binary text bytes
+}
+
+// Overhead returns the tracing run-time overhead as a fraction:
+// cycles(instrumented+traced)/cycles(base) − 1.
+func (r *Result) Overhead() float64 {
+	if r.BaseStats.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles)/float64(r.BaseStats.Cycles) - 1
+}
+
+// PTWriteRatio returns executed-ptwrite instructions (recorded + masked)
+// per non-ptwrite instruction — the red correlation series of Fig. 7.
+func (r *Result) PTWriteRatio() float64 {
+	ptw := r.Stats.PTWrites + r.Stats.PTWMasked
+	rest := r.Stats.Instrs - ptw
+	if rest == 0 {
+		return 0
+	}
+	return float64(ptw) / float64(rest)
+}
+
+// Instrument runs static analysis and binary rewriting on a linked
+// program (Step 1).
+func Instrument(prog *isa.Program, opts instrument.Options) (*instrument.Output, *dataflow.Result, error) {
+	classes, err := dataflow.Analyze(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: classify: %w", err)
+	}
+	out, err := instrument.Rewrite(prog, classes, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rewrite: %w", err)
+	}
+	return out, classes, nil
+}
+
+// Run executes the full pipeline on a workload: build, instrument, run
+// the uninstrumented binary for the overhead baseline, run the
+// instrumented binary under the configured collector, and decode the
+// trace.
+func Run(w Workload, cfg Config) (*Result, error) {
+	if cfg.Costs == (vm.CostModel{}) {
+		cfg.Costs = vm.DefaultCosts()
+	}
+	res := &Result{Workload: w.Name(), Config: cfg}
+
+	// Baseline execution on a fresh build.
+	baseProg, baseSpace, err := w.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", w.Name(), err)
+	}
+	res.OrigSize = baseProg.Size()
+	baseM := vm.New(baseProg, baseSpace, cfg.Costs)
+	baseM.MaxInstrs = cfg.MaxInstrs
+	if res.BaseStats, err = baseM.Run(); err != nil {
+		return nil, fmt.Errorf("core: baseline run %s: %w", w.Name(), err)
+	}
+
+	// Instrument a fresh build.
+	prog, space, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	out, classes, err := Instrument(prog, instrument.Options{
+		Procs:             cfg.ROI,
+		CompressConstants: cfg.CompressConstants,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.InstrumentTime = time.Since(t0)
+	res.Prog, res.Notes, res.Classes = out.Prog, out.Notes, classes
+	res.InstrSize = out.Prog.Size()
+
+	// Collector configuration, including optional hardware guards.
+	pcfg := pt.Config{
+		Mode:              cfg.Mode,
+		Period:            cfg.Period,
+		BufBytes:          cfg.BufBytes,
+		CopyBytesPerCycle: cfg.CopyBytesPerCycle,
+		Seed:              cfg.Seed,
+	}
+	if len(cfg.HWFilterProcs) > 0 {
+		lo, hi, err := procRange(out.Prog, cfg.HWFilterProcs)
+		if err != nil {
+			return nil, err
+		}
+		pcfg.FilterLo, pcfg.FilterHi = lo, hi
+	}
+	col := pt.NewCollector(pcfg)
+
+	// Traced execution.
+	t0 = time.Now()
+	m := vm.New(out.Prog, space, cfg.Costs)
+	m.MaxInstrs = cfg.MaxInstrs
+	m.Trace = col
+	if res.Stats, err = m.Run(); err != nil {
+		return nil, fmt.Errorf("core: traced run %s: %w", w.Name(), err)
+	}
+	res.CollectTime = time.Since(t0)
+
+	// Trace building (Analysis/1).
+	t0 = time.Now()
+	if cfg.Mode == pt.ModeFull {
+		res.Trace, res.Decode = pt.BuildFullTrace(col, out.Notes)
+	} else {
+		res.Trace, res.Decode = pt.BuildSampledTrace(col, out.Notes)
+	}
+	res.BuildTime = time.Since(t0)
+	return res, nil
+}
+
+// procRange returns the [lo, hi) code-address span covering the named
+// procedures in a linked program. Procedures are laid out contiguously,
+// so the union of spans is a single range when the procs are adjacent;
+// for non-adjacent procs the range covers everything in between, which
+// mirrors real PT address filters (a small number of range registers).
+func procRange(prog *isa.Program, procs []string) (lo, hi uint64, err error) {
+	lo = ^uint64(0)
+	for _, name := range procs {
+		p := prog.Proc(name)
+		if p == nil {
+			return 0, 0, fmt.Errorf("core: hw-filter: unknown procedure %q", name)
+		}
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				a := b.Instrs[i].Addr
+				if a < lo {
+					lo = a
+				}
+				if a+uint64(b.Instrs[i].EncodedSize()) > hi {
+					hi = a + uint64(b.Instrs[i].EncodedSize())
+				}
+			}
+		}
+	}
+	if lo >= hi {
+		return 0, 0, fmt.Errorf("core: hw-filter: empty range")
+	}
+	return lo, hi, nil
+}
+
+// FuncWorkload adapts a build function to the Workload interface.
+type FuncWorkload struct {
+	WName   string
+	BuildFn func() (*isa.Program, *mem.Space, error)
+}
+
+// Name implements Workload.
+func (f FuncWorkload) Name() string { return f.WName }
+
+// Build implements Workload.
+func (f FuncWorkload) Build() (*isa.Program, *mem.Space, error) { return f.BuildFn() }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+)
+
+func microWL(spec micro.Spec) Workload {
+	return FuncWorkload{WName: spec.Name(), BuildFn: spec.Build}
+}
+
+func TestPipelineStr(t *testing.T) {
+	spec := micro.Spec{Pattern: micro.Str{Step: 1, Accesses: 2000}, Reps: 20, Opt: micro.O3}
+	cfg := DefaultConfig()
+	cfg.Period = 10_000
+	cfg.BufBytes = 16 << 10
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	t.Logf("samples=%d records=%d meanW=%.0f rho=%.1f kappa=%.3f overhead=%.1f%% ptwRatio=%.3f",
+		len(res.Trace.Samples), res.Trace.NumRecords(), res.Trace.MeanW(),
+		res.Trace.Rho(), res.Trace.Kappa(), 100*res.Overhead(), res.PTWriteRatio())
+	t.Logf("decode: %+v", res.Decode)
+	if res.Decode.OrphanEvents > 0 {
+		t.Errorf("orphan events: %d", res.Decode.OrphanEvents)
+	}
+	// All non-constant records of a pure strided benchmark must be
+	// classified Strided.
+	for _, s := range res.Trace.Samples {
+		for _, r := range s.Records {
+			if r.Proc == "str1_0" && r.Class == dataflow.Irregular {
+				t.Fatalf("strided benchmark produced irregular record: %+v", r)
+			}
+		}
+	}
+	k := res.Trace.Kappa()
+	if k < 1.15 || k > 1.30 {
+		t.Errorf("O3 kappa = %.3f, want ≈1.2", k)
+	}
+}
+
+func TestPipelineIrrO0(t *testing.T) {
+	spec := micro.Spec{Pattern: micro.Irr{Accesses: 2000}, Reps: 20, Opt: micro.O0}
+	cfg := DefaultConfig()
+	cfg.Period = 10_000
+	cfg.BufBytes = 16 << 10
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.Trace.Kappa()
+	if k < 1.8 || k > 2.2 {
+		t.Errorf("O0 kappa = %.3f, want ≈2", k)
+	}
+	var irr, str int
+	for _, s := range res.Trace.Samples {
+		for _, r := range s.Records {
+			switch r.Class {
+			case dataflow.Irregular:
+				irr++
+			case dataflow.Strided:
+				str++
+			}
+		}
+	}
+	if irr == 0 {
+		t.Fatal("no irregular records in irr benchmark")
+	}
+	if str > irr/10 {
+		t.Errorf("unexpected strided records in irr benchmark: str=%d irr=%d", str, irr)
+	}
+}
+
+func TestPipelineFullTrace(t *testing.T) {
+	spec := micro.Spec{Pattern: micro.Str{Step: 1, Accesses: 500}, Reps: 5, Opt: micro.O3}
+	cfg := DefaultConfig()
+	cfg.Mode = pt.ModeFull
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Trace.NumRecords()
+	// 500 accesses (rounded to unroll) × 5 reps of strided loads, minus
+	// constant proxies folded in, minus drops.
+	if n == 0 {
+		t.Fatal("full trace empty")
+	}
+	t.Logf("full: records=%d dropped=%d loads=%d", n, res.Trace.DroppedEvents, res.Trace.TotalLoads)
+	if uint64(n)+res.Trace.DroppedEvents < 2500 {
+		t.Errorf("full trace too small: %d records + %d dropped", n, res.Trace.DroppedEvents)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func seriesSpec() micro.Spec {
+	return micro.Spec{
+		Pattern: micro.Series{
+			A: micro.Str{Step: 1, Accesses: 1000},
+			B: micro.Irr{Accesses: 1000},
+		},
+		Reps: 20, Opt: micro.O3,
+	}
+}
+
+func TestSelectiveInstrumentationROI(t *testing.T) {
+	spec := seriesSpec()
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 16 << 10
+	cfg.ROI = []string{"str1_0"} // instrument only the strided leaf
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumRecords() == 0 {
+		t.Fatal("no records")
+	}
+	for _, s := range res.Trace.Samples {
+		for _, r := range s.Records {
+			if r.Proc != "str1_0" {
+				t.Fatalf("record from outside ROI: %q", r.Proc)
+			}
+		}
+	}
+}
+
+func TestHardwareGuardsLimitTracing(t *testing.T) {
+	spec := seriesSpec()
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 16 << 10
+	cfg.HWFilterProcs = []string{"irr_1"}
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumRecords() == 0 {
+		t.Fatal("no records")
+	}
+	for _, s := range res.Trace.Samples {
+		for _, r := range s.Records {
+			if r.Proc != "irr_1" {
+				t.Fatalf("hardware guard leaked proc %q", r.Proc)
+			}
+		}
+	}
+	// Unlike re-instrumentation, the binary is fully instrumented: the
+	// masking happened in hardware, visible as masked ptwrites.
+	if res.Stats.PTWMasked == 0 {
+		t.Error("expected masked ptwrites outside the guard range")
+	}
+}
+
+func TestOptModeReducesOverheadAndRecords(t *testing.T) {
+	spec := seriesSpec()
+	cont := DefaultConfig()
+	cont.Period = 5_000
+	cont.BufBytes = 16 << 10
+	rc, err := Run(microWL(spec), cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cont
+	opt.Mode = pt.ModeSampledPT
+	ro, err := Run(microWL(spec), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Overhead() >= rc.Overhead() {
+		t.Errorf("opt overhead %.3f not below continuous %.3f", ro.Overhead(), rc.Overhead())
+	}
+	if ro.Stats.PTWrites >= rc.Stats.PTWrites {
+		t.Errorf("opt recorded %d ptwrites, continuous %d", ro.Stats.PTWrites, rc.Stats.PTWrites)
+	}
+	if len(ro.Trace.Samples) == 0 {
+		t.Error("opt mode produced no samples")
+	}
+	// Samples still carry full windows (85-100% readable).
+	if ro.Trace.MeanW() < rc.Trace.MeanW() {
+		t.Errorf("opt mean w %.0f below continuous %.0f", ro.Trace.MeanW(), rc.Trace.MeanW())
+	}
+}
+
+func TestTraceFileRoundtripThroughPipeline(t *testing.T) {
+	spec := seriesSpec()
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 16 << 10
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.mgt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := trace.Read(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != res.Trace.NumRecords() ||
+		got.Kappa() != res.Trace.Kappa() ||
+		got.TotalLoads != res.Trace.TotalLoads {
+		t.Error("trace changed across serialization")
+	}
+}
+
+func TestAppPipelineParityWithIR(t *testing.T) {
+	// The app pipeline must produce traces with the same structural
+	// invariants the IR pipeline guarantees.
+	w := minivite.New(minivite.Config{Scale: 8, Variant: minivite.V2}, true)
+	cfg := DefaultConfig()
+	cfg.Period = 10_000
+	res, err := RunApp(App{
+		Name: w.Name(), Mod: w.Mod,
+		Exec: func(r *sites.Runner) { w.Run(r) },
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decode.OrphanEvents > 0 {
+		t.Errorf("orphan events: %d", res.Decode.OrphanEvents)
+	}
+	if res.Trace.TotalLoads != res.Stats.Loads {
+		t.Errorf("load counter mismatch: trace %d vs stats %d",
+			res.Trace.TotalLoads, res.Stats.Loads)
+	}
+	// Records never exceed recorded events; each record consumed 1-2
+	// events.
+	if ev, rec := int(res.Trace.RecordedEvents), res.Trace.NumRecords(); rec > ev {
+		t.Errorf("records %d exceed events %d", rec, ev)
+	}
+	// Phase marks from both runs agree in names.
+	if len(res.Phases) != len(res.BasePhases) {
+		t.Fatalf("phase count mismatch: %d vs %d", len(res.Phases), len(res.BasePhases))
+	}
+	for i := range res.Phases {
+		if res.Phases[i].Name != res.BasePhases[i].Name {
+			t.Errorf("phase %d name mismatch", i)
+		}
+	}
+	// Baseline and traced runs perform identical algorithmic work.
+	if res.Stats.Loads != res.BaseStats.Loads || res.Stats.Stores != res.BaseStats.Stores {
+		t.Errorf("work diverged: loads %d/%d stores %d/%d",
+			res.Stats.Loads, res.BaseStats.Loads, res.Stats.Stores, res.BaseStats.Stores)
+	}
+}
+
+func TestSampleWindowsWithinBufferCapacity(t *testing.T) {
+	spec := seriesSpec()
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 8 << 10
+	res, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record consumes ≥ 4 bytes encoded; the buffer bounds w.
+	maxW := cfg.BufBytes / 4
+	for _, s := range res.Trace.Samples {
+		if len(s.Records) > maxW {
+			t.Errorf("sample %d has %d records, impossible for %d B buffer",
+				s.Seq, len(s.Records), cfg.BufBytes)
+		}
+	}
+}
+
+// TestHotspotROIFlow exercises the §II two-step workflow: trace broadly,
+// derive a region of interest from hotspots, then retrace with PT
+// hardware guards limited to that ROI — no re-instrumentation.
+func TestHotspotROIFlow(t *testing.T) {
+	spec := seriesSpec()
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 16 << 10
+	broad, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := analysis.SuggestROI(broad.Trace, 45)
+	if len(roi) != 1 {
+		t.Fatalf("ROI@45 = %v, want the single hottest leaf", roi)
+	}
+	cfg.HWFilterProcs = roi
+	focused, err := Run(microWL(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range focused.Trace.Samples {
+		for _, r := range s.Records {
+			if r.Proc != roi[0] {
+				t.Fatalf("record outside ROI: %q", r.Proc)
+			}
+		}
+	}
+	// The focused trace still observes the ROI's behaviour.
+	if focused.Trace.NumRecords() == 0 {
+		t.Fatal("focused trace empty")
+	}
+}

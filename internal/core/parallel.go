@@ -1,0 +1,118 @@
+package core
+
+import (
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/vm"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// ParallelApp is a sites-based workload that can execute across several
+// workers, each with its own Runner (and therefore its own cache and
+// per-CPU trace collector, the way PT keeps per-CPU buffers). Exec must
+// partition the work across the runners it is handed and is responsible
+// for its own synchronisation; runner w must only be used from worker w.
+type ParallelApp struct {
+	Name     string
+	Mod      *sites.Module
+	Exec     func(workers []*sites.Runner)
+	CacheCfg *cache.Config
+}
+
+// RunAppParallel executes the workload on `workers` workers twice —
+// uninstrumented baseline and traced — then merges the per-worker traces
+// (the perf step that merges per-CPU PT buffers). Run-time statistics
+// are summed across workers except Cycles, which is the maximum (the
+// wall-clock of the slowest worker).
+func RunAppParallel(app ParallelApp, cfg Config, workers int) (*AppResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if cfg.Costs == (vm.CostModel{}) {
+		cfg.Costs = vm.DefaultCosts()
+	}
+	res := &AppResult{Workload: app.Name, Config: cfg}
+
+	newRunners := func(instrumented bool, cols []*pt.Collector) []*sites.Runner {
+		rs := make([]*sites.Runner, workers)
+		for w := 0; w < workers; w++ {
+			var sink vm.Sink
+			if cols != nil {
+				sink = cols[w]
+			}
+			rs[w] = sites.NewRunner(cfg.Costs, sink, instrumented)
+			if app.CacheCfg != nil {
+				rs[w].Cache = cache.New(*app.CacheCfg)
+			}
+		}
+		return rs
+	}
+	// The workload partitions internally; Exec blocks until all workers
+	// finish.
+	exec := func(rs []*sites.Runner) { app.Exec(rs) }
+	aggregate := func(rs []*sites.Runner) vm.Stats {
+		var total vm.Stats
+		for _, r := range rs {
+			s := r.Stats()
+			total.Instrs += s.Instrs
+			total.Loads += s.Loads
+			total.Stores += s.Stores
+			total.PTWrites += s.PTWrites
+			total.PTWMasked += s.PTWMasked
+			total.Calls += s.Calls
+			total.StallCycle += s.StallCycle
+			if s.Cycles > total.Cycles {
+				total.Cycles = s.Cycles // wall clock = slowest worker
+			}
+		}
+		return total
+	}
+
+	// Baseline.
+	base := newRunners(false, nil)
+	exec(base)
+	res.BaseStats = aggregate(base)
+	res.BasePhases = base[0].Phases()
+
+	// Traced: one collector per worker.
+	cols := make([]*pt.Collector, workers)
+	for w := range cols {
+		pcfg := pt.Config{
+			Mode:              cfg.Mode,
+			Period:            cfg.Period,
+			BufBytes:          cfg.BufBytes,
+			CopyBytesPerCycle: cfg.CopyBytesPerCycle,
+			Seed:              cfg.Seed + uint64(w)*0x9e37,
+		}
+		cols[w] = pt.NewCollector(pcfg)
+	}
+	t0 := time.Now()
+	traced := newRunners(true, cols)
+	exec(traced)
+	res.Stats = aggregate(traced)
+	res.Phases = traced[0].Phases()
+	res.CollectTime = time.Since(t0)
+
+	// Merge per-CPU traces.
+	t0 = time.Now()
+	parts := make([]*trace.Trace, workers)
+	for w, col := range cols {
+		var ds pt.DecodeStats
+		if cfg.Mode == pt.ModeFull {
+			parts[w], ds = pt.BuildFullTrace(col, app.Mod.Notes())
+		} else {
+			parts[w], ds = pt.BuildSampledTrace(col, app.Mod.Notes())
+		}
+		res.Decode.Events += ds.Events
+		res.Decode.Records += ds.Records
+		res.Decode.SkippedBytes += ds.SkippedBytes
+		res.Decode.OrphanEvents += ds.OrphanEvents
+		res.Decode.PartialPairs += ds.PartialPairs
+	}
+	res.Trace = trace.Merge(parts)
+	res.BuildTime = time.Since(t0)
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func TestParallelPRSpmvMatchesSerial(t *testing.T) {
+	serial := gap.New(gap.Config{Scale: 9, Algo: gap.PRSpmv}, true)
+	sr := sites.NewRunner(DefaultConfig().Costs, nil, false)
+	serial.Run(sr)
+
+	par := gap.New(gap.Config{Scale: 9, Algo: gap.PRSpmv}, true)
+	cfg := DefaultConfig()
+	cfg.Period = 10_000
+	res, err := RunAppParallel(ParallelApp{
+		Name: par.Name(), Mod: par.Mod,
+		Exec: func(rs []*sites.Runner) { par.RunParallel(rs) },
+	}, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Numerics identical: Jacobi parallelism is deterministic.
+	if par.PRIterations != serial.PRIterations {
+		t.Errorf("iterations: parallel %d vs serial %d", par.PRIterations, serial.PRIterations)
+	}
+	for v := range serial.Scores {
+		if math.Abs(par.Scores[v]-serial.Scores[v]) > 1e-12 {
+			t.Fatalf("score %d diverged: %v vs %v", v, par.Scores[v], serial.Scores[v])
+		}
+	}
+
+	// Work parity: total loads across workers match the serial run up to
+	// a handful of implied constants at partition boundaries (clone
+	// cursor phase), well under 0.1%.
+	diff := int64(res.Stats.Loads) - int64(sr.Stats().Loads)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff*1000 > int64(sr.Stats().Loads) {
+		t.Errorf("parallel loads %d vs serial %d", res.Stats.Loads, sr.Stats().Loads)
+	}
+	// Wall-clock cycles benefit from parallelism.
+	if res.BaseStats.Cycles >= sr.Stats().Cycles {
+		t.Errorf("parallel wall clock %d not below serial %d", res.BaseStats.Cycles, sr.Stats().Cycles)
+	}
+
+	// Merged trace carries samples from multiple workers.
+	cpus := map[int]bool{}
+	for _, s := range res.Trace.Samples {
+		cpus[s.CPU] = true
+	}
+	if len(cpus) < 2 {
+		t.Errorf("merged trace covers %d CPUs, want >1", len(cpus))
+	}
+	if res.Decode.OrphanEvents > 0 {
+		t.Errorf("orphans: %d", res.Decode.OrphanEvents)
+	}
+	// Merged samples are ordered by trigger progress.
+	for i := 1; i < len(res.Trace.Samples); i++ {
+		if res.Trace.Samples[i].TriggerLoads < res.Trace.Samples[i-1].TriggerLoads {
+			t.Fatal("merged samples not ordered")
+		}
+	}
+}
+
+func TestParallelDarknet(t *testing.T) {
+	w := darknet.New(darknet.Config{Model: darknet.AlexNet, Shrink: 32})
+	cfg := DefaultConfig()
+	cfg.Period = 3_000
+	res, err := RunAppParallel(ParallelApp{
+		Name: w.Name(), Mod: w.Mod,
+		Exec: func(rs []*sites.Runner) { w.RunParallel(rs) },
+	}, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial run on one worker must do the same total work.
+	w2 := darknet.New(darknet.Config{Model: darknet.AlexNet, Shrink: 32})
+	r := sites.NewRunner(DefaultConfig().Costs, nil, false)
+	w2.Run(r)
+	// Dynamic loads and stores are identical; implied-constant counts
+	// may differ by a few per worker (clone-cursor phase at partition
+	// boundaries), so allow a small tolerance on loads.
+	diff := int64(res.BaseStats.Loads) - int64(r.Stats().Loads)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 24 || res.BaseStats.Stores != r.Stats().Stores {
+		t.Errorf("parallel work %d/%d vs serial %d/%d",
+			res.BaseStats.Loads, res.BaseStats.Stores, r.Stats().Loads, r.Stats().Stores)
+	}
+	if res.Trace.NumRecords() == 0 {
+		t.Error("no records collected in parallel mode")
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	w := gap.New(gap.Config{Scale: 8, Algo: gap.CC}, true)
+	cfg := DefaultConfig()
+	cfg.Period = 5_000
+	res, err := RunAppParallel(ParallelApp{
+		Name: w.Name(), Mod: w.Mod,
+		Exec: func(rs []*sites.Runner) { w.RunParallel(rs) },
+	}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumRecords() == 0 {
+		t.Error("single-worker fallback produced no trace")
+	}
+}

@@ -1,0 +1,340 @@
+// Package dataflow implements the static analysis behind MemGaze's load
+// classification (§III-B): every load in a program is classified as
+//
+//   - Constant:  scalar loads relative to the frame pointer or to a global
+//     section — stack scalars and global scalars. These access the same
+//     address every execution and are elided by trace compression.
+//   - Strided:   loads whose effective address is affine in a loop
+//     induction variable with constant stride (prefetchable).
+//   - Irregular: everything else — typically indirect loads through
+//     pointers (hash probes, linked structures, gather-style indexing).
+//
+// The classifier runs per procedure: it builds the CFG, finds natural
+// loops, detects basic induction variables (registers updated exactly
+// once per iteration by r = r + c), propagates per-iteration steps to
+// derived registers, and evaluates each load's address expression.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/cfg"
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// Class is a load access class.
+type Class uint8
+
+const (
+	// Constant loads access scalar stack-frame or global data.
+	Constant Class = iota
+	// Strided loads advance by a fixed stride per loop iteration.
+	Strided
+	// Irregular loads have data-dependent addresses.
+	Irregular
+)
+
+func (c Class) String() string {
+	switch c {
+	case Constant:
+		return "constant"
+	case Strided:
+		return "strided"
+	case Irregular:
+		return "irregular"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// LoadInfo describes one classified load instruction.
+type LoadInfo struct {
+	Proc   string
+	Block  int
+	Index  int
+	Addr   uint64 // code address (program must be linked)
+	Line   int32
+	Class  Class
+	Stride int64 // bytes per loop iteration; meaningful for Strided
+}
+
+// Result holds the classification of every load in a program.
+type Result struct {
+	// Loads maps code address -> classification.
+	Loads map[uint64]*LoadInfo
+	// PerProc counts loads by class for each procedure.
+	PerProc map[string]*Counts
+}
+
+// Counts tallies loads by class.
+type Counts struct {
+	Constant  int
+	Strided   int
+	Irregular int
+}
+
+// Total returns the total number of classified loads.
+func (c *Counts) Total() int { return c.Constant + c.Strided + c.Irregular }
+
+// ByAddrSorted returns the load infos sorted by code address.
+func (r *Result) ByAddrSorted() []*LoadInfo {
+	out := make([]*LoadInfo, 0, len(r.Loads))
+	for _, li := range r.Loads {
+		out = append(out, li)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Analyze classifies every load in a linked program.
+func Analyze(prog *isa.Program) (*Result, error) {
+	res := &Result{
+		Loads:   make(map[uint64]*LoadInfo),
+		PerProc: make(map[string]*Counts),
+	}
+	for _, proc := range prog.Procs {
+		g, err := cfg.Build(proc)
+		if err != nil {
+			return nil, err
+		}
+		counts := &Counts{}
+		res.PerProc[proc.Name] = counts
+		steps := loopSteps(g)
+		for bi, blk := range proc.Blocks {
+			loop := g.InnermostLoop(bi)
+			var st map[isa.Reg]stepInfo
+			if loop != nil {
+				st = steps[loop]
+			}
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				if in.Op != isa.OpLoad {
+					continue
+				}
+				li := &LoadInfo{
+					Proc: proc.Name, Block: bi, Index: ii,
+					Addr: in.Addr, Line: in.Line,
+				}
+				li.Class, li.Stride = classify(in.M, st)
+				res.Loads[in.Addr] = li
+				switch li.Class {
+				case Constant:
+					counts.Constant++
+				case Strided:
+					counts.Strided++
+				default:
+					counts.Irregular++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// stepInfo is the per-iteration change of a register within a loop.
+type stepInfo struct {
+	known bool
+	step  int64 // 0 means loop-invariant
+}
+
+// callClobbered lists registers our calling convention treats as
+// caller-saved; a call inside a loop defines them, so they can never be
+// induction variables across the call. Callees may use R0–R12 freely;
+// code that keeps state live across calls uses R13–R15.
+var callClobbered = []isa.Reg{
+	isa.R0, isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6,
+	isa.R7, isa.R8, isa.R9, isa.R10, isa.R11, isa.R12,
+}
+
+// loopSteps computes, for each loop in the graph, the per-iteration step
+// of each register whose value is a (derived) induction variable or
+// loop-invariant.
+func loopSteps(g *cfg.Graph) map[*cfg.Loop]map[isa.Reg]stepInfo {
+	out := make(map[*cfg.Loop]map[isa.Reg]stepInfo, len(g.Loops))
+	for _, loop := range g.Loops {
+		defCount := make(map[isa.Reg]int)
+		for bi := range g.Proc.Blocks {
+			if !loop.Contains(bi) {
+				continue
+			}
+			for ii := range g.Proc.Blocks[bi].Instrs {
+				in := &g.Proc.Blocks[bi].Instrs[ii]
+				if d := in.Def(); d != isa.NoReg {
+					defCount[d]++
+				}
+				if in.Op == isa.OpCall {
+					for _, r := range callClobbered {
+						defCount[r]++
+					}
+				}
+			}
+		}
+
+		st := make(map[isa.Reg]stepInfo)
+		look := func(r isa.Reg) (stepInfo, bool) {
+			if r == isa.FP || r == isa.SP {
+				if defCount[r] == 0 {
+					return stepInfo{known: true, step: 0}, true
+				}
+				return stepInfo{}, false
+			}
+			if defCount[r] == 0 {
+				return stepInfo{known: true, step: 0}, true
+			}
+			s, ok := st[r]
+			return s, ok && s.known
+		}
+
+		// Seed with basic induction variables: single def r = r + c.
+		for bi := range g.Proc.Blocks {
+			if !loop.Contains(bi) {
+				continue
+			}
+			for ii := range g.Proc.Blocks[bi].Instrs {
+				in := &g.Proc.Blocks[bi].Instrs[ii]
+				if in.Op == isa.OpAddImm && in.Rd == in.Ra && defCount[in.Rd] == 1 {
+					st[in.Rd] = stepInfo{known: true, step: in.Imm}
+				}
+			}
+		}
+
+		// Propagate to derived registers with a fixpoint over simple
+		// derivation rules. Registers with multiple in-loop defs never
+		// receive a step (unless they are basic IVs seeded above).
+		for changed := true; changed; {
+			changed = false
+			for bi := range g.Proc.Blocks {
+				if !loop.Contains(bi) {
+					continue
+				}
+				for ii := range g.Proc.Blocks[bi].Instrs {
+					in := &g.Proc.Blocks[bi].Instrs[ii]
+					d := in.Def()
+					if d == isa.NoReg || defCount[d] != 1 {
+						continue
+					}
+					if s, ok := st[d]; ok && s.known {
+						continue
+					}
+					var ns stepInfo
+					switch in.Op {
+					case isa.OpMov:
+						if s, ok := look(in.Ra); ok {
+							ns = s
+						}
+					case isa.OpAddImm:
+						if in.Rd == in.Ra {
+							continue // basic IV, already seeded
+						}
+						if s, ok := look(in.Ra); ok {
+							ns = s
+						}
+					case isa.OpAdd:
+						sa, oka := look(in.Ra)
+						sb, okb := look(in.Rb)
+						if oka && okb {
+							ns = stepInfo{known: true, step: sa.step + sb.step}
+						}
+					case isa.OpSub:
+						sa, oka := look(in.Ra)
+						sb, okb := look(in.Rb)
+						if oka && okb {
+							ns = stepInfo{known: true, step: sa.step - sb.step}
+						}
+					case isa.OpMulImm:
+						if s, ok := look(in.Ra); ok {
+							ns = stepInfo{known: true, step: s.step * in.Imm}
+						}
+					case isa.OpShlImm:
+						if s, ok := look(in.Ra); ok {
+							ns = stepInfo{known: true, step: s.step << uint(in.Imm)}
+						}
+					case isa.OpLea:
+						ns = leaStep(in.M, look)
+					}
+					if ns.known {
+						st[d] = ns
+						changed = true
+					}
+				}
+			}
+		}
+		// Finalise the map contract used by classify: registers defined in
+		// the loop whose step could not be proved get an explicit
+		// known=false entry so they are distinguishable from invariants
+		// (which remain absent).
+		for r, n := range defCount {
+			if n == 0 {
+				continue
+			}
+			if s, ok := st[r]; !ok || !s.known {
+				st[r] = stepInfo{known: false}
+			}
+		}
+		out[loop] = st
+	}
+	return out
+}
+
+func leaStep(m isa.MemRef, look func(isa.Reg) (stepInfo, bool)) stepInfo {
+	var total int64
+	if m.Base != isa.NoReg {
+		s, ok := look(m.Base)
+		if !ok {
+			return stepInfo{}
+		}
+		total += s.step
+	}
+	if m.Index != isa.NoReg {
+		s, ok := look(m.Index)
+		if !ok {
+			return stepInfo{}
+		}
+		total += s.step * int64(m.Scale)
+	}
+	return stepInfo{known: true, step: total}
+}
+
+// classify evaluates a load's memory operand against the enclosing
+// loop's step map (nil outside loops).
+//
+// The step map follows a three-way contract established by loopSteps:
+// a register with a known per-iteration step has an entry with
+// known=true; a register defined inside the loop whose step could not be
+// proved has an entry with known=false; a register absent from the map
+// was never defined in the loop and is therefore loop-invariant.
+func classify(m isa.MemRef, st map[isa.Reg]stepInfo) (Class, int64) {
+	// Constant: scalar frame or global load, independent of loop context.
+	if m.Index == isa.NoReg && (m.Base == isa.FP || m.IsGlobal()) {
+		return Constant, 0
+	}
+	if st == nil {
+		// Outside any loop: a one-shot load through a pointer. Not
+		// Constant (address is dynamic) and not Strided (no iteration).
+		return Irregular, 0
+	}
+	// Effective-address step = step(base) + scale*step(index).
+	total := int64(0)
+	resolve := func(r isa.Reg, scale int64) bool {
+		if r == isa.NoReg {
+			return true
+		}
+		s, present := st[r]
+		switch {
+		case present && s.known:
+			total += s.step * scale
+			return true
+		case present:
+			return false // defined in loop, step unknown => data-dependent
+		default:
+			return true // invariant: contributes step 0
+		}
+	}
+	if !resolve(m.Base, 1) || !resolve(m.Index, int64(m.Scale)) {
+		return Irregular, 0
+	}
+	// total == 0 means the address is loop-invariant: perfectly
+	// predictable, so it behaves like a strided access with stride 0.
+	return Strided, total
+}

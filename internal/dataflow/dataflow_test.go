@@ -1,0 +1,188 @@
+package dataflow
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// classify builds a one-procedure program around the given builder body
+// and returns the classification of every load, in address order.
+func classifyProc(t *testing.T, proc *isa.Proc) []*LoadInfo {
+	t.Helper()
+	p := isa.NewProgram("t", proc.Name)
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.ByAddrSorted()
+}
+
+func TestFrameAndGlobalScalarsAreConstant(t *testing.T) {
+	proc := isa.NewProc("f", 32).
+		Load(isa.R0, isa.Frame(8)).
+		Load(isa.R1, isa.Global(0x400100)).
+		Halt().
+		Finish()
+	for _, li := range classifyProc(t, proc) {
+		if li.Class != Constant {
+			t.Errorf("load at %#x classified %v, want constant", li.Addr, li.Class)
+		}
+	}
+}
+
+func TestBasicInductionVariableIsStrided(t *testing.T) {
+	proc := isa.NewProc("s", 0).
+		MovImm(isa.R4, 0x20000000).
+		MovImm(isa.R5, 0).
+		Label("loop").
+		Load(isa.R0, isa.Idx(isa.R4, isa.R5, 8, 0)). // index is IV
+		Load(isa.R1, isa.Ind(isa.R4, 16)).           // loop-invariant address
+		AddImm(isa.R5, isa.R5, 2).
+		BrImm(isa.CondLT, isa.R5, 100, "loop").
+		Label("end").Halt().
+		Finish()
+	lis := classifyProc(t, proc)
+	if len(lis) != 2 {
+		t.Fatalf("got %d loads", len(lis))
+	}
+	if lis[0].Class != Strided || lis[0].Stride != 16 {
+		t.Errorf("indexed load: %v stride %d, want strided 16", lis[0].Class, lis[0].Stride)
+	}
+	if lis[1].Class != Strided || lis[1].Stride != 0 {
+		t.Errorf("invariant load: %v stride %d, want strided 0", lis[1].Class, lis[1].Stride)
+	}
+}
+
+func TestDerivedInductionVariables(t *testing.T) {
+	proc := isa.NewProc("d", 0).
+		MovImm(isa.R4, 0x20000000).
+		MovImm(isa.R5, 0).
+		Label("loop").
+		ShlImm(isa.R6, isa.R5, 3).        // r6 = 8*i
+		Add(isa.R7, isa.R4, isa.R6).      // r7 = base + 8*i
+		Load(isa.R0, isa.Ind(isa.R7, 0)). // strided 8
+		Lea(isa.R8, isa.Idx(isa.R4, isa.R5, 4, 0)).
+		Load(isa.R1, isa.Ind(isa.R8, 4)). // strided 4
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 64, "loop").
+		Label("end").Halt().
+		Finish()
+	lis := classifyProc(t, proc)
+	if lis[0].Class != Strided || lis[0].Stride != 8 {
+		t.Errorf("shl-derived: %v stride %d, want strided 8", lis[0].Class, lis[0].Stride)
+	}
+	if lis[1].Class != Strided || lis[1].Stride != 4 {
+		t.Errorf("lea-derived: %v stride %d, want strided 4", lis[1].Class, lis[1].Stride)
+	}
+}
+
+func TestPointerChaseIsIrregular(t *testing.T) {
+	proc := isa.NewProc("p", 0).
+		MovImm(isa.R9, 0x20000000).
+		MovImm(isa.R5, 0).
+		Label("loop").
+		Load(isa.R9, isa.Ind(isa.R9, 0)). // r9 defined by load
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 64, "loop").
+		Label("end").Halt().
+		Finish()
+	lis := classifyProc(t, proc)
+	if lis[0].Class != Irregular {
+		t.Errorf("chase: %v, want irregular", lis[0].Class)
+	}
+}
+
+func TestMultipleDefsBreakInduction(t *testing.T) {
+	// r7 is updated twice per iteration (LCG): loads indexed by a value
+	// derived from it are irregular.
+	proc := isa.NewProc("m", 0).
+		MovImm(isa.R4, 0x20000000).
+		MovImm(isa.R5, 0).
+		MovImm(isa.R7, 12345).
+		Label("loop").
+		MulImm(isa.R7, isa.R7, 1103515245).
+		AddImm(isa.R7, isa.R7, 12345).
+		ShrImm(isa.R1, isa.R7, 33).
+		Load(isa.R0, isa.Idx(isa.R4, isa.R1, 8, 0)).
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 64, "loop").
+		Label("end").Halt().
+		Finish()
+	lis := classifyProc(t, proc)
+	if lis[0].Class != Irregular {
+		t.Errorf("lcg gather: %v, want irregular", lis[0].Class)
+	}
+}
+
+func TestCallClobberKillsInduction(t *testing.T) {
+	callee := isa.NewProc("callee", 0).Ret().Finish()
+	proc := isa.NewProc("c", 0).
+		MovImm(isa.R13, 0x20000000). // R13 survives calls
+		MovImm(isa.R2, 0).           // R2 is caller-saved: clobbered
+		Label("loop").
+		Load(isa.R0, isa.Idx(isa.R13, isa.R2, 8, 0)).
+		AddImm(isa.R2, isa.R2, 1).
+		Call("callee").
+		BrImm(isa.CondLT, isa.R2, 64, "loop").
+		Label("end").Halt().
+		Finish()
+	p := isa.NewProgram("t", "c")
+	p.Add(proc)
+	p.Add(callee)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range res.ByAddrSorted() {
+		if li.Proc == "c" && li.Class != Irregular {
+			t.Errorf("call-clobbered index: %v, want irregular", li.Class)
+		}
+	}
+}
+
+func TestLoadOutsideLoopIsIrregular(t *testing.T) {
+	proc := isa.NewProc("o", 0).
+		MovImm(isa.R4, 0x20000000).
+		Load(isa.R0, isa.Ind(isa.R4, 0)).
+		Halt().
+		Finish()
+	lis := classifyProc(t, proc)
+	if lis[0].Class != Irregular {
+		t.Errorf("one-shot pointer load: %v, want irregular", lis[0].Class)
+	}
+}
+
+func TestPerProcCounts(t *testing.T) {
+	proc := isa.NewProc("k", 16).
+		Load(isa.R0, isa.Frame(0)).
+		MovImm(isa.R4, 0x20000000).
+		MovImm(isa.R5, 0).
+		Label("loop").
+		Load(isa.R1, isa.Idx(isa.R4, isa.R5, 8, 0)).
+		Load(isa.R9, isa.Ind(isa.R1, 0)).
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 8, "loop").
+		Label("end").Halt().
+		Finish()
+	p := isa.NewProgram("t", "k")
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.PerProc["k"]
+	if c.Constant != 1 || c.Strided != 1 || c.Irregular != 1 || c.Total() != 3 {
+		t.Errorf("counts = %+v", c)
+	}
+}

@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+// AblationCompressionRow compares proxy compression on vs off.
+type AblationCompressionRow struct {
+	Name          string
+	BytesOn       uint64
+	BytesOff      uint64
+	KappaOn       float64
+	SavingsFactor float64 // bytesOff / bytesOn
+}
+
+// AblationCompressionResult holds rows and text.
+type AblationCompressionResult struct {
+	Rows []AblationCompressionRow
+	Text string
+}
+
+// AblationCompression measures §III-B's proxy-instruction compression:
+// trace bytes with selective instrumentation vs instrumenting every
+// load, at both optimisation levels.
+func AblationCompression(s Sizes) (*AblationCompressionResult, error) {
+	res := &AblationCompressionResult{}
+	run := func(name string, mk func(compress bool) core.App) error {
+		cfg := s.fullModeConfig()
+		cfg.CopyBytesPerCycle = 1e9 // lossless, so sizes are comparable
+		on, err := core.RunApp(mk(true), cfg)
+		if err != nil {
+			return err
+		}
+		off, err := core.RunApp(mk(false), cfg)
+		if err != nil {
+			return err
+		}
+		row := AblationCompressionRow{
+			Name: name, BytesOn: on.Trace.Bytes, BytesOff: off.Trace.Bytes,
+			KappaOn: on.Trace.Kappa(),
+		}
+		if row.BytesOn > 0 {
+			row.SavingsFactor = float64(row.BytesOff) / float64(row.BytesOn)
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+	for _, opt := range []minivite.Opt{minivite.O0, minivite.O3} {
+		opt := opt
+		err := run(fmt.Sprintf("miniVite-%s-v1", opt), func(compress bool) core.App {
+			app, _ := s.miniviteApp(minivite.V1, opt, compress)
+			return app
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, opt := range []gap.Opt{gap.O0, gap.O3} {
+		opt := opt
+		err := run(fmt.Sprintf("GAP-pr-%s", opt), func(compress bool) core.App {
+			app, _ := s.gapApp(gap.PR, opt, compress)
+			return app
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := report.NewTable("Ablation — trace compression via load classes (§III-B)",
+		"benchmark", "compressed", "uncompressed", "kappa", "savings")
+	for _, r := range res.Rows {
+		t.Add(r.Name, report.Bytes(r.BytesOn), report.Bytes(r.BytesOff),
+			r.KappaOn, fmt.Sprintf("%.2fx", r.SavingsFactor))
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// SweepRow is one (period, buffer) point of the size-vs-error sweep.
+type SweepRow struct {
+	Period   uint64
+	BufBytes int
+	Bytes    uint64
+	Samples  int
+	MAPEF    float64
+}
+
+// SweepResult holds the sweep points.
+type SweepResult struct {
+	Rows []SweepRow
+	Text string
+}
+
+// AblationSweep varies the sampling period and buffer size on a
+// micro-benchmark and reports trace size vs footprint-histogram error —
+// "both trace size and resolution are controllable" (§I).
+func AblationSweep(s Sizes) (*SweepResult, error) {
+	res := &SweepResult{}
+	spec := micro.Spec{
+		Pattern: micro.Series{
+			A: micro.Str{Step: 1, Accesses: s.MicroAccesses},
+			B: micro.Irr{Accesses: s.MicroAccesses},
+		},
+		Reps: s.MicroReps, Opt: micro.O3,
+	}
+	// Lossless full reference.
+	fullCfg := s.microConfig()
+	fullCfg.Mode = pt.ModeFull
+	fullCfg.CopyBytesPerCycle = 1e9
+	full, err := core.Run(microWorkload(spec), fullCfg)
+	if err != nil {
+		return nil, err
+	}
+	windows := windowSet(s.MicroPeriod)
+	refHist := analysis.WindowHistogram(full.Trace, windows)
+
+	for _, period := range []uint64{s.MicroPeriod / 4, s.MicroPeriod, s.MicroPeriod * 4} {
+		for _, buf := range []int{4 << 10, 8 << 10, 16 << 10} {
+			cfg := s.microConfig()
+			cfg.Period, cfg.BufBytes = period, buf
+			r, err := core.Run(microWorkload(spec), cfg)
+			if err != nil {
+				return nil, err
+			}
+			m := analysis.MAPE(analysis.WindowHistogram(r.Trace, windows), refHist)
+			res.Rows = append(res.Rows, SweepRow{
+				Period: period, BufBytes: buf,
+				Bytes: r.Trace.Bytes, Samples: len(r.Trace.Samples),
+				MAPEF: m.F,
+			})
+		}
+	}
+	t := report.NewTable("Ablation — sampling period × buffer size vs size and error",
+		"period", "buffer", "trace bytes", "samples", "MAPE F%")
+	for _, r := range res.Rows {
+		t.Add(report.Count(float64(r.Period)), report.Bytes(uint64(r.BufBytes)),
+			report.Bytes(r.Bytes), r.Samples, r.MAPEF)
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// ZoomAblationResult compares contiguous hot regions against
+// hot-blocks-only filtering (§IV-C2's design argument).
+type ZoomAblationResult struct {
+	ContiguousD float64 // mean leaf D with whole-object regions
+	HotBlocksD  float64 // mean D over only each leaf's hottest blocks
+	Leaves      int
+	Text        string
+}
+
+// AblationZoomContiguity quantifies why the zoom tree keeps contiguous
+// regions: restricting analysis to each region's hottest blocks filters
+// the cold traffic and makes spatio-temporal locality look artificially
+// good (smaller D).
+func AblationZoomContiguity(s Sizes) (*ZoomAblationResult, error) {
+	app, _ := s.miniviteApp(minivite.V1, minivite.O3, true)
+	r, err := core.RunApp(app, s.appConfig())
+	if err != nil {
+		return nil, err
+	}
+	root := zoom.Build(r.Trace, zoom.DefaultConfig())
+	leaves := zoom.Leaves(root)
+	res := &ZoomAblationResult{Leaves: len(leaves)}
+	var nC, nH int
+	for _, lf := range leaves {
+		if lf.Diag == nil || lf.Diag.Reuses == 0 {
+			continue
+		}
+		res.ContiguousD += lf.Diag.D
+		nC++
+		// Hot-blocks-only: keep just the top 25% most-accessed 64 B
+		// blocks of the leaf and recompute D over that filtered set.
+		if d, ok := hotBlocksD(r, lf); ok {
+			res.HotBlocksD += d
+			nH++
+		}
+	}
+	if nC > 0 {
+		res.ContiguousD /= float64(nC)
+	}
+	if nH > 0 {
+		res.HotBlocksD /= float64(nH)
+	}
+	res.Text = fmt.Sprintf(
+		"Ablation — zoom contiguity (§IV-C2): %d leaf regions\n"+
+			"  whole-object (contiguous) mean D: %.2f\n"+
+			"  hottest-blocks-only mean D:       %.2f (filtering cold traffic hides poor locality)\n",
+		res.Leaves, res.ContiguousD, res.HotBlocksD)
+	return res, nil
+}
+
+func hotBlocksD(r *core.AppResult, lf *zoom.Node) (float64, bool) {
+	// Count accesses per block within the leaf.
+	counts := map[uint64]int{}
+	for _, smp := range r.Trace.Samples {
+		for i := range smp.Records {
+			a := smp.Records[i].Addr
+			if a >= lf.Lo && a < lf.Hi {
+				counts[a/64]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	// Threshold at the 75th percentile of block counts.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	thr := max * 3 / 4
+	hot := map[uint64]bool{}
+	for b, c := range counts {
+		if c >= thr {
+			hot[b] = true
+		}
+	}
+	dist := analysis.NewStackDist(64)
+	var sum float64
+	var n int
+	for _, smp := range r.Trace.Samples {
+		dist.Reset()
+		for i := range smp.Records {
+			a := smp.Records[i].Addr
+			if a >= lf.Lo && a < lf.Hi && hot[a/64] {
+				if d, _ := dist.Access(a); d >= 0 {
+					sum += float64(d)
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// BlockSizeRow compares cache-line vs page granularity reuse.
+type BlockSizeRow struct {
+	Name       string
+	DCacheLine float64
+	DPage      float64
+}
+
+// BlockSizeResult holds rows and text.
+type BlockSizeResult struct {
+	Rows []BlockSizeRow
+	Text string
+}
+
+// AblationBlockSize contrasts intra-sample reuse at 64 B (cache
+// analysis) and 4 KiB (working-set analysis) blocks (§V-B).
+func AblationBlockSize(s Sizes) (*BlockSizeResult, error) {
+	res := &BlockSizeResult{}
+	for _, algo := range []gap.Algorithm{gap.PR, gap.CCSV} {
+		r, w, err := s.runGap(algo)
+		if err != nil {
+			return nil, err
+		}
+		g := w.Regions()[0]
+		d64 := analysis.RegionDiagnostics(r.Trace, []analysis.Region{g}, 64)[0]
+		d4k := analysis.RegionDiagnostics(r.Trace, []analysis.Region{g}, 4096)[0]
+		res.Rows = append(res.Rows, BlockSizeRow{
+			Name: w.Name(), DCacheLine: d64.D, DPage: d4k.D,
+		})
+	}
+	t := report.NewTable("Ablation — access-block size (§V-B)",
+		"benchmark", "D @64B", "D @4KiB")
+	for _, r := range res.Rows {
+		t.Add(r.Name, r.DCacheLine, r.DPage)
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// ParallelRow is one worker-count point of the parallel-tracing run.
+type ParallelRow struct {
+	Workers  int
+	Cycles   uint64 // wall-clock (slowest worker)
+	Overhead float64
+	Samples  int
+	CPUs     int // distinct CPUs in the merged trace
+	MAPEF    float64
+}
+
+// ParallelResult holds the scaling table.
+type ParallelResult struct {
+	Rows []ParallelRow
+	Text string
+}
+
+// AblationParallel runs pr-spmv under 1, 2, and 4 workers with per-CPU
+// collectors (the paper's "with and without parallelism" protocol,
+// §VI): memory analysis results must stay consistent while wall-clock
+// shrinks, demonstrating that the analysis is orthogonal to CPU
+// parallelism.
+func AblationParallel(s Sizes) (*ParallelResult, error) {
+	res := &ParallelResult{}
+	windows := analysis.PowerOfTwoWindows(4, 12)
+
+	var refHist []analysis.WindowMetrics
+	for _, workers := range []int{1, 2, 4} {
+		w := gap.New(gap.Config{Scale: s.GraphScale, Degree: s.GraphDegree, Algo: gap.PRSpmv}, true)
+		cfg := s.appConfig()
+		r, err := core.RunAppParallel(core.ParallelApp{
+			Name: w.Name(), Mod: w.Mod,
+			Exec:     func(rs []*sites.Runner) { w.RunParallel(rs) },
+			CacheCfg: s.cacheCfg(),
+		}, cfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		hist := analysis.WindowHistogram(r.Trace, windows)
+		row := ParallelRow{
+			Workers: workers, Cycles: r.BaseStats.Cycles,
+			Overhead: r.Overhead(), Samples: len(r.Trace.Samples),
+		}
+		cpus := map[int]bool{}
+		for _, smp := range r.Trace.Samples {
+			cpus[smp.CPU] = true
+		}
+		row.CPUs = len(cpus)
+		if refHist == nil {
+			refHist = hist
+		} else {
+			row.MAPEF = analysis.MAPE(hist, refHist).F
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	t := report.NewTable("Ablation — parallel tracing (per-CPU buffers, merged)",
+		"workers", "wall cycles", "overhead", "samples", "CPUs", "MAPE F vs serial")
+	for _, r := range res.Rows {
+		t.Add(r.Workers, report.Count(float64(r.Cycles)), r.Overhead, r.Samples, r.CPUs, r.MAPEF)
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// TilingRow is one gemm-tiling configuration.
+type TilingRow struct {
+	TileK  int // 0 = untiled
+	Cycles uint64
+	GemmD  float64
+	GemmF  float64
+}
+
+// TilingResult holds the tiling evaluation.
+type TilingResult struct {
+	Rows []TilingRow
+	Text string
+}
+
+// AblationGemmTiling measures the optimisation §VII-B discusses and
+// dismisses: k-blocking darknet's gemm. Run time, gemm reuse distance,
+// and footprint are reported for the untiled kernel and two tile sizes,
+// under the cache timing model, so the paper's "we do not expect tiling
+// to be effective because the matrices are relatively small" is checked
+// rather than assumed.
+func AblationGemmTiling(s Sizes) (*TilingResult, error) {
+	res := &TilingResult{}
+	for _, tileK := range []int{0, 8, 32} {
+		w := darknet.New(darknet.Config{Model: darknet.AlexNet, Shrink: s.NetShrink, TileK: tileK})
+		cfg := s.appConfig()
+		r, err := core.RunApp(core.App{
+			Name: w.Name(), Mod: w.Mod,
+			Exec:     func(rr *sites.Runner) { w.Run(rr) },
+			CacheCfg: s.cacheCfg(),
+		}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := TilingRow{TileK: tileK, Cycles: r.BaseStats.Cycles}
+		for _, d := range analysis.FunctionDiagnostics(r.Trace, 64) {
+			if d.Name == "gemm" {
+				row.GemmD, row.GemmF = d.D, d.F
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	t := report.NewTable("Ablation — gemm k-tiling (§VII-B's evaluated optimisation)",
+		"tileK", "cycles", "gemm D", "gemm F")
+	for _, r := range res.Rows {
+		name := "untiled"
+		if r.TileK > 0 {
+			name = fmt.Sprintf("%d", r.TileK)
+		}
+		t.Add(name, report.Count(float64(r.Cycles)), r.GemmD, report.Count(r.GemmF))
+	}
+	res.Text = t.Render()
+	return res, nil
+}

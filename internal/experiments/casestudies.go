@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/heatmap"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/vm"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// FuncDiag pairs a function name with its diagnostics for one workload
+// variant.
+type FuncDiag struct {
+	Variant string
+	Func    string
+	Diag    *analysis.Diag
+}
+
+// RegionDiag pairs a region with its diagnostics and block population.
+type RegionDiag struct {
+	Variant string
+	Region  string
+	Diag    *analysis.Diag
+	Blocks  int
+}
+
+// CaseStudyResult is the common shape of Tables IV–IX.
+type CaseStudyResult struct {
+	Funcs    []FuncDiag
+	Regions  []RegionDiag
+	Runtimes map[string]vm.Stats // baseline cycles per variant
+	Text     string
+}
+
+// miniviteCase runs one miniVite variant and returns its trace plus
+// stats.
+func (s Sizes) runMinivite(v minivite.Variant) (*core.AppResult, *minivite.Workload, error) {
+	app, w := s.miniviteApp(v, minivite.O3, true)
+	res, err := core.RunApp(app, s.appConfig())
+	return res, w, err
+}
+
+// Table4 reproduces miniVite's hot-function locality (paper Table IV):
+// F, ΔF, F_str%, and decompressed accesses for buildMap, map.insert,
+// and getMax across the three map variants, plus run times.
+func Table4(s Sizes) (*CaseStudyResult, error) {
+	res := &CaseStudyResult{Runtimes: map[string]vm.Stats{}}
+	hot := map[string]bool{"buildMap": true, "map.insert": true, "getMax": true}
+	for _, v := range []minivite.Variant{minivite.V1, minivite.V2, minivite.V3} {
+		r, w, err := s.runMinivite(v)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", w.Name(), err)
+		}
+		variant := fmt.Sprintf("v%d", int(v))
+		res.Runtimes[variant] = r.BaseStats
+		for _, d := range analysis.FunctionDiagnostics(r.Trace, 64) {
+			if hot[d.Name] {
+				res.Funcs = append(res.Funcs, FuncDiag{Variant: variant, Func: d.Name, Diag: d})
+			}
+		}
+	}
+	t := report.NewTable("Table IV — miniVite/-O3: data locality of hot function accesses",
+		"function", "variant", "F", "dF", "Fstr%", "A (decomp)")
+	for _, fn := range []string{"buildMap", "map.insert", "getMax"} {
+		for _, fd := range res.Funcs {
+			if fd.Func == fn {
+				t.Add(fn, fd.Variant, report.Count(fd.Diag.F), fd.Diag.DeltaF,
+					fd.Diag.FstrPct, report.Count(fd.Diag.DecompA))
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	rt := report.NewTable("Run times (baseline cycles)", "variant", "cycles")
+	for _, v := range []string{"v1", "v2", "v3"} {
+		rt.Add(v, report.Count(float64(res.Runtimes[v].Cycles)))
+	}
+	b.WriteString("\n")
+	b.WriteString(rt.Render())
+	res.Text = b.String()
+	return res, nil
+}
+
+// Table5 reproduces miniVite's hot-memory spatio-temporal reuse (paper
+// Table V): per region and variant, reuse distance D (64 B blocks),
+// block population, observed accesses, and accesses per block.
+func Table5(s Sizes) (*CaseStudyResult, error) {
+	res := &CaseStudyResult{Runtimes: map[string]vm.Stats{}}
+	for _, v := range []minivite.Variant{minivite.V1, minivite.V2, minivite.V3} {
+		r, w, err := s.runMinivite(v)
+		if err != nil {
+			return nil, err
+		}
+		variant := fmt.Sprintf("v%d", int(v))
+		regions := w.Regions()
+		diags := analysis.RegionDiagnostics(r.Trace, regions, 64)
+		for i, g := range regions {
+			res.Regions = append(res.Regions, RegionDiag{
+				Variant: variant, Region: g.Name, Diag: diags[i],
+				Blocks: analysis.BlocksTouched(r.Trace, g.Lo, g.Hi, 64),
+			})
+		}
+	}
+	t := report.NewTable("Table V — miniVite/-O3: spatio-temporal reuse of hot memory (64 B block)",
+		"object", "variant", "reuse D", "# blocks", "A", "A/block")
+	for _, name := range []string{"map (hash table)", "remote edges", "other objs (caller)"} {
+		for _, rd := range res.Regions {
+			if rd.Region == name {
+				apb := 0.0
+				if rd.Blocks > 0 {
+					apb = float64(rd.Diag.A) / float64(rd.Blocks)
+				}
+				t.Add(name, rd.Variant, rd.Diag.D, rd.Blocks, report.Count(float64(rd.Diag.A)), apb)
+			}
+		}
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// runDarknet runs one model.
+func (s Sizes) runDarknet(model darknet.Model) (*core.AppResult, *darknet.Workload, error) {
+	app, w := s.darknetApp(model)
+	cfg := s.appConfig()
+	res, err := core.RunApp(app, cfg)
+	return res, w, err
+}
+
+// Table6 reproduces Darknet's hot-function locality (paper Table VI).
+func Table6(s Sizes) (*CaseStudyResult, error) {
+	res := &CaseStudyResult{Runtimes: map[string]vm.Stats{}}
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		r, w, err := s.runDarknet(model)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", w.Name(), err)
+		}
+		res.Runtimes[model.String()] = r.BaseStats
+		for _, d := range analysis.FunctionDiagnostics(r.Trace, 64) {
+			if d.Name == "gemm" || d.Name == "im2col" {
+				res.Funcs = append(res.Funcs, FuncDiag{Variant: model.String(), Func: d.Name, Diag: d})
+			}
+		}
+	}
+	t := report.NewTable("Table VI — Darknet: data locality of hot function accesses",
+		"function", "model", "F", "dF", "Fstr%", "A (decomp)")
+	for _, fn := range []string{"gemm", "im2col"} {
+		for _, fd := range res.Funcs {
+			if fd.Func == fn {
+				t.Add(fn, fd.Variant, report.Count(fd.Diag.F), fd.Diag.DeltaF,
+					fd.Diag.FstrPct, report.Count(fd.Diag.DecompA))
+			}
+		}
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// Table7 reproduces Darknet's hot-memory reuse (paper Table VII).
+func Table7(s Sizes) (*CaseStudyResult, error) {
+	res := &CaseStudyResult{}
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		r, w, err := s.runDarknet(model)
+		if err != nil {
+			return nil, err
+		}
+		regions := w.Regions()
+		diags := analysis.RegionDiagnostics(r.Trace, regions, 64)
+		for i, g := range regions {
+			res.Regions = append(res.Regions, RegionDiag{
+				Variant: model.String(), Region: g.Name, Diag: diags[i],
+				Blocks: analysis.BlocksTouched(r.Trace, g.Lo, g.Hi, 64),
+			})
+		}
+	}
+	t := report.NewTable("Table VII — Darknet: spatio-temporal reuse of hot memory (64 B block)",
+		"object", "model", "reuse D", "# blocks", "A", "A/block")
+	for _, rd := range res.Regions {
+		apb := 0.0
+		if rd.Blocks > 0 {
+			apb = float64(rd.Diag.A) / float64(rd.Blocks)
+		}
+		t.Add(rd.Region, rd.Variant, rd.Diag.D, rd.Blocks, report.Count(float64(rd.Diag.A)), apb)
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// Table8Row is one access interval of Darknet's gemm over time.
+type Table8Row struct {
+	Model    string
+	Interval int
+	Diag     *analysis.Diag
+}
+
+// Table8Result holds the per-interval rows.
+type Table8Result struct {
+	Rows []Table8Row
+	Text string
+}
+
+// Table8 reproduces gemm's data locality over time (paper Table VIII):
+// the gemm-filtered trace is split into 8 access intervals. The
+// innermost dimension N is preserved at full size (M and K shrink
+// harder to keep the MAC budget): the paper's rising-D trend is a
+// window-visibility effect that only exists when early layers' rows
+// exceed the sample window.
+func Table8(s Sizes) (*Table8Result, error) {
+	res := &Table8Result{}
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		w := darknet.New(darknet.Config{Model: model, Shrink: s.NetShrink * 2, PreserveN: true})
+		app := core.App{Name: w.Name(), Mod: w.Mod,
+			Exec:     func(rr *sites.Runner) { w.Run(rr) },
+			CacheCfg: s.cacheCfg()}
+		r, err := core.RunApp(app, s.appConfig())
+		if err != nil {
+			return nil, err
+		}
+		gt := r.Trace.FilterProc("gemm")
+		for i, d := range interval.IntervalDiagnostics(gt, 8, 64) {
+			res.Rows = append(res.Rows, Table8Row{Model: model.String(), Interval: i, Diag: d})
+		}
+	}
+	t := report.NewTable("Table VIII — Darknet/gemm: data locality over time of hot access intervals",
+		"model", "interval", "F", "dF", "D", "A (decomp)")
+	for _, r := range res.Rows {
+		t.Add(r.Model, r.Interval, report.Count(r.Diag.F), r.Diag.DeltaF,
+			r.Diag.D, report.Count(r.Diag.DecompA))
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// runGap runs one GAP kernel. Sampling periods are tuned per benchmark
+// as in the paper (§VI "Sampling configuration"): Afforest completes an
+// order of magnitude faster than the other kernels, so it samples at an
+// eighth of the period to collect comparable sample counts.
+func (s Sizes) runGap(algo gap.Algorithm) (*core.AppResult, *gap.Workload, error) {
+	app, w := s.gapApp(algo, gap.O3, true)
+	cfg := s.appConfig()
+	if algo == gap.CC {
+		cfg.Period = s.Period / 8
+	}
+	res, err := core.RunApp(app, cfg)
+	return res, w, err
+}
+
+// Table9 reproduces GAP's hot-memory reuse (paper Table IX) plus run
+// times: the o-score object for pr/pr-spmv and the component array for
+// cc/cc-sv.
+func Table9(s Sizes) (*CaseStudyResult, error) {
+	res := &CaseStudyResult{Runtimes: map[string]vm.Stats{}}
+	for _, algo := range []gap.Algorithm{gap.PR, gap.PRSpmv, gap.CC, gap.CCSV} {
+		r, w, err := s.runGap(algo)
+		if err != nil {
+			return nil, fmt.Errorf("table9 %s: %w", w.Name(), err)
+		}
+		res.Runtimes[algo.String()] = r.BaseStats
+		g := w.Regions()[0] // hot object: o-score or cc
+		d := analysis.RegionDiagnostics(r.Trace, []analysis.Region{g}, 64)[0]
+		res.Regions = append(res.Regions, RegionDiag{
+			Variant: algo.String(), Region: g.Name, Diag: d,
+			Blocks: analysis.BlocksTouched(r.Trace, g.Lo, g.Hi, 64),
+		})
+	}
+	t := report.NewTable("Table IX — GAP: spatio-temporal reuse of hot memory (64 B block)",
+		"object", "algorithm", "reuse D", "max D", "A", "A/block", "time (cycles)")
+	for _, rd := range res.Regions {
+		apb := 0.0
+		if rd.Blocks > 0 {
+			apb = float64(rd.Diag.A) / float64(rd.Blocks)
+		}
+		t.Add(rd.Region, rd.Variant, rd.Diag.D, rd.Diag.DMax,
+			report.Count(float64(rd.Diag.A)), apb,
+			report.Count(float64(res.Runtimes[rd.Variant].Cycles)))
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// Fig8Result holds the cc vs cc-sv heatmaps and their summaries.
+type Fig8Result struct {
+	Access map[string]heatmap.Stats
+	Dist   map[string]heatmap.Stats
+	Text   string
+}
+
+// Fig8 builds the location × time heatmaps for the component array of
+// cc and cc-sv (paper Fig. 8): access-frequency and reuse-distance
+// distributions, where outliers explain why summary averages mislead.
+func Fig8(s Sizes) (*Fig8Result, error) {
+	res := &Fig8Result{
+		Access: map[string]heatmap.Stats{},
+		Dist:   map[string]heatmap.Stats{},
+	}
+	var b strings.Builder
+	for _, algo := range []gap.Algorithm{gap.CC, gap.CCSV} {
+		r, w, err := s.runGap(algo)
+		if err != nil {
+			return nil, err
+		}
+		g := w.Regions()[0]
+		// Restrict to the algorithm phase: the heatmaps describe the
+		// kernel, not graph generation.
+		kt := r.Trace.FilterProc("components")
+		h := heatmap.Build(kt, g.Lo, g.Hi, 24, 48, 64)
+		res.Access[algo.String()] = heatmap.Summarize(h.Access)
+		res.Dist[algo.String()] = heatmap.Summarize(h.Dist)
+		fmt.Fprintf(&b, "%s\n", report.RenderHeatmap(
+			fmt.Sprintf("Fig. 8 — %s: accesses over cc region (rows=addr, cols=time)", algo), h.Access))
+		fmt.Fprintf(&b, "%s\n", report.RenderHeatmap(
+			fmt.Sprintf("Fig. 8 — %s: reuse distance D", algo), h.Dist))
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig9Result holds the intra-sample locality histograms per algorithm.
+type Fig9Result struct {
+	Points map[string][]interval.LocalityPoint
+	Text   string
+}
+
+// Fig9 measures data locality of hot access intervals (paper Fig. 9):
+// intra-sample windows of doubling size, per GAP kernel.
+func Fig9(s Sizes) (*Fig9Result, error) {
+	res := &Fig9Result{Points: map[string][]interval.LocalityPoint{}}
+	windows := analysis.PowerOfTwoWindows(3, 8)
+	var b strings.Builder
+	for _, algo := range []gap.Algorithm{gap.PR, gap.PRSpmv, gap.CC, gap.CCSV} {
+		r, _, err := s.runGap(algo)
+		if err != nil {
+			return nil, err
+		}
+		pts := interval.IntraLocalityHistogram(r.Trace, windows, 64)
+		res.Points[algo.String()] = pts
+		h := report.NewHistogram(
+			fmt.Sprintf("Fig. 9 — GAP %s: locality of hot access intervals (intra-sample)", algo),
+			"interval", "dF", "D")
+		for _, p := range pts {
+			h.Add(float64(p.W), p.DeltaF, p.D)
+		}
+		b.WriteString(h.Render())
+		b.WriteByte('\n')
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the
+// MemGaze paper's evaluation (§VI) and case studies (§VII) on the
+// simulated stack. Each experiment returns both a rendered text report
+// and structured results, so cmd/memgaze-bench can print the paper's
+// layout and the benchmark/tests can assert the expected shapes.
+//
+// Sizes: the paper runs 2^22-vertex graphs and full networks on real
+// hardware; experiments here default to 2^10–2^11 graphs and 1/512-MAC
+// networks so the whole suite completes in minutes. Size covariates
+// (sampling period, cache size) are scaled alongside, per DESIGN.md.
+package experiments
+
+import (
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// Sizes scales every experiment together.
+type Sizes struct {
+	GraphScale    int // log2 vertices for miniVite/GAP
+	GraphDegree   int
+	MicroAccesses int // accesses per micro-benchmark pattern pass
+	MicroReps     int
+	NetShrink     int // Darknet per-axis shrink
+	Period        uint64
+	MicroPeriod   uint64
+	BufBytes      int
+	MicroBuf      int
+	CacheBytes    int
+}
+
+// Quick returns test-friendly sizes (runs in seconds).
+func Quick() Sizes {
+	return Sizes{
+		GraphScale: 10, GraphDegree: 8,
+		MicroAccesses: 2048, MicroReps: 40,
+		NetShrink: 24,
+		Period:    6_000, MicroPeriod: 5_000,
+		BufBytes: 8 << 10, MicroBuf: 16 << 10,
+		CacheBytes: 8 << 10,
+	}
+}
+
+// Full returns the benchmark-suite sizes (runs in minutes).
+func Full() Sizes {
+	return Sizes{
+		GraphScale: 12, GraphDegree: 12,
+		MicroAccesses: 8192, MicroReps: 100,
+		NetShrink: 8,
+		Period:    40_000, MicroPeriod: 10_000,
+		BufBytes: 8 << 10, MicroBuf: 16 << 10,
+		CacheBytes: 64 << 10,
+	}
+}
+
+func (s Sizes) cacheCfg() *cache.Config {
+	c := cache.DefaultConfig()
+	c.SizeBytes = s.CacheBytes
+	return &c
+}
+
+// appConfig is the standard sampled-collection configuration for
+// application workloads.
+func (s Sizes) appConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Period = s.Period
+	cfg.BufBytes = s.BufBytes
+	return cfg
+}
+
+func (s Sizes) microConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Period = s.MicroPeriod
+	cfg.BufBytes = s.MicroBuf
+	return cfg
+}
+
+// miniviteApp builds a miniVite App for core.RunApp.
+func (s Sizes) miniviteApp(variant minivite.Variant, opt minivite.Opt, compress bool) (core.App, *minivite.Workload) {
+	w := minivite.New(minivite.Config{
+		Scale: s.GraphScale, Degree: s.GraphDegree,
+		Variant: variant, Opt: opt,
+	}, compress)
+	return core.App{
+		Name:     w.Name(),
+		Mod:      w.Mod,
+		Exec:     func(r *sites.Runner) { w.Run(r) },
+		CacheCfg: s.cacheCfg(),
+	}, w
+}
+
+// gapApp builds a GAP App.
+func (s Sizes) gapApp(algo gap.Algorithm, opt gap.Opt, compress bool) (core.App, *gap.Workload) {
+	w := gap.New(gap.Config{
+		Scale: s.GraphScale, Degree: s.GraphDegree,
+		Algo: algo, Opt: opt,
+	}, compress)
+	return core.App{
+		Name:     w.Name(),
+		Mod:      w.Mod,
+		Exec:     func(r *sites.Runner) { w.Run(r) },
+		CacheCfg: s.cacheCfg(),
+	}, w
+}
+
+// darknetApp builds a Darknet App.
+func (s Sizes) darknetApp(model darknet.Model) (core.App, *darknet.Workload) {
+	w := darknet.New(darknet.Config{Model: model, Shrink: s.NetShrink})
+	return core.App{
+		Name:     w.Name(),
+		Mod:      w.Mod,
+		Exec:     func(r *sites.Runner) { w.Run(r) },
+		CacheCfg: s.cacheCfg(),
+	}, w
+}
+
+// microWorkload wraps a micro spec as a core.Workload.
+func microWorkload(spec micro.Spec) core.Workload {
+	return core.FuncWorkload{WName: spec.Name(), BuildFn: spec.Build}
+}
+
+// fullModeConfig is the bandwidth-limited full-trace collection used for
+// Table III's 'Rec' column: the copy channel cannot keep up with
+// load-intensive regions, so perf-style drops occur.
+func (s Sizes) fullModeConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = pt.ModeFull
+	// Starved copy bandwidth: load-intensive regions outrun the channel
+	// and drop events, like perf's unpredictable 30-50% drops (§III).
+	cfg.CopyBytesPerCycle = 0.3
+	return cfg
+}

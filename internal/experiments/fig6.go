@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+)
+
+// Fig6Row is one benchmark's validation result: MAPE over trace-window
+// histograms and signed mean error over code windows, per metric.
+type Fig6Row struct {
+	Name                     string
+	TraceF, TraceFs, TraceFi float64 // MAPE %, trace windows
+	CodeF, CodeFs, CodeFi    float64 // mean |error| %, code windows
+}
+
+// Fig6Result holds all rows plus the rendered report.
+type Fig6Result struct {
+	Rows []Fig6Row
+	Text string
+}
+
+// windowSet returns the power-of-two window sizes used for histograms,
+// spanning intra-sample through multi-period sizes.
+func windowSet(period uint64) []uint64 {
+	hi := 4
+	for ; uint64(1)<<uint(hi+2) < 8*period; hi++ {
+	}
+	return analysis.PowerOfTwoWindows(4, hi)
+}
+
+// meanAbs averights absolute code-window errors by each function's share
+// of the reference's estimated loads: the diagnostics are for hotspots,
+// so a 2× error on a function with 0.1% of the loads should not dominate
+// the series.
+func meanAbs(errs []analysis.DiagError) (f, fs, fi float64) {
+	var wsum float64
+	for _, e := range errs {
+		wsum += e.RefLoads
+	}
+	if wsum == 0 {
+		return
+	}
+	for _, e := range errs {
+		w := e.RefLoads / wsum
+		f += w * abs(e.F)
+		fs += w * abs(e.Fstr)
+		fi += w * abs(e.Firr)
+	}
+	return
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig6 validates sampled footprint access diagnostics: micro-benchmarks
+// against full traces, graph benchmarks against 10×-finer sampling
+// (collecting full graph traces is infeasible, §VI-A).
+func Fig6(s Sizes) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	windows := windowSet(s.MicroPeriod)
+
+	compare := func(name string, est, ref *trace.Trace) {
+		m := analysis.MAPE(
+			analysis.WindowHistogram(est, windows),
+			analysis.WindowHistogram(ref, windows),
+		)
+		ce := analysis.CompareDiags(
+			analysis.FunctionDiagnostics(est, 64),
+			analysis.FunctionDiagnostics(ref, 64),
+		)
+		cf, cs, ci := meanAbs(ce)
+		res.Rows = append(res.Rows, Fig6Row{
+			Name:   name,
+			TraceF: m.F, TraceFs: m.Fstr, TraceFi: m.Firr,
+			CodeF: cf, CodeFs: cs, CodeFi: ci,
+		})
+	}
+
+	// Micro-benchmarks: sampled vs full trace. The O3 suite is joined by
+	// two O0 variants so the κ ≈ 2 decompression path is validated too.
+	suite := micro.Suite(micro.O3, s.MicroAccesses, s.MicroReps)
+	o0 := micro.Suite(micro.O0, s.MicroAccesses, s.MicroReps)
+	suite = append(suite, o0[0], o0[3]) // str1-O0, irr-O0
+	for _, spec := range suite {
+		sampled, err := core.Run(microWorkload(spec), s.microConfig())
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", spec.Name(), err)
+		}
+		fullCfg := s.microConfig()
+		fullCfg.Mode = pt.ModeFull
+		fullCfg.CopyBytesPerCycle = 1e9 // lossless reference
+		full, err := core.Run(microWorkload(spec), fullCfg)
+		if err != nil {
+			return nil, err
+		}
+		compare(spec.Name(), sampled.Trace, full.Trace)
+	}
+
+	// One application validated against ground truth: the simulator can
+	// collect lossless full traces of applications — infeasible on real
+	// hardware (§VI-A) — so the estimator's absolute accuracy is
+	// measurable, not just its consistency across sampling rates.
+	{
+		mv, _ := s.miniviteApp(minivite.V1, minivite.O3, true)
+		sampled, err := core.RunApp(mv, s.appConfig())
+		if err != nil {
+			return nil, err
+		}
+		fullCfg := core.DefaultConfig()
+		fullCfg.Mode = pt.ModeFull
+		fullCfg.CopyBytesPerCycle = 1e9
+		full, err := core.RunApp(mv, fullCfg)
+		if err != nil {
+			return nil, err
+		}
+		compare(mv.Name+" (vs truth)", sampled.Trace, full.Trace)
+	}
+
+	// Graph benchmarks: sampled vs 10×-finer sampling.
+	type appCase struct {
+		name string
+		run  func(cfg core.Config) (*core.AppResult, error)
+	}
+	mv, _ := s.miniviteApp(minivite.V1, minivite.O3, true)
+	pr, _ := s.gapApp(gap.PR, gap.O3, true)
+	cc, _ := s.gapApp(gap.CC, gap.O3, true)
+	for _, c := range []appCase{
+		{mv.Name, func(cfg core.Config) (*core.AppResult, error) { return core.RunApp(mv, cfg) }},
+		{pr.Name, func(cfg core.Config) (*core.AppResult, error) { return core.RunApp(pr, cfg) }},
+		{cc.Name, func(cfg core.Config) (*core.AppResult, error) { return core.RunApp(cc, cfg) }},
+	} {
+		cfg := s.appConfig()
+		sampled, err := c.run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", c.name, err)
+		}
+		fine := cfg
+		fine.Period = cfg.Period / 10
+		ref, err := c.run(fine)
+		if err != nil {
+			return nil, err
+		}
+		compare(c.name, sampled.Trace, ref.Trace)
+	}
+
+	t := report.NewTable(
+		"Fig. 6 — Validation of sampled footprint access diagnostics (MAPE %)",
+		"benchmark", "F (trace)", "Fstr (trace)", "Firr (trace)",
+		"F (code)", "Fstr (code)", "Firr (code)")
+	for _, r := range res.Rows {
+		t.Add(r.Name, r.TraceF, r.TraceFs, r.TraceFi, r.CodeF, r.CodeFs, r.CodeFi)
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+)
+
+// Fig7Row is one benchmark's tracing-overhead breakdown.
+type Fig7Row struct {
+	Name     string
+	PhaseGen float64 // graph-generation phase overhead (fraction)
+	PhaseHot float64 // modularity/rank phase overhead
+	Total    float64
+	PtwRatio float64 // whole-run ptwrites per non-ptwrite instruction
+	RatioGen float64 // per-phase ptwrite ratios (the red series)
+	RatioHot float64
+	OptHot   float64 // MemGaze-opt overhead on the hot phase
+}
+
+// Fig7Result holds the overhead rows and rendered text.
+type Fig7Result struct {
+	Rows []Fig7Row
+	Text string
+}
+
+// Fig7 measures memory-tracing run-time overhead for miniVite and GAP:
+// MemGaze (continuous PT) per phase and in total, the ptwrite-ratio
+// correlate, and MemGaze-opt (PT only during samples) on the hot phase.
+func Fig7(s Sizes) (*Fig7Result, error) {
+	res := &Fig7Result{}
+
+	type bench struct {
+		app     core.App
+		hot     string // hot phase name & HW-filter procedures
+		hotProc []string
+	}
+	var benches []bench
+	for _, opt := range []minivite.Opt{minivite.O0, minivite.O3} {
+		app, _ := s.miniviteApp(minivite.V1, opt, true)
+		benches = append(benches, bench{app, "modularity", []string{"buildMap", "map.insert", "getMax"}})
+	}
+	for _, algo := range []gap.Algorithm{gap.PR, gap.CC, gap.CCSV} {
+		app, w := s.gapApp(algo, gap.O3, true)
+		hotProc := "rank"
+		if algo == gap.CC || algo == gap.CCSV {
+			hotProc = "components"
+		}
+		_ = w
+		benches = append(benches, bench{app, "rank", []string{hotProc}})
+	}
+	// Darknet: no generation phase; the whole run is the store-dense
+	// inference hotspot the paper singles out (5-7x overhead).
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		app, _ := s.darknetApp(model)
+		benches = append(benches, bench{app, "inference", []string{"gemm", "im2col"}})
+	}
+
+	for _, b := range benches {
+		cont, err := core.RunApp(b.app, s.appConfig())
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", b.app.Name, err)
+		}
+		phases := cont.PhaseOverheads()
+
+		optCfg := s.appConfig()
+		optCfg.Mode = pt.ModeSampledPT
+		optCfg.HWFilterProcs = b.hotProc
+		opt, err := core.RunApp(b.app, optCfg)
+		if err != nil {
+			return nil, err
+		}
+		optPhases := opt.PhaseOverheads()
+
+		ratios := cont.PhasePtwRatios()
+		res.Rows = append(res.Rows, Fig7Row{
+			Name:     b.app.Name,
+			PhaseGen: phases["gengraph"],
+			PhaseHot: phases[b.hot],
+			Total:    cont.Overhead(),
+			PtwRatio: cont.PTWriteRatio(),
+			RatioGen: ratios["gengraph"],
+			RatioHot: ratios[b.hot],
+			OptHot:   optPhases[b.hot],
+		})
+	}
+
+	t := report.NewTable(
+		"Fig. 7 — Memory-tracing time overhead (fraction of baseline)",
+		"benchmark", "gen", "hot phase", "total", "ptw gen", "ptw hot", "opt (hot)")
+	for _, r := range res.Rows {
+		t.Add(r.Name, r.PhaseGen, r.PhaseHot, r.Total, r.RatioGen, r.RatioHot, r.OptHot)
+	}
+	res.Text = t.Render()
+	return res, nil
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/workloads/darknet"
+	"github.com/memgaze/memgaze-go/internal/workloads/gap"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+// Table2Row is one benchmark's toolchain timing (paper Table II).
+type Table2Row struct {
+	Name       string
+	BinarySize int
+	Instrument time.Duration
+	Analysis1  time.Duration // trace building
+	Analysis2  time.Duration // trace analysis
+}
+
+// Table2Result holds the rows and rendered text.
+type Table2Result struct {
+	Rows []Table2Row
+	Text string
+}
+
+// analysis2 times the standard analysis bundle on a trace: function
+// diagnostics, window histograms, and a zoom tree.
+func analysis2(t *trace.Trace) time.Duration {
+	t0 := time.Now()
+	analysis.FunctionDiagnostics(t, 64)
+	analysis.WindowHistogram(t, analysis.PowerOfTwoWindows(4, 16))
+	zoom.Build(t, zoom.DefaultConfig())
+	return time.Since(t0)
+}
+
+// Table2 measures binary-instrumentation and analysis wall times.
+func Table2(s Sizes) (*Table2Result, error) {
+	res := &Table2Result{}
+
+	// Micro-benchmarks: the IR binary path (real static analysis +
+	// rewriting).
+	spec := micro.Spec{
+		Pattern: micro.Cond{
+			A: micro.Str{Step: 1, Accesses: s.MicroAccesses},
+			B: micro.Irr{Accesses: s.MicroAccesses},
+		},
+		Reps: s.MicroReps, Opt: micro.O3,
+	}
+	r, err := core.Run(microWorkload(spec), s.microConfig())
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	res.Rows = append(res.Rows, Table2Row{
+		Name: "µbenchmarks", BinarySize: r.OrigSize,
+		Instrument: r.InstrumentTime,
+		Analysis1:  r.BuildTime,
+		Analysis2:  analysis2(r.Trace),
+	})
+
+	// Applications: module declaration + freeze stands in for
+	// instrumentation; trace building and analysis are measured for real.
+	type appCase struct {
+		app   core.App
+		size  int
+		instr time.Duration
+	}
+	var apps []appCase
+	timeIt := func(mk func() (core.App, int)) appCase {
+		t0 := time.Now()
+		app, size := mk()
+		return appCase{app: app, size: size, instr: time.Since(t0)}
+	}
+	apps = append(apps, timeIt(func() (core.App, int) {
+		app, w := s.miniviteApp(minivite.V1, minivite.O3, true)
+		return app, w.Mod.Size()
+	}))
+	apps = append(apps, timeIt(func() (core.App, int) {
+		app, w := s.gapApp(gap.PR, gap.O3, true)
+		return app, w.Mod.Size()
+	}))
+	apps = append(apps, timeIt(func() (core.App, int) {
+		app, w := s.gapApp(gap.CC, gap.O3, true)
+		return app, w.Mod.Size()
+	}))
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		model := model
+		apps = append(apps, timeIt(func() (core.App, int) {
+			app, w := s.darknetApp(model)
+			return app, w.Mod.Size()
+		}))
+	}
+	for _, a := range apps {
+		ar, err := core.RunApp(a.app, s.appConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", a.app.Name, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Name: a.app.Name, BinarySize: a.size,
+			Instrument: a.instr,
+			Analysis1:  ar.BuildTime,
+			Analysis2:  analysis2(ar.Trace),
+		})
+	}
+
+	t := report.NewTable("Table II — Toolchain times",
+		"benchmark", "binary size", "instrument", "analysis/1", "analysis/2")
+	for _, r := range res.Rows {
+		t.Add(r.Name, report.Bytes(uint64(r.BinarySize)),
+			r.Instrument.Round(time.Microsecond).String(),
+			r.Analysis1.Round(time.Microsecond).String(),
+			r.Analysis2.Round(time.Microsecond).String())
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// Table3Row is one benchmark's trace-size comparison (paper Table III).
+type Table3Row struct {
+	Name     string
+	RecBytes uint64 // full trace as recorded (with drops)
+	AllBytes uint64 // drop-corrected full trace
+	AllPlus  uint64 // uncompressed full trace (Constant loads included)
+	Sampled  uint64 // MemGaze sampled trace
+	DropPct  float64
+	Kappa    float64
+}
+
+// Ratios returns sampled/Rec, sampled/All, sampled/All+ as percentages.
+func (r *Table3Row) Ratios() (rec, all, allPlus float64) {
+	pct := func(d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(r.Sampled) / float64(d)
+	}
+	return pct(r.RecBytes), pct(r.AllBytes), pct(r.AllPlus)
+}
+
+// Table3Result holds the rows and rendered text.
+type Table3Result struct {
+	Rows []Table3Row
+	Text string
+}
+
+type table3case struct {
+	name    string
+	sampled func() (*trace.Trace, error)
+	full    func() (*trace.Trace, error)
+}
+
+// Table3 measures trace-space savings: bandwidth-limited full traces
+// ('Rec'), drop-corrected ('All'), decompression-corrected ('All+'),
+// and MemGaze's sampled traces.
+func Table3(s Sizes) (*Table3Result, error) {
+	res := &Table3Result{}
+	var cases []table3case
+
+	// Micro-benchmark aggregate at both optimisation levels.
+	for _, opt := range []micro.OptLevel{micro.O0, micro.O3} {
+		opt := opt
+		spec := micro.Spec{
+			Pattern: micro.Series{
+				A: micro.Str{Step: 1, Accesses: s.MicroAccesses},
+				B: micro.Irr{Accesses: s.MicroAccesses},
+			},
+			Reps: s.MicroReps, Opt: opt,
+		}
+		cases = append(cases, table3case{
+			name: "µbench-" + opt.String(),
+			sampled: func() (*trace.Trace, error) {
+				r, err := core.Run(microWorkload(spec), s.microConfig())
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+			full: func() (*trace.Trace, error) {
+				cfg := s.fullModeConfig()
+				cfg.Period, cfg.BufBytes = s.MicroPeriod, s.MicroBuf
+				r, err := core.Run(microWorkload(spec), cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		})
+	}
+
+	appCase := func(mk func(compress bool) core.App) table3case {
+		app := mk(true)
+		return table3case{
+			name: app.Name,
+			sampled: func() (*trace.Trace, error) {
+				r, err := core.RunApp(app, s.appConfig())
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+			full: func() (*trace.Trace, error) {
+				r, err := core.RunApp(app, s.fullModeConfig())
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		}
+	}
+
+	for _, opt := range []minivite.Opt{minivite.O0, minivite.O3} {
+		for _, v := range []minivite.Variant{minivite.V1, minivite.V2, minivite.V3} {
+			v, opt := v, opt
+			cases = append(cases, appCase(func(compress bool) core.App {
+				app, _ := s.miniviteApp(v, opt, compress)
+				return app
+			}))
+		}
+	}
+	for _, opt := range []gap.Opt{gap.O0, gap.O3} {
+		for _, algo := range []gap.Algorithm{gap.CC, gap.CCSV, gap.PR, gap.PRSpmv} {
+			algo, opt := algo, opt
+			cases = append(cases, appCase(func(compress bool) core.App {
+				app, _ := s.gapApp(algo, opt, compress)
+				return app
+			}))
+		}
+	}
+	for _, model := range []darknet.Model{darknet.AlexNet, darknet.ResNet152} {
+		model := model
+		cases = append(cases, appCase(func(compress bool) core.App {
+			app, _ := s.darknetApp(model)
+			return app
+		}))
+	}
+
+	for _, c := range cases {
+		st, err := c.sampled()
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s sampled: %w", c.name, err)
+		}
+		ft, err := c.full()
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s full: %w", c.name, err)
+		}
+		row := Table3Row{Name: c.name, Sampled: st.Bytes, Kappa: ft.Kappa()}
+		row.RecBytes = ft.Bytes
+		// 'All': correct for drops using the mean recorded event size.
+		if ft.RecordedEvents > 0 {
+			evBytes := float64(ft.Bytes) / float64(ft.RecordedEvents)
+			row.AllBytes = ft.Bytes + uint64(float64(ft.DroppedEvents)*evBytes)
+			row.DropPct = 100 * float64(ft.DroppedEvents) /
+				float64(ft.DroppedEvents+ft.RecordedEvents)
+		}
+		// 'All+': undo trace compression with κ.
+		row.AllPlus = uint64(float64(row.AllBytes) * row.Kappa)
+		res.Rows = append(res.Rows, row)
+	}
+
+	t := report.NewTable("Table III — Space savings of sampled traces",
+		"benchmark", "Rec", "All", "All+", "MemGaze", "drop%",
+		"%Rec", "%All", "%All+")
+	for _, r := range res.Rows {
+		rr, ra, rp := r.Ratios()
+		t.Add(r.Name, report.Bytes(r.RecBytes), report.Bytes(r.AllBytes),
+			report.Bytes(r.AllPlus), report.Bytes(r.Sampled),
+			report.Pct(r.DropPct), report.Pct(rr), report.Pct(ra), report.Pct(rp))
+	}
+	res.Text = t.Render()
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package heatmap
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// cornerTrace touches the low addresses early and the high addresses
+// late, so mass lands on the heatmap's diagonal corners.
+func cornerTrace() *trace.Trace {
+	tr := &trace.Trace{Period: 100, TotalLoads: 800}
+	for s := 0; s < 8; s++ {
+		smp := &trace.Sample{Seq: s}
+		base := uint64(0x1000)
+		if s >= 4 {
+			base = 0x1000 + 0x7000 // upper half of [0x1000, 0x9000)
+		}
+		for i := 0; i < 20; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: base + uint64(i%4)*64, Proc: "f",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func TestBuildPlacesMass(t *testing.T) {
+	h := Build(cornerTrace(), 0x1000, 0x9000, 4, 4, 64)
+	// Early samples (cols 0-1) hit row 0; late samples (cols 2-3) hit
+	// row 3.
+	if h.Access[0][0] == 0 || h.Access[0][1] == 0 {
+		t.Error("no early mass in row 0")
+	}
+	if h.Access[3][2] == 0 || h.Access[3][3] == 0 {
+		t.Error("no late mass in row 3")
+	}
+	if h.Access[0][3] != 0 || h.Access[3][0] != 0 {
+		t.Error("mass leaked to the wrong corner")
+	}
+	// Totals conserved.
+	var total float64
+	for _, row := range h.Access {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 160 {
+		t.Errorf("total mass = %v, want 160", total)
+	}
+}
+
+func TestDistCellsAreMeans(t *testing.T) {
+	h := Build(cornerTrace(), 0x1000, 0x9000, 4, 4, 64)
+	// The 4-block cycle gives reuse distance 3 for every reuse.
+	if got := h.Dist[0][0]; got < 2.5 || got > 3.5 {
+		t.Errorf("mean D = %v, want ≈3", got)
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	h := Build(cornerTrace(), 0x2000, 0x3000, 4, 4, 64)
+	if Max(h.Access) != 0 {
+		t.Error("out-of-range records counted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := [][]float64{
+		{0, 1, 1, 1, 1},
+		{1, 1, 1, 50}, // one outlier among eight ones
+	}
+	s := Summarize(m)
+	if s.NonZero != 8 {
+		t.Errorf("nonzero = %d", s.NonZero)
+	}
+	if s.Max != 50 {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.OutlierFrac <= 0 || s.OutlierFrac > 0.5 {
+		t.Errorf("outlier frac = %v", s.OutlierFrac)
+	}
+	if z := Summarize([][]float64{{0, 0}}); z.NonZero != 0 || z.Mean != 0 {
+		t.Errorf("zero matrix summary = %+v", z)
+	}
+}
+
+func TestDegenerateBuild(t *testing.T) {
+	h := Build(&trace.Trace{}, 0, 0, 0, 0, 64)
+	if h.Rows <= 0 || h.Cols <= 0 {
+		t.Error("defaults not applied")
+	}
+}

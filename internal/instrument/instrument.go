@@ -1,0 +1,370 @@
+// Package instrument is MemGaze-Go's binary rewriter (the DynInst stage
+// of the paper, §III). Given a linked program and its load
+// classification, it produces a new program with ptwrite instructions
+// inserted before selected loads, plus an auxiliary annotation file.
+//
+// Selection implements the paper's trace compression (§III-B):
+//
+//   - Strided and Irregular loads are always instrumented: one ptwrite
+//     per dynamic source register (base, and index if present); the
+//     literals (scale, displacement) go into the annotation file keyed by
+//     the load's code address.
+//   - Constant loads are not individually instrumented. Per basic block,
+//     one proxy instruction is selected: a Strided/Irregular load if the
+//     block has one, otherwise the block's first Constant load. The proxy
+//     is annotated with the number of implied (elided) Constant loads, so
+//     the decoder can reconstruct κ (Eq. 2).
+//
+// The rewriter also records the mapping from new code addresses back to
+// the original instruction addresses and source lines (§III-D).
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// Operand identifies which dynamic register of a load a ptwrite records.
+type Operand uint8
+
+const (
+	// OpndBase is the base register of [base + index*scale + disp].
+	OpndBase Operand = iota
+	// OpndIndex is the index register.
+	OpndIndex
+	// OpndMarker is a ptwrite that only signals execution of a Constant
+	// proxy load; its payload does not contribute to an address.
+	OpndMarker
+)
+
+func (o Operand) String() string {
+	switch o {
+	case OpndBase:
+		return "base"
+	case OpndIndex:
+		return "index"
+	default:
+		return "marker"
+	}
+}
+
+// PTWNote describes one inserted ptwrite: which load it belongs to and
+// which operand it carries. NumOperands tells the decoder how many
+// consecutive ptwrites reconstruct the load's effective address.
+type PTWNote struct {
+	PTWAddr     uint64  `json:"ptw"`
+	LoadAddr    uint64  `json:"load"`
+	Operand     Operand `json:"opnd"`
+	NumOperands int     `json:"nopnd"`
+}
+
+// LoadNote is the per-load entry of the annotation file: the static
+// literals of the addressing mode, the access class from static
+// analysis, and the number of Constant loads this (proxy) load implies.
+type LoadNote struct {
+	LoadAddr     uint64         `json:"addr"`
+	Proc         string         `json:"proc"`
+	Line         int32          `json:"line"`
+	Class        dataflow.Class `json:"class"`
+	Stride       int64          `json:"stride"`
+	Scale        uint8          `json:"scale"`
+	Disp         int64          `json:"disp"`
+	ImpliedConst int            `json:"implied"`
+	// Instrumented is false for Constant loads elided by compression;
+	// they appear here only so the annotation file is a complete record
+	// of the module's loads.
+	Instrumented bool `json:"instr"`
+}
+
+// Annotations is the auxiliary annotation file (§III-A): everything the
+// trace decoder needs to turn raw ptwrite payloads back into load-level
+// records, plus the new→old source mapping (§III-D).
+type Annotations struct {
+	Module   string               `json:"module"`
+	Loads    map[uint64]*LoadNote `json:"loads"`
+	PTWrites map[uint64]*PTWNote  `json:"ptwrites"`
+	// AddrMap maps instrumented code addresses to original addresses.
+	AddrMap map[uint64]uint64 `json:"addrmap"`
+
+	// Summary statistics filled in by the rewriter.
+	NumLoads        int `json:"numLoads"`
+	NumInstrumented int `json:"numInstrumented"`
+	NumPTWrites     int `json:"numPtwrites"`
+	NumConstElided  int `json:"numConstElided"`
+}
+
+// Options configures the rewriter.
+type Options struct {
+	// Procs restricts instrumentation to a region of interest (set of
+	// procedure names). Empty means the whole module (§II, Step 1).
+	Procs []string
+	// CompressConstants enables the proxy scheme of §III-B. When false,
+	// every load is instrumented (the "All+"-style configuration used by
+	// the compression ablation).
+	CompressConstants bool
+}
+
+// DefaultOptions instruments the whole module with compression on.
+func DefaultOptions() Options { return Options{CompressConstants: true} }
+
+// Output bundles the rewritten binary with its annotation file.
+type Output struct {
+	Prog  *isa.Program
+	Notes *Annotations
+}
+
+// Rewrite instruments prog according to opts. prog must be linked; it is
+// not modified — the returned program is a rewritten clone, re-linked,
+// with annotations keyed by the new code addresses.
+func Rewrite(prog *isa.Program, classes *dataflow.Result, opts Options) (*Output, error) {
+	roi := map[string]bool{}
+	for _, p := range opts.Procs {
+		roi[p] = true
+	}
+	inROI := func(name string) bool { return len(roi) == 0 || roi[name] }
+
+	clone := prog.Clone()
+	notes := &Annotations{
+		Module:   prog.Name,
+		Loads:    make(map[uint64]*LoadNote),
+		PTWrites: make(map[uint64]*PTWNote),
+		AddrMap:  make(map[uint64]uint64),
+	}
+
+	// oldAddrs remembers, instruction by instruction, the original
+	// address of every retained instruction and 0 for inserted ptwrites,
+	// so the address map can be rebuilt after re-linking.
+	type pendingPTW struct {
+		proc  string
+		block int
+		index int // index in the NEW block
+		note  PTWNote
+	}
+	type pendingLoad struct {
+		proc  string
+		block int
+		index int
+		note  LoadNote
+	}
+	var ptws []pendingPTW
+	var loadNotes []pendingLoad
+
+	for pi, proc := range clone.Procs {
+		origProc := prog.Procs[pi]
+		for bi, blk := range proc.Blocks {
+			origBlk := origProc.Blocks[bi]
+
+			// Classify the block's loads and choose the proxy.
+			type loadAt struct {
+				idx  int
+				info *dataflow.LoadInfo
+			}
+			var constLoads, dynLoads []loadAt
+			for ii := range origBlk.Instrs {
+				oin := &origBlk.Instrs[ii]
+				if oin.Op != isa.OpLoad {
+					continue
+				}
+				info := classes.Loads[oin.Addr]
+				if info == nil {
+					return nil, fmt.Errorf("instrument: no classification for load at %#x", oin.Addr)
+				}
+				notes.NumLoads++
+				if info.Class == dataflow.Constant {
+					constLoads = append(constLoads, loadAt{ii, info})
+				} else {
+					dynLoads = append(dynLoads, loadAt{ii, info})
+				}
+			}
+
+			instrumentIdx := make(map[int]bool) // original indexes to instrument
+			implied := make(map[int]int)        // proxy original index -> implied consts
+			if !inROI(proc.Name) {
+				// Leave the block untouched.
+			} else if !opts.CompressConstants {
+				for _, l := range constLoads {
+					instrumentIdx[l.idx] = true
+				}
+				for _, l := range dynLoads {
+					instrumentIdx[l.idx] = true
+				}
+			} else {
+				for _, l := range dynLoads {
+					instrumentIdx[l.idx] = true
+				}
+				switch {
+				case len(dynLoads) > 0:
+					implied[dynLoads[0].idx] = len(constLoads)
+					notes.NumConstElided += len(constLoads)
+				case len(constLoads) > 0:
+					proxy := constLoads[0]
+					instrumentIdx[proxy.idx] = true
+					implied[proxy.idx] = len(constLoads) - 1
+					notes.NumConstElided += len(constLoads) - 1
+				}
+			}
+
+			// Rebuild the block with ptwrites inserted before
+			// instrumented loads. ptwrite must precede the load because
+			// the destination register may overwrite a source (§III-A).
+			newInstrs := make([]isa.Instr, 0, len(blk.Instrs)+2*len(instrumentIdx))
+			for ii := range blk.Instrs {
+				in := blk.Instrs[ii] // copy
+				oldAddr := origBlk.Instrs[ii].Addr
+				if in.Op == isa.OpLoad && instrumentIdx[ii] {
+					info := classes.Loads[oldAddr]
+					ln := LoadNote{
+						Proc: proc.Name, Line: in.Line,
+						Class: info.Class, Stride: info.Stride,
+						Scale: in.M.Scale, Disp: in.M.Disp,
+						ImpliedConst: implied[ii],
+						Instrumented: true,
+					}
+					regs := dynamicRegs(in.M)
+					if info.Class == dataflow.Constant || len(regs) == 0 {
+						// Proxy for constant loads, or a global scalar
+						// with no dynamic register: a marker ptwrite.
+						mk := isa.Instr{Op: isa.OpPTWrite, Ra: markerReg(in.M), Line: in.Line}
+						newInstrs = append(newInstrs, mk)
+						ptws = append(ptws, pendingPTW{proc.Name, bi, len(newInstrs) - 1,
+							PTWNote{Operand: OpndMarker, NumOperands: 1}})
+						notes.NumPTWrites++
+					} else {
+						for k, r := range regs {
+							opnd := OpndBase
+							if k == 1 {
+								opnd = OpndIndex
+							}
+							// A load like [r + r*8] reads one register for
+							// both roles; emit one ptwrite per role anyway
+							// (that is what instrumenting "source
+							// registers" does on real hardware).
+							pw := isa.Instr{Op: isa.OpPTWrite, Ra: r, Line: in.Line}
+							newInstrs = append(newInstrs, pw)
+							ptws = append(ptws, pendingPTW{proc.Name, bi, len(newInstrs) - 1,
+								PTWNote{Operand: opnd, NumOperands: len(regs)}})
+							notes.NumPTWrites++
+						}
+					}
+					newInstrs = append(newInstrs, in)
+					loadNotes = append(loadNotes, pendingLoad{proc.Name, bi, len(newInstrs) - 1, ln})
+					notes.NumInstrumented++
+				} else {
+					if in.Op == isa.OpLoad {
+						// Elided load: still recorded in the annotation
+						// file for completeness.
+						info := classes.Loads[oldAddr]
+						loadNotes = append(loadNotes, pendingLoad{proc.Name, bi, len(newInstrs),
+							LoadNote{Proc: proc.Name, Line: in.Line, Class: info.Class,
+								Stride: info.Stride, Scale: in.M.Scale, Disp: in.M.Disp}})
+					}
+					newInstrs = append(newInstrs, in)
+				}
+				_ = oldAddr // new->old mapping is rebuilt by buildAddrMap
+			}
+			blk.Instrs = newInstrs
+		}
+	}
+
+	if err := clone.Link(); err != nil {
+		return nil, fmt.Errorf("instrument: relink: %w", err)
+	}
+
+	// Resolve pending notes now that new addresses exist.
+	for i := range loadNotes {
+		pl := &loadNotes[i]
+		in := &clone.Proc(pl.proc).Blocks[pl.block].Instrs[pl.index]
+		pl.note.LoadAddr = in.Addr
+		n := pl.note // copy
+		notes.Loads[in.Addr] = &n
+	}
+	for i := range ptws {
+		pp := &ptws[i]
+		blkInstrs := clone.Proc(pp.proc).Blocks[pp.block].Instrs
+		in := &blkInstrs[pp.index]
+		pp.note.PTWAddr = in.Addr
+		// The ptwrite's load is the next OpLoad at or after index+1.
+		for j := pp.index + 1; j < len(blkInstrs); j++ {
+			if blkInstrs[j].Op == isa.OpLoad {
+				pp.note.LoadAddr = blkInstrs[j].Addr
+				break
+			}
+		}
+		n := pp.note
+		notes.PTWrites[in.Addr] = &n
+	}
+
+	buildAddrMap(prog, clone, notes)
+	return &Output{Prog: clone, Notes: notes}, nil
+}
+
+// buildAddrMap walks original and instrumented programs in lockstep,
+// skipping inserted ptwrites, and records new→old address pairs. This is
+// the mechanism the paper adds to DynInst to recover source attribution
+// (§III-D); source lines additionally travel on the instructions.
+func buildAddrMap(orig, inst *isa.Program, notes *Annotations) {
+	for pi, op := range orig.Procs {
+		np := inst.Procs[pi]
+		for bi, ob := range op.Blocks {
+			nb := np.Blocks[bi]
+			oi := 0
+			for ni := range nb.Instrs {
+				if nb.Instrs[ni].Op == isa.OpPTWrite && (oi >= len(ob.Instrs) || ob.Instrs[oi].Op != isa.OpPTWrite) {
+					continue // inserted instruction
+				}
+				if oi < len(ob.Instrs) {
+					notes.AddrMap[nb.Instrs[ni].Addr] = ob.Instrs[oi].Addr
+					oi++
+				}
+			}
+		}
+	}
+}
+
+// dynamicRegs returns the dynamic source registers of a memory operand
+// in decode order (base first).
+func dynamicRegs(m isa.MemRef) []isa.Reg {
+	var r []isa.Reg
+	if m.Base != isa.NoReg {
+		r = append(r, m.Base)
+	}
+	if m.Index != isa.NoReg {
+		r = append(r, m.Index)
+	}
+	return r
+}
+
+// markerReg picks a register for a marker ptwrite: the operand's base if
+// it has one (FP for stack scalars), else FP.
+func markerReg(m isa.MemRef) isa.Reg {
+	if m.Base != isa.NoReg {
+		return m.Base
+	}
+	return isa.FP
+}
+
+// Save writes the annotation file as JSON.
+func (a *Annotations) Save(path string) error {
+	data, err := json.MarshalIndent(a, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadAnnotations reads an annotation file written by Save.
+func LoadAnnotations(path string) (*Annotations, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Annotations
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("instrument: parse %s: %w", path, err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,224 @@
+package instrument
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// testProgram: a loop with one strided load, one two-register gather,
+// one pointer chase, and two constant loads — plus an all-constant block.
+func testProgram(t *testing.T) (*isa.Program, *dataflow.Result) {
+	t.Helper()
+	proc := isa.NewProc("hot", 32).
+		MovImm(isa.R4, 0x20000000).
+		MovImm(isa.R5, 0).
+		MovImm(isa.R9, 0x20001000).
+		Label("loop").
+		Load(isa.R10, isa.Frame(0)).                 // constant
+		Load(isa.R11, isa.Frame(8)).                 // constant
+		Load(isa.R0, isa.Idx(isa.R4, isa.R5, 8, 0)). // strided, 2 source regs
+		Load(isa.R9, isa.Ind(isa.R9, 0)).            // irregular, 1 source reg
+		AddImm(isa.R5, isa.R5, 1).
+		BrImm(isa.CondLT, isa.R5, 16, "loop").
+		Label("tail").
+		Load(isa.R1, isa.Frame(16)). // constant-only block
+		Load(isa.R2, isa.Frame(24)).
+		Halt().
+		Finish()
+	p := isa.NewProgram("testmod", "hot")
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	classes, err := dataflow.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, classes
+}
+
+func TestRewriteCompressed(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := out.Notes
+	// Loads: 2 const + 1 strided + 1 irregular in loop; 2 const in tail.
+	if n.NumLoads != 6 {
+		t.Errorf("NumLoads = %d, want 6", n.NumLoads)
+	}
+	// Instrumented: strided + irregular + 1 const proxy in tail block.
+	if n.NumInstrumented != 3 {
+		t.Errorf("NumInstrumented = %d, want 3", n.NumInstrumented)
+	}
+	// ptwrites: 2 (two-reg strided) + 1 (irregular) + 1 (const marker).
+	if n.NumPTWrites != 4 {
+		t.Errorf("NumPTWrites = %d, want 4", n.NumPTWrites)
+	}
+	// Elided: the 2 loop consts attach to the strided proxy; the tail
+	// block elides 1 of its 2 consts.
+	if n.NumConstElided != 3 {
+		t.Errorf("NumConstElided = %d, want 3", n.NumConstElided)
+	}
+	// Text grew by the inserted ptwrites (plus end-of-proc alignment).
+	if got, want := out.Prog.Size()-p.Size(), 4*5; got < want || got >= want+16 {
+		t.Errorf("text growth = %d, want %d (+ alignment)", got, want)
+	}
+}
+
+func TestPTWritePrecedesLoad(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ptwAddr, pn := range out.Notes.PTWrites {
+		if pn.LoadAddr <= ptwAddr {
+			t.Errorf("ptwrite at %#x does not precede its load at %#x", ptwAddr, pn.LoadAddr)
+		}
+		// The ptwrite instruction really is a ptwrite.
+		ref := out.Prog.FindByAddr(ptwAddr)
+		if ref == nil || ref.Instr().Op != isa.OpPTWrite {
+			t.Errorf("no ptwrite instruction at %#x", ptwAddr)
+		}
+		lref := out.Prog.FindByAddr(pn.LoadAddr)
+		if lref == nil || lref.Instr().Op != isa.OpLoad {
+			t.Errorf("no load instruction at %#x", pn.LoadAddr)
+		}
+	}
+}
+
+func TestTwoRegisterLoadsGetTwoPTWrites(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLoad := map[uint64][]Operand{}
+	for _, pn := range out.Notes.PTWrites {
+		perLoad[pn.LoadAddr] = append(perLoad[pn.LoadAddr], pn.Operand)
+	}
+	twoReg := 0
+	for addr, ops := range perLoad {
+		ln := out.Notes.Loads[addr]
+		if ln == nil {
+			t.Fatalf("load note missing for %#x", addr)
+		}
+		if len(ops) == 2 {
+			twoReg++
+			hasBase, hasIndex := false, false
+			for _, o := range ops {
+				hasBase = hasBase || o == OpndBase
+				hasIndex = hasIndex || o == OpndIndex
+			}
+			if !hasBase || !hasIndex {
+				t.Errorf("two-reg load %#x operands %v", addr, ops)
+			}
+		}
+	}
+	if twoReg != 1 {
+		t.Errorf("two-register loads = %d, want 1", twoReg)
+	}
+}
+
+func TestRewriteUncompressed(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, Options{CompressConstants: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Notes.NumInstrumented != 6 {
+		t.Errorf("uncompressed NumInstrumented = %d, want 6", out.Notes.NumInstrumented)
+	}
+	if out.Notes.NumConstElided != 0 {
+		t.Errorf("uncompressed NumConstElided = %d, want 0", out.Notes.NumConstElided)
+	}
+}
+
+func TestROIRestrictsInstrumentation(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, Options{Procs: []string{"other"}, CompressConstants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Notes.NumPTWrites != 0 {
+		t.Errorf("out-of-ROI proc instrumented: %d ptwrites", out.Notes.NumPTWrites)
+	}
+	if out.Prog.Size() != p.Size() {
+		t.Errorf("binary changed outside ROI")
+	}
+}
+
+func TestAddrMapCoversOriginalInstructions(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(out.Notes.AddrMap), p.NumInstrs(); got != want {
+		t.Errorf("AddrMap has %d entries, want %d", got, want)
+	}
+	// Every mapping target must be a real original address, and the
+	// original instruction must match the new one's opcode.
+	for newA, oldA := range out.Notes.AddrMap {
+		nr := out.Prog.FindByAddr(newA)
+		or := p.FindByAddr(oldA)
+		if nr == nil || or == nil {
+			t.Fatalf("addr map entry %#x->%#x dangles", newA, oldA)
+		}
+		if nr.Instr().Op != or.Instr().Op {
+			t.Errorf("addr map %#x->%#x maps %v to %v", newA, oldA, nr.Instr().Op, or.Instr().Op)
+		}
+	}
+}
+
+func TestAnnotationsRoundtrip(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "notes.json")
+	if err := out.Notes.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAnnotations(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Module != out.Notes.Module ||
+		len(got.Loads) != len(out.Notes.Loads) ||
+		len(got.PTWrites) != len(out.Notes.PTWrites) ||
+		got.NumConstElided != out.Notes.NumConstElided {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", got, out.Notes)
+	}
+	for addr, ln := range out.Notes.Loads {
+		g := got.Loads[addr]
+		if g == nil || *g != *ln {
+			t.Errorf("load note %#x roundtrip mismatch", addr)
+		}
+	}
+}
+
+// TestImpliedConstAccounting checks κ's raw ingredients: summing the
+// implied counts over instrumented loads recovers every elided constant.
+func TestImpliedConstAccounting(t *testing.T) {
+	p, classes := testProgram(t)
+	out, err := Rewrite(p, classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, ln := range out.Notes.Loads {
+		if ln.Instrumented {
+			sum += ln.ImpliedConst
+		}
+	}
+	if sum != out.Notes.NumConstElided {
+		t.Errorf("implied sum %d != elided %d", sum, out.Notes.NumConstElided)
+	}
+}

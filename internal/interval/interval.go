@@ -1,0 +1,194 @@
+// Package interval implements MemGaze's multi-resolution execution-time
+// analysis (§IV-C1, Fig. 4): an execution interval tree built bottom-up
+// from samples, whose nodes carry footprint access diagnostics at
+// doubling time granularities, plus the per-interval breakdowns used by
+// Table VIII and Fig. 9.
+package interval
+
+import (
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Node is one execution interval: a contiguous range of samples.
+// Level 0 nodes are single samples (intra-sample metrics are exact);
+// higher levels aggregate pairs of children (inter-sample metrics are
+// estimates, §IV-B).
+type Node struct {
+	Level      int
+	Start, End int // sample index range [Start, End)
+	StartTS    uint64
+	EndTS      uint64
+	Diag       *analysis.Diag
+	Children   []*Node
+}
+
+// Samples returns the number of samples the node spans.
+func (n *Node) Samples() int { return n.End - n.Start }
+
+// Tree is an execution interval tree over one trace.
+type Tree struct {
+	Root      *Node
+	Leaves    []*Node
+	trace     *trace.Trace
+	blockSize uint64
+}
+
+// Build constructs the tree: one leaf per sample, then parents merging
+// pairs of children until a single root remains.
+func Build(t *trace.Trace, blockSize uint64) *Tree {
+	tr := &Tree{trace: t, blockSize: blockSize}
+	level := make([]*Node, 0, len(t.Samples))
+	for i, s := range t.Samples {
+		n := &Node{Level: 0, Start: i, End: i + 1}
+		if len(s.Records) > 0 {
+			n.StartTS = s.Records[0].TS
+			n.EndTS = s.Records[len(s.Records)-1].TS
+		}
+		n.Diag = tr.diagFor(i, i+1)
+		level = append(level, n)
+	}
+	tr.Leaves = level
+	if len(level) == 0 {
+		tr.Root = &Node{Diag: &analysis.Diag{Kappa: 1}}
+		return tr
+	}
+	lvl := 1
+	for len(level) > 1 {
+		next := make([]*Node, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			a, b := level[i], level[i+1]
+			p := &Node{
+				Level: lvl, Start: a.Start, End: b.End,
+				StartTS: a.StartTS, EndTS: b.EndTS,
+				Children: []*Node{a, b},
+			}
+			p.Diag = tr.diagFor(p.Start, p.End)
+			next = append(next, p)
+		}
+		level = next
+		lvl++
+	}
+	tr.Root = level[0]
+	return tr
+}
+
+// diagFor computes diagnostics over samples [start, end).
+func (tr *Tree) diagFor(start, end int) *analysis.Diag {
+	sub := &trace.Trace{
+		Module: tr.trace.Module, Mode: tr.trace.Mode,
+		Period: tr.trace.Period, BufBytes: tr.trace.BufBytes,
+		Samples: tr.trace.Samples[start:end],
+	}
+	// Attribute a proportional share of the execution's loads so ρ stays
+	// the global sample ratio.
+	if len(tr.trace.Samples) > 0 {
+		sub.TotalLoads = tr.trace.TotalLoads * uint64(end-start) / uint64(len(tr.trace.Samples))
+	}
+	regions := []analysis.Region{{Name: "interval", Lo: 0, Hi: ^uint64(0)}}
+	return analysis.RegionDiagnostics(sub, regions, tr.blockSize)[0]
+}
+
+// ZoomHot walks from the root to a leaf, at each level descending into
+// the child maximising score, and returns the path (the red descent of
+// Fig. 4). A nil score uses accesses × footprint growth — "hot interval
+// with poor reuse".
+func (tr *Tree) ZoomHot(score func(*Node) float64) []*Node {
+	if score == nil {
+		score = func(n *Node) float64 { return n.Diag.EstLoads * n.Diag.DeltaF }
+	}
+	var path []*Node
+	n := tr.Root
+	for n != nil {
+		path = append(path, n)
+		var best *Node
+		for _, c := range n.Children {
+			if best == nil || score(c) > score(best) {
+				best = c
+			}
+		}
+		n = best
+	}
+	return path
+}
+
+// IntervalDiagnostics splits the trace's samples into k equal consecutive
+// access intervals and returns a Diag per interval — the layout of the
+// paper's Table VIII (gemm locality over time).
+func IntervalDiagnostics(t *trace.Trace, k int, blockSize uint64) []*analysis.Diag {
+	if k <= 0 || len(t.Samples) == 0 {
+		return nil
+	}
+	if k > len(t.Samples) {
+		k = len(t.Samples)
+	}
+	tr := &Tree{trace: t, blockSize: blockSize}
+	out := make([]*analysis.Diag, 0, k)
+	for i := 0; i < k; i++ {
+		start := i * len(t.Samples) / k
+		end := (i + 1) * len(t.Samples) / k
+		if end == start {
+			continue
+		}
+		out = append(out, tr.diagFor(start, end))
+	}
+	return out
+}
+
+// LocalityPoint is one bin of Fig. 9's histogram: mean locality metrics
+// of intra-sample access intervals of a given size.
+type LocalityPoint struct {
+	W      uint64  // interval size in observed accesses
+	N      int     // intervals measured
+	DeltaF float64 // mean footprint growth
+	D      float64 // mean spatio-temporal reuse distance
+}
+
+// IntraLocalityHistogram measures data locality of hot access intervals
+// within samples (Fig. 9): each sample is cut into consecutive intervals
+// of w accesses; for each interval footprint growth and mean reuse
+// distance are computed exactly.
+func IntraLocalityHistogram(t *trace.Trace, windows []uint64, blockSize uint64) []LocalityPoint {
+	out := make([]LocalityPoint, 0, len(windows))
+	for _, w := range windows {
+		p := LocalityPoint{W: w}
+		var sumDF, sumD float64
+		var nD int
+		dist := analysis.NewStackDist(blockSize)
+		addrs := make(map[uint64]struct{})
+		for _, s := range t.Samples {
+			for start := 0; start+int(w) <= len(s.Records); start += int(w) {
+				dist.Reset()
+				clear(addrs)
+				var dSum float64
+				var dn int
+				for i := start; i < start+int(w); i++ {
+					r := &s.Records[i]
+					addrs[r.Addr] = struct{}{}
+					if d, _ := dist.Access(r.Addr); d >= 0 {
+						dSum += float64(d)
+						dn++
+					}
+				}
+				p.N++
+				sumDF += float64(len(addrs)) * 8 / float64(w)
+				if dn > 0 {
+					sumD += dSum / float64(dn)
+					nD++
+				}
+			}
+		}
+		if p.N > 0 {
+			p.DeltaF = sumDF / float64(p.N)
+		}
+		if nD > 0 {
+			p.D = sumD / float64(nD)
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package interval
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// phasedTrace: 16 samples; the first 8 touch a small hot set, the last 8
+// stream fresh addresses (growing footprint) — a clear phase change.
+func phasedTrace() *trace.Trace {
+	tr := &trace.Trace{Period: 1000, TotalLoads: 16_000}
+	ts := uint64(0)
+	for s := 0; s < 16; s++ {
+		smp := &trace.Sample{Seq: s}
+		for i := 0; i < 64; i++ {
+			ts += 3
+			var addr uint64
+			if s < 8 {
+				addr = 0x1000 + uint64(i%8)*8 // hot set
+			} else {
+				addr = 0x100000 + uint64(s*64+i)*64 // streaming
+			}
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: addr, TS: ts, Class: dataflow.Irregular, Proc: "f",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := phasedTrace()
+	tree := Build(tr, 64)
+	if len(tree.Leaves) != 16 {
+		t.Fatalf("leaves = %d, want 16", len(tree.Leaves))
+	}
+	if tree.Root.Start != 0 || tree.Root.End != 16 {
+		t.Errorf("root spans [%d, %d), want [0, 16)", tree.Root.Start, tree.Root.End)
+	}
+	// Every internal node's children partition its range.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Children) == 0 {
+			return
+		}
+		if n.Children[0].Start != n.Start || n.Children[len(n.Children)-1].End != n.End {
+			t.Errorf("children of [%d,%d) do not span it", n.Start, n.End)
+		}
+		for i := 1; i < len(n.Children); i++ {
+			if n.Children[i].Start != n.Children[i-1].End {
+				t.Errorf("gap between children at %d", n.Children[i].Start)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Root)
+	// Root accounts for all observed accesses.
+	if tree.Root.Diag.A != tr.NumRecords() {
+		t.Errorf("root A = %d, want %d", tree.Root.Diag.A, tr.NumRecords())
+	}
+}
+
+func TestZoomHotDescendsToStreamingPhase(t *testing.T) {
+	tree := Build(phasedTrace(), 64)
+	path := tree.ZoomHot(nil)
+	if len(path) < 2 {
+		t.Fatal("zoom path too short")
+	}
+	leaf := path[len(path)-1]
+	if leaf.Samples() != 1 {
+		t.Errorf("zoom did not reach a leaf: spans %d samples", leaf.Samples())
+	}
+	// The default score (loads × footprint growth) must pick the
+	// streaming half: large footprint growth lives there.
+	if leaf.Start < 8 {
+		t.Errorf("zoom landed in the hot-set phase (sample %d), want streaming half", leaf.Start)
+	}
+	// The path is a chain from root.
+	for i := 1; i < len(path); i++ {
+		if path[i].Start < path[i-1].Start || path[i].End > path[i-1].End {
+			t.Error("zoom path is not nested")
+		}
+	}
+}
+
+func TestIntervalDiagnosticsPartition(t *testing.T) {
+	tr := phasedTrace()
+	diags := IntervalDiagnostics(tr, 4, 64)
+	if len(diags) != 4 {
+		t.Fatalf("intervals = %d", len(diags))
+	}
+	totalA := 0
+	for _, d := range diags {
+		totalA += d.A
+	}
+	if totalA != tr.NumRecords() {
+		t.Errorf("interval partition lost records: %d != %d", totalA, tr.NumRecords())
+	}
+	// Footprint growth jumps between the first half and the second.
+	if diags[0].DeltaF >= diags[3].DeltaF {
+		t.Errorf("dF[0]=%v should be below dF[3]=%v", diags[0].DeltaF, diags[3].DeltaF)
+	}
+	// Degenerate inputs.
+	if d := IntervalDiagnostics(tr, 0, 64); d != nil {
+		t.Error("k=0 should return nil")
+	}
+	if d := IntervalDiagnostics(tr, 100, 64); len(d) != 16 {
+		t.Errorf("k>samples returned %d intervals", len(d))
+	}
+}
+
+func TestIntraLocalityHistogram(t *testing.T) {
+	tr := phasedTrace()
+	pts := IntraLocalityHistogram(tr, []uint64{8, 16, 32}, 64)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.N == 0 {
+			t.Errorf("W=%d measured no intervals", p.W)
+		}
+		if p.DeltaF <= 0 {
+			t.Errorf("W=%d dF=%v", p.W, p.DeltaF)
+		}
+	}
+	// Larger windows see more reuse in the hot-set phase: ΔF decreases
+	// with window size (footprint saturates at 8 words there).
+	if pts[0].DeltaF <= pts[2].DeltaF {
+		t.Errorf("dF should shrink with window size: %v vs %v", pts[0].DeltaF, pts[2].DeltaF)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tree := Build(&trace.Trace{}, 64)
+	if tree.Root == nil {
+		t.Fatal("nil root for empty trace")
+	}
+	if path := tree.ZoomHot(nil); len(path) == 0 {
+		t.Error("empty zoom path")
+	}
+}

@@ -1,0 +1,360 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the textual assembly format produced by
+// Program.Disasm (addresses optional), so hand-written or dumped
+// modules can be fed back through the toolchain:
+//
+//	main: (frame 32)
+//	  .entry:
+//	    movi r4, 100
+//	    movi r5, 0
+//	  .loop:
+//	    load r0, [r4+r5*8]
+//	    addi r5, r5, 1
+//	    bri.lt r5, 10, loop
+//	  .done:
+//	    halt
+//
+// Lines starting with ';' or '#' are comments. The first procedure is
+// the entry unless a line "entry <name>" appears. The returned program
+// is linked.
+func Parse(name string, r io.Reader) (*Program, error) {
+	p := NewProgram(name, "")
+	var cur *Proc
+	var curBlk *Block
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		// Strip a leading "0x...:" address from disassembler output.
+		if strings.HasPrefix(line, "0x") {
+			if i := strings.Index(line, ": "); i > 0 {
+				line = strings.TrimSpace(line[i+2:])
+			}
+		}
+		switch {
+		case strings.HasPrefix(line, "entry "):
+			p.Entry = strings.TrimSpace(strings.TrimPrefix(line, "entry "))
+		case strings.HasPrefix(line, "."):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: block label outside procedure", lineNo)
+			}
+			label := strings.TrimSuffix(strings.TrimPrefix(line, "."), ":")
+			curBlk = &Block{Label: label}
+			cur.Blocks = append(cur.Blocks, curBlk)
+		case strings.HasSuffix(line, ":") || strings.Contains(line, ": (frame"):
+			// Procedure header: "name:" or "name: (frame N)".
+			head := line
+			frame := int64(0)
+			if i := strings.Index(line, ": (frame"); i >= 0 {
+				head = line[:i+1]
+				fs := strings.TrimSuffix(strings.TrimSpace(line[i+8:]), ")")
+				v, err := strconv.ParseInt(strings.TrimSpace(fs), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad frame size: %v", lineNo, err)
+				}
+				frame = v
+			}
+			pname := strings.TrimSuffix(strings.TrimSpace(head), ":")
+			cur = &Proc{Name: pname, FrameSize: frame}
+			curBlk = &Block{Label: "entry"}
+			cur.Blocks = append(cur.Blocks, curBlk)
+			p.Add(cur)
+			if p.Entry == "" {
+				p.Entry = pname
+			}
+		default:
+			if curBlk == nil {
+				return nil, fmt.Errorf("line %d: instruction outside procedure", lineNo)
+			}
+			in, err := parseInstr(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			in.Line = int32(lineNo)
+			curBlk.Instrs = append(curBlk.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Drop empty leading blocks left by headers immediately followed by
+	// labels.
+	for _, proc := range p.Procs {
+		if len(proc.Blocks) > 1 && len(proc.Blocks[0].Instrs) == 0 {
+			proc.Blocks = proc.Blocks[1:]
+		}
+	}
+	if err := p.Link(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var condByName = map[string]Cond{
+	"eq": CondEQ, "ne": CondNE, "lt": CondLT, "le": CondLE,
+	"gt": CondGT, "ge": CondGE, "ult": CondULT,
+}
+
+func parseInstr(line string) (Instr, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnem := fields[0]
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	// Conditional mnemonics: br.lt, bri.ult, ...
+	var cond Cond
+	hasCond := false
+	if i := strings.IndexByte(mnem, '.'); i > 0 {
+		c, ok := condByName[mnem[i+1:]]
+		if !ok {
+			return Instr{}, fmt.Errorf("unknown condition %q", mnem[i+1:])
+		}
+		cond, hasCond = c, true
+		mnem = mnem[:i]
+	}
+
+	switch mnem {
+	case "nop":
+		return Instr{Op: OpNop}, nil
+	case "ret":
+		return Instr{Op: OpRet}, nil
+	case "halt":
+		return Instr{Op: OpHalt}, nil
+	case "movi":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMovImm, Rd: rd, Imm: imm}, nil
+	case "mov":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMov, Rd: rd, Ra: ra}, nil
+	case "load", "lea":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		m, err := parseMem(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		op := OpLoad
+		if mnem == "lea" {
+			op = OpLea
+		}
+		return Instr{Op: op, Rd: rd, M: m}, nil
+	case "store":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		m, err := parseMem(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStore, M: m, Ra: ra}, nil
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Op{"add": OpAdd, "sub": OpSub, "mul": OpMul,
+			"div": OpDiv, "rem": OpRem, "and": OpAnd, "or": OpOr, "xor": OpXor}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		rb, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: ops[mnem], Rd: rd, Ra: ra, Rb: rb}, nil
+	case "addi", "muli", "shli", "shri":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Op{"addi": OpAddImm, "muli": OpMulImm,
+			"shli": OpShlImm, "shri": OpShrImm}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: ops[mnem], Rd: rd, Ra: ra, Imm: imm}, nil
+	case "br":
+		if !hasCond {
+			return Instr{}, fmt.Errorf("br needs a condition suffix (br.lt etc.)")
+		}
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		rb, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBr, Cond: cond, Ra: ra, Rb: rb, Target: args[2]}, nil
+	case "bri":
+		if !hasCond {
+			return Instr{}, fmt.Errorf("bri needs a condition suffix")
+		}
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBrImm, Cond: cond, Ra: ra, Imm: imm, Target: args[2]}, nil
+	case "jmp":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpJmp, Target: args[0]}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpCall, Target: args[0]}, nil
+	case "ptwrite":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpPTWrite, Ra: ra}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func parseReg(s string) (Reg, error) {
+	switch s {
+	case "fp":
+		return FP, nil
+	case "sp":
+		return SP, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 16 {
+			return Reg(n), nil
+		}
+	}
+	return NoReg, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMem parses [base + index*scale + disp] with any subset of
+// components, as printed by MemRef.String.
+func parseMem(s string) (MemRef, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return MemRef{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	m := MemRef{Base: NoReg, Index: NoReg}
+	// Split on '+' but keep a possible leading '-' on the displacement.
+	body = strings.ReplaceAll(body, "-", "+-")
+	for _, part := range strings.Split(body, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(part, "*"):
+			halves := strings.SplitN(part, "*", 2)
+			idx, err := parseReg(strings.TrimSpace(halves[0]))
+			if err != nil {
+				return MemRef{}, err
+			}
+			sc, err := strconv.Atoi(strings.TrimSpace(halves[1]))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8 && sc != 16) {
+				return MemRef{}, fmt.Errorf("bad scale in %q", part)
+			}
+			m.Index, m.Scale = idx, uint8(sc)
+		case part == "fp" || part == "sp" || (strings.HasPrefix(part, "r") && !strings.HasPrefix(part, "0x")):
+			b, err := parseReg(part)
+			if err != nil {
+				return MemRef{}, err
+			}
+			m.Base = b
+		default:
+			d, err := strconv.ParseInt(part, 0, 64)
+			if err != nil {
+				return MemRef{}, fmt.Errorf("bad displacement %q", part)
+			}
+			m.Disp += d
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,170 @@
+package isa
+
+// ProcBuilder is a tiny assembler for constructing procedures in Go code.
+// Workload generators use it as a compiler back end: each call appends an
+// instruction to the current block tagged with the current source line.
+type ProcBuilder struct {
+	proc *Proc
+	cur  *Block
+	line int32
+}
+
+// NewProc starts building a procedure with the given stack frame size.
+// An entry block labelled "entry" is opened automatically.
+func NewProc(name string, frameSize int64) *ProcBuilder {
+	b := &ProcBuilder{proc: &Proc{Name: name, FrameSize: frameSize}}
+	b.Label("entry")
+	return b
+}
+
+// Line sets the synthetic source line applied to subsequent instructions.
+func (b *ProcBuilder) Line(n int) *ProcBuilder { b.line = int32(n); return b }
+
+// Label closes the current block and opens a new one.
+func (b *ProcBuilder) Label(label string) *ProcBuilder {
+	b.cur = &Block{Label: label}
+	b.proc.Blocks = append(b.proc.Blocks, b.cur)
+	return b
+}
+
+func (b *ProcBuilder) emit(in Instr) *ProcBuilder {
+	in.Line = b.line
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return b
+}
+
+// Finish returns the built procedure.
+func (b *ProcBuilder) Finish() *Proc { return b.proc }
+
+// MovImm emits rd = imm.
+func (b *ProcBuilder) MovImm(rd Reg, imm int64) *ProcBuilder {
+	return b.emit(Instr{Op: OpMovImm, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = ra.
+func (b *ProcBuilder) Mov(rd, ra Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpMov, Rd: rd, Ra: ra})
+}
+
+// Load emits rd = mem64[m].
+func (b *ProcBuilder) Load(rd Reg, m MemRef) *ProcBuilder {
+	return b.emit(Instr{Op: OpLoad, Rd: rd, M: m})
+}
+
+// Store emits mem64[m] = ra.
+func (b *ProcBuilder) Store(m MemRef, ra Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpStore, M: m, Ra: ra})
+}
+
+// Lea emits rd = &m.
+func (b *ProcBuilder) Lea(rd Reg, m MemRef) *ProcBuilder {
+	return b.emit(Instr{Op: OpLea, Rd: rd, M: m})
+}
+
+// Add emits rd = ra + rb.
+func (b *ProcBuilder) Add(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpAdd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Sub emits rd = ra - rb.
+func (b *ProcBuilder) Sub(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpSub, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Mul emits rd = ra * rb.
+func (b *ProcBuilder) Mul(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpMul, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Div emits rd = ra / rb.
+func (b *ProcBuilder) Div(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpDiv, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Rem emits rd = ra % rb.
+func (b *ProcBuilder) Rem(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpRem, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// AddImm emits rd = ra + imm.
+func (b *ProcBuilder) AddImm(rd, ra Reg, imm int64) *ProcBuilder {
+	return b.emit(Instr{Op: OpAddImm, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// MulImm emits rd = ra * imm.
+func (b *ProcBuilder) MulImm(rd, ra Reg, imm int64) *ProcBuilder {
+	return b.emit(Instr{Op: OpMulImm, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// And emits rd = ra & rb.
+func (b *ProcBuilder) And(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpAnd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Or emits rd = ra | rb.
+func (b *ProcBuilder) Or(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpOr, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Xor emits rd = ra ^ rb.
+func (b *ProcBuilder) Xor(rd, ra, rb Reg) *ProcBuilder {
+	return b.emit(Instr{Op: OpXor, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// ShlImm emits rd = ra << imm.
+func (b *ProcBuilder) ShlImm(rd, ra Reg, imm int64) *ProcBuilder {
+	return b.emit(Instr{Op: OpShlImm, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// ShrImm emits rd = ra >> imm (logical).
+func (b *ProcBuilder) ShrImm(rd, ra Reg, imm int64) *ProcBuilder {
+	return b.emit(Instr{Op: OpShrImm, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Br emits a conditional branch: if ra cond rb goto target.
+func (b *ProcBuilder) Br(cond Cond, ra, rb Reg, target string) *ProcBuilder {
+	return b.emit(Instr{Op: OpBr, Cond: cond, Ra: ra, Rb: rb, Target: target})
+}
+
+// BrImm emits a conditional branch against an immediate.
+func (b *ProcBuilder) BrImm(cond Cond, ra Reg, imm int64, target string) *ProcBuilder {
+	return b.emit(Instr{Op: OpBrImm, Cond: cond, Ra: ra, Imm: imm, Target: target})
+}
+
+// Jmp emits an unconditional jump.
+func (b *ProcBuilder) Jmp(target string) *ProcBuilder {
+	return b.emit(Instr{Op: OpJmp, Target: target})
+}
+
+// Call emits a procedure call.
+func (b *ProcBuilder) Call(proc string) *ProcBuilder {
+	return b.emit(Instr{Op: OpCall, Target: proc})
+}
+
+// Ret emits a return.
+func (b *ProcBuilder) Ret() *ProcBuilder { return b.emit(Instr{Op: OpRet}) }
+
+// Halt emits a machine stop.
+func (b *ProcBuilder) Halt() *ProcBuilder { return b.emit(Instr{Op: OpHalt}) }
+
+// Nop emits a no-op.
+func (b *ProcBuilder) Nop() *ProcBuilder { return b.emit(Instr{Op: OpNop}) }
+
+// Frame returns a frame-relative scalar memory operand [fp + disp] — the
+// shape MemGaze classifies as a Constant load.
+func Frame(disp int64) MemRef { return MemRef{Base: FP, Index: NoReg, Disp: disp} }
+
+// Global returns an absolute memory operand addressing a global scalar.
+func Global(addr uint64) MemRef {
+	return MemRef{Base: NoReg, Index: NoReg, Disp: int64(addr)}
+}
+
+// Ind returns an indirect operand [base + disp].
+func Ind(base Reg, disp int64) MemRef {
+	return MemRef{Base: base, Index: NoReg, Disp: disp}
+}
+
+// Idx returns an indexed operand [base + index*scale + disp].
+func Idx(base, index Reg, scale uint8, disp int64) MemRef {
+	return MemRef{Base: base, Index: index, Scale: scale, Disp: disp}
+}

@@ -1,0 +1,47 @@
+package isa_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+)
+
+// Hand-written modules flow through the same toolchain as generated
+// ones: parse, then inspect or instrument.
+func ExampleParse() {
+	src := `
+sum: (frame 16)
+  .entry:
+    movi r4, 0x20000000
+    movi r5, 0
+    movi r6, 0
+  .loop:
+    load r0, [r4+r5*8]
+    add r6, r6, r0
+    addi r5, r5, 1
+    bri.lt r5, 8, loop
+  .done:
+    halt
+`
+	prog, err := isa.Parse("sum", strings.NewReader(src))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d procedure(s), %d instructions, %d B of text\n",
+		len(prog.Procs), prog.NumInstrs(), prog.Size())
+	// Output: 1 procedure(s), 8 instructions, 48 B of text
+}
+
+// The builder is a tiny assembler for constructing procedures in Go.
+func ExampleProcBuilder() {
+	proc := isa.NewProc("copy", 0).
+		MovImm(isa.R1, 0x1000).
+		Load(isa.R0, isa.Ind(isa.R1, 0)).
+		Store(isa.Ind(isa.R1, 8), isa.R0).
+		Halt().
+		Finish()
+	fmt.Println(proc.NumInstrs(), "instructions in", proc.Name)
+	// Output: 4 instructions in copy
+}

@@ -1,0 +1,473 @@
+// Package isa defines the compact x64-like intermediate representation on
+// which MemGaze-Go's static analysis, binary instrumentation, and
+// execution operate.
+//
+// The real MemGaze instruments x86-64 load modules with DynInst. We model
+// the properties that matter to it: procedures made of basic blocks,
+// three-address integer instructions, x64 addressing modes
+// [base + index*scale + disp], distinguished frame/stack pointers, a
+// ptwrite instruction, and per-instruction code addresses and source
+// lines. Programs are executed by internal/vm and rewritten by
+// internal/instrument.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a machine register. R0..R15 are general purpose; FP and SP are
+// the frame and stack pointers (x64 RBP/RSP). NoReg marks an absent
+// index/base register in a memory operand.
+type Reg uint8
+
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	FP
+	SP
+	NoReg
+
+	// NumRegs is the number of addressable registers (excludes NoReg).
+	NumRegs = int(NoReg)
+)
+
+func (r Reg) String() string {
+	switch {
+	case r < FP:
+		return fmt.Sprintf("r%d", int(r))
+	case r == FP:
+		return "fp"
+	case r == SP:
+		return "sp"
+	default:
+		return "-"
+	}
+}
+
+// MemRef is an x64-style memory operand: [Base + Index*Scale + Disp].
+// A global (absolute / RIP-relative resolved) reference has Base == NoReg
+// and the absolute address in Disp.
+type MemRef struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4, or 8; ignored when Index == NoReg
+	Disp  int64
+}
+
+// IsGlobal reports whether the operand addresses a global absolutely.
+func (m MemRef) IsGlobal() bool { return m.Base == NoReg }
+
+func (m MemRef) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	parts := 0
+	if m.Base != NoReg {
+		b.WriteString(m.Base.String())
+		parts++
+	}
+	if m.Index != NoReg {
+		if parts > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s*%d", m.Index, m.Scale)
+		parts++
+	}
+	if m.Disp != 0 || parts == 0 {
+		if parts > 0 && m.Disp >= 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%#x", m.Disp)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	OpNop     Op = iota
+	OpMovImm     // rd = imm
+	OpMov        // rd = ra
+	OpLoad       // rd = mem64[M]
+	OpStore      // mem64[M] = ra
+	OpLea        // rd = effective address of M
+	OpAdd        // rd = ra + rb
+	OpSub        // rd = ra - rb
+	OpMul        // rd = ra * rb
+	OpDiv        // rd = ra / rb (rb != 0)
+	OpRem        // rd = ra % rb (rb != 0)
+	OpAddImm     // rd = ra + imm
+	OpMulImm     // rd = ra * imm
+	OpAnd        // rd = ra & rb
+	OpOr         // rd = ra | rb
+	OpXor        // rd = ra ^ rb
+	OpShlImm     // rd = ra << imm
+	OpShrImm     // rd = ra >> imm (logical)
+	OpBr         // if ra COND rb goto Target else fall through
+	OpBrImm      // if ra COND imm goto Target else fall through
+	OpJmp        // goto Target
+	OpCall       // call procedure Sym
+	OpRet        // return
+	OpPTWrite    // emit ra into the processor-trace stream
+	OpHalt       // stop the machine
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMovImm: "movi", OpMov: "mov", OpLoad: "load",
+	OpStore: "store", OpLea: "lea", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem", OpAddImm: "addi",
+	OpMulImm: "muli", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShlImm: "shli", OpShrImm: "shri", OpBr: "br", OpBrImm: "bri",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpPTWrite: "ptwrite",
+	OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is a branch condition.
+type Cond uint8
+
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT // signed <
+	CondLE
+	CondGT
+	CondGE
+	CondULT // unsigned <
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "ult"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Instr is a single instruction. Fields are used per-opcode; unused
+// fields are zero. Addr is the code address assigned by Program.Link,
+// Line is the synthetic source line for attribution.
+type Instr struct {
+	Op     Op
+	Rd     Reg
+	Ra     Reg
+	Rb     Reg
+	Imm    int64
+	M      MemRef
+	Cond   Cond
+	Target string // branch/jump target block label, or callee for OpCall
+	Line   int32
+	Addr   uint64 // assigned at link
+}
+
+// EncodedSize returns the byte size of the instruction in our synthetic
+// encoding. Loads/stores and ptwrite are longer, like their x64
+// counterparts; the sizes feed "binary size" metrics (Table II).
+func (in *Instr) EncodedSize() int {
+	switch in.Op {
+	case OpLoad, OpStore, OpLea:
+		return 6
+	case OpPTWrite:
+		return 5 // f3 REX 0f ae /4
+	case OpMovImm, OpAddImm, OpMulImm, OpShlImm, OpShrImm, OpBrImm:
+		return 5
+	case OpCall, OpJmp, OpBr:
+		return 5
+	case OpNop, OpRet, OpHalt:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []Reg {
+	var u []Reg
+	addMem := func(m MemRef) {
+		if m.Base != NoReg {
+			u = append(u, m.Base)
+		}
+		if m.Index != NoReg {
+			u = append(u, m.Index)
+		}
+	}
+	switch in.Op {
+	case OpMov:
+		u = append(u, in.Ra)
+	case OpLoad, OpLea:
+		addMem(in.M)
+	case OpStore:
+		u = append(u, in.Ra)
+		addMem(in.M)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpBr:
+		u = append(u, in.Ra, in.Rb)
+	case OpAddImm, OpMulImm, OpShlImm, OpShrImm, OpBrImm:
+		u = append(u, in.Ra)
+	case OpPTWrite:
+		u = append(u, in.Ra)
+	}
+	return u
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg {
+	switch in.Op {
+	case OpMovImm, OpMov, OpLoad, OpLea, OpAdd, OpSub, OpMul, OpDiv,
+		OpRem, OpAddImm, OpMulImm, OpAnd, OpOr, OpXor, OpShlImm, OpShrImm:
+		return in.Rd
+	}
+	return NoReg
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpBr, OpBrImm, OpJmp, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpNop, OpRet, OpHalt:
+		return in.Op.String()
+	case OpMovImm:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Ra)
+	case OpLoad, OpLea:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.M)
+	case OpStore:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.M, in.Ra)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpAddImm, OpMulImm, OpShlImm, OpShrImm:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpBr:
+		return fmt.Sprintf("%s.%s %s, %s, %s", in.Op, in.Cond, in.Ra, in.Rb, in.Target)
+	case OpBrImm:
+		return fmt.Sprintf("%s.%s %s, %d, %s", in.Op, in.Cond, in.Ra, in.Imm, in.Target)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %s", in.Op, in.Target)
+	case OpPTWrite:
+		return fmt.Sprintf("%s %s", in.Op, in.Ra)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Block is a basic block: a label and straight-line instructions. Control
+// falls through to the next block in the procedure unless the last
+// instruction is an unconditional terminator.
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+// Proc is a procedure. FrameSize bytes are reserved below FP for locals;
+// O0-compiled workloads spill loop variables there, producing the
+// Constant loads that MemGaze's compression elides.
+type Proc struct {
+	Name      string
+	Blocks    []*Block
+	FrameSize int64
+}
+
+// BlockIndex returns the index of the block with the given label, or -1.
+func (p *Proc) BlockIndex(label string) int {
+	for i, b := range p.Blocks {
+		if b.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumInstrs returns the total instruction count of the procedure.
+func (p *Proc) NumInstrs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Program is a linked set of procedures (a "load module").
+type Program struct {
+	Name  string
+	Procs []*Proc
+	Entry string // entry procedure name
+
+	procIdx map[string]*Proc
+	byAddr  map[uint64]*InstrRef
+	size    int
+}
+
+// InstrRef locates an instruction within a program.
+type InstrRef struct {
+	Proc  *Proc
+	Block int
+	Index int
+}
+
+// Instr returns the referenced instruction.
+func (r *InstrRef) Instr() *Instr { return &r.Proc.Blocks[r.Block].Instrs[r.Index] }
+
+// NewProgram creates a program; call Link after adding procedures.
+func NewProgram(name, entry string) *Program {
+	return &Program{Name: name, Entry: entry}
+}
+
+// Add appends a procedure.
+func (p *Program) Add(proc *Proc) { p.Procs = append(p.Procs, proc) }
+
+// Proc returns the named procedure, or nil.
+func (p *Program) Proc(name string) *Proc {
+	if p.procIdx != nil {
+		return p.procIdx[name]
+	}
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// Link assigns code addresses to every instruction (text base 0x401000,
+// synthetic encoding sizes), builds lookup indexes, and validates branch
+// targets and callees. It must be called after any structural edit —
+// instrumentation re-links and the address shift is what §III-D's source
+// remapping repairs.
+func (p *Program) Link() error {
+	p.procIdx = make(map[string]*Proc, len(p.Procs))
+	p.byAddr = make(map[uint64]*InstrRef)
+	addr := uint64(0x401000)
+	for _, proc := range p.Procs {
+		if _, dup := p.procIdx[proc.Name]; dup {
+			return fmt.Errorf("isa: duplicate procedure %q", proc.Name)
+		}
+		p.procIdx[proc.Name] = proc
+		labels := make(map[string]bool, len(proc.Blocks))
+		for _, b := range proc.Blocks {
+			if labels[b.Label] {
+				return fmt.Errorf("isa: %s: duplicate label %q", proc.Name, b.Label)
+			}
+			labels[b.Label] = true
+		}
+		for bi, b := range proc.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				in.Addr = addr
+				addr += uint64(in.EncodedSize())
+				p.byAddr[in.Addr] = &InstrRef{Proc: proc, Block: bi, Index: ii}
+				switch in.Op {
+				case OpBr, OpBrImm, OpJmp:
+					if !labels[in.Target] {
+						return fmt.Errorf("isa: %s: branch to unknown label %q", proc.Name, in.Target)
+					}
+				}
+			}
+		}
+		// Pad between procedures, as linkers align function entries.
+		addr = (addr + 15) &^ 15
+	}
+	for _, proc := range p.Procs {
+		for _, b := range proc.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op == OpCall {
+					if _, ok := p.procIdx[in.Target]; !ok {
+						return fmt.Errorf("isa: %s: call to unknown procedure %q", proc.Name, in.Target)
+					}
+				}
+			}
+		}
+	}
+	if _, ok := p.procIdx[p.Entry]; !ok {
+		return fmt.Errorf("isa: entry procedure %q not found", p.Entry)
+	}
+	p.size = int(addr - 0x401000)
+	return nil
+}
+
+// FindByAddr returns the instruction at a code address (post-Link).
+func (p *Program) FindByAddr(a uint64) *InstrRef { return p.byAddr[a] }
+
+// ProcByAddr returns the procedure containing code address a, or nil.
+func (p *Program) ProcByAddr(a uint64) *Proc {
+	if r := p.byAddr[a]; r != nil {
+		return r.Proc
+	}
+	return nil
+}
+
+// Size returns the linked text size in bytes.
+func (p *Program) Size() int { return p.size }
+
+// NumInstrs returns the total instruction count of the program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, proc := range p.Procs {
+		n += proc.NumInstrs()
+	}
+	return n
+}
+
+// Disasm renders the program as text, one instruction per line, with
+// addresses — a debugging aid and the anchor for golden tests.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for _, proc := range p.Procs {
+		fmt.Fprintf(&b, "%s: (frame %d)\n", proc.Name, proc.FrameSize)
+		for _, blk := range proc.Blocks {
+			fmt.Fprintf(&b, "  .%s:\n", blk.Label)
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				fmt.Fprintf(&b, "    %#x: %s\n", in.Addr, in.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// Clone deep-copies the program (blocks and instructions). The clone is
+// unlinked; callers must call Link. Instrumentation clones the input so
+// the original binary remains available for uninstrumented runs.
+func (p *Program) Clone() *Program {
+	q := NewProgram(p.Name, p.Entry)
+	for _, proc := range p.Procs {
+		np := &Proc{Name: proc.Name, FrameSize: proc.FrameSize}
+		for _, blk := range proc.Blocks {
+			nb := &Block{Label: blk.Label, Instrs: make([]Instr, len(blk.Instrs))}
+			copy(nb.Instrs, blk.Instrs)
+			np.Blocks = append(np.Blocks, nb)
+		}
+		q.Add(np)
+	}
+	return q
+}

@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildToy() *Program {
+	p := NewProgram("toy", "main")
+	sub := NewProc("sub", 16).
+		Load(R0, Frame(0)).
+		Ret().
+		Finish()
+	main := NewProc("main", 32).
+		MovImm(R4, 100).
+		MovImm(R5, 0).
+		Label("loop").
+		Load(R0, Idx(R4, R5, 8, 0)).
+		AddImm(R5, R5, 1).
+		Call("sub").
+		BrImm(CondLT, R5, 10, "loop").
+		Label("done").
+		Halt().
+		Finish()
+	p.Add(main)
+	p.Add(sub)
+	return p
+}
+
+func TestLinkAssignsMonotonicAddresses(t *testing.T) {
+	p := buildToy()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for _, proc := range p.Procs {
+		for _, b := range proc.Blocks {
+			for i := range b.Instrs {
+				a := b.Instrs[i].Addr
+				if a <= last {
+					t.Fatalf("address %#x not increasing after %#x", a, last)
+				}
+				last = a
+				if got := p.FindByAddr(a); got == nil || got.Instr() != &b.Instrs[i] {
+					t.Fatalf("FindByAddr(%#x) mismatch", a)
+				}
+			}
+		}
+	}
+	if p.Size() <= 0 {
+		t.Error("zero text size")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	// Unknown branch target.
+	p := NewProgram("bad", "main")
+	p.Add(NewProc("main", 0).Jmp("nowhere").Finish())
+	if err := p.Link(); err == nil {
+		t.Error("expected error for unknown label")
+	}
+	// Unknown callee.
+	p2 := NewProgram("bad2", "main")
+	p2.Add(NewProc("main", 0).Call("ghost").Finish())
+	if err := p2.Link(); err == nil {
+		t.Error("expected error for unknown callee")
+	}
+	// Duplicate label.
+	p3 := NewProgram("bad3", "main")
+	pb := NewProc("main", 0)
+	pb.Label("x").Nop().Label("x").Halt()
+	p3.Add(pb.Finish())
+	if err := p3.Link(); err == nil {
+		t.Error("expected error for duplicate label")
+	}
+	// Missing entry.
+	p4 := NewProgram("bad4", "nope")
+	p4.Add(NewProc("main", 0).Halt().Finish())
+	if err := p4.Link(); err == nil {
+		t.Error("expected error for missing entry")
+	}
+	// Duplicate procedure.
+	p5 := NewProgram("bad5", "main")
+	p5.Add(NewProc("main", 0).Halt().Finish())
+	p5.Add(NewProc("main", 0).Halt().Finish())
+	if err := p5.Link(); err == nil {
+		t.Error("expected error for duplicate procedure")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildToy()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	q.Procs[0].Blocks[0].Instrs[0].Imm = 999
+	if p.Procs[0].Blocks[0].Instrs[0].Imm == 999 {
+		t.Error("clone shares instruction storage")
+	}
+	if err := q.Link(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: OpMovImm, Rd: R1, Imm: 5}, nil, R1},
+		{Instr{Op: OpLoad, Rd: R2, M: Idx(R3, R4, 8, 0)}, []Reg{R3, R4}, R2},
+		{Instr{Op: OpStore, Ra: R5, M: Ind(R6, 8)}, []Reg{R5, R6}, NoReg},
+		{Instr{Op: OpAdd, Rd: R1, Ra: R2, Rb: R3}, []Reg{R2, R3}, R1},
+		{Instr{Op: OpPTWrite, Ra: R7}, []Reg{R7}, NoReg},
+		{Instr{Op: OpBrImm, Ra: R1, Imm: 3}, []Reg{R1}, NoReg},
+		{Instr{Op: OpRet}, nil, NoReg},
+	}
+	for _, c := range cases {
+		if got := c.in.Def(); got != c.def {
+			t.Errorf("%s: Def = %v, want %v", c.in.String(), got, c.def)
+		}
+		uses := c.in.Uses()
+		if len(uses) != len(c.uses) {
+			t.Errorf("%s: Uses = %v, want %v", c.in.String(), uses, c.uses)
+			continue
+		}
+		for i := range uses {
+			if uses[i] != c.uses[i] {
+				t.Errorf("%s: Uses = %v, want %v", c.in.String(), uses, c.uses)
+			}
+		}
+	}
+}
+
+func TestDisasmContainsEverything(t *testing.T) {
+	p := buildToy()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Disasm()
+	for _, want := range []string{"main:", "sub:", ".loop:", "ptwrite", "call sub", "halt"} {
+		if want == "ptwrite" {
+			continue // toy program has no ptwrite
+		}
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	cases := map[string]MemRef{
+		"[r4+r5*8]":     Idx(R4, R5, 8, 0),
+		"[fp+0x10]":     Frame(16),
+		"[0x400000]":    Global(0x400000),
+		"[r3+0x8]":      Ind(R3, 8),
+		"[r1+r2*4+0x4]": Idx(R1, R2, 4, 4),
+	}
+	for want, m := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("MemRef = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEncodedSizesPositive(t *testing.T) {
+	for op := OpNop; op <= OpHalt; op++ {
+		in := Instr{Op: op}
+		if in.EncodedSize() <= 0 {
+			t.Errorf("op %v has non-positive size", op)
+		}
+	}
+}

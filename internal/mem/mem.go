@@ -1,0 +1,250 @@
+// Package mem provides the simulated 64-bit address space on which all
+// MemGaze-Go workloads execute.
+//
+// The real MemGaze observes virtual addresses of a process. Our workloads
+// run inside the Go process, so they allocate their data structures from a
+// Space: a segmented virtual address space with a region registry. Every
+// allocation is a named Region; location-centric analyses (zoom trees,
+// heatmaps) attribute addresses back to regions, exactly as the paper
+// attributes hot memory to "the map object", "remote edges", etc.
+//
+// The Space also offers byte-addressable storage (sparse pages) so the IR
+// interpreter in internal/vm can execute programs with real loads and
+// stores against it.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// Standard segment bases. They are far apart so that regions from
+// different segments never interleave, which mirrors a typical Linux
+// x86-64 layout (globals low, heap in the middle, stack high).
+const (
+	GlobalBase Addr = 0x0000_0000_0040_0000
+	HeapBase   Addr = 0x0000_0000_1000_0000
+	StackBase  Addr = 0x0000_7fff_f000_0000 // grows down
+)
+
+// PageSize is the backing-store page granularity. It is also the default
+// page size for working-set (inter-sample) reuse analysis.
+const PageSize = 4096
+
+// Segment identifies which part of the address space a region lives in.
+type Segment int
+
+const (
+	SegGlobal Segment = iota
+	SegHeap
+	SegStack
+)
+
+func (s Segment) String() string {
+	switch s {
+	case SegGlobal:
+		return "global"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("segment(%d)", int(s))
+	}
+}
+
+// Region is a named allocation: [Lo, Lo+Size).
+type Region struct {
+	Name    string
+	Seg     Segment
+	Lo      Addr
+	Size    uint64
+	Freed   bool
+	AllocID int // creation order, unique per Space
+}
+
+// Hi returns the exclusive upper bound of the region.
+func (r *Region) Hi() Addr { return r.Lo + Addr(r.Size) }
+
+// Contains reports whether a lies inside the region.
+func (r *Region) Contains(a Addr) bool { return a >= r.Lo && a < r.Hi() }
+
+// Space is a simulated process address space: three bump-allocated
+// segments, a region registry sorted by base address, and sparse page
+// storage for programs that need real data.
+//
+// Space is not safe for concurrent mutation; parallel workloads allocate
+// up front and only read the registry concurrently.
+type Space struct {
+	nextGlobal Addr
+	nextHeap   Addr
+	nextStack  Addr // next stack allocation ends here (stack grows down)
+
+	regions []*Region // sorted by Lo
+	nextID  int
+
+	pages map[Addr]*[PageSize]byte
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{
+		nextGlobal: GlobalBase,
+		nextHeap:   HeapBase,
+		nextStack:  StackBase,
+		pages:      make(map[Addr]*[PageSize]byte),
+	}
+}
+
+func align(a Addr, n uint64) Addr {
+	if n == 0 {
+		n = 1
+	}
+	mask := Addr(n - 1)
+	return (a + mask) &^ mask
+}
+
+// Alloc allocates size bytes with the given alignment in segment seg and
+// registers the region under name. Alignment must be a power of two (0
+// means 1). The heap allocator additionally pads allocations to 16 bytes,
+// like glibc malloc, so adjacent objects do not share a 16-byte chunk.
+func (s *Space) Alloc(name string, seg Segment, size, alignment uint64) *Region {
+	if size == 0 {
+		size = 1
+	}
+	if alignment == 0 {
+		alignment = 1
+	}
+	var lo Addr
+	switch seg {
+	case SegGlobal:
+		lo = align(s.nextGlobal, alignment)
+		s.nextGlobal = lo + Addr(size)
+	case SegHeap:
+		if alignment < 16 {
+			alignment = 16
+		}
+		lo = align(s.nextHeap, alignment)
+		s.nextHeap = lo + Addr(size)
+	case SegStack:
+		// Stack grows down: carve [top-size, top).
+		top := s.nextStack
+		lo = (top - Addr(size)) &^ Addr(alignment-1)
+		s.nextStack = lo
+	default:
+		panic(fmt.Sprintf("mem: unknown segment %v", seg))
+	}
+	r := &Region{Name: name, Seg: seg, Lo: lo, Size: size, AllocID: s.nextID}
+	s.nextID++
+	s.insertRegion(r)
+	return r
+}
+
+// Free marks a region as freed. The address range is not recycled —
+// like the paper's analyses we want stable region identities across the
+// whole trace — but freed regions are excluded from live-footprint
+// accounting by callers that care.
+func (s *Space) Free(r *Region) { r.Freed = true }
+
+func (s *Space) insertRegion(r *Region) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Lo > r.Lo })
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+}
+
+// Regions returns all regions sorted by base address. The slice is shared;
+// callers must not mutate it.
+func (s *Space) Regions() []*Region { return s.regions }
+
+// FindRegion returns the region containing a, or nil.
+func (s *Space) FindRegion(a Addr) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Lo > a })
+	// Candidate is regions[i-1]; regions never overlap.
+	if i > 0 && s.regions[i-1].Contains(a) {
+		return s.regions[i-1]
+	}
+	return nil
+}
+
+// Bounds returns the lowest and highest (exclusive) allocated addresses,
+// or (0, 0) if nothing has been allocated.
+func (s *Space) Bounds() (lo, hi Addr) {
+	if len(s.regions) == 0 {
+		return 0, 0
+	}
+	lo = s.regions[0].Lo
+	for _, r := range s.regions {
+		if r.Hi() > hi {
+			hi = r.Hi()
+		}
+	}
+	return lo, hi
+}
+
+func (s *Space) page(a Addr) *[PageSize]byte {
+	base := a &^ (PageSize - 1)
+	p, ok := s.pages[base]
+	if !ok {
+		p = new([PageSize]byte)
+		s.pages[base] = p
+	}
+	return p
+}
+
+// Load8 reads one byte at a.
+func (s *Space) Load8(a Addr) byte {
+	return s.page(a)[a&(PageSize-1)]
+}
+
+// Store8 writes one byte at a.
+func (s *Space) Store8(a Addr, v byte) {
+	s.page(a)[a&(PageSize-1)] = v
+}
+
+// Load64 reads a little-endian 64-bit word at a. The access may straddle a
+// page boundary.
+func (s *Space) Load64(a Addr) uint64 {
+	off := a & (PageSize - 1)
+	if off <= PageSize-8 {
+		p := s.page(a)
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(p[off+Addr(i)]) << (8 * i)
+		}
+		return v
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(s.Load8(a+Addr(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store64 writes a little-endian 64-bit word at a.
+func (s *Space) Store64(a Addr, v uint64) {
+	off := a & (PageSize - 1)
+	if off <= PageSize-8 {
+		p := s.page(a)
+		for i := 0; i < 8; i++ {
+			p[off+Addr(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < 8; i++ {
+		s.Store8(a+Addr(i), byte(v>>(8*i)))
+	}
+}
+
+// PagesTouched reports how many distinct backing pages have been
+// materialised (written or read through the storage API).
+func (s *Space) PagesTouched() int { return len(s.pages) }
+
+// BlockID returns the block index of a for a given power-of-two block
+// size (e.g. 64 for cache lines, 4096 for pages).
+func BlockID(a Addr, blockSize uint64) uint64 {
+	return uint64(a) / blockSize
+}

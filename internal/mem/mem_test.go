@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndSegments(t *testing.T) {
+	s := NewSpace()
+	g := s.Alloc("g", SegGlobal, 100, 64)
+	if g.Lo%64 != 0 {
+		t.Errorf("global alloc not 64-aligned: %#x", g.Lo)
+	}
+	if g.Lo < GlobalBase {
+		t.Errorf("global below base: %#x", g.Lo)
+	}
+	h := s.Alloc("h", SegHeap, 10, 1)
+	if h.Lo%16 != 0 {
+		t.Errorf("heap alloc not padded to 16: %#x", h.Lo)
+	}
+	st := s.Alloc("st", SegStack, 128, 16)
+	if st.Hi() > StackBase {
+		t.Errorf("stack alloc above base: %#x", st.Hi())
+	}
+	st2 := s.Alloc("st2", SegStack, 64, 16)
+	if st2.Hi() > st.Lo {
+		t.Errorf("stack should grow down: %#x above %#x", st2.Hi(), st.Lo)
+	}
+}
+
+func TestAllocationsNeverOverlap(t *testing.T) {
+	f := func(sizes []uint16, segs []uint8) bool {
+		s := NewSpace()
+		var regs []*Region
+		for i, sz := range sizes {
+			if i >= len(segs) {
+				break
+			}
+			seg := Segment(segs[i] % 3)
+			regs = append(regs, s.Alloc("r", seg, uint64(sz), 8))
+		}
+		for i := range regs {
+			for j := i + 1; j < len(regs); j++ {
+				a, b := regs[i], regs[j]
+				if a.Lo < b.Hi() && b.Lo < a.Hi() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindRegion(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", SegHeap, 64, 16)
+	b := s.Alloc("b", SegHeap, 64, 16)
+	if got := s.FindRegion(a.Lo); got != a {
+		t.Errorf("FindRegion(a.Lo) = %v", got)
+	}
+	if got := s.FindRegion(a.Hi() - 1); got != a {
+		t.Errorf("FindRegion(a.Hi-1) = %v", got)
+	}
+	if got := s.FindRegion(b.Lo + 10); got != b {
+		t.Errorf("FindRegion(b.Lo+10) = %v", got)
+	}
+	if got := s.FindRegion(0xdead); got != nil {
+		t.Errorf("FindRegion(unmapped) = %v, want nil", got)
+	}
+}
+
+func TestLoadStoreRoundtrip(t *testing.T) {
+	s := NewSpace()
+	f := func(off uint32, v uint64) bool {
+		a := HeapBase + Addr(off)
+		s.Store64(a, v)
+		return s.Load64(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadStoreStraddlesPages(t *testing.T) {
+	s := NewSpace()
+	// A 64-bit word crossing the page boundary.
+	a := HeapBase + PageSize - 3
+	s.Store64(a, 0x1122334455667788)
+	if got := s.Load64(a); got != 0x1122334455667788 {
+		t.Errorf("straddling load = %#x", got)
+	}
+	// Byte views agree with the little-endian layout.
+	if b := s.Load8(a); b != 0x88 {
+		t.Errorf("first byte = %#x, want 0x88", b)
+	}
+	if b := s.Load8(a + 7); b != 0x11 {
+		t.Errorf("last byte = %#x, want 0x11", b)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := NewSpace()
+	if lo, hi := s.Bounds(); lo != 0 || hi != 0 {
+		t.Errorf("empty bounds = %#x, %#x", lo, hi)
+	}
+	a := s.Alloc("a", SegGlobal, 8, 8)
+	b := s.Alloc("b", SegHeap, 8, 8)
+	lo, hi := s.Bounds()
+	if lo != a.Lo || hi != b.Hi() {
+		t.Errorf("bounds = [%#x, %#x), want [%#x, %#x)", lo, hi, a.Lo, b.Hi())
+	}
+}
+
+func TestBlockID(t *testing.T) {
+	if BlockID(127, 64) != 1 || BlockID(128, 64) != 2 {
+		t.Error("BlockID 64B wrong")
+	}
+	if BlockID(4095, 4096) != 0 || BlockID(4096, 4096) != 1 {
+		t.Error("BlockID page wrong")
+	}
+}
+
+func TestFreeKeepsIdentity(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", SegHeap, 64, 16)
+	s.Free(a)
+	if !a.Freed {
+		t.Error("Free did not mark region")
+	}
+	// Address range is not recycled.
+	b := s.Alloc("b", SegHeap, 64, 16)
+	if b.Lo < a.Hi() {
+		t.Errorf("freed range recycled: %#x < %#x", b.Lo, a.Hi())
+	}
+	if s.FindRegion(a.Lo) != a {
+		t.Error("freed region lost identity")
+	}
+}

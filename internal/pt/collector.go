@@ -1,0 +1,271 @@
+package pt
+
+import (
+	"fmt"
+)
+
+// Mode selects the collection regime.
+type Mode int
+
+const (
+	// ModeContinuous is MemGaze with the paper's "suboptimal kernel
+	// support": PT runs continuously, every ptwrite is recorded (and
+	// expensive), and sampling triggers snapshot the circular buffer.
+	ModeContinuous Mode = iota
+	// ModeSampledPT is MemGaze-opt: PT is enabled by hardware only for
+	// the tail of each sampling period, so ptwrites outside windows are
+	// masked and nearly free.
+	ModeSampledPT
+	// ModeFull is the extended-perf full-trace collector: every event is
+	// copied out through a bandwidth-limited channel, and events that
+	// overflow the kernel buffer are dropped (perf's 'DROP' records).
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeContinuous:
+		return "sampled"
+	case ModeSampledPT:
+		return "sampled-opt"
+	case ModeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises a Collector.
+type Config struct {
+	Mode   Mode
+	Period uint64 // sampling period w+z in loads (sampled modes)
+	// BufBytes is the hardware trace-buffer size (16 KiB for the paper's
+	// micro-benchmarks, 8 KiB for applications).
+	BufBytes int
+	// WindowLoads (ModeSampledPT) is how many loads before each trigger
+	// PT is switched on. 0 selects a default sized to fill the buffer.
+	WindowLoads uint64
+	// CopyBytesPerCycle models the kernel-to-user copy bandwidth. It
+	// sets trigger stalls in sampled modes and the drop rate in full
+	// mode. 0 selects a default of 4 bytes/cycle.
+	CopyBytesPerCycle float64
+	// FilterLo/FilterHi, when non-zero, are a hardware IP filter: only
+	// ptwrites whose instruction address is in [FilterLo, FilterHi) are
+	// recorded. This is the paper's "PT hardware guard" region-of-
+	// interest mechanism that needs no re-instrumentation (§II).
+	FilterLo, FilterHi uint64
+	// RingCap (ModeFull) is the kernel aux-buffer capacity in bytes.
+	// 0 selects 64 KiB.
+	RingCap int
+	// Seed perturbs the deterministic async-flush jitter.
+	Seed uint64
+}
+
+// RawSample is one un-decoded buffer snapshot.
+type RawSample struct {
+	Seq          int
+	TriggerLoads uint64
+	Raw          []byte
+}
+
+// Collector implements vm.Sink for all three collection regimes.
+type Collector struct {
+	cfg  Config
+	ring *Ring
+	enc  Encoder
+
+	loadCount   uint64
+	enabled     bool
+	rngState    uint64
+	nextTrigger uint64
+
+	// Sampled modes.
+	samples []RawSample
+
+	// Full mode.
+	fullEvents []Event
+	dropped    uint64
+	pendBytes  float64 // bytes waiting in the kernel buffer
+	lastTS     uint64
+	scratch    []byte
+
+	bytesRecorded uint64
+	eventsRec     uint64
+}
+
+// NewCollector creates a collector. The zero Config is invalid: sampled
+// modes need Period and BufBytes.
+func NewCollector(cfg Config) *Collector {
+	if cfg.CopyBytesPerCycle == 0 {
+		cfg.CopyBytesPerCycle = 4
+	}
+	if cfg.Mode != ModeFull {
+		if cfg.Period == 0 || cfg.BufBytes == 0 {
+			panic("pt: sampled collector needs Period and BufBytes")
+		}
+	}
+	if cfg.RingCap == 0 {
+		cfg.RingCap = 64 << 10
+	}
+	if cfg.WindowLoads == 0 {
+		cfg.WindowLoads = uint64(cfg.BufBytes / 4)
+	}
+	c := &Collector{cfg: cfg, rngState: cfg.Seed*2654435761 + 0x9e3779b97f4a7c15}
+	if cfg.Mode != ModeFull {
+		c.nextTrigger = c.jitteredPeriod()
+	}
+	switch cfg.Mode {
+	case ModeContinuous:
+		c.ring = NewRing(cfg.BufBytes)
+		c.enabled = true
+	case ModeSampledPT:
+		c.ring = NewRing(cfg.BufBytes)
+		c.enabled = false
+	case ModeFull:
+		c.enabled = true
+	}
+	return c
+}
+
+// Enabled reports whether PT is currently recording.
+func (c *Collector) Enabled() bool { return c.enabled }
+
+// inFilter applies the hardware IP guard.
+func (c *Collector) inFilter(ip uint64) bool {
+	if c.cfg.FilterLo == 0 && c.cfg.FilterHi == 0 {
+		return true
+	}
+	return ip >= c.cfg.FilterLo && ip < c.cfg.FilterHi
+}
+
+func (c *Collector) xorshift() uint64 {
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	return x
+}
+
+// jitteredPeriod draws the next sampling period: the nominal period
+// ±25%. Fixed periods alias with periodic workloads (every sample lands
+// at the same loop phase), destroying the uniformity the estimators
+// rely on; perf applies the same randomisation.
+func (c *Collector) jitteredPeriod() uint64 {
+	p := c.cfg.Period
+	if p < 4 {
+		return p
+	}
+	span := p / 2
+	return p - p/4 + c.xorshift()%span
+}
+
+// OnLoad ticks the hardware load counter; in sampled modes it fires the
+// sampling trigger every jittered period and, in opt mode, switches PT
+// on WindowLoads before the trigger. The returned stall models the
+// blocking buffer copy at a trigger.
+func (c *Collector) OnLoad(ts uint64) (stall uint64) {
+	c.loadCount++
+	switch c.cfg.Mode {
+	case ModeContinuous:
+		if c.loadCount >= c.nextTrigger {
+			c.nextTrigger = c.loadCount + c.jitteredPeriod()
+			return c.trigger()
+		}
+	case ModeSampledPT:
+		if c.loadCount >= c.nextTrigger {
+			c.nextTrigger = c.loadCount + c.jitteredPeriod()
+			st := c.trigger()
+			c.enabled = false
+			return st
+		}
+		if !c.enabled && c.loadCount+c.cfg.WindowLoads >= c.nextTrigger {
+			c.enabled = true
+			c.ring.Reset()
+			c.enc.Reset()
+		}
+	case ModeFull:
+		// No trigger; draining happens on PTWrite.
+	}
+	return 0
+}
+
+// trigger snapshots the readable part of the hardware buffer. Because
+// buffer fills and flushes are asynchronous with the trigger (§VI,
+// "Sampling configuration"), only a jittered fraction of the buffer is
+// readable: between 50% and 75% in continuous mode, 85%–100% in opt
+// mode where the user-space prototype controls the window.
+func (c *Collector) trigger() (stall uint64) {
+	var lo, span uint64 = 50, 25
+	if c.cfg.Mode == ModeSampledPT {
+		lo, span = 85, 15
+	}
+	pct := lo + c.xorshift()%span
+	n := c.ring.Len() * int(pct) / 100
+	raw := c.ring.Snapshot(n)
+	c.samples = append(c.samples, RawSample{
+		Seq:          len(c.samples),
+		TriggerLoads: c.loadCount,
+		Raw:          raw,
+	})
+	c.bytesRecorded += uint64(len(raw))
+	c.ring.Reset()
+	c.enc.Reset()
+	return uint64(float64(len(raw)) / c.cfg.CopyBytesPerCycle)
+}
+
+// PTWrite records one ptwrite execution.
+func (c *Collector) PTWrite(ip, val, ts uint64) (stall uint64, recorded bool) {
+	if !c.enabled || !c.inFilter(ip) {
+		return 0, false
+	}
+	ev := Event{IP: ip, Val: val, TS: ts}
+	switch c.cfg.Mode {
+	case ModeContinuous, ModeSampledPT:
+		c.scratch = c.enc.Encode(c.scratch[:0], ev)
+		c.ring.Write(c.scratch)
+		c.eventsRec++
+		return 0, true
+	case ModeFull:
+		// Drain the kernel buffer at the copy bandwidth since the last
+		// event, then try to enqueue this one.
+		if ts > c.lastTS {
+			c.pendBytes -= float64(ts-c.lastTS) * c.cfg.CopyBytesPerCycle
+			if c.pendBytes < 0 {
+				c.pendBytes = 0
+			}
+			c.lastTS = ts
+		}
+		c.scratch = c.enc.Encode(c.scratch[:0], ev)
+		sz := float64(len(c.scratch))
+		if c.pendBytes+sz > float64(c.cfg.RingCap) {
+			c.dropped++
+			c.enc.Reset()  // the stream loses sync at a drop
+			return 0, true // the ptwrite itself still executed at full cost
+		}
+		c.pendBytes += sz
+		c.bytesRecorded += uint64(len(c.scratch))
+		c.eventsRec++
+		c.fullEvents = append(c.fullEvents, ev)
+		return 0, true
+	}
+	return 0, false
+}
+
+// Samples returns the raw snapshots taken so far (sampled modes).
+func (c *Collector) Samples() []RawSample { return c.samples }
+
+// FullEvents returns the events the full collector managed to copy out.
+func (c *Collector) FullEvents() []Event { return c.fullEvents }
+
+// Dropped returns the number of events lost to buffer overflow.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Loads returns the hardware load counter.
+func (c *Collector) Loads() uint64 { return c.loadCount }
+
+// BytesRecorded returns the encoded size of everything kept.
+func (c *Collector) BytesRecorded() uint64 { return c.bytesRecorded }
+
+// EventsRecorded returns the number of events kept.
+func (c *Collector) EventsRecorded() uint64 { return c.eventsRec }

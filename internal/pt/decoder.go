@@ -1,0 +1,129 @@
+package pt
+
+import (
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// ConstPoolAddr is the pseudo-address assigned to decoded Constant
+// loads. The paper's analysis views all Constant loads as accessing the
+// same address with a total footprint of one unit (§III-B), so the
+// decoder folds every constant proxy onto this address.
+const ConstPoolAddr = 0x100
+
+// DecodeStats reports decoding quality for one trace build.
+type DecodeStats struct {
+	Events       int // raw events decoded from packets
+	Records      int // load-level records reconstructed
+	SkippedBytes int // bytes lost to resync (buffer wrap, drops)
+	OrphanEvents int // events with no annotation (should be zero)
+	PartialPairs int // two-operand loads cut at a window boundary
+}
+
+// BuildSampledTrace converts a sampled collector's raw snapshots into a
+// load-level trace using the module's annotations. This is the paper's
+// "Analysis/1" trace-building step (Table II).
+func BuildSampledTrace(c *Collector, ann *instrument.Annotations) (*trace.Trace, DecodeStats) {
+	var ds DecodeStats
+	t := &trace.Trace{
+		Module:   ann.Module,
+		Mode:     c.cfg.Mode.String(),
+		Period:   c.cfg.Period,
+		BufBytes: c.cfg.BufBytes,
+	}
+	for _, rs := range c.Samples() {
+		events, skipped := Decode(rs.Raw)
+		ds.Events += len(events)
+		ds.SkippedBytes += skipped
+		recs := eventsToRecords(events, ann, &ds)
+		if len(recs) == 0 {
+			continue
+		}
+		t.Samples = append(t.Samples, &trace.Sample{
+			Seq:          rs.Seq,
+			TriggerLoads: rs.TriggerLoads,
+			Records:      recs,
+		})
+	}
+	t.TotalLoads = c.Loads()
+	t.Bytes = c.BytesRecorded()
+	t.RecordedEvents = c.EventsRecorded()
+	ds.Records = t.NumRecords()
+	return t, ds
+}
+
+// BuildFullTrace converts a full collector's copied events into a trace
+// with a single sample spanning the whole execution.
+func BuildFullTrace(c *Collector, ann *instrument.Annotations) (*trace.Trace, DecodeStats) {
+	var ds DecodeStats
+	events := c.FullEvents()
+	ds.Events = len(events)
+	recs := eventsToRecords(events, ann, &ds)
+	t := &trace.Trace{
+		Module:         ann.Module,
+		Mode:           ModeFull.String(),
+		TotalLoads:     c.Loads(),
+		Bytes:          c.BytesRecorded(),
+		DroppedEvents:  c.Dropped(),
+		RecordedEvents: c.EventsRecorded(),
+	}
+	if len(recs) > 0 {
+		t.Samples = []*trace.Sample{{Seq: 0, TriggerLoads: c.Loads(), Records: recs}}
+	}
+	ds.Records = len(recs)
+	return t, ds
+}
+
+// eventsToRecords pairs consecutive ptwrite events belonging to the same
+// load (base then index), applies the static literals from the
+// annotation file, and produces load-level records.
+func eventsToRecords(events []Event, ann *instrument.Annotations, ds *DecodeStats) []trace.Record {
+	recs := make([]trace.Record, 0, len(events))
+	for i := 0; i < len(events); i++ {
+		ev := events[i]
+		pn := ann.PTWrites[ev.IP]
+		if pn == nil {
+			ds.OrphanEvents++
+			continue
+		}
+		ln := ann.Loads[pn.LoadAddr]
+		if ln == nil {
+			ds.OrphanEvents++
+			continue
+		}
+		rec := trace.Record{
+			IP:      pn.LoadAddr,
+			TS:      ev.TS,
+			Class:   ln.Class,
+			Implied: uint32(ln.ImpliedConst),
+			Stride:  int32(ln.Stride),
+			Line:    ln.Line,
+			Proc:    ln.Proc,
+		}
+		switch {
+		case pn.Operand == instrument.OpndMarker || ln.Class == dataflow.Constant:
+			rec.Addr = ConstPoolAddr
+		case pn.NumOperands == 1:
+			rec.Addr = ev.Val + uint64(ln.Disp)
+		default:
+			// Base followed by index. The pair must be adjacent and
+			// belong to the same load; a window boundary can cut it.
+			if pn.Operand != instrument.OpndBase || i+1 >= len(events) {
+				ds.PartialPairs++
+				continue
+			}
+			next := events[i+1]
+			np := ann.PTWrites[next.IP]
+			if np == nil || np.LoadAddr != pn.LoadAddr || np.Operand != instrument.OpndIndex {
+				ds.PartialPairs++
+				continue
+			}
+			i++
+			rec.Addr = ev.Val + next.Val*uint64(ln.Scale) + uint64(ln.Disp)
+			rec.TS = next.TS
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}

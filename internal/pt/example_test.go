@@ -1,0 +1,38 @@
+package pt_test
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/pt"
+)
+
+// The packet codec round-trips ptwrite events through the PT-style
+// byte stream: PSB sync, then delta-varint FUP/PTW packets with sparse
+// TSC timestamps.
+func ExampleEncoder() {
+	var enc pt.Encoder
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = enc.Encode(buf, pt.Event{
+			IP:  0x401000,
+			Val: 0x20000000 + uint64(i)*8,
+			TS:  uint64(i) * 100,
+		})
+	}
+	events, skipped := pt.Decode(buf)
+	fmt.Printf("%d events decoded, %d bytes skipped\n", len(events), skipped)
+	fmt.Printf("first value %#x, last value %#x\n", events[0].Val, events[2].Val)
+	// Output:
+	// 3 events decoded, 0 bytes skipped
+	// first value 0x20000000, last value 0x20000010
+}
+
+// The circular hardware buffer keeps only the newest bytes, like PT's
+// circular output region: decoding a wrapped buffer resynchronises at
+// the next PSB inside the window.
+func ExampleRing() {
+	r := pt.NewRing(6)
+	r.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	fmt.Println(r.Snapshot(r.Len()))
+	// Output: [3 4 5 6 7 8]
+}

@@ -1,0 +1,373 @@
+package pt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]Event, int(n)+1)
+		var ts uint64
+		for i := range events {
+			ts += uint64(rng.Intn(1000))
+			events[i] = Event{
+				IP:  0x401000 + uint64(rng.Intn(1<<20)),
+				Val: rng.Uint64(),
+				TS:  ts,
+			}
+		}
+		var enc Encoder
+		var buf []byte
+		for _, ev := range events {
+			buf = enc.Encode(buf, ev)
+		}
+		got, skipped := Decode(buf)
+		if skipped != 0 {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range got {
+			if got[i].IP != events[i].IP || got[i].Val != events[i].Val {
+				return false
+			}
+			// Timestamps are sparse: decoded TS is the last TSC packet's
+			// value, which never exceeds the true one.
+			if got[i].TS > events[i].TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncatedWindowNeverPanics(t *testing.T) {
+	var enc Encoder
+	var buf []byte
+	for i := 0; i < 200; i++ {
+		buf = enc.Encode(buf, Event{IP: 0x401000 + uint64(i)*7, Val: uint64(i) * 1234567, TS: uint64(i) * 10})
+	}
+	for cut := 0; cut <= len(buf); cut += 7 {
+		events, _ := Decode(buf[cut:])
+		// Whatever survives must be a suffix-aligned decode: all IPs in range.
+		for _, ev := range events {
+			if ev.IP < 0x401000 || ev.IP > 0x401000+200*7 {
+				t.Fatalf("cut %d: bogus IP %#x", cut, ev.IP)
+			}
+		}
+	}
+}
+
+func TestDecodeRequiresPSB(t *testing.T) {
+	// Garbage without a PSB yields nothing.
+	raw := []byte{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x42, 0x10, 0x99}
+	events, skipped := Decode(raw)
+	if len(events) != 0 {
+		t.Errorf("decoded %d events from garbage", len(events))
+	}
+	if skipped != len(raw) {
+		t.Errorf("skipped %d, want %d", skipped, len(raw))
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(8)
+	r.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if r.Len() != 8 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	got := r.Snapshot(8)
+	want := []byte{3, 4, 5, 6, 7, 8, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", got, want)
+		}
+	}
+	// Partial snapshot returns the newest n bytes.
+	got = r.Snapshot(3)
+	if got[0] != 8 || got[1] != 9 || got[2] != 10 {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRingProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		r := NewRing(64)
+		var all []byte
+		for _, c := range chunks {
+			r.Write(c)
+			all = append(all, c...)
+		}
+		n := r.Len()
+		if len(all) < 64 && n != len(all) {
+			return false
+		}
+		if len(all) >= 64 && n != 64 {
+			return false
+		}
+		got := r.Snapshot(n)
+		tail := all[len(all)-n:]
+		for i := range tail {
+			if got[i] != tail[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// driveCollector simulates a run: nLoads loads with a recorded ptwrite
+// on every load while PT records.
+func driveCollector(c *Collector, nLoads int) (recorded, masked int) {
+	ts := uint64(0)
+	for i := 0; i < nLoads; i++ {
+		ts += 7
+		if _, rec := c.PTWrite(0x401000+uint64(i%64)*11, uint64(0x20000000+i*8), ts); rec {
+			recorded++
+		} else {
+			masked++
+		}
+		c.OnLoad(ts)
+	}
+	return
+}
+
+func TestContinuousCollectorSamples(t *testing.T) {
+	c := NewCollector(Config{Mode: ModeContinuous, Period: 1000, BufBytes: 4 << 10})
+	driveCollector(c, 10_000)
+	ns := len(c.Samples())
+	// Jittered periods: roughly 10 triggers (±25% jitter).
+	if ns < 7 || ns > 14 {
+		t.Errorf("samples = %d, want ≈10", ns)
+	}
+	if c.Loads() != 10_000 {
+		t.Errorf("loads = %d", c.Loads())
+	}
+	for _, s := range c.Samples() {
+		if len(s.Raw) == 0 {
+			t.Error("empty raw sample")
+		}
+		events, _ := Decode(s.Raw)
+		if len(events) == 0 {
+			t.Error("undecodable sample")
+		}
+	}
+	// Trigger load counts are strictly increasing.
+	for i := 1; i < ns; i++ {
+		if c.Samples()[i].TriggerLoads <= c.Samples()[i-1].TriggerLoads {
+			t.Error("trigger counts not increasing")
+		}
+	}
+}
+
+func TestOptModeMasksOutsideWindows(t *testing.T) {
+	c := NewCollector(Config{Mode: ModeSampledPT, Period: 1000, BufBytes: 4 << 10, WindowLoads: 100})
+	recorded, masked := driveCollector(c, 10_000)
+	if recorded == 0 {
+		t.Fatal("opt mode recorded nothing")
+	}
+	if masked == 0 {
+		t.Fatal("opt mode masked nothing")
+	}
+	// Roughly WindowLoads/Period of ptwrites are recorded.
+	frac := float64(recorded) / float64(recorded+masked)
+	if frac < 0.05 || frac > 0.25 {
+		t.Errorf("recorded fraction %.3f, want ≈0.1", frac)
+	}
+}
+
+func TestHardwareIPFilter(t *testing.T) {
+	c := NewCollector(Config{
+		Mode: ModeContinuous, Period: 1000, BufBytes: 4 << 10,
+		FilterLo: 0x401000, FilterHi: 0x401100,
+	})
+	if _, rec := c.PTWrite(0x401050, 1, 1); !rec {
+		t.Error("in-range ptwrite filtered")
+	}
+	if _, rec := c.PTWrite(0x402000, 1, 2); rec {
+		t.Error("out-of-range ptwrite recorded")
+	}
+}
+
+func TestFullModeDropAccounting(t *testing.T) {
+	// Starve the copy channel so drops occur.
+	c := NewCollector(Config{Mode: ModeFull, CopyBytesPerCycle: 0.1, RingCap: 1 << 10})
+	ts := uint64(0)
+	presented := 0
+	for i := 0; i < 50_000; i++ {
+		ts += 3 // events arrive faster than 0.1 B/cycle drains them
+		c.PTWrite(0x401000, uint64(0x20000000+i*8), ts)
+		presented++
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("expected drops under starved bandwidth")
+	}
+	if int(c.EventsRecorded())+int(c.Dropped()) != presented {
+		t.Errorf("recorded %d + dropped %d != presented %d",
+			c.EventsRecorded(), c.Dropped(), presented)
+	}
+	if len(c.FullEvents()) != int(c.EventsRecorded()) {
+		t.Errorf("events slice %d != recorded %d", len(c.FullEvents()), c.EventsRecorded())
+	}
+	// With generous bandwidth nothing drops.
+	c2 := NewCollector(Config{Mode: ModeFull, CopyBytesPerCycle: 1e9})
+	for i := 0; i < 10_000; i++ {
+		c2.PTWrite(0x401000, uint64(i), uint64(i))
+	}
+	if c2.Dropped() != 0 {
+		t.Errorf("lossless config dropped %d", c2.Dropped())
+	}
+}
+
+func TestCollectorDeterminism(t *testing.T) {
+	run := func() (int, uint64) {
+		c := NewCollector(Config{Mode: ModeContinuous, Period: 500, BufBytes: 2 << 10, Seed: 42})
+		driveCollector(c, 5000)
+		return len(c.Samples()), c.BytesRecorded()
+	}
+	n1, b1 := run()
+	n2, b2 := run()
+	if n1 != n2 || b1 != b2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", n1, b1, n2, b2)
+	}
+}
+
+// TestDecodeCorruptedStreamNeverPanicsAndResyncs flips random bytes in
+// a valid stream: decoding must never panic, never fabricate IPs far
+// outside the encoded range, and must recover at later PSBs.
+func TestDecodeCorruptedStreamNeverPanics(t *testing.T) {
+	var enc Encoder
+	var buf []byte
+	for i := 0; i < 600; i++ {
+		buf = enc.Encode(buf, Event{
+			IP:  0x401000 + uint64(i%97)*5,
+			Val: 0x20000000 + uint64(i)*64,
+			TS:  uint64(i) * 9,
+		})
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		raw := append([]byte(nil), buf...)
+		for f := 0; f < 1+trial%5; f++ {
+			raw[rng.Intn(len(raw))] ^= byte(1 + rng.Intn(255))
+		}
+		events, _ := Decode(raw) // must not panic
+		// With ≤5 flipped bytes, at most a few PSB spans are lost.
+		if len(events) < 300 {
+			t.Fatalf("trial %d: only %d events survived small corruption", trial, len(events))
+		}
+	}
+}
+
+// TestOptModeSamplesAreContiguousWindows: in opt mode PT is enabled just
+// before each trigger, so every sample's events are consecutive (no gap
+// larger than the encoder's event spacing).
+func TestOptModeSamplesAreContiguousWindows(t *testing.T) {
+	c := NewCollector(Config{Mode: ModeSampledPT, Period: 2000, BufBytes: 8 << 10, WindowLoads: 200})
+	ts := uint64(0)
+	for i := 0; i < 20_000; i++ {
+		ts += 5
+		c.PTWrite(0x401000, uint64(0x20000000+i*8), ts)
+		c.OnLoad(ts)
+	}
+	if len(c.Samples()) < 5 {
+		t.Fatalf("samples = %d", len(c.Samples()))
+	}
+	for _, s := range c.Samples() {
+		events, _ := Decode(s.Raw)
+		if len(events) < 50 {
+			t.Fatalf("opt sample too small: %d events", len(events))
+		}
+		for i := 1; i < len(events); i++ {
+			if d := events[i].Val - events[i-1].Val; d != 8 {
+				t.Fatalf("opt sample not contiguous: gap %d at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestMeasureEncoding(t *testing.T) {
+	// Same-region addresses: high halves repeat, so 32-bit packing and
+	// varint deltas both beat fixed-width encoding.
+	var events []Event
+	for i := 0; i < 512; i++ {
+		events = append(events, Event{
+			IP: 0x401000 + uint64(i%16)*5, Val: 0x2000_0000 + uint64(i)*8, TS: uint64(i) * 7,
+		})
+	}
+	st := MeasureEncoding(events)
+	if st.Events != 512 {
+		t.Fatalf("events = %d", st.Events)
+	}
+	if st.VarintBytes >= st.Fixed64Bytes {
+		t.Errorf("varint (%d B) should beat fixed64 (%d B)", st.VarintBytes, st.Fixed64Bytes)
+	}
+	if st.Packed32Bytes >= st.Fixed64Bytes {
+		t.Errorf("packed32 (%d B) should beat fixed64 (%d B)", st.Packed32Bytes, st.Fixed64Bytes)
+	}
+	if st.Fit32Frac < 0.99 {
+		t.Errorf("fit32 fraction = %.3f, want ≈1 for same-region addresses", st.Fit32Frac)
+	}
+	// Wild 64-bit values defeat 32-bit packing.
+	var wild []Event
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 256; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		wild = append(wild, Event{IP: 0x401000, Val: x, TS: uint64(i)})
+	}
+	ws := MeasureEncoding(wild)
+	if ws.Fit32Frac > 0.1 {
+		t.Errorf("wild fit32 fraction = %.3f, want ≈0", ws.Fit32Frac)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var enc Encoder
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = enc.Encode(buf[:0], Event{
+			IP: 0x401000 + uint64(i%64)*5, Val: 0x2000_0000 + uint64(i)*8, TS: uint64(i) * 7,
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var enc Encoder
+	var buf []byte
+	for i := 0; i < 1024; i++ {
+		buf = enc.Encode(buf, Event{
+			IP: 0x401000 + uint64(i%64)*5, Val: 0x2000_0000 + uint64(i)*8, TS: uint64(i) * 7,
+		})
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(buf)
+	}
+}
+
+func BenchmarkCollectorPTWrite(b *testing.B) {
+	c := NewCollector(Config{Mode: ModeContinuous, Period: 10_000, BufBytes: 8 << 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PTWrite(0x401000, uint64(0x2000_0000+i*8), uint64(i)*7)
+		c.OnLoad(uint64(i) * 7)
+	}
+}

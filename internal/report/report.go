@@ -1,0 +1,201 @@
+// Package report renders MemGaze-Go's analysis results as text: aligned
+// tables in the layout of the paper's Tables II–IX, histograms for the
+// validation and locality figures, and ASCII heatmaps for Fig. 8.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/memgaze/memgaze-go/internal/heatmap"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces the aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly: 3 significant-ish digits.
+func FormatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && a < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case a >= 0.001:
+		return fmt.Sprintf("%.3f", v)
+	case a == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Bytes renders a byte count with binary units.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Count renders a count with K/M/G suffixes (decimal).
+func Count(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return FormatFloat(v)
+	}
+}
+
+// Pct renders a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Histogram renders (x, series...) points as an aligned table with an
+// inline bar for the first series — the text stand-in for the paper's
+// histogram figures.
+type Histogram struct {
+	Title  string
+	XLabel string
+	Series []string
+	points [][]float64 // x followed by series values
+}
+
+// NewHistogram creates a histogram with named series.
+func NewHistogram(title, xlabel string, series ...string) *Histogram {
+	return &Histogram{Title: title, XLabel: xlabel, Series: series}
+}
+
+// Add appends one x point with its series values.
+func (h *Histogram) Add(x float64, values ...float64) {
+	pt := append([]float64{x}, values...)
+	h.points = append(h.points, pt)
+}
+
+// Render draws the histogram.
+func (h *Histogram) Render() string {
+	t := NewTable(h.Title, append([]string{h.XLabel}, append(h.Series, "")...)...)
+	var max float64
+	for _, p := range h.points {
+		if len(p) > 1 && p[1] > max {
+			max = p[1]
+		}
+	}
+	for _, p := range h.points {
+		cells := make([]any, 0, len(p)+1)
+		cells = append(cells, Count(p[0]))
+		for _, v := range p[1:] {
+			cells = append(cells, Count(v))
+		}
+		bar := ""
+		if max > 0 && len(p) > 1 {
+			n := int(math.Round(30 * p[1] / max))
+			bar = strings.Repeat("#", n)
+		}
+		cells = append(cells, bar)
+		t.Add(cells...)
+	}
+	return t.Render()
+}
+
+var shades = []byte(" .:-=+*#%@")
+
+// RenderHeatmap draws a heatmap matrix with ASCII shading, dark = high
+// (the paper's Fig. 8 convention). Values are scaled to the matrix max.
+func RenderHeatmap(title string, m [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max=%s)\n", title, FormatFloat(heatmap.Max(m)))
+	mx := heatmap.Max(m)
+	for _, row := range m {
+		b.WriteByte('|')
+		for _, v := range row {
+			idx := 0
+			if mx > 0 && v > 0 {
+				idx = 1 + int(float64(len(shades)-2)*v/mx)
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Header, separator, and rows all share the column boundary.
+	sep := lines[2]
+	if !strings.HasPrefix(sep, "------------------") {
+		t.Errorf("separator wrong: %q", sep)
+	}
+	width := len(lines[2])
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > width {
+			t.Errorf("row exceeds separator width: %q", l)
+		}
+	}
+	if !strings.Contains(out, "123456") {
+		t.Error("cell lost")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1234:    "1234",
+		3.14159: "3.14",
+		0.015:   "0.015",
+		1e-6:    "1.00e-06",
+		150.4:   "150",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytesAndCount(t *testing.T) {
+	if got := Bytes(512); got != "512 B" {
+		t.Errorf("Bytes(512) = %q", got)
+	}
+	if got := Bytes(8 << 10); got != "8.0 KiB" {
+		t.Errorf("Bytes(8KiB) = %q", got)
+	}
+	if got := Bytes(3 << 20); got != "3.0 MiB" {
+		t.Errorf("Bytes(3MiB) = %q", got)
+	}
+	if got := Bytes(2 << 30); got != "2.0 GiB" {
+		t.Errorf("Bytes(2GiB) = %q", got)
+	}
+	if got := Count(1500); got != "1.5K" {
+		t.Errorf("Count(1500) = %q", got)
+	}
+	if got := Count(2.3e6); got != "2.30M" {
+		t.Errorf("Count(2.3M) = %q", got)
+	}
+	if got := Count(4.2e9); got != "4.20G" {
+		t.Errorf("Count(4.2G) = %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram("H", "x", "y1", "y2")
+	h.Add(16, 100, 1)
+	h.Add(32, 50, 2)
+	out := h.Render()
+	if !strings.Contains(out, "##") {
+		t.Error("no bars rendered")
+	}
+	// The largest first-series value carries the longest bar.
+	lines := strings.Split(out, "\n")
+	var bar16, bar32 int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "16") {
+			bar16 = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "32") {
+			bar32 = strings.Count(l, "#")
+		}
+	}
+	if bar16 <= bar32 {
+		t.Errorf("bar lengths wrong: 16->%d, 32->%d", bar16, bar32)
+	}
+}
+
+func TestRenderHeatmapShades(t *testing.T) {
+	m := [][]float64{{0, 1}, {5, 10}}
+	out := RenderHeatmap("hm", m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Zero renders as space, max as the darkest shade.
+	if lines[1][1] != ' ' {
+		t.Errorf("zero cell = %q", lines[1][1])
+	}
+	if lines[2][2] != '@' {
+		t.Errorf("max cell = %q", lines[2][2])
+	}
+}

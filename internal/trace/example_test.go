@@ -1,0 +1,50 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// The decompression mathematics of §III-C: κ corrects for elided
+// Constant loads (Eq. 2), ρ scales sample statistics to the population
+// (Eq. 1).
+func ExampleTrace_Kappa() {
+	t := &trace.Trace{Period: 1000, TotalLoads: 60_000}
+	s := &trace.Sample{}
+	for i := 0; i < 100; i++ {
+		s.Records = append(s.Records, trace.Record{
+			Addr:    0x1000 + uint64(i)*8,
+			Class:   dataflow.Strided,
+			Implied: 1, // each record stands for one elided Constant load
+		})
+	}
+	t.Samples = []*trace.Sample{s}
+	fmt.Printf("kappa = %.1f\n", t.Kappa())
+	fmt.Printf("rho   = %.0f\n", t.Rho())
+	// Output:
+	// kappa = 2.0
+	// rho   = 300
+}
+
+// Traces serialise to the compact MGTR format and read back intact.
+func ExampleTrace_Write() {
+	t := &trace.Trace{Module: "demo", Mode: "sampled", Period: 1000}
+	t.Samples = []*trace.Sample{{
+		Records: []trace.Record{{IP: 0x401000, Addr: 0x2000, Proc: "f"}},
+	}}
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("module %s: %d record(s)\n", got.Module, got.NumRecords())
+	// Output: module demo: 1 record(s)
+}

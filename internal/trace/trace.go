@@ -1,0 +1,403 @@
+// Package trace defines MemGaze-Go's trace data model: load-level records
+// grouped into samples, with the decompression mathematics of §III-C
+// (sample ratio ρ, Eq. 1; compression ratio κ, Eq. 2).
+//
+// A sampled trace (Fig. 3) is a set of samples σ. Each sample holds w
+// recorded accesses followed by z unrecorded ones; the average period
+// w+z is the trace's Period. Records carry the load's code address (IP),
+// the reconstructed effective data address, a timestamp in core cycles,
+// the static access class, and the number of Constant loads the record
+// implies under trace compression.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+)
+
+// Record is one decoded load-level access.
+type Record struct {
+	IP      uint64 // load instruction address (instrumented module)
+	Addr    uint64 // effective data address
+	TS      uint64 // core cycles at retirement
+	Class   dataflow.Class
+	Implied uint32 // elided Constant loads attributed to this record
+	Stride  int32  // static stride of the load site (Strided class)
+	Line    int32
+	Proc    string
+}
+
+// Sample is one contiguous recorded window: the contents of the trace
+// buffer at a sampling trigger.
+type Sample struct {
+	Seq          int      // sample index within the trace
+	CPU          int      // logical CPU / worker the sample came from
+	TriggerLoads uint64   // hardware load-counter value at the trigger
+	Records      []Record // w recorded accesses, in program order
+}
+
+// W returns the number of observed (possibly compressed) accesses in the
+// sample — A(σ) for a single sample.
+func (s *Sample) W() int { return len(s.Records) }
+
+// Trace is a collected memory trace: sampled (MemGaze) or full.
+type Trace struct {
+	Module   string
+	Mode     string // "sampled", "sampled-opt", or "full"
+	Period   uint64 // w+z in loads; 0 for full traces
+	BufBytes int    // hardware buffer size; 0 for full traces
+
+	Samples []*Sample
+
+	// TotalLoads is the hardware load counter at the end of the run: all
+	// executed loads, including uninstrumented Constant loads.
+	TotalLoads uint64
+	// Bytes is the encoded size of everything recorded (trace storage).
+	Bytes uint64
+	// DroppedEvents counts events lost to ring overflow ('DROP' records
+	// in perf terms); meaningful for full traces.
+	DroppedEvents uint64
+	// RecordedEvents counts events that survived collection.
+	RecordedEvents uint64
+}
+
+// NumRecords returns A(σ): total observed accesses across all samples.
+func (t *Trace) NumRecords() int {
+	n := 0
+	for _, s := range t.Samples {
+		n += len(s.Records)
+	}
+	return n
+}
+
+// ImpliedConst returns A_const(σ): the Constant accesses implied by the
+// observed records under trace compression.
+func (t *Trace) ImpliedConst() uint64 {
+	var n uint64
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			n += uint64(s.Records[i].Implied)
+		}
+	}
+	return n
+}
+
+// Kappa returns the compression ratio κ(σ) = 1 + A_const(σ)/A(σ)
+// (Eq. 2). It is 1 for uncompressed traces and for empty traces.
+func (t *Trace) Kappa() float64 {
+	a := t.NumRecords()
+	if a == 0 {
+		return 1
+	}
+	return 1 + float64(t.ImpliedConst())/float64(a)
+}
+
+// Rho returns the sample ratio ρ: all executed accesses to all sampled
+// (decompressed) accesses (Eq. 1). For a full trace ρ is 1 by
+// definition. When the hardware load counter is available it is the
+// ground truth for executed accesses; otherwise |σ|·(w+z) estimates it.
+func (t *Trace) Rho() float64 {
+	decompressed := t.Kappa() * float64(t.NumRecords())
+	if decompressed == 0 {
+		return 1
+	}
+	executed := float64(t.TotalLoads)
+	if executed == 0 {
+		executed = float64(len(t.Samples)) * float64(t.Period)
+	}
+	if executed < decompressed {
+		return 1
+	}
+	return executed / decompressed
+}
+
+// MeanW returns the average observed window size w across samples.
+func (t *Trace) MeanW() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return float64(t.NumRecords()) / float64(len(t.Samples))
+}
+
+// AllRecords returns every record in trace order. The slice is fresh.
+func (t *Trace) AllRecords() []Record {
+	out := make([]Record, 0, t.NumRecords())
+	for _, s := range t.Samples {
+		out = append(out, s.Records...)
+	}
+	return out
+}
+
+// FilterProc returns a shallow trace containing only records of the
+// given procedures (a code-window restriction, §IV-B). Sample structure
+// is preserved; empty samples are dropped.
+func (t *Trace) FilterProc(procs ...string) *Trace {
+	want := make(map[string]bool, len(procs))
+	for _, p := range procs {
+		want[p] = true
+	}
+	nt := &Trace{Module: t.Module, Mode: t.Mode, Period: t.Period,
+		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads, Bytes: t.Bytes}
+	for _, s := range t.Samples {
+		var recs []Record
+		for _, r := range s.Records {
+			if want[r.Proc] {
+				recs = append(recs, r)
+			}
+		}
+		if len(recs) > 0 {
+			nt.Samples = append(nt.Samples, &Sample{Seq: s.Seq, TriggerLoads: s.TriggerLoads, Records: recs})
+		}
+	}
+	return nt
+}
+
+// fileVersion is the on-disk format version written after the "MGTR"
+// magic bytes.
+const fileVersion = 1
+
+// Write serialises the trace in a compact binary format: a header, then
+// per sample a record count and delta-encoded records. Proc names are
+// interned in a string table.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// String table.
+	strIdx := map[string]uint32{}
+	var strs []string
+	intern := func(s string) uint32 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint32(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i
+	}
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			intern(s.Records[i].Proc)
+		}
+	}
+
+	writeU := func(v uint64) { var b [binary.MaxVarintLen64]byte; n := binary.PutUvarint(b[:], v); bw.Write(b[:n]) }
+	writeStr := func(s string) { writeU(uint64(len(s))); bw.WriteString(s) }
+
+	bw.WriteString("MGTR")
+	writeU(fileVersion)
+	writeStr(t.Module)
+	writeStr(t.Mode)
+	writeU(t.Period)
+	writeU(uint64(t.BufBytes))
+	writeU(t.TotalLoads)
+	writeU(t.Bytes)
+	writeU(t.DroppedEvents)
+	writeU(t.RecordedEvents)
+	writeU(uint64(len(strs)))
+	for _, s := range strs {
+		writeStr(s)
+	}
+	writeU(uint64(len(t.Samples)))
+	for _, s := range t.Samples {
+		writeU(uint64(s.Seq))
+		writeU(uint64(s.CPU))
+		writeU(s.TriggerLoads)
+		writeU(uint64(len(s.Records)))
+		var lastIP, lastAddr, lastTS uint64
+		for i := range s.Records {
+			r := &s.Records[i]
+			writeU(zigzag(int64(r.IP - lastIP)))
+			writeU(zigzag(int64(r.Addr - lastAddr)))
+			writeU(r.TS - lastTS)
+			writeU(uint64(r.Class))
+			writeU(uint64(r.Implied))
+			writeU(zigzag(int64(r.Stride)))
+			writeU(zigzag(int64(r.Line)))
+			writeU(uint64(strIdx[r.Proc]))
+			lastIP, lastAddr, lastTS = r.IP, r.Addr, r.TS
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != "MGTR" {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readStr := func() (string, error) {
+		n, err := readU()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	ver, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	t := &Trace{}
+	if t.Module, err = readStr(); err != nil {
+		return nil, err
+	}
+	if t.Mode, err = readStr(); err != nil {
+		return nil, err
+	}
+	gets := []*uint64{&t.Period, nil, &t.TotalLoads, &t.Bytes, &t.DroppedEvents, &t.RecordedEvents}
+	for i, p := range gets {
+		v, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if i == 1 {
+			t.BufBytes = int(v)
+		} else {
+			*p = v
+		}
+	}
+	nstr, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	strs := make([]string, nstr)
+	for i := range strs {
+		if strs[i], err = readStr(); err != nil {
+			return nil, err
+		}
+	}
+	nsmp, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	for si := uint64(0); si < nsmp; si++ {
+		seq, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		trg, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		nrec, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		s := &Sample{Seq: int(seq), CPU: int(cpu), TriggerLoads: trg, Records: make([]Record, nrec)}
+		var lastIP, lastAddr, lastTS uint64
+		for i := range s.Records {
+			dip, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			daddr, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			dts, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			cls, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			imp, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			stride, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			line, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			sidx, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			if sidx >= nstr {
+				return nil, fmt.Errorf("trace: bad string index %d", sidx)
+			}
+			lastIP += uint64(unzigzag(dip))
+			lastAddr += uint64(unzigzag(daddr))
+			lastTS += dts
+			s.Records[i] = Record{
+				IP: lastIP, Addr: lastAddr, TS: lastTS,
+				Class: dataflow.Class(cls), Implied: uint32(imp),
+				Stride: int32(unzigzag(stride)),
+				Line:   int32(unzigzag(line)), Proc: strs[sidx],
+			}
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Merge combines per-CPU traces (one per worker, as perf merges per-CPU
+// PT buffers) into a single trace. Samples are tagged with their worker
+// index, interleaved by trigger position, and renumbered; load counters
+// and sizes are summed.
+func Merge(parts []*Trace) *Trace {
+	if len(parts) == 0 {
+		return &Trace{}
+	}
+	out := &Trace{
+		Module: parts[0].Module, Mode: parts[0].Mode,
+		Period: parts[0].Period, BufBytes: parts[0].BufBytes,
+	}
+	type tagged struct {
+		s   *Sample
+		cpu int
+	}
+	var all []tagged
+	for cpu, p := range parts {
+		out.TotalLoads += p.TotalLoads
+		out.Bytes += p.Bytes
+		out.DroppedEvents += p.DroppedEvents
+		out.RecordedEvents += p.RecordedEvents
+		for _, s := range p.Samples {
+			all = append(all, tagged{s, cpu})
+		}
+	}
+	// Interleave by per-worker trigger progress so the merged timeline
+	// advances fairly across workers.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s.TriggerLoads != all[j].s.TriggerLoads {
+			return all[i].s.TriggerLoads < all[j].s.TriggerLoads
+		}
+		return all[i].cpu < all[j].cpu
+	})
+	for i, ts := range all {
+		ns := *ts.s
+		ns.Seq = i
+		ns.CPU = ts.cpu
+		out.Samples = append(out.Samples, &ns)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+)
+
+func synthetic(seed int64, samples, recsPer int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{
+		Module: "synth", Mode: "sampled",
+		Period: 10_000, BufBytes: 8 << 10,
+		TotalLoads: uint64(samples) * 10_000,
+	}
+	procs := []string{"alpha", "beta", "gamma"}
+	var ts uint64
+	for s := 0; s < samples; s++ {
+		smp := &Sample{Seq: s, TriggerLoads: uint64(s+1) * 10_000}
+		for i := 0; i < recsPer; i++ {
+			ts += uint64(rng.Intn(50))
+			smp.Records = append(smp.Records, Record{
+				IP:      0x401000 + uint64(rng.Intn(256))*6,
+				Addr:    0x20000000 + uint64(rng.Intn(1<<16))*8,
+				TS:      ts,
+				Class:   dataflow.Class(rng.Intn(3)),
+				Implied: uint32(rng.Intn(3)),
+				Stride:  int32(rng.Intn(64) - 16),
+				Line:    int32(rng.Intn(500)),
+				Proc:    procs[rng.Intn(len(procs))],
+			})
+		}
+		t.Samples = append(t.Samples, smp)
+	}
+	t.Bytes = uint64(t.NumRecords()) * 10
+	t.RecordedEvents = uint64(t.NumRecords())
+	return t
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := synthetic(seed, 1+int(uint8(seed))%5, 50)
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("expected magic error")
+	}
+	var buf bytes.Buffer
+	tr := synthetic(1, 2, 10)
+	tr.Write(&buf)
+	// Truncate mid-stream.
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestKappaAndRho(t *testing.T) {
+	tr := &Trace{Period: 1000, TotalLoads: 100_000}
+	smp := &Sample{}
+	for i := 0; i < 100; i++ {
+		// Every other record implies one constant: κ = 1.5.
+		smp.Records = append(smp.Records, Record{Addr: uint64(i), Implied: uint32(i % 2)})
+	}
+	tr.Samples = []*Sample{smp}
+	if k := tr.Kappa(); k != 1.5 {
+		t.Errorf("kappa = %v, want 1.5", k)
+	}
+	// ρ = 100000 / (1.5 * 100)
+	if r := tr.Rho(); r != 100_000.0/150.0 {
+		t.Errorf("rho = %v", r)
+	}
+	// Empty trace: identities.
+	empty := &Trace{}
+	if empty.Kappa() != 1 || empty.Rho() != 1 {
+		t.Error("empty trace identities broken")
+	}
+	// Full trace: rho clamps to 1.
+	full := &Trace{TotalLoads: 100, Samples: []*Sample{{Records: make([]Record, 100)}}}
+	if full.Rho() != 1 {
+		t.Errorf("full-trace rho = %v, want 1", full.Rho())
+	}
+}
+
+func TestFilterProc(t *testing.T) {
+	tr := synthetic(7, 4, 30)
+	ft := tr.FilterProc("alpha")
+	if ft.NumRecords() == 0 {
+		t.Fatal("filter removed everything")
+	}
+	for _, s := range ft.Samples {
+		for _, r := range s.Records {
+			if r.Proc != "alpha" {
+				t.Fatalf("leaked proc %q", r.Proc)
+			}
+		}
+	}
+	// Conservation: alpha + beta + gamma = all.
+	total := 0
+	for _, p := range []string{"alpha", "beta", "gamma"} {
+		total += tr.FilterProc(p).NumRecords()
+	}
+	if total != tr.NumRecords() {
+		t.Errorf("partition lost records: %d != %d", total, tr.NumRecords())
+	}
+}
+
+func TestMeanW(t *testing.T) {
+	tr := synthetic(3, 4, 25)
+	if w := tr.MeanW(); w != 25 {
+		t.Errorf("meanW = %v, want 25", w)
+	}
+}
+
+func TestMergeInterleavesPerCPUTraces(t *testing.T) {
+	a := synthetic(1, 3, 10)
+	b := synthetic(2, 2, 10)
+	m := Merge([]*Trace{a, b})
+	if m.NumRecords() != a.NumRecords()+b.NumRecords() {
+		t.Errorf("merged records %d, want %d", m.NumRecords(), a.NumRecords()+b.NumRecords())
+	}
+	if m.TotalLoads != a.TotalLoads+b.TotalLoads {
+		t.Errorf("merged loads %d", m.TotalLoads)
+	}
+	cpus := map[int]int{}
+	for i, s := range m.Samples {
+		cpus[s.CPU]++
+		if s.Seq != i {
+			t.Errorf("sample %d has seq %d", i, s.Seq)
+		}
+		if i > 0 && s.TriggerLoads < m.Samples[i-1].TriggerLoads {
+			t.Error("merged samples not ordered by trigger progress")
+		}
+	}
+	if cpus[0] != 3 || cpus[1] != 2 {
+		t.Errorf("cpu sample counts = %v", cpus)
+	}
+	// Merge must not mutate the inputs.
+	if a.Samples[0].CPU != 0 || a.Samples[0].Seq != 0 {
+		t.Error("merge mutated input trace")
+	}
+	// Degenerate merges.
+	if e := Merge(nil); e.NumRecords() != 0 {
+		t.Error("empty merge not empty")
+	}
+}
+
+func TestMergeRoundtripsThroughFile(t *testing.T) {
+	m := Merge([]*Trace{synthetic(3, 2, 5), synthetic(4, 2, 5)})
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Error("merged trace changed across serialization (CPU field lost?)")
+	}
+}

@@ -1,0 +1,356 @@
+// Package vm executes isa programs against a simulated address space and
+// charges cycles from a cost model. It is the stand-in for the paper's
+// Gemini Lake test machine: ptwrite is expensive while Processor Tracing
+// is enabled and free when hardware-masked, trace-buffer flushes stall
+// the pipeline, and a high store rate interferes with packet generation
+// (the paper's hypothesis for Darknet's 5–7× overhead).
+//
+// Overhead experiments (Fig. 7) compare cycles of an instrumented run
+// against cycles of the uninstrumented binary on the same inputs.
+package vm
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+// Sink is the processor-trace hardware attached to the machine.
+//
+// OnLoad ticks the hardware load counter that drives sample triggers
+// (§III-C footnote: triggering on loads keeps samples uniform in memory
+// accesses) and returns stall cycles when the tick fires a trigger whose
+// buffer copy blocks the core. PTWrite delivers a packet; recorded is
+// false when the hardware masked it (PT disabled, or the IP outside the
+// hardware address filter), in which case the instruction retires in one
+// cycle with no side effects — the "entirely enabled or disabled by
+// hardware" property of §III-A. Enabled reports whether PT is currently
+// recording (used for store-interference modelling).
+type Sink interface {
+	Enabled() bool
+	OnLoad(ts uint64) (stall uint64)
+	PTWrite(ip, value, ts uint64) (stall uint64, recorded bool)
+}
+
+// CostModel assigns cycle costs to instruction classes.
+type CostModel struct {
+	Generic      uint64 // mov/add/etc.
+	Load         uint64
+	Store        uint64
+	Mul          uint64
+	Div          uint64
+	Branch       uint64
+	CallRet      uint64
+	PTWriteOn    uint64 // ptwrite while PT records
+	PTWriteOff   uint64 // ptwrite while hardware-masked
+	StoreInterf  uint64 // extra store cost near a recorded ptwrite
+	InterfWindow uint64 // "near" = within this many instructions
+}
+
+// DefaultCosts approximates a small out-of-order core. The absolute
+// values matter less than the ratios: ptwrite ≫ ordinary ops, and store
+// interference is noticeable only in store-dense code.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Generic:      1,
+		Load:         4,
+		Store:        4,
+		Mul:          3,
+		Div:          20,
+		Branch:       1,
+		CallRet:      2,
+		PTWriteOn:    12,
+		PTWriteOff:   1,
+		StoreInterf:  18,
+		InterfWindow: 16,
+	}
+}
+
+// Stats aggregates one run's dynamic counts.
+type Stats struct {
+	Cycles     uint64
+	Instrs     uint64
+	Loads      uint64
+	Stores     uint64
+	PTWrites   uint64 // executed while PT enabled (recorded)
+	PTWMasked  uint64 // executed while PT disabled
+	Calls      uint64
+	StallCycle uint64 // cycles lost to trace-buffer flushes
+}
+
+// Machine executes one program. Create with New, run with Run. A Machine
+// may be reused for multiple runs of the same program; registers, stats,
+// and the stack are reset each time, but the Space persists so a second
+// phase can read data produced by the first.
+type Machine struct {
+	Prog  *isa.Program
+	Space *mem.Space
+	Regs  [isa.NumRegs]uint64
+	Costs CostModel
+	Trace Sink // nil disables tracing entirely
+	// Cache, when set, replaces the flat load/store costs with a timing
+	// model so locality differences show up in run time.
+	Cache *cache.Cache
+
+	// MaxInstrs aborts runaway programs (0 = no limit).
+	MaxInstrs uint64
+
+	// PhaseHook, when set, is called on entry to each procedure named in
+	// Phases; overhead experiments use it to attribute cycles per phase.
+	Phases    map[string]bool
+	PhaseHook func(proc string, s Stats)
+
+	stats   Stats
+	stack   *mem.Region
+	lastPTW uint64 // instruction count of the last recorded ptwrite
+}
+
+type frame struct {
+	proc    *isa.Proc
+	block   int
+	index   int
+	savedFP uint64
+	savedSP uint64
+}
+
+// New creates a machine for a linked program.
+func New(prog *isa.Program, space *mem.Space, costs CostModel) *Machine {
+	return &Machine{Prog: prog, Space: space, Costs: costs}
+}
+
+// Stats returns the statistics of the last (or in-progress) run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Run executes the program from its entry procedure until Halt or the
+// entry procedure returns. Initial argument registers may be set on
+// m.Regs before the call.
+func (m *Machine) Run() (Stats, error) {
+	m.stats = Stats{}
+	m.lastPTW = 0
+	if m.stack == nil {
+		m.stack = m.Space.Alloc("stack", mem.SegStack, 1<<20, 16)
+	}
+	m.Regs[isa.SP] = uint64(m.stack.Hi())
+	m.Regs[isa.FP] = m.Regs[isa.SP]
+
+	entry := m.Prog.Proc(m.Prog.Entry)
+	var callStack []frame
+	cur := frame{proc: entry}
+	m.enterProc(&cur)
+
+	for {
+		blk := cur.proc.Blocks[cur.block]
+		if cur.index >= len(blk.Instrs) {
+			// Fall through to the next block.
+			cur.block++
+			cur.index = 0
+			if cur.block >= len(cur.proc.Blocks) {
+				return m.stats, fmt.Errorf("vm: %s: fell off end of procedure", cur.proc.Name)
+			}
+			continue
+		}
+		in := &blk.Instrs[cur.index]
+		m.stats.Instrs++
+		if m.MaxInstrs > 0 && m.stats.Instrs > m.MaxInstrs {
+			return m.stats, fmt.Errorf("vm: instruction budget exceeded (%d)", m.MaxInstrs)
+		}
+		advance := true
+
+		switch in.Op {
+		case isa.OpNop:
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpMovImm:
+			m.Regs[in.Rd] = uint64(in.Imm)
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpMov:
+			m.Regs[in.Rd] = m.Regs[in.Ra]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpLea:
+			m.Regs[in.Rd] = m.ea(in.M)
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpLoad:
+			a := m.ea(in.M)
+			m.Regs[in.Rd] = m.Space.Load64(mem.Addr(a))
+			m.stats.Loads++
+			if m.Cache != nil {
+				m.stats.Cycles += m.Cache.Access(a)
+			} else {
+				m.stats.Cycles += m.Costs.Load
+			}
+			if m.Trace != nil {
+				stall := m.Trace.OnLoad(m.stats.Cycles)
+				m.stats.Cycles += stall
+				m.stats.StallCycle += stall
+			}
+		case isa.OpStore:
+			a := m.ea(in.M)
+			m.Space.Store64(mem.Addr(a), m.Regs[in.Ra])
+			m.stats.Stores++
+			if m.Cache != nil {
+				m.stats.Cycles += m.Cache.Access(a)
+			} else {
+				m.stats.Cycles += m.Costs.Store
+			}
+			if m.Trace != nil && m.Trace.Enabled() && m.nearPTW() {
+				m.stats.Cycles += m.Costs.StoreInterf
+			}
+		case isa.OpAdd:
+			m.Regs[in.Rd] = m.Regs[in.Ra] + m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpSub:
+			m.Regs[in.Rd] = m.Regs[in.Ra] - m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpMul:
+			m.Regs[in.Rd] = m.Regs[in.Ra] * m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Mul
+		case isa.OpDiv:
+			d := m.Regs[in.Rb]
+			if d == 0 {
+				return m.stats, fmt.Errorf("vm: divide by zero at %#x in %s", in.Addr, cur.proc.Name)
+			}
+			m.Regs[in.Rd] = m.Regs[in.Ra] / d
+			m.stats.Cycles += m.Costs.Div
+		case isa.OpRem:
+			d := m.Regs[in.Rb]
+			if d == 0 {
+				return m.stats, fmt.Errorf("vm: modulo by zero at %#x in %s", in.Addr, cur.proc.Name)
+			}
+			m.Regs[in.Rd] = m.Regs[in.Ra] % d
+			m.stats.Cycles += m.Costs.Div
+		case isa.OpAddImm:
+			m.Regs[in.Rd] = m.Regs[in.Ra] + uint64(in.Imm)
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpMulImm:
+			m.Regs[in.Rd] = m.Regs[in.Ra] * uint64(in.Imm)
+			m.stats.Cycles += m.Costs.Mul
+		case isa.OpAnd:
+			m.Regs[in.Rd] = m.Regs[in.Ra] & m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpOr:
+			m.Regs[in.Rd] = m.Regs[in.Ra] | m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpXor:
+			m.Regs[in.Rd] = m.Regs[in.Ra] ^ m.Regs[in.Rb]
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpShlImm:
+			m.Regs[in.Rd] = m.Regs[in.Ra] << uint(in.Imm)
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpShrImm:
+			m.Regs[in.Rd] = m.Regs[in.Ra] >> uint(in.Imm)
+			m.stats.Cycles += m.Costs.Generic
+		case isa.OpBr:
+			m.stats.Cycles += m.Costs.Branch
+			if compare(in.Cond, m.Regs[in.Ra], m.Regs[in.Rb]) {
+				cur.block = cur.proc.BlockIndex(in.Target)
+				cur.index = 0
+				advance = false
+			}
+		case isa.OpBrImm:
+			m.stats.Cycles += m.Costs.Branch
+			if compare(in.Cond, m.Regs[in.Ra], uint64(in.Imm)) {
+				cur.block = cur.proc.BlockIndex(in.Target)
+				cur.index = 0
+				advance = false
+			}
+		case isa.OpJmp:
+			m.stats.Cycles += m.Costs.Branch
+			cur.block = cur.proc.BlockIndex(in.Target)
+			cur.index = 0
+			advance = false
+		case isa.OpCall:
+			m.stats.Cycles += m.Costs.CallRet
+			m.stats.Calls++
+			cur.index++ // return point
+			callStack = append(callStack, cur)
+			if len(callStack) > 1<<16 {
+				return m.stats, fmt.Errorf("vm: call stack overflow in %s", cur.proc.Name)
+			}
+			cur = frame{proc: m.Prog.Proc(in.Target)}
+			m.enterProc(&cur)
+			advance = false
+		case isa.OpRet:
+			m.stats.Cycles += m.Costs.CallRet
+			m.Regs[isa.SP] = cur.savedSP
+			m.Regs[isa.FP] = cur.savedFP
+			if len(callStack) == 0 {
+				return m.stats, nil
+			}
+			cur = callStack[len(callStack)-1]
+			callStack = callStack[:len(callStack)-1]
+			advance = false
+		case isa.OpPTWrite:
+			recorded := false
+			if m.Trace != nil {
+				var stall uint64
+				stall, recorded = m.Trace.PTWrite(in.Addr, m.Regs[in.Ra], m.stats.Cycles)
+				if recorded {
+					m.stats.PTWrites++
+					m.stats.Cycles += m.Costs.PTWriteOn + stall
+					m.stats.StallCycle += stall
+					m.lastPTW = m.stats.Instrs
+				}
+			}
+			if !recorded {
+				m.stats.PTWMasked++
+				m.stats.Cycles += m.Costs.PTWriteOff
+			}
+		case isa.OpHalt:
+			return m.stats, nil
+		default:
+			return m.stats, fmt.Errorf("vm: unknown opcode %v at %#x", in.Op, in.Addr)
+		}
+		if advance {
+			cur.index++
+		}
+	}
+}
+
+func (m *Machine) enterProc(f *frame) {
+	f.savedSP = m.Regs[isa.SP]
+	f.savedFP = m.Regs[isa.FP]
+	sp := m.Regs[isa.SP] - uint64(f.proc.FrameSize)
+	sp &^= 15
+	m.Regs[isa.SP] = sp
+	m.Regs[isa.FP] = sp
+	if m.PhaseHook != nil && m.Phases[f.proc.Name] {
+		m.PhaseHook(f.proc.Name, m.stats)
+	}
+}
+
+func (m *Machine) ea(ref isa.MemRef) uint64 {
+	var a uint64
+	if ref.Base != isa.NoReg {
+		a = m.Regs[ref.Base]
+	}
+	if ref.Index != isa.NoReg {
+		a += m.Regs[ref.Index] * uint64(ref.Scale)
+	}
+	return a + uint64(ref.Disp)
+}
+
+func (m *Machine) nearPTW() bool {
+	return m.lastPTW != 0 && m.stats.Instrs-m.lastPTW < m.Costs.InterfWindow
+}
+
+func compare(c isa.Cond, a, b uint64) bool {
+	switch c {
+	case isa.CondEQ:
+		return a == b
+	case isa.CondNE:
+		return a != b
+	case isa.CondLT:
+		return int64(a) < int64(b)
+	case isa.CondLE:
+		return int64(a) <= int64(b)
+	case isa.CondGT:
+		return int64(a) > int64(b)
+	case isa.CondGE:
+		return int64(a) >= int64(b)
+	case isa.CondULT:
+		return a < b
+	default:
+		return false
+	}
+}

@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+// TestRandomStraightLinePrograms generates random arithmetic sequences
+// and checks the VM against an independent evaluation of the same
+// operations on a plain register array.
+func TestRandomStraightLinePrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pb := isa.NewProc("main", 0)
+		var ref [8]uint64
+		// Seed registers with immediates.
+		for r := 0; r < 8; r++ {
+			v := rng.Int63()
+			pb.MovImm(isa.Reg(r), v)
+			ref[r] = uint64(v)
+		}
+		for i := 0; i < 40; i++ {
+			d := rng.Intn(8)
+			a := rng.Intn(8)
+			b := rng.Intn(8)
+			rd, ra, rb := isa.Reg(d), isa.Reg(a), isa.Reg(b)
+			switch rng.Intn(8) {
+			case 0:
+				pb.Add(rd, ra, rb)
+				ref[d] = ref[a] + ref[b]
+			case 1:
+				pb.Sub(rd, ra, rb)
+				ref[d] = ref[a] - ref[b]
+			case 2:
+				pb.Mul(rd, ra, rb)
+				ref[d] = ref[a] * ref[b]
+			case 3:
+				pb.And(rd, ra, rb)
+				ref[d] = ref[a] & ref[b]
+			case 4:
+				pb.Or(rd, ra, rb)
+				ref[d] = ref[a] | ref[b]
+			case 5:
+				pb.Xor(rd, ra, rb)
+				ref[d] = ref[a] ^ ref[b]
+			case 6:
+				sh := int64(rng.Intn(63))
+				pb.ShlImm(rd, ra, sh)
+				ref[d] = ref[a] << uint(sh)
+			default:
+				sh := int64(rng.Intn(63))
+				pb.ShrImm(rd, ra, sh)
+				ref[d] = ref[a] >> uint(sh)
+			}
+		}
+		pb.Halt()
+		p := isa.NewProgram("q", "main")
+		p.Add(pb.Finish())
+		if err := p.Link(); err != nil {
+			return false
+		}
+		m := New(p, mem.NewSpace(), DefaultCosts())
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		for r := 0; r < 8; r++ {
+			if m.Regs[r] != ref[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryOrderingThroughSpace writes a pattern with stores and checks
+// loads read back exactly what an independent model says, including
+// overlapping addresses.
+func TestMemoryOrderingThroughSpace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pb := isa.NewProc("main", 0)
+		base := uint64(0x20000000)
+		pb.MovImm(isa.R7, int64(base))
+		model := map[uint64]uint64{}
+		var checks []struct {
+			reg isa.Reg
+			val uint64
+		}
+		for i := 0; i < 30; i++ {
+			off := int64(rng.Intn(16)) * 8
+			if rng.Intn(2) == 0 {
+				v := rng.Int63()
+				pb.MovImm(isa.R0, v)
+				pb.Store(isa.Ind(isa.R7, off), isa.R0)
+				model[base+uint64(off)] = uint64(v)
+			} else {
+				reg := isa.Reg(1 + rng.Intn(5))
+				pb.Load(reg, isa.Ind(isa.R7, off))
+				checks = checks[:0] // only the final load per reg matters
+				checks = append(checks, struct {
+					reg isa.Reg
+					val uint64
+				}{reg, model[base+uint64(off)]})
+			}
+		}
+		pb.Halt()
+		p := isa.NewProgram("q", "main")
+		p.Add(pb.Finish())
+		if err := p.Link(); err != nil {
+			return false
+		}
+		m := New(p, mem.NewSpace(), DefaultCosts())
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		for _, c := range checks {
+			if m.Regs[c.reg] != c.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

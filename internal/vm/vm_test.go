@@ -1,0 +1,329 @@
+package vm
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+func run(t *testing.T, proc *isa.Proc, extra ...*isa.Proc) (*Machine, Stats) {
+	t.Helper()
+	p := isa.NewProgram("t", proc.Name)
+	p.Add(proc)
+	for _, e := range extra {
+		p.Add(e)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.NewSpace(), DefaultCosts())
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+func TestArithmetic(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, 7).
+		MovImm(isa.R2, 3).
+		Add(isa.R3, isa.R1, isa.R2).  // 10
+		Sub(isa.R4, isa.R1, isa.R2).  // 4
+		Mul(isa.R5, isa.R1, isa.R2).  // 21
+		Div(isa.R6, isa.R1, isa.R2).  // 2
+		Rem(isa.R7, isa.R1, isa.R2).  // 1
+		And(isa.R8, isa.R1, isa.R2).  // 3
+		Or(isa.R9, isa.R1, isa.R2).   // 7
+		Xor(isa.R10, isa.R1, isa.R2). // 4
+		ShlImm(isa.R11, isa.R1, 2).   // 28
+		ShrImm(isa.R12, isa.R1, 1).   // 3
+		Halt().
+		Finish()
+	m, _ := run(t, proc)
+	want := map[isa.Reg]uint64{
+		isa.R3: 10, isa.R4: 4, isa.R5: 21, isa.R6: 2, isa.R7: 1,
+		isa.R8: 3, isa.R9: 7, isa.R10: 4, isa.R11: 28, isa.R12: 3,
+	}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("%v = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestLoadStoreAndLea(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, 0x20000000).
+		MovImm(isa.R2, 0xabcdef).
+		Store(isa.Ind(isa.R1, 16), isa.R2).
+		Load(isa.R3, isa.Ind(isa.R1, 16)).
+		Lea(isa.R4, isa.Idx(isa.R1, isa.R3, 1, 4)).
+		Halt().
+		Finish()
+	m, st := run(t, proc)
+	if m.Regs[isa.R3] != 0xabcdef {
+		t.Errorf("load got %#x", m.Regs[isa.R3])
+	}
+	if want := uint64(0x20000000 + 0xabcdef + 4); m.Regs[isa.R4] != want {
+		t.Errorf("lea got %#x, want %#x", m.Regs[isa.R4], want)
+	}
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("stats loads=%d stores=%d", st.Loads, st.Stores)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 via a loop.
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, 0). // sum
+		MovImm(isa.R2, 1). // i
+		Label("loop").
+		Add(isa.R1, isa.R1, isa.R2).
+		AddImm(isa.R2, isa.R2, 1).
+		BrImm(isa.CondLE, isa.R2, 10, "loop").
+		Label("end").
+		Halt().
+		Finish()
+	m, _ := run(t, proc)
+	if m.Regs[isa.R1] != 55 {
+		t.Errorf("sum = %d, want 55", m.Regs[isa.R1])
+	}
+}
+
+func TestCallRetFrameDiscipline(t *testing.T) {
+	// The callee writes its frame; caller frame must be untouched, and
+	// FP/SP must be restored after the call.
+	callee := isa.NewProc("callee", 64).
+		MovImm(isa.R0, 42).
+		Store(isa.Frame(0), isa.R0).
+		Ret().
+		Finish()
+	proc := isa.NewProc("main", 64).
+		MovImm(isa.R0, 7).
+		Store(isa.Frame(0), isa.R0).
+		Mov(isa.R13, isa.FP). // remember caller FP
+		Call("callee").
+		Load(isa.R1, isa.Frame(0)). // caller slot
+		Mov(isa.R14, isa.FP).
+		Halt().
+		Finish()
+	m, st := run(t, proc, callee)
+	if m.Regs[isa.R1] != 7 {
+		t.Errorf("caller frame clobbered: %d", m.Regs[isa.R1])
+	}
+	if m.Regs[isa.R13] != m.Regs[isa.R14] {
+		t.Errorf("FP not restored: %#x vs %#x", m.Regs[isa.R13], m.Regs[isa.R14])
+	}
+	if st.Calls != 1 {
+		t.Errorf("calls = %d", st.Calls)
+	}
+}
+
+func TestUnsignedVsSignedCompare(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, -1). // 0xffff... unsigned max
+		MovImm(isa.R2, 1).
+		MovImm(isa.R3, 0).
+		Br(isa.CondLT, isa.R1, isa.R2, "signedLess").
+		Jmp("next").
+		Label("signedLess").
+		MovImm(isa.R3, 1). // -1 < 1 signed
+		Label("next").
+		MovImm(isa.R4, 0).
+		Br(isa.CondULT, isa.R1, isa.R2, "unsignedLess").
+		Jmp("end").
+		Label("unsignedLess").
+		MovImm(isa.R4, 1). // not taken: max uint > 1
+		Label("end").
+		Halt().
+		Finish()
+	m, _ := run(t, proc)
+	if m.Regs[isa.R3] != 1 {
+		t.Error("signed compare failed")
+	}
+	if m.Regs[isa.R4] != 0 {
+		t.Error("unsigned compare failed")
+	}
+}
+
+func TestDivideByZeroErrors(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, 1).
+		MovImm(isa.R2, 0).
+		Div(isa.R3, isa.R1, isa.R2).
+		Halt().
+		Finish()
+	p := isa.NewProgram("t", "main")
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.NewSpace(), DefaultCosts())
+	if _, err := m.Run(); err == nil {
+		t.Error("expected divide-by-zero error")
+	}
+}
+
+func TestMaxInstrsBudget(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		Label("spin").
+		Jmp("spin").
+		Finish()
+	p := isa.NewProgram("t", "main")
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.NewSpace(), DefaultCosts())
+	m.MaxInstrs = 1000
+	if _, err := m.Run(); err == nil {
+		t.Error("expected instruction-budget error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() (*Machine, Stats) {
+		proc := isa.NewProc("main", 16).
+			MovImm(isa.R1, 0).
+			MovImm(isa.R2, 0x20000000).
+			Label("loop").
+			Store(isa.Idx(isa.R2, isa.R1, 8, 0), isa.R1).
+			Load(isa.R3, isa.Idx(isa.R2, isa.R1, 8, 0)).
+			AddImm(isa.R1, isa.R1, 1).
+			BrImm(isa.CondLT, isa.R1, 100, "loop").
+			Label("end").Halt().
+			Finish()
+		p := isa.NewProgram("t", "main")
+		p.Add(proc)
+		if err := p.Link(); err != nil {
+			t.Fatal(err)
+		}
+		m := New(p, mem.NewSpace(), DefaultCosts())
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, st
+	}
+	_, a := build()
+	_, b := build()
+	if a != b {
+		t.Errorf("non-deterministic stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestCacheChangesCycles(t *testing.T) {
+	mk := func(withCache bool) Stats {
+		proc := isa.NewProc("main", 0).
+			MovImm(isa.R1, 0).
+			MovImm(isa.R2, 0x20000000).
+			Label("loop").
+			Load(isa.R3, isa.Ind(isa.R2, 0)). // same line every time
+			AddImm(isa.R1, isa.R1, 1).
+			BrImm(isa.CondLT, isa.R1, 1000, "loop").
+			Label("end").Halt().
+			Finish()
+		p := isa.NewProgram("t", "main")
+		p.Add(proc)
+		if err := p.Link(); err != nil {
+			t.Fatal(err)
+		}
+		m := New(p, mem.NewSpace(), DefaultCosts())
+		if withCache {
+			m.Cache = cache.New(cache.Config{})
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	flat := mk(false)
+	cached := mk(true)
+	// A single hot line hits after the one compulsory miss: the cached
+	// run pays at most that one miss over the flat model.
+	if cached.Cycles > flat.Cycles+100 {
+		t.Errorf("cached run slower on hot line: %d > %d", cached.Cycles, flat.Cycles)
+	}
+}
+
+// sinkRecorder records ptwrites and loads for tracing-semantics tests.
+type sinkRecorder struct {
+	enabled bool
+	loads   int
+	ptws    []uint64
+}
+
+func (s *sinkRecorder) Enabled() bool           { return s.enabled }
+func (s *sinkRecorder) OnLoad(ts uint64) uint64 { s.loads++; return 0 }
+func (s *sinkRecorder) PTWrite(ip, v, ts uint64) (uint64, bool) {
+	if !s.enabled {
+		return 0, false
+	}
+	s.ptws = append(s.ptws, v)
+	return 0, true
+}
+
+func TestPTWriteMaskedWhenDisabled(t *testing.T) {
+	proc := isa.NewProc("main", 0).
+		MovImm(isa.R1, 0xbeef).
+		Finish()
+	proc.Blocks[0].Instrs = append(proc.Blocks[0].Instrs,
+		isa.Instr{Op: isa.OpPTWrite, Ra: isa.R1},
+		isa.Instr{Op: isa.OpHalt})
+	p := isa.NewProgram("t", "main")
+	p.Add(proc)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, enabled := range []bool{false, true} {
+		s := &sinkRecorder{enabled: enabled}
+		m := New(p, mem.NewSpace(), DefaultCosts())
+		m.Trace = s
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enabled {
+			if st.PTWrites != 1 || len(s.ptws) != 1 || s.ptws[0] != 0xbeef {
+				t.Errorf("enabled: stats=%+v ptws=%v", st, s.ptws)
+			}
+		} else {
+			if st.PTWMasked != 1 || len(s.ptws) != 0 {
+				t.Errorf("masked: stats=%+v ptws=%v", st, s.ptws)
+			}
+		}
+	}
+}
+
+func TestPhaseHookFiresOnProcEntry(t *testing.T) {
+	callee := isa.NewProc("hot", 0).
+		MovImm(isa.R0, 1).
+		Ret().
+		Finish()
+	main := isa.NewProc("main", 0).
+		Call("hot").
+		Call("hot").
+		Halt().
+		Finish()
+	p := isa.NewProgram("t", "main")
+	p.Add(main)
+	p.Add(callee)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.NewSpace(), DefaultCosts())
+	var entries []string
+	m.Phases = map[string]bool{"hot": true}
+	m.PhaseHook = func(proc string, s Stats) { entries = append(entries, proc) }
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0] != "hot" {
+		t.Errorf("phase hook entries = %v, want [hot hot]", entries)
+	}
+}

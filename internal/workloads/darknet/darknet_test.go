@@ -1,0 +1,142 @@
+package darknet
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func runModel(t *testing.T, model Model) (*core.AppResult, *Workload) {
+	t.Helper()
+	w := New(Config{Model: model, Shrink: 16})
+	cfg := core.DefaultConfig()
+	cfg.Period = 50_000
+	cfg.BufBytes = 8 << 10
+	res, err := core.RunApp(core.App{
+		Name: w.Name(), Mod: w.Mod,
+		Exec: func(r *sites.Runner) { w.Run(r) },
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, w
+}
+
+func TestDarknetShape(t *testing.T) {
+	resA, wA := runModel(t, AlexNet)
+	resR, wR := runModel(t, ResNet152)
+
+	diagsOf := func(res *core.AppResult) map[string]*analysis.Diag {
+		out := map[string]*analysis.Diag{}
+		for _, d := range analysis.FunctionDiagnostics(res.Trace, 64) {
+			out[d.Name] = d
+		}
+		return out
+	}
+	da, dr := diagsOf(resA), diagsOf(resR)
+	for _, m := range []map[string]*analysis.Diag{da, dr} {
+		g := m["gemm"]
+		if g == nil {
+			t.Fatal("no gemm diagnostics")
+		}
+		// Table VI: gemm is effectively all-strided.
+		if g.FstrPct < 99 {
+			t.Errorf("gemm F_str%% = %.1f, want ≈100", g.FstrPct)
+		}
+	}
+	// ResNet's gemm footprint and growth exceed AlexNet's (deeper, more
+	// consistent layers).
+	if dr["gemm"].F <= da["gemm"].F {
+		t.Errorf("ResNet gemm F=%.0f should exceed AlexNet F=%.0f", dr["gemm"].F, da["gemm"].F)
+	}
+	// gemm dominates the total footprint (> 90% in the paper).
+	var totalA, gemmA float64
+	for _, d := range da {
+		totalA += d.F
+	}
+	gemmA = da["gemm"].F
+	if gemmA/totalA < 0.75 {
+		t.Errorf("AlexNet gemm footprint share = %.2f, want dominant", gemmA/totalA)
+	}
+	// Darknet's store-dense kernels suffer the largest tracing overhead
+	// (5-7x in the paper; direction is what matters here).
+	if resA.Overhead() < 1.0 {
+		t.Errorf("AlexNet overhead = %.2f, want > 1 (store interference)", resA.Overhead())
+	}
+	t.Logf("AlexNet: F=%.0f dF=%.3f overhead=%.1fx records=%d",
+		da["gemm"].F, da["gemm"].DeltaF, resA.Overhead()+1, resA.Trace.NumRecords())
+	t.Logf("ResNet:  F=%.0f dF=%.3f overhead=%.1fx records=%d",
+		dr["gemm"].F, dr["gemm"].DeltaF, resR.Overhead()+1, resR.Trace.NumRecords())
+	_ = wA
+	_ = wR
+}
+
+func TestDarknetDeterministic(t *testing.T) {
+	w := New(Config{Model: AlexNet, Shrink: 32})
+	w.Mod.ResetGroups()
+	r1 := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	w.Run(r1)
+	w.Mod.ResetGroups()
+	r2 := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	w.Run(r2)
+	if r1.Stats() != r2.Stats() {
+		t.Errorf("runs differ: %+v vs %+v", r1.Stats(), r2.Stats())
+	}
+	if r1.Stats().Stores*5 < r1.Stats().Loads {
+		t.Errorf("darknet should be store-dense: stores=%d loads=%d",
+			r1.Stats().Stores, r1.Stats().Loads)
+	}
+}
+
+func TestTiledGemmSameWork(t *testing.T) {
+	// Tiling reorders gemm but must not change the amount of work.
+	base := New(Config{Model: AlexNet, Shrink: 32})
+	r1 := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	base.Run(r1)
+	tiled := New(Config{Model: AlexNet, Shrink: 32, TileK: 8})
+	r2 := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	tiled.Run(r2)
+	if r1.Stats().Loads != r2.Stats().Loads || r1.Stats().Stores != r2.Stats().Stores {
+		t.Errorf("tiling changed work: loads %d/%d stores %d/%d",
+			r1.Stats().Loads, r2.Stats().Loads, r1.Stats().Stores, r2.Stats().Stores)
+	}
+}
+
+func TestParallelInferenceSameWork(t *testing.T) {
+	w := New(Config{Model: ResNet152, Shrink: 32})
+	serial := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	w.Mod.ResetGroups()
+	w.Run(serial)
+
+	w2 := New(Config{Model: ResNet152, Shrink: 32})
+	workers := make([]*sites.Runner, 3)
+	for i := range workers {
+		workers[i] = sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	}
+	w2.RunParallel(workers)
+	var loads, stores uint64
+	var maxCycles uint64
+	for _, r := range workers {
+		loads += r.Stats().Loads
+		stores += r.Stats().Stores
+		if r.Stats().Cycles > maxCycles {
+			maxCycles = r.Stats().Cycles
+		}
+	}
+	// Same dynamic stores; loads within clone-cursor tolerance.
+	if stores != serial.Stats().Stores {
+		t.Errorf("stores %d vs %d", stores, serial.Stats().Stores)
+	}
+	diff := int64(loads) - int64(serial.Stats().Loads)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 64 {
+		t.Errorf("loads diverged by %d", diff)
+	}
+	if maxCycles >= serial.Stats().Cycles {
+		t.Errorf("no parallel speedup: %d vs %d", maxCycles, serial.Stats().Cycles)
+	}
+}

@@ -1,0 +1,622 @@
+// Package gap reimplements the GAP benchmark kernels the paper studies
+// (§VII-C): two PageRank algorithms and two Connected Components
+// algorithms over the same graph, to show how MemGaze's location and
+// time analyses explain algorithmic memory effects.
+//
+//	pr      — Gauss–Seidel PageRank: scores update in place, so each
+//	          iteration sees its own updates; converges in fewer
+//	          iterations and reuses the score array promptly (smaller D).
+//	pr-spmv — Jacobi-style PageRank: contributions are saved into a
+//	          separate array until the next iteration, doubling the hot
+//	          footprint and stretching reuse distances.
+//	cc      — Afforest: subgraph sampling links only a few neighbours
+//	          per vertex first, identifies the giant component, then
+//	          finishes the remainder — more accesses concentrated on the
+//	          component array, but far less total work.
+//	cc-sv   — Shiloach–Vishkin: repeated full-edge-list hook/jump passes
+//	          until a fixed point.
+package gap
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/workloads/graphgen"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// Algorithm selects the kernel.
+type Algorithm int
+
+const (
+	// PR is Gauss-Seidel PageRank.
+	PR Algorithm = iota
+	// PRSpmv is Jacobi (SpMV-style) PageRank.
+	PRSpmv
+	// CC is Afforest connected components with subgraph sampling.
+	CC
+	// CCSV is Shiloach-Vishkin connected components.
+	CCSV
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PR:
+		return "pr"
+	case PRSpmv:
+		return "pr-spmv"
+	case CC:
+		return "cc"
+	default:
+		return "cc-sv"
+	}
+}
+
+// Opt mirrors minivite.Opt: frame-chatter density per block.
+type Opt int
+
+const (
+	// O3 models optimised code.
+	O3 Opt = iota
+	// O0 models unoptimised code.
+	O0
+)
+
+func (o Opt) String() string {
+	if o == O0 {
+		return "O0"
+	}
+	return "O3"
+}
+
+// Config parameterises the workload.
+type Config struct {
+	Scale    int // log2 vertices (paper: 22)
+	Degree   int // average undirected degree (paper: 16)
+	Algo     Algorithm
+	Opt      Opt
+	Seed     uint64
+	MaxIters int     // PR iteration cap (default 60)
+	Damping  float64 // PR damping (default 0.85)
+	Epsilon  float64 // PR convergence threshold (default 1e-8 per vertex)
+}
+
+func (c *Config) fill() {
+	if c.Scale == 0 {
+		c.Scale = 11
+	}
+	if c.Degree == 0 {
+		c.Degree = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xA9
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 60
+	}
+	if c.Damping == 0 {
+		c.Damping = 0.85
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-8
+	}
+}
+
+// Workload is a built GAP kernel instance.
+type Workload struct {
+	Cfg   Config
+	Space *mem.Space
+	G     *graphgen.Graph
+	Mod   *sites.Module
+
+	// Result side-channels for tests.
+	PRIterations int
+	Components   []int32
+	Scores       []float64
+
+	scoreReg, contribReg, compReg *mem.Region
+
+	sOff, sEdge            *sites.Group // genGraph
+	sKOff, sKEdge          *sites.Group // kernel-side CSR streaming
+	sScoreG, sContribG     *sites.Group
+	sScoreS, sContribS     *sites.Group
+	sCompU, sCompV, sChase *sites.Group
+	sSample                *sites.Group
+}
+
+// Name returns e.g. "GAP-pr-O3".
+func (w *Workload) Name() string {
+	return fmt.Sprintf("GAP-%s-%s", w.Cfg.Algo, w.Cfg.Opt)
+}
+
+// unroll returns the modelled build's loop unroll factor (see
+// sites.Group): 5 at O3 (κ ≈ 1.2), 1 at O0 (κ ≈ 2).
+func (w *Workload) unroll() int {
+	if w.Cfg.Opt == O0 {
+		return 1
+	}
+	return 5
+}
+
+// New builds the graph and declares the module.
+func New(cfg Config, compress bool) *Workload {
+	cfg.fill()
+	w := &Workload{Cfg: cfg, Space: mem.NewSpace()}
+	switch cfg.Algo {
+	case PR, PRSpmv:
+		// GAP's PageRank runs on directed Kronecker graphs; the CSR is
+		// the transpose so contributions are pulled through in-edges.
+		w.G = graphgen.RMATDirected(w.Space, cfg.Scale, cfg.Degree, cfg.Seed)
+	default:
+		w.G = graphgen.RMAT(w.Space, cfg.Scale, cfg.Degree, cfg.Seed)
+	}
+	n := uint64(w.G.N)
+	switch cfg.Algo {
+	case PR, PRSpmv:
+		w.scoreReg = w.Space.Alloc("scores", mem.SegHeap, n*8, 64)
+		w.contribReg = w.Space.Alloc("o-score", mem.SegHeap, n*8, 64)
+	default:
+		w.compReg = w.Space.Alloc("cc", mem.SegHeap, n*8, 64)
+	}
+	w.declareModule()
+	w.Mod.Freeze(compress)
+	return w
+}
+
+func (w *Workload) declareModule() {
+	m := sites.NewModule(w.Name())
+	w.Mod = m
+	u := w.unroll()
+
+	gen := m.Proc("genGraph")
+	w.sOff = m.LoadGroup(gen, 101, sites.InductionStride, 8, u, 1)
+	w.sEdge = m.LoadGroup(gen, 102, sites.InductionStride, 8, u, 1)
+
+	switch w.Cfg.Algo {
+	case PR, PRSpmv:
+		p := m.Proc("rank")
+		w.sKOff = m.LoadGroup(p, 198, sites.InductionStride, 8, u, 1)
+		w.sKEdge = m.LoadGroup(p, 199, sites.InductionStride, 8, u, 1)
+		w.sScoreG = m.LoadIdxGroup(p, 201, 8, u, 1)                       // gather of o-score
+		w.sContribG = m.LoadIdxGroup(p, 202, 8, u, 1)                     // gather of contrib (spmv)
+		w.sScoreS = m.LoadGroup(p, 205, sites.InductionStride, 8, u, 1)   // strided score pass
+		w.sContribS = m.LoadGroup(p, 206, sites.InductionStride, 8, u, 1) // strided contrib pass
+	default:
+		p := m.Proc("components")
+		w.sKOff = m.LoadGroup(p, 298, sites.InductionStride, 8, u, 1)
+		w.sKEdge = m.LoadGroup(p, 299, sites.InductionStride, 8, u, 1)
+		w.sCompU = m.LoadIdxGroup(p, 301, 8, u, 1)
+		w.sCompV = m.LoadIdxGroup(p, 302, 8, u, 1)
+		w.sChase = m.LoadGroup(p, 305, sites.PointerChase, 0, u, 1)
+		w.sSample = m.LoadIdxGroup(p, 307, 8, u, 1)
+	}
+}
+
+func (w *Workload) scoreAddr(v int) uint64   { return uint64(w.scoreReg.Lo) + uint64(v)*8 }
+func (w *Workload) contribAddr(v int) uint64 { return uint64(w.contribReg.Lo) + uint64(v)*8 }
+func (w *Workload) compAddr(v int) uint64    { return uint64(w.compReg.Lo) + uint64(v)*8 }
+
+// Regions returns the hot-object regions for Table IX.
+func (w *Workload) Regions() []analysis.Region {
+	switch w.Cfg.Algo {
+	case PR, PRSpmv:
+		return []analysis.Region{
+			{Name: "o-score", Lo: uint64(w.contribReg.Lo), Hi: uint64(w.contribReg.Hi())},
+			{Name: "scores", Lo: uint64(w.scoreReg.Lo), Hi: uint64(w.scoreReg.Hi())},
+			{Name: "edges", Lo: uint64(w.G.EdgeReg.Lo), Hi: uint64(w.G.EdgeReg.Hi())},
+		}
+	default:
+		return []analysis.Region{
+			{Name: "cc", Lo: uint64(w.compReg.Lo), Hi: uint64(w.compReg.Hi())},
+			{Name: "edges", Lo: uint64(w.G.EdgeReg.Lo), Hi: uint64(w.G.EdgeReg.Hi())},
+		}
+	}
+}
+
+// Run executes graph generation plus the selected kernel.
+func (w *Workload) Run(r *sites.Runner) {
+	r.Phase("gengraph")
+	w.runGen(r)
+	r.Phase("rank")
+	switch w.Cfg.Algo {
+	case PR:
+		w.runPR(r)
+	case PRSpmv:
+		w.runPRSpmv(r)
+	case CC:
+		w.runAfforest(r)
+	default:
+		w.runSV(r)
+	}
+	r.Phase("end")
+}
+
+func (w *Workload) runGen(r *sites.Runner) {
+	for i := 0; i < w.G.M(); i++ {
+		r.Load(w.sEdge.Next(), w.G.EdgeAddr(i))
+		r.Work(14)
+		r.Store(w.G.EdgeAddr(i))
+	}
+	for v := 0; v <= w.G.N; v++ {
+		r.Load(w.sOff.Next(), w.G.OffAddr(v))
+		r.Work(8)
+		r.Store(w.G.OffAddr(v))
+	}
+}
+
+// runPR is Gauss-Seidel PageRank: in-place score updates.
+func (w *Workload) runPR(r *sites.Runner) {
+	n := w.G.N
+	scores := make([]float64, n)
+	base := (1 - w.Cfg.Damping) / float64(n)
+	for v := range scores {
+		scores[v] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < w.Cfg.MaxIters; iters++ {
+		var totalErr float64
+		for u := 0; u < n; u++ {
+			r.Load(w.sKOff.Next(), w.G.OffAddr(u)) // strided offsets
+			var sum float64
+			for e := w.G.Offs[u]; e < w.G.Offs[u+1]; e++ {
+				r.Load(w.sKEdge.Next(), w.G.EdgeAddr(int(e)))
+				v := int(w.G.Edges[e])
+				// In-place: read the current (possibly already updated)
+				// score contribution.
+				r.LoadIdx(w.sScoreG.Next(), uint64(w.contribReg.Lo), uint64(v))
+				d := w.G.Degree(v)
+				if d > 0 {
+					sum += scores[v] / float64(d)
+				}
+				r.Work(12)
+			}
+			newScore := base + w.Cfg.Damping*sum
+			// Gauss-Seidel reads the old score from the same in-place
+			// array it gathers from: a sequential sweep interleaved with
+			// the gathers, which is what shortens o-score's reuse
+			// distance relative to pr-spmv (Table IX).
+			r.Load(w.sScoreS.Next(), w.contribAddr(u))
+			totalErr += abs(newScore - scores[u])
+			scores[u] = newScore
+			r.Store(w.contribAddr(u))
+			r.Work(10)
+		}
+		if totalErr < w.Cfg.Epsilon*float64(n) {
+			iters++
+			break
+		}
+	}
+	w.PRIterations = iters
+	w.Scores = scores
+}
+
+// runPRSpmv is Jacobi PageRank: contributions are computed into a
+// separate array each iteration; score updates wait for the next sweep.
+func (w *Workload) runPRSpmv(r *sites.Runner) {
+	n := w.G.N
+	scores := make([]float64, n)
+	contrib := make([]float64, n)
+	base := (1 - w.Cfg.Damping) / float64(n)
+	for v := range scores {
+		scores[v] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < w.Cfg.MaxIters; iters++ {
+		// Pass 1: strided contribution fill (reads scores, writes o-score).
+		for v := 0; v < n; v++ {
+			r.Load(w.sScoreS.Next(), w.scoreAddr(v))
+			if d := w.G.Degree(v); d > 0 {
+				contrib[v] = scores[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+			r.Store(w.contribAddr(v))
+			r.Work(8)
+		}
+		// Pass 2: gather contributions; updates saved to scores.
+		var totalErr float64
+		for u := 0; u < n; u++ {
+			r.Load(w.sKOff.Next(), w.G.OffAddr(u))
+			var sum float64
+			for e := w.G.Offs[u]; e < w.G.Offs[u+1]; e++ {
+				r.Load(w.sKEdge.Next(), w.G.EdgeAddr(int(e)))
+				v := int(w.G.Edges[e])
+				r.LoadIdx(w.sContribG.Next(), uint64(w.contribReg.Lo), uint64(v))
+				sum += contrib[v]
+				r.Work(12)
+			}
+			newScore := base + w.Cfg.Damping*sum
+			// Jacobi reads the old score from the separate scores array,
+			// so o-score sees only the long-distance gathers.
+			r.Load(w.sScoreS.Next(), w.scoreAddr(u))
+			totalErr += abs(newScore - scores[u])
+			scores[u] = newScore
+			r.Store(w.scoreAddr(u))
+			r.Work(10)
+		}
+		if totalErr < w.Cfg.Epsilon*float64(n) {
+			iters++
+			break
+		}
+	}
+	w.PRIterations = iters
+	w.Scores = scores
+}
+
+// link is GAP's Afforest/SV hook: unite the trees of u and v.
+func (w *Workload) link(r *sites.Runner, comp []int32, u, v int32) {
+	r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(u))
+	r.LoadIdx(w.sCompV.Next(), uint64(w.compReg.Lo), uint64(v))
+	p1, p2 := comp[u], comp[v]
+	r.Work(6)
+	for p1 != p2 {
+		high, low := p1, p2
+		if high < low {
+			high, low = low, high
+		}
+		r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(high))
+		if comp[high] == high {
+			comp[high] = low
+			r.Store(w.compAddr(int(high)))
+			return
+		}
+		pNew := comp[high]
+		r.Store(w.compAddr(int(high)))
+		comp[high] = low
+		p1, p2 = pNew, low
+		r.Work(8)
+	}
+}
+
+// compress performs full path compression over the component forest.
+func (w *Workload) compress(r *sites.Runner, comp []int32) {
+	for v := 0; v < w.G.N; v++ {
+		r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(v))
+		r.Work(5)
+		for comp[v] != comp[comp[v]] {
+			r.Load(w.sChase.Next(), w.compAddr(int(comp[v])))
+			comp[v] = comp[comp[v]]
+			r.Store(w.compAddr(v))
+			r.Work(6)
+		}
+	}
+}
+
+// runAfforest is GAP's cc: neighbour-sampled linking, giant-component
+// detection, then finishing only the remainder.
+func (w *Workload) runAfforest(r *sites.Runner) {
+	const neighborRounds = 2
+	const sampleSize = 1024
+	n := w.G.N
+	comp := make([]int32, n)
+	for v := range comp {
+		comp[v] = int32(v)
+	}
+	// Phase 1: link the first k neighbours of every vertex.
+	for k := 0; k < neighborRounds; k++ {
+		for v := 0; v < n; v++ {
+			lo, hi := int(w.G.Offs[v]), int(w.G.Offs[v+1])
+			if lo+k < hi {
+				r.Load(w.sKEdge.Next(), w.G.EdgeAddr(lo+k))
+				w.link(r, comp, int32(v), int32(w.G.Edges[lo+k]))
+			}
+			r.Work(6)
+		}
+	}
+	w.compress(r, comp)
+	// Phase 2: sample to find the most frequent component.
+	counts := make(map[int32]int)
+	x := w.Cfg.Seed | 1
+	for i := 0; i < sampleSize; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := int(x>>33) % n
+		r.LoadIdx(w.sSample.Next(), uint64(w.compReg.Lo), uint64(v))
+		counts[comp[v]]++
+	}
+	giant, best := int32(-1), -1
+	for c, k := range counts {
+		if k > best || (k == best && c < giant) {
+			giant, best = c, k
+		}
+	}
+	// Phase 3: finish remaining vertices, skipping the giant component.
+	for v := 0; v < n; v++ {
+		r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(v))
+		if comp[v] == giant {
+			continue
+		}
+		lo, hi := int(w.G.Offs[v]), int(w.G.Offs[v+1])
+		start := lo + neighborRounds
+		if start > hi {
+			start = hi
+		}
+		for e := start; e < hi; e++ {
+			r.Load(w.sKEdge.Next(), w.G.EdgeAddr(e))
+			w.link(r, comp, int32(v), int32(w.G.Edges[e]))
+			r.Work(6)
+		}
+	}
+	w.compress(r, comp)
+	w.Components = comp
+}
+
+// runSV is Shiloach-Vishkin: full edge-list hook + jump passes to a
+// fixed point.
+func (w *Workload) runSV(r *sites.Runner) {
+	n := w.G.N
+	comp := make([]int32, n)
+	for v := range comp {
+		comp[v] = int32(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Hooking pass over every directed edge.
+		for u := 0; u < n; u++ {
+			r.Load(w.sKOff.Next(), w.G.OffAddr(u))
+			for e := w.G.Offs[u]; e < w.G.Offs[u+1]; e++ {
+				r.Load(w.sKEdge.Next(), w.G.EdgeAddr(int(e)))
+				v := int32(w.G.Edges[e])
+				r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(u))
+				r.LoadIdx(w.sCompV.Next(), uint64(w.compReg.Lo), uint64(v))
+				if comp[v] < comp[u] && comp[u] == comp[int(comp[u])] {
+					comp[int(comp[u])] = comp[v]
+					r.Store(w.compAddr(int(comp[u])))
+					changed = true
+				}
+				r.Work(12)
+			}
+		}
+		// Jumping pass.
+		for v := 0; v < n; v++ {
+			r.LoadIdx(w.sCompU.Next(), uint64(w.compReg.Lo), uint64(v))
+			r.Work(5)
+			for comp[v] != comp[int(comp[v])] {
+				r.Load(w.sChase.Next(), w.compAddr(int(comp[v])))
+				comp[v] = comp[int(comp[v])]
+				r.Store(w.compAddr(v))
+				changed = true
+				r.Work(6)
+			}
+		}
+	}
+	w.Components = comp
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RunParallel executes the workload across the given per-worker runners
+// (the paper runs all application benchmarks with and without OpenMP;
+// memory analysis is orthogonal to CPU parallelism, §VI). Only the
+// Jacobi kernel parallelises cleanly — its two passes write disjoint
+// vertex ranges — so other algorithms fall back to serial execution on
+// worker 0. Worker w must only touch runner rs[w].
+func (w *Workload) RunParallel(rs []*sites.Runner) {
+	if w.Cfg.Algo != PRSpmv || len(rs) < 2 {
+		w.Run(rs[0])
+		return
+	}
+	n := w.G.N
+	workers := len(rs)
+	span := func(wk int) (int, int) {
+		return wk * n / workers, (wk + 1) * n / workers
+	}
+
+	rs[0].Phase("gengraph")
+	// Parallel graph streaming: partition the edge array.
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			r := rs[wk]
+			lo, hi := wk*w.G.M()/workers, (wk+1)*w.G.M()/workers
+			k := 0
+			for i := lo; i < hi; i++ {
+				r.Load(w.sEdge.At(k), w.G.EdgeAddr(i))
+				k++
+				r.Work(14)
+				r.Store(w.G.EdgeAddr(i))
+			}
+			vLo, vHi := wk*(w.G.N+1)/workers, (wk+1)*(w.G.N+1)/workers
+			ko := 0
+			for v := vLo; v < vHi; v++ {
+				r.Load(w.sOff.At(ko), w.G.OffAddr(v))
+				ko++
+				r.Work(8)
+				r.Store(w.G.OffAddr(v))
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	rs[0].Phase("rank")
+	scores := make([]float64, n)
+	contrib := make([]float64, n)
+	base := (1 - w.Cfg.Damping) / float64(n)
+	for v := range scores {
+		scores[v] = 1 / float64(n)
+	}
+	errs := make([]float64, workers)
+	// Per-worker clone cursors persist across passes and iterations so
+	// implied-constant rates track the serial rotation.
+	kS := make([]int, workers)
+	kO := make([]int, workers)
+	kE := make([]int, workers)
+	kG := make([]int, workers)
+	iters := 0
+	for ; iters < w.Cfg.MaxIters; iters++ {
+		// Pass 1: contributions (disjoint writes per worker).
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				r := rs[wk]
+				lo, hi := span(wk)
+				for v := lo; v < hi; v++ {
+					r.Load(w.sScoreS.At(kS[wk]), w.scoreAddr(v))
+					kS[wk]++
+					if d := w.G.Degree(v); d > 0 {
+						contrib[v] = scores[v] / float64(d)
+					} else {
+						contrib[v] = 0
+					}
+					r.Work(8)
+					r.Store(w.contribAddr(v))
+				}
+			}(wk)
+		}
+		wg.Wait()
+		// Pass 2: gather and update (scores writes disjoint; contrib
+		// reads shared and read-only during the pass).
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				r := rs[wk]
+				lo, hi := span(wk)
+				var totalErr float64
+				for u := lo; u < hi; u++ {
+					r.Load(w.sKOff.At(kO[wk]), w.G.OffAddr(u))
+					kO[wk]++
+					var sum float64
+					for e := w.G.Offs[u]; e < w.G.Offs[u+1]; e++ {
+						r.Load(w.sKEdge.At(kE[wk]), w.G.EdgeAddr(int(e)))
+						kE[wk]++
+						v := int(w.G.Edges[e])
+						r.LoadIdx(w.sContribG.At(kG[wk]), uint64(w.contribReg.Lo), uint64(v))
+						kG[wk]++
+						sum += contrib[v]
+						r.Work(12)
+					}
+					newScore := base + w.Cfg.Damping*sum
+					r.Load(w.sScoreS.At(kS[wk]), w.scoreAddr(u))
+					kS[wk]++
+					totalErr += abs(newScore - scores[u])
+					scores[u] = newScore
+					r.Store(w.scoreAddr(u))
+					r.Work(10)
+				}
+				errs[wk] = totalErr
+			}(wk)
+		}
+		wg.Wait()
+		var total float64
+		for _, e := range errs {
+			total += e
+		}
+		if total < w.Cfg.Epsilon*float64(n) {
+			iters++
+			break
+		}
+	}
+	w.PRIterations = iters
+	w.Scores = scores
+	rs[0].Phase("end")
+}

@@ -1,0 +1,168 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+func bare(w *Workload) *sites.Runner {
+	r := sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	w.Run(r)
+	return r
+}
+
+func TestPageRankConverges(t *testing.T) {
+	pr := New(Config{Scale: 8, Algo: PR}, true)
+	spmv := New(Config{Scale: 8, Algo: PRSpmv}, true)
+	bare(pr)
+	bare(spmv)
+	// Dangling vertices leak rank mass (GAP's kernel does not
+	// redistribute it either), so the sum is ≤ 1 but must stay sane, and
+	// every score is at least the teleport base.
+	sum := 0.0
+	base := (1 - pr.Cfg.Damping) / float64(pr.G.N)
+	for _, s := range pr.Scores {
+		sum += s
+		if s < base-1e-12 {
+			t.Fatalf("score %.3e below teleport base %.3e", s, base)
+		}
+	}
+	if sum > 1.001 || sum < 0.3 {
+		t.Errorf("pr scores sum to %.4f, want in (0.3, 1]", sum)
+	}
+	// Both algorithms approximate the same fixed point.
+	var maxDiff float64
+	for v := range pr.Scores {
+		if d := math.Abs(pr.Scores[v] - spmv.Scores[v]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-5 {
+		t.Errorf("pr and pr-spmv disagree: max diff %.2e", maxDiff)
+	}
+	// Gauss-Seidel needs no more sweeps than Jacobi.
+	if pr.PRIterations > spmv.PRIterations {
+		t.Errorf("pr took %d iterations, pr-spmv %d; want pr <= pr-spmv",
+			pr.PRIterations, spmv.PRIterations)
+	}
+	t.Logf("pr iters=%d, pr-spmv iters=%d", pr.PRIterations, spmv.PRIterations)
+}
+
+// canonicalize maps each vertex's component to the smallest vertex in it.
+func canonicalize(comp []int32) []int32 {
+	min := map[int32]int32{}
+	for v, c := range comp {
+		if m, ok := min[c]; !ok || int32(v) < m {
+			min[c] = int32(v)
+		}
+	}
+	out := make([]int32, len(comp))
+	for v, c := range comp {
+		out[v] = min[c]
+	}
+	return out
+}
+
+func TestConnectedComponentsAgree(t *testing.T) {
+	cc := New(Config{Scale: 8, Algo: CC}, true)
+	sv := New(Config{Scale: 8, Algo: CCSV}, true)
+	rc := bare(cc)
+	rs := bare(sv)
+	a := canonicalize(cc.Components)
+	b := canonicalize(sv.Components)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("component mismatch at vertex %d: cc=%d cc-sv=%d", v, a[v], b[v])
+		}
+	}
+	// Afforest does dramatically less total work than SV on a graph with
+	// a giant component.
+	if rc.Stats().Cycles*2 >= rs.Stats().Cycles {
+		t.Errorf("cc cycles=%d should be well under cc-sv cycles=%d",
+			rc.Stats().Cycles, rs.Stats().Cycles)
+	}
+	t.Logf("cc cycles=%d cc-sv cycles=%d", rc.Stats().Cycles, rs.Stats().Cycles)
+}
+
+func TestCCLocationShape(t *testing.T) {
+	cacheCfg := cache.DefaultConfig()
+	cacheCfg.SizeBytes = 8 << 10
+	type out struct {
+		d      float64
+		aBlock float64
+		cycles uint64
+	}
+	var res []out
+	for _, algo := range []Algorithm{CC, CCSV} {
+		w := New(Config{Scale: 10, Algo: algo}, true)
+		cfg := core.DefaultConfig()
+		cfg.Period = 5_000
+		cfg.BufBytes = 8 << 10
+		r, err := core.RunApp(core.App{
+			Name: w.Name(), Mod: w.Mod,
+			Exec:     func(rr *sites.Runner) { w.Run(rr) },
+			CacheCfg: &cacheCfg,
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := analysis.RegionDiagnostics(r.Trace, w.Regions(), 64)
+		ccDiag := diags[0] // "cc" region
+		blocks := analysis.BlocksTouched(r.Trace, w.Regions()[0].Lo, w.Regions()[0].Hi, 64)
+		o := out{d: ccDiag.D, cycles: r.BaseStats.Cycles}
+		if blocks > 0 {
+			o.aBlock = float64(ccDiag.A) / float64(blocks)
+		}
+		res = append(res, o)
+		t.Logf("%s: D=%.2f A/block=%.2f cycles=%d records=%d", w.Name(), o.d, o.aBlock, o.cycles, r.Trace.NumRecords())
+	}
+	// Paper shape (Table IX): cc has higher average reuse distance on the
+	// component array than cc-sv, but runs much faster.
+	if res[0].d <= res[1].d {
+		t.Errorf("cc D=%.2f should exceed cc-sv D=%.2f", res[0].d, res[1].d)
+	}
+	if res[0].cycles >= res[1].cycles {
+		t.Errorf("cc cycles=%d should be below cc-sv cycles=%d", res[0].cycles, res[1].cycles)
+	}
+}
+
+func TestRunParallelFallsBackForCC(t *testing.T) {
+	w := New(Config{Scale: 7, Algo: CC}, true)
+	rs := []*sites.Runner{
+		sites.NewRunner(core.DefaultConfig().Costs, nil, false),
+		sites.NewRunner(core.DefaultConfig().Costs, nil, false),
+	}
+	w.RunParallel(rs)
+	// Fallback: all work lands on worker 0.
+	if rs[0].Stats().Loads == 0 || rs[1].Stats().Loads != 0 {
+		t.Errorf("fallback distribution: %d / %d loads", rs[0].Stats().Loads, rs[1].Stats().Loads)
+	}
+	if len(w.Components) == 0 {
+		t.Error("no components computed")
+	}
+}
+
+func TestRunParallelPRSpmvInPackage(t *testing.T) {
+	serial := New(Config{Scale: 8, Algo: PRSpmv}, true)
+	bare(serial)
+
+	par := New(Config{Scale: 8, Algo: PRSpmv}, true)
+	rs := make([]*sites.Runner, 3)
+	for i := range rs {
+		rs[i] = sites.NewRunner(core.DefaultConfig().Costs, nil, false)
+	}
+	par.RunParallel(rs)
+	if par.PRIterations != serial.PRIterations {
+		t.Errorf("iterations %d vs %d", par.PRIterations, serial.PRIterations)
+	}
+	for v := range serial.Scores {
+		if serial.Scores[v] != par.Scores[v] {
+			t.Fatalf("score %d differs", v)
+		}
+	}
+}

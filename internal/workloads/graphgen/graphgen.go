@@ -1,0 +1,188 @@
+// Package graphgen builds the synthetic graphs the application
+// benchmarks run on: an RMAT/Kronecker generator in the style of the GAP
+// benchmark suite's -g option, and a uniform (Erdős–Rényi-ish)
+// generator. Graphs are stored in CSR form with their arrays allocated
+// in a simulated address space so every access the algorithms make has a
+// realistic virtual address.
+package graphgen
+
+import (
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+// RMAT partition probabilities (GAP/Graph500 defaults).
+const (
+	pA = 0.57
+	pB = 0.19
+	pC = 0.19
+	// pD = 0.05 (remainder)
+)
+
+// Graph is an undirected graph in CSR form. Offsets has N+1 entries;
+// Edges holds each undirected edge twice (both directions), sorted by
+// source. The CSR arrays live at OffBase/EdgeBase in the Space (8 bytes
+// per element).
+type Graph struct {
+	N     int
+	Edges []uint32
+	Offs  []uint32
+	// OutDeg is set for directed graphs (RMATDirected), where Offs/Edges
+	// hold the transpose (in-edges); nil for undirected graphs.
+	OutDeg []int32
+
+	Space   *mem.Space
+	OffReg  *mem.Region
+	EdgeReg *mem.Region
+}
+
+// M returns the number of directed edge slots (2× undirected edges).
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Degree returns the out-degree of v: the CSR row width for undirected
+// graphs, the OutDeg entry for directed ones.
+func (g *Graph) Degree(v int) int {
+	if g.OutDeg != nil {
+		return int(g.OutDeg[v])
+	}
+	return int(g.Offs[v+1] - g.Offs[v])
+}
+
+// Neighbors returns v's adjacency slice.
+func (g *Graph) Neighbors(v int) []uint32 { return g.Edges[g.Offs[v]:g.Offs[v+1]] }
+
+// OffAddr returns the simulated address of Offs[i].
+func (g *Graph) OffAddr(i int) uint64 { return uint64(g.OffReg.Lo) + uint64(i)*8 }
+
+// EdgeAddr returns the simulated address of Edges[i].
+func (g *Graph) EdgeAddr(i int) uint64 { return uint64(g.EdgeReg.Lo) + uint64(i)*8 }
+
+// rng is a splitmix64 generator: deterministic, seedable, stdlib-free.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// RMAT generates a Kronecker graph of 2^scale vertices with an average
+// (undirected) degree of degree, into a fresh CSR in space. Self loops
+// are rejected; duplicate edges are kept, as in GAP's generator.
+func RMAT(space *mem.Space, scale, degree int, seed uint64) *Graph {
+	n := 1 << scale
+	m := n * degree
+	r := &rng{s: seed}
+	dir := make([][2]uint32, 0, 2*m)
+	for added := 0; added < m; {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float()
+			switch {
+			case p < pA:
+				// upper-left quadrant: no bits set
+			case p < pA+pB:
+				v |= 1 << bit
+			case p < pA+pB+pC:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			dir = append(dir, [2]uint32{uint32(u), uint32(v)}, [2]uint32{uint32(v), uint32(u)})
+			added++
+		}
+	}
+	return buildCSR(space, n, dir)
+}
+
+// Uniform generates a uniform random graph of n vertices and n*degree/2
+// undirected edges.
+func Uniform(space *mem.Space, n, degree int, seed uint64) *Graph {
+	r := &rng{s: seed}
+	type edge struct{ u, v uint32 }
+	m := n * degree / 2
+	edges := make([]edge, 0, m)
+	for len(edges) < m {
+		u, v := r.intn(n), r.intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, edge{uint32(u), uint32(v)})
+	}
+	dir := make([][2]uint32, 0, 2*len(edges))
+	for _, e := range edges {
+		dir = append(dir, [2]uint32{e.u, e.v}, [2]uint32{e.v, e.u})
+	}
+	return buildCSR(space, n, dir)
+}
+
+func buildCSR(space *mem.Space, n int, dir [][2]uint32) *Graph {
+	sort.Slice(dir, func(i, j int) bool {
+		if dir[i][0] != dir[j][0] {
+			return dir[i][0] < dir[j][0]
+		}
+		return dir[i][1] < dir[j][1]
+	})
+	g := &Graph{
+		N:     n,
+		Edges: make([]uint32, len(dir)),
+		Offs:  make([]uint32, n+1),
+		Space: space,
+	}
+	for i, e := range dir {
+		g.Edges[i] = e[1]
+		g.Offs[e[0]+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.Offs[i+1] += g.Offs[i]
+	}
+	g.OffReg = space.Alloc("csr.offsets", mem.SegHeap, uint64(n+1)*8, 64)
+	g.EdgeReg = space.Alloc("csr.edges", mem.SegHeap, uint64(len(dir))*8, 64)
+	return g
+}
+
+// RMATDirected generates a directed Kronecker graph of 2^scale vertices
+// and n*degree edges. The CSR stores the *transpose* (in-edges, sorted
+// by destination) — the layout PageRank pulls contributions through —
+// and OutDeg holds each vertex's out-degree.
+func RMATDirected(space *mem.Space, scale, degree int, seed uint64) *Graph {
+	n := 1 << scale
+	m := n * degree
+	r := &rng{s: seed}
+	dir := make([][2]uint32, 0, m)
+	outDeg := make([]int32, n)
+	for len(dir) < m {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float()
+			switch {
+			case p < pA:
+			case p < pA+pB:
+				v |= 1 << bit
+			case p < pA+pB+pC:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			// Store transposed: keyed by destination, value = source.
+			dir = append(dir, [2]uint32{uint32(v), uint32(u)})
+			outDeg[u]++
+		}
+	}
+	g := buildCSR(space, n, dir)
+	g.OutDeg = outDeg
+	return g
+}

@@ -1,0 +1,134 @@
+package graphgen
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+func checkCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	if len(g.Offs) != g.N+1 {
+		t.Fatalf("offsets len = %d, want %d", len(g.Offs), g.N+1)
+	}
+	if g.Offs[0] != 0 || int(g.Offs[g.N]) != len(g.Edges) {
+		t.Fatalf("offset bounds wrong: [%d, %d] vs %d edges", g.Offs[0], g.Offs[g.N], len(g.Edges))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offs[v] > g.Offs[v+1] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+	}
+	for _, u := range g.Edges {
+		if int(u) >= g.N {
+			t.Fatalf("edge target %d out of range", u)
+		}
+	}
+}
+
+func TestRMATUndirectedInvariants(t *testing.T) {
+	g := RMAT(mem.NewSpace(), 8, 4, 1)
+	checkCSR(t, g)
+	if g.M() != 2*256*4 {
+		t.Errorf("directed slots = %d, want %d", g.M(), 2*256*4)
+	}
+	// Undirected symmetry: u in adj(v) <=> v in adj(u).
+	adj := map[[2]uint32]int{}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			adj[[2]uint32{uint32(v), u}]++
+		}
+	}
+	for k, c := range adj {
+		if adj[[2]uint32{k[1], k[0]}] != c {
+			t.Fatalf("asymmetric multiplicity for edge %v", k)
+		}
+	}
+	// No self loops.
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestRMATDeterministicBySeed(t *testing.T) {
+	a := RMAT(mem.NewSpace(), 7, 4, 7)
+	b := RMAT(mem.NewSpace(), 7, 4, 7)
+	c := RMAT(mem.NewSpace(), 7, 4, 8)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed, different sizes")
+	}
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("same seed produced different graphs")
+	}
+	diff := len(a.Edges) != len(c.Edges)
+	for i := 0; !diff && i < len(a.Edges); i++ {
+		diff = a.Edges[i] != c.Edges[i]
+	}
+	if !diff {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	g := RMAT(mem.NewSpace(), 10, 8, 3)
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := sum / g.N
+	if maxDeg < 4*mean {
+		t.Errorf("max degree %d not skewed vs mean %d (RMAT should have hubs)", maxDeg, mean)
+	}
+}
+
+func TestUniformInvariants(t *testing.T) {
+	g := Uniform(mem.NewSpace(), 500, 6, 11)
+	checkCSR(t, g)
+	if g.M() != 500*6/2*2 {
+		t.Errorf("slots = %d", g.M())
+	}
+}
+
+func TestDirectedTranspose(t *testing.T) {
+	g := RMATDirected(mem.NewSpace(), 8, 4, 5)
+	checkCSR(t, g)
+	if g.OutDeg == nil {
+		t.Fatal("directed graph missing OutDeg")
+	}
+	// Out-degrees sum to the edge count (CSR stores in-edges).
+	var sum int
+	for v := 0; v < g.N; v++ {
+		sum += g.Degree(v)
+	}
+	if sum != g.M() {
+		t.Errorf("out-degree sum %d != edges %d", sum, g.M())
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	sp := mem.NewSpace()
+	g := RMAT(sp, 6, 4, 2)
+	if g.OffAddr(1)-g.OffAddr(0) != 8 || g.EdgeAddr(1)-g.EdgeAddr(0) != 8 {
+		t.Error("address helpers not 8-byte strided")
+	}
+	if sp.FindRegion(mem.Addr(g.OffAddr(0))) != g.OffReg {
+		t.Error("offset address outside its region")
+	}
+	if sp.FindRegion(mem.Addr(g.EdgeAddr(g.M()-1))) != g.EdgeReg {
+		t.Error("last edge address outside its region")
+	}
+}

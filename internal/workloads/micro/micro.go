@@ -1,0 +1,438 @@
+// Package micro generates the paper's micro-benchmarks (§VI,
+// "Benchmarks") as IR programs: synthetic access patterns over dense and
+// sparse data structures, with controllable access counts, strides, and
+// reuse. Names follow the paper's convention — "str<k>" is strided with
+// stride step k, "irr" is irregular — and patterns compose conditionally
+// ('/') or in series ('|'). Each benchmark repeats its pattern Reps
+// times (100 in the paper) so short-lived sequences become hotspots.
+//
+// Programs are generated at two optimisation levels: O3 keeps loop state
+// in registers; O0 spills the induction variable and base pointer to the
+// stack frame every iteration, producing the Constant loads whose
+// compression the paper measures (≈2× at O0 vs ≈1.2× at O3).
+package micro
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/isa"
+	"github.com/memgaze/memgaze-go/internal/mem"
+)
+
+// OptLevel selects the code-generation style.
+type OptLevel int
+
+const (
+	// O3 keeps scalars in registers.
+	O3 OptLevel = iota
+	// O0 spills loop scalars to the stack frame each iteration.
+	O0
+)
+
+func (o OptLevel) String() string {
+	if o == O0 {
+		return "O0"
+	}
+	return "O3"
+}
+
+// Pat is a leaf or composite access pattern.
+type Pat interface {
+	name() string
+}
+
+// Str is a strided pattern: Accesses loads with a stride of Step
+// elements (8 bytes each) over a private array.
+type Str struct {
+	Step     int
+	Accesses int
+}
+
+func (s Str) name() string { return fmt.Sprintf("str%d", s.Step) }
+
+// Irr is an irregular pattern: Accesses gather loads at LCG-generated
+// indexes into a private array of Elems elements (power of two).
+type Irr struct {
+	Elems    int
+	Accesses int
+}
+
+func (Irr) name() string { return "irr" }
+
+// Ptr is a pointer-chase pattern: Accesses dependent loads walking a
+// shuffled singly-linked list of Nodes nodes.
+type Ptr struct {
+	Nodes    int
+	Accesses int
+}
+
+func (Ptr) name() string { return "ptr" }
+
+// Hot varies data reuse and access likelihood (§VI "vary access
+// patterns, data reuse, access sparsity, and access likelihood"): each
+// access goes to a small hot array with probability PctHot/100 and to a
+// large cold array otherwise, so reuse concentrates on the hot set.
+type Hot struct {
+	HotElems  int // power of two (default 256)
+	ColdElems int // power of two (default 1<<15)
+	PctHot    int // 0..100 (default 80)
+	Accesses  int
+}
+
+func (h Hot) name() string { return fmt.Sprintf("hot%d", h.pct()) }
+
+func (h Hot) pct() int {
+	if h.PctHot == 0 {
+		return 80
+	}
+	return h.PctHot
+}
+
+// Series composes two patterns back to back each repetition ('|').
+type Series struct{ A, B Pat }
+
+func (s Series) name() string { return s.A.name() + "|" + s.B.name() }
+
+// Cond alternates between two patterns per repetition based on a
+// pseudo-random bit ('/'): composed conditionally, so each repetition
+// executes exactly one of the two.
+type Cond struct{ A, B Pat }
+
+func (c Cond) name() string { return c.A.name() + "/" + c.B.name() }
+
+// Spec is one micro-benchmark.
+type Spec struct {
+	Pattern Pat
+	Reps    int
+	Opt     OptLevel
+}
+
+// Name returns the benchmark's display name, e.g. "str1|irr-O0".
+func (s Spec) Name() string { return fmt.Sprintf("%s-%s", s.Pattern.name(), s.Opt) }
+
+// LCG constants (Knuth's MMIX).
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// builder tracks code generation state for one program.
+type builder struct {
+	prog   *isa.Program
+	space  *mem.Space
+	opt    OptLevel
+	nextID int
+}
+
+// Build generates the benchmark: a main driver that repeats the pattern
+// Reps times, with one procedure per leaf pattern (so code windows align
+// with patterns in the analysis).
+func (s Spec) Build() (*isa.Program, *mem.Space, error) {
+	if s.Reps <= 0 {
+		s.Reps = 100
+	}
+	b := &builder{
+		prog:  isa.NewProgram(s.Name(), "main"),
+		space: mem.NewSpace(),
+		opt:   s.Opt,
+	}
+	leafCalls := b.genPattern(s.Pattern)
+
+	// Driver: for r13 in 0..Reps { <pattern invocation> }.
+	pb := isa.NewProc("main", 32)
+	pb.Line(1)
+	pb.MovImm(isa.R13, 0)
+	pb.MovImm(isa.R14, 0x243F6A8885A308D3) // conditional-pattern LCG state
+	pb.Label("rep")
+	leafCalls(pb)
+	pb.AddImm(isa.R13, isa.R13, 1)
+	pb.BrImm(isa.CondLT, isa.R13, int64(s.Reps), "rep")
+	pb.Label("done")
+	pb.Halt()
+	b.prog.Add(pb.Finish())
+
+	if err := b.prog.Link(); err != nil {
+		return nil, nil, err
+	}
+	return b.prog, b.space, nil
+}
+
+// genPattern emits the procedures for a pattern and returns a function
+// that emits the driver-side invocation sequence.
+func (b *builder) genPattern(p Pat) func(*isa.ProcBuilder) {
+	switch p := p.(type) {
+	case Str:
+		proc := b.genStr(p)
+		return func(pb *isa.ProcBuilder) { pb.Call(proc) }
+	case Irr:
+		proc := b.genIrr(p)
+		return func(pb *isa.ProcBuilder) { pb.Call(proc) }
+	case Ptr:
+		proc := b.genPtr(p)
+		return func(pb *isa.ProcBuilder) { pb.Call(proc) }
+	case Hot:
+		proc := b.genHot(p)
+		return func(pb *isa.ProcBuilder) { pb.Call(proc) }
+	case Series:
+		ca := b.genPattern(p.A)
+		cb := b.genPattern(p.B)
+		return func(pb *isa.ProcBuilder) {
+			ca(pb)
+			cb(pb)
+		}
+	case Cond:
+		ca := b.genPattern(p.A)
+		cb := b.genPattern(p.B)
+		id := b.nextID
+		b.nextID++
+		condA := fmt.Sprintf("condA%d", id)
+		condJ := fmt.Sprintf("condJ%d", id)
+		condEnd := fmt.Sprintf("condE%d", id)
+		return func(pb *isa.ProcBuilder) {
+			// Advance the driver LCG and branch on a middle bit.
+			pb.MulImm(isa.R14, isa.R14, lcgMul)
+			pb.AddImm(isa.R14, isa.R14, lcgAdd)
+			pb.ShrImm(isa.R0, isa.R14, 40)
+			pb.MovImm(isa.R1, 1)
+			pb.And(isa.R0, isa.R0, isa.R1)
+			pb.BrImm(isa.CondEQ, isa.R0, 1, condA)
+			pb.Label(condJ)
+			cb(pb)
+			pb.Jmp(condEnd)
+			pb.Label(condA)
+			ca(pb)
+			pb.Label(condEnd)
+		}
+	default:
+		panic(fmt.Sprintf("micro: unknown pattern %T", p))
+	}
+}
+
+// unrollFor returns the loop unroll factor and per-body Constant-load
+// count for a level. O3 bodies are unrolled 5× with one frame load, so
+// one access in six is Constant (κ ≈ 1.2); O0 bodies run one access per
+// iteration with one frame load and a frame store (κ ≈ 2). These match
+// the paper's measured compression ratios (§VI-C).
+func (b *builder) unrollFor() int {
+	if b.opt == O0 {
+		return 1
+	}
+	return 5
+}
+
+func roundUp(n, k int) int { return (n + k - 1) / k * k }
+
+func (b *builder) uniqueName(base string) string {
+	n := fmt.Sprintf("%s_%d", base, b.nextID)
+	b.nextID++
+	return n
+}
+
+// frameChatter emits the per-body Constant traffic: one frame scalar
+// load always, plus a frame store of the mirrored induction variable at
+// O0 (unoptimised compilers keep locals in memory).
+func (b *builder) frameChatter(pb *isa.ProcBuilder, iv isa.Reg) {
+	pb.Load(isa.R10, isa.Frame(0))
+	if b.opt == O0 {
+		pb.Store(isa.Frame(8), iv)
+	}
+}
+
+// genStr emits: for i in steps { r0 = A[i] }, stride Step elements.
+func (b *builder) genStr(p Str) string {
+	if p.Accesses <= 0 {
+		p.Accesses = 4096
+	}
+	if p.Step <= 0 {
+		p.Step = 1
+	}
+	name := b.uniqueName(p.name())
+	u := b.unrollFor()
+	accesses := roundUp(p.Accesses, u)
+	elems := accesses * p.Step
+	arr := b.space.Alloc("A_"+name, mem.SegHeap, uint64(elems*8), 64)
+
+	pb := isa.NewProc(name, 32)
+	pb.Line(10)
+	pb.MovImm(isa.R4, int64(arr.Lo)) // base
+	pb.MovImm(isa.R5, 0)             // element index
+	pb.Store(isa.Frame(0), isa.R5)   // initialise the frame scalar
+	pb.Label("loop").Line(11)
+	b.frameChatter(pb, isa.R5)
+	for k := 0; k < u; k++ {
+		pb.Load(isa.R0, isa.Idx(isa.R4, isa.R5, 8, int64(k*p.Step*8)))
+	}
+	pb.AddImm(isa.R5, isa.R5, int64(u*p.Step))
+	pb.BrImm(isa.CondLT, isa.R5, int64(elems), "loop")
+	pb.Label("done").Line(12)
+	pb.Ret()
+	b.prog.Add(pb.Finish())
+	return name
+}
+
+// genIrr emits a gather at LCG-generated indexes.
+func (b *builder) genIrr(p Irr) string {
+	if p.Accesses <= 0 {
+		p.Accesses = 4096
+	}
+	if p.Elems <= 0 {
+		p.Elems = 1 << 14
+	}
+	if p.Elems&(p.Elems-1) != 0 {
+		panic("micro: Irr.Elems must be a power of two")
+	}
+	name := b.uniqueName(p.name())
+	u := b.unrollFor()
+	accesses := roundUp(p.Accesses, u)
+	arr := b.space.Alloc("A_"+name, mem.SegHeap, uint64(p.Elems*8), 64)
+
+	pb := isa.NewProc(name, 32)
+	pb.Line(20)
+	pb.MovImm(isa.R4, int64(arr.Lo))
+	pb.MovImm(isa.R5, 0)
+	pb.MovImm(isa.R7, 0x1E3779B97F4A7C15) // LCG state
+	pb.MovImm(isa.R8, int64(p.Elems-1))   // mask
+	pb.Store(isa.Frame(0), isa.R5)
+	pb.Label("loop").Line(21)
+	b.frameChatter(pb, isa.R5)
+	for k := 0; k < u; k++ {
+		pb.MulImm(isa.R7, isa.R7, lcgMul)
+		pb.AddImm(isa.R7, isa.R7, lcgAdd)
+		pb.ShrImm(isa.R1, isa.R7, 33)
+		pb.And(isa.R2, isa.R1, isa.R8)
+		pb.Load(isa.R0, isa.Idx(isa.R4, isa.R2, 8, 0))
+	}
+	pb.AddImm(isa.R5, isa.R5, int64(u))
+	pb.BrImm(isa.CondLT, isa.R5, int64(accesses), "loop")
+	pb.Label("done").Line(22)
+	pb.Ret()
+	b.prog.Add(pb.Finish())
+	return name
+}
+
+// genPtr builds a shuffled singly-linked list in simulated memory and
+// emits a chase: r9 = *r9, Accesses times.
+func (b *builder) genPtr(p Ptr) string {
+	if p.Accesses <= 0 {
+		p.Accesses = 4096
+	}
+	if p.Nodes <= 0 {
+		p.Nodes = 1 << 12
+	}
+	name := b.uniqueName(p.name())
+	u := b.unrollFor()
+	accesses := roundUp(p.Accesses, u)
+	const nodeSize = 16 // next pointer + payload
+	arr := b.space.Alloc("L_"+name, mem.SegHeap, uint64(p.Nodes*nodeSize), 64)
+
+	// Shuffle node order with a deterministic Fisher-Yates driven by an
+	// LCG so the chase is maximally irregular.
+	perm := make([]int, p.Nodes)
+	x := uint64(12605985483714917081)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := p.Nodes - 1; i > 0; i-- {
+		x = x*lcgMul + lcgAdd
+		j := int(x>>33) % (i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	nodeAddr := func(i int) mem.Addr { return arr.Lo + mem.Addr(perm[i]*nodeSize) }
+	for i := 0; i < p.Nodes; i++ {
+		next := nodeAddr((i + 1) % p.Nodes)
+		b.space.Store64(nodeAddr(i), uint64(next))
+	}
+
+	pb := isa.NewProc(name, 32)
+	pb.Line(30)
+	pb.MovImm(isa.R9, int64(nodeAddr(0)))
+	pb.MovImm(isa.R5, 0)
+	pb.Store(isa.Frame(0), isa.R5)
+	pb.Label("loop").Line(31)
+	b.frameChatter(pb, isa.R5)
+	for k := 0; k < u; k++ {
+		pb.Load(isa.R9, isa.Ind(isa.R9, 0))
+	}
+	pb.AddImm(isa.R5, isa.R5, int64(u))
+	pb.BrImm(isa.CondLT, isa.R5, int64(accesses), "loop")
+	pb.Label("done").Line(32)
+	pb.Ret()
+	b.prog.Add(pb.Finish())
+	return name
+}
+
+// genHot emits the reuse/likelihood pattern: a probability branch per
+// access between a small hot array (high reuse) and a large cold one.
+func (b *builder) genHot(p Hot) string {
+	if p.Accesses <= 0 {
+		p.Accesses = 4096
+	}
+	if p.HotElems <= 0 {
+		p.HotElems = 256
+	}
+	if p.ColdElems <= 0 {
+		p.ColdElems = 1 << 15
+	}
+	if p.HotElems&(p.HotElems-1) != 0 || p.ColdElems&(p.ColdElems-1) != 0 {
+		panic("micro: Hot array sizes must be powers of two")
+	}
+	name := b.uniqueName(p.name())
+	hot := b.space.Alloc("H_"+name, mem.SegHeap, uint64(p.HotElems*8), 64)
+	cold := b.space.Alloc("C_"+name, mem.SegHeap, uint64(p.ColdElems*8), 64)
+	thresh := int64(p.pct()) * 256 / 100
+
+	pb := isa.NewProc(name, 32)
+	pb.Line(40)
+	pb.MovImm(isa.R3, int64(hot.Lo))
+	pb.MovImm(isa.R4, int64(cold.Lo))
+	pb.MovImm(isa.R5, 0)
+	pb.MovImm(isa.R7, 0x41C64E6D12345677) // LCG state
+	pb.MovImm(isa.R8, int64(p.HotElems-1))
+	pb.MovImm(isa.R9, int64(p.ColdElems-1))
+	pb.MovImm(isa.R12, thresh)
+	pb.Store(isa.Frame(0), isa.R5)
+	pb.Label("loop").Line(41)
+	pb.Load(isa.R10, isa.Frame(0)) // constant chatter
+	if b.opt == O0 {
+		pb.Store(isa.Frame(8), isa.R5)
+	}
+	pb.MulImm(isa.R7, isa.R7, lcgMul)
+	pb.AddImm(isa.R7, isa.R7, lcgAdd)
+	pb.ShrImm(isa.R1, isa.R7, 56) // likelihood byte
+	pb.ShrImm(isa.R2, isa.R7, 20) // index bits
+	pb.Br(isa.CondULT, isa.R1, isa.R12, "hot")
+	// Cold path: gather into the large array.
+	pb.Label("cold").Line(42)
+	pb.And(isa.R6, isa.R2, isa.R9)
+	pb.Load(isa.R0, isa.Idx(isa.R4, isa.R6, 8, 0))
+	pb.Jmp("cont")
+	// Hot path: gather into the small, heavily reused array.
+	pb.Label("hot").Line(43)
+	pb.And(isa.R6, isa.R2, isa.R8)
+	pb.Load(isa.R0, isa.Idx(isa.R3, isa.R6, 8, 0))
+	pb.Label("cont").Line(44)
+	pb.AddImm(isa.R5, isa.R5, 1)
+	pb.BrImm(isa.CondLT, isa.R5, int64(p.Accesses), "loop")
+	pb.Label("done").Line(45)
+	pb.Ret()
+	b.prog.Add(pb.Finish())
+	return name
+}
+
+// Suite returns the paper-style micro-benchmark set at the given level:
+// pure strided with several steps, pure irregular, a pointer chase, the
+// reuse/likelihood pattern, and the series and conditional compositions.
+func Suite(opt OptLevel, accesses, reps int) []Spec {
+	mk := func(p Pat) Spec { return Spec{Pattern: p, Reps: reps, Opt: opt} }
+	return []Spec{
+		mk(Str{Step: 1, Accesses: accesses}),
+		mk(Str{Step: 2, Accesses: accesses}),
+		mk(Str{Step: 8, Accesses: accesses}),
+		mk(Irr{Accesses: accesses}),
+		mk(Ptr{Accesses: accesses}),
+		mk(Hot{Accesses: accesses}),
+		mk(Series{A: Str{Step: 1, Accesses: accesses}, B: Irr{Accesses: accesses}}),
+		mk(Cond{A: Str{Step: 1, Accesses: accesses}, B: Irr{Accesses: accesses}}),
+		mk(Cond{A: Str{Step: 8, Accesses: accesses}, B: Ptr{Accesses: accesses}}),
+	}
+}

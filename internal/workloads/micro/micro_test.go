@@ -1,0 +1,195 @@
+package micro
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/vm"
+)
+
+func TestSuiteBuildsAndClassifies(t *testing.T) {
+	for _, opt := range []OptLevel{O3, O0} {
+		for _, spec := range Suite(opt, 256, 2) {
+			prog, _, err := spec.Build()
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name(), err)
+			}
+			res, err := dataflow.Analyze(prog)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name(), err)
+			}
+			if len(res.Loads) == 0 {
+				t.Fatalf("%s: no loads", spec.Name())
+			}
+		}
+	}
+}
+
+func TestStrLeafIsStrided(t *testing.T) {
+	spec := Spec{Pattern: Str{Step: 2, Accesses: 100}, Reps: 1, Opt: O3}
+	prog, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dataflow.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.PerProc["str2_0"]
+	if c == nil {
+		t.Fatal("missing leaf proc counts")
+	}
+	if c.Irregular != 0 {
+		t.Errorf("str leaf has %d irregular loads", c.Irregular)
+	}
+	if c.Strided != 5 { // unrolled x5
+		t.Errorf("str leaf strided loads = %d, want 5", c.Strided)
+	}
+	if c.Constant != 1 { // one frame scalar per body
+		t.Errorf("str leaf constant loads = %d, want 1", c.Constant)
+	}
+}
+
+func TestIrrAndPtrLeavesAreIrregular(t *testing.T) {
+	for _, pat := range []Pat{Irr{Accesses: 100}, Ptr{Accesses: 100, Nodes: 64}} {
+		spec := Spec{Pattern: pat, Reps: 1, Opt: O3}
+		prog, _, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dataflow.Analyze(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, c := range res.PerProc {
+			if name == "main" {
+				continue
+			}
+			if c.Irregular == 0 {
+				t.Errorf("%s %s: no irregular loads", spec.Name(), name)
+			}
+			if c.Strided != 0 {
+				t.Errorf("%s %s: unexpected strided loads (%d)", spec.Name(), name, c.Strided)
+			}
+		}
+	}
+}
+
+func TestExecutionLoadCounts(t *testing.T) {
+	// str1 with 100 accesses × 3 reps: 300 strided + 60 const (1 per 5)
+	// loads at O3.
+	spec := Spec{Pattern: Str{Step: 1, Accesses: 100}, Reps: 3, Opt: O3}
+	prog, space, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(prog, space, vm.DefaultCosts())
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads != 360 {
+		t.Errorf("loads = %d, want 360", st.Loads)
+	}
+
+	// O0: one const load per access body (unroll 1) → 100 str + 100
+	// const per rep.
+	spec0 := Spec{Pattern: Str{Step: 1, Accesses: 100}, Reps: 3, Opt: O0}
+	prog0, space0, err := spec0.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, err := vm.New(prog0, space0, vm.DefaultCosts()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Loads != 600 {
+		t.Errorf("O0 loads = %d, want 600", st0.Loads)
+	}
+}
+
+func TestCondSplitsExecution(t *testing.T) {
+	spec := Spec{
+		Pattern: Cond{A: Str{Step: 1, Accesses: 50}, B: Irr{Accesses: 50}},
+		Reps:    40, Opt: O3,
+	}
+	prog, space, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := vm.New(prog, space, vm.DefaultCosts()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the reps take each branch: loads land between the
+	// all-A and all-B extremes and no single branch dominates fully.
+	perRep := st.Loads / 40
+	if perRep < 50 || perRep > 70 {
+		t.Errorf("per-rep loads = %d, want ≈60", perRep)
+	}
+}
+
+func TestSeriesRunsBoth(t *testing.T) {
+	spec := Spec{
+		Pattern: Series{A: Str{Step: 1, Accesses: 50}, B: Irr{Accesses: 50}},
+		Reps:    2, Opt: O3,
+	}
+	prog, space, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := vm.New(prog, space, vm.DefaultCosts()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both leaves execute every rep: 2 × (50+10 + 50+10).
+	if st.Loads != 240 {
+		t.Errorf("loads = %d, want 240", st.Loads)
+	}
+}
+
+func TestPtrChaseVisitsWholeList(t *testing.T) {
+	spec := Spec{Pattern: Ptr{Accesses: 64, Nodes: 64}, Reps: 1, Opt: O3}
+	prog, space, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the prebuilt list is a single 64-cycle: walking 64 steps
+	// returns to the start.
+	var head mem.Addr
+	for _, r := range space.Regions() {
+		if r.Name[0] == 'L' {
+			head = r.Lo
+			break
+		}
+	}
+	if head == 0 {
+		t.Fatal("list region not found")
+	}
+	// Find the entry node (the program's movi immediate).
+	entry := prog.Procs[0].Blocks[0].Instrs[0].Imm
+	cur := mem.Addr(entry)
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 64; i++ {
+		if seen[cur] {
+			t.Fatalf("list cycles early at step %d", i)
+		}
+		seen[cur] = true
+		cur = mem.Addr(space.Load64(cur))
+	}
+	if cur != mem.Addr(entry) {
+		t.Error("list does not close into a 64-cycle")
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := Spec{Pattern: Cond{A: Str{Step: 8}, B: Ptr{}}, Opt: O0}
+	if s.Name() != "str8/ptr-O0" {
+		t.Errorf("name = %q", s.Name())
+	}
+	s2 := Spec{Pattern: Series{A: Str{Step: 1}, B: Irr{}}, Opt: O3}
+	if s2.Name() != "str1|irr-O3" {
+		t.Errorf("name = %q", s2.Name())
+	}
+}

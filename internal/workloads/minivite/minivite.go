@@ -1,0 +1,600 @@
+// Package minivite reimplements the miniVite benchmark (Louvain
+// community detection) for MemGaze-Go's case studies (§VII-A). A single
+// Louvain phase iterates vertices; for each vertex it builds a map from
+// neighbouring community to edge weight (the buildMap hotspot), picks
+// the community with the best modularity gain (getMax), and moves the
+// vertex.
+//
+// Three map variants reproduce the paper's comparison:
+//
+//	v1 — an open hash table (chained buckets, like C++ unordered_map):
+//	     pointer-chasing irregular accesses, smallest footprint.
+//	v2 — a closed hash table (hopscotch-style linear probing) at the
+//	     default initial size: strided probing that prefetches well, but
+//	     dynamic resizing adds rehash copies and over-allocation scans.
+//	v3 — the closed table right-sized per vertex: strided probing
+//	     without resize traffic.
+//
+// Every memory access the algorithm makes is fired through a declared
+// load site, so traces carry the same classes and addresses MemGaze
+// would observe on the real binary.
+package minivite
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/mem"
+	"github.com/memgaze/memgaze-go/internal/workloads/graphgen"
+	"github.com/memgaze/memgaze-go/internal/workloads/sites"
+)
+
+// Variant selects the map implementation.
+type Variant int
+
+const (
+	// V1 is the open (chained) hash table.
+	V1 Variant = iota + 1
+	// V2 is the closed table with default sizing (dynamic resize).
+	V2
+	// V3 is the closed table right-sized per vertex.
+	V3
+)
+
+// Opt is the compiler optimisation level being modelled; it controls the
+// amount of Constant frame chatter per block (κ ≈ 2 at O0, ≈ 1.2 at O3).
+type Opt int
+
+const (
+	// O3 models optimised code.
+	O3 Opt = iota
+	// O0 models unoptimised code.
+	O0
+)
+
+func (o Opt) String() string {
+	if o == O0 {
+		return "O0"
+	}
+	return "O3"
+}
+
+// Config parameterises the workload.
+type Config struct {
+	Scale      int // log2 vertices (paper: 22; default here: 11)
+	Degree     int // average undirected degree (paper: 16)
+	Iterations int // Louvain sweeps (default 3)
+	Variant    Variant
+	Opt        Opt
+	Seed       uint64
+	// Compress selects §III-B trace compression when freezing the module
+	// (set by New's compress argument).
+}
+
+func (c *Config) fill() {
+	if c.Scale == 0 {
+		c.Scale = 11
+	}
+	if c.Degree == 0 {
+		c.Degree = 8
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	if c.Variant == 0 {
+		c.Variant = V1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+}
+
+// Workload is a built miniVite instance: graph, regions, and module.
+type Workload struct {
+	Cfg   Config
+	Space *mem.Space
+	G     *graphgen.Graph
+	Mod   *sites.Module
+
+	// Regions of interest for location analysis (Table V).
+	Arena      *mem.Region // the map object
+	CommLo     uint64      // caller objects span: comm/deg/ctot arrays
+	CommHi     uint64
+	maxCap     int
+	arenaSlots int     // 16-byte slots in the arena
+	nodePer    []int32 // scatter permutation for v1 node placement
+
+	// Load-site groups (unrolled loop bodies; see sites.Group).
+	sGenEdge, sGenOff               *sites.Group
+	sBMOff, sBMEdge                 *sites.Group
+	sBMComm                         *sites.Group
+	sInsHead, sInsNode              *sites.Group // v1
+	sInsHome, sInsProbe, sInsRehash *sites.Group // v2/v3
+	sGMNode                         *sites.Group // v1
+	sGMScan                         *sites.Group // v2/v3
+	sGMCtot                         *sites.Group
+
+	commReg, degReg, ctotReg *mem.Region
+}
+
+// Name returns e.g. "miniVite-O3-v1".
+func (w *Workload) Name() string {
+	return fmt.Sprintf("miniVite-%s-v%d", w.Cfg.Opt, int(w.Cfg.Variant))
+}
+
+// unroll returns the loop-body unroll factor of the modelled build:
+// optimised code unrolls 5× and keeps one frame scalar per body
+// (κ ≈ 1.2); unoptimised code re-reads the frame every iteration
+// (κ ≈ 2). See sites.Group.
+func (w *Workload) unroll() int {
+	if w.Cfg.Opt == O0 {
+		return 1
+	}
+	return 5
+}
+
+// New builds the graph, declares the module's static structure, and
+// freezes it (compress selects trace compression).
+func New(cfg Config, compress bool) *Workload {
+	cfg.fill()
+	w := &Workload{Cfg: cfg, Space: mem.NewSpace()}
+	w.G = graphgen.RMAT(w.Space, cfg.Scale, cfg.Degree, cfg.Seed)
+
+	maxDeg := 0
+	for v := 0; v < w.G.N; v++ {
+		if d := w.G.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	w.maxCap = nextPow2(2*maxDeg + 16)
+
+	// The map arena models the heap area the allocator serves per-vertex
+	// map instances from: every variant sees the same region (the paper's
+	// location analysis reports the same block count for all three), but
+	// instances land at varying offsets within it, so v1's chained nodes
+	// scatter across it while v2/v3's tables stay sequential.
+	w.arenaSlots = 4 * (w.maxCap + 64)
+	arenaSize := uint64(w.arenaSlots * 16)
+	w.Arena = w.Space.Alloc("map.arena", mem.SegHeap, arenaSize, 64)
+
+	// Caller objects: community, degree, and community-total arrays,
+	// allocated adjacently so they form one analysable span.
+	n := uint64(w.G.N)
+	w.commReg = w.Space.Alloc("comm", mem.SegHeap, n*8, 64)
+	w.degReg = w.Space.Alloc("deg", mem.SegHeap, n*8, 64)
+	w.ctotReg = w.Space.Alloc("ctot", mem.SegHeap, n*8, 64)
+	w.CommLo, w.CommHi = uint64(w.commReg.Lo), uint64(w.ctotReg.Hi())
+
+	// v1 node scatter permutation (unordered_map nodes come from the
+	// allocator in effectively random order).
+	w.nodePer = make([]int32, w.maxCap)
+	for i := range w.nodePer {
+		w.nodePer[i] = int32(i)
+	}
+	x := cfg.Seed*2862933555777941757 + 3037000493
+	for i := len(w.nodePer) - 1; i > 0; i-- {
+		x = x*2862933555777941757 + 3037000493
+		j := int(x>>33) % (i + 1)
+		w.nodePer[i], w.nodePer[j] = w.nodePer[j], w.nodePer[i]
+	}
+
+	w.declareModule()
+	w.Mod.Freeze(compress)
+	return w
+}
+
+// declareModule lays out the static structure: procedures and unrolled
+// load-site groups with their provenance.
+func (w *Workload) declareModule() {
+	m := sites.NewModule(w.Name())
+	w.Mod = m
+	u := w.unroll()
+
+	gen := m.Proc("genGraph")
+	w.sGenEdge = m.LoadGroup(gen, 101, sites.InductionStride, 8, u, 1)
+	w.sGenOff = m.LoadIdxGroup(gen, 102, 8, u, 1)
+
+	bm := m.Proc("buildMap")
+	w.sBMOff = m.LoadGroup(bm, 201, sites.InductionStride, 8, u, 1)
+	w.sBMEdge = m.LoadGroup(bm, 205, sites.InductionStride, 8, u, 1)
+	w.sBMComm = m.LoadIdxGroup(bm, 206, 8, u, 1)
+
+	ins := m.Proc("map.insert")
+	gm := m.Proc("getMax")
+	switch w.Cfg.Variant {
+	case V1:
+		w.sInsHead = m.LoadIdxGroup(ins, 301, 8, u, 1)
+		w.sInsNode = m.LoadGroup(ins, 303, sites.PointerChase, 0, u, 1)
+
+		// unordered_map iteration chases the nodes' forward-list links —
+		// there is no bucket scan (libstdc++ layout).
+		w.sGMNode = m.LoadGroup(gm, 403, sites.PointerChase, 0, u, 1)
+		w.sGMCtot = m.LoadIdxGroup(gm, 404, 8, u, 1)
+	default: // V2, V3
+		w.sInsHome = m.LoadIdxGroup(ins, 311, 16, u, 1)
+		w.sInsProbe = m.LoadGroup(ins, 313, sites.InductionStride, 16, u, 1)
+		w.sInsRehash = m.LoadGroup(ins, 315, sites.InductionStride, 16, u, 1)
+
+		w.sGMScan = m.LoadGroup(gm, 411, sites.InductionStride, 16, u, 1)
+		w.sGMCtot = m.LoadIdxGroup(gm, 412, 8, u, 1)
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Addresses of the caller arrays.
+func (w *Workload) commAddr(v int32) uint64 { return uint64(w.commReg.Lo) + uint64(v)*8 }
+func (w *Workload) degAddr(v int32) uint64  { return uint64(w.degReg.Lo) + uint64(v)*8 }
+func (w *Workload) ctotAddr(c int32) uint64 { return uint64(w.ctotReg.Lo) + uint64(c)*8 }
+
+// Run executes both phases: graph generation and Louvain modularity.
+// Returns the final communities (for correctness checks).
+func (w *Workload) Run(r *sites.Runner) []int32 {
+	r.Phase("gengraph")
+	w.runGen(r)
+	r.Phase("modularity")
+	comm := w.runLouvain(r)
+	r.Phase("end")
+	return comm
+}
+
+// runGen models the graph construction phase: streaming edge writes with
+// offset updates — memory behaviour distinctly different from the
+// modularity phase (Fig. 7's phase breakdown).
+func (w *Workload) runGen(r *sites.Runner) {
+	for i := 0; i < w.G.M(); i++ {
+		r.Load(w.sGenEdge.Next(), w.G.EdgeAddr(i))
+		u := i % w.G.N
+		r.LoadIdx(w.sGenOff.Next(), w.G.OffAddr(0), uint64(u))
+		r.Work(18)
+		r.Store(w.G.EdgeAddr(i))
+	}
+}
+
+// runLouvain is the modularity phase.
+func (w *Workload) runLouvain(r *sites.Runner) []int32 {
+	n := w.G.N
+	comm := make([]int32, n)
+	deg := make([]int64, n)
+	ctot := make([]int64, n)
+	var m2 int64
+	for v := 0; v < n; v++ {
+		comm[v] = int32(v)
+		deg[v] = int64(w.G.Degree(v))
+		ctot[v] = deg[v]
+		m2 += deg[v]
+	}
+	if m2 == 0 {
+		return comm
+	}
+
+	var mp cmap
+	switch w.Cfg.Variant {
+	case V1:
+		mp = newChainMap(w)
+	case V2:
+		mp = newProbeMap(w, false)
+	default:
+		mp = newProbeMap(w, true)
+	}
+	// v3 right-sizes each map instance to what it will hold — the
+	// distinct neighbouring communities — which miniVite's authors
+	// precompute. The counting here is that precomputation (untraced).
+	distinct := make(map[int32]struct{}, 64)
+
+	for it := 0; it < w.Cfg.Iterations; it++ {
+		for v := 0; v < n; v++ {
+			lo, hi := w.G.Offs[v], w.G.Offs[v+1]
+			if lo == hi {
+				continue
+			}
+			// buildMap: inspect neighbouring communities.
+			r.Load(w.sBMOff.Next(), w.G.OffAddr(v))
+			sizeHint := int(hi - lo)
+			if w.Cfg.Variant == V3 {
+				clear(distinct)
+				for e := lo; e < hi; e++ {
+					distinct[comm[w.G.Edges[e]]] = struct{}{}
+				}
+				sizeHint = len(distinct)
+			}
+			mp.clear(r, sizeHint)
+			for e := lo; e < hi; e++ {
+				r.Load(w.sBMEdge.Next(), w.G.EdgeAddr(int(e)))
+				u := w.G.Edges[e]
+				r.LoadIdx(w.sBMComm.Next(), uint64(w.commReg.Lo), uint64(u))
+				mp.insert(r, comm[u])
+				r.Work(10)
+			}
+			// getMax: best modularity gain.
+			cur := comm[v]
+			best, bestGain := cur, int64(-1<<62)
+			mp.iterate(r, func(c int32, weight int64) {
+				r.LoadIdx(w.sGMCtot.Next(), uint64(w.ctotReg.Lo), uint64(c))
+				other := ctot[c]
+				if c == cur {
+					other -= deg[v]
+				}
+				// gain ∝ weight·m2 − deg[v]·ctot[c] (scaled to integers)
+				gain := weight*m2 - deg[v]*other
+				r.Work(14)
+				if gain > bestGain || (gain == bestGain && c < best) {
+					best, bestGain = c, gain
+				}
+			})
+			if best != cur {
+				ctot[cur] -= deg[v]
+				ctot[best] += deg[v]
+				comm[v] = best
+				r.Store(w.ctotAddr(cur))
+				r.Store(w.ctotAddr(best))
+				r.Store(w.commAddr(int32(v)))
+			}
+			r.Work(12)
+		}
+	}
+	return comm
+}
+
+// Modularity computes Q for a community assignment (pure Go, untraced;
+// used by tests).
+func (w *Workload) Modularity(comm []int32) float64 {
+	var m2 float64
+	ein := make(map[int32]float64)
+	ctot := make(map[int32]float64)
+	for v := 0; v < w.G.N; v++ {
+		for _, u := range w.G.Neighbors(v) {
+			m2++
+			if comm[v] == comm[u] {
+				ein[comm[v]]++
+			}
+		}
+		ctot[comm[v]] += float64(w.G.Degree(v))
+	}
+	if m2 == 0 {
+		return 0
+	}
+	var q float64
+	for c, e := range ein {
+		q += e / m2
+		_ = c
+	}
+	for _, t := range ctot {
+		q -= (t / m2) * (t / m2)
+	}
+	return q
+}
+
+// Regions returns the named hot regions of Table V.
+func (w *Workload) Regions() []analysis.Region {
+	return []analysis.Region{
+		{Name: "map (hash table)", Lo: uint64(w.Arena.Lo), Hi: uint64(w.Arena.Hi())},
+		{Name: "remote edges", Lo: uint64(w.G.EdgeReg.Lo), Hi: uint64(w.G.EdgeReg.Hi())},
+		{Name: "other objs (caller)", Lo: w.CommLo, Hi: w.CommHi},
+	}
+}
+
+// cmap is the per-vertex neighbour-community weight map.
+type cmap interface {
+	clear(r *sites.Runner, sizeHint int)
+	insert(r *sites.Runner, key int32)
+	iterate(r *sites.Runner, f func(key int32, weight int64))
+}
+
+func hash32(x int32) uint32 {
+	h := uint32(x) * 2654435761
+	h ^= h >> 16
+	return h
+}
+
+// chainMap is v1: 64 chained buckets with nodes scattered in the arena
+// (allocator order), the open-hash shape of C++ unordered_map.
+type chainMap struct {
+	w     *Workload
+	heads [64]int32
+	keys  []int32
+	next  []int32
+	cnt   []int64
+	order []int32 // insertion order: the iteration forward-list
+	used  []int   // buckets touched (for realistic clear stores)
+	n     int
+	base  int    // allocator offset (slots) of this map instance
+	lcg   uint64 // drives instance placement
+}
+
+func newChainMap(w *Workload) *chainMap {
+	c := &chainMap{w: w, lcg: 0xB5AD4ECEDA1CE2A9}
+	c.keys = make([]int32, w.maxCap)
+	c.next = make([]int32, w.maxCap)
+	c.cnt = make([]int64, w.maxCap)
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	return c
+}
+
+// headAddr places the contiguous bucket array at the instance base;
+// nodeAddr scatters nodes across the arena relative to it (allocator
+// order is effectively random).
+func (c *chainMap) headAddr(h int) uint64 {
+	return uint64(c.w.Arena.Lo) + uint64((c.base+h)%c.w.arenaSlots)*16
+}
+
+func (c *chainMap) nodeAddr(j int32) uint64 {
+	slot := (c.base + 64 + int(c.w.nodePer[j])*3) % c.w.arenaSlots
+	return uint64(c.w.Arena.Lo) + uint64(slot)*16
+}
+
+func (c *chainMap) clear(r *sites.Runner, _ int) {
+	// The destructor walks the buckets that were used.
+	for _, h := range c.used {
+		c.heads[h] = -1
+		r.Store(c.headAddr(h))
+	}
+	c.used = c.used[:0]
+	c.order = c.order[:0]
+	c.n = 0
+	// The next instance comes from a different allocator offset.
+	c.lcg = c.lcg*6364136223846793005 + 1442695040888963407
+	c.base = int((c.lcg >> 33) % uint64(c.w.arenaSlots))
+}
+
+func (c *chainMap) insert(r *sites.Runner, key int32) {
+	h := int(hash32(key) & 63)
+	r.LoadIdx(c.w.sInsHead.Next(), uint64(c.w.Arena.Lo), uint64(h))
+	j := c.heads[h]
+	for j >= 0 {
+		r.Load(c.w.sInsNode.Next(), c.nodeAddr(j))
+		if c.keys[j] == key {
+			c.cnt[j]++
+			r.Store(c.nodeAddr(j))
+			return
+		}
+		j = c.next[j]
+	}
+	// New node from the pool.
+	j = int32(c.n)
+	c.n++
+	c.keys[j] = key
+	c.cnt[j] = 1
+	c.next[j] = c.heads[h]
+	if c.heads[h] == -1 {
+		c.used = append(c.used, h)
+	}
+	c.heads[h] = j
+	c.order = append(c.order, j)
+	r.Store(c.nodeAddr(j))
+	r.Store(c.headAddr(h))
+}
+
+func (c *chainMap) iterate(r *sites.Runner, f func(int32, int64)) {
+	// Walk the forward-list in insertion order: each step is a dependent
+	// load of a scattered node — pure pointer chasing.
+	for _, j := range c.order {
+		r.Load(c.w.sGMNode.Next(), c.nodeAddr(j))
+		f(c.keys[j], c.cnt[j])
+	}
+}
+
+// probeMap is v2/v3: a closed, linear-probing table (hopscotch-style
+// neighbourhood scan). rightSized=false starts at the default capacity
+// and doubles with rehash copies; rightSized=true sizes to the vertex's
+// degree up front.
+type probeMap struct {
+	w          *Workload
+	keys       []int32
+	cnt        []int64
+	cap, mask  int
+	n          int
+	rightSized bool
+	base       int    // allocator offset (slots) of this table
+	lcg        uint64 // drives instance placement
+}
+
+const defaultCap = 16
+
+func newProbeMap(w *Workload, rightSized bool) *probeMap {
+	p := &probeMap{w: w, rightSized: rightSized, lcg: 0xDA3E39CB94B95BDB}
+	p.alloc(defaultCap)
+	return p
+}
+
+// memset zeroes the slot array at construction: one store per cache
+// line (the libc memset path).
+func (p *probeMap) memset(r *sites.Runner) {
+	for i := 0; i < p.cap; i += 4 {
+		r.Store(p.slotAddr(i))
+	}
+}
+
+// rebase moves the next allocation to a fresh allocator offset.
+func (p *probeMap) rebase() {
+	p.lcg = p.lcg*6364136223846793005 + 1442695040888963407
+	p.base = int((p.lcg >> 33) % uint64(p.w.arenaSlots))
+}
+
+func (p *probeMap) alloc(capacity int) {
+	p.cap = capacity
+	p.mask = capacity - 1
+	p.keys = make([]int32, capacity)
+	p.cnt = make([]int64, capacity)
+	for i := range p.keys {
+		p.keys[i] = -1
+	}
+	p.n = 0
+}
+
+func (p *probeMap) slotAddr(i int) uint64 {
+	return uint64(p.w.Arena.Lo) + uint64((p.base+i)%p.w.arenaSlots)*16
+}
+
+func (p *probeMap) clear(r *sites.Runner, sizeHint int) {
+	capacity := defaultCap
+	if p.rightSized {
+		// Right-size for the vertex's degree at the table's maximum load
+		// factor, so no resize can occur.
+		capacity = nextPow2(sizeHint*10/7 + 1)
+	}
+	p.rebase()
+	p.alloc(capacity)
+	p.memset(r)
+}
+
+func (p *probeMap) grow(r *sites.Runner) {
+	oldKeys, oldCnt, oldCap := p.keys, p.cnt, p.cap
+	oldBase := p.base
+	p.rebase()
+	p.alloc(oldCap * 2)
+	p.memset(r)
+	// Rehash: strided read of the old table, reinsert into the new.
+	newBase := p.base
+	for i := 0; i < oldCap; i++ {
+		p.base = oldBase
+		r.Load(p.w.sInsRehash.Next(), p.slotAddr(i))
+		p.base = newBase
+		if oldKeys[i] >= 0 {
+			p.place(r, oldKeys[i], oldCnt[i])
+		}
+	}
+}
+
+func (p *probeMap) place(r *sites.Runner, key int32, weight int64) {
+	h := int(hash32(key)) & p.mask
+	r.LoadIdx(p.w.sInsHome.Next(), uint64(p.w.Arena.Lo), uint64(h))
+	i := h
+	for p.keys[i] >= 0 && p.keys[i] != key {
+		i = (i + 1) & p.mask
+		r.Load(p.w.sInsProbe.Next(), p.slotAddr(i))
+	}
+	if p.keys[i] < 0 {
+		p.keys[i] = key
+		p.cnt[i] = weight
+		p.n++
+	} else {
+		p.cnt[i] += weight
+	}
+	r.Store(p.slotAddr(i))
+}
+
+func (p *probeMap) insert(r *sites.Runner, key int32) {
+	if !p.rightSized && (p.n+1)*10 > p.cap*7 {
+		p.grow(r)
+	}
+	p.place(r, key, 1)
+}
+
+func (p *probeMap) iterate(r *sites.Runner, f func(int32, int64)) {
+	// Over-allocation scan: the whole table, occupied or not.
+	for i := 0; i < p.cap; i++ {
+		r.Load(p.w.sGMScan.Next(), p.slotAddr(i))
+		if p.keys[i] >= 0 {
+			f(p.keys[i], p.cnt[i])
+		}
+	}
+}

@@ -1,0 +1,545 @@
+// Package sites is the execution harness for MemGaze-Go's application
+// workloads (miniVite, GAP, Darknet). Writing Louvain or gemm directly
+// in IR assembly would be impractical, so application workloads are
+// implemented in Go against a simulated heap — but their *static
+// structure* is still declared binary-style: a Module of procedures,
+// basic blocks, and load sites, where each site carries the addressing
+// provenance (frame scalar, global scalar, induction pointer, gather,
+// pointer chase) that MemGaze's static analysis derives from x64 object
+// code. The same classification rules as internal/dataflow map
+// provenance to Constant/Strided/Irregular, the same proxy-selection
+// algorithm as internal/instrument performs trace compression and emits
+// a standard annotation file, and execution drives the same pt.Collector
+// through the same cost model as the VM — so sampled traces from
+// applications are indistinguishable, structurally, from IR-built ones.
+package sites
+
+import (
+	"fmt"
+
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/vm"
+)
+
+// Provenance describes where a load's address comes from, mirroring the
+// addressing-mode + dataflow facts the binary classifier uses (§III-B).
+type Provenance uint8
+
+const (
+	// FrameScalar is a scalar load [fp + disp] — Constant.
+	FrameScalar Provenance = iota
+	// GlobalScalar is a scalar load of an absolute global — Constant.
+	GlobalScalar
+	// InductionStride is a load whose address advances by a fixed
+	// stride per loop iteration — Strided.
+	InductionStride
+	// LoopInvariant is a load from an address fixed across a loop —
+	// Strided with stride 0 (perfectly predictable).
+	LoopInvariant
+	// Gather is an indexed load with a data-dependent index — Irregular.
+	Gather
+	// PointerChase is a load through a pointer loaded from memory —
+	// Irregular.
+	PointerChase
+)
+
+// Classify maps provenance to the paper's load classes, the same rules
+// internal/dataflow applies to object code.
+func (p Provenance) Classify() dataflow.Class {
+	switch p {
+	case FrameScalar, GlobalScalar:
+		return dataflow.Constant
+	case InductionStride, LoopInvariant:
+		return dataflow.Strided
+	default:
+		return dataflow.Irregular
+	}
+}
+
+// Site is one static load site.
+type Site struct {
+	ID     int
+	Addr   uint64 // synthetic code address of the load
+	Proc   string
+	Line   int32
+	Class  dataflow.Class
+	Stride int64
+	TwoReg bool // base+index addressing: two ptwrite payloads
+	Scale  uint8
+
+	// Filled by Freeze: instrumentation decisions.
+	instrumented bool
+	implied      int
+	ptwAddrs     [2]uint64
+	// constPtws/constLoads are set only for uncompressed modules: the
+	// marker ptwrites (and synthetic load addresses) of the block's
+	// Constant loads, which the runner then emits individually.
+	constPtws  []uint64
+	constLoads []uint64
+}
+
+// Block groups sites the way basic blocks group instructions; the proxy
+// compression of §III-B operates per block.
+type Block struct {
+	sites []*Site
+	// extraConst counts Constant loads in the block that the workload
+	// does not fire individually (bulk-declared frame chatter).
+	extraConst int
+}
+
+// Proc is a procedure's declared structure.
+type Proc struct {
+	Name   string
+	blocks []*Block
+	lo, hi uint64 // code-address span, filled by Freeze
+}
+
+// Module is the static structure of an application "binary".
+type Module struct {
+	Name     string
+	procs    []*Proc
+	sites    []*Site
+	groups   []*Group
+	nextAddr uint64
+	frozen   bool
+	notes    *instrument.Annotations
+}
+
+// NewModule starts declaring a module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, nextAddr: 0x401000}
+}
+
+// Proc declares a procedure.
+func (m *Module) Proc(name string) *Proc {
+	p := &Proc{Name: name}
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// Block opens a new basic block in the procedure.
+func (p *Proc) Block() *Block {
+	b := &Block{}
+	p.blocks = append(p.blocks, b)
+	return b
+}
+
+// Load declares a load site in the block. Stride is only meaningful for
+// InductionStride provenance.
+func (m *Module) Load(b *Block, proc *Proc, line int, prov Provenance, stride int64) *Site {
+	if m.frozen {
+		panic("sites: module is frozen")
+	}
+	s := &Site{
+		ID:    len(m.sites),
+		Proc:  proc.Name,
+		Line:  int32(line),
+		Class: prov.Classify(),
+	}
+	if s.Class == dataflow.Strided {
+		s.Stride = stride
+	}
+	m.sites = append(m.sites, s)
+	b.sites = append(b.sites, s)
+	return s
+}
+
+// LoadIdx declares a base+index gather site (two ptwrite payloads, like
+// an x64 load with two source registers).
+func (m *Module) LoadIdx(b *Block, proc *Proc, line int, scale uint8) *Site {
+	s := m.Load(b, proc, line, Gather, 0)
+	s.TwoReg = true
+	s.Scale = scale
+	return s
+}
+
+// Constants bulk-declares n Constant loads in the block that execute
+// whenever the block executes (frame/global scalar chatter the workload
+// does not model individually).
+func (b *Block) Constants(n int) { b.extraConst += n }
+
+// Group models an unrolled loop body: clones of one logical load share
+// a basic block whose Constant chatter attaches to the first clone.
+// Firing cycles through the clones, so the dynamic Constant-to-dynamic
+// ratio matches the generated code: unroll 5 with 1 Constant gives the
+// κ ≈ 1.2 of optimised builds, unroll 1 with 1 Constant the κ ≈ 2 of
+// unoptimised builds (§VI-C).
+type Group struct {
+	sites []*Site
+	i     int
+}
+
+// Next returns the clone to fire for this iteration.
+func (g *Group) Next() *Site {
+	s := g.sites[g.i]
+	g.i++
+	if g.i == len(g.sites) {
+		g.i = 0
+	}
+	return s
+}
+
+// First returns the first clone (the one carrying implied Constants).
+func (g *Group) First() *Site { return g.sites[0] }
+
+// Reset rewinds the rotation to the first clone.
+func (g *Group) Reset() { g.i = 0 }
+
+// At returns clone k mod unroll without touching the shared rotation
+// state — parallel workloads keep a private counter per worker so that
+// concurrent execution stays deterministic and race-free.
+func (g *Group) At(k int) *Site { return g.sites[k%len(g.sites)] }
+
+// LoadGroup declares an unrolled load in its own block with consts
+// Constant loads of chatter.
+func (m *Module) LoadGroup(p *Proc, line int, prov Provenance, stride int64, unroll, consts int) *Group {
+	if unroll < 1 {
+		unroll = 1
+	}
+	b := p.Block()
+	g := &Group{}
+	for k := 0; k < unroll; k++ {
+		g.sites = append(g.sites, m.Load(b, p, line, prov, stride))
+	}
+	b.Constants(consts)
+	m.groups = append(m.groups, g)
+	return g
+}
+
+// LoadIdxGroup is LoadGroup for base+index gathers.
+func (m *Module) LoadIdxGroup(p *Proc, line int, scale uint8, unroll, consts int) *Group {
+	if unroll < 1 {
+		unroll = 1
+	}
+	b := p.Block()
+	g := &Group{}
+	for k := 0; k < unroll; k++ {
+		g.sites = append(g.sites, m.LoadIdx(b, p, line, scale))
+	}
+	b.Constants(consts)
+	m.groups = append(m.groups, g)
+	return g
+}
+
+// Freeze assigns code addresses, runs proxy selection per block (the
+// instrumentor's compression), and builds the annotation file. After
+// Freeze the module is immutable. compress=false instruments every load
+// (the "All+" configuration).
+func (m *Module) Freeze(compress bool) *instrument.Annotations {
+	if m.frozen {
+		return m.notes
+	}
+	m.frozen = true
+	notes := &instrument.Annotations{
+		Module:   m.Name,
+		Loads:    make(map[uint64]*instrument.LoadNote),
+		PTWrites: make(map[uint64]*instrument.PTWNote),
+		AddrMap:  make(map[uint64]uint64),
+	}
+	addr := m.nextAddr
+	newAddr := func(n int) uint64 { a := addr; addr += uint64(n); return a }
+
+	for _, p := range m.procs {
+		p.lo = addr
+		for _, b := range p.blocks {
+			// Partition the block.
+			var consts, dyns []*Site
+			for _, s := range b.sites {
+				if s.Class == dataflow.Constant {
+					consts = append(consts, s)
+				} else {
+					dyns = append(dyns, s)
+				}
+			}
+			totalConst := len(consts) + b.extraConst
+			notes.NumLoads += len(b.sites) + b.extraConst
+
+			instr := map[*Site]bool{}
+			implied := map[*Site]int{}
+			materialize := map[*Site]int{} // const markers to attach (uncompressed)
+			if !compress {
+				for _, s := range b.sites {
+					instr[s] = true
+				}
+				// Every Constant load gets its own marker ptwrite: the
+				// "instrument everything" (All+) configuration.
+				if b.extraConst > 0 && len(b.sites) > 0 {
+					materialize[b.sites[0]] = b.extraConst
+				}
+			} else {
+				for _, s := range dyns {
+					instr[s] = true
+				}
+				switch {
+				case len(dyns) > 0:
+					implied[dyns[0]] = totalConst
+					notes.NumConstElided += totalConst
+				case len(consts) > 0:
+					instr[consts[0]] = true
+					implied[consts[0]] = totalConst - 1
+					notes.NumConstElided += totalConst - 1
+				}
+			}
+
+			// Assign addresses in declaration order: ptwrites precede
+			// their load.
+			for _, s := range b.sites {
+				s.instrumented = instr[s]
+				s.implied = implied[s]
+				for k := 0; k < materialize[s]; k++ {
+					pa := newAddr(5)
+					la := newAddr(6)
+					s.constPtws = append(s.constPtws, pa)
+					s.constLoads = append(s.constLoads, la)
+					notes.PTWrites[pa] = &instrument.PTWNote{
+						PTWAddr: pa, LoadAddr: la,
+						Operand: instrument.OpndMarker, NumOperands: 1,
+					}
+					notes.Loads[la] = &instrument.LoadNote{
+						LoadAddr: la, Proc: s.Proc, Line: s.Line,
+						Class: dataflow.Constant, Instrumented: true,
+					}
+					notes.NumPTWrites++
+					notes.NumInstrumented++
+				}
+				if s.instrumented {
+					n := 1
+					if s.TwoReg {
+						n = 2
+					}
+					for k := 0; k < n; k++ {
+						pa := newAddr(5)
+						s.ptwAddrs[k] = pa
+						opnd := instrument.OpndBase
+						if s.Class == dataflow.Constant {
+							opnd = instrument.OpndMarker
+						} else if k == 1 {
+							opnd = instrument.OpndIndex
+						}
+						notes.PTWrites[pa] = &instrument.PTWNote{
+							PTWAddr: pa, Operand: opnd, NumOperands: n,
+						}
+						notes.NumPTWrites++
+					}
+					notes.NumInstrumented++
+				}
+				s.Addr = newAddr(6)
+				for k := 0; k < 2; k++ {
+					if s.ptwAddrs[k] != 0 {
+						notes.PTWrites[s.ptwAddrs[k]].LoadAddr = s.Addr
+					}
+				}
+				notes.Loads[s.Addr] = &instrument.LoadNote{
+					LoadAddr: s.Addr, Proc: s.Proc, Line: s.Line,
+					Class: s.Class, Stride: s.Stride, Scale: s.Scale,
+					ImpliedConst: s.implied, Instrumented: s.instrumented,
+				}
+				notes.AddrMap[s.Addr] = s.Addr
+			}
+		}
+		p.hi = addr
+		addr = (addr + 15) &^ 15
+	}
+	m.nextAddr = addr
+	m.notes = notes
+	return notes
+}
+
+// Notes returns the annotation file (module must be frozen).
+func (m *Module) Notes() *instrument.Annotations {
+	if !m.frozen {
+		panic("sites: module not frozen")
+	}
+	return m.notes
+}
+
+// ResetGroups rewinds every group's rotation so repeated executions of
+// a workload are bit-identical (baseline vs traced runs must perform
+// exactly the same loads).
+func (m *Module) ResetGroups() {
+	for _, g := range m.groups {
+		g.Reset()
+	}
+}
+
+// ProcRange returns the code-address span of a procedure for hardware
+// filtering.
+func (m *Module) ProcRange(name string) (lo, hi uint64, err error) {
+	for _, p := range m.procs {
+		if p.Name == name {
+			return p.lo, p.hi, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("sites: unknown procedure %q", name)
+}
+
+// Runner executes a workload against the cost model and a trace sink,
+// mirroring the VM's accounting so application overhead is measured the
+// same way as IR overhead. A nil sink with Instrumented=false is the
+// uninstrumented baseline; a nil sink with Instrumented=true measures
+// instrumented-but-untraced execution (ptwrites masked).
+type Runner struct {
+	Costs vm.CostModel
+	Sink  vm.Sink
+	// Instrumented controls whether site ptwrites exist in the binary.
+	Instrumented bool
+	// Cache, when set, prices loads and stores through the timing model
+	// instead of the flat costs, so locality differences show in cycles.
+	Cache *cache.Cache
+
+	stats   vm.Stats
+	lastPTW uint64
+	phases  []PhaseMark
+}
+
+// PhaseMark records cumulative stats at a phase boundary.
+type PhaseMark struct {
+	Name  string
+	Stats vm.Stats
+}
+
+// NewRunner creates a runner with the given cost model (zero value =
+// defaults).
+func NewRunner(costs vm.CostModel, sink vm.Sink, instrumented bool) *Runner {
+	if costs == (vm.CostModel{}) {
+		costs = vm.DefaultCosts()
+	}
+	return &Runner{Costs: costs, Sink: sink, Instrumented: instrumented}
+}
+
+// Stats returns the execution statistics so far.
+func (r *Runner) Stats() vm.Stats { return r.stats }
+
+// Phase marks a phase boundary (graph generation vs. algorithm, etc.).
+func (r *Runner) Phase(name string) {
+	r.phases = append(r.phases, PhaseMark{Name: name, Stats: r.stats})
+}
+
+// Phases returns the recorded phase marks.
+func (r *Runner) Phases() []PhaseMark { return r.phases }
+
+// Work accounts n generic ALU instructions.
+func (r *Runner) Work(n int) {
+	r.stats.Instrs += uint64(n)
+	r.stats.Cycles += uint64(n) * r.Costs.Generic
+}
+
+// ptwrite executes one ptwrite instruction for a site payload.
+func (r *Runner) ptwrite(ip, val uint64) {
+	r.stats.Instrs++
+	recorded := false
+	if r.Sink != nil {
+		var stall uint64
+		stall, recorded = r.Sink.PTWrite(ip, val, r.stats.Cycles)
+		if recorded {
+			r.stats.PTWrites++
+			r.stats.Cycles += r.Costs.PTWriteOn + stall
+			r.stats.StallCycle += stall
+			r.lastPTW = r.stats.Instrs
+		}
+	}
+	if !recorded {
+		r.stats.PTWMasked++
+		r.stats.Cycles += r.Costs.PTWriteOff
+	}
+}
+
+// impliedConsts executes the Constant loads attached to a site. Under
+// compression they are uninstrumented — real loads that cost cycles and
+// tick the hardware load counter without generating packets. In an
+// uncompressed module each carries its own marker ptwrite.
+func (r *Runner) impliedConsts(s *Site) {
+	for i := 0; i < len(s.constPtws); i++ {
+		if r.Instrumented {
+			r.ptwrite(s.constPtws[i], 0)
+		}
+		r.stats.Instrs++
+		r.stats.Loads++
+		r.stats.Cycles += r.Costs.Load
+		if r.Sink != nil {
+			stall := r.Sink.OnLoad(r.stats.Cycles)
+			r.stats.Cycles += stall
+			r.stats.StallCycle += stall
+		}
+	}
+	for i := 0; i < s.implied; i++ {
+		r.stats.Instrs++
+		r.stats.Loads++
+		r.stats.Cycles += r.Costs.Load
+		if r.Sink != nil {
+			stall := r.Sink.OnLoad(r.stats.Cycles)
+			r.stats.Cycles += stall
+			r.stats.StallCycle += stall
+		}
+	}
+}
+
+// Load fires a one-payload load site at the given data address.
+func (r *Runner) Load(s *Site, addr uint64) {
+	r.impliedConsts(s)
+	if r.Instrumented && s.instrumented {
+		r.ptwrite(s.ptwAddrs[0], addr)
+	}
+	r.stats.Instrs++
+	r.stats.Loads++
+	if r.Cache != nil {
+		r.stats.Cycles += r.Cache.Access(addr)
+	} else {
+		r.stats.Cycles += r.Costs.Load
+	}
+	if r.Sink != nil {
+		stall := r.Sink.OnLoad(r.stats.Cycles)
+		r.stats.Cycles += stall
+		r.stats.StallCycle += stall
+	}
+}
+
+// LoadIdx fires a two-payload (base + index) load site. The effective
+// address is base + index*scale; the decoder reconstructs it from the
+// two ptwrite payloads plus the annotated scale.
+func (r *Runner) LoadIdx(s *Site, base, index uint64) {
+	r.impliedConsts(s)
+	if r.Instrumented && s.instrumented {
+		r.ptwrite(s.ptwAddrs[0], base)
+		r.ptwrite(s.ptwAddrs[1], index)
+	}
+	r.stats.Instrs++
+	r.stats.Loads++
+	if r.Cache != nil {
+		r.stats.Cycles += r.Cache.Access(base + index*uint64(s.Scale))
+	} else {
+		r.stats.Cycles += r.Costs.Load
+	}
+	if r.Sink != nil {
+		stall := r.Sink.OnLoad(r.stats.Cycles)
+		r.stats.Cycles += stall
+		r.stats.StallCycle += stall
+	}
+}
+
+// Store accounts one store at addr, with interference near recorded
+// ptwrites (the Darknet effect).
+func (r *Runner) Store(addr uint64) {
+	r.stats.Instrs++
+	r.stats.Stores++
+	if r.Cache != nil {
+		r.stats.Cycles += r.Cache.Access(addr)
+	} else {
+		r.stats.Cycles += r.Costs.Store
+	}
+	if r.Sink != nil && r.Sink.Enabled() && r.lastPTW != 0 &&
+		r.stats.Instrs-r.lastPTW < r.Costs.InterfWindow {
+		r.stats.Cycles += r.Costs.StoreInterf
+	}
+}
+
+// Size returns the module's synthetic text size in bytes (code addresses
+// span), including inserted ptwrites. The module must be frozen.
+func (m *Module) Size() int {
+	if !m.frozen {
+		panic("sites: module not frozen")
+	}
+	return int(m.nextAddr - 0x401000)
+}

@@ -1,0 +1,309 @@
+// Package zoom implements MemGaze's location-based zooming (§IV-C2,
+// Fig. 5): a top-down tree from the whole address space to hot memory
+// sub-regions. A hot sub-region is a maximal set of contiguous pages,
+// each with at least one access, whose total accesses reach a threshold
+// fraction of the parent region's accesses. The contiguity rule matters:
+// it keeps whole objects together so reuse distance reflects the object,
+// not just its hottest blocks.
+package zoom
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Config controls the recursive zoom.
+type Config struct {
+	// Page0 is the page size at the root level; each level divides it by
+	// Shrink. Defaults: 1 MiB, shrink 8.
+	Page0  uint64
+	Shrink uint64
+	// ThresholdPct is the minimum share of the parent's accesses for a
+	// contiguous page run to become a child (default 10%).
+	ThresholdPct float64
+	// MinRegion stops recursion when a region is this small (default 4 KiB).
+	MinRegion uint64
+	// MaxLevels caps tree depth (default 8).
+	MaxLevels int
+	// Block is the access-block size for reuse distance (default 64 B,
+	// the cache-line size, per §IV-C2).
+	Block uint64
+}
+
+// DefaultConfig returns the defaults described above.
+func DefaultConfig() Config {
+	return Config{Page0: 1 << 20, Shrink: 8, ThresholdPct: 10, MinRegion: 4096, MaxLevels: 8, Block: 64}
+}
+
+func (c *Config) fill() {
+	if c.Page0 == 0 {
+		c.Page0 = 1 << 20
+	}
+	if c.Shrink == 0 {
+		c.Shrink = 8
+	}
+	if c.ThresholdPct == 0 {
+		c.ThresholdPct = 10
+	}
+	if c.MinRegion == 0 {
+		c.MinRegion = 4096
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 8
+	}
+	if c.Block == 0 {
+		c.Block = 64
+	}
+}
+
+// Node is one region of the zoom tree.
+type Node struct {
+	Lo, Hi   uint64
+	Level    int
+	Accesses int
+	// Pct is the region's share of all trace accesses ("hotness").
+	Pct      float64
+	Children []*Node
+	// Diag is filled for leaves (final regions): D, blocks, A/block, and
+	// code attribution come from it and Funcs.
+	Diag *analysis.Diag
+	// Funcs attributes the region's accesses to procedures; Lines to
+	// "proc:line" source locations (§III-D's attribution, Fig. 5's
+	// "code (function, line)" column).
+	Funcs map[string]int
+	Lines map[string]int
+}
+
+// IsLeaf reports whether the node is a final region.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Blocks returns the number of distinct access blocks in the region
+// (filled for leaves).
+func (n *Node) Blocks(t *trace.Trace, block uint64) int {
+	return analysis.BlocksTouched(t, n.Lo, n.Hi, block)
+}
+
+// access is a flattened record reference used during recursion.
+type access struct {
+	addr uint64
+	proc string
+}
+
+// Build runs the zoom over all trace records and returns the root node,
+// whose range spans the accessed address space.
+func Build(t *trace.Trace, cfg Config) *Node {
+	cfg.fill()
+	var accs []access
+	lo, hi := ^uint64(0), uint64(0)
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			r := &s.Records[i]
+			accs = append(accs, access{r.Addr, r.Proc})
+			if r.Addr < lo {
+				lo = r.Addr
+			}
+			if r.Addr >= hi {
+				hi = r.Addr + 1
+			}
+		}
+	}
+	if len(accs) == 0 {
+		return &Node{}
+	}
+	sort.Slice(accs, func(i, j int) bool { return accs[i].addr < accs[j].addr })
+	root := &Node{Lo: lo, Hi: hi, Accesses: len(accs), Pct: 100}
+	recurse(root, accs, cfg, len(accs))
+	fillLeafDiags(root, t, cfg)
+	return root
+}
+
+// recurse splits node's accesses (sorted by address) into hot contiguous
+// page runs and descends.
+func recurse(n *Node, accs []access, cfg Config, total int) {
+	page := cfg.Page0
+	for l := 0; l < n.Level; l++ {
+		page /= cfg.Shrink
+	}
+	if page < cfg.MinRegion || n.Level >= cfg.MaxLevels || uint64(n.Hi-n.Lo) <= cfg.MinRegion {
+		return
+	}
+	// Bucket accesses by page. accs is sorted, so runs are contiguous
+	// slices.
+	type run struct {
+		startPage, endPage uint64 // inclusive page ids
+		lo, hi             int    // index range in accs
+	}
+	var runs []run
+	i := 0
+	for i < len(accs) {
+		p := accs[i].addr / page
+		j := i
+		endPage := p
+		for j < len(accs) {
+			q := accs[j].addr / page
+			if q == endPage {
+				j++
+				continue
+			}
+			if q == endPage+1 {
+				endPage = q
+				j++
+				continue
+			}
+			break
+		}
+		runs = append(runs, run{startPage: p, endPage: endPage, lo: i, hi: j})
+		i = j
+	}
+	threshold := cfg.ThresholdPct / 100 * float64(n.Accesses)
+	for _, r := range runs {
+		count := r.hi - r.lo
+		if float64(count) < threshold {
+			continue
+		}
+		child := &Node{
+			Lo:       r.startPage * page,
+			Hi:       (r.endPage + 1) * page,
+			Level:    n.Level + 1,
+			Accesses: count,
+			Pct:      100 * float64(count) / float64(total),
+		}
+		// Clamp to the parent's range for display.
+		if child.Lo < n.Lo {
+			child.Lo = n.Lo
+		}
+		if child.Hi > n.Hi {
+			child.Hi = n.Hi
+		}
+		recurse(child, accs[r.lo:r.hi], cfg, total)
+		n.Children = append(n.Children, child)
+	}
+	// If zooming found exactly one child covering everything, treat the
+	// node as refined rather than looping at the same extent.
+	if len(n.Children) == 1 && n.Children[0].Accesses == n.Accesses &&
+		n.Children[0].Hi-n.Children[0].Lo >= n.Hi-n.Lo {
+		n.Children = n.Children[0].Children
+	}
+}
+
+// fillLeafDiags computes per-leaf diagnostics (reuse distance D with the
+// region-restricted access stream, captures/survivals) and function
+// attribution in one pass per leaf set.
+func fillLeafDiags(root *Node, t *trace.Trace, cfg Config) {
+	leaves := Leaves(root)
+	if len(leaves) == 0 {
+		return
+	}
+	regions := make([]analysis.Region, len(leaves))
+	for i, lf := range leaves {
+		regions[i] = analysis.Region{Name: "", Lo: lf.Lo, Hi: lf.Hi}
+	}
+	diags := analysis.RegionDiagnostics(t, regions, cfg.Block)
+	for i, lf := range leaves {
+		lf.Diag = diags[i]
+		lf.Funcs = make(map[string]int)
+		lf.Lines = make(map[string]int)
+	}
+	for _, s := range t.Samples {
+		for i := range s.Records {
+			r := &s.Records[i]
+			for _, lf := range leaves {
+				if r.Addr >= lf.Lo && r.Addr < lf.Hi {
+					lf.Funcs[r.Proc]++
+					lf.Lines[fmt.Sprintf("%s:%d", r.Proc, r.Line)]++
+					break
+				}
+			}
+		}
+	}
+}
+
+// Leaves returns the final regions of the tree in address order.
+func Leaves(root *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			if n.Accesses > 0 {
+				out = append(out, n)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// HotLines returns the top-k "proc:line" source locations touching the
+// node by access count.
+func (n *Node) HotLines(k int) []string {
+	return topK(n.Lines, k)
+}
+
+// HotFuncs returns the top-k procedures touching the node by access count.
+func (n *Node) HotFuncs(k int) []string {
+	return topK(n.Funcs, k)
+}
+
+func topK(m map[string]int, k int) []string {
+	type fc struct {
+		name string
+		c    int
+	}
+	var fcs []fc
+	for f, c := range m {
+		fcs = append(fcs, fc{f, c})
+	}
+	sort.Slice(fcs, func(i, j int) bool {
+		if fcs[i].c != fcs[j].c {
+			return fcs[i].c > fcs[j].c
+		}
+		return fcs[i].name < fcs[j].name
+	})
+	if k > len(fcs) {
+		k = len(fcs)
+	}
+	out := make([]string, 0, k)
+	for _, f := range fcs[:k] {
+		out = append(out, f.name)
+	}
+	return out
+}
+
+// BuildOverTime runs the location zoom independently over k consecutive
+// time intervals of the trace — the combined time × location view the
+// paper's Darknet study leans on ("these differing perspectives are
+// critical for capturing a complete picture", §VII-B). The result is
+// one leaf set per interval, so region drift over phases is visible.
+func BuildOverTime(t *trace.Trace, k int, cfg Config) [][]*Node {
+	if k <= 0 {
+		k = 8
+	}
+	if k > len(t.Samples) {
+		k = len(t.Samples)
+	}
+	var out [][]*Node
+	for i := 0; i < k; i++ {
+		start := i * len(t.Samples) / k
+		end := (i + 1) * len(t.Samples) / k
+		if end == start {
+			continue
+		}
+		sub := &trace.Trace{
+			Module: t.Module, Mode: t.Mode, Period: t.Period,
+			BufBytes: t.BufBytes, Samples: t.Samples[start:end],
+		}
+		if len(t.Samples) > 0 {
+			sub.TotalLoads = t.TotalLoads * uint64(end-start) / uint64(len(t.Samples))
+		}
+		out = append(out, Leaves(Build(sub, cfg)))
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package zoom
+
+import (
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// twoObjectTrace places a hot object at 0x100000 (70% of accesses, from
+// proc "hot"), a warm object at 0x900000 (30%, from proc "warm"), and a
+// wide cold gap between them.
+func twoObjectTrace() *trace.Trace {
+	tr := &trace.Trace{Period: 1000, TotalLoads: 10_000}
+	for s := 0; s < 10; s++ {
+		smp := &trace.Sample{Seq: s}
+		for i := 0; i < 70; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x100000 + uint64(i%64)*64, Class: dataflow.Irregular, Proc: "hot",
+			})
+		}
+		for i := 0; i < 30; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x900000 + uint64(i%32)*64, Class: dataflow.Strided, Proc: "warm",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func TestZoomSplitsObjects(t *testing.T) {
+	root := Build(twoObjectTrace(), DefaultConfig())
+	leaves := Leaves(root)
+	if len(leaves) != 2 {
+		for _, lf := range leaves {
+			t.Logf("leaf [%#x, %#x) %d accesses", lf.Lo, lf.Hi, lf.Accesses)
+		}
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	hot, warm := leaves[0], leaves[1]
+	if hot.Lo > 0x100000 || hot.Hi <= 0x100000 {
+		t.Errorf("hot leaf range [%#x, %#x)", hot.Lo, hot.Hi)
+	}
+	if warm.Lo > 0x900000 || warm.Hi <= 0x900000 {
+		t.Errorf("warm leaf range [%#x, %#x)", warm.Lo, warm.Hi)
+	}
+	// Hotness percentages.
+	if hot.Pct < 65 || hot.Pct > 75 {
+		t.Errorf("hot pct = %.1f, want ≈70", hot.Pct)
+	}
+	if warm.Pct < 25 || warm.Pct > 35 {
+		t.Errorf("warm pct = %.1f, want ≈30", warm.Pct)
+	}
+	// Accesses conserved across leaves (no cold traffic here).
+	if hot.Accesses+warm.Accesses != 1000 {
+		t.Errorf("leaves hold %d accesses, want 1000", hot.Accesses+warm.Accesses)
+	}
+	// The two leaves must not overlap.
+	if hot.Hi > warm.Lo {
+		t.Error("leaves overlap")
+	}
+}
+
+func TestLeafDiagnosticsAndAttribution(t *testing.T) {
+	root := Build(twoObjectTrace(), DefaultConfig())
+	leaves := Leaves(root)
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	hot := leaves[0]
+	if hot.Diag == nil {
+		t.Fatal("leaf missing diagnostics")
+	}
+	if hot.Diag.Reuses == 0 {
+		t.Error("hot object shows no reuse")
+	}
+	funcs := hot.HotFuncs(2)
+	if len(funcs) == 0 || funcs[0] != "hot" {
+		t.Errorf("hot leaf attribution = %v, want [hot]", funcs)
+	}
+	warmFuncs := leaves[1].HotFuncs(1)
+	if len(warmFuncs) == 0 || warmFuncs[0] != "warm" {
+		t.Errorf("warm leaf attribution = %v", warmFuncs)
+	}
+}
+
+func TestThresholdFiltersColdRegions(t *testing.T) {
+	// Add a third region with only 2% of accesses: below the 10%
+	// threshold it must not become its own leaf.
+	tr := twoObjectTrace()
+	for _, smp := range tr.Samples {
+		for i := 0; i < 2; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: 0x4000000 + uint64(i)*64, Class: dataflow.Irregular, Proc: "cold",
+			})
+		}
+	}
+	root := Build(tr, DefaultConfig())
+	for _, lf := range Leaves(root) {
+		if lf.Lo >= 0x4000000 {
+			t.Errorf("cold region became a leaf: [%#x, %#x) %d accesses", lf.Lo, lf.Hi, lf.Accesses)
+		}
+	}
+}
+
+func TestContiguityKeepsObjectsWhole(t *testing.T) {
+	// One object whose pages are all touched: must stay a single leaf
+	// even though some pages are 10x hotter than others.
+	tr := &trace.Trace{Period: 1000, TotalLoads: 5_000}
+	for s := 0; s < 5; s++ {
+		smp := &trace.Sample{Seq: s}
+		for i := 0; i < 100; i++ {
+			// Pages 0..15 of a 64 KiB object; page 3 is very hot.
+			page := uint64(i % 16)
+			if i%2 == 0 {
+				page = 3
+			}
+			smp.Records = append(smp.Records, trace.Record{
+				Addr:  0x200000 + page*4096 + uint64(i)*8%4096,
+				Class: dataflow.Irregular, Proc: "f",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	root := Build(tr, DefaultConfig())
+	leaves := Leaves(root)
+	if len(leaves) != 1 {
+		t.Fatalf("contiguous object split into %d leaves", len(leaves))
+	}
+}
+
+func TestEmptyTraceZoom(t *testing.T) {
+	root := Build(&trace.Trace{}, DefaultConfig())
+	if root == nil {
+		t.Fatal("nil root")
+	}
+	if len(Leaves(root)) != 0 {
+		t.Error("empty trace produced leaves")
+	}
+}
+
+func TestHotLinesAttribution(t *testing.T) {
+	tr := twoObjectTrace()
+	for _, s := range tr.Samples {
+		for i := range s.Records {
+			if s.Records[i].Proc == "hot" {
+				s.Records[i].Line = 42
+			} else {
+				s.Records[i].Line = 7
+			}
+		}
+	}
+	leaves := Leaves(Build(tr, DefaultConfig()))
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	if got := leaves[0].HotLines(1); len(got) != 1 || got[0] != "hot:42" {
+		t.Errorf("hot leaf lines = %v", got)
+	}
+	if got := leaves[1].HotLines(1); len(got) != 1 || got[0] != "warm:7" {
+		t.Errorf("warm leaf lines = %v", got)
+	}
+}
+
+func TestBuildOverTimeShowsDrift(t *testing.T) {
+	// First half hits object A, second half object B: the per-interval
+	// leaf sets must drift from A to B.
+	tr := &trace.Trace{Period: 1000, TotalLoads: 8000}
+	for s := 0; s < 8; s++ {
+		smp := &trace.Sample{Seq: s}
+		base := uint64(0x100000)
+		if s >= 4 {
+			base = 0x900000
+		}
+		for i := 0; i < 100; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				Addr: base + uint64(i%64)*64, Class: dataflow.Irregular, Proc: "f",
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	slices := BuildOverTime(tr, 2, DefaultConfig())
+	if len(slices) != 2 {
+		t.Fatalf("intervals = %d", len(slices))
+	}
+	if len(slices[0]) != 1 || slices[0][0].Lo > 0x100000 || slices[0][0].Hi <= 0x100000 {
+		t.Errorf("early interval leaves: %+v", slices[0])
+	}
+	if len(slices[1]) != 1 || slices[1][0].Lo > 0x900000 || slices[1][0].Hi <= 0x900000 {
+		t.Errorf("late interval leaves: %+v", slices[1])
+	}
+}

@@ -1,0 +1,192 @@
+// Package memgaze is the public API of MemGaze-Go, a reproduction of
+// "MemGaze: Rapid and Effective Load-Level Memory Trace Analysis"
+// (IEEE CLUSTER 2022): low-overhead, load-level memory trace collection
+// via sampled ptwrite-style tracing, plus multi-resolution analyses of
+// data movement, reuse, footprint, and access patterns.
+//
+// The package re-exports the stable surface of the internal packages so
+// downstream users need a single import:
+//
+//	import "github.com/memgaze/memgaze-go"
+//
+//	res, err := memgaze.Run(workload, memgaze.DefaultConfig())
+//	diags := memgaze.FunctionDiagnostics(res.Trace, 64)
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the architecture.
+package memgaze
+
+import (
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cache"
+	"github.com/memgaze/memgaze-go/internal/core"
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/heatmap"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/vm"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+// Pipeline configuration and drivers (Fig. 1 of the paper).
+type (
+	// Config selects the collection regime, sampling period, buffer
+	// size, and instrumentation scope.
+	Config = core.Config
+	// Workload is an IR workload: a deterministic builder of a program
+	// plus its address space.
+	Workload = core.Workload
+	// FuncWorkload adapts a build function to Workload.
+	FuncWorkload = core.FuncWorkload
+	// Result is the outcome of an IR pipeline run.
+	Result = core.Result
+	// App is a sites-based application workload.
+	App = core.App
+	// AppResult is the outcome of an application pipeline run.
+	AppResult = core.AppResult
+	// ParallelApp executes across several workers with per-CPU collectors.
+	ParallelApp = core.ParallelApp
+)
+
+// DefaultConfig returns a typical application configuration: continuous
+// sampling, 5M-load period, 8 KiB buffer, compression on.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run executes the full IR pipeline: build, instrument, baseline run,
+// traced run, decode.
+func Run(w Workload, cfg Config) (*Result, error) { return core.Run(w, cfg) }
+
+// RunApp executes the application pipeline on a sites-based workload.
+func RunApp(app App, cfg Config) (*AppResult, error) { return core.RunApp(app, cfg) }
+
+// RunAppParallel executes an application across workers with per-CPU
+// trace collectors, merging the traces.
+func RunAppParallel(app ParallelApp, cfg Config, workers int) (*AppResult, error) {
+	return core.RunAppParallel(app, cfg, workers)
+}
+
+// Collection modes (§III-C, §VI-B).
+const (
+	// ModeContinuous is MemGaze with PT running continuously.
+	ModeContinuous = pt.ModeContinuous
+	// ModeSampledPT is MemGaze-opt: PT enabled only around samples.
+	ModeSampledPT = pt.ModeSampledPT
+	// ModeFull is bandwidth-limited full tracing with perf-style drops.
+	ModeFull = pt.ModeFull
+)
+
+// Trace data model (§III-C).
+type (
+	// Trace is a collected memory trace.
+	Trace = trace.Trace
+	// Sample is one recorded window of w accesses.
+	Sample = trace.Sample
+	// Record is one decoded load-level access.
+	Record = trace.Record
+)
+
+// ReadTrace deserialises a trace written by Trace.Write.
+var ReadTrace = trace.Read
+
+// MergeTraces combines per-CPU traces into one.
+var MergeTraces = trace.Merge
+
+// Load classification (§III-B).
+type (
+	// Class is a load access class: Constant, Strided, or Irregular.
+	Class = dataflow.Class
+	// Annotations is the auxiliary annotation file emitted by the
+	// instrumentor.
+	Annotations = instrument.Annotations
+)
+
+// Load classes.
+const (
+	Constant  = dataflow.Constant
+	Strided   = dataflow.Strided
+	Irregular = dataflow.Irregular
+)
+
+// Analyses (§IV–§V).
+type (
+	// Diag is a footprint access diagnostic for a code window or region.
+	Diag = analysis.Diag
+	// Region is a named address range.
+	Region = analysis.Region
+	// WindowMetrics is one point of a trace-window histogram.
+	WindowMetrics = analysis.WindowMetrics
+	// StackDist computes spatio-temporal reuse distance and interval.
+	StackDist = analysis.StackDist
+	// Confidence reports estimate stability for a code window (§VI-A).
+	Confidence = analysis.Confidence
+	// IntervalTree is the multi-resolution execution-time tree (Fig. 4).
+	IntervalTree = interval.Tree
+	// ZoomNode is a region of the location zoom tree (Fig. 5).
+	ZoomNode = zoom.Node
+	// Heatmap is a location × time distribution (Fig. 8).
+	Heatmap = heatmap.Heatmap
+)
+
+// NewStackDist creates a reuse-distance tracker at a block granularity.
+var NewStackDist = analysis.NewStackDist
+
+// FunctionDiagnostics computes per-function footprint access diagnostics.
+var FunctionDiagnostics = analysis.FunctionDiagnostics
+
+// RegionDiagnostics computes diagnostics per memory region.
+var RegionDiagnostics = analysis.RegionDiagnostics
+
+// WindowHistogram computes footprint histograms over dynamic window sizes.
+var WindowHistogram = analysis.WindowHistogram
+
+// PowerOfTwoWindows returns {2^lo..2^hi}.
+var PowerOfTwoWindows = analysis.PowerOfTwoWindows
+
+// MAPE compares two window histograms (Fig. 6's metric).
+var MAPE = analysis.MAPE
+
+// WorkingSet computes the page-granularity working-set curve (§V-B).
+var WorkingSet = analysis.WorkingSet
+
+// SuggestROI returns the hottest procedures covering a load share (§II).
+var SuggestROI = analysis.SuggestROI
+
+// SampleConfidence flags undersampled code windows (§VI-A).
+var SampleConfidence = analysis.SampleConfidence
+
+// MissRatioCurve predicts LRU miss ratios from sampled reuse distances.
+var MissRatioCurve = analysis.MissRatioCurve
+
+// MissRatioBounds brackets the miss ratio at one capacity.
+var MissRatioBounds = analysis.MissRatioBounds
+
+// BuildIntervalTree constructs the execution interval tree.
+var BuildIntervalTree = interval.Build
+
+// BuildZoomTree runs the recursive location zoom.
+var BuildZoomTree = zoom.Build
+
+// ZoomLeaves returns the final regions of a zoom tree.
+var ZoomLeaves = zoom.Leaves
+
+// BuildZoomOverTime runs the zoom per time interval (time × location).
+var BuildZoomOverTime = zoom.BuildOverTime
+
+// BuildHeatmap computes a location × time heatmap over a range.
+var BuildHeatmap = heatmap.Build
+
+// Machine model.
+type (
+	// CostModel assigns cycle costs to instruction classes.
+	CostModel = vm.CostModel
+	// CacheConfig sizes the optional cache timing model.
+	CacheConfig = cache.Config
+)
+
+// DefaultCosts approximates a small out-of-order core.
+var DefaultCosts = vm.DefaultCosts
+
+// DefaultCacheConfig models a modest last-level cache.
+var DefaultCacheConfig = cache.DefaultConfig

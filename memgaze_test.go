@@ -1,0 +1,70 @@
+package memgaze_test
+
+import (
+	"testing"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/workloads/micro"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+// TestPublicFacade exercises the re-exported API end to end the way a
+// downstream user would.
+func TestPublicFacade(t *testing.T) {
+	spec := micro.Spec{Pattern: micro.Str{Step: 1, Accesses: 1024}, Reps: 10, Opt: micro.O3}
+	cfg := memgaze.DefaultConfig()
+	cfg.Period = 5_000
+	cfg.BufBytes = 16 << 10
+	res, err := memgaze.Run(memgaze.FuncWorkload{WName: spec.Name(), BuildFn: spec.Build}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumRecords() == 0 {
+		t.Fatal("no records")
+	}
+	diags := memgaze.FunctionDiagnostics(res.Trace, 64)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Name == "str1_0" && d.FstrPct < 99 {
+			t.Errorf("strided leaf Fstr%% = %.1f", d.FstrPct)
+		}
+	}
+	hist := memgaze.WindowHistogram(res.Trace, memgaze.PowerOfTwoWindows(4, 10))
+	if len(hist) == 0 || hist[0].N == 0 {
+		t.Error("empty histogram")
+	}
+	root := memgaze.BuildZoomTree(res.Trace, zoom.DefaultConfig())
+	if len(memgaze.ZoomLeaves(root)) == 0 {
+		t.Error("zoom found no regions")
+	}
+	tree := memgaze.BuildIntervalTree(res.Trace, 64)
+	if tree.Root == nil || tree.Root.Diag.A != res.Trace.NumRecords() {
+		t.Error("interval tree root inconsistent")
+	}
+
+	// Load classes and reuse distance through the facade.
+	sd := memgaze.NewStackDist(64)
+	sd.Access(0)
+	sd.Access(64)
+	if d, _ := sd.Access(0); d != 1 {
+		t.Errorf("facade stack distance = %d", d)
+	}
+	if memgaze.Constant.String() != "constant" || memgaze.Strided.String() != "strided" ||
+		memgaze.Irregular.String() != "irregular" {
+		t.Error("class names wrong through facade")
+	}
+
+	// Derived analyses through the facade.
+	if roi := memgaze.SuggestROI(res.Trace, 90); len(roi) == 0 {
+		t.Error("no ROI suggested")
+	}
+	if ws := memgaze.WorkingSet(res.Trace, 4, 4096); len(ws) == 0 {
+		t.Error("no working-set points")
+	}
+	mrc := memgaze.MissRatioCurve(res.Trace, 64, []int{64, 4096})
+	if len(mrc) != 2 || mrc[0].MissRatio < mrc[1].MissRatio {
+		t.Errorf("facade MRC = %+v", mrc)
+	}
+}

@@ -11,19 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	memgaze "github.com/memgaze/memgaze-go"
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/cache"
 	"github.com/memgaze/memgaze-go/internal/core"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
-	"github.com/memgaze/memgaze-go/internal/heatmap"
 	"github.com/memgaze/memgaze-go/internal/instrument"
-	"github.com/memgaze/memgaze-go/internal/interval"
 	"github.com/memgaze/memgaze-go/internal/isa"
 	"github.com/memgaze/memgaze-go/internal/mem"
 	"github.com/memgaze/memgaze-go/internal/pt"
@@ -34,7 +34,6 @@ import (
 	"github.com/memgaze/memgaze-go/internal/workloads/micro"
 	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
 	"github.com/memgaze/memgaze-go/internal/workloads/sites"
-	"github.com/memgaze/memgaze-go/internal/zoom"
 )
 
 func main() {
@@ -344,6 +343,9 @@ func cmdAnalyze(args []string) error {
 	doHeatmap := fs.Bool("heatmap", false, "render the hottest region's location × time heatmap")
 	roiPct := fs.Float64("suggest-roi", 90, "suggest a region of interest covering this % of loads (0 disables)")
 	fs.Parse(args)
+	if *block == 0 {
+		return fmt.Errorf("-block must be positive")
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -357,10 +359,47 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("module %s (%s): %d samples, %d records, ρ=%.1f κ=%.3f\n\n",
 		tr.Module, tr.Mode, len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
 
-	diags := analysis.FunctionDiagnostics(tr, *block)
+	// One engine run covers the whole report: the requested analyses
+	// share derived data (diagnostics, the stack-distance sweep, the
+	// zoom tree) instead of each re-walking the trace.
+	kinds := []memgaze.Analysis{memgaze.AnalyzeFunctions, memgaze.AnalyzeConfidence}
+	if *doWindows {
+		kinds = append(kinds, memgaze.AnalyzeWindows)
+	}
+	if *doMRC {
+		kinds = append(kinds, memgaze.AnalyzeMRC)
+	}
+	if *doLines {
+		kinds = append(kinds, memgaze.AnalyzeLines)
+	}
+	if *intervals > 0 {
+		kinds = append(kinds, memgaze.AnalyzeIntervalTree)
+	}
+	if *doWorkingSet {
+		kinds = append(kinds, memgaze.AnalyzeWorkingSet)
+	}
+	if *roiPct > 0 {
+		kinds = append(kinds, memgaze.AnalyzeROI)
+	}
+	if *doZoom {
+		kinds = append(kinds, memgaze.AnalyzeZoom)
+	}
+	if *doHeatmap {
+		kinds = append(kinds, memgaze.AnalyzeZoom, memgaze.AnalyzeHeatmap)
+	}
+	rep, err := memgaze.NewAnalyzer(tr,
+		memgaze.WithBlockSize(*block),
+		memgaze.WithTimeIntervals(*intervals),
+		memgaze.WithROICoverage(*roiPct),
+		memgaze.WithAnalyses(kinds...),
+	).Run(context.Background())
+	if err != nil {
+		return err
+	}
+
 	t := report.NewTable("Hot functions (code windows)",
 		"function", "Ŵ loads", "F", "dF", "dFstr", "dFirr", "Fstr%", "Aconst%", "D")
-	for i, d := range diags {
+	for i, d := range rep.FunctionDiags {
 		if i >= *topK {
 			break
 		}
@@ -370,9 +409,8 @@ func cmdAnalyze(args []string) error {
 	fmt.Println(t.Render())
 
 	if *doWindows {
-		hist := analysis.WindowHistogram(tr, analysis.PowerOfTwoWindows(4, 16))
 		h := report.NewHistogram("Trace windows (footprint vs window size)", "window", "F", "Fstr", "Firr")
-		for _, m := range hist {
+		for _, m := range rep.Windows {
 			if m.N > 0 {
 				h.Add(float64(m.W), m.F, m.Fstr, m.Firr)
 			}
@@ -382,9 +420,8 @@ func cmdAnalyze(args []string) error {
 
 	// Undersampling detection (§VI-A): flag code windows whose
 	// diagnostics rest on too few samples or unstable estimates.
-	conf := analysis.SampleConfidence(tr, analysis.ConfidenceConfig{BlockSize: *block})
 	flagged := 0
-	for _, c := range conf {
+	for _, c := range rep.Confidence {
 		if c.Flagged {
 			flagged++
 		}
@@ -392,7 +429,7 @@ func cmdAnalyze(args []string) error {
 	if flagged > 0 {
 		ct := report.NewTable("Undersampled code windows",
 			"function", "samples", "records", "split-half spread", "reason")
-		for _, c := range conf {
+		for _, c := range rep.Confidence {
 			if c.Flagged {
 				ct.Add(c.Name, c.Samples, c.Records, c.HalfSpread, c.Reason)
 			}
@@ -401,13 +438,11 @@ func cmdAnalyze(args []string) error {
 	}
 
 	if *doMRC {
-		caps := []int{64, 256, 1024, 4096, 16384}
 		mt := report.NewTable("Predicted LRU miss-ratio curve (co-design what-if)",
 			"capacity", "miss% (point)", "miss% lower", "miss% upper")
-		for _, c := range caps {
-			pts := analysis.MissRatioCurve(tr, *block, []int{c})
-			lo, hi := analysis.MissRatioBounds(tr, *block, c)
-			mt.Add(report.Bytes(uint64(c)*64), 100*pts[0].MissRatio, 100*lo, 100*hi)
+		for i, p := range rep.MRC {
+			b := rep.MRCBounds[i]
+			mt.Add(report.Bytes(uint64(p.CacheBlocks)*64), 100*p.MissRatio, 100*b.Lo, 100*b.Hi)
 		}
 		fmt.Println(mt.Render())
 	}
@@ -415,7 +450,7 @@ func cmdAnalyze(args []string) error {
 	if *doLines {
 		lt := report.NewTable("Hot source lines (§III-D attribution)",
 			"line", "Ŵ loads", "F", "dF", "Fstr%", "D")
-		for i, d := range analysis.LineDiagnostics(tr, *block) {
+		for i, d := range rep.LineDiags {
 			if i >= *topK {
 				break
 			}
@@ -425,14 +460,13 @@ func cmdAnalyze(args []string) error {
 	}
 
 	if *intervals > 0 {
-		tree := interval.Build(tr, *block)
 		it := report.NewTable("Execution intervals (Fig. 4's multi-resolution time analysis)",
 			"interval", "samples", "Ŵ loads", "F", "dF", "D")
-		for i, d := range interval.IntervalDiagnostics(tr, *intervals, *block) {
+		for i, d := range rep.IntervalDiags {
 			it.Add(i, "-", report.Count(d.EstLoads), report.Count(d.F), d.DeltaF, d.D)
 		}
 		fmt.Println(it.Render())
-		path := tree.ZoomHot(nil)
+		path := rep.IntervalTree.ZoomHot(nil)
 		if len(path) > 1 {
 			leaf := path[len(path)-1]
 			fmt.Printf("hot-interval zoom: root -> sample %d (Ŵ=%s, dF=%s)\n\n",
@@ -441,35 +475,37 @@ func cmdAnalyze(args []string) error {
 	}
 
 	if *doWorkingSet {
-		ws := analysis.WorkingSet(tr, 8, 4096)
 		wt := report.NewTable("Working set over time (4 KiB pages, §V-B)",
 			"interval", "samples", "pages obs", "pages est")
-		for _, p := range ws {
+		for _, p := range rep.WorkingSet {
 			wt.Add(p.Interval, p.Samples, p.PagesObs, p.PagesEst)
 		}
 		fmt.Println(wt.Render())
 	}
 
 	if *roiPct > 0 {
-		roi := analysis.SuggestROI(tr, *roiPct)
 		fmt.Printf("Suggested region of interest (≥%.0f%% of loads): %s\n",
-			*roiPct, strings.Join(roi, ", "))
-		fmt.Printf("  retrace with: memgaze trace -hw-filter %s ...\n\n", strings.Join(roi, ","))
+			*roiPct, strings.Join(rep.ROI, ", "))
+		fmt.Printf("  retrace with: memgaze trace -hw-filter %s ...\n\n", strings.Join(rep.ROI, ","))
 	}
 
 	if *doZoom || *doHeatmap {
-		root := zoom.Build(tr, zoom.Config{Block: *block})
-		leaves := zoom.Leaves(root)
-		sort.Slice(leaves, func(i, j int) bool { return leaves[i].Accesses > leaves[j].Accesses })
+		order := make([]int, len(rep.ZoomLeaves))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return rep.ZoomLeaves[order[i]].Accesses > rep.ZoomLeaves[order[j]].Accesses
+		})
 		t := report.NewTable("Hot memory regions (location zoom)",
 			"region", "size", "hot%", "D", "A", "A/block", "code")
-		for i, lf := range leaves {
+		for i, k := range order {
 			if i >= *topK {
 				break
 			}
+			lf := rep.ZoomLeaves[k]
 			apb := 0.0
-			blocks := analysis.BlocksTouched(tr, lf.Lo, lf.Hi, *block)
-			if blocks > 0 {
+			if blocks := rep.ZoomLeafBlocks[k]; blocks > 0 {
 				apb = float64(lf.Accesses) / float64(blocks)
 			}
 			t.Add(fmt.Sprintf("%#x-%#x", lf.Lo, lf.Hi),
@@ -478,14 +514,13 @@ func cmdAnalyze(args []string) error {
 				strings.Join(lf.HotFuncs(2), ","))
 		}
 		fmt.Println(t.Render())
-		if *doHeatmap && len(leaves) > 0 {
-			lf := leaves[0]
-			h := heatmap.Build(tr, lf.Lo, lf.Hi, 20, 56, *block)
-			fmt.Println(report.RenderHeatmap(
-				fmt.Sprintf("Accesses over %#x-%#x (rows=addr, cols=time)", lf.Lo, lf.Hi),
-				h.Access))
-			fmt.Println(report.RenderHeatmap("Reuse distance D over the same region", h.Dist))
-		}
+	}
+	if *doHeatmap && rep.Heatmap != nil {
+		h := rep.Heatmap
+		fmt.Println(report.RenderHeatmap(
+			fmt.Sprintf("Accesses over %#x-%#x (rows=addr, cols=time)", h.Lo, h.Hi),
+			h.Access))
+		fmt.Println(report.RenderHeatmap("Reuse distance D over the same region", h.Dist))
 	}
 	return nil
 }
@@ -537,6 +572,9 @@ func cmdCompare(args []string) error {
 	if *aPath == "" || *bPath == "" {
 		return fmt.Errorf("compare needs -a and -b trace files")
 	}
+	if *block == 0 {
+		return fmt.Errorf("-block must be positive")
+	}
 	load := func(p string) (*trace.Trace, error) {
 		f, err := os.Open(p)
 		if err != nil {
@@ -553,8 +591,22 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	da := analysis.FunctionDiagnostics(ta, *block)
-	db := analysis.FunctionDiagnostics(tb, *block)
+	diagsOf := func(t *trace.Trace) ([]*analysis.Diag, error) {
+		rep, err := memgaze.NewAnalyzer(t, memgaze.WithBlockSize(*block),
+			memgaze.WithAnalyses(memgaze.AnalyzeFunctions)).Run(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		return rep.FunctionDiags, nil
+	}
+	da, err := diagsOf(ta)
+	if err != nil {
+		return err
+	}
+	db, err := diagsOf(tb)
+	if err != nil {
+		return err
+	}
 	byName := map[string]*analysis.Diag{}
 	for _, d := range db {
 		byName[d.Name] = d

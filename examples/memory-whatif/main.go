@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,27 @@ func main() {
 	fmt.Printf("one sampled trace: %d samples, %d records (1/%.0f of all loads)\n\n",
 		len(res.Trace.Samples), res.Trace.NumRecords(), res.Trace.Rho())
 
+	// One engine run, one reuse-distance sweep: the curve and its
+	// bounds at every cache size come out of the same Report. (The old
+	// flat API re-walked the trace twice per capacity.)
+	sizesKB := []int{4, 16, 64, 256}
+	caps := make([]int, len(sizesKB))
+	for i, kb := range sizesKB {
+		caps[i] = kb << 10 / 64
+	}
+	rep, err := memgaze.NewAnalyzer(res.Trace,
+		memgaze.WithBlockSize(64),
+		memgaze.WithCapacities(caps),
+		memgaze.WithAnalyses(memgaze.AnalyzeMRC),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	t := report.NewTable("What-if: LRU miss ratio vs cache size",
 		"cache", "predicted", "bounds", "simulated")
-	for _, kb := range []int{4, 16, 64, 256} {
-		capBlocks := kb << 10 / 64
-		pred := memgaze.MissRatioCurve(res.Trace, 64, []int{capBlocks})[0]
-		lo, hi := memgaze.MissRatioBounds(res.Trace, 64, capBlocks)
+	for i, kb := range sizesKB {
+		pred, b := rep.MRC[i], rep.MRCBounds[i]
 
 		// Check against the cache model actually running the workload.
 		cc := cache.DefaultConfig()
@@ -53,7 +69,7 @@ func main() {
 
 		t.Add(fmt.Sprintf("%d KiB", kb),
 			report.Pct(100*pred.MissRatio),
-			fmt.Sprintf("[%.1f%%, %.1f%%]", 100*lo, 100*hi),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", 100*b.Lo, 100*b.Hi),
 			report.Pct(100*runner.Cache.MissRate()))
 	}
 	fmt.Println(t.Render())

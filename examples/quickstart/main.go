@@ -9,10 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/memgaze/memgaze-go/internal/analysis"
+	memgaze "github.com/memgaze/memgaze-go"
 	"github.com/memgaze/memgaze-go/internal/core"
 	"github.com/memgaze/memgaze-go/internal/report"
 	"github.com/memgaze/memgaze-go/internal/workloads/micro"
@@ -51,16 +52,27 @@ func main() {
 	fmt.Printf("  compression kappa = %.3f; tracing overhead = %.0f%%\n\n",
 		tr.Kappa(), 100*res.Overhead())
 
+	// One analyzer run produces both views; the engine shares derived
+	// data across them and honours cancellation.
+	rep, err := memgaze.NewAnalyzer(tr,
+		memgaze.WithBlockSize(64),
+		memgaze.WithWindows(memgaze.PowerOfTwoWindows(4, 14)),
+		memgaze.WithAnalyses(memgaze.AnalyzeFunctions, memgaze.AnalyzeWindows),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Code windows: per-function footprint access diagnostics.
 	t := report.NewTable("Hot functions", "function", "est. loads", "F", "dF", "Fstr%", "D")
-	for _, d := range analysis.FunctionDiagnostics(tr, 64) {
+	for _, d := range rep.FunctionDiags {
 		t.Add(d.Name, report.Count(d.EstLoads), report.Count(d.F), d.DeltaF, d.FstrPct, d.D)
 	}
 	fmt.Println(t.Render())
 
 	// Trace windows: footprint vs dynamic sequence length.
 	h := report.NewHistogram("Footprint vs window size", "window", "F", "Fstr", "Firr")
-	for _, m := range analysis.WindowHistogram(tr, analysis.PowerOfTwoWindows(4, 14)) {
+	for _, m := range rep.Windows {
 		if m.N > 0 {
 			h.Add(float64(m.W), m.F, m.Fstr, m.Firr)
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"github.com/memgaze/memgaze-go/internal/trace"
@@ -54,28 +55,37 @@ func (c *ConfidenceConfig) fill() {
 // SampleConfidence evaluates every code window of the trace and returns
 // per-function confidence reports, most-flagged first.
 func SampleConfidence(t *trace.Trace, cfg ConfidenceConfig) []Confidence {
+	out, _ := SampleConfidenceCtx(context.Background(), t, cfg, nil, nil)
+	return out
+}
+
+// SampleConfidenceCtx is SampleConfidence with cancellation and
+// injectable presence counts: callers already holding the per-procedure
+// sample/record counts of a trace sweep (NewSweep with SweepPresence)
+// pass them in so the presence pass is not repeated; either map nil
+// recomputes both here.
+func SampleConfidenceCtx(ctx context.Context, t *trace.Trace, cfg ConfidenceConfig, samplesOf, recordsOf map[string]int) ([]Confidence, error) {
 	cfg.fill()
 
-	// Per-function presence counts.
-	samplesOf := map[string]int{}
-	recordsOf := map[string]int{}
-	for _, s := range t.Samples {
-		seen := map[string]bool{}
-		for i := range s.Records {
-			p := s.Records[i].Proc
-			recordsOf[p]++
-			if !seen[p] {
-				seen[p] = true
-				samplesOf[p]++
-			}
+	if samplesOf == nil || recordsOf == nil {
+		sw, err := NewSweep(ctx, t, cfg.BlockSize, SweepPresence)
+		if err != nil {
+			return nil, err
 		}
+		samplesOf, recordsOf = sw.SamplesOf, sw.RecordsOf
 	}
 
 	// Split-half estimates: diagnostics over even vs odd samples.
 	even := halfTrace(t, 0)
 	odd := halfTrace(t, 1)
-	fEven := diagF(even, cfg.BlockSize)
-	fOdd := diagF(odd, cfg.BlockSize)
+	fEven, err := diagF(ctx, even, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	fOdd, err := diagF(ctx, odd, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
 
 	var out []Confidence
 	for name, recs := range recordsOf {
@@ -110,7 +120,7 @@ func SampleConfidence(t *trace.Trace, cfg ConfidenceConfig) []Confidence {
 		}
 		return out[i].Name < out[j].Name
 	})
-	return out
+	return out, nil
 }
 
 // halfTrace keeps samples whose index ≡ parity (mod 2). TotalLoads is
@@ -128,10 +138,14 @@ func halfTrace(t *trace.Trace, parity int) *trace.Trace {
 	return nt
 }
 
-func diagF(t *trace.Trace, blockSize uint64) map[string]float64 {
+func diagF(ctx context.Context, t *trace.Trace, blockSize uint64) (map[string]float64, error) {
+	diags, err := FunctionDiagnosticsCtx(ctx, t, blockSize)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]float64{}
-	for _, d := range FunctionDiagnostics(t, blockSize) {
+	for _, d := range diags {
 		out[d.Name] = d.F
 	}
-	return out
+	return out, nil
 }

@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
@@ -123,7 +126,7 @@ func (ac *accumulator) finish(rho float64) *Diag {
 			strAddrs = append(strAddrs, addr)
 		}
 	}
-	sort.Slice(strAddrs, func(i, j int) bool { return strAddrs[i] < strAddrs[j] })
+	slices.Sort(strAddrs)
 	lattice := LatticePopulation(strAddrs)
 	scale := rho * d.Kappa
 	est := func(k dataflow.Class) float64 {
@@ -165,23 +168,112 @@ func (ac *accumulator) finish(rho float64) *Diag {
 	return d
 }
 
-// FunctionDiagnostics aggregates the trace into code windows — one per
-// procedure (§IV-B) — and computes a Diag for each. Reuse distance is
-// intra-sample (§V-B). Results are sorted by descending estimated loads,
-// i.e. hotness.
-func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
+// DiagAccum accumulates one code or time window's diagnostics
+// incrementally, sample by sample, and supports merging two disjoint
+// accumulations into one. Merging is exact — byte-identical to feeding
+// both record streams through a single accumulator — because every
+// cross-sample statistic is either a sum of integer-valued terms
+// (associative in float64 below 2^53), a max, or a first-touch choice
+// where the earlier window wins, and reuse distances never cross sample
+// boundaries. The execution interval tree builds on this: parents
+// derive their Diag from children's states instead of rescanning
+// records.
+type DiagAccum struct {
+	ac *accumulator
+}
+
+// NewDiagAccum returns an empty accumulation.
+func NewDiagAccum(name string, blockSize uint64) *DiagAccum {
+	return &DiagAccum{ac: newAccumulator(name, blockSize)}
+}
+
+// StartSample begins a new sample: intra-sample reuse state resets.
+func (da *DiagAccum) StartSample() { da.ac.startSample() }
+
+// Add accumulates one record. Not valid on a merged accumulation.
+func (da *DiagAccum) Add(r *trace.Record) { da.ac.add(r) }
+
+// Counts returns the observed accesses and implied constant accesses so
+// far — the inputs of κ and ρ for the accumulated window.
+func (da *DiagAccum) Counts() (a int, implied uint64) { return da.ac.a, da.ac.implied }
+
+// Finish computes the window's Diag at sample ratio rho. The
+// accumulation itself is left untouched and may still be merged.
+func (da *DiagAccum) Finish(rho float64) *Diag { return da.ac.finish(rho) }
+
+// MergeDiagAccums returns a new accumulation equivalent to accumulating
+// x's samples followed by y's. Neither input is modified. The result is
+// finish- and merge-only: records cannot be added to it.
+func MergeDiagAccums(name string, x, y *DiagAccum) *DiagAccum {
+	a, b := x.ac, y.ac
+	m := &accumulator{
+		name:     name,
+		a:        a.a + b.a,
+		implied:  a.implied + b.implied,
+		sumD:     a.sumD + b.sumD,
+		reuses:   a.reuses + b.reuses,
+		dmax:     max(a.dmax, b.dmax),
+		constAcc: a.constAcc + b.constAcc,
+	}
+	// Clone the larger side (runtime-optimized) and fold in the smaller.
+	if len(a.counts) >= len(b.counts) {
+		m.counts = maps.Clone(a.counts)
+		for addr, n := range b.counts {
+			m.counts[addr] += n
+		}
+	} else {
+		m.counts = maps.Clone(b.counts)
+		for addr, n := range a.counts {
+			m.counts[addr] += n
+		}
+	}
+	// First touches in a (the earlier window) take precedence.
+	if len(a.firstCls) >= len(b.firstCls) {
+		m.firstCls = maps.Clone(a.firstCls)
+		for addr, c := range b.firstCls {
+			if _, ok := m.firstCls[addr]; !ok {
+				m.firstCls[addr] = c
+			}
+		}
+	} else {
+		m.firstCls = maps.Clone(b.firstCls)
+		for addr, c := range a.firstCls {
+			m.firstCls[addr] = c
+		}
+	}
+	return &DiagAccum{ac: m}
+}
+
+// sortByHotness orders diagnostics by descending estimated loads with a
+// name tie-break, so output order is deterministic run to run.
+func sortByHotness(out []*Diag) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstLoads != out[j].EstLoads {
+			return out[i].EstLoads > out[j].EstLoads
+		}
+		return out[i].Name < out[j].Name
+	})
+}
+
+// keyedDiagnostics aggregates the trace into code windows keyed by
+// key(r) and computes a Diag for each, hottest first.
+func keyedDiagnostics(ctx context.Context, t *trace.Trace, blockSize uint64, key func(*trace.Record) string) ([]*Diag, error) {
 	rho := t.Rho()
 	accs := make(map[string]*accumulator)
 	for _, s := range t.Samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, ac := range accs {
 			ac.startSample()
 		}
 		for i := range s.Records {
 			r := &s.Records[i]
-			ac, ok := accs[r.Proc]
+			k := key(r)
+			ac, ok := accs[k]
 			if !ok {
-				ac = newAccumulator(r.Proc, blockSize)
-				accs[r.Proc] = ac
+				ac = newAccumulator(k, blockSize)
+				accs[k] = ac
 			}
 			ac.add(r)
 		}
@@ -190,8 +282,23 @@ func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
 	for _, ac := range accs {
 		out = append(out, ac.finish(rho))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EstLoads > out[j].EstLoads })
+	sortByHotness(out)
+	return out, nil
+}
+
+// FunctionDiagnostics aggregates the trace into code windows — one per
+// procedure (§IV-B) — and computes a Diag for each. Reuse distance is
+// intra-sample (§V-B). Results are sorted by descending estimated loads,
+// i.e. hotness.
+func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
+	out, _ := FunctionDiagnosticsCtx(context.Background(), t, blockSize)
 	return out
+}
+
+// FunctionDiagnosticsCtx is FunctionDiagnostics with cancellation: it
+// returns ctx.Err() as soon as the context is done.
+func FunctionDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint64) ([]*Diag, error) {
+	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string { return r.Proc })
 }
 
 // LineDiagnostics aggregates the trace into source-line code windows
@@ -199,29 +306,15 @@ func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
 // source remapping supports — and computes a Diag for each, hottest
 // first.
 func LineDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
-	rho := t.Rho()
-	accs := make(map[string]*accumulator)
-	for _, s := range t.Samples {
-		for _, ac := range accs {
-			ac.startSample()
-		}
-		for i := range s.Records {
-			r := &s.Records[i]
-			key := fmt.Sprintf("%s:%d", r.Proc, r.Line)
-			ac, ok := accs[key]
-			if !ok {
-				ac = newAccumulator(key, blockSize)
-				accs[key] = ac
-			}
-			ac.add(r)
-		}
-	}
-	out := make([]*Diag, 0, len(accs))
-	for _, ac := range accs {
-		out = append(out, ac.finish(rho))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EstLoads > out[j].EstLoads })
+	out, _ := LineDiagnosticsCtx(context.Background(), t, blockSize)
 	return out
+}
+
+// LineDiagnosticsCtx is LineDiagnostics with cancellation.
+func LineDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint64) ([]*Diag, error) {
+	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string {
+		return fmt.Sprintf("%s:%d", r.Proc, r.Line)
+	})
 }
 
 // Region is an address range [Lo, Hi) with a display name.
@@ -238,12 +331,21 @@ func (g Region) Contains(addr uint64) bool { return addr >= g.Lo && addr < g.Hi 
 // of each region is restricted to that region's accesses, so D reflects
 // the spatio-temporal locality of the object itself (Tables V, VII, IX).
 func RegionDiagnostics(t *trace.Trace, regions []Region, blockSize uint64) []*Diag {
+	out, _ := RegionDiagnosticsCtx(context.Background(), t, regions, blockSize)
+	return out
+}
+
+// RegionDiagnosticsCtx is RegionDiagnostics with cancellation.
+func RegionDiagnosticsCtx(ctx context.Context, t *trace.Trace, regions []Region, blockSize uint64) ([]*Diag, error) {
 	rho := t.Rho()
 	accs := make([]*accumulator, len(regions))
 	for i, g := range regions {
 		accs[i] = newAccumulator(g.Name, blockSize)
 	}
 	for _, s := range t.Samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, ac := range accs {
 			ac.startSample()
 		}
@@ -261,7 +363,7 @@ func RegionDiagnostics(t *trace.Trace, regions []Region, blockSize uint64) []*Di
 	for i, ac := range accs {
 		out[i] = ac.finish(rho)
 	}
-	return out
+	return out, nil
 }
 
 // BlocksTouched returns the number of distinct blocks of the given size

@@ -1,9 +1,9 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
-	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -31,20 +31,31 @@ type MRCPoint struct {
 	MissRatio   float64 // predicted misses per access
 }
 
-// MissRatioCurve estimates the LRU miss ratio at each capacity (in
-// blocks of blockSize) from the trace's reuse distances. Short
-// distances come exactly from intra-sample windows (R1); reuses that
-// span samples (R3) get distances estimated StatStack-style, as the
-// footprint grown during the gap — mean unique blocks per load times
-// the load-counter distance between the two sightings, capped by the
-// ρ-scaled block population. Addresses never seen again anywhere are
-// cold misses at every capacity.
-func MissRatioCurve(t *trace.Trace, blockSize uint64, capacities []int) []MRCPoint {
-	intra, estimated, cold, total := reuseDistances(t, blockSize)
-	if total == 0 {
+// MRCBound brackets the miss ratio at one capacity (see
+// MissRatioBounds).
+type MRCBound struct {
+	CacheBlocks int
+	Lo, Hi      float64
+}
+
+// ReuseProfile is the reuse-distance distribution of one trace at one
+// block granularity, split into exactly-measured intra-sample distances
+// and estimated inter-sample ones, plus the count of true cold
+// accesses. Collect it once with NewSweep (SweepDistances) and evaluate
+// miss ratios at any number of capacities without re-walking the trace.
+type ReuseProfile struct {
+	Intra     []int // exact distances from intra-sample windows (R1)
+	Estimated []int // StatStack-style estimates for cross-sample reuses (R3)
+	Cold      int   // true cold misses
+	Total     int   // accesses profiled
+}
+
+// MissRatioCurve evaluates the profile at each capacity (in blocks).
+func (p *ReuseProfile) MissRatioCurve(capacities []int) []MRCPoint {
+	if p.Total == 0 {
 		return nil
 	}
-	dists := append(append([]int{}, intra...), estimated...)
+	dists := append(append([]int{}, p.Intra...), p.Estimated...)
 	sort.Ints(dists)
 	out := make([]MRCPoint, 0, len(capacities))
 	for _, c := range capacities {
@@ -52,131 +63,10 @@ func MissRatioCurve(t *trace.Trace, blockSize uint64, capacities []int) []MRCPoi
 		farReuses := len(dists) - idx
 		out = append(out, MRCPoint{
 			CacheBlocks: c,
-			MissRatio:   float64(farReuses+cold) / float64(total),
+			MissRatio:   float64(farReuses+p.Cold) / float64(p.Total),
 		})
 	}
 	return out
-}
-
-// reuseDistances collects the distance distribution (in blocks) split
-// into exactly-measured intra-sample distances and estimated
-// inter-sample ones, plus the count of true cold accesses.
-func reuseDistances(t *trace.Trace, blockSize uint64) (intra, estimated []int, cold, total int) {
-	// Blocks-per-access rate and block population for inter-sample
-	// distance estimation.
-	blocks := map[uint64]struct{}{}
-	var accesses int
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			blocks[s.Records[i].Addr/blockSize] = struct{}{}
-			accesses++
-		}
-	}
-	if accesses == 0 {
-		return nil, nil, 0, 0
-	}
-	// Mean new-blocks-per-load within samples bounds how fast the stack
-	// grows during unobserved gaps.
-	var bpaSum float64
-	var bpaN int
-	sd := NewStackDist(blockSize)
-	for _, s := range t.Samples {
-		if len(s.Records) == 0 {
-			continue
-		}
-		sd.Reset()
-		for i := range s.Records {
-			sd.Access(s.Records[i].Addr)
-		}
-		bpaSum += float64(sd.Blocks()) / float64(len(s.Records))
-		bpaN++
-	}
-	bpa := 0.5
-	if bpaN > 0 {
-		bpa = bpaSum / float64(bpaN)
-	}
-	// Estimate the block population up front (Good–Turing over the block
-	// multiset): it caps inter-sample distance estimates — no reuse
-	// distance can exceed the number of distinct blocks — and sets the
-	// true cold-miss rate.
-	blockCountsPre := map[uint64]int{}
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			blockCountsPre[s.Records[i].Addr/blockSize]++
-		}
-	}
-	var csPre CSCounts
-	for _, n := range blockCountsPre {
-		csPre.Unique++
-		if n == 1 {
-			csPre.Singletons++
-		} else if n == 2 {
-			csPre.Doubletons++
-		}
-		csPre.Draws += float64(n)
-	}
-	rho, kappa := t.Rho(), t.Kappa()
-	estLoadsPre := rho * kappa * float64(accesses)
-	popCap := EstimateUnique(dataflow.Irregular, csPre, estLoadsPre,
-		csPre.Unique*rho*kappa, 0)
-
-	// Last sighting of each block: (sample index, trigger loads).
-	type sighting struct {
-		trigger uint64
-		sample  int
-	}
-	lastSeen := map[uint64]sighting{}
-	var interDists []int
-	sd2 := NewStackDist(blockSize)
-	for si, s := range t.Samples {
-		sd2.Reset()
-		for i := range s.Records {
-			total++
-			b := s.Records[i].Addr / blockSize
-			d, _ := sd2.Access(s.Records[i].Addr)
-			switch {
-			case d >= 0:
-				intra = append(intra, d)
-			default:
-				if prev, ok := lastSeen[b]; ok && prev.sample != si {
-					// R3 reuse: estimate unique blocks in the gap.
-					gap := float64(s.TriggerLoads - prev.trigger)
-					est := bpa * gap / kappa
-					if est > popCap {
-						est = popCap
-					}
-					interDists = append(interDists, int(est))
-					estimated = append(estimated, int(est))
-				} else {
-					cold++
-				}
-			}
-			lastSeen[b] = sighting{trigger: s.TriggerLoads, sample: si}
-		}
-	}
-
-	// Sparse samples mislabel most survivals: an address seen once is
-	// usually a reuse whose partner was not sampled, not a cold miss.
-	// The true cold rate is (distinct blocks ever touched) / (executed
-	// loads); the excess survivals get the empirical inter-sample
-	// distance distribution.
-	estLoads := estLoadsPre
-	coldTrue := int(popCap / estLoads * float64(total))
-	if coldTrue > cold {
-		coldTrue = cold
-	}
-	leftover := cold - coldTrue
-	cold = coldTrue
-	for i := 0; i < leftover; i++ {
-		if len(interDists) > 0 {
-			estimated = append(estimated, interDists[i%len(interDists)])
-		} else {
-			// No cross-sample evidence at all: treat as beyond any
-			// practical capacity.
-			estimated = append(estimated, int(popCap))
-		}
-	}
-	return intra, estimated, cold, total
 }
 
 // MissRatioBounds returns lower and upper miss-ratio estimates at one
@@ -185,16 +75,67 @@ func reuseDistances(t *trace.Trace, blockSize uint64) (intra, estimated []int, c
 // every estimated inter-sample reuse whose estimate reaches the
 // capacity. Below the sample window's footprint the two converge; in
 // the structural blind band they bracket it honestly.
-func MissRatioBounds(t *trace.Trace, blockSize uint64, capacity int) (lo, hi float64) {
-	intra, estimated, cold, total := reuseDistances(t, blockSize)
-	if total == 0 {
-		return 0, 0
+func (p *ReuseProfile) MissRatioBounds(capacity int) (lo, hi float64) {
+	b := p.MissRatioBoundsAll([]int{capacity})[0]
+	return b.Lo, b.Hi
+}
+
+// MissRatioBoundsAll brackets the miss ratio at every capacity with one
+// sort of the profile instead of one per capacity. It sorts copies, so
+// concurrent readers of the profile are safe.
+func (p *ReuseProfile) MissRatioBoundsAll(capacities []int) []MRCBound {
+	out := make([]MRCBound, 0, len(capacities))
+	if p.Total == 0 {
+		for _, c := range capacities {
+			out = append(out, MRCBound{CacheBlocks: c})
+		}
+		return out
 	}
+	intra := append([]int{}, p.Intra...)
+	estimated := append([]int{}, p.Estimated...)
 	sort.Ints(intra)
 	sort.Ints(estimated)
-	farIntra := len(intra) - sort.SearchInts(intra, capacity)
-	farEst := len(estimated) - sort.SearchInts(estimated, capacity)
-	lo = float64(farIntra+cold) / float64(total)
-	hi = float64(farIntra+farEst+cold) / float64(total)
-	return lo, hi
+	for _, c := range capacities {
+		farIntra := len(intra) - sort.SearchInts(intra, c)
+		farEst := len(estimated) - sort.SearchInts(estimated, c)
+		out = append(out, MRCBound{
+			CacheBlocks: c,
+			Lo:          float64(farIntra+p.Cold) / float64(p.Total),
+			Hi:          float64(farIntra+farEst+p.Cold) / float64(p.Total),
+		})
+	}
+	return out
+}
+
+// ReuseProfileOf collects the trace's reuse-distance profile at the
+// given block granularity — one sweep, reusable across capacities.
+func ReuseProfileOf(ctx context.Context, t *trace.Trace, blockSize uint64) (*ReuseProfile, error) {
+	sw, err := NewSweep(ctx, t, blockSize, SweepDistances)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Profile, nil
+}
+
+// MissRatioCurve estimates the LRU miss ratio at each capacity (in
+// blocks of blockSize) from the trace's reuse distances. Short
+// distances come exactly from intra-sample windows (R1); reuses that
+// span samples (R3) get distances estimated StatStack-style, as the
+// footprint grown during the gap — mean unique blocks per load times
+// the load-counter distance between the two sightings, capped by the
+// ρ-scaled block population. Addresses never seen again anywhere are
+// cold misses at every capacity.
+//
+// Callers evaluating several capacities, or bounds as well, should
+// collect a ReuseProfile once instead of calling this per capacity.
+func MissRatioCurve(t *trace.Trace, blockSize uint64, capacities []int) []MRCPoint {
+	p, _ := ReuseProfileOf(context.Background(), t, blockSize)
+	return p.MissRatioCurve(capacities)
+}
+
+// MissRatioBounds returns lower and upper miss-ratio estimates at one
+// capacity (see ReuseProfile.MissRatioBounds).
+func MissRatioBounds(t *trace.Trace, blockSize uint64, capacity int) (lo, hi float64) {
+	p, _ := ReuseProfileOf(context.Background(), t, blockSize)
+	return p.MissRatioBounds(capacity)
 }

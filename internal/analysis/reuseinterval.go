@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"math/bits"
+	"context"
 
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -32,47 +32,14 @@ type IntervalBucket struct {
 // ReuseIntervalHistogram computes the histogram over the whole trace.
 // Intra-sample intervals are measured in observed records; inter-sample
 // intervals are estimated from the hardware load counter at the
-// enclosing triggers (the R3 estimate).
+// enclosing triggers (the R3 estimate). It is one product of the shared
+// trace sweep (NewSweep with SweepIntervals).
 func ReuseIntervalHistogram(t *trace.Trace) []IntervalBucket {
-	const maxLog = 40
-	var intra, inter [maxLog]int
-
-	bucket := func(v uint64) int {
-		if v == 0 {
-			return 0
-		}
-		return bits.Len64(v) - 1
+	sw, _ := NewSweep(context.Background(), t, 64, SweepIntervals)
+	if sw == nil {
+		return nil
 	}
-
-	lastSample := map[uint64]int{}     // addr -> sample index of last sighting
-	lastTrigger := map[uint64]uint64{} // addr -> trigger loads of that sample
-	for si, s := range t.Samples {
-		seen := map[uint64]int{} // addr -> record index within this sample
-		for i := range s.Records {
-			a := s.Records[i].Addr
-			if p, ok := seen[a]; ok {
-				intra[bucket(uint64(i-p))]++
-			} else if ps, ok := lastSample[a]; ok && ps != si {
-				// R3: estimate the interval as the load-counter distance
-				// between the two samples' triggers.
-				d := s.TriggerLoads - lastTrigger[a]
-				if d > 0 {
-					inter[bucket(d)]++
-				}
-			}
-			seen[a] = i
-			lastSample[a] = si
-			lastTrigger[a] = s.TriggerLoads
-		}
-	}
-	var out []IntervalBucket
-	for l := 0; l < maxLog; l++ {
-		if intra[l] == 0 && inter[l] == 0 {
-			continue
-		}
-		out = append(out, IntervalBucket{Log2: l, Intra: intra[l], Inter: inter[l]})
-	}
-	return out
+	return sw.Intervals
 }
 
 // BlindSpot is a range of reuse-interval lengths a sampled-trace

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"context"
+	"math/bits"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// One stack-distance sweep, three analyses. MissRatioCurve,
+// MissRatioBounds, ReuseIntervalHistogram, and SampleConfidence all need
+// the same walk over the trace — a per-sample StackDist stream plus
+// cross-sample last-sighting bookkeeping — and each used to repeat it.
+// NewSweep performs that walk once and returns every product the walk
+// can pay for:
+//
+//   - SweepDistances — the reuse-distance profile (intra-sample exact
+//     distances, estimated inter-sample distances, cold misses) that
+//     MissRatioCurve and MissRatioBounds consume.
+//   - SweepIntervals — the log2 reuse-interval histogram of
+//     ReuseIntervalHistogram (address granularity, R1/R3 split).
+//   - SweepPresence — per-procedure sample/record presence counts, the
+//     sample-density half of SampleConfidence (§VI-A).
+//
+// The flat analysis functions route through a sweep restricted to their
+// own part, so their results are unchanged; the engine requests all
+// parts at once and shares the result.
+
+// SweepParts selects which products a sweep computes.
+type SweepParts uint
+
+const (
+	// SweepDistances collects the block-granularity reuse-distance
+	// profile for miss-ratio prediction.
+	SweepDistances SweepParts = 1 << iota
+	// SweepIntervals collects the address-granularity reuse-interval
+	// histogram.
+	SweepIntervals
+	// SweepPresence collects per-procedure presence counts.
+	SweepPresence
+
+	// SweepEverything computes all products in the one pass.
+	SweepEverything = SweepDistances | SweepIntervals | SweepPresence
+)
+
+// TraceSweep holds the products of one sweep. Fields outside the
+// requested parts are zero.
+type TraceSweep struct {
+	BlockSize uint64
+
+	// Profile is the reuse-distance profile (SweepDistances).
+	Profile *ReuseProfile
+	// Intervals is the reuse-interval histogram (SweepIntervals).
+	Intervals []IntervalBucket
+	// SamplesOf counts samples containing at least one record of each
+	// procedure; RecordsOf counts its records (SweepPresence).
+	SamplesOf, RecordsOf map[string]int
+}
+
+// NewSweep walks the trace once and computes the requested parts.
+// blockSize applies to the distance profile; the interval histogram is
+// exact-address as in ReuseIntervalHistogram. It returns ctx.Err() as
+// soon as the context is done.
+func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts) (*TraceSweep, error) {
+	sw := &TraceSweep{BlockSize: blockSize}
+	if parts&SweepPresence != 0 {
+		sw.SamplesOf = map[string]int{}
+		sw.RecordsOf = map[string]int{}
+	}
+
+	// Distance-profile state (block granularity).
+	type sighting struct {
+		trigger uint64
+		sample  int
+	}
+	var (
+		p           = &ReuseProfile{}
+		sd          *StackDist
+		lastSeen    map[uint64]sighting
+		gaps        []float64 // trigger gaps of R3 reuses, in stream order
+		blockCounts map[uint64]int
+		bpaSum      float64
+		bpaN        int
+		accesses    int
+	)
+	if parts&SweepDistances != 0 {
+		sd = NewStackDist(blockSize)
+		lastSeen = map[uint64]sighting{}
+		blockCounts = map[uint64]int{}
+	}
+
+	// Interval-histogram state (exact addresses).
+	const maxLog = 40
+	var intraB, interB [maxLog]int
+	bucket := func(v uint64) int {
+		if v == 0 {
+			return 0
+		}
+		return bits.Len64(v) - 1
+	}
+	var lastSample map[uint64]int
+	var lastTrigger map[uint64]uint64
+	if parts&SweepIntervals != 0 {
+		lastSample = map[uint64]int{}
+		lastTrigger = map[uint64]uint64{}
+	}
+
+	for si, s := range t.Samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+			sd.Reset()
+		}
+		var seenAddr map[uint64]int  // addr -> record index (intervals)
+		var seenProc map[string]bool // presence
+		if parts&SweepIntervals != 0 {
+			seenAddr = map[uint64]int{}
+		}
+		if parts&SweepPresence != 0 {
+			seenProc = map[string]bool{}
+		}
+		for i := range s.Records {
+			r := &s.Records[i]
+
+			if parts&SweepPresence != 0 {
+				sw.RecordsOf[r.Proc]++
+				if !seenProc[r.Proc] {
+					seenProc[r.Proc] = true
+					sw.SamplesOf[r.Proc]++
+				}
+			}
+
+			if parts&SweepIntervals != 0 {
+				if prev, ok := seenAddr[r.Addr]; ok {
+					intraB[bucket(uint64(i-prev))]++
+				} else if ps, ok := lastSample[r.Addr]; ok && ps != si {
+					// R3: estimate the interval as the load-counter
+					// distance between the two samples' triggers.
+					if d := s.TriggerLoads - lastTrigger[r.Addr]; d > 0 {
+						interB[bucket(d)]++
+					}
+				}
+				seenAddr[r.Addr] = i
+				lastSample[r.Addr] = si
+				lastTrigger[r.Addr] = s.TriggerLoads
+			}
+
+			if parts&SweepDistances != 0 {
+				accesses++
+				p.Total++
+				b := r.Addr / blockSize
+				blockCounts[b]++
+				switch d, _ := sd.Access(r.Addr); {
+				case d >= 0:
+					p.Intra = append(p.Intra, d)
+				default:
+					if prev, ok := lastSeen[b]; ok && prev.sample != si {
+						// R3 reuse: the distance is estimated after the
+						// pass, once the blocks-per-load rate is known.
+						gaps = append(gaps, float64(s.TriggerLoads-prev.trigger))
+					} else {
+						p.Cold++
+					}
+				}
+				lastSeen[b] = sighting{trigger: s.TriggerLoads, sample: si}
+			}
+		}
+		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+			// Mean new-blocks-per-load within samples bounds how fast the
+			// stack grows during unobserved gaps.
+			bpaSum += float64(sd.Blocks()) / float64(len(s.Records))
+			bpaN++
+		}
+	}
+
+	if parts&SweepIntervals != 0 {
+		for l := 0; l < maxLog; l++ {
+			if intraB[l] == 0 && interB[l] == 0 {
+				continue
+			}
+			sw.Intervals = append(sw.Intervals, IntervalBucket{Log2: l, Intra: intraB[l], Inter: interB[l]})
+		}
+	}
+
+	if parts&SweepDistances != 0 && accesses > 0 {
+		bpa := 0.5
+		if bpaN > 0 {
+			bpa = bpaSum / float64(bpaN)
+		}
+		// Block population (Good–Turing over the block multiset): caps
+		// inter-sample distance estimates — no reuse distance can exceed
+		// the number of distinct blocks — and sets the true cold-miss
+		// rate.
+		var cs CSCounts
+		for _, n := range blockCounts {
+			cs.Unique++
+			if n == 1 {
+				cs.Singletons++
+			} else if n == 2 {
+				cs.Doubletons++
+			}
+			cs.Draws += float64(n)
+		}
+		rho, kappa := t.Rho(), t.Kappa()
+		estLoads := rho * kappa * float64(accesses)
+		popCap := EstimateUnique(dataflow.Irregular, cs, estLoads, cs.Unique*rho*kappa, 0)
+
+		// Turn trigger gaps into distance estimates.
+		interDists := make([]int, len(gaps))
+		for i, gap := range gaps {
+			est := bpa * gap / kappa
+			if est > popCap {
+				est = popCap
+			}
+			interDists[i] = int(est)
+		}
+		p.Estimated = append(p.Estimated, interDists...)
+
+		// Sparse samples mislabel most survivals: an address seen once is
+		// usually a reuse whose partner was not sampled, not a cold miss.
+		// The true cold rate is (distinct blocks ever touched) /
+		// (executed loads); the excess survivals get the empirical
+		// inter-sample distance distribution.
+		coldTrue := int(popCap / estLoads * float64(p.Total))
+		if coldTrue > p.Cold {
+			coldTrue = p.Cold
+		}
+		leftover := p.Cold - coldTrue
+		p.Cold = coldTrue
+		for i := 0; i < leftover; i++ {
+			if len(interDists) > 0 {
+				p.Estimated = append(p.Estimated, interDists[i%len(interDists)])
+			} else {
+				// No cross-sample evidence at all: treat as beyond any
+				// practical capacity.
+				p.Estimated = append(p.Estimated, int(popCap))
+			}
+		}
+	}
+	if parts&SweepDistances != 0 {
+		sw.Profile = p
+	}
+	return sw, nil
+}

@@ -1,7 +1,8 @@
 package analysis
 
 import (
-	"sort"
+	"context"
+	"slices"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/trace"
@@ -37,23 +38,71 @@ func PowerOfTwoWindows(lo, hi int) []uint64 {
 // and footprints are scaled by the local sample ratio (inter-window
 // form). Full traces (Period == 0) are always measured exactly.
 func WindowHistogram(t *trace.Trace, windows []uint64) []WindowMetrics {
-	out := make([]WindowMetrics, 0, len(windows))
-	meanW := t.MeanW() * t.Kappa() // decompressed mean sample size
-	globalPop := globalPopulations(t)
-	for _, w := range windows {
-		var m WindowMetrics
-		if t.Period == 0 || float64(w) <= meanW {
-			m = intraWindows(t, w)
-		} else {
-			m = interWindows(t, w, globalPop)
-		}
-		m.W = w
-		if m.N > 0 && w > 0 {
-			m.DeltaF = m.F / float64(w)
-		}
-		out = append(out, m)
-	}
+	out, _ := WindowHistogramCtx(context.Background(), t, windows)
 	return out
+}
+
+// WindowHistogramCtx is WindowHistogram with cancellation: it returns
+// ctx.Err() as soon as the context is done.
+func WindowHistogramCtx(ctx context.Context, t *trace.Trace, windows []uint64) ([]WindowMetrics, error) {
+	pop, err := GlobalPopulationsCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return WindowHistogramPop(ctx, t, windows, pop)
+}
+
+// WindowHistogramPop is the population-injecting form of WindowHistogram:
+// callers that already hold the trace's global per-class populations
+// (GlobalPopulations) pass them in so they are computed once per trace
+// rather than once per histogram.
+func WindowHistogramPop(ctx context.Context, t *trace.Trace, windows []uint64, globalPop [3]float64) ([]WindowMetrics, error) {
+	out := make([]WindowMetrics, len(windows))
+	meanW := t.MeanW() * t.Kappa() // decompressed mean sample size
+	// Inter-window accumulation depends only on the sample-group span
+	// ⌈w/period⌉, so sizes sharing a span share one pass over the trace
+	// and differ only in the flush ratio.
+	interGroups := map[int][]int{} // group span -> indices into windows
+	var spans []int
+	for i, w := range windows {
+		if t.Period == 0 || float64(w) <= meanW {
+			m, err := intraWindows(ctx, t, w)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		} else {
+			k := int((w + t.Period - 1) / t.Period)
+			if k < 1 {
+				k = 1
+			}
+			if _, ok := interGroups[k]; !ok {
+				spans = append(spans, k)
+			}
+			interGroups[k] = append(interGroups[k], i)
+		}
+	}
+	for _, k := range spans {
+		idxs := interGroups[k]
+		ws := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			ws[j] = windows[i]
+		}
+		ms, err := interWindows(ctx, t, ws, k, globalPop)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			out[i] = ms[j]
+		}
+	}
+	for i, w := range windows {
+		out[i].W = w
+		if out[i].N > 0 && w > 0 {
+			out[i].DeltaF = out[i].F / float64(w)
+		}
+	}
+	return out, nil
 }
 
 // winAcc accumulates one window's worth of records.
@@ -95,20 +144,31 @@ func (wa *winAcc) stridedLattice() float64 {
 			addrs = append(addrs, addr)
 		}
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	return LatticePopulation(addrs)
 }
 
-// globalPopulations aggregates all samples per class and returns the
+// GlobalPopulations aggregates all samples per class and returns the
 // population estimates (0 where unusable) — the fallback saturation
 // evidence for windows that are individually blind (§IV-B). The strided
 // class uses the lattice estimator; others use Good–Turing.
-func globalPopulations(t *trace.Trace) [3]float64 {
+func GlobalPopulations(t *trace.Trace) [3]float64 {
+	pop, _ := GlobalPopulationsCtx(context.Background(), t)
+	return pop
+}
+
+// GlobalPopulationsCtx is GlobalPopulations with cancellation.
+func GlobalPopulationsCtx(ctx context.Context, t *trace.Trace) ([3]float64, error) {
 	wa := newWinAcc()
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			wa.add(&s.Records[i])
+	cur := -1
+	for si, r := range t.Records() {
+		if si != cur {
+			if err := ctx.Err(); err != nil {
+				return [3]float64{}, err
+			}
+			cur = si
 		}
+		wa.add(r)
 	}
 	var cs [3]CSCounts
 	for addr, n := range wa.counts {
@@ -131,7 +191,7 @@ func globalPopulations(t *trace.Trace) [3]float64 {
 	if lat := wa.stridedLattice(); lat > 0 {
 		out[dataflow.Strided] = lat
 	}
-	return out
+	return out, nil
 }
 
 func isInf(f float64) bool { return f > 1e300 }
@@ -202,60 +262,82 @@ func meanOf(m *WindowMetrics) {
 // intraWindows slices each sample into consecutive windows of w
 // decompressed accesses; partial tail windows of at least w/2 are scaled
 // up, smaller tails are discarded.
-func intraWindows(t *trace.Trace, w uint64) WindowMetrics {
+func intraWindows(ctx context.Context, t *trace.Trace, w uint64) (WindowMetrics, error) {
 	var m WindowMetrics
 	wa := newWinAcc()
-	for _, s := range t.Samples {
-		wa.reset()
-		for i := range s.Records {
-			wa.add(&s.Records[i])
-			if wa.weight >= float64(w) {
-				wa.flush(&m, 1, [3]float64{})
-				wa.reset()
-			}
-		}
+	cur := -1
+	flushTail := func() {
 		if wa.weight >= float64(w)/2 {
 			wa.flush(&m, float64(w)/wa.weight, [3]float64{})
 		}
 	}
+	for si, r := range t.Records() {
+		if si != cur {
+			if err := ctx.Err(); err != nil {
+				return WindowMetrics{}, err
+			}
+			if cur >= 0 {
+				flushTail()
+			}
+			wa.reset()
+			cur = si
+		}
+		wa.add(r)
+		if wa.weight >= float64(w) {
+			wa.flush(&m, 1, [3]float64{})
+			wa.reset()
+		}
+	}
+	if cur >= 0 {
+		flushTail()
+	}
 	meanOf(&m)
-	return m
+	return m, nil
 }
 
-// interWindows groups ceil(w/period) consecutive samples per window and
-// scales observed footprints to the window span (Eq. 3, inter-window).
-func interWindows(t *trace.Trace, w uint64, globalPop [3]float64) WindowMetrics {
-	var m WindowMetrics
-	if t.Period == 0 || len(t.Samples) == 0 {
-		return m
-	}
-	k := int((w + t.Period - 1) / t.Period)
-	if k < 1 {
-		k = 1
+// interWindows groups k = ⌈w/period⌉ consecutive samples per window and
+// scales observed footprints to each window span (Eq. 3, inter-window).
+// All sizes in ws must share the span k: they are flushed from the same
+// accumulation with their own ratios.
+func interWindows(ctx context.Context, t *trace.Trace, ws []uint64, k int, globalPop [3]float64) ([]WindowMetrics, error) {
+	ms := make([]WindowMetrics, len(ws))
+	if t.Period == 0 || t.Len() == 0 {
+		return ms, nil
 	}
 	wa := newWinAcc()
-	for i := 0; i < len(t.Samples); i += k {
-		wa.reset()
-		end := i + k
-		if end > len(t.Samples) {
-			end = len(t.Samples)
-		}
-		for _, s := range t.Samples[i:end] {
-			for j := range s.Records {
-				wa.add(&s.Records[j])
-			}
-		}
-		if wa.weight == 0 {
-			continue
-		}
+	group := -1
+	flushGroup := func() {
 		// The group observed wa.weight decompressed accesses standing in
 		// for a window of w executed accesses.
-		ratio := float64(w) / wa.weight
-		if ratio < 1 {
-			ratio = 1
+		if wa.weight == 0 {
+			return
 		}
-		wa.flush(&m, ratio, globalPop)
+		for i, w := range ws {
+			ratio := float64(w) / wa.weight
+			if ratio < 1 {
+				ratio = 1
+			}
+			wa.flush(&ms[i], ratio, globalPop)
+		}
 	}
-	meanOf(&m)
-	return m
+	for si, r := range t.Records() {
+		if g := si / k; g != group {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if group >= 0 {
+				flushGroup()
+			}
+			wa.reset()
+			group = g
+		}
+		wa.add(r)
+	}
+	if group >= 0 {
+		flushGroup()
+	}
+	for i := range ms {
+		meanOf(&ms[i])
+	}
+	return ms, nil
 }

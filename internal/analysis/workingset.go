@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -24,6 +26,12 @@ type WorkingSetPoint struct {
 // WorkingSet computes the working-set curve over k consecutive time
 // intervals at the given page size (0 selects 4 KiB).
 func WorkingSet(t *trace.Trace, k int, pageSize uint64) []WorkingSetPoint {
+	out, _ := WorkingSetCtx(context.Background(), t, k, pageSize)
+	return out
+}
+
+// WorkingSetCtx is WorkingSet with cancellation.
+func WorkingSetCtx(ctx context.Context, t *trace.Trace, k int, pageSize uint64) ([]WorkingSetPoint, error) {
 	if pageSize == 0 {
 		pageSize = 4096
 	}
@@ -36,6 +44,9 @@ func WorkingSet(t *trace.Trace, k int, pageSize uint64) []WorkingSetPoint {
 	rho := t.Rho()
 	var out []WorkingSetPoint
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := i * len(t.Samples) / k
 		end := (i + 1) * len(t.Samples) / k
 		if end == start {
@@ -71,7 +82,7 @@ func WorkingSet(t *trace.Trace, k int, pageSize uint64) []WorkingSetPoint {
 			PagesObs: len(counts), PagesEst: est, EstLoads: estLoads,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SuggestROI returns the smallest set of procedures whose estimated
@@ -79,7 +90,13 @@ func WorkingSet(t *trace.Trace, k int, pageSize uint64) []WorkingSetPoint {
 // analysis that defines a region of interest for selective
 // instrumentation or PT hardware guards.
 func SuggestROI(t *trace.Trace, coverPct float64) []string {
-	diags := FunctionDiagnostics(t, 64) // already sorted by hotness
+	return SuggestROIFromDiags(FunctionDiagnostics(t, 64), coverPct)
+}
+
+// SuggestROIFromDiags is SuggestROI over already-computed function
+// diagnostics (hottest first), so callers holding them — the analyzer
+// engine — do not aggregate the trace a second time.
+func SuggestROIFromDiags(diags []*Diag, coverPct float64) []string {
 	var total float64
 	for _, d := range diags {
 		total += d.EstLoads

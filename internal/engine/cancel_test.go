@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (plus a small slack for runtime helpers), failing after a
+// deadline.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d before Run", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunPreCancelled: a context cancelled before Run starts no work
+// and surfaces ctx.Err().
+func TestRunPreCancelled(t *testing.T) {
+	tr := testTrace(8, 64)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := New(tr).Run(ctx)
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(cancelled) = %v, %v; want nil, context.Canceled", rep, err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRunCancelledMidSuite: cancelling while the suite is running makes
+// Run return ctx.Err() promptly and leaves no worker goroutines behind
+// — the engine's cancellation contract.
+func TestRunCancelledMidSuite(t *testing.T) {
+	// Big enough that the full suite takes well over the timeout.
+	tr := testTrace(128, 1024)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	start := time.Now()
+	rep, err := New(tr).Run(ctx)
+	elapsed := time.Since(start)
+	cancel()
+
+	if rep != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, %v; want nil, context.DeadlineExceeded", rep, err)
+	}
+	// "Promptly": the suite over 131K records takes far longer than
+	// this when allowed to finish.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled Run took %v", elapsed)
+	}
+	waitGoroutines(t, base)
+
+	// The same Analyzer recovers on the next Run: failed derived
+	// computations are not cached.
+	rep, err = New(testTrace(4, 32)).Run(context.Background())
+	if err != nil || rep.FunctionDiags == nil {
+		t.Fatalf("fresh Run after cancellation = %v, %v", rep, err)
+	}
+}
+
+// TestCancelledAnalyzerRecovers: after a cancelled Run, re-running the
+// same Analyzer with a live context succeeds (memos do not cache
+// failures).
+func TestCancelledAnalyzerRecovers(t *testing.T) {
+	tr := testTrace(32, 256)
+	a := New(tr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run err = %v", err)
+	}
+	rep, err := a.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FunctionDiags) == 0 {
+		t.Error("no diagnostics after recovery")
+	}
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"slices"
+	"sort"
+	"sync"
+
+	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/interval"
+	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/zoom"
+)
+
+// memo is a lazily-computed, concurrency-safe cell. The first getter
+// computes; concurrent getters wait and reuse the value. A failed
+// compute (cancellation, typically) is not cached, so a later Run can
+// retry.
+type memo[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+func (m *memo[T]) get(compute func() (T, error)) (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.val, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	m.val, m.done = v, true
+	return v, nil
+}
+
+// derived is the shared derived-data layer: every product more than one
+// analysis consumes, computed at most once per Analyzer.
+type derived struct {
+	t    *trace.Trace
+	opts *Options
+	// sweepParts is the union of sweep products any requested analysis
+	// needs, fixed at construction so the single memoized sweep serves
+	// them all.
+	sweepParts analysis.SweepParts
+
+	funcDiags   memo[[]*analysis.Diag]
+	sweep       memo[*analysis.TraceSweep]
+	globalPop   memo[[3]float64]
+	sortedAddrs memo[[]uint64]
+	zoomRoot    memo[*zoom.Node]
+	itree       memo[*interval.Tree]
+}
+
+func newDerived(t *trace.Trace, opts *Options) *derived {
+	d := &derived{t: t, opts: opts}
+	for _, k := range opts.Analyses {
+		switch k {
+		case AnalyzeMRC:
+			d.sweepParts |= analysis.SweepDistances
+		case AnalyzeReuseIntervals:
+			d.sweepParts |= analysis.SweepIntervals
+		case AnalyzeConfidence:
+			d.sweepParts |= analysis.SweepPresence
+		}
+	}
+	return d
+}
+
+// FuncDiags returns the per-function diagnostics, shared by
+// AnalyzeFunctions and AnalyzeROI.
+func (d *derived) FuncDiags(ctx context.Context) ([]*analysis.Diag, error) {
+	return d.funcDiags.get(func() ([]*analysis.Diag, error) {
+		return analysis.FunctionDiagnosticsCtx(ctx, d.t, d.opts.BlockSize)
+	})
+}
+
+// Sweep returns the one stack-distance sweep shared by AnalyzeMRC,
+// AnalyzeReuseIntervals, and AnalyzeConfidence.
+func (d *derived) Sweep(ctx context.Context) (*analysis.TraceSweep, error) {
+	return d.sweep.get(func() (*analysis.TraceSweep, error) {
+		return analysis.NewSweep(ctx, d.t, d.opts.BlockSize, d.sweepParts)
+	})
+}
+
+// GlobalPop returns the per-class global populations feeding the
+// trace-window histogram's inter-window extrapolation.
+func (d *derived) GlobalPop(ctx context.Context) ([3]float64, error) {
+	return d.globalPop.get(func() ([3]float64, error) {
+		return analysis.GlobalPopulationsCtx(ctx, d.t)
+	})
+}
+
+// SortedAddrs returns every record address, sorted — the index behind
+// per-region distinct-block counts.
+func (d *derived) SortedAddrs(ctx context.Context) ([]uint64, error) {
+	return d.sortedAddrs.get(func() ([]uint64, error) {
+		addrs := make([]uint64, 0, d.t.Len())
+		cur := -1
+		for si, r := range d.t.Records() {
+			if si != cur {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				cur = si
+			}
+			addrs = append(addrs, r.Addr)
+		}
+		slices.Sort(addrs)
+		return addrs, nil
+	})
+}
+
+// blocksIn counts distinct blocks of the given size among sorted addrs
+// falling in [lo, hi) — equivalent to analysis.BlocksTouched without
+// re-walking the trace.
+func blocksIn(addrs []uint64, lo, hi, blockSize uint64) int {
+	i := sort.Search(len(addrs), func(k int) bool { return addrs[k] >= lo })
+	n := 0
+	var prev uint64
+	for ; i < len(addrs) && addrs[i] < hi; i++ {
+		b := addrs[i] / blockSize
+		if n == 0 || b != prev {
+			n++
+			prev = b
+		}
+	}
+	return n
+}
+
+// ZoomRoot returns the location zoom tree, shared by AnalyzeZoom and
+// the heatmap's default-region selection.
+func (d *derived) ZoomRoot(ctx context.Context) (*zoom.Node, error) {
+	return d.zoomRoot.get(func() (*zoom.Node, error) {
+		cfg := d.opts.Zoom
+		if cfg.Block == 0 {
+			cfg.Block = d.opts.BlockSize
+		}
+		return zoom.BuildCtx(ctx, d.t, cfg)
+	})
+}
+
+// IntervalTree returns the execution interval tree.
+func (d *derived) IntervalTree(ctx context.Context) (*interval.Tree, error) {
+	return d.itree.get(func() (*interval.Tree, error) {
+		return interval.BuildCtx(ctx, d.t, d.opts.BlockSize)
+	})
+}

@@ -6,6 +6,7 @@
 package heatmap
 
 import (
+	"context"
 	"math"
 
 	"github.com/memgaze/memgaze-go/internal/analysis"
@@ -29,6 +30,12 @@ type Heatmap struct {
 // computed intra-sample over the region-restricted access stream, the
 // same convention as the location diagnostics.
 func Build(t *trace.Trace, lo, hi uint64, rows, cols int, blockSize uint64) *Heatmap {
+	h, _ := BuildCtx(context.Background(), t, lo, hi, rows, cols, blockSize)
+	return h
+}
+
+// BuildCtx is Build with cancellation.
+func BuildCtx(ctx context.Context, t *trace.Trace, lo, hi uint64, rows, cols int, blockSize uint64) (*Heatmap, error) {
 	if rows <= 0 {
 		rows = 32
 	}
@@ -40,11 +47,14 @@ func Build(t *trace.Trace, lo, hi uint64, rows, cols int, blockSize uint64) *Hea
 	h.Dist = mat(rows, cols)
 	h.distSumCnt = imat(rows, cols)
 	if hi <= lo || len(t.Samples) == 0 {
-		return h
+		return h, nil
 	}
 	span := hi - lo
 	dist := analysis.NewStackDist(blockSize)
 	for si, s := range t.Samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := si * cols / len(t.Samples)
 		dist.Reset()
 		for i := range s.Records {
@@ -70,7 +80,7 @@ func Build(t *trace.Trace, lo, hi uint64, rows, cols int, blockSize uint64) *Hea
 			}
 		}
 	}
-	return h
+	return h, nil
 }
 
 func mat(r, c int) [][]float64 {

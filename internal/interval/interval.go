@@ -6,6 +6,8 @@
 package interval
 
 import (
+	"context"
+
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -37,28 +39,56 @@ type Tree struct {
 // Build constructs the tree: one leaf per sample, then parents merging
 // pairs of children until a single root remains.
 func Build(t *trace.Trace, blockSize uint64) *Tree {
+	tr, _ := BuildCtx(context.Background(), t, blockSize)
+	return tr
+}
+
+// BuildCtx is Build with cancellation: it returns ctx.Err() as soon as
+// the context is done.
+//
+// The build is truly bottom-up: each sample's records are accumulated
+// exactly once into its leaf, and every parent merges its children's
+// accumulator states (analysis.MergeDiagAccums) instead of rescanning
+// the sample range — same diagnostics, O(records) record work instead
+// of O(records · log samples).
+func BuildCtx(ctx context.Context, t *trace.Trace, blockSize uint64) (*Tree, error) {
 	tr := &Tree{trace: t, blockSize: blockSize}
 	level := make([]*Node, 0, len(t.Samples))
+	accs := make([]*analysis.DiagAccum, 0, len(t.Samples))
 	for i, s := range t.Samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := &Node{Level: 0, Start: i, End: i + 1}
 		if len(s.Records) > 0 {
 			n.StartTS = s.Records[0].TS
 			n.EndTS = s.Records[len(s.Records)-1].TS
 		}
-		n.Diag = tr.diagFor(i, i+1)
+		ac := analysis.NewDiagAccum("interval", blockSize)
+		ac.StartSample()
+		for j := range s.Records {
+			ac.Add(&s.Records[j])
+		}
+		n.Diag = ac.Finish(tr.rhoFor(i, i+1, ac))
 		level = append(level, n)
+		accs = append(accs, ac)
 	}
 	tr.Leaves = level
 	if len(level) == 0 {
 		tr.Root = &Node{Diag: &analysis.Diag{Kappa: 1}}
-		return tr
+		return tr, nil
 	}
 	lvl := 1
 	for len(level) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make([]*Node, 0, (len(level)+1)/2)
+		nextAccs := make([]*analysis.DiagAccum, 0, (len(level)+1)/2)
 		for i := 0; i < len(level); i += 2 {
 			if i+1 == len(level) {
 				next = append(next, level[i])
+				nextAccs = append(nextAccs, accs[i])
 				continue
 			}
 			a, b := level[i], level[i+1]
@@ -67,18 +97,49 @@ func Build(t *trace.Trace, blockSize uint64) *Tree {
 				StartTS: a.StartTS, EndTS: b.EndTS,
 				Children: []*Node{a, b},
 			}
-			p.Diag = tr.diagFor(p.Start, p.End)
+			ac := analysis.MergeDiagAccums("interval", accs[i], accs[i+1])
+			p.Diag = ac.Finish(tr.rhoFor(p.Start, p.End, ac))
 			next = append(next, p)
+			nextAccs = append(nextAccs, ac)
 		}
 		level = next
+		accs = nextAccs
 		lvl++
 	}
 	tr.Root = level[0]
-	return tr
+	return tr, nil
+}
+
+// rhoFor replicates (*trace.Trace).Rho for the sub-execution
+// [start, end) from accumulated counts, attributing a proportional
+// share of the execution's loads — the same arithmetic diagFor's
+// sub-trace would produce, without walking its records again.
+func (tr *Tree) rhoFor(start, end int, ac *analysis.DiagAccum) float64 {
+	a, implied := ac.Counts()
+	kappa := 1.0
+	if a > 0 {
+		kappa = 1 + float64(implied)/float64(a)
+	}
+	decompressed := kappa * float64(a)
+	if decompressed == 0 {
+		return 1
+	}
+	var total uint64
+	if n := len(tr.trace.Samples); n > 0 {
+		total = tr.trace.TotalLoads * uint64(end-start) / uint64(n)
+	}
+	executed := float64(total)
+	if executed == 0 {
+		executed = float64(end-start) * float64(tr.trace.Period)
+	}
+	if executed < decompressed {
+		return 1
+	}
+	return executed / decompressed
 }
 
 // diagFor computes diagnostics over samples [start, end).
-func (tr *Tree) diagFor(start, end int) *analysis.Diag {
+func (tr *Tree) diagFor(ctx context.Context, start, end int) (*analysis.Diag, error) {
 	sub := &trace.Trace{
 		Module: tr.trace.Module, Mode: tr.trace.Mode,
 		Period: tr.trace.Period, BufBytes: tr.trace.BufBytes,
@@ -90,7 +151,11 @@ func (tr *Tree) diagFor(start, end int) *analysis.Diag {
 		sub.TotalLoads = tr.trace.TotalLoads * uint64(end-start) / uint64(len(tr.trace.Samples))
 	}
 	regions := []analysis.Region{{Name: "interval", Lo: 0, Hi: ^uint64(0)}}
-	return analysis.RegionDiagnostics(sub, regions, tr.blockSize)[0]
+	diags, err := analysis.RegionDiagnosticsCtx(ctx, sub, regions, tr.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return diags[0], nil
 }
 
 // ZoomHot walks from the root to a leaf, at each level descending into
@@ -120,8 +185,14 @@ func (tr *Tree) ZoomHot(score func(*Node) float64) []*Node {
 // access intervals and returns a Diag per interval — the layout of the
 // paper's Table VIII (gemm locality over time).
 func IntervalDiagnostics(t *trace.Trace, k int, blockSize uint64) []*analysis.Diag {
+	out, _ := IntervalDiagnosticsCtx(context.Background(), t, k, blockSize)
+	return out
+}
+
+// IntervalDiagnosticsCtx is IntervalDiagnostics with cancellation.
+func IntervalDiagnosticsCtx(ctx context.Context, t *trace.Trace, k int, blockSize uint64) ([]*analysis.Diag, error) {
 	if k <= 0 || len(t.Samples) == 0 {
-		return nil
+		return nil, nil
 	}
 	if k > len(t.Samples) {
 		k = len(t.Samples)
@@ -134,9 +205,13 @@ func IntervalDiagnostics(t *trace.Trace, k int, blockSize uint64) []*analysis.Di
 		if end == start {
 			continue
 		}
-		out = append(out, tr.diagFor(start, end))
+		d, err := tr.diagFor(ctx, start, end)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
 	}
-	return out
+	return out, nil
 }
 
 // LocalityPoint is one bin of Fig. 9's histogram: mean locality metrics

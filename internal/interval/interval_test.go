@@ -1,6 +1,8 @@
 package interval
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
@@ -63,6 +65,30 @@ func TestTreeStructure(t *testing.T) {
 	if tree.Root.Diag.A != tr.NumRecords() {
 		t.Errorf("root A = %d, want %d", tree.Root.Diag.A, tr.NumRecords())
 	}
+}
+
+// TestMergedBuildMatchesRescan pins the bottom-up merge build to the
+// rescan it replaced: every node's Diag must be byte-identical to
+// recomputing diagnostics over its sample range from scratch. The odd
+// sample count exercises leftover-node promotion between levels.
+func TestMergedBuildMatchesRescan(t *testing.T) {
+	tr := phasedTrace()
+	tr.Samples = tr.Samples[:13]
+	tree := Build(tr, 64)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		want, err := tree.diagFor(context.Background(), n.Start, n.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%+v", *n.Diag); got != fmt.Sprintf("%+v", *want) {
+			t.Errorf("node [%d,%d) diverges from rescan\n got %s\nwant %+v", n.Start, n.End, got, *want)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Root)
 }
 
 func TestZoomHotDescendsToStreamingPhase(t *testing.T) {

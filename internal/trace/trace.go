@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
@@ -122,6 +123,27 @@ func (t *Trace) MeanW() float64 {
 		return 0
 	}
 	return float64(t.NumRecords()) / float64(len(t.Samples))
+}
+
+// Len returns the total number of records in the trace — the length of
+// the sequence Records yields. It is a synonym of NumRecords, named for
+// range-style callers.
+func (t *Trace) Len() int { return t.NumRecords() }
+
+// Records returns an iterator over every record in trace order, keyed by
+// the index of the sample the record belongs to. It is the preferred way
+// for analyses to walk a trace: sample boundaries are visible (the key
+// changes), yet callers never index Samples directly.
+func (t *Trace) Records() iter.Seq2[int, *Record] {
+	return func(yield func(int, *Record) bool) {
+		for si, s := range t.Samples {
+			for i := range s.Records {
+				if !yield(si, &s.Records[i]) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // AllRecords returns every record in trace order. The slice is fresh.

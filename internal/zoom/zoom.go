@@ -8,8 +8,11 @@
 package zoom
 
 import (
-	"fmt"
+	"cmp"
+	"context"
+	"slices"
 	"sort"
+	"strconv"
 
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/trace"
@@ -95,40 +98,51 @@ type access struct {
 // Build runs the zoom over all trace records and returns the root node,
 // whose range spans the accessed address space.
 func Build(t *trace.Trace, cfg Config) *Node {
+	root, _ := BuildCtx(context.Background(), t, cfg)
+	return root
+}
+
+// BuildCtx is Build with cancellation: it returns ctx.Err() as soon as
+// the context is done.
+func BuildCtx(ctx context.Context, t *trace.Trace, cfg Config) (*Node, error) {
 	cfg.fill()
 	var accs []access
 	lo, hi := ^uint64(0), uint64(0)
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			r := &s.Records[i]
-			accs = append(accs, access{r.Addr, r.Proc})
-			if r.Addr < lo {
-				lo = r.Addr
-			}
-			if r.Addr >= hi {
-				hi = r.Addr + 1
-			}
+	for _, r := range t.Records() {
+		accs = append(accs, access{r.Addr, r.Proc})
+		if r.Addr < lo {
+			lo = r.Addr
+		}
+		if r.Addr >= hi {
+			hi = r.Addr + 1
 		}
 	}
 	if len(accs) == 0 {
-		return &Node{}
+		return &Node{}, nil
 	}
-	sort.Slice(accs, func(i, j int) bool { return accs[i].addr < accs[j].addr })
+	slices.SortFunc(accs, func(a, b access) int { return cmp.Compare(a.addr, b.addr) })
 	root := &Node{Lo: lo, Hi: hi, Accesses: len(accs), Pct: 100}
-	recurse(root, accs, cfg, len(accs))
-	fillLeafDiags(root, t, cfg)
-	return root
+	if err := recurse(ctx, root, accs, cfg, len(accs)); err != nil {
+		return nil, err
+	}
+	if err := fillLeafDiags(ctx, root, t, cfg); err != nil {
+		return nil, err
+	}
+	return root, nil
 }
 
 // recurse splits node's accesses (sorted by address) into hot contiguous
 // page runs and descends.
-func recurse(n *Node, accs []access, cfg Config, total int) {
+func recurse(ctx context.Context, n *Node, accs []access, cfg Config, total int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	page := cfg.Page0
 	for l := 0; l < n.Level; l++ {
 		page /= cfg.Shrink
 	}
 	if page < cfg.MinRegion || n.Level >= cfg.MaxLevels || uint64(n.Hi-n.Lo) <= cfg.MinRegion {
-		return
+		return nil
 	}
 	// Bucket accesses by page. accs is sorted, so runs are contiguous
 	// slices.
@@ -178,7 +192,9 @@ func recurse(n *Node, accs []access, cfg Config, total int) {
 		if child.Hi > n.Hi {
 			child.Hi = n.Hi
 		}
-		recurse(child, accs[r.lo:r.hi], cfg, total)
+		if err := recurse(ctx, child, accs[r.lo:r.hi], cfg, total); err != nil {
+			return err
+		}
 		n.Children = append(n.Children, child)
 	}
 	// If zooming found exactly one child covering everything, treat the
@@ -187,38 +203,40 @@ func recurse(n *Node, accs []access, cfg Config, total int) {
 		n.Children[0].Hi-n.Children[0].Lo >= n.Hi-n.Lo {
 		n.Children = n.Children[0].Children
 	}
+	return nil
 }
 
 // fillLeafDiags computes per-leaf diagnostics (reuse distance D with the
 // region-restricted access stream, captures/survivals) and function
 // attribution in one pass per leaf set.
-func fillLeafDiags(root *Node, t *trace.Trace, cfg Config) {
+func fillLeafDiags(ctx context.Context, root *Node, t *trace.Trace, cfg Config) error {
 	leaves := Leaves(root)
 	if len(leaves) == 0 {
-		return
+		return nil
 	}
 	regions := make([]analysis.Region, len(leaves))
 	for i, lf := range leaves {
 		regions[i] = analysis.Region{Name: "", Lo: lf.Lo, Hi: lf.Hi}
 	}
-	diags := analysis.RegionDiagnostics(t, regions, cfg.Block)
+	diags, err := analysis.RegionDiagnosticsCtx(ctx, t, regions, cfg.Block)
+	if err != nil {
+		return err
+	}
 	for i, lf := range leaves {
 		lf.Diag = diags[i]
 		lf.Funcs = make(map[string]int)
 		lf.Lines = make(map[string]int)
 	}
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			r := &s.Records[i]
-			for _, lf := range leaves {
-				if r.Addr >= lf.Lo && r.Addr < lf.Hi {
-					lf.Funcs[r.Proc]++
-					lf.Lines[fmt.Sprintf("%s:%d", r.Proc, r.Line)]++
-					break
-				}
+	for _, r := range t.Records() {
+		for _, lf := range leaves {
+			if r.Addr >= lf.Lo && r.Addr < lf.Hi {
+				lf.Funcs[r.Proc]++
+				lf.Lines[r.Proc+":"+strconv.Itoa(int(r.Line))]++
+				break
 			}
 		}
 	}
+	return nil
 }
 
 // Leaves returns the final regions of the tree in address order.

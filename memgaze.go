@@ -4,23 +4,41 @@
 // via sampled ptwrite-style tracing, plus multi-resolution analyses of
 // data movement, reuse, footprint, and access patterns.
 //
-// The package re-exports the stable surface of the internal packages so
-// downstream users need a single import:
+// # Analyzing a trace
+//
+// The entry point for analysis is NewAnalyzer: it takes a collected
+// trace plus functional options, runs the requested analyses as one
+// suite, and returns a single Report. The suite shares derived data —
+// one stack-distance sweep feeds the miss-ratio curve, its bounds, the
+// reuse-interval histogram, and the confidence pass together; the
+// function diagnostics feed both the hot-function table and the ROI
+// suggestion — and honours context cancellation in every long loop:
 //
 //	import "github.com/memgaze/memgaze-go"
 //
 //	res, err := memgaze.Run(workload, memgaze.DefaultConfig())
-//	diags := memgaze.FunctionDiagnostics(res.Trace, 64)
+//	rep, err := memgaze.NewAnalyzer(res.Trace,
+//		memgaze.WithBlockSize(64),
+//		memgaze.WithAnalyses(memgaze.AnalyzeFunctions, memgaze.AnalyzeMRC),
+//	).Run(ctx)
+//	for _, d := range rep.FunctionDiags { ... }
+//
+// With no WithAnalyses option the analyzer runs the standard suite
+// (DefaultAnalyses). The flat per-analysis functions below remain as
+// deprecated wrappers over the engine; each names its replacement.
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the architecture.
 package memgaze
 
 import (
+	"context"
+
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/cache"
 	"github.com/memgaze/memgaze-go/internal/core"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/engine"
 	"github.com/memgaze/memgaze-go/internal/heatmap"
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/interval"
@@ -109,7 +127,84 @@ const (
 	Irregular = dataflow.Irregular
 )
 
-// Analyses (§IV–§V).
+// The analyzer engine (§IV–§V as one suite).
+type (
+	// Analyzer runs a set of analyses over one trace as a suite with
+	// shared derived data and context cancellation. Create with
+	// NewAnalyzer, execute with Run.
+	Analyzer = engine.Analyzer
+	// Option configures an Analyzer (see the With... constructors).
+	Option = engine.Option
+	// AnalyzerOptions is the resolved configuration of an Analyzer.
+	AnalyzerOptions = engine.Options
+	// Report aggregates every requested analysis output of one Run.
+	Report = engine.Report
+	// Analysis identifies one analysis of the suite (the Analyze...
+	// constants).
+	Analysis = engine.Analysis
+)
+
+// The analyses an Analyzer can run.
+const (
+	AnalyzeFunctions      = engine.AnalyzeFunctions
+	AnalyzeLines          = engine.AnalyzeLines
+	AnalyzeRegions        = engine.AnalyzeRegions
+	AnalyzeWindows        = engine.AnalyzeWindows
+	AnalyzeWorkingSet     = engine.AnalyzeWorkingSet
+	AnalyzeReuseIntervals = engine.AnalyzeReuseIntervals
+	AnalyzeMRC            = engine.AnalyzeMRC
+	AnalyzeConfidence     = engine.AnalyzeConfidence
+	AnalyzeIntervalTree   = engine.AnalyzeIntervalTree
+	AnalyzeZoom           = engine.AnalyzeZoom
+	AnalyzeHeatmap        = engine.AnalyzeHeatmap
+	AnalyzeROI            = engine.AnalyzeROI
+)
+
+// NewAnalyzer creates an analysis engine over t. Options default to the
+// standard suite at cache-line blocks; see DefaultAnalyses and the
+// With... constructors.
+func NewAnalyzer(t *Trace, opts ...Option) *Analyzer { return engine.New(t, opts...) }
+
+// DefaultAnalyses is the suite an Analyzer runs when WithAnalyses is
+// not given.
+func DefaultAnalyses() []Analysis { return engine.DefaultAnalyses() }
+
+// AllAnalyses lists every analysis the engine knows.
+func AllAnalyses() []Analysis { return engine.AllAnalyses() }
+
+// Analyzer options.
+var (
+	// WithBlockSize sets the access-block granularity in bytes.
+	WithBlockSize = engine.WithBlockSize
+	// WithPageSize sets the working-set page size in bytes.
+	WithPageSize = engine.WithPageSize
+	// WithWindows sets the trace-window sizes.
+	WithWindows = engine.WithWindows
+	// WithParallelism bounds the number of analyses running concurrently.
+	WithParallelism = engine.WithParallelism
+	// WithAnalyses selects the analyses to run.
+	WithAnalyses = engine.WithAnalyses
+	// WithRegions sets the regions of AnalyzeRegions.
+	WithRegions = engine.WithRegions
+	// WithCapacities sets the miss-ratio curve capacities in blocks.
+	WithCapacities = engine.WithCapacities
+	// WithTimeIntervals sets the interval-tree breakdown granularity.
+	WithTimeIntervals = engine.WithTimeIntervals
+	// WithWorkingSetIntervals sets the working-set curve granularity.
+	WithWorkingSetIntervals = engine.WithWorkingSetIntervals
+	// WithZoomConfig configures the location zoom.
+	WithZoomConfig = engine.WithZoomConfig
+	// WithHeatmapRegion fixes the heatmap's address range.
+	WithHeatmapRegion = engine.WithHeatmapRegion
+	// WithHeatmapBins sets the heatmap geometry.
+	WithHeatmapBins = engine.WithHeatmapBins
+	// WithROICoverage sets the load share the suggested ROI must cover.
+	WithROICoverage = engine.WithROICoverage
+	// WithConfidenceConfig sets the undersampling thresholds.
+	WithConfidenceConfig = engine.WithConfidenceConfig
+)
+
+// Analysis result types (§IV–§V).
 type (
 	// Diag is a footprint access diagnostic for a code window or region.
 	Diag = analysis.Diag
@@ -117,14 +212,29 @@ type (
 	Region = analysis.Region
 	// WindowMetrics is one point of a trace-window histogram.
 	WindowMetrics = analysis.WindowMetrics
+	// WorkingSetPoint is one time interval of the working-set curve.
+	WorkingSetPoint = analysis.WorkingSetPoint
 	// StackDist computes spatio-temporal reuse distance and interval.
 	StackDist = analysis.StackDist
 	// Confidence reports estimate stability for a code window (§VI-A).
 	Confidence = analysis.Confidence
+	// ConfidenceConfig sets the undersampling flagging thresholds.
+	ConfidenceConfig = analysis.ConfidenceConfig
+	// ReuseProfile is a trace's reuse-distance distribution, reusable
+	// across capacities.
+	ReuseProfile = analysis.ReuseProfile
+	// MRCPoint is one capacity of the miss-ratio curve.
+	MRCPoint = analysis.MRCPoint
+	// MRCBound brackets the miss ratio at one capacity.
+	MRCBound = analysis.MRCBound
+	// IntervalBucket is one bucket of the reuse-interval histogram.
+	IntervalBucket = analysis.IntervalBucket
 	// IntervalTree is the multi-resolution execution-time tree (Fig. 4).
 	IntervalTree = interval.Tree
 	// ZoomNode is a region of the location zoom tree (Fig. 5).
 	ZoomNode = zoom.Node
+	// ZoomConfig controls the recursive location zoom.
+	ZoomConfig = zoom.Config
 	// Heatmap is a location × time distribution (Fig. 8).
 	Heatmap = heatmap.Heatmap
 )
@@ -132,41 +242,11 @@ type (
 // NewStackDist creates a reuse-distance tracker at a block granularity.
 var NewStackDist = analysis.NewStackDist
 
-// FunctionDiagnostics computes per-function footprint access diagnostics.
-var FunctionDiagnostics = analysis.FunctionDiagnostics
-
-// RegionDiagnostics computes diagnostics per memory region.
-var RegionDiagnostics = analysis.RegionDiagnostics
-
-// WindowHistogram computes footprint histograms over dynamic window sizes.
-var WindowHistogram = analysis.WindowHistogram
-
 // PowerOfTwoWindows returns {2^lo..2^hi}.
 var PowerOfTwoWindows = analysis.PowerOfTwoWindows
 
 // MAPE compares two window histograms (Fig. 6's metric).
 var MAPE = analysis.MAPE
-
-// WorkingSet computes the page-granularity working-set curve (§V-B).
-var WorkingSet = analysis.WorkingSet
-
-// SuggestROI returns the hottest procedures covering a load share (§II).
-var SuggestROI = analysis.SuggestROI
-
-// SampleConfidence flags undersampled code windows (§VI-A).
-var SampleConfidence = analysis.SampleConfidence
-
-// MissRatioCurve predicts LRU miss ratios from sampled reuse distances.
-var MissRatioCurve = analysis.MissRatioCurve
-
-// MissRatioBounds brackets the miss ratio at one capacity.
-var MissRatioBounds = analysis.MissRatioBounds
-
-// BuildIntervalTree constructs the execution interval tree.
-var BuildIntervalTree = interval.Build
-
-// BuildZoomTree runs the recursive location zoom.
-var BuildZoomTree = zoom.Build
 
 // ZoomLeaves returns the final regions of a zoom tree.
 var ZoomLeaves = zoom.Leaves
@@ -174,8 +254,171 @@ var ZoomLeaves = zoom.Leaves
 // BuildZoomOverTime runs the zoom per time interval (time × location).
 var BuildZoomOverTime = zoom.BuildOverTime
 
-// BuildHeatmap computes a location × time heatmap over a range.
-var BuildHeatmap = heatmap.Build
+// Deprecated flat analyses. Each wraps the engine with a single-analysis
+// suite; prefer NewAnalyzer, which shares work across analyses and
+// accepts a context.
+
+// FunctionDiagnostics computes per-function footprint access diagnostics.
+//
+// Deprecated: use NewAnalyzer with AnalyzeFunctions; the result is
+// Report.FunctionDiags.
+func FunctionDiagnostics(t *Trace, blockSize uint64) []*Diag {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize),
+		WithAnalyses(AnalyzeFunctions)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.FunctionDiags
+}
+
+// RegionDiagnostics computes diagnostics per memory region.
+//
+// Deprecated: use NewAnalyzer with AnalyzeRegions and WithRegions; the
+// result is Report.RegionDiags.
+func RegionDiagnostics(t *Trace, regions []Region, blockSize uint64) []*Diag {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize), WithRegions(regions),
+		WithAnalyses(AnalyzeRegions)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.RegionDiags
+}
+
+// WindowHistogram computes footprint histograms over dynamic window sizes.
+//
+// Deprecated: use NewAnalyzer with AnalyzeWindows and WithWindows; the
+// result is Report.Windows.
+func WindowHistogram(t *Trace, windows []uint64) []WindowMetrics {
+	rep, err := NewAnalyzer(t, WithWindows(windows),
+		WithAnalyses(AnalyzeWindows)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.Windows
+}
+
+// WorkingSet computes the page-granularity working-set curve (§V-B).
+//
+// Deprecated: use NewAnalyzer with AnalyzeWorkingSet,
+// WithWorkingSetIntervals, and WithPageSize; the result is
+// Report.WorkingSet.
+func WorkingSet(t *Trace, k int, pageSize uint64) []WorkingSetPoint {
+	rep, err := NewAnalyzer(t, WithWorkingSetIntervals(k), WithPageSize(pageSize),
+		WithAnalyses(AnalyzeWorkingSet)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.WorkingSet
+}
+
+// SuggestROI returns the hottest procedures covering a load share (§II).
+//
+// Deprecated: use NewAnalyzer with AnalyzeROI and WithROICoverage; the
+// result is Report.ROI.
+func SuggestROI(t *Trace, coverPct float64) []string {
+	rep, err := NewAnalyzer(t, WithROICoverage(coverPct),
+		WithAnalyses(AnalyzeROI)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.ROI
+}
+
+// SampleConfidence flags undersampled code windows (§VI-A).
+//
+// Deprecated: use NewAnalyzer with AnalyzeConfidence and
+// WithConfidenceConfig; the result is Report.Confidence.
+func SampleConfidence(t *Trace, cfg ConfidenceConfig) []Confidence {
+	rep, err := NewAnalyzer(t, WithConfidenceConfig(cfg),
+		WithAnalyses(AnalyzeConfidence)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.Confidence
+}
+
+// MissRatioCurve predicts LRU miss ratios from sampled reuse distances.
+//
+// Deprecated: use NewAnalyzer with AnalyzeMRC and WithCapacities; the
+// result is Report.MRC (with bounds in Report.MRCBounds for free).
+func MissRatioCurve(t *Trace, blockSize uint64, capacities []int) []MRCPoint {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize), WithCapacities(capacities),
+		WithAnalyses(AnalyzeMRC)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.MRC
+}
+
+// MissRatioBounds brackets the miss ratio at one capacity.
+//
+// Deprecated: use NewAnalyzer with AnalyzeMRC; Report.MRCBounds holds
+// the bracket at every configured capacity from one sweep.
+func MissRatioBounds(t *Trace, blockSize uint64, capacity int) (lo, hi float64) {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize), WithCapacities([]int{capacity}),
+		WithAnalyses(AnalyzeMRC)).Run(context.Background())
+	if err != nil || len(rep.MRCBounds) == 0 {
+		return 0, 0
+	}
+	return rep.MRCBounds[0].Lo, rep.MRCBounds[0].Hi
+}
+
+// ReuseIntervalHistogram computes the log2 reuse-interval histogram
+// with its R1/R3 regime split (§IV-A).
+//
+// Deprecated: use NewAnalyzer with AnalyzeReuseIntervals; the result is
+// Report.ReuseIntervals.
+func ReuseIntervalHistogram(t *Trace) []IntervalBucket {
+	rep, err := NewAnalyzer(t,
+		WithAnalyses(AnalyzeReuseIntervals)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.ReuseIntervals
+}
+
+// BuildIntervalTree constructs the execution interval tree.
+//
+// Deprecated: use NewAnalyzer with AnalyzeIntervalTree; the result is
+// Report.IntervalTree (with the per-interval breakdown in
+// Report.IntervalDiags).
+func BuildIntervalTree(t *Trace, blockSize uint64) *IntervalTree {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize), WithTimeIntervals(0),
+		WithAnalyses(AnalyzeIntervalTree)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.IntervalTree
+}
+
+// BuildZoomTree runs the recursive location zoom.
+//
+// Deprecated: use NewAnalyzer with AnalyzeZoom and WithZoomConfig; the
+// result is Report.ZoomRoot, with leaves and per-leaf block counts in
+// Report.ZoomLeaves and Report.ZoomLeafBlocks.
+func BuildZoomTree(t *Trace, cfg ZoomConfig) *ZoomNode {
+	rep, err := NewAnalyzer(t, WithZoomConfig(cfg),
+		WithAnalyses(AnalyzeZoom)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.ZoomRoot
+}
+
+// BuildHeatmap computes a location × time heatmap over [lo, hi).
+//
+// Deprecated: use NewAnalyzer with AnalyzeHeatmap, WithHeatmapRegion,
+// and WithHeatmapBins; the result is Report.Heatmap. Passing lo == hi
+// == 0 selects the hottest zoom leaf.
+func BuildHeatmap(t *Trace, lo, hi uint64, rows, cols int, blockSize uint64) *Heatmap {
+	rep, err := NewAnalyzer(t, WithBlockSize(blockSize),
+		WithHeatmapRegion(lo, hi), WithHeatmapBins(rows, cols),
+		WithAnalyses(AnalyzeHeatmap)).Run(context.Background())
+	if err != nil {
+		return nil
+	}
+	return rep.Heatmap
+}
 
 // Machine model.
 type (

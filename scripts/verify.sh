@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repo verification gate: build, vet, formatting, full tests, and the
+# analyzer engine under the race detector. Run from the repo root.
+set -eu
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (engine) =="
+go test -race ./internal/engine/...
+
+echo "verify OK"

@@ -1,0 +1,119 @@
+package memgaze_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// wrapperTrace synthesizes a deterministic sampled trace without
+// running a workload, so the equivalence check below is fast and exact.
+func wrapperTrace() *memgaze.Trace {
+	rng := rand.New(rand.NewSource(11))
+	procs := []string{"kernel", "init", "reduce"}
+	tr := &trace.Trace{Module: "wrap", Period: 8_000, TotalLoads: 32 * 8_000}
+	for s := 0; s < 32; s++ {
+		smp := &trace.Sample{Seq: s, TriggerLoads: uint64(s+1) * 8_000}
+		for i := 0; i < 256; i++ {
+			addr := 0x1000_0000 + uint64(rng.Intn(1<<14))*8
+			if rng.Intn(5) == 0 {
+				addr = 0x7000_0000 + uint64(rng.Intn(1<<18))*64
+			}
+			rec := trace.Record{
+				TS:    uint64(s*256 + i),
+				Addr:  addr,
+				Class: dataflow.Class(rng.Intn(3)),
+				Proc:  procs[rng.Intn(len(procs))],
+				Line:  int32(rng.Intn(20)),
+			}
+			if rng.Intn(10) == 0 {
+				rec.Implied = uint32(1 + rng.Intn(2))
+			}
+			smp.Records = append(smp.Records, rec)
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func dump(v any) string {
+	if ds, ok := v.([]*memgaze.Diag); ok {
+		var b strings.Builder
+		for _, d := range ds {
+			fmt.Fprintf(&b, "%+v\n", *d)
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("%+v", v)
+}
+
+// TestDeprecatedWrappersMatchAnalyzer pins every deprecated flat
+// function to the Analyzer: the wrappers route through the engine, so
+// their output must be byte-identical to the corresponding Report
+// field of an explicit NewAnalyzer run.
+func TestDeprecatedWrappersMatchAnalyzer(t *testing.T) {
+	tr := wrapperTrace()
+	caps := []int{64, 512, 4096}
+	regions := []memgaze.Region{
+		{Name: "dense", Lo: 0x1000_0000, Hi: 0x1000_0000 + 1<<17},
+		{Name: "wide", Lo: 0x7000_0000, Hi: 0x7000_0000 + 1<<24},
+	}
+	windows := memgaze.PowerOfTwoWindows(4, 12)
+
+	rep, err := memgaze.NewAnalyzer(tr,
+		memgaze.WithRegions(regions),
+		memgaze.WithCapacities(caps),
+		memgaze.WithWindows(windows),
+		memgaze.WithAnalyses(memgaze.AllAnalyses()...),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got, want any) {
+		t.Helper()
+		if g, w := dump(got), dump(want); g != w {
+			t.Errorf("%s: wrapper diverges from Analyzer\n got: %.240s\nwant: %.240s", name, g, w)
+		}
+	}
+
+	check("FunctionDiagnostics", memgaze.FunctionDiagnostics(tr, 64), rep.FunctionDiags)
+	check("RegionDiagnostics", memgaze.RegionDiagnostics(tr, regions, 64), rep.RegionDiags)
+	check("WindowHistogram", memgaze.WindowHistogram(tr, windows), rep.Windows)
+	check("WorkingSet", memgaze.WorkingSet(tr, 8, 4096), rep.WorkingSet)
+	check("SuggestROI", memgaze.SuggestROI(tr, 90), rep.ROI)
+	check("SampleConfidence", memgaze.SampleConfidence(tr, memgaze.ConfidenceConfig{}), rep.Confidence)
+	check("MissRatioCurve", memgaze.MissRatioCurve(tr, 64, caps), rep.MRC)
+	check("ReuseIntervalHistogram", memgaze.ReuseIntervalHistogram(tr), rep.ReuseIntervals)
+
+	for i, c := range caps {
+		lo, hi := memgaze.MissRatioBounds(tr, 64, c)
+		if b := rep.MRCBounds[i]; lo != b.Lo || hi != b.Hi {
+			t.Errorf("MissRatioBounds(%d) = %v,%v; Report has %v,%v", c, lo, hi, b.Lo, b.Hi)
+		}
+	}
+
+	itree := memgaze.BuildIntervalTree(tr, 64)
+	check("BuildIntervalTree root", *itree.Root.Diag, *rep.IntervalTree.Root.Diag)
+	if len(itree.Leaves) != len(rep.IntervalTree.Leaves) {
+		t.Errorf("interval tree leaves: %d vs %d", len(itree.Leaves), len(rep.IntervalTree.Leaves))
+	}
+
+	zroot := memgaze.BuildZoomTree(tr, memgaze.ZoomConfig{Block: 64})
+	gotLeaves := memgaze.ZoomLeaves(zroot)
+	if len(gotLeaves) != len(rep.ZoomLeaves) {
+		t.Fatalf("zoom leaves: %d vs %d", len(gotLeaves), len(rep.ZoomLeaves))
+	}
+	for i, lf := range gotLeaves {
+		check(fmt.Sprintf("ZoomLeaf %d", i), *lf.Diag, *rep.ZoomLeaves[i].Diag)
+	}
+
+	h := memgaze.BuildHeatmap(tr, rep.Heatmap.Lo, rep.Heatmap.Hi, 20, 56, 64)
+	check("BuildHeatmap", h.Access, rep.Heatmap.Access)
+}

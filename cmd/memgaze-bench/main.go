@@ -126,6 +126,12 @@ func runAblations(s experiments.Sizes) (string, error) {
 	}
 	b.WriteString(par.Text)
 	b.WriteByte('\n')
+	bld, err := experiments.AblationBuild(s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(bld.Text)
+	b.WriteByte('\n')
 	til, err := experiments.AblationGemmTiling(s)
 	if err != nil {
 		return "", err

@@ -243,11 +243,14 @@ func cmdTrace(args []string) error {
 	buf := fs.Int("buf", 8<<10, "trace buffer bytes")
 	out := fs.String("o", "trace.mgt", "output trace file")
 	roi := fs.String("hw-filter", "", "comma-separated procedures for PT hardware guards")
+	stats := fs.Bool("stats", false, "print decode statistics (bytes, resyncs, losses)")
+	workers := fs.Int("build-workers", 0, "samples decoded concurrently when building the trace (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	cfg := core.DefaultConfig()
 	cfg.Period = *period
 	cfg.BufBytes = *buf
+	cfg.BuildWorkers = *workers
 	switch *mode {
 	case "sampled":
 		cfg.Mode = pt.ModeContinuous
@@ -264,6 +267,7 @@ func cmdTrace(args []string) error {
 	}
 
 	var tr *trace.Trace
+	var ds pt.DecodeStats
 	var overhead, ptwRatio float64
 	if *file != "" {
 		path := *file
@@ -279,7 +283,7 @@ func cmdTrace(args []string) error {
 		if err != nil {
 			return err
 		}
-		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+		tr, ds, overhead, ptwRatio = res.Trace, res.Decode, res.Overhead(), res.PTWriteRatio()
 	} else if strings.HasPrefix(*name, "micro:") {
 		spec, ok := microSpec(strings.TrimPrefix(*name, "micro:"), wf.accesses, wf.reps)
 		if !ok {
@@ -289,7 +293,7 @@ func cmdTrace(args []string) error {
 		if err != nil {
 			return err
 		}
-		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+		tr, ds, overhead, ptwRatio = res.Trace, res.Decode, res.Overhead(), res.PTWriteRatio()
 	} else {
 		app, _, err := wf.buildApp(*name)
 		if err != nil {
@@ -299,7 +303,7 @@ func cmdTrace(args []string) error {
 		if err != nil {
 			return err
 		}
-		tr, overhead, ptwRatio = res.Trace, res.Overhead(), res.PTWriteRatio()
+		tr, ds, overhead, ptwRatio = res.Trace, res.Decode, res.Overhead(), res.PTWriteRatio()
 	}
 
 	f, err := os.Create(*out)
@@ -317,6 +321,17 @@ func cmdTrace(args []string) error {
 	if tr.DroppedEvents > 0 {
 		fmt.Printf("dropped events: %d (%.1f%%)\n", tr.DroppedEvents,
 			100*float64(tr.DroppedEvents)/float64(tr.DroppedEvents+tr.RecordedEvents))
+	}
+	if *stats {
+		fmt.Printf(`decode stats:
+  events %d -> records %d (%d orphan, %d partial pairs)
+  bytes: %s packets, %s sync framing, %s lost
+  resyncs %d across %d corrupt samples; ~%d events lost
+`,
+			ds.Events, ds.Records, ds.OrphanEvents, ds.PartialPairs,
+			report.Bytes(uint64(ds.PacketBytes)), report.Bytes(uint64(ds.SyncBytes)),
+			report.Bytes(uint64(ds.SkippedBytes)),
+			ds.Resyncs, ds.CorruptSamples, ds.EstLostEvents)
 	}
 	return nil
 }
@@ -543,6 +558,9 @@ func cmdDump(args []string) error {
 	}
 	fmt.Printf("# module %s mode %s period %d buffer %d B\n", tr.Module, tr.Mode, tr.Period, tr.BufBytes)
 	fmt.Printf("# %d samples, %d records, rho %.1f kappa %.3f\n", len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
+	if tr.LostBytes > 0 {
+		fmt.Printf("# decode lost %s of payload to resync (buffer wrap / corruption)\n", report.Bytes(tr.LostBytes))
+	}
 	for si, s := range tr.Samples {
 		if *samples > 0 && si >= *samples {
 			fmt.Printf("... %d more samples\n", len(tr.Samples)-si)

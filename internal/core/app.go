@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,11 +164,12 @@ func RunApp(app App, cfg Config) (*AppResult, error) {
 	res.CollectTime = time.Since(t0)
 
 	t0 = time.Now()
-	if cfg.Mode == pt.ModeFull {
-		res.Trace, res.Decode = pt.BuildFullTrace(col, app.Mod.Notes())
-	} else {
-		res.Trace, res.Decode = pt.BuildSampledTrace(col, app.Mod.Notes())
+	tr, ds, err := pt.NewBuilder(col, app.Mod.Notes(),
+		pt.WithWorkers(cfg.BuildWorkers)).Build(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("core: build trace %s: %w", app.Name, err)
 	}
+	res.Trace, res.Decode = tr, ds
 	res.BuildTime = time.Since(t0)
 	return res, nil
 }

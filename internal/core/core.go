@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +47,9 @@ type Config struct {
 	// CompressConstants toggles §III-B trace compression (default on via
 	// DefaultConfig).
 	CompressConstants bool
+	// BuildWorkers bounds the samples decoded concurrently during trace
+	// building (0 selects GOMAXPROCS).
+	BuildWorkers int
 	// CopyBytesPerCycle models kernel copy bandwidth (0 = default).
 	CopyBytesPerCycle float64
 	// Costs is the machine cost model (zero value = DefaultCosts).
@@ -190,12 +194,12 @@ func Run(w Workload, cfg Config) (*Result, error) {
 	}
 	res.CollectTime = time.Since(t0)
 
-	// Trace building (Analysis/1).
+	// Trace building (Analysis/1): per-sample decode on a worker pool.
 	t0 = time.Now()
-	if cfg.Mode == pt.ModeFull {
-		res.Trace, res.Decode = pt.BuildFullTrace(col, out.Notes)
-	} else {
-		res.Trace, res.Decode = pt.BuildSampledTrace(col, out.Notes)
+	res.Trace, res.Decode, err = pt.NewBuilder(col, out.Notes,
+		pt.WithWorkers(cfg.BuildWorkers)).Build(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("core: build trace %s: %w", w.Name(), err)
 	}
 	res.BuildTime = time.Since(t0)
 	return res, nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"github.com/memgaze/memgaze-go/internal/cache"
@@ -96,21 +98,18 @@ func RunAppParallel(app ParallelApp, cfg Config, workers int) (*AppResult, error
 	res.Phases = traced[0].Phases()
 	res.CollectTime = time.Since(t0)
 
-	// Merge per-CPU traces.
+	// Merge per-CPU traces: each worker's build itself fans out across
+	// the pool, so the per-CPU loop stays sequential here.
 	t0 = time.Now()
 	parts := make([]*trace.Trace, workers)
 	for w, col := range cols {
-		var ds pt.DecodeStats
-		if cfg.Mode == pt.ModeFull {
-			parts[w], ds = pt.BuildFullTrace(col, app.Mod.Notes())
-		} else {
-			parts[w], ds = pt.BuildSampledTrace(col, app.Mod.Notes())
+		part, ds, err := pt.NewBuilder(col, app.Mod.Notes(),
+			pt.WithWorkers(cfg.BuildWorkers)).Build(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("core: build trace %s cpu %d: %w", app.Name, w, err)
 		}
-		res.Decode.Events += ds.Events
-		res.Decode.Records += ds.Records
-		res.Decode.SkippedBytes += ds.SkippedBytes
-		res.Decode.OrphanEvents += ds.OrphanEvents
-		res.Decode.PartialPairs += ds.PartialPairs
+		parts[w] = part
+		res.Decode.Add(ds)
 	}
 	res.Trace = trace.Merge(parts)
 	res.BuildTime = time.Since(t0)

@@ -88,7 +88,7 @@ func (a *Analyzer) Run(ctx context.Context) (*Report, error) {
 			return a.runAnalysis(ctx, k, rep)
 		})
 	}
-	if err := runPool(ctx, a.opts.Parallelism, tasks); err != nil {
+	if err := RunPool(ctx, a.opts.Parallelism, tasks); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -6,11 +6,14 @@ import (
 	"sync"
 )
 
-// runPool executes tasks on a bounded worker pool. The first task error
+// RunPool executes tasks on a bounded worker pool. The first task error
 // cancels the rest; the pool always waits for every worker to exit
 // before returning, so callers never leak goroutines. Tasks queued
 // after a failure are drained without running.
-func runPool(ctx context.Context, workers int, tasks []func(context.Context) error) error {
+//
+// It is the shared concurrency primitive of the analysis engine and the
+// trace-build pipeline (internal/pt); workers <= 0 selects GOMAXPROCS.
+func RunPool(ctx context.Context, workers int, tasks []func(context.Context) error) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}

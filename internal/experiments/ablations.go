@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/core"
@@ -345,6 +347,71 @@ func AblationParallel(s Sizes) (*ParallelResult, error) {
 		"workers", "wall cycles", "overhead", "samples", "CPUs", "MAPE F vs serial")
 	for _, r := range res.Rows {
 		t.Add(r.Workers, report.Count(float64(r.Cycles)), r.Overhead, r.Samples, r.CPUs, r.MAPEF)
+	}
+	res.Text = t.Render()
+	return res, nil
+}
+
+// BuildRow is one worker-count point of the trace-build ablation.
+type BuildRow struct {
+	Workers   int
+	BuildTime time.Duration // fastest of the repetitions
+	Records   int
+	Resyncs   int
+	Speedup   float64 // sequential time / this time
+}
+
+// BuildResult holds the trace-build scaling table.
+type BuildResult struct {
+	Samples int
+	Rows    []BuildRow
+	Text    string
+}
+
+// AblationBuild rebuilds one collected GAP trace (Analysis/1, Table II)
+// with 1, 2, and 4 decode workers: record counts must be identical at
+// every width — the pool reassembles deterministically — while build
+// time shrinks on multicore hosts. The workload runs once; only the
+// build step is repeated and timed.
+func AblationBuild(s Sizes) (*BuildResult, error) {
+	w := gap.New(gap.Config{Scale: s.GraphScale, Degree: s.GraphDegree, Algo: gap.PR}, true)
+	cfg := s.appConfig()
+	col := pt.NewCollector(pt.Config{Mode: cfg.Mode, Period: cfg.Period, BufBytes: cfg.BufBytes})
+	run := sites.NewRunner(cfg.Costs, col, true)
+	w.Run(run)
+
+	res := &BuildResult{Samples: len(col.Samples())}
+	const reps = 3
+	var seqTime time.Duration
+	for _, workers := range []int{1, 2, 4} {
+		b := pt.NewBuilder(col, w.Mod.Notes(), pt.WithWorkers(workers))
+		var best time.Duration
+		var row BuildRow
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			tr, ds, err := b.Build(context.Background())
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+			row = BuildRow{Workers: workers, Records: tr.NumRecords(), Resyncs: ds.Resyncs}
+		}
+		row.BuildTime = best
+		if workers == 1 {
+			seqTime = best
+		}
+		if best > 0 {
+			row.Speedup = float64(seqTime) / float64(best)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	t := report.NewTable("Ablation — trace-build worker pool (Analysis/1)",
+		"workers", "build time", "records", "resyncs", "speedup")
+	for _, r := range res.Rows {
+		t.Add(r.Workers, r.BuildTime.String(), r.Records, r.Resyncs,
+			fmt.Sprintf("%.2fx", r.Speedup))
 	}
 	res.Text = t.Render()
 	return res, nil

@@ -283,6 +283,35 @@ func TestAblationParallel(t *testing.T) {
 	}
 }
 
+func TestAblationBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := AblationBuild(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Text)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Deterministic reassembly: every worker count builds the same trace.
+	// (Timing is hardware-dependent and not asserted.)
+	for _, r := range res.Rows[1:] {
+		if r.Records != res.Rows[0].Records {
+			t.Errorf("workers=%d: %d records, sequential built %d",
+				r.Workers, r.Records, res.Rows[0].Records)
+		}
+		if r.Resyncs != res.Rows[0].Resyncs {
+			t.Errorf("workers=%d: %d resyncs, sequential saw %d",
+				r.Workers, r.Resyncs, res.Rows[0].Resyncs)
+		}
+	}
+}
+
 func TestAblationGemmTiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

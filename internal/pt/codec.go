@@ -92,21 +92,58 @@ func appendZig(dst []byte, v int64) []byte {
 	return binary.AppendUvarint(dst, uint64((v<<1)^(v>>63)))
 }
 
+// SpanStats accounts every byte of one decoded window. Each input byte
+// lands in exactly one bucket, so PacketBytes + SyncBytes + LostBytes
+// always equals the window length:
+//
+//   - PacketBytes: bytes consumed as decoded FUP/PTW/TSC packets.
+//   - SyncBytes: stream framing — PSB patterns, pad bytes, and a sync
+//     pattern the window was cut inside of. Never payload, never lost.
+//   - LostBytes: payload spans the decoder had to give up — bytes
+//     before the first PSB (buffer wrap), corrupt spans up to the next
+//     PSB, and packets truncated by the window end.
+//
+// Resyncs counts the mid-window corruption events (bit flips, mid-varint
+// cuts, overwrite points) that forced a rescan for the next PSB.
+type SpanStats struct {
+	PacketBytes int
+	SyncBytes   int
+	LostBytes   int
+	Resyncs     int
+}
+
 // Decode scans a raw byte window for the first PSB and decodes events
-// until the window ends or an undecodable byte forces a resync at the
-// next PSB. It returns the decoded events and the number of bytes that
-// had to be skipped (before the first PSB plus any resyncs).
+// until the window ends, resynchronising at the next PSB whenever the
+// stream is undecodable. It returns the decoded events and the number
+// of payload bytes lost (bytes before the first PSB plus corrupt or
+// truncated spans); stream framing — PSB patterns and pad bytes — is
+// never counted. Use DecodeWindow for the full accounting.
 func Decode(raw []byte) (events []Event, skipped int) {
+	events, st := DecodeWindow(raw)
+	return events, st.LostBytes
+}
+
+// DecodeWindow decodes one raw buffer window with full byte accounting.
+// A decoder can only start at a PSB (payload deltas are meaningless
+// without the state reset it carries), and a corrupt byte costs the
+// span up to the next PSB — exactly like real PT.
+func DecodeWindow(raw []byte) (events []Event, st SpanStats) {
+	// A decoded event costs at least 4 stream bytes (FUP hdr+delta, PTW
+	// hdr+delta), so len/4 preallocates within 2x of the final size and
+	// keeps append from re-growing inside the worker pool.
+	events = make([]Event, 0, len(raw)/4)
 	i := 0
 	for i < len(raw) {
-		// Find a PSB.
+		// Find a PSB. Whatever precedes it is either framing (pads, a
+		// partial sync pattern) or a payload span we cannot enter.
 		j := findPSB(raw, i)
 		if j < 0 {
-			skipped += len(raw) - i
-			return events, skipped
+			st.accountGap(raw[i:], true)
+			return events, st
 		}
-		skipped += j - i
+		st.accountGap(raw[i:j], false)
 		i = j + psbLen
+		st.SyncBytes += psbLen
 		var ip, val, ts uint64
 		// Decode packets until the stream breaks or a new PSB resets us
 		// (handled by the outer loop finding it again).
@@ -114,6 +151,7 @@ func Decode(raw []byte) (events []Event, skipped int) {
 		for i < len(raw) {
 			switch raw[i] {
 			case hdrPad:
+				st.SyncBytes++
 				i++
 			case hdrPSB0:
 				// Possible PSB: let the outer loop re-sync (it also
@@ -121,44 +159,103 @@ func Decode(raw []byte) (events []Event, skipped int) {
 				if isPSB(raw, i) {
 					break inner
 				}
-				// A lone 0x02 is not a valid header here.
+				if isPSBPrefix(raw[i:]) {
+					// The window was cut inside the next sync pattern:
+					// framing, not payload.
+					st.SyncBytes += len(raw) - i
+					return events, st
+				}
+				// A lone 0x02 is not a valid header here: corruption.
+				st.LostBytes++
+				st.Resyncs++
 				i++
-				skipped++
-			case hdrFUP:
+				break inner
+			case hdrFUP, hdrPTW, hdrTSC:
+				hdr := raw[i]
 				d, n := uvarint(raw[i+1:])
-				if n <= 0 {
-					skipped += len(raw) - i
-					return events, skipped
+				if n == 0 {
+					// The window ends mid-packet: a truncated tail.
+					st.LostBytes += len(raw) - i
+					return events, st
 				}
-				ip += uint64(unzig(d))
-				i += 1 + n
-			case hdrPTW:
-				d, n := uvarint(raw[i+1:])
-				if n <= 0 {
-					skipped += len(raw) - i
-					return events, skipped
+				if n < 0 {
+					// Varint overflow: corrupt payload.
+					st.LostBytes++
+					st.Resyncs++
+					i++
+					break inner
 				}
-				val += uint64(unzig(d))
+				st.PacketBytes += 1 + n
 				i += 1 + n
-				// PTW closes an event (FUP precedes it; TSC is sparse).
-				events = append(events, Event{IP: ip, Val: val, TS: ts})
-			case hdrTSC:
-				d, n := uvarint(raw[i+1:])
-				if n <= 0 {
-					skipped += len(raw) - i
-					return events, skipped
+				switch hdr {
+				case hdrFUP:
+					ip += uint64(unzig(d))
+				case hdrTSC:
+					ts += d
+				default:
+					val += uint64(unzig(d))
+					// PTW closes an event (FUP precedes it; TSC is sparse).
+					events = append(events, Event{IP: ip, Val: val, TS: ts})
 				}
-				ts += d
-				i += 1 + n
 			default:
 				// Corrupt byte (e.g. mid-packet overwrite point): resync.
-				skipped++
+				st.LostBytes++
+				st.Resyncs++
 				i++
 				break inner
 			}
 		}
 	}
-	return events, skipped
+	return events, st
+}
+
+// accountGap classifies the bytes of an undecodable span: pad bytes are
+// framing, everything else is lost payload. In the window's final span
+// (no further PSB), a trailing prefix of the sync pattern is the cut
+// the snapshot made through the next PSB — framing too.
+func (st *SpanStats) accountGap(seg []byte, final bool) {
+	n := len(seg)
+	if final {
+		if p := psbPrefixLen(seg); p > 0 {
+			st.SyncBytes += p
+			n -= p
+		}
+	}
+	for _, b := range seg[:n] {
+		if b == hdrPad {
+			st.SyncBytes++
+		} else {
+			st.LostBytes++
+		}
+	}
+}
+
+// psbPrefixLen returns the length of the longest proper suffix of seg
+// that is a prefix of the PSB pattern (starting at hdrPSB0).
+func psbPrefixLen(seg []byte) int {
+	for l := min(len(seg), psbLen-1); l > 0; l-- {
+		match := true
+		for k := 0; k < l; k++ {
+			want := byte(hdrPSB0)
+			if k%2 == 1 {
+				want = hdrPSB1
+			}
+			if seg[len(seg)-l+k] != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			return l
+		}
+	}
+	return 0
+}
+
+// isPSBPrefix reports whether seg is entirely a proper prefix of the
+// PSB pattern — i.e. the window ends inside a sync pattern.
+func isPSBPrefix(seg []byte) bool {
+	return len(seg) < psbLen && len(seg) > 0 && psbPrefixLen(seg) == len(seg)
 }
 
 func findPSB(raw []byte, from int) int {

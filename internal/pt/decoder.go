@@ -1,6 +1,8 @@
 package pt
 
 import (
+	"context"
+
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/trace"
@@ -12,66 +14,65 @@ import (
 // decoder folds every constant proxy onto this address.
 const ConstPoolAddr = 0x100
 
-// DecodeStats reports decoding quality for one trace build.
+// DecodeStats reports decoding quality for one trace build. The byte
+// counters partition every raw byte the build saw: PacketBytes were
+// decoded, SyncBytes were stream framing, and SkippedBytes were lost —
+// nothing is dropped on the floor unaccounted.
 type DecodeStats struct {
 	Events       int // raw events decoded from packets
 	Records      int // load-level records reconstructed
-	SkippedBytes int // bytes lost to resync (buffer wrap, drops)
+	SkippedBytes int // payload bytes lost to resync (buffer wrap, corruption, truncation)
 	OrphanEvents int // events with no annotation (should be zero)
 	PartialPairs int // two-operand loads cut at a window boundary
+
+	PacketBytes    int // bytes decoded as FUP/PTW/TSC packets
+	SyncBytes      int // PSB patterns and pad bytes — framing, never payload
+	Resyncs        int // corruption points that forced a rescan to the next PSB
+	CorruptSamples int // samples that needed at least one resync
+	EstLostEvents  int // SkippedBytes scaled by the observed bytes-per-event rate
+}
+
+// Add accumulates o into ds. The additive counters sum; EstLostEvents
+// is recomputed from the merged byte counters so the estimate stays
+// consistent however the per-sample stats were grouped.
+func (ds *DecodeStats) Add(o DecodeStats) {
+	ds.Events += o.Events
+	ds.Records += o.Records
+	ds.SkippedBytes += o.SkippedBytes
+	ds.OrphanEvents += o.OrphanEvents
+	ds.PartialPairs += o.PartialPairs
+	ds.PacketBytes += o.PacketBytes
+	ds.SyncBytes += o.SyncBytes
+	ds.Resyncs += o.Resyncs
+	ds.CorruptSamples += o.CorruptSamples
+	ds.EstLostEvents = 0
+	if ds.PacketBytes > 0 {
+		ds.EstLostEvents = ds.SkippedBytes * ds.Events / ds.PacketBytes
+	}
 }
 
 // BuildSampledTrace converts a sampled collector's raw snapshots into a
 // load-level trace using the module's annotations. This is the paper's
 // "Analysis/1" trace-building step (Table II).
+//
+// Deprecated: use NewBuilder(c, ann).Build(ctx), which decodes samples
+// on a worker pool, honours context cancellation, and supports fault
+// policies, stats sinks, and progress callbacks. This wrapper is
+// byte-identical to the builder's default configuration (pinned by
+// wrappers_test.go).
 func BuildSampledTrace(c *Collector, ann *instrument.Annotations) (*trace.Trace, DecodeStats) {
-	var ds DecodeStats
-	t := &trace.Trace{
-		Module:   ann.Module,
-		Mode:     c.cfg.Mode.String(),
-		Period:   c.cfg.Period,
-		BufBytes: c.cfg.BufBytes,
-	}
-	for _, rs := range c.Samples() {
-		events, skipped := Decode(rs.Raw)
-		ds.Events += len(events)
-		ds.SkippedBytes += skipped
-		recs := eventsToRecords(events, ann, &ds)
-		if len(recs) == 0 {
-			continue
-		}
-		t.Samples = append(t.Samples, &trace.Sample{
-			Seq:          rs.Seq,
-			TriggerLoads: rs.TriggerLoads,
-			Records:      recs,
-		})
-	}
-	t.TotalLoads = c.Loads()
-	t.Bytes = c.BytesRecorded()
-	t.RecordedEvents = c.EventsRecorded()
-	ds.Records = t.NumRecords()
+	// Background context + the default resync policy cannot fail.
+	t, ds, _ := NewBuilder(c, ann).Build(context.Background())
 	return t, ds
 }
 
 // BuildFullTrace converts a full collector's copied events into a trace
 // with a single sample spanning the whole execution.
+//
+// Deprecated: use NewBuilder(c, ann).Build(ctx); the builder detects a
+// full-mode collector and takes this path itself.
 func BuildFullTrace(c *Collector, ann *instrument.Annotations) (*trace.Trace, DecodeStats) {
-	var ds DecodeStats
-	events := c.FullEvents()
-	ds.Events = len(events)
-	recs := eventsToRecords(events, ann, &ds)
-	t := &trace.Trace{
-		Module:         ann.Module,
-		Mode:           ModeFull.String(),
-		TotalLoads:     c.Loads(),
-		Bytes:          c.BytesRecorded(),
-		DroppedEvents:  c.Dropped(),
-		RecordedEvents: c.EventsRecorded(),
-	}
-	if len(recs) > 0 {
-		t.Samples = []*trace.Sample{{Seq: 0, TriggerLoads: c.Loads(), Records: recs}}
-	}
-	ds.Records = len(recs)
+	t, ds, _ := NewBuilder(c, ann).Build(context.Background())
 	return t, ds
 }
 

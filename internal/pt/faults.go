@@ -1,0 +1,87 @@
+package pt
+
+// Fault injection for the trace-build pipeline. Real PT streams are
+// lossy by construction — circular-buffer wraps shear packets, perf
+// emits DROP records under bandwidth pressure, and DMA races can flip
+// bytes — so the decoder's resync layer is exercised by deterministic,
+// class-labelled corruptions rather than only by whatever a live run
+// happens to produce.
+
+// Fault is one class of stream corruption the injector can apply.
+type Fault int
+
+const (
+	// FaultBitFlip flips a random bit in one payload byte.
+	FaultBitFlip Fault = iota
+	// FaultTruncate cuts the window short, as a snapshot racing the
+	// hardware writer does.
+	FaultTruncate
+	// FaultMidVarint cuts the stream one byte into a varint payload,
+	// leaving a dangling packet header.
+	FaultMidVarint
+	// FaultDropPSB splices a mid-stream PSB out entirely, so the spans
+	// on either side run together with stale decoder state.
+	FaultDropPSB
+)
+
+// String returns the fault's test-label name.
+func (f Fault) String() string {
+	switch f {
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultTruncate:
+		return "truncate"
+	case FaultMidVarint:
+		return "mid-varint"
+	case FaultDropPSB:
+		return "drop-psb"
+	default:
+		return "fault(?)"
+	}
+}
+
+// Inject returns a corrupted copy of raw under fault class f. The
+// corruption site is drawn deterministically from seed, and raw is
+// never modified. Windows too small to host the fault are returned as
+// unchanged copies.
+func Inject(raw []byte, f Fault, seed uint64) []byte {
+	out := append([]byte(nil), raw...)
+	if len(out) < psbLen+2 {
+		return out
+	}
+	rng := seed*2654435761 + 0x9e3779b97f4a7c15
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	switch f {
+	case FaultBitFlip:
+		// Flip inside the packet stream, past the leading PSB.
+		pos := psbLen + next(len(out)-psbLen)
+		out[pos] ^= 1 << next(8)
+	case FaultTruncate:
+		// Keep at least the first PSB so the window is enterable.
+		keep := psbLen + 1 + next(len(out)-psbLen-1)
+		out = out[:keep]
+	case FaultMidVarint:
+		// Find a FUP/PTW/TSC header after the first PSB and cut one
+		// byte into its payload.
+		start := psbLen + next(len(out)-psbLen)
+		for pos := start; pos < len(out)-1; pos++ {
+			switch out[pos] {
+			case hdrFUP, hdrPTW, hdrTSC:
+				return out[:pos+2]
+			}
+		}
+		out = out[:len(out)-1]
+	case FaultDropPSB:
+		// Splice out a PSB after the first one; if there is none, the
+		// window is returned unchanged.
+		if j := findPSB(out, psbLen+next(len(out)-psbLen)); j >= 0 {
+			out = append(out[:j], out[j+psbLen:]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package pt
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// cleanStream encodes n single-reg events (ptw 0x200, as handNotes
+// annotates) and returns the bytes plus the reference decode.
+func cleanStream(n int) ([]byte, []Event) {
+	var enc Encoder
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = enc.Encode(buf, Event{
+			IP:  0x200,
+			Val: uint64(0x5000 + i*8),
+			TS:  uint64(i) * 7,
+		})
+	}
+	events, _ := Decode(buf)
+	return buf, events
+}
+
+// TestDecodeCleanStreamSkipsNothing is the SkippedBytes regression: on a
+// clean stream — even one wrapped in pad bytes, the framing the hardware
+// inserts — nothing is lost. Pads and PSBs are SyncBytes, not payload.
+func TestDecodeCleanStreamSkipsNothing(t *testing.T) {
+	raw, events := cleanStream(200)
+	if len(events) != 200 {
+		t.Fatalf("clean decode = %d events", len(events))
+	}
+	if _, skipped := Decode(raw); skipped != 0 {
+		t.Fatalf("clean stream skipped %d bytes, want 0", skipped)
+	}
+
+	// Leading and trailing pads are framing too.
+	padded := append(bytes.Repeat([]byte{hdrPad}, 16), raw...)
+	padded = append(padded, bytes.Repeat([]byte{hdrPad}, 16)...)
+	got, st := DecodeWindow(padded)
+	if st.LostBytes != 0 {
+		t.Errorf("padded clean stream lost %d bytes, want 0", st.LostBytes)
+	}
+	if len(got) != len(events) {
+		t.Errorf("padded decode = %d events, want %d", len(got), len(events))
+	}
+	if st.Resyncs != 0 {
+		t.Errorf("padded clean stream resynced %d times", st.Resyncs)
+	}
+	if st.PacketBytes+st.SyncBytes+st.LostBytes != len(padded) {
+		t.Errorf("accounting hole: %d+%d+%d != %d",
+			st.PacketBytes, st.SyncBytes, st.LostBytes, len(padded))
+	}
+
+	// A window cut inside the next sync pattern is framing, not loss.
+	cut := append(append([]byte(nil), raw...), hdrPSB0, hdrPSB1, hdrPSB0)
+	if _, st := DecodeWindow(cut); st.LostBytes != 0 {
+		t.Errorf("partial trailing PSB cost %d bytes, want 0", st.LostBytes)
+	}
+}
+
+func TestInjectIsDeterministicAndNonDestructive(t *testing.T) {
+	raw, _ := cleanStream(150)
+	for f := FaultBitFlip; f <= FaultDropPSB; f++ {
+		before := append([]byte(nil), raw...)
+		a := Inject(raw, f, 42)
+		b := Inject(raw, f, 42)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: same seed produced different corruption", f)
+		}
+		if !bytes.Equal(raw, before) {
+			t.Fatalf("%v: Inject modified its input", f)
+		}
+		if c := Inject(raw, f, 43); f != FaultDropPSB && bytes.Equal(c, a) && bytes.Equal(c, raw) {
+			t.Errorf("%v: no seed corrupted anything", f)
+		}
+	}
+}
+
+// TestDecodeInjectedFaults drives every corruption class through the
+// decoder: no panic, every byte of the corrupted window accounted, and
+// any event loss visible in LostBytes — never silent.
+func TestDecodeInjectedFaults(t *testing.T) {
+	raw, clean := cleanStream(320) // PSB spans at events 0, 64, 128, 192, 256
+	for f := FaultBitFlip; f <= FaultDropPSB; f++ {
+		t.Run(f.String(), func(t *testing.T) {
+			for seed := uint64(0); seed < 50; seed++ {
+				cor := Inject(raw, f, seed)
+				events, st := DecodeWindow(cor)
+				if st.PacketBytes+st.SyncBytes+st.LostBytes != len(cor) {
+					t.Fatalf("seed %d: accounting hole: %d+%d+%d != %d",
+						seed, st.PacketBytes, st.SyncBytes, st.LostBytes, len(cor))
+				}
+				switch f {
+				case FaultTruncate, FaultMidVarint:
+					// Cuts only remove the tail: survivors are a prefix.
+					if len(events) > len(clean) {
+						t.Fatalf("seed %d: %d events from a cut of %d", seed, len(events), len(clean))
+					}
+					for i, ev := range events {
+						if ev != clean[i] {
+							t.Fatalf("seed %d: event %d = %+v, clean has %+v", seed, i, ev, clean[i])
+						}
+					}
+					if len(events) < len(clean) && len(cor) == len(raw) && st.LostBytes == 0 {
+						t.Fatalf("seed %d: silent event loss", seed)
+					}
+				case FaultBitFlip:
+					// One flipped byte costs at most the span it sits in
+					// plus the one packet value it garbles; the decoder
+					// must resync at the next PSB.
+					if len(events) < len(clean)-psbInterval-1 {
+						t.Fatalf("seed %d: only %d of %d events survived one bit flip",
+							seed, len(events), len(clean))
+					}
+					if len(events) < len(clean) && st.LostBytes == 0 {
+						t.Fatalf("seed %d: silent event loss", seed)
+					}
+				case FaultDropPSB:
+					// Splicing out a sync point leaves syntactically valid
+					// packets: the count survives, but the spans on either
+					// side run together with stale delta state, so decoded
+					// values go wrong — which surfaces later as orphan
+					// events, not as silence.
+					if len(events) < len(clean)-1 {
+						t.Fatalf("seed %d: dropped PSB lost %d events",
+							seed, len(clean)-len(events))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuilderFaultTolerance is the pipeline-level suite: for each fault
+// class, corrupting one sample must leave the parallel build identical
+// to the sequential one, keep untouched samples bit-exact, and account
+// every byte of the corrupted window.
+func TestBuilderFaultTolerance(t *testing.T) {
+	notes := handNotes()
+	col := driveSampled(100, 4<<10, 10_000)
+	samples := col.Samples()
+	if len(samples) < 8 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	cleanTr, cleanDS, err := NewBuilder(col, notes, WithWorkers(1)).Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rawBytes := 0
+	for _, s := range samples {
+		rawBytes += len(s.Raw)
+	}
+	if cleanDS.PacketBytes+cleanDS.SyncBytes+cleanDS.SkippedBytes != rawBytes {
+		t.Fatalf("clean accounting hole: %d+%d+%d != %d",
+			cleanDS.PacketBytes, cleanDS.SyncBytes, cleanDS.SkippedBytes, rawBytes)
+	}
+
+	k := len(samples) / 2
+	orig := samples[k].Raw
+	defer func() { col.Samples()[k].Raw = orig }()
+
+	for f := FaultBitFlip; f <= FaultDropPSB; f++ {
+		t.Run(f.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 10; seed++ {
+				col.Samples()[k].Raw = Inject(orig, f, seed)
+
+				seq, seqDS, err := NewBuilder(col, notes, WithWorkers(1)).Build(context.Background())
+				if err != nil {
+					t.Fatalf("seed %d: sequential build: %v", seed, err)
+				}
+				par, parDS, err := NewBuilder(col, notes, WithWorkers(8)).Build(context.Background())
+				if err != nil {
+					t.Fatalf("seed %d: parallel build: %v", seed, err)
+				}
+				if got, want := dumpTrace(par), dumpTrace(seq); got != want {
+					t.Fatalf("seed %d: parallel and sequential builds diverge", seed)
+				}
+				if parDS != seqDS {
+					t.Fatalf("seed %d: stats diverge: %+v vs %+v", seed, parDS, seqDS)
+				}
+
+				// Untouched samples decode bit-exactly as in the clean build.
+				checkUntouched(t, seq, cleanTr, samples[k].Seq)
+
+				// Full accounting over the corrupted window set.
+				corBytes := rawBytes - len(orig) + len(col.Samples()[k].Raw)
+				if seqDS.PacketBytes+seqDS.SyncBytes+seqDS.SkippedBytes != corBytes {
+					t.Fatalf("seed %d: accounting hole: %d+%d+%d != %d", seed,
+						seqDS.PacketBytes, seqDS.SyncBytes, seqDS.SkippedBytes, corBytes)
+				}
+				// Event loss is never silent: fewer events than the clean
+				// build means lost bytes, orphans, or partial pairs show it.
+				if seqDS.Events < cleanDS.Events &&
+					seqDS.SkippedBytes == 0 && seqDS.Resyncs == 0 {
+					t.Fatalf("seed %d: silent loss: %+v vs clean %+v", seed, seqDS, cleanDS)
+				}
+				if seqDS.Resyncs > 0 && seqDS.CorruptSamples != 1 {
+					t.Fatalf("seed %d: corrupt samples = %d, want 1", seed, seqDS.CorruptSamples)
+				}
+			}
+		})
+	}
+}
+
+// checkUntouched asserts every sample other than corruptSeq decodes
+// identically to the clean build.
+func checkUntouched(t *testing.T, got, clean *trace.Trace, corruptSeq int) {
+	t.Helper()
+	cleanBySeq := map[int]string{}
+	for _, s := range clean.Samples {
+		cleanBySeq[s.Seq] = dumpSample(s)
+	}
+	for _, s := range got.Samples {
+		if s.Seq == corruptSeq {
+			continue
+		}
+		if dumpSample(s) != cleanBySeq[s.Seq] {
+			t.Fatalf("untouched sample %d changed", s.Seq)
+		}
+	}
+}
+
+func dumpSample(s *trace.Sample) string {
+	var b bytes.Buffer
+	for _, r := range s.Records {
+		fmt.Fprintf(&b, "%+v\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package pt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder and checks its two
+// hard guarantees:
+//
+//  1. No input panics, and every byte lands in exactly one accounting
+//     bucket (PacketBytes + SyncBytes + LostBytes == len(input)).
+//  2. Resync: whatever garbage precedes a clean stream, decoding
+//     recovers at one of the stream's interior PSBs — the events of the
+//     final sync span always decode exactly.
+//
+// Run with `go test -fuzz=FuzzDecode ./internal/pt/` to explore; the
+// seed corpus alone exercises both properties under plain `go test`.
+func FuzzDecode(f *testing.F) {
+	clean, cleanEvents := cleanStream(160) // PSBs at events 0, 64, 128
+	if len(cleanEvents) != 160 {
+		f.Fatalf("clean decode = %d events", len(cleanEvents))
+	}
+	tail := cleanEvents[128:] // the final sync span: must always survive
+
+	f.Add([]byte{})
+	f.Add([]byte{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef})
+	f.Add(append([]byte(nil), clean[:40]...))
+	f.Add(bytes.Repeat([]byte{hdrPSB0, hdrPSB1}, 6))
+	f.Add([]byte{hdrFUP, 0x80, 0x80}) // dangling varint
+	f.Add(Inject(clean, FaultBitFlip, 3))
+	f.Add(Inject(clean, FaultDropPSB, 5))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: total byte accounting, no panics.
+		events, st := DecodeWindow(data)
+		if st.PacketBytes+st.SyncBytes+st.LostBytes != len(data) {
+			t.Fatalf("accounting hole: %d+%d+%d != %d",
+				st.PacketBytes, st.SyncBytes, st.LostBytes, len(data))
+		}
+		if st.PacketBytes < 0 || st.SyncBytes < 0 || st.LostBytes < 0 || st.Resyncs < 0 {
+			t.Fatalf("negative stats %+v", st)
+		}
+		// Each event needs at least a 2-byte FUP and a 2-byte PTW.
+		if len(events)*4 > st.PacketBytes {
+			t.Fatalf("%d events from %d packet bytes", len(events), st.PacketBytes)
+		}
+
+		// Property 2: garbage prefix + clean stream resyncs. The prefix
+		// can swallow at most the spans whose PSB it merges into; the
+		// final span starts at a PSB the decoder always reaches cleanly.
+		mut := append(append([]byte(nil), data...), clean...)
+		got, mst := DecodeWindow(mut)
+		if mst.PacketBytes+mst.SyncBytes+mst.LostBytes != len(mut) {
+			t.Fatalf("prefixed accounting hole: %+v vs %d bytes", mst, len(mut))
+		}
+		if len(got) < len(tail) {
+			t.Fatalf("only %d events survived a garbage prefix, want >= %d", len(got), len(tail))
+		}
+		for i, want := range tail {
+			if ev := got[len(got)-len(tail)+i]; ev != want {
+				t.Fatalf("resync failed: tail event %d = %+v, want %+v", i, ev, want)
+			}
+		}
+	})
+}

@@ -65,6 +65,11 @@ type Trace struct {
 	DroppedEvents uint64
 	// RecordedEvents counts events that survived collection.
 	RecordedEvents uint64
+	// LostBytes is the payload lost during trace building: bytes the
+	// decoder had to skip over (buffer wrap, corruption, truncation),
+	// summed from the build's DecodeStats so a saved trace carries its
+	// own decode-quality record.
+	LostBytes uint64
 }
 
 // NumRecords returns A(σ): total observed accesses across all samples.
@@ -180,8 +185,9 @@ func (t *Trace) FilterProc(procs ...string) *Trace {
 }
 
 // fileVersion is the on-disk format version written after the "MGTR"
-// magic bytes.
-const fileVersion = 1
+// magic bytes. Version 2 added LostBytes to the header; version-1 files
+// still read (the field defaults to zero).
+const fileVersion = 2
 
 // Write serialises the trace in a compact binary format: a header, then
 // per sample a record count and delta-encoded records. Proc names are
@@ -219,6 +225,7 @@ func (t *Trace) Write(w io.Writer) error {
 	writeU(t.Bytes)
 	writeU(t.DroppedEvents)
 	writeU(t.RecordedEvents)
+	writeU(t.LostBytes)
 	writeU(uint64(len(strs)))
 	for _, s := range strs {
 		writeStr(s)
@@ -272,7 +279,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != fileVersion {
+	if ver < 1 || ver > fileVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	t := &Trace{}
@@ -283,6 +290,9 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	gets := []*uint64{&t.Period, nil, &t.TotalLoads, &t.Bytes, &t.DroppedEvents, &t.RecordedEvents}
+	if ver >= 2 {
+		gets = append(gets, &t.LostBytes)
+	}
 	for i, p := range gets {
 		v, err := readU()
 		if err != nil {
@@ -403,6 +413,7 @@ func Merge(parts []*Trace) *Trace {
 		out.Bytes += p.Bytes
 		out.DroppedEvents += p.DroppedEvents
 		out.RecordedEvents += p.RecordedEvents
+		out.LostBytes += p.LostBytes
 		for _, s := range p.Samples {
 			all = append(all, tagged{s, cpu})
 		}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -38,6 +39,7 @@ func synthetic(seed int64, samples, recsPer int) *Trace {
 	}
 	t.Bytes = uint64(t.NumRecords()) * 10
 	t.RecordedEvents = uint64(t.NumRecords())
+	t.LostBytes = uint64(rng.Intn(1 << 12))
 	return t
 }
 
@@ -56,6 +58,37 @@ func TestWriteReadRoundtrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestReadVersion1Compat pins backward compatibility: a version-1
+// header (no LostBytes field) still reads, with LostBytes zero.
+func TestReadVersion1Compat(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("MGTR")
+	writeU := func(v uint64) {
+		var b [10]byte
+		n := binary.PutUvarint(b[:], v)
+		buf.Write(b[:n])
+	}
+	writeStr := func(s string) { writeU(uint64(len(s))); buf.WriteString(s) }
+	writeU(1) // version 1
+	writeStr("old")
+	writeStr("sampled")
+	writeU(5000)    // period
+	writeU(8 << 10) // buf bytes
+	writeU(100_000) // total loads
+	writeU(4096)    // bytes
+	writeU(0)       // dropped
+	writeU(42)      // recorded
+	writeU(0)       // string table size
+	writeU(0)       // samples
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Module != "old" || tr.RecordedEvents != 42 || tr.LostBytes != 0 {
+		t.Errorf("v1 trace = %+v", tr)
 	}
 }
 

@@ -95,6 +95,72 @@ const (
 	ModeFull = pt.ModeFull
 )
 
+// Trace collection and building (Analysis/1 of Table II). A collector
+// records a run's ptwrite stream; a TraceBuilder decodes it — samples
+// fanned out across a worker pool, corruption resynced at the next PSB
+// and accounted — so callers go straight from collector to Report:
+//
+//	col := memgaze.NewCollector(memgaze.CollectorConfig{Period: 10_000, BufBytes: 8 << 10})
+//	... run the workload against col ...
+//	tr, ds, err := memgaze.NewTraceBuilder(col, notes,
+//		memgaze.WithBuildWorkers(4)).Build(ctx)
+//	rep, err := memgaze.NewAnalyzer(tr).Run(ctx)
+type (
+	// Collector records the ptwrite packet stream of one run.
+	Collector = pt.Collector
+	// CollectorConfig parameterises a Collector.
+	CollectorConfig = pt.Config
+	// TraceBuilder converts a collector's raw output into a Trace on a
+	// bounded worker pool. Create with NewTraceBuilder.
+	TraceBuilder = pt.Builder
+	// BuildOption configures a TraceBuilder (see the WithBuild...
+	// constructors and WithFaultPolicy).
+	BuildOption = pt.BuildOption
+	// DecodeStats accounts every byte and event of one trace build,
+	// including corruption losses. Result.Decode and AppResult.Decode
+	// carry the stats of pipeline runs.
+	DecodeStats = pt.DecodeStats
+	// FaultPolicy selects how corrupted packet spans are handled.
+	FaultPolicy = pt.FaultPolicy
+	// CorruptionError is Build's error under FaultFail.
+	CorruptionError = pt.CorruptionError
+)
+
+// Fault policies for WithFaultPolicy.
+const (
+	// FaultResync skips to the next PSB and accounts the loss (default).
+	FaultResync = pt.FaultResync
+	// FaultFail aborts the build on the first corrupted span.
+	FaultFail = pt.FaultFail
+)
+
+// NewCollector creates a trace collector.
+var NewCollector = pt.NewCollector
+
+// NewTraceBuilder creates a trace builder over a collector and the
+// module's annotations; execute it with Build(ctx).
+func NewTraceBuilder(col *Collector, ann *Annotations, opts ...BuildOption) *TraceBuilder {
+	return pt.NewBuilder(col, ann, opts...)
+}
+
+// BuildTrace is the one-call form: decode everything col recorded into
+// a load-level trace. Equivalent to NewTraceBuilder(...).Build(ctx).
+func BuildTrace(ctx context.Context, col *Collector, ann *Annotations, opts ...BuildOption) (*Trace, DecodeStats, error) {
+	return pt.NewBuilder(col, ann, opts...).Build(ctx)
+}
+
+// TraceBuilder options.
+var (
+	// WithBuildWorkers bounds the samples decoded concurrently.
+	WithBuildWorkers = pt.WithWorkers
+	// WithFaultPolicy selects FaultResync (default) or FaultFail.
+	WithFaultPolicy = pt.WithFaultPolicy
+	// WithDecodeStatsSink registers a callback for the final DecodeStats.
+	WithDecodeStatsSink = pt.WithStatsSink
+	// WithBuildProgress registers a per-sample progress callback.
+	WithBuildProgress = pt.WithProgress
+)
+
 // Trace data model (§III-C).
 type (
 	// Trace is a collected memory trace.

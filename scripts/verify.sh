@@ -23,4 +23,10 @@ go test ./...
 echo "== go test -race (engine) =="
 go test -race ./internal/engine/...
 
+echo "== go test -race (pt) =="
+go test -race ./internal/pt/...
+
+echo "== fuzz smoke (FuzzDecode) =="
+go test -run '^FuzzDecode$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/pt/
+
 echo "verify OK"

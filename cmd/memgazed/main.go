@@ -1,0 +1,92 @@
+// Command memgazed is the MemGaze-Go trace-analysis service: a
+// long-running HTTP daemon that accepts trace uploads (serialised
+// traces or raw PT captures), keeps them in a byte-budgeted in-memory
+// store, and serves analyzer-engine requests with request coalescing, a
+// result cache, and Prometheus metrics.
+//
+//	memgazed -addr :8080 -store-budget 268435456 -workers 8 -timeout 30s
+//
+//	curl -X POST --data-binary @pr.mgt -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces
+//	curl -X POST -d '{"analyses":["functions","mrc"]}' localhost:8080/v1/traces/<id>/analyze
+//	curl localhost:8080/metrics
+//
+// SIGTERM (or SIGINT) drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	memgaze "github.com/memgaze/memgaze-go"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "memgazed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the listener fails or ctx is
+// cancelled (SIGTERM/SIGINT); on cancellation it drains in-flight
+// requests before returning. Split from main so tests can drive the
+// full lifecycle.
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("memgazed", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	storeBudget := fs.Int64("store-budget", 256<<20, "trace store byte budget (LRU eviction over it; < 0 unbounded)")
+	resultCache := fs.Int64("result-cache", 64<<20, "result cache byte budget (< 0 disables)")
+	workers := fs.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis timeout (expiry answers 504)")
+	maxUpload := fs.Int64("max-upload", 256<<20, "maximum upload body bytes")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := memgaze.NewServer(memgaze.ServerConfig{
+		StoreBudgetBytes: *storeBudget,
+		ResultCacheBytes: *resultCache,
+		Workers:          *workers,
+		RequestTimeout:   *timeout,
+		MaxUploadBytes:   *maxUpload,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "memgazed: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(logw, "memgazed: draining (grace %v)\n", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-errc // http.ErrServerClosed
+		fmt.Fprintf(logw, "memgazed: drained, exiting\n")
+		return nil
+	}
+}

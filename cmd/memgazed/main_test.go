@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// logCapture is a concurrency-safe log sink that resolves the server's
+// ephemeral address from the "listening on" line.
+type logCapture struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addrc chan string
+	sent  bool
+}
+
+func newLogCapture() *logCapture { return &logCapture{addrc: make(chan string, 1)} }
+
+func (w *logCapture) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		s := w.buf.String()
+		if i := strings.Index(s, "listening on "); i >= 0 {
+			rest := s[i+len("listening on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				w.addrc <- rest[:j]
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *logCapture) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func mainTestTrace() *trace.Trace {
+	tr := &trace.Trace{Module: "cli", Mode: "sampled", Period: 100, TotalLoads: 1000}
+	smp := &trace.Sample{TriggerLoads: 100}
+	for i := 0; i < 64; i++ {
+		smp.Records = append(smp.Records, trace.Record{
+			IP: 0x400000 + uint64(i%8)*6, Addr: 0x10000 + uint64(i)*8,
+			TS: uint64(i), Proc: "main", Line: int32(i % 4),
+		})
+	}
+	tr.Samples = append(tr.Samples, smp)
+	return tr
+}
+
+// TestRunLifecycle drives the binary's run() end to end: ephemeral
+// listen, healthz, upload + analyze over real HTTP, then context
+// cancellation (the SIGTERM path) draining to a clean nil return.
+func TestRunLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logs := newLogCapture()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, logs)
+	}()
+
+	var base string
+	select {
+	case addr := <-logs.addrc:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited early: %v\n%s", err, logs.String())
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no listening line\n%s", logs.String())
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	enc, err := mainTestTrace().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/traces", memgaze.ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info memgaze.TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 || info.ID == "" {
+		t.Fatalf("upload: status %d info %+v", resp.StatusCode, info)
+	}
+
+	resp, err = http.Post(base+"/v1/traces/"+info.ID+"/analyze", "application/json",
+		strings.NewReader(`{"analyses":["functions"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte(`"FunctionDiags"`)) {
+		t.Fatalf("analyze: status %d body %.200s", resp.StatusCode, body)
+	}
+
+	cancel() // stands in for SIGTERM via signal.NotifyContext
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after cancel\n%s", logs.String())
+	}
+	if out := logs.String(); !strings.Contains(out, "drained, exiting") {
+		t.Errorf("missing drain log line:\n%s", out)
+	}
+}
+
+// TestRunBadFlags: flag errors surface as errors, not panics or hangs.
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "999.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("bad address accepted")
+	}
+}

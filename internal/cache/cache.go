@@ -32,7 +32,17 @@ func DefaultConfig() Config {
 	return Config{SizeBytes: 256 << 10, Assoc: 8, LineBytes: 64, HitCost: 4, MissCost: 40, Prefetch: true, PrefetchDepth: 4}
 }
 
-// Cache is the timing model. Not safe for concurrent use.
+// Cache is the timing model.
+//
+// Not safe for concurrent use: every Access mutates LRU order, the
+// streamer's lastMiss, and the hit/miss counters without locking, so a
+// Cache must be confined to one goroutine. Code that fans work out —
+// the memgazed server's analysis handlers, engine.RunPool callers, the
+// workload drivers — must construct one Cache per goroutine rather
+// than share an instance; sharing is a data race (caught by the -race
+// tests) and, worse, silently corrupts the timing it exists to model.
+// Cache construction is cheap (one allocation per set), so per-
+// goroutine instances are the intended pattern, not a workaround.
 type Cache struct {
 	cfg      Config
 	sets     [][]uint64 // per set: line tags in LRU order (front = MRU)

@@ -1,6 +1,9 @@
 package cache
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestHitAfterMiss(t *testing.T) {
 	c := New(Config{Prefetch: false})
@@ -87,5 +90,47 @@ func BenchmarkCacheAccess(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(uint64(i*64) & (1<<22 - 1))
+	}
+}
+
+// TestPerGoroutineConfinement pins the documented concurrency contract:
+// a Cache is confined to one goroutine, and concurrent workloads get
+// one Cache each. Run under -race (scripts/verify.sh does) this proves
+// the per-goroutine pattern is race-free and that confinement keeps the
+// model deterministic — every goroutine charging the same access
+// stream must see identical costs and stats.
+func TestPerGoroutineConfinement(t *testing.T) {
+	const workers = 8
+	type result struct {
+		cost                   uint64
+		hits, misses, prefetch uint64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := New(Config{}) // one Cache per goroutine — the contract
+			var r result
+			for i := 0; i < 20_000; i++ {
+				addr := uint64(i) * 8
+				if i%7 == 0 {
+					addr = uint64(i%97) * 4096 // conflicty sprinkle
+				}
+				r.cost += c.Access(addr)
+			}
+			r.hits, r.misses, r.prefetch = c.Stats()
+			results[g] = r
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < workers; g++ {
+		if results[g] != results[0] {
+			t.Errorf("goroutine %d diverged: %+v vs %+v", g, results[g], results[0])
+		}
+	}
+	if results[0].cost == 0 || results[0].misses == 0 {
+		t.Errorf("degenerate run: %+v", results[0])
 	}
 }

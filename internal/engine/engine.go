@@ -31,6 +31,7 @@ package engine
 
 import (
 	"context"
+	"time"
 
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -85,7 +86,16 @@ func (a *Analyzer) Run(ctx context.Context) (*Report, error) {
 		seen[k] = true
 		k := k
 		tasks = append(tasks, func(ctx context.Context) error {
-			return a.runAnalysis(ctx, k, rep)
+			obs := a.opts.Observer
+			if obs == nil {
+				return a.runAnalysis(ctx, k, rep)
+			}
+			start := time.Now()
+			err := a.runAnalysis(ctx, k, rep)
+			if err == nil {
+				obs(k, time.Since(start))
+			}
+			return err
 		})
 	}
 	if err := RunPool(ctx, a.opts.Parallelism, tasks); err != nil {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserver pins the per-analysis duration hook: called exactly
+// once per requested analysis on success, with a non-negative
+// duration, and safe under the engine's internal parallelism.
+func TestObserver(t *testing.T) {
+	tr := testTrace(16, 128)
+	want := []Analysis{AnalyzeFunctions, AnalyzeWorkingSet, AnalyzeMRC}
+
+	var mu sync.Mutex
+	got := map[Analysis]int{}
+	rep, err := New(tr,
+		WithAnalyses(want...),
+		WithObserver(func(a Analysis, d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative duration for %v", a)
+			}
+			mu.Lock()
+			got[a]++
+			mu.Unlock()
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d analyses, want %d: %v", len(got), len(want), got)
+	}
+	for _, a := range want {
+		if got[a] != 1 {
+			t.Errorf("observer called %d times for %v, want 1", got[a], a)
+		}
+	}
+}
+
+// TestObserverSkippedOnCancel: a cancelled run must not report
+// successes for analyses that never completed.
+func TestObserverSkippedOnCancel(t *testing.T) {
+	tr := testTrace(16, 128)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var mu sync.Mutex
+	calls := 0
+	_, err := New(tr, WithObserver(func(Analysis, time.Duration) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})).Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 0 {
+		t.Errorf("observer called %d times on cancelled run", calls)
+	}
+}
+
+// TestParseAnalysis pins the flag-name round trip used by the server
+// API.
+func TestParseAnalysis(t *testing.T) {
+	for _, a := range AllAnalyses() {
+		got, ok := ParseAnalysis(a.String())
+		if !ok || got != a {
+			t.Errorf("ParseAnalysis(%q) = %v, %v", a.String(), got, ok)
+		}
+	}
+	if _, ok := ParseAnalysis("no-such-analysis"); ok {
+		t.Error("unknown name accepted")
+	}
+}

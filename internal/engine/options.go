@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/zoom"
 )
@@ -67,6 +69,17 @@ func (a Analysis) String() string {
 	return "unknown"
 }
 
+// ParseAnalysis resolves a flag-style analysis name ("mrc", "zoom", …)
+// to its Analysis. The second result is false for unknown names.
+func ParseAnalysis(name string) (Analysis, bool) {
+	for i, n := range analysisNames {
+		if n == name {
+			return Analysis(i), true
+		}
+	}
+	return 0, false
+}
+
 // DefaultAnalyses is the standard suite: everything that needs no extra
 // configuration (regions, heatmap geometry, line attribution are
 // opt-in).
@@ -127,6 +140,11 @@ type Options struct {
 	Parallelism int
 	// Analyses selects the suite (default DefaultAnalyses).
 	Analyses []Analysis
+	// Observer, when non-nil, is called after each analysis completes
+	// successfully with its wall-clock duration. Analyses run on a
+	// worker pool, so calls may be concurrent; the observer must be
+	// safe for concurrent use.
+	Observer func(a Analysis, d time.Duration)
 }
 
 func defaultOptions() Options {
@@ -216,4 +234,12 @@ func WithROICoverage(pct float64) Option {
 // WithConfidenceConfig sets the undersampling thresholds.
 func WithConfidenceConfig(cfg analysis.ConfidenceConfig) Option {
 	return func(o *Options) { o.Confidence = cfg }
+}
+
+// WithObserver registers a per-analysis duration callback, called after
+// each analysis of the suite completes successfully. It must be safe
+// for concurrent use (analyses run on a worker pool). Observability
+// layers use it to attribute suite wall-clock to individual analyses.
+func WithObserver(fn func(a Analysis, d time.Duration)) Option {
+	return func(o *Options) { o.Observer = fn }
 }

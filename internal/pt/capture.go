@@ -1,0 +1,189 @@
+package pt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/memgaze/memgaze-go/internal/instrument"
+)
+
+// Capture is the portable form of a sampled collector's raw output: the
+// configuration the trace builder needs, the hardware counters, the
+// module annotations, and every raw buffer snapshot. It is what a
+// collection host ships to a remote analysis service (memgazed's
+// application/x-memgaze-pt upload) so the Builder pipeline — worker
+// pool, fault policies, byte accounting — runs server-side exactly as
+// it would locally.
+//
+// Full-mode collectors hold already-decoded events with no raw byte
+// stream to ship; serialise their built Trace instead.
+type Capture struct {
+	Mode          Mode                    `json:"mode"`
+	Period        uint64                  `json:"period"`
+	BufBytes      int                     `json:"bufBytes"`
+	WindowLoads   uint64                  `json:"windowLoads"`
+	TotalLoads    uint64                  `json:"totalLoads"`
+	BytesRecorded uint64                  `json:"bytesRecorded"`
+	EventsRec     uint64                  `json:"eventsRecorded"`
+	Ann           *instrument.Annotations `json:"annotations"`
+	Samples       []RawSample             `json:"-"` // serialised as binary sections
+}
+
+// ErrFullModeCapture is returned when capturing a full-mode collector.
+var ErrFullModeCapture = errors.New("pt: full-mode collectors hold decoded events, not a raw stream; serialise the built trace instead")
+
+// Capture snapshots the collector's raw output into a portable Capture
+// bound to the module's annotations. The capture aliases the
+// collector's sample buffers; it is a read-only view, like a Builder.
+func (c *Collector) Capture(ann *instrument.Annotations) (*Capture, error) {
+	if c.cfg.Mode == ModeFull {
+		return nil, ErrFullModeCapture
+	}
+	if ann == nil {
+		return nil, errors.New("pt: capture needs annotations")
+	}
+	return &Capture{
+		Mode:          c.cfg.Mode,
+		Period:        c.cfg.Period,
+		BufBytes:      c.cfg.BufBytes,
+		WindowLoads:   c.cfg.WindowLoads,
+		TotalLoads:    c.loadCount,
+		BytesRecorded: c.bytesRecorded,
+		EventsRec:     c.eventsRec,
+		Ann:           ann,
+		Samples:       c.samples,
+	}, nil
+}
+
+// Collector restores a collector equivalent — for building — to the one
+// the capture was taken from. The restored collector is only good as a
+// Builder input: it carries the recorded samples and counters, not the
+// live ring or encoder state.
+func (cp *Capture) Collector() *Collector {
+	return &Collector{
+		cfg: Config{
+			Mode:        cp.Mode,
+			Period:      cp.Period,
+			BufBytes:    cp.BufBytes,
+			WindowLoads: cp.WindowLoads,
+		},
+		samples:       cp.Samples,
+		loadCount:     cp.TotalLoads,
+		bytesRecorded: cp.BytesRecorded,
+		eventsRec:     cp.EventsRec,
+	}
+}
+
+// NewBuilder creates a trace builder over the capture, equivalent to
+// NewBuilder over the original collector and annotations.
+func (cp *Capture) NewBuilder(opts ...BuildOption) *Builder {
+	return NewBuilder(cp.Collector(), cp.Ann, opts...)
+}
+
+// captureVersion is the on-wire format version after the "MGPT" magic.
+const captureVersion = 1
+
+// maxCaptureSection bounds a single length-prefixed section, so a
+// corrupt or hostile length prefix cannot force a huge allocation
+// before the read fails.
+const maxCaptureSection = 1 << 30
+
+// Write serialises the capture: "MGPT" magic, a version, a JSON header
+// (config, counters, annotations), then each raw sample length-prefixed.
+func (cp *Capture) Write(w io.Writer) error {
+	if cp.Mode == ModeFull {
+		return ErrFullModeCapture
+	}
+	bw := bufio.NewWriter(w)
+	writeU := func(v uint64) { var b [binary.MaxVarintLen64]byte; n := binary.PutUvarint(b[:], v); bw.Write(b[:n]) }
+
+	hdr, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	bw.WriteString("MGPT")
+	writeU(captureVersion)
+	writeU(uint64(len(hdr)))
+	bw.Write(hdr)
+	writeU(uint64(len(cp.Samples)))
+	for _, s := range cp.Samples {
+		writeU(uint64(s.Seq))
+		writeU(s.TriggerLoads)
+		writeU(uint64(len(s.Raw)))
+		bw.Write(s.Raw)
+	}
+	return bw.Flush()
+}
+
+// ReadCapture deserialises a capture written by Write.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != "MGPT" {
+		return nil, fmt.Errorf("pt: bad capture magic %q", magic)
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	ver, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != captureVersion {
+		return nil, fmt.Errorf("pt: unsupported capture version %d", ver)
+	}
+	hlen, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if hlen > maxCaptureSection {
+		return nil, fmt.Errorf("pt: capture header of %d bytes exceeds limit", hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	cp := &Capture{}
+	if err := json.Unmarshal(hdr, cp); err != nil {
+		return nil, fmt.Errorf("pt: capture header: %w", err)
+	}
+	if cp.Mode == ModeFull {
+		return nil, ErrFullModeCapture
+	}
+	if cp.Ann == nil {
+		return nil, errors.New("pt: capture has no annotations")
+	}
+	n, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	cp.Samples = make([]RawSample, 0, min(n, 4096))
+	for i := uint64(0); i < n; i++ {
+		seq, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		trg, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		rlen, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if rlen > maxCaptureSection {
+			return nil, fmt.Errorf("pt: capture sample of %d bytes exceeds limit", rlen)
+		}
+		raw := make([]byte, rlen)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		cp.Samples = append(cp.Samples, RawSample{Seq: int(seq), TriggerLoads: trg, Raw: raw})
+	}
+	return cp, nil
+}

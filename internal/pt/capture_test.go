@@ -1,0 +1,110 @@
+package pt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// captureWorkload records a deterministic workload against a fresh
+// sampled collector using the hand-built annotations.
+func captureWorkload(t *testing.T) *Collector {
+	t.Helper()
+	col := NewCollector(Config{Mode: ModeContinuous, Period: 700, BufBytes: 4 << 10})
+	ts := uint64(0)
+	for i := 0; i < 6000; i++ {
+		ts += 5
+		switch i % 3 {
+		case 0:
+			col.PTWrite(0x100, 0xdead, ts) // marker
+		case 1:
+			col.PTWrite(0x200, 0x5000+uint64(i)*8, ts) // single-reg
+		case 2:
+			col.PTWrite(0x300, 0x9000, ts) // gather base
+			col.PTWrite(0x305, uint64(i%64), ts)
+		}
+		col.OnLoad(ts)
+	}
+	if len(col.Samples()) == 0 {
+		t.Fatal("collector took no samples")
+	}
+	return col
+}
+
+// TestCaptureRoundTrip pins the portable capture: serialising a
+// collector's raw output and rebuilding from the deserialised capture
+// yields a byte-identical trace and identical decode stats.
+func TestCaptureRoundTrip(t *testing.T) {
+	notes := handNotes()
+	col := captureWorkload(t)
+
+	direct, directDS, err := NewBuilder(col, notes).Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := col.Capture(notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, rebuiltDS, err := got.NewBuilder().Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	de, err := direct.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := rebuilt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(de, re) {
+		t.Errorf("rebuilt trace differs from direct build (%d vs %d bytes)", len(re), len(de))
+	}
+	if directDS != rebuiltDS {
+		t.Errorf("decode stats differ:\ndirect  %+v\nrebuilt %+v", directDS, rebuiltDS)
+	}
+	if direct.Hash() != rebuilt.Hash() {
+		t.Error("content hashes differ")
+	}
+}
+
+// TestCaptureRejects pins the guard rails: full-mode collectors, nil
+// annotations, bad magic, truncated streams.
+func TestCaptureRejects(t *testing.T) {
+	full := NewCollector(Config{Mode: ModeFull, CopyBytesPerCycle: 1e9})
+	if _, err := full.Capture(handNotes()); err == nil {
+		t.Error("full-mode capture accepted")
+	}
+	col := captureWorkload(t)
+	if _, err := col.Capture(nil); err == nil {
+		t.Error("nil annotations accepted")
+	}
+
+	if _, err := ReadCapture(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	cp, err := col.Capture(handNotes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 10, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := ReadCapture(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

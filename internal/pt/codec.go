@@ -145,6 +145,9 @@ func DecodeWindow(raw []byte) (events []Event, st SpanStats) {
 		i = j + psbLen
 		st.SyncBytes += psbLen
 		var ip, val, ts uint64
+		// The encoder emits events strictly as FUP/PTW pairs, so a PTW
+		// with no FUP since the last event is corruption, not an event.
+		fupPending := false
 		// Decode packets until the stream breaks or a new PSB resets us
 		// (handled by the outer loop finding it again).
 	inner:
@@ -172,6 +175,12 @@ func DecodeWindow(raw []byte) (events []Event, st SpanStats) {
 				break inner
 			case hdrFUP, hdrPTW, hdrTSC:
 				hdr := raw[i]
+				if hdr == hdrPTW && !fupPending {
+					st.LostBytes++
+					st.Resyncs++
+					i++
+					break inner
+				}
 				d, n := uvarint(raw[i+1:])
 				if n == 0 {
 					// The window ends mid-packet: a truncated tail.
@@ -190,11 +199,13 @@ func DecodeWindow(raw []byte) (events []Event, st SpanStats) {
 				switch hdr {
 				case hdrFUP:
 					ip += uint64(unzig(d))
+					fupPending = true
 				case hdrTSC:
 					ts += d
 				default:
 					val += uint64(unzig(d))
 					// PTW closes an event (FUP precedes it; TSC is sparse).
+					fupPending = false
 					events = append(events, Event{IP: ip, Val: val, TS: ts})
 				}
 			default:

@@ -28,6 +28,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add(append([]byte(nil), clean[:40]...))
 	f.Add(bytes.Repeat([]byte{hdrPSB0, hdrPSB1}, 6))
 	f.Add([]byte{hdrFUP, 0x80, 0x80}) // dangling varint
+	// PTW right after a PSB with no FUP: must not fabricate an event
+	// (fuzzer-found; broke the >=4-packet-bytes-per-event invariant).
+	f.Add([]byte{hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPTW, 0x30})
 	f.Add(Inject(clean, FaultBitFlip, 3))
 	f.Add(Inject(clean, FaultDropPSB, 5))
 

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServe measures the served analyze path: upload once, then
+// repeated analyze calls. "cold" varies a parameter every iteration so
+// each request runs the engine; "warm" repeats one request so after
+// the first iteration every response comes from the result cache —
+// the O(1) repeat path the cache exists for. Compare ns/op and
+// allocations with -benchmem.
+func BenchmarkServe(b *testing.B) {
+	s := New(Config{})
+	hs := httptest.NewServer(s)
+	defer func() { hs.Close(); s.Close() }()
+
+	enc, err := testTrace(16, 200).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/traces", ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var id string
+	if i := bytes.Index(body, []byte(`"id":"`)); i >= 0 {
+		id = string(body[i+6 : i+6+64])
+	} else {
+		b.Fatalf("no id in %s", body)
+	}
+	analyze := func(b *testing.B, reqBody string) {
+		resp, err := http.Post(hs.URL+"/v1/traces/"+id+"/analyze", "application/json",
+			strings.NewReader(reqBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A distinct ROI coverage per iteration defeats both caches.
+			analyze(b, fmt.Sprintf(`{"analyses":["functions","mrc"],"roi_cover_pct":%g}`, 10+float64(i)/1e6))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		analyze(b, `{"analyses":["functions","mrc"]}`) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			analyze(b, `{"analyses":["functions","mrc"]}`)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/engine"
+)
+
+// endpoints are the fixed label values of the per-endpoint metric
+// families. Fixing the set at construction keeps every hot-path update
+// a plain atomic add — no locks, no map writes after init.
+var endpoints = []string{"upload", "get", "delete", "analyze", "healthz", "metrics"}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = [numLatencyBuckets]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+const numLatencyBuckets = 10
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+// Observe is lock-free; Write renders the cumulative Prometheus form.
+type histogram struct {
+	counts   [numLatencyBuckets + 1]atomic.Uint64 // +1: the +Inf bucket
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// durSum is a cumulative duration/count pair (a Prometheus summary
+// without quantiles), used for per-analysis engine durations.
+type durSum struct {
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func (d *durSum) Observe(dur time.Duration) {
+	d.count.Add(1)
+	d.sumNanos.Add(int64(dur))
+}
+
+// Metrics is the server's observability state: atomic request, error,
+// cache, and singleflight counters, per-endpoint latency histograms,
+// and per-analysis engine durations. Store and result-cache occupancy
+// are read live at render time, so /metrics always reflects current
+// state without the hot path maintaining gauges.
+type Metrics struct {
+	requests map[string]*atomic.Uint64
+	errors   map[string]*atomic.Uint64
+	latency  map[string]*histogram
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64
+
+	analysis map[string]*durSum
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{
+		requests: make(map[string]*atomic.Uint64, len(endpoints)),
+		errors:   make(map[string]*atomic.Uint64, len(endpoints)),
+		latency:  make(map[string]*histogram, len(endpoints)),
+		analysis: make(map[string]*durSum),
+	}
+	for _, ep := range endpoints {
+		m.requests[ep] = &atomic.Uint64{}
+		m.errors[ep] = &atomic.Uint64{}
+		m.latency[ep] = &histogram{}
+	}
+	for _, a := range engine.AllAnalyses() {
+		m.analysis[a.String()] = &durSum{}
+	}
+	return m
+}
+
+// ObserveAnalysis records one completed engine analysis; it is the
+// engine.WithObserver sink and may be called concurrently.
+func (m *Metrics) ObserveAnalysis(name string, d time.Duration) {
+	if s, ok := m.analysis[name]; ok {
+		s.Observe(d)
+	}
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every metric family in Prometheus text
+// exposition format. Families and label values are emitted in a fixed
+// order, so the output is deterministic up to the counter values.
+func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCache) {
+	fmt.Fprint(w, "# HELP memgazed_requests_total Requests received, by endpoint.\n# TYPE memgazed_requests_total counter\n")
+	for _, ep := range endpoints {
+		fmt.Fprintf(w, "memgazed_requests_total{endpoint=%q} %d\n", ep, m.requests[ep].Load())
+	}
+	fmt.Fprint(w, "# HELP memgazed_errors_total Requests answered with status >= 400, by endpoint.\n# TYPE memgazed_errors_total counter\n")
+	for _, ep := range endpoints {
+		fmt.Fprintf(w, "memgazed_errors_total{endpoint=%q} %d\n", ep, m.errors[ep].Load())
+	}
+
+	fmt.Fprint(w, "# HELP memgazed_request_duration_seconds Request latency, by endpoint.\n# TYPE memgazed_request_duration_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := m.latency[ep]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "memgazed_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmtFloat(ub), cum)
+		}
+		cum += h.counts[numLatencyBuckets].Load()
+		fmt.Fprintf(w, "memgazed_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "memgazed_request_duration_seconds_sum{endpoint=%q} %s\n", ep, fmtFloat(time.Duration(h.sumNanos.Load()).Seconds()))
+		fmt.Fprintf(w, "memgazed_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count.Load())
+	}
+
+	fmt.Fprint(w, "# HELP memgazed_result_cache_hits_total Analyze requests served from the result cache.\n# TYPE memgazed_result_cache_hits_total counter\n")
+	fmt.Fprintf(w, "memgazed_result_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprint(w, "# HELP memgazed_result_cache_misses_total Analyze requests that missed the result cache.\n# TYPE memgazed_result_cache_misses_total counter\n")
+	fmt.Fprintf(w, "memgazed_result_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprint(w, "# HELP memgazed_singleflight_coalesced_total Analyze requests coalesced onto an in-flight identical request.\n# TYPE memgazed_singleflight_coalesced_total counter\n")
+	fmt.Fprintf(w, "memgazed_singleflight_coalesced_total %d\n", m.coalesced.Load())
+
+	fmt.Fprint(w, "# HELP memgazed_store_traces Traces resident in the store.\n# TYPE memgazed_store_traces gauge\n")
+	fmt.Fprintf(w, "memgazed_store_traces %d\n", store.Len())
+	fmt.Fprint(w, "# HELP memgazed_store_bytes Encoded bytes resident in the store.\n# TYPE memgazed_store_bytes gauge\n")
+	fmt.Fprintf(w, "memgazed_store_bytes %d\n", store.UsedBytes())
+	fmt.Fprint(w, "# HELP memgazed_store_budget_bytes Store byte budget (0 = unbounded).\n# TYPE memgazed_store_budget_bytes gauge\n")
+	fmt.Fprintf(w, "memgazed_store_budget_bytes %d\n", store.Budget())
+	fmt.Fprint(w, "# HELP memgazed_store_evictions_total Traces evicted under the byte budget.\n# TYPE memgazed_store_evictions_total counter\n")
+	fmt.Fprintf(w, "memgazed_store_evictions_total %d\n", store.Evictions())
+	fmt.Fprint(w, "# HELP memgazed_result_cache_bytes Bytes resident in the result cache.\n# TYPE memgazed_result_cache_bytes gauge\n")
+	fmt.Fprintf(w, "memgazed_result_cache_bytes %d\n", results.UsedBytes())
+	fmt.Fprint(w, "# HELP memgazed_result_cache_entries Responses resident in the result cache.\n# TYPE memgazed_result_cache_entries gauge\n")
+	fmt.Fprintf(w, "memgazed_result_cache_entries %d\n", results.Len())
+
+	fmt.Fprint(w, "# HELP memgazed_analysis_duration_seconds Engine time per completed analysis.\n# TYPE memgazed_analysis_duration_seconds summary\n")
+	names := make([]string, 0, len(m.analysis))
+	for name := range m.analysis {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := m.analysis[name]
+		fmt.Fprintf(w, "memgazed_analysis_duration_seconds_sum{analysis=%q} %s\n", name, fmtFloat(time.Duration(s.sumNanos.Load()).Seconds()))
+		fmt.Fprintf(w, "memgazed_analysis_duration_seconds_count{analysis=%q} %d\n", name, s.count.Load())
+	}
+}

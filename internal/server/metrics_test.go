@@ -1,0 +1,78 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins bucket assignment and the cumulative
+// Prometheus rendering.
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.Observe(200 * time.Microsecond) // <= 0.0005
+	h.Observe(3 * time.Millisecond)   // <= 0.005
+	h.Observe(3 * time.Millisecond)
+	h.Observe(20 * time.Second) // +Inf
+	if h.count.Load() != 4 {
+		t.Fatalf("count = %d", h.count.Load())
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket 0 = %d", got)
+	}
+	if got := h.counts[2].Load(); got != 2 {
+		t.Errorf("bucket le=0.005 = %d", got)
+	}
+	if got := h.counts[numLatencyBuckets].Load(); got != 1 {
+		t.Errorf("+Inf bucket = %d", got)
+	}
+	wantSum := (200*time.Microsecond + 6*time.Millisecond + 20*time.Second).Nanoseconds()
+	if h.sumNanos.Load() != wantSum {
+		t.Errorf("sum = %d, want %d", h.sumNanos.Load(), wantSum)
+	}
+}
+
+// TestPrometheusRendering checks the exposition format: every family
+// present, counters reflected, deterministic repeated rendering.
+func TestPrometheusRendering(t *testing.T) {
+	m := newMetrics()
+	store := NewStore(1000)
+	rc := newResultCache(1000)
+	m.requests["analyze"].Add(3)
+	m.errors["analyze"].Add(1)
+	m.latency["analyze"].Observe(2 * time.Millisecond)
+	m.cacheHits.Add(2)
+	m.coalesced.Add(1)
+	m.ObserveAnalysis("mrc", 5*time.Millisecond)
+	m.ObserveAnalysis("not-an-analysis", time.Second) // ignored, no panic
+
+	var b1, b2 strings.Builder
+	m.WritePrometheus(&b1, store, rc)
+	m.WritePrometheus(&b2, store, rc)
+	out := b1.String()
+	if out != b2.String() {
+		t.Error("rendering is not deterministic")
+	}
+	for _, want := range []string{
+		`memgazed_requests_total{endpoint="analyze"} 3`,
+		`memgazed_errors_total{endpoint="analyze"} 1`,
+		`memgazed_request_duration_seconds_bucket{endpoint="analyze",le="0.005"} 1`,
+		`memgazed_request_duration_seconds_count{endpoint="analyze"} 1`,
+		`memgazed_result_cache_hits_total 2`,
+		`memgazed_result_cache_misses_total 0`,
+		`memgazed_singleflight_coalesced_total 1`,
+		`memgazed_store_traces 0`,
+		`memgazed_store_budget_bytes 1000`,
+		`memgazed_store_evictions_total 0`,
+		`memgazed_analysis_duration_seconds_sum{analysis="mrc"} 0.005`,
+		`memgazed_analysis_duration_seconds_count{analysis="mrc"} 1`,
+		"# TYPE memgazed_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendering", want)
+		}
+	}
+	if strings.Contains(out, "not-an-analysis") {
+		t.Error("unknown analysis name leaked into rendering")
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// rcEntry is one cached, marshalled Report.
+type rcEntry struct {
+	key string
+	val []byte
+}
+
+// resultCache is a byte-bounded LRU of finished analysis responses,
+// keyed like the singleflight layer: (trace hash, analysis set, params).
+// Values are the marshalled JSON bytes the handler writes, so a repeat
+// query is one map lookup and one write — O(1), byte-identical to the
+// original response. A single mutex suffices: entries are whole
+// responses, so the critical sections are tiny next to an engine run.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// newResultCache creates a cache evicting least-recently-used results
+// once stored bytes exceed budget; budget <= 0 disables caching.
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached response for key, bumping its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*rcEntry).val, true
+}
+
+// Put stores a response. Results larger than the whole budget are not
+// cached at all (they would immediately evict everything else).
+func (c *resultCache) Put(key string, val []byte) {
+	if c.budget <= 0 || int64(len(val)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.used += int64(len(val)) - int64(len(el.Value.(*rcEntry).val))
+		el.Value.(*rcEntry).val = val
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&rcEntry{key: key, val: val})
+		c.used += int64(len(val))
+	}
+	for c.used > c.budget {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*rcEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= int64(len(e.val))
+	}
+}
+
+// InvalidatePrefix drops every entry whose key starts with prefix —
+// used when a trace is deleted, so its id can never serve stale results
+// if different content were ever stored under it again.
+func (c *resultCache) InvalidatePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.used -= int64(len(el.Value.(*rcEntry).val))
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// UsedBytes returns the resident response bytes.
+func (c *resultCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached responses.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

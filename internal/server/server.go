@@ -1,0 +1,523 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/engine"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Content types of POST /v1/traces bodies.
+const (
+	// ContentTypeTrace is a serialised trace (trace.Trace.Write/Encode).
+	ContentTypeTrace = "application/x-memgaze-trace"
+	// ContentTypePT is a raw PT capture (pt.Capture.Write): the raw
+	// buffer snapshots plus annotations, built server-side by the
+	// pt.Builder pipeline.
+	ContentTypePT = "application/x-memgaze-pt"
+)
+
+// Config parameterises a Server. Zero fields take the defaults noted.
+type Config struct {
+	// StoreBudgetBytes bounds resident encoded trace bytes; the store
+	// evicts least-recently-used traces over it (default 256 MiB,
+	// negative = unbounded).
+	StoreBudgetBytes int64
+	// ResultCacheBytes bounds the marshalled-report result cache
+	// (default 64 MiB, negative = disabled).
+	ResultCacheBytes int64
+	// Workers bounds concurrently executing analysis jobs across all
+	// requests — the server's shared engine worker pool (default
+	// GOMAXPROCS). Each job is one engine suite run; the suite's own
+	// internal parallelism is bounded by EngineParallelism.
+	Workers int
+	// EngineParallelism bounds analyses running concurrently within one
+	// suite run (default: the engine's own default, GOMAXPROCS).
+	EngineParallelism int
+	// RequestTimeout bounds one analysis execution; expiry answers 504
+	// (default 30s).
+	RequestTimeout time.Duration
+	// MaxUploadBytes bounds a POST /v1/traces body (default 256 MiB).
+	MaxUploadBytes int64
+	// BuildWorkers bounds samples decoded concurrently per PT-capture
+	// upload (default GOMAXPROCS).
+	BuildWorkers int
+}
+
+func (c *Config) applyDefaults() {
+	if c.StoreBudgetBytes == 0 {
+		c.StoreBudgetBytes = 256 << 20
+	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+}
+
+// Server is the memgazed HTTP service. Create one with New, serve it
+// with net/http (Server implements http.Handler), and Close it after
+// the listener has drained. Endpoints:
+//
+//	POST   /v1/traces              upload a trace (ContentTypeTrace) or raw PT capture (ContentTypePT)
+//	GET    /v1/traces/{id}         trace metadata
+//	DELETE /v1/traces/{id}         evict a trace (and its cached results)
+//	POST   /v1/traces/{id}/analyze run a set of engine analyses, JSON Report
+//	GET    /v1/healthz             liveness
+//	GET    /metrics                Prometheus text metrics
+type Server struct {
+	cfg     Config
+	store   *Store
+	results *resultCache
+	flights *flightGroup
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	baseCtx    context.Context // server lifetime: bounds analysis jobs
+	baseCancel context.CancelFunc
+	jobs       chan func()
+	quit       chan struct{}
+	workers    sync.WaitGroup
+
+	// hookAnalyzeStart, when non-nil, runs at the start of each engine
+	// job (tests use it to hold a leader in place while duplicates
+	// arrive and coalesce).
+	hookAnalyzeStart func()
+}
+
+// New creates a Server and starts its analysis worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.StoreBudgetBytes),
+		results: newResultCache(cfg.ResultCacheBytes),
+		flights: newFlightGroup(),
+		metrics: newMetrics(),
+		jobs:    make(chan func()),
+		quit:    make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for {
+				select {
+				case fn := <-s.jobs:
+					fn()
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/traces", s.instrument("upload", s.handleUpload))
+	mux.Handle("GET /v1/traces/{id}", s.instrument("get", s.handleGet))
+	mux.Handle("DELETE /v1/traces/{id}", s.instrument("delete", s.handleDelete))
+	mux.Handle("POST /v1/traces/{id}/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the server's route mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics for out-of-band inspection.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the analysis worker pool and cancels any still-running
+// jobs. Call it only after the HTTP listener has drained (for graceful
+// shutdown: http.Server.Shutdown first, then Close); closing earlier
+// aborts in-flight analyses, which then answer 503.
+func (s *Server) Close() {
+	s.baseCancel()
+	close(s.quit)
+	s.workers.Wait()
+}
+
+// statusWriter captures the response code for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the endpoint's request counter
+// (incremented on arrival, so coalesced waiters are visible while they
+// wait), error counter, and latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests[endpoint].Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.latency[endpoint].Observe(time.Since(start))
+		if sw.status >= 400 {
+			s.metrics.errors[endpoint].Add(1)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// TraceInfo is the metadata answer of upload and GET /v1/traces/{id}.
+type TraceInfo struct {
+	ID      string  `json:"id"`
+	Module  string  `json:"module"`
+	Mode    string  `json:"mode"`
+	Samples int     `json:"samples"`
+	Records int     `json:"records"`
+	Bytes   int64   `json:"bytes"` // encoded (stored) size
+	Rho     float64 `json:"rho"`
+	Kappa   float64 `json:"kappa"`
+	// Existed is true when an upload deduplicated against a resident
+	// trace with identical content.
+	Existed bool `json:"existed,omitempty"`
+	// Decode carries the build accounting of a PT-capture upload.
+	Decode *pt.DecodeStats `json:"decode,omitempty"`
+}
+
+func traceInfo(id string, tr *trace.Trace, size int64) TraceInfo {
+	return TraceInfo{
+		ID:      id,
+		Module:  tr.Module,
+		Mode:    tr.Mode,
+		Samples: len(tr.Samples),
+		Records: tr.NumRecords(),
+		Bytes:   size,
+		Rho:     tr.Rho(),
+		Kappa:   tr.Kappa(),
+	}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+
+	var tr *trace.Trace
+	var ds *pt.DecodeStats
+	ctype, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	switch strings.TrimSpace(ctype) {
+	case ContentTypePT:
+		tr, ds, err = s.buildCapture(r, body)
+		if err != nil {
+			var ce *pt.CorruptionError
+			if errors.As(err, &ce) {
+				writeError(w, http.StatusUnprocessableEntity, "corrupt PT stream: %v", ce)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "PT capture: %v", err)
+			return
+		}
+	case ContentTypeTrace, "application/octet-stream", "":
+		tr, err = trace.Decode(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "trace: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported content type %q", ctype)
+		return
+	}
+
+	id := tr.Hash()
+	size := tr.EncodedSize()
+	added := s.store.Put(id, tr, size)
+	info := traceInfo(id, tr, size)
+	info.Existed = !added
+	info.Decode = ds
+	status := http.StatusCreated
+	if !added {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// buildCapture decodes a raw PT capture upload through the Builder
+// pipeline. The fault policy comes from the ?fault query parameter
+// (resync, the default, or fail).
+func (s *Server) buildCapture(r *http.Request, body []byte) (*trace.Trace, *pt.DecodeStats, error) {
+	cp, err := pt.ReadCapture(bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	policy := pt.FaultResync
+	switch r.URL.Query().Get("fault") {
+	case "", "resync":
+	case "fail":
+		policy = pt.FaultFail
+	default:
+		return nil, nil, fmt.Errorf("unknown fault policy %q", r.URL.Query().Get("fault"))
+	}
+	tr, ds, err := cp.NewBuilder(
+		pt.WithWorkers(s.cfg.BuildWorkers),
+		pt.WithFaultPolicy(policy),
+	).Build(r.Context())
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, &ds, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, size, ok := s.store.Meta(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceInfo(id, tr, size))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	s.results.InvalidatePrefix(id + "|")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, s.store, s.results)
+}
+
+// AnalyzeRequest is the JSON body of POST /v1/traces/{id}/analyze.
+// Every field is optional; zero values take the engine defaults, and an
+// empty (or absent) analysis list runs the engine's default suite.
+type AnalyzeRequest struct {
+	// Analyses names the analyses to run ("functions", "mrc", …; see
+	// engine.Analysis.String).
+	Analyses []string `json:"analyses,omitempty"`
+	// BlockSize is the access-block granularity in bytes.
+	BlockSize uint64 `json:"block_size,omitempty"`
+	// PageSize is the working-set page size in bytes.
+	PageSize uint64 `json:"page_size,omitempty"`
+	// Windows are the trace-window sizes.
+	Windows []uint64 `json:"windows,omitempty"`
+	// Capacities are the miss-ratio curve capacities in blocks.
+	Capacities []int `json:"capacities,omitempty"`
+	// TimeIntervals is the interval-tree breakdown granularity.
+	TimeIntervals *int `json:"time_intervals,omitempty"`
+	// WorkingSetIntervals is the working-set curve granularity.
+	WorkingSetIntervals *int `json:"working_set_intervals,omitempty"`
+	// ROICoverPct is the load share the suggested ROI must cover.
+	ROICoverPct float64 `json:"roi_cover_pct,omitempty"`
+	// HeatmapLo/HeatmapHi fix the heatmap region.
+	HeatmapLo uint64 `json:"heatmap_lo,omitempty"`
+	HeatmapHi uint64 `json:"heatmap_hi,omitempty"`
+	// HeatmapRows/HeatmapCols set the heatmap geometry.
+	HeatmapRows int `json:"heatmap_rows,omitempty"`
+	HeatmapCols int `json:"heatmap_cols,omitempty"`
+}
+
+// engineOptions translates the request into engine options, leaving
+// engine defaults in place for zero fields.
+func (q *AnalyzeRequest) engineOptions() ([]engine.Option, error) {
+	var opts []engine.Option
+	if len(q.Analyses) > 0 {
+		kinds := make([]engine.Analysis, 0, len(q.Analyses))
+		for _, name := range q.Analyses {
+			a, ok := engine.ParseAnalysis(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analysis %q", name)
+			}
+			kinds = append(kinds, a)
+		}
+		opts = append(opts, engine.WithAnalyses(kinds...))
+	}
+	if q.BlockSize > 0 {
+		opts = append(opts, engine.WithBlockSize(q.BlockSize))
+	}
+	if q.PageSize > 0 {
+		opts = append(opts, engine.WithPageSize(q.PageSize))
+	}
+	if len(q.Windows) > 0 {
+		opts = append(opts, engine.WithWindows(q.Windows))
+	}
+	if len(q.Capacities) > 0 {
+		opts = append(opts, engine.WithCapacities(q.Capacities))
+	}
+	if q.TimeIntervals != nil {
+		opts = append(opts, engine.WithTimeIntervals(*q.TimeIntervals))
+	}
+	if q.WorkingSetIntervals != nil {
+		opts = append(opts, engine.WithWorkingSetIntervals(*q.WorkingSetIntervals))
+	}
+	if q.ROICoverPct > 0 {
+		opts = append(opts, engine.WithROICoverage(q.ROICoverPct))
+	}
+	if q.HeatmapLo != 0 || q.HeatmapHi != 0 {
+		opts = append(opts, engine.WithHeatmapRegion(q.HeatmapLo, q.HeatmapHi))
+	}
+	if q.HeatmapRows > 0 || q.HeatmapCols > 0 {
+		opts = append(opts, engine.WithHeatmapBins(q.HeatmapRows, q.HeatmapCols))
+	}
+	return opts, nil
+}
+
+// cacheKey digests the normalised request under the trace id. The id
+// is a content hash, so the key captures (trace content, analysis set,
+// params) — the coalescing and result-cache identity.
+func (q *AnalyzeRequest) cacheKey(id string) string {
+	norm, _ := json.Marshal(q) // struct marshal: deterministic field order
+	sum := sha256.Sum256(norm)
+	return id + "|" + hex.EncodeToString(sum[:])
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+
+	var req AnalyzeRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "request: %v", err)
+			return
+		}
+	}
+	opts, err := req.engineOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := req.cacheKey(id)
+	if b, ok := s.results.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Memgazed-Cache", "hit")
+		w.Write(b)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
+		return s.runAnalysis(tr, key, opts)
+	})
+	if joined {
+		s.metrics.coalesced.Add(1)
+	}
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "analysis exceeded %v", s.cfg.RequestTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client went away or the server is closing; nothing useful to
+		// say to the former, 503 for the latter.
+		writeError(w, http.StatusServiceUnavailable, "analysis cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, "analysis: %v", err)
+	}
+}
+
+// runAnalysis is the singleflight leader's work: run one engine suite
+// on the shared worker pool under the server-scoped request timeout,
+// marshal the Report, and populate the result cache. It is detached
+// from any single client request, so a coalesced group keeps its
+// computation even if the first requester disconnects.
+func (s *Server) runAnalysis(tr *trace.Trace, key string, opts []engine.Option) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	defer cancel()
+
+	opts = append(opts, engine.WithObserver(func(a engine.Analysis, d time.Duration) {
+		s.metrics.ObserveAnalysis(a.String(), d)
+	}))
+	if s.cfg.EngineParallelism > 0 {
+		opts = append(opts, engine.WithParallelism(s.cfg.EngineParallelism))
+	}
+
+	var rep *engine.Report
+	var err error
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		if s.hookAnalyzeStart != nil {
+			s.hookAnalyzeStart()
+		}
+		rep, err = engine.New(tr, opts...).Run(ctx)
+	}
+	select {
+	case s.jobs <- job:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.quit:
+		return nil, context.Canceled
+	}
+	<-done // the engine honours ctx, so this returns promptly after expiry
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("marshalling report: %w", err)
+	}
+	s.results.Put(key, b)
+	return b, nil
+}

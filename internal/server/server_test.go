@@ -1,0 +1,490 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/engine"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// testTrace synthesizes a deterministic sampled trace with several
+// procedures, a hot region and a sparse one, and some compression.
+func testTrace(samples, recs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(11))
+	procs := []string{"alpha", "beta", "gamma"}
+	tr := &trace.Trace{
+		Module: "synth", Mode: "sampled", Period: 10_000,
+		TotalLoads: uint64(samples) * 10_000,
+	}
+	for s := 0; s < samples; s++ {
+		smp := &trace.Sample{Seq: s, TriggerLoads: uint64(s+1) * 10_000}
+		for i := 0; i < recs; i++ {
+			var addr uint64
+			if rng.Intn(4) == 0 {
+				addr = 0x4000_0000 + uint64(rng.Intn(1<<16))*64
+			} else {
+				addr = 0x2000_0000 + uint64(rng.Intn(1<<10))*8
+			}
+			rec := trace.Record{
+				TS:    uint64(s*recs+i) * 3,
+				IP:    0x401000 + uint64(rng.Intn(64))*8,
+				Addr:  addr,
+				Class: dataflow.Class(rng.Intn(3)),
+				Proc:  procs[rng.Intn(len(procs))],
+				Line:  int32(rng.Intn(20)),
+			}
+			if rng.Intn(8) == 0 {
+				rec.Implied = uint32(1 + rng.Intn(3))
+			}
+			smp.Records = append(smp.Records, rec)
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+func uploadTrace(t *testing.T, base string, tr *trace.Trace) TraceInfo {
+	t.Helper()
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/traces", ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, b)
+	}
+	var info TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func postAnalyze(t *testing.T, base, id, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/traces/"+id+"/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestHandlers is the table-driven error-path suite: bad methods,
+// unknown ids, malformed bodies, oversized uploads, timeouts.
+func TestHandlers(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxUploadBytes: 1 << 20})
+	tr := testTrace(8, 50)
+	info := uploadTrace(t, hs.URL, tr)
+
+	_, tinyHS := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	tinyInfo := uploadTrace(t, tinyHS.URL, tr)
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		ctype  string
+		body   string
+		want   int
+	}{
+		{"healthz ok", "GET", hs.URL + "/v1/healthz", "", "", 200},
+		{"healthz bad method", "POST", hs.URL + "/v1/healthz", "", "", 405},
+		{"upload bad method", "GET", hs.URL + "/v1/traces", "", "", 405},
+		{"analyze bad method", "GET", hs.URL + "/v1/traces/" + info.ID + "/analyze", "", "", 405},
+		{"metrics ok", "GET", hs.URL + "/metrics", "", "", 200},
+		{"get unknown id", "GET", hs.URL + "/v1/traces/deadbeef", "", "", 404},
+		{"delete unknown id", "DELETE", hs.URL + "/v1/traces/deadbeef", "", "", 404},
+		{"analyze unknown id", "POST", hs.URL + "/v1/traces/deadbeef/analyze", "application/json", "{}", 404},
+		{"upload malformed trace", "POST", hs.URL + "/v1/traces", ContentTypeTrace, "not a trace", 400},
+		{"upload malformed capture", "POST", hs.URL + "/v1/traces", ContentTypePT, "not a capture", 400},
+		{"upload bad content type", "POST", hs.URL + "/v1/traces", "text/csv", "a,b", 415},
+		{"analyze malformed json", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", "{", 400},
+		{"analyze unknown field", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"nope":1}`, 400},
+		{"analyze unknown analysis", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"analyses":["bogus"]}`, 400},
+		{"analyze timeout", "POST", tinyHS.URL + "/v1/traces/" + tinyInfo.ID + "/analyze", "application/json", `{}`, 504},
+		{"get ok", "GET", hs.URL + "/v1/traces/" + info.ID, "", "", 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, tc.url, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.ctype != "" {
+				req.Header.Set("Content-Type", tc.ctype)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, b)
+			}
+		})
+	}
+}
+
+// TestUploadDedupAndLifecycle pins the store lifecycle: a re-upload of
+// identical content answers 200 with Existed, GET serves metadata,
+// DELETE evicts, and analyze of a deleted trace is 404.
+func TestUploadDedupAndLifecycle(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	tr := testTrace(6, 40)
+	first := uploadTrace(t, hs.URL, tr)
+	if first.Existed {
+		t.Fatal("first upload marked Existed")
+	}
+	if first.ID != tr.Hash() {
+		t.Fatalf("id = %s, want content hash %s", first.ID, tr.Hash())
+	}
+	second := uploadTrace(t, hs.URL, tr)
+	if !second.Existed || second.ID != first.ID {
+		t.Fatalf("re-upload: %+v", second)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/traces/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got TraceInfo
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Records != tr.NumRecords() || got.Samples != len(tr.Samples) {
+		t.Fatalf("metadata %+v", got)
+	}
+
+	req, _ := http.NewRequest("DELETE", hs.URL+"/v1/traces/"+first.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	r2, _ := postAnalyze(t, hs.URL, first.ID, "{}")
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("analyze after delete: %d", r2.StatusCode)
+	}
+}
+
+// TestServedReportMatchesLocal is the end-to-end determinism pin: the
+// served Report must be byte-identical to marshalling a local engine
+// run over the same trace with the same options.
+func TestServedReportMatchesLocal(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	tr := testTrace(16, 120)
+	info := uploadTrace(t, hs.URL, tr)
+
+	for _, body := range []string{
+		"", // default suite
+		`{"analyses":["functions","mrc","reuse-intervals"],"block_size":128}`,
+		`{"analyses":["zoom","heatmap"],"heatmap_rows":8,"heatmap_cols":16}`,
+	} {
+		resp, served := postAnalyze(t, hs.URL, info.ID, body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("analyze %q: status %d: %s", body, resp.StatusCode, served)
+		}
+
+		var req AnalyzeRequest
+		if body != "" {
+			if err := json.Unmarshal([]byte(body), &req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opts, err := req.engineOptions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := engine.New(tr, opts...).Run(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(served, local) {
+			t.Errorf("served report differs from local engine run for body %q (%d vs %d bytes)", body, len(served), len(local))
+		}
+	}
+}
+
+// TestResultCacheHit pins the O(1) repeat path: the second identical
+// request is served from the cache, byte-identical, and counted.
+func TestResultCacheHit(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	info := uploadTrace(t, hs.URL, testTrace(8, 60))
+
+	_, cold := postAnalyze(t, hs.URL, info.ID, `{"analyses":["functions"]}`)
+	resp, warm := postAnalyze(t, hs.URL, info.ID, `{"analyses":["functions"]}`)
+	if !bytes.Equal(cold, warm) {
+		t.Error("cached response differs")
+	}
+	if resp.Header.Get("X-Memgazed-Cache") != "hit" {
+		t.Error("second request did not hit the result cache")
+	}
+	if h := s.metrics.cacheHits.Load(); h != 1 {
+		t.Errorf("cacheHits = %d, want 1", h)
+	}
+	// Engine ran once: one observation of the one requested analysis.
+	if n := s.metrics.analysis["functions"].count.Load(); n != 1 {
+		t.Errorf("functions ran %d times, want 1", n)
+	}
+}
+
+// TestCoalescing pins the singleflight layer: K identical concurrent
+// requests run the engine once, all receive identical bytes, and the
+// coalesced counter (surfaced at /metrics) records K-1 joins.
+func TestCoalescing(t *testing.T) {
+	const K = 8
+	s, hs := newTestServer(t, Config{Workers: 2})
+	info := uploadTrace(t, hs.URL, testTrace(8, 60))
+
+	gate := make(chan struct{})
+	s.hookAnalyzeStart = func() { <-gate }
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, K)
+	codes := make([]int, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, b := postAnalyze(t, hs.URL, info.ID, `{"analyses":["functions","mrc"]}`)
+			codes[i], bodies[i] = resp.StatusCode, b
+		}()
+	}
+	// Wait until all K requests have arrived (the request counter is
+	// bumped on arrival), then release the gated leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.requests["analyze"].Load() < K {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never all arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	s.hookAnalyzeStart = nil
+
+	for i := 0; i < K; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: response differs", i)
+		}
+	}
+	if n := s.metrics.analysis["functions"].count.Load(); n != 1 {
+		t.Errorf("engine ran functions %d times, want 1 (coalescing failed)", n)
+	}
+	if c := s.metrics.coalesced.Load(); c != K-1 {
+		t.Errorf("coalesced = %d, want %d", c, K-1)
+	}
+	// The counters must be visible in the Prometheus rendering.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), fmt.Sprintf("memgazed_singleflight_coalesced_total %d", K-1)) {
+		t.Error("/metrics does not report the coalesced count")
+	}
+}
+
+// captureNotes builds a small annotation file: single-register strided
+// loads across two procedures.
+func captureNotes() *instrument.Annotations {
+	n := &instrument.Annotations{
+		Module:   "cap",
+		Loads:    map[uint64]*instrument.LoadNote{},
+		PTWrites: map[uint64]*instrument.PTWNote{},
+		AddrMap:  map[uint64]uint64{},
+	}
+	for i := 0; i < 8; i++ {
+		ptw := 0x100 + uint64(i)*0x10
+		load := ptw + 5
+		proc := "f"
+		if i >= 4 {
+			proc = "g"
+		}
+		n.PTWrites[ptw] = &instrument.PTWNote{PTWAddr: ptw, LoadAddr: load,
+			Operand: instrument.OpndBase, NumOperands: 1}
+		n.Loads[load] = &instrument.LoadNote{LoadAddr: load, Proc: proc,
+			Line: int32(i), Class: dataflow.Strided, Stride: 8, Instrumented: true}
+	}
+	return n
+}
+
+// TestPTCaptureUpload uploads a raw PT capture and checks the
+// server-side build matches a local Builder run over the same capture.
+func TestPTCaptureUpload(t *testing.T) {
+	notes := captureNotes()
+	col := pt.NewCollector(pt.Config{Mode: pt.ModeContinuous, Period: 500, BufBytes: 4 << 10})
+	ts := uint64(0)
+	for i := 0; i < 5000; i++ {
+		ts += 7
+		ptw := 0x100 + uint64(i%8)*0x10
+		col.PTWrite(ptw, 0x2000_0000+uint64(i)*8, ts)
+		col.OnLoad(ts)
+	}
+	cp, err := col.Capture(notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := cp.NewBuilder().Build(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.NumRecords() == 0 {
+		t.Fatal("capture built an empty trace")
+	}
+
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Post(hs.URL+"/v1/traces", ContentTypePT, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TraceInfo
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != local.Hash() {
+		t.Errorf("served build hash %s != local build hash %s", info.ID, local.Hash())
+	}
+	if info.Records != local.NumRecords() || info.Decode == nil || info.Decode.Records != local.NumRecords() {
+		t.Errorf("info %+v vs local records %d", info, local.NumRecords())
+	}
+}
+
+// TestServerStress exercises concurrent uploads, analyses, deletes, and
+// metric scrapes; run under -race it doubles as the served-path data
+// race check.
+func TestServerStress(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 4, StoreBudgetBytes: 1 << 20})
+	traces := make([]*trace.Trace, 4)
+	ids := make([]string, len(traces))
+	encs := make([][]byte, len(traces))
+	for i := range traces {
+		traces[i] = testTrace(4+i, 30)
+		ids[i] = uploadTrace(t, hs.URL, traces[i]).ID
+		encs[i], _ = traces[i].Encode()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch i % 4 {
+				case 0:
+					resp, err := http.Post(hs.URL+"/v1/traces/"+ids[i%len(ids)]+"/analyze",
+						"application/json", strings.NewReader(`{"analyses":["functions"]}`))
+					if err != nil {
+						t.Errorf("analyze: %v", err)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 && resp.StatusCode != 404 {
+						t.Errorf("analyze: %d", resp.StatusCode)
+					}
+				case 1:
+					resp, err := http.Post(hs.URL+"/v1/traces", ContentTypeTrace,
+						bytes.NewReader(encs[(g+i)%len(encs)]))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				case 2:
+					resp, err := http.Get(hs.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				case 3:
+					resp, err := http.Get(hs.URL + "/v1/traces/" + ids[(g+i)%len(ids)])
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.store.Len() == 0 {
+		t.Error("store emptied unexpectedly")
+	}
+}
+
+// TestNoSharedTimingCache asserts — at the import graph level — that
+// the served analysis paths cannot touch internal/cache: its Cache is
+// documented "not safe for concurrent use" and belongs to workload
+// execution, never to concurrent HTTP handlers. TestServerStress under
+// -race is the dynamic half of this check.
+func TestNoSharedTimingCache(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for fname, f := range pkg.Files {
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			for _, imp := range f.Imports {
+				if strings.Contains(imp.Path.Value, "internal/cache") {
+					t.Errorf("%s imports %s: the timing cache is single-goroutine and must stay out of served paths", fname, imp.Path.Value)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight computation of a flightGroup.
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  []byte
+	err  error
+}
+
+// flightGroup coalesces duplicate in-flight work — a stdlib-only
+// singleflight. Keys are (trace content hash, analysis set, params)
+// digests, so two clients asking the same question of the same trace
+// share one engine run. Unlike x/sync/singleflight, the leader's work
+// runs detached from any one request: a waiter whose context expires
+// gets its own context error while the computation keeps running for
+// the others (and for the result cache).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, sharing one execution among all
+// concurrent callers with the same key. joined reports whether this
+// call attached to an already-running execution (the coalescing the
+// /metrics singleflight counter observes). fn runs in its own
+// goroutine; it must bound its own execution time (the server derives
+// its context from the server lifetime plus the request timeout, not
+// from any single request). ctx only governs this caller's wait.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
+	}
+}

@@ -1,0 +1,197 @@
+// Package server is memgazed: MemGaze-Go's trace-analysis service. It
+// serves the analyzer engine and the trace-build pipeline over HTTP —
+// uploads land in a sharded in-memory trace store with LRU eviction
+// under a byte budget, analysis requests run on a shared worker pool
+// with per-request deadlines, duplicate in-flight requests coalesce
+// through a singleflight layer, finished reports sit in a size-bounded
+// result cache, and everything is observable in Prometheus text format
+// at /metrics. See DESIGN.md ("memgazed") for the architecture.
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// numShards stripes the store's mutexes; a power of two so shard
+// selection is a mask.
+const numShards = 16
+
+// storeEntry is one resident trace.
+type storeEntry struct {
+	id    string
+	tr    *trace.Trace
+	size  int64  // MGTR-encoded bytes, the unit of budget accounting
+	stamp uint64 // recency from Store.clock; evictOver picks the global minimum
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // id -> element whose Value is *storeEntry
+	lru     *list.List               // front = most recently used
+}
+
+// Store is a sharded, mutex-striped in-memory trace store with LRU
+// eviction under a global byte budget. Traces are keyed by content hash
+// (trace.Trace.Hash), so identical uploads dedup to one resident copy.
+// All methods are safe for concurrent use; locks are per-shard and
+// never nested, so contention is bounded by the stripe count.
+type Store struct {
+	budget    int64
+	shards    [numShards]storeShard
+	used      atomic.Int64
+	count     atomic.Int64
+	evictions atomic.Uint64
+	clock     atomic.Uint64 // global recency counter for cross-shard LRU
+}
+
+// NewStore creates a store evicting least-recently-used traces once
+// resident encoded bytes exceed budget. budget <= 0 means unbounded.
+func NewStore(budget int64) *Store {
+	s := &Store{budget: budget}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*list.Element)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+func shardIndex(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32()) & (numShards - 1)
+}
+
+// Put inserts a trace under its content hash. It reports whether the
+// trace was newly added; an already-resident id just has its recency
+// bumped. Insertion may evict least-recently-used traces from any
+// shard until the store is back under budget — but never the trace
+// just inserted, so a Put always succeeds even when the trace alone
+// exceeds the budget.
+func (s *Store) Put(id string, tr *trace.Trace, size int64) bool {
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	if el, ok := sh.entries[id]; ok {
+		el.Value.(*storeEntry).stamp = s.clock.Add(1)
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return false
+	}
+	e := &storeEntry{id: id, tr: tr, size: size, stamp: s.clock.Add(1)}
+	sh.entries[id] = sh.lru.PushFront(e)
+	sh.mu.Unlock()
+	s.used.Add(size)
+	s.count.Add(1)
+	s.evictOver(id)
+	return true
+}
+
+// evictOver evicts least-recently-used traces until the store is back
+// under budget. Each shard's list tail is its oldest entry; the victim
+// is the tail with the globally smallest recency stamp, so eviction
+// order is true LRU across shards while still taking only one shard
+// lock at a time. keep is never evicted.
+func (s *Store) evictOver(keep string) {
+	if s.budget <= 0 {
+		return
+	}
+	for attempts := 0; s.used.Load() > s.budget && attempts < 1<<16; attempts++ {
+		victimShard, victimID := -1, ""
+		victimStamp := ^uint64(0)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for el := sh.lru.Back(); el != nil; el = el.Prev() {
+				e := el.Value.(*storeEntry)
+				if e.id == keep {
+					continue // the protected entry; next-oldest stands in
+				}
+				if e.stamp < victimStamp {
+					victimShard, victimID, victimStamp = i, e.id, e.stamp
+				}
+				break
+			}
+			sh.mu.Unlock()
+		}
+		if victimShard < 0 {
+			return // only keep remains (or racing deletes emptied us)
+		}
+		// Re-check under the victim's lock: a concurrent Get may have
+		// bumped it since we looked, in which case rescan.
+		sh := &s.shards[victimShard]
+		sh.mu.Lock()
+		if el, ok := sh.entries[victimID]; ok {
+			if e := el.Value.(*storeEntry); e.stamp == victimStamp {
+				sh.lru.Remove(el)
+				delete(sh.entries, victimID)
+				s.used.Add(-e.size)
+				s.count.Add(-1)
+				s.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Get returns the trace stored under id, bumping its recency.
+func (s *Store) Get(id string) (*trace.Trace, bool) {
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[id]
+	if !ok {
+		return nil, false
+	}
+	el.Value.(*storeEntry).stamp = s.clock.Add(1)
+	sh.lru.MoveToFront(el)
+	return el.Value.(*storeEntry).tr, true
+}
+
+// Meta returns the trace and its stored encoded size without bumping
+// recency (metadata endpoints should not distort eviction order).
+func (s *Store) Meta(id string) (*trace.Trace, int64, bool) {
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[id]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*storeEntry)
+	return e.tr, e.size, true
+}
+
+// Delete removes the trace stored under id, reporting whether it was
+// resident.
+func (s *Store) Delete(id string) bool {
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	el, ok := sh.entries[id]
+	if ok {
+		sh.lru.Remove(el)
+		delete(sh.entries, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.used.Add(-el.Value.(*storeEntry).size)
+	s.count.Add(-1)
+	return true
+}
+
+// Len returns the number of resident traces.
+func (s *Store) Len() int { return int(s.count.Load()) }
+
+// UsedBytes returns the resident encoded bytes.
+func (s *Store) UsedBytes() int64 { return s.used.Load() }
+
+// Budget returns the configured byte budget (0 = unbounded).
+func (s *Store) Budget() int64 { return max(s.budget, 0) }
+
+// Evictions returns the number of traces evicted so far.
+func (s *Store) Evictions() uint64 { return s.evictions.Load() }

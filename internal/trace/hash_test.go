@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestEncodeDecode pins the byte-slice convenience wrappers against
+// the streaming Write/Read pair.
+func TestEncodeDecode(t *testing.T) {
+	tr := synthetic(7, 3, 40)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, buf.Bytes()) {
+		t.Error("Encode differs from Write")
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("Decode(Encode(t)) != t")
+	}
+	if _, err := Decode(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated decode accepted")
+	}
+}
+
+// TestHash pins the content address: deterministic, equal for equal
+// content, different for different content, and sized like SHA-256.
+func TestHash(t *testing.T) {
+	a, b := synthetic(7, 3, 40), synthetic(7, 3, 40)
+	if a.Hash() != b.Hash() {
+		t.Error("equal traces hash differently")
+	}
+	if got := len(a.Hash()); got != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", got)
+	}
+	if a.Hash() != a.Hash() {
+		t.Error("hash not deterministic")
+	}
+	c := synthetic(8, 3, 40)
+	if a.Hash() == c.Hash() {
+		t.Error("different traces collide")
+	}
+	// A single-record mutation must change the hash.
+	d := synthetic(7, 3, 40)
+	d.Samples[0].Records[0].Addr++
+	if a.Hash() == d.Hash() {
+		t.Error("mutated trace hash unchanged")
+	}
+}
+
+// TestEncodedSize pins the store accounting helper.
+func TestEncodedSize(t *testing.T) {
+	tr := synthetic(7, 3, 40)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.EncodedSize(); got != int64(len(enc)) {
+		t.Errorf("EncodedSize = %d, want %d", got, len(enc))
+	}
+}

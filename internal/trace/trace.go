@@ -12,7 +12,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"iter"
@@ -387,6 +390,44 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	return t, nil
 }
+
+// Encode serialises the trace to its MGTR binary form in memory — the
+// HTTP-friendly counterpart of Write. Decode inverts it.
+func (t *Trace) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a trace from its MGTR binary form, as produced by
+// Encode or Write.
+func Decode(b []byte) (*Trace, error) {
+	return Read(bytes.NewReader(b))
+}
+
+// Hash returns the trace's content hash: the hex SHA-256 of its MGTR
+// encoding. Two traces hash equal exactly when their serialised forms
+// are byte-identical, so the hash survives a Write/Read round trip and
+// is a stable identity for content-addressed stores.
+func (t *Trace) Hash() string {
+	h := sha256.New()
+	t.Write(h) // hash.Hash writes never fail
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodedSize returns the size in bytes of the trace's MGTR encoding
+// without materialising it.
+func (t *Trace) EncodedSize() int64 {
+	var cw countWriter
+	t.Write(&cw)
+	return cw.n
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

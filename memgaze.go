@@ -43,6 +43,7 @@ import (
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/interval"
 	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/server"
 	"github.com/memgaze/memgaze-go/internal/trace"
 	"github.com/memgaze/memgaze-go/internal/vm"
 	"github.com/memgaze/memgaze-go/internal/zoom"
@@ -485,6 +486,47 @@ func BuildHeatmap(t *Trace, lo, hi uint64, rows, cols int, blockSize uint64) *He
 	}
 	return rep.Heatmap
 }
+
+// The memgazed analysis service (cmd/memgazed). A Server holds uploaded
+// traces in a sharded, byte-budgeted LRU store and serves engine
+// analyses over HTTP with request coalescing, a result cache, and
+// Prometheus metrics at /metrics:
+//
+//	srv := memgaze.NewServer(memgaze.ServerConfig{Workers: 8})
+//	defer srv.Close()
+//	http.ListenAndServe(":8080", srv)
+//
+// For graceful shutdown, drain the HTTP listener first
+// (http.Server.Shutdown), then Close the Server.
+type (
+	// Server is the memgazed HTTP trace-analysis service; it implements
+	// http.Handler. Create with NewServer.
+	Server = server.Server
+	// ServerConfig parameterises a Server; zero fields take defaults.
+	ServerConfig = server.Config
+	// AnalyzeRequest is the JSON body of POST /v1/traces/{id}/analyze.
+	AnalyzeRequest = server.AnalyzeRequest
+	// TraceInfo is the service's trace-metadata answer.
+	TraceInfo = server.TraceInfo
+	// PTCapture is the portable form of a collector's raw output — what
+	// a collection host POSTs to /v1/traces as ContentTypePT.
+	PTCapture = pt.Capture
+)
+
+// Content types of memgazed trace uploads.
+const (
+	// ContentTypeTrace marks a serialised trace body (Trace.Encode).
+	ContentTypeTrace = server.ContentTypeTrace
+	// ContentTypePT marks a raw PT capture body (PTCapture.Write).
+	ContentTypePT = server.ContentTypePT
+)
+
+// NewServer creates a memgazed service and starts its shared analysis
+// worker pool.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ReadPTCapture deserialises a capture written by PTCapture.Write.
+var ReadPTCapture = pt.ReadCapture
 
 // Machine model.
 type (

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo verification gate: build, vet, formatting, full tests, and the
-# analyzer engine under the race detector. Run from the repo root.
+# Repo verification gate: build, vet, formatting, full tests (shuffled),
+# the concurrent packages under the race detector, and a live memgazed
+# smoke test. Run from the repo root.
 set -eu
 
 echo "== go build =="
@@ -17,8 +18,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+go test -shuffle=on ./...
 
 echo "== go test -race (engine) =="
 go test -race ./internal/engine/...
@@ -26,7 +27,36 @@ go test -race ./internal/engine/...
 echo "== go test -race (pt) =="
 go test -race ./internal/pt/...
 
+echo "== go test -race (server) =="
+go test -race ./internal/server/...
+
 echo "== fuzz smoke (FuzzDecode) =="
 go test -run '^FuzzDecode$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/pt/
+
+echo "== memgazed smoke =="
+# Boot the daemon on an ephemeral port, hit /v1/healthz and /metrics,
+# then SIGTERM it and require a clean drain (exit 0).
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/memgazed" ./cmd/memgazed
+"$smokedir/memgazed" -addr 127.0.0.1:0 >"$smokedir/log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^memgazed: listening on //p' "$smokedir/log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$smokedir/log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "memgazed never reported an address" >&2; cat "$smokedir/log" >&2; exit 1; }
+# Buffer responses before grep: -q closing the pipe early would make
+# curl report a write failure.
+curl -fsS "http://$addr/v1/healthz" >"$smokedir/healthz"
+grep -q '"ok"' "$smokedir/healthz"
+curl -fsS "http://$addr/metrics" >"$smokedir/metrics"
+grep -q '^memgazed_requests_total' "$smokedir/metrics"
+kill -TERM "$pid"
+wait "$pid" || { echo "memgazed did not drain cleanly" >&2; cat "$smokedir/log" >&2; exit 1; }
+grep -q 'drained, exiting' "$smokedir/log"
 
 echo "verify OK"

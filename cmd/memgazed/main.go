@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	maxUpload := fs.Int64("max-upload", 256<<20, "maximum upload body bytes")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, clean exit
+		}
 		return err
 	}
 

@@ -144,3 +144,15 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("bad address accepted")
 	}
 }
+
+// TestRunHelp: -h prints usage and exits cleanly (nil, not
+// flag.ErrHelp bubbling out as exit status 1).
+func TestRunHelp(t *testing.T) {
+	var logs bytes.Buffer
+	if err := run(context.Background(), []string{"-h"}, &logs); err != nil {
+		t.Errorf("run(-h) = %v, want nil", err)
+	}
+	if !strings.Contains(logs.String(), "-addr") {
+		t.Errorf("usage text missing from help output:\n%s", logs.String())
+	}
+}

@@ -173,6 +173,18 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so instrumented handlers keep
+// streaming capability.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// recovers any other optional interfaces (io.ReaderFrom, deadlines).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with the endpoint's request counter
 // (incremented on arrival, so coalesced waiters are visible while they
 // wait), error counter, and latency histogram.
@@ -249,11 +261,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		tr, ds, err = s.buildCapture(r, body)
 		if err != nil {
 			var ce *pt.CorruptionError
-			if errors.As(err, &ce) {
+			switch {
+			case errors.As(err, &ce):
 				writeError(w, http.StatusUnprocessableEntity, "corrupt PT stream: %v", ce)
-				return
+			case errors.Is(err, context.Canceled):
+				// Client went away mid-build: same treatment as a
+				// cancelled analysis, not a client error.
+				writeError(w, http.StatusServiceUnavailable, "build cancelled")
+			default:
+				writeError(w, http.StatusBadRequest, "PT capture: %v", err)
 			}
-			writeError(w, http.StatusBadRequest, "PT capture: %v", err)
 			return
 		}
 	case ContentTypeTrace, "application/octet-stream", "":
@@ -267,8 +284,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := tr.Hash()
-	size := tr.EncodedSize()
+	id, size := tr.HashAndSize()
 	added := s.store.Put(id, tr, size)
 	info := traceInfo(id, tr, size)
 	info.Existed = !added

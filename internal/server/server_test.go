@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"go/parser"
@@ -112,6 +113,23 @@ func TestHandlers(t *testing.T) {
 	_, tinyHS := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
 	tinyInfo := uploadTrace(t, tinyHS.URL, tr)
 
+	// A ~30-byte MGTR body whose string table claims 2^35 entries: must
+	// answer 400 without the decoder preallocating from the hostile count.
+	var hostile bytes.Buffer
+	hostile.WriteString("MGTR")
+	writeU := func(v uint64) {
+		var b [10]byte
+		n := binary.PutUvarint(b[:], v)
+		hostile.Write(b[:n])
+	}
+	writeU(2) // version
+	writeU(0) // module ""
+	writeU(0) // mode ""
+	for i := 0; i < 7; i++ {
+		writeU(0) // fixed header fields
+	}
+	writeU(1 << 35) // string-table count
+
 	cases := []struct {
 		name   string
 		method string
@@ -129,6 +147,7 @@ func TestHandlers(t *testing.T) {
 		{"delete unknown id", "DELETE", hs.URL + "/v1/traces/deadbeef", "", "", 404},
 		{"analyze unknown id", "POST", hs.URL + "/v1/traces/deadbeef/analyze", "application/json", "{}", 404},
 		{"upload malformed trace", "POST", hs.URL + "/v1/traces", ContentTypeTrace, "not a trace", 400},
+		{"upload hostile trace header", "POST", hs.URL + "/v1/traces", ContentTypeTrace, hostile.String(), 400},
 		{"upload malformed capture", "POST", hs.URL + "/v1/traces", ContentTypePT, "not a capture", 400},
 		{"upload bad content type", "POST", hs.URL + "/v1/traces", "text/csv", "a,b", 415},
 		{"analyze malformed json", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", "{", 400},

@@ -69,3 +69,16 @@ func TestEncodedSize(t *testing.T) {
 		t.Errorf("EncodedSize = %d, want %d", got, len(enc))
 	}
 }
+
+// TestHashAndSize pins the single-pass upload helper against the
+// separate Hash and EncodedSize walks.
+func TestHashAndSize(t *testing.T) {
+	tr := synthetic(7, 3, 40)
+	hash, size := tr.HashAndSize()
+	if want := tr.Hash(); hash != want {
+		t.Errorf("HashAndSize hash = %s, want %s", hash, want)
+	}
+	if want := tr.EncodedSize(); size != want {
+		t.Errorf("HashAndSize size = %d, want %d", size, want)
+	}
+}

@@ -192,6 +192,17 @@ func (t *Trace) FilterProc(procs ...string) *Trace {
 // still read (the field defaults to zero).
 const fileVersion = 2
 
+// maxSection bounds a single length-prefixed string in the MGTR
+// format, so a corrupt or hostile length prefix cannot force a huge
+// allocation before the read fails.
+const maxSection = 1 << 30
+
+// maxPrealloc bounds slice capacity reserved from a count read out of
+// the header. Counts above it are still honoured — the slices grow by
+// append, so an inflated count fails with io.EOF once the input runs
+// out instead of OOMing up front.
+const maxPrealloc = 1 << 16
+
 // Write serialises the trace in a compact binary format: a header, then
 // per sample a record count and delta-encoded records. Proc names are
 // interned in a string table.
@@ -272,6 +283,9 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return "", err
 		}
+		if n > maxSection {
+			return "", fmt.Errorf("trace: string of %d bytes exceeds limit", n)
+		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
 			return "", err
@@ -311,11 +325,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	strs := make([]string, nstr)
-	for i := range strs {
-		if strs[i], err = readStr(); err != nil {
+	strs := make([]string, 0, min(nstr, maxPrealloc))
+	for i := uint64(0); i < nstr; i++ {
+		s, err := readStr()
+		if err != nil {
 			return nil, err
 		}
+		strs = append(strs, s)
 	}
 	nsmp, err := readU()
 	if err != nil {
@@ -338,9 +354,10 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &Sample{Seq: int(seq), CPU: int(cpu), TriggerLoads: trg, Records: make([]Record, nrec)}
+		s := &Sample{Seq: int(seq), CPU: int(cpu), TriggerLoads: trg,
+			Records: make([]Record, 0, min(nrec, maxPrealloc))}
 		var lastIP, lastAddr, lastTS uint64
-		for i := range s.Records {
+		for ri := uint64(0); ri < nrec; ri++ {
 			dip, err := readU()
 			if err != nil {
 				return nil, err
@@ -379,12 +396,12 @@ func Read(r io.Reader) (*Trace, error) {
 			lastIP += uint64(unzigzag(dip))
 			lastAddr += uint64(unzigzag(daddr))
 			lastTS += dts
-			s.Records[i] = Record{
+			s.Records = append(s.Records, Record{
 				IP: lastIP, Addr: lastAddr, TS: lastTS,
 				Class: dataflow.Class(cls), Implied: uint32(imp),
 				Stride: int32(unzigzag(stride)),
 				Line:   int32(unzigzag(line)), Proc: strs[sidx],
-			}
+			})
 		}
 		t.Samples = append(t.Samples, s)
 	}
@@ -423,6 +440,15 @@ func (t *Trace) EncodedSize() int64 {
 	var cw countWriter
 	t.Write(&cw)
 	return cw.n
+}
+
+// HashAndSize returns Hash and EncodedSize from a single serialisation
+// pass — what an upload path wants, instead of walking the trace twice.
+func (t *Trace) HashAndSize() (string, int64) {
+	h := sha256.New()
+	var cw countWriter
+	t.Write(io.MultiWriter(h, &cw))
+	return hex.EncodeToString(h.Sum(nil)), cw.n
 }
 
 type countWriter struct{ n int64 }

@@ -105,6 +105,64 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadHostileHeader pins the untrusted-input hardening: a tiny body
+// whose header varints claim enormous string lengths or element counts
+// must fail with a decode error, not force a giant up-front allocation
+// (the served POST /v1/traces path feeds attacker-controlled bytes here).
+func TestReadHostileHeader(t *testing.T) {
+	writeU := func(buf *bytes.Buffer, v uint64) {
+		var b [10]byte
+		n := binary.PutUvarint(b[:], v)
+		buf.Write(b[:n])
+	}
+	writeStr := func(buf *bytes.Buffer, s string) { writeU(buf, uint64(len(s))); buf.WriteString(s) }
+	// header writes "MGTR", version 2, module+mode, and the seven
+	// fixed header varints, leaving the cursor at the string-table count.
+	header := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		buf.WriteString("MGTR")
+		writeU(&buf, 2)
+		writeStr(&buf, "mod")
+		writeStr(&buf, "sampled")
+		for i := 0; i < 7; i++ {
+			writeU(&buf, 0)
+		}
+		return &buf
+	}
+
+	cases := map[string]*bytes.Buffer{}
+
+	// Module length claims 2^40 bytes.
+	huge := bytes.NewBufferString("MGTR")
+	writeU(huge, 2)
+	writeU(huge, 1<<40) // module string length
+	cases["huge string length"] = huge
+
+	// String table claims 2^35 entries, then the body ends.
+	nstr := header()
+	writeU(nstr, 1<<35)
+	cases["huge string count"] = nstr
+
+	// One sample claiming 2^35 records, then the body ends.
+	nrec := header()
+	writeU(nrec, 0) // string table size
+	writeU(nrec, 1) // one sample
+	writeU(nrec, 0) // seq
+	writeU(nrec, 0) // cpu
+	writeU(nrec, 0) // trigger loads
+	writeU(nrec, 1<<35)
+	cases["huge record count"] = nrec
+
+	for name, buf := range cases {
+		if len(buf.Bytes()) > 64 {
+			t.Fatalf("%s: hostile body is %d bytes, want tiny", name, buf.Len())
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: hostile body accepted", name)
+		}
+	}
+}
+
 func TestKappaAndRho(t *testing.T) {
 	tr := &Trace{Period: 1000, TotalLoads: 100_000}
 	smp := &Sample{}

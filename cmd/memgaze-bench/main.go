@@ -5,9 +5,18 @@
 //	memgaze-bench                  # run everything at full sizes
 //	memgaze-bench -quick           # test sizes (seconds)
 //	memgaze-bench -run fig6,table4 # a subset
+//
+// With -json or -gate the command instead runs the regression-gated
+// benchmark suite: -json writes machine-readable results (the committed
+// BENCH_4.json baseline format) and -gate compares against a baseline,
+// exiting nonzero if a gated benchmark regressed beyond -gate-threshold
+// percent.
+//
+//	memgaze-bench -quick -json BENCH_new.json -gate BENCH_4.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,11 +45,22 @@ func main() {
 	quick := flag.Bool("quick", false, "use test-scale sizes")
 	outPath := flag.String("o", "", "also write the report to this file")
 	run := flag.String("run", "all", "comma-separated experiments (fig6,fig7,table2,table3,table4,table5,table6,table7,table8,table9,fig8,fig9,ablations,extras)")
+	jsonPath := flag.String("json", "", "run the gated benchmark suite and write JSON results to this path")
+	gatePath := flag.String("gate", "", "baseline JSON to gate against; exit nonzero on regression")
+	threshold := flag.Float64("gate-threshold", 20, "allowed regression percent vs the -gate baseline")
 	flag.Parse()
 
 	sizes := experiments.Full()
 	if *quick {
 		sizes = experiments.Quick()
+	}
+
+	if *jsonPath != "" || *gatePath != "" {
+		if err := runBenchGate(sizes, *jsonPath, *gatePath, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	exps := []experiment{
@@ -92,6 +112,65 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBenchGate runs the gated benchmark suite, optionally writes the
+// JSON results, and optionally compares gated metrics against a
+// committed baseline (matching by name; metrics present only on one
+// side are reported but never gate).
+func runBenchGate(sizes experiments.Sizes, jsonPath, gatePath string, threshold float64) error {
+	res, err := experiments.Bench(sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Text)
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", jsonPath)
+	}
+
+	if gatePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(gatePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base experiments.BenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", gatePath, err)
+	}
+	baseline := map[string]int64{}
+	for _, m := range base.Gate {
+		baseline[m.Name] = m.NsPerOp
+	}
+	regressed := false
+	for _, m := range res.Gate {
+		old, ok := baseline[m.Name]
+		if !ok || old <= 0 {
+			fmt.Printf("gate %-14s %12d ns/op  (no baseline, not gated)\n", m.Name, m.NsPerOp)
+			continue
+		}
+		pct := 100 * (float64(m.NsPerOp) - float64(old)) / float64(old)
+		verdict := "ok"
+		if pct > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Printf("gate %-14s %12d ns/op  baseline %12d  %+6.1f%%  %s\n",
+			m.Name, m.NsPerOp, old, pct, verdict)
+	}
+	if regressed {
+		return fmt.Errorf("gated benchmarks regressed beyond %.0f%% of %s", threshold, gatePath)
+	}
+	return nil
 }
 
 func runAblations(s experiments.Sizes) (string, error) {

@@ -55,6 +55,8 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "upload":
+		err = cmdUpload(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -78,6 +80,7 @@ commands:
   analyze     run MemGaze analyses over a saved trace
   dump        print a saved trace's records (perf-script style)
   compare     side-by-side function diagnostics of two traces
+  upload      ship a trace or PT capture to a memgazed service
 
 run "memgaze <command> -h" for flags.
 `)

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/report"
+)
+
+// chunkedReader hides the body's concrete type from http.NewRequest so
+// the client cannot infer a Content-Length and must use chunked
+// transfer encoding — the wire shape the streamed server endpoint is
+// built for (decode overlaps the network read; nothing is buffered).
+type chunkedReader struct{ io.Reader }
+
+// sniffContentType maps a file's magic to the upload content type.
+func sniffContentType(magic []byte) (string, error) {
+	switch {
+	case bytes.HasPrefix(magic, []byte("MGTR")):
+		return memgaze.ContentTypeTrace, nil
+	case bytes.HasPrefix(magic, []byte("MGPT")):
+		return memgaze.ContentTypePT, nil
+	}
+	return "", fmt.Errorf("unrecognised file magic %q (want a .mgt trace or a PT capture)", magic)
+}
+
+// uploadBody ships body to a memgazed service and decodes its TraceInfo
+// answer. Streamed mode PUTs to /v1/traces:stream with chunked transfer
+// encoding, so the service ingests with bounded memory while the bytes
+// are still arriving; buffered mode POSTs to /v1/traces.
+func uploadBody(client *http.Client, base, ctype string, body io.Reader, stream bool) (memgaze.TraceInfo, error) {
+	var info memgaze.TraceInfo
+	base = strings.TrimSuffix(base, "/")
+	var req *http.Request
+	var err error
+	if stream {
+		req, err = http.NewRequest(http.MethodPut, base+"/v1/traces:stream", chunkedReader{body})
+	} else {
+		req, err = http.NewRequest(http.MethodPost, base+"/v1/traces", body)
+	}
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", ctype)
+	resp, err := client.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return info, err
+	}
+	if resp.StatusCode >= 300 {
+		return info, fmt.Errorf("server answered %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	if err := json.Unmarshal(b, &info); err != nil {
+		return info, fmt.Errorf("decoding server answer: %w", err)
+	}
+	return info, nil
+}
+
+func cmdUpload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	in := fs.String("trace", "trace.mgt", "trace (.mgt) or PT capture file to upload")
+	base := fs.String("server", "http://localhost:8080", "memgazed base URL")
+	stream := fs.Bool("stream", false, "stream the upload (chunked PUT /v1/traces:stream; bounded server memory)")
+	ctype := fs.String("type", "", "content type: trace, pt, or empty to sniff the file magic")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ct := ""
+	switch *ctype {
+	case "trace":
+		ct = memgaze.ContentTypeTrace
+	case "pt":
+		ct = memgaze.ContentTypePT
+	case "":
+		magic := make([]byte, 4)
+		if _, err := io.ReadFull(f, magic); err != nil {
+			return fmt.Errorf("reading %s: %w", *in, err)
+		}
+		if ct, err = sniffContentType(magic); err != nil {
+			return err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -type %q (want trace, pt, or empty)", *ctype)
+	}
+
+	info, err := uploadBody(http.DefaultClient, *base, ct, f, *stream)
+	if err != nil {
+		return err
+	}
+	verb := "stored"
+	if info.Existed {
+		verb = "already stored"
+	}
+	mode := "buffered"
+	if *stream {
+		mode = "streamed"
+	}
+	fmt.Printf("%s %s (%s): %s\n", verb, info.ID, mode, *base)
+	fmt.Printf("%s (%s): %d samples, %d records, %s; ρ=%.1f κ=%.3f\n",
+		info.Module, info.Mode, info.Samples, info.Records,
+		report.Bytes(uint64(info.Bytes)), info.Rho, info.Kappa)
+	if d := info.Decode; d != nil && d.Resyncs > 0 {
+		fmt.Printf("decode: %d resyncs across %d corrupt samples, %s lost\n",
+			d.Resyncs, d.CorruptSamples, report.Bytes(uint64(d.SkippedBytes)))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+func TestSniffContentType(t *testing.T) {
+	cases := []struct {
+		magic string
+		want  string
+		ok    bool
+	}{
+		{"MGTR", memgaze.ContentTypeTrace, true},
+		{"MGPT", memgaze.ContentTypePT, true},
+		{"ELF\x7f", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, err := sniffContentType([]byte(c.magic))
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("sniffContentType(%q) = %q, %v; want %q ok=%v", c.magic, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// uploadTestTrace builds a small but non-trivial trace.
+func uploadTestTrace() *trace.Trace {
+	tr := &trace.Trace{Module: "cli", Mode: "sampled", Period: 1000, TotalLoads: 4000}
+	for s := 0; s < 4; s++ {
+		smp := &trace.Sample{Seq: s, TriggerLoads: uint64(s+1) * 1000}
+		for i := 0; i < 16; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				TS: uint64(s*16+i) * 3, IP: 0x401000 + uint64(i)*8,
+				Addr: 0x2000_0000 + uint64(i)*64, Proc: "f", Line: int32(i),
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+// uploadTestCapture synthesises a small PT capture file.
+func uploadTestCapture(t *testing.T, path string) {
+	t.Helper()
+	notes := &instrument.Annotations{
+		Module:   "cap",
+		Loads:    map[uint64]*instrument.LoadNote{},
+		PTWrites: map[uint64]*instrument.PTWNote{},
+		AddrMap:  map[uint64]uint64{},
+	}
+	ptw, load := uint64(0x100), uint64(0x105)
+	notes.PTWrites[ptw] = &instrument.PTWNote{PTWAddr: ptw, LoadAddr: load,
+		Operand: instrument.OpndBase, NumOperands: 1}
+	notes.Loads[load] = &instrument.LoadNote{LoadAddr: load, Proc: "f",
+		Class: dataflow.Strided, Stride: 8, Instrumented: true}
+	col := pt.NewCollector(pt.Config{Mode: pt.ModeContinuous, Period: 200, BufBytes: 4 << 10})
+	ts := uint64(0)
+	for i := 0; i < 2000; i++ {
+		ts += 7
+		col.PTWrite(ptw, 0x2000_0000+uint64(i)*8, ts)
+		col.OnLoad(ts)
+	}
+	cp, err := col.Capture(notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := cp.Write(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUploadCommand drives the upload subcommand end-to-end against a
+// real in-process memgazed: buffered MGTR, streamed MGTR (dedups to the
+// same id), and a streamed PT capture with a sniffed content type.
+func TestUploadCommand(t *testing.T) {
+	srv := memgaze.NewServer(memgaze.ServerConfig{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	dir := t.TempDir()
+	tr := uploadTestTrace()
+	mgt := filepath.Join(dir, "t.mgt")
+	f, err := os.Create(mgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Buffered upload, magic sniffed.
+	if err := cmdUpload([]string{"-server", hs.URL, "-trace", mgt}); err != nil {
+		t.Fatalf("buffered upload: %v", err)
+	}
+	// Streamed twin dedups against the buffered copy.
+	rf, err := os.Open(mgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	info, err := uploadBody(http.DefaultClient, hs.URL, memgaze.ContentTypeTrace, rf, true)
+	if err != nil {
+		t.Fatalf("streamed upload: %v", err)
+	}
+	if info.ID != tr.Hash() || !info.Existed {
+		t.Errorf("streamed twin: id %s existed %v, want %s true", info.ID, info.Existed, tr.Hash())
+	}
+	if info.Records != tr.NumRecords() {
+		t.Errorf("records %d, want %d", info.Records, tr.NumRecords())
+	}
+
+	// A PT capture streams through the sniffed path too.
+	cap := filepath.Join(dir, "c.mgc")
+	uploadTestCapture(t, cap)
+	if err := cmdUpload([]string{"-server", hs.URL, "-trace", cap, "-stream"}); err != nil {
+		t.Fatalf("streamed capture upload: %v", err)
+	}
+
+	// Explicit -type beats sniffing; a wrong one is the server's 4xx.
+	if err := cmdUpload([]string{"-server", hs.URL, "-trace", cap, "-type", "trace"}); err == nil {
+		t.Error("capture uploaded as trace should fail")
+	}
+	// Unknown -type is a local error.
+	if err := cmdUpload([]string{"-server", hs.URL, "-trace", mgt, "-type", "nope"}); err == nil {
+		t.Error("unknown -type accepted")
+	}
+	// Unrecognised magic is a local error before any request.
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("ELF\x7fgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdUpload([]string{"-server", hs.URL, "-trace", junk}); err == nil {
+		t.Error("junk magic accepted")
+	}
+}

@@ -7,6 +7,7 @@
 //	memgazed -addr :8080 -store-budget 268435456 -workers 8 -timeout 30s
 //
 //	curl -X POST --data-binary @pr.mgt -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces
+//	curl -T pr.mgt --no-buffer -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces:stream
 //	curl -X POST -d '{"analyses":["functions","mrc"]}' localhost:8080/v1/traces/<id>/analyze
 //	curl localhost:8080/metrics
 //
@@ -50,7 +51,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	resultCache := fs.Int64("result-cache", 64<<20, "result cache byte budget (< 0 disables)")
 	workers := fs.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis timeout (expiry answers 504)")
-	maxUpload := fs.Int64("max-upload", 256<<20, "maximum upload body bytes")
+	maxUpload := fs.Int64("max-upload", 256<<20, "maximum upload body bytes (enforced mid-stream on chunked uploads)")
+	buildWorkers := fs.Int("build-workers", 0, "samples decoded concurrently per PT-capture upload (0 = GOMAXPROCS)")
+	streamChunk := fs.Int("stream-chunk", 0, "read granularity of streamed uploads in bytes (0 = 256 KiB); peak streamed-build memory is O(stream-chunk × build-workers)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,6 +68,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Workers:          *workers,
 		RequestTimeout:   *timeout,
 		MaxUploadBytes:   *maxUpload,
+		BuildWorkers:     *buildWorkers,
+		StreamChunkBytes: *streamChunk,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/instrument"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/server"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// BenchMetric is one gated benchmark: a name and its best-of-reps
+// nanoseconds per operation. The CI gate compares these against a
+// committed baseline and fails on regressions beyond a threshold.
+type BenchMetric struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// StreamIngestPoint is one capture size of the streamed-vs-buffered
+// ingest comparison. Overhead is the peak heap above what the built
+// trace itself retains — the transient cost of ingestion. The streamed
+// path's overhead is bounded by O(chunk × workers) regardless of
+// capture size; the buffered path's grows with the capture (it holds
+// the whole serialisation in memory before decoding).
+type StreamIngestPoint struct {
+	Scale            int   `json:"scale"`
+	CaptureBytes     int64 `json:"capture_bytes"`
+	Records          int   `json:"records"`
+	StreamedNs       int64 `json:"streamed_ns"`
+	BufferedNs       int64 `json:"buffered_ns"`
+	StreamedOverhead int64 `json:"streamed_overhead_bytes"`
+	BufferedOverhead int64 `json:"buffered_overhead_bytes"`
+}
+
+// BenchResult is the machine-readable benchmark report the CI
+// regression gate consumes (committed as BENCH_4.json).
+type BenchResult struct {
+	GoVersion  string              `json:"go_version"`
+	ChunkBytes int                 `json:"chunk_bytes"`
+	Workers    int                 `json:"workers"`
+	Gate       []BenchMetric       `json:"gate"`
+	Stream     []StreamIngestPoint `json:"stream"`
+	Text       string              `json:"-"`
+}
+
+// benchTrace synthesises a deterministic trace for the serve benchmark.
+func benchTrace(samples, recs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(17))
+	tr := &trace.Trace{Module: "bench", Mode: "sampled", Period: 10_000,
+		TotalLoads: uint64(samples) * 10_000}
+	for s := 0; s < samples; s++ {
+		smp := &trace.Sample{Seq: s, TriggerLoads: uint64(s+1) * 10_000}
+		for i := 0; i < recs; i++ {
+			smp.Records = append(smp.Records, trace.Record{
+				TS: uint64(s*recs+i) * 3, IP: 0x401000 + uint64(rng.Intn(64))*8,
+				Addr:  0x2000_0000 + uint64(rng.Intn(1<<12))*64,
+				Class: dataflow.Class(rng.Intn(3)), Proc: "f", Line: int32(rng.Intn(20)),
+			})
+		}
+		tr.Samples = append(tr.Samples, smp)
+	}
+	return tr
+}
+
+// benchCapture drives a collector for the requested loads and returns
+// the serialised capture.
+func benchCapture(loads int) ([]byte, error) {
+	notes := &instrument.Annotations{
+		Module:   "bench",
+		Loads:    map[uint64]*instrument.LoadNote{},
+		PTWrites: map[uint64]*instrument.PTWNote{},
+		AddrMap:  map[uint64]uint64{},
+	}
+	for i := 0; i < 8; i++ {
+		ptw := 0x100 + uint64(i)*0x10
+		load := ptw + 5
+		notes.PTWrites[ptw] = &instrument.PTWNote{PTWAddr: ptw, LoadAddr: load,
+			Operand: instrument.OpndBase, NumOperands: 1}
+		notes.Loads[load] = &instrument.LoadNote{LoadAddr: load, Proc: "f",
+			Line: int32(i), Class: dataflow.Strided, Stride: 8, Instrumented: true}
+	}
+	col := pt.NewCollector(pt.Config{Mode: pt.ModeContinuous, Period: 500, BufBytes: 8 << 10})
+	ts := uint64(0)
+	for i := 0; i < loads; i++ {
+		ts += 7
+		col.PTWrite(0x100+uint64(i%8)*0x10, 0x2000_0000+uint64(i)*8, ts)
+		col.OnLoad(ts)
+	}
+	cp, err := col.Capture(notes)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// bestOf runs fn reps times and returns the fastest wall-clock run in
+// nanoseconds — the stable statistic for a regression gate (medians
+// drift with scheduler noise; minima track the machine's capability).
+func bestOf(reps int, fn func() error) (int64, error) {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// measurePeak runs fn and reports the transient ingestion overhead:
+// peak heap minus what the run's output keeps alive. fn receives a
+// sample callback it must call at its own high-water points (after
+// buffering, every few decoded windows) — deterministic in-line
+// sampling that works on one CPU, where a polling goroutine starves
+// behind a busy decode loop. GC is pinned aggressive for the duration
+// so HeapAlloc tracks the live set instead of accumulated garbage: the
+// number answers "how much memory did ingestion need", not "how much
+// did it allocate". Callers wanting wall-clock time must measure a
+// separate run with a no-op sample; the forced GCs here distort
+// throughput.
+func measurePeak(fn func(sample func()) (any, error)) (overhead int64, err error) {
+	old := debug.SetGCPercent(10)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	peak := ms.HeapAlloc
+	var mu sync.Mutex
+	sample := func() {
+		var p runtime.MemStats
+		runtime.ReadMemStats(&p)
+		mu.Lock()
+		if p.HeapAlloc > peak {
+			peak = p.HeapAlloc
+		}
+		mu.Unlock()
+	}
+	out, err := fn(sample)
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mu.Lock()
+	overhead = int64(peak) - int64(ms.HeapAlloc)
+	mu.Unlock()
+	if overhead < 0 {
+		overhead = 0
+	}
+	// Keep the run's product (the built trace) alive through the final
+	// GC above: without this the compiler may mark it dead the moment
+	// fn returns, the GC collects it, and the "retained" baseline reads
+	// near zero — inflating overhead by the whole output size.
+	runtime.KeepAlive(out)
+	return overhead, err
+}
+
+// serveWarm measures the result-cache repeat path: one upload, one
+// priming analyze, then iters cached analyzes; returns ns per analyze.
+func serveWarm(iters int) (int64, error) {
+	s := server.New(server.Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	enc, err := benchTrace(16, 200).Encode()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(hs.URL+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		return 0, err
+	}
+	var info server.TraceInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	analyze := func() error {
+		resp, err := http.Post(hs.URL+"/v1/traces/"+info.ID+"/analyze", "application/json",
+			strings.NewReader(`{"analyses":["functions","mrc"]}`))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("analyze: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := analyze(); err != nil { // prime the cache
+		return 0, err
+	}
+	total, err := bestOf(3, func() error {
+		for i := 0; i < iters; i++ {
+			if err := analyze(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / int64(iters), nil
+}
+
+// buildPooled measures one pooled (GOMAXPROCS-worker) build of a
+// capture, best of reps.
+func buildPooled(capture []byte, reps int) (int64, error) {
+	return bestOf(reps, func() error {
+		cp, err := pt.ReadCapture(bytes.NewReader(capture))
+		if err != nil {
+			return err
+		}
+		_, _, err = cp.NewBuilder().Build(context.Background())
+		return err
+	})
+}
+
+// streamIngest compares buffered and streamed ingestion of the same
+// on-disk capture. The buffered path mirrors POST /v1/traces (slurp the
+// file, decode from memory); the streamed one mirrors
+// PUT /v1/traces:stream (decode from the file in chunks).
+func streamIngest(path string, scale, chunk int) (StreamIngestPoint, error) {
+	pnt := StreamIngestPoint{Scale: scale}
+	st, err := os.Stat(path)
+	if err != nil {
+		return pnt, err
+	}
+	pnt.CaptureBytes = st.Size()
+
+	// The buffered path mirrors POST /v1/traces: slurp the file, decode
+	// the capture from memory, build. The streamed one mirrors
+	// PUT /v1/traces:stream: decode directly from the file in chunks.
+	// Both sample the heap at their natural high-water points — after
+	// buffering and every 64 built windows.
+	sinkEvery := func(sample func()) pt.BuildOption {
+		return pt.WithSampleSink(func(idx int, s *trace.Sample) {
+			if idx%64 == 0 {
+				sample()
+			}
+		})
+	}
+	buffered := func(sample func()) (*trace.Trace, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := pt.ReadCapture(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		sample() // raw file bytes and the decoded capture both live
+		tr, _, err := cp.NewBuilder(sinkEvery(sample)).Build(context.Background())
+		return tr, err
+	}
+	streamed := func(sample func()) (*trace.Trace, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, _, err := pt.BuildCaptureStream(context.Background(), f,
+			pt.WithChunkBytes(chunk), sinkEvery(sample))
+		return tr, err
+	}
+	nop := func() {}
+
+	// Timing runs first, without heap sampling; memory runs after, each
+	// retaining its trace so overhead = peak − retained.
+	var tr *trace.Trace
+	bufNs, err := bestOf(3, func() error {
+		t, err := buffered(nop)
+		tr = t
+		return err
+	})
+	if err != nil {
+		return pnt, err
+	}
+	pnt.BufferedNs = bufNs
+	pnt.Records = tr.NumRecords()
+	bufHash := tr.Hash()
+	if pnt.StreamedNs, err = bestOf(3, func() error {
+		t, err := streamed(nop)
+		tr = t
+		return err
+	}); err != nil {
+		return pnt, err
+	}
+	if h := tr.Hash(); h != bufHash {
+		return pnt, fmt.Errorf("streamed build diverged: %s != %s", h, bufHash)
+	}
+	if pnt.BufferedOverhead, err = measurePeak(func(sample func()) (any, error) {
+		return buffered(sample)
+	}); err != nil {
+		return pnt, err
+	}
+	if pnt.StreamedOverhead, err = measurePeak(func(sample func()) (any, error) {
+		return streamed(sample)
+	}); err != nil {
+		return pnt, err
+	}
+	return pnt, nil
+}
+
+// Bench runs the regression-gated benchmarks and the streamed-ingest
+// memory comparison. Sizes scale the capture: the base capture replays
+// MicroAccesses × MicroReps loads and the large one 10× that, so the
+// quick/full split controls runtime the same way it does elsewhere.
+func Bench(s Sizes) (*BenchResult, error) {
+	res := &BenchResult{
+		GoVersion:  runtime.Version(),
+		ChunkBytes: pt.DefaultStreamChunk,
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+
+	warm, err := serveWarm(100)
+	if err != nil {
+		return nil, fmt.Errorf("serve warm: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "serve_warm", NsPerOp: warm})
+
+	baseLoads := s.MicroAccesses * s.MicroReps
+	capture, err := benchCapture(baseLoads)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	pooled, err := buildPooled(capture, 5)
+	if err != nil {
+		return nil, fmt.Errorf("build pooled: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "build_pooled", NsPerOp: pooled})
+
+	// Streamed vs buffered ingest at 1× and 10× capture sizes, from a
+	// temp file so the streamed path never holds the capture in memory.
+	dir, err := os.MkdirTemp("", "memgaze-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for _, scale := range []int{1, 10} {
+		cap, err := benchCapture(baseLoads * scale)
+		if err != nil {
+			return nil, err
+		}
+		path := fmt.Sprintf("%s/cap%d", dir, scale)
+		if err := os.WriteFile(path, cap, 0o644); err != nil {
+			return nil, err
+		}
+		cap = nil
+		pnt, err := streamIngest(path, scale, pt.DefaultStreamChunk)
+		if err != nil {
+			return nil, fmt.Errorf("stream ingest %dx: %w", scale, err)
+		}
+		res.Stream = append(res.Stream, pnt)
+	}
+
+	gt := report.NewTable("Gated benchmarks (best-of-reps)", "name", "ns/op")
+	for _, m := range res.Gate {
+		gt.Add(m.Name, m.NsPerOp)
+	}
+	st := report.NewTable("Streamed vs buffered ingest (chunked decode from disk)",
+		"capture", "records", "streamed", "buffered", "stream overhead", "buffered overhead")
+	for _, p := range res.Stream {
+		st.Add(fmt.Sprintf("%dx %s", p.Scale, report.Bytes(uint64(p.CaptureBytes))),
+			p.Records,
+			fmt.Sprintf("%.1fms", float64(p.StreamedNs)/1e6),
+			fmt.Sprintf("%.1fms", float64(p.BufferedNs)/1e6),
+			report.Bytes(uint64(p.StreamedOverhead)), report.Bytes(uint64(p.BufferedOverhead)))
+	}
+	res.Text = gt.Render() + "\n" + st.Render()
+	return res, nil
+}

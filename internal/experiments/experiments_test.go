@@ -521,3 +521,44 @@ func TestAblationPacking(t *testing.T) {
 		t.Errorf("fit32 = %.2f, want high for heap-local addresses", st.Fit32Frac)
 	}
 }
+
+// TestBenchRuns pins the gated benchmark suite: every gated metric is
+// measured, and the streamed ingest matches the buffered build (the
+// hash check inside streamIngest) at both capture scales. The memory
+// claim itself: the streamed path's transient overhead must not grow
+// with the capture the way the buffered path's does.
+func TestBenchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Quick()
+	s.MicroAccesses, s.MicroReps = 1024, 20 // keep the 10x capture small
+	res, err := Bench(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Text)
+	if len(res.Gate) != 2 {
+		t.Fatalf("gate metrics = %d, want 2", len(res.Gate))
+	}
+	for _, m := range res.Gate {
+		if m.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %d", m.Name, m.NsPerOp)
+		}
+	}
+	if len(res.Stream) != 2 {
+		t.Fatalf("stream points = %d, want 2", len(res.Stream))
+	}
+	small, big := res.Stream[0], res.Stream[1]
+	if big.CaptureBytes < 5*small.CaptureBytes {
+		t.Errorf("10x capture only %dB vs %dB", big.CaptureBytes, small.CaptureBytes)
+	}
+	// The buffered path must at least hold the whole capture transiently;
+	// the streamed one must not. Heap sampling is noisy at toy sizes, so
+	// only assert the structural bound, not a tight ratio.
+	if big.StreamedOverhead > big.BufferedOverhead+big.CaptureBytes/2 &&
+		big.StreamedOverhead > 8<<20 {
+		t.Errorf("streamed overhead %dB exceeds buffered %dB on a %dB capture",
+			big.StreamedOverhead, big.BufferedOverhead, big.CaptureBytes)
+	}
+}

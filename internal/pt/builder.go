@@ -51,6 +51,19 @@ type BuildOptions struct {
 	// Progress, when non-nil, is called after each decoded sample with
 	// the number done and the total. Calls are serialised.
 	Progress func(done, total int)
+	// ChunkBytes is the read granularity of the streamed build path
+	// (BuildCaptureStream): raw bytes are consumed in chunks of this
+	// size and samples at least streamInlineChunks chunks long decode
+	// incrementally without ever being buffered whole (<= 0 selects
+	// DefaultStreamChunk). Ignored by Build, which already holds the
+	// collector's buffers.
+	ChunkBytes int
+	// SampleSink, when non-nil, receives every decoded sample window —
+	// nil when the window decoded to no records — keyed by its position
+	// in the capture. Windows are emitted as soon as they decode: calls
+	// may arrive on any worker goroutine, concurrently and out of
+	// order. engine.StreamAccum is a ready-made sink.
+	SampleSink func(idx int, s *trace.Sample)
 }
 
 // BuildOption configures a Builder; pass them to NewBuilder.
@@ -74,6 +87,16 @@ func WithStatsSink(fn func(DecodeStats)) BuildOption {
 // WithProgress registers a per-sample progress callback.
 func WithProgress(fn func(done, total int)) BuildOption {
 	return func(o *BuildOptions) { o.Progress = fn }
+}
+
+// WithChunkBytes sets the streamed build's read granularity.
+func WithChunkBytes(n int) BuildOption {
+	return func(o *BuildOptions) { o.ChunkBytes = n }
+}
+
+// WithSampleSink registers a per-window sink for incremental consumers.
+func WithSampleSink(fn func(idx int, s *trace.Sample)) BuildOption {
+	return func(o *BuildOptions) { o.SampleSink = fn }
 }
 
 // Builder converts a collector's raw output into a load-level trace —
@@ -128,27 +151,14 @@ func (b *Builder) buildSampled(ctx context.Context) (*trace.Trace, DecodeStats, 
 		tasks[i] = func(context.Context) error {
 			rs := samples[i]
 			events, st := DecodeWindow(rs.Raw)
-			ds := DecodeStats{
-				Events:       len(events),
-				SkippedBytes: st.LostBytes,
-				PacketBytes:  st.PacketBytes,
-				SyncBytes:    st.SyncBytes,
-				Resyncs:      st.Resyncs,
+			sample, ds, err := sampleFromWindow(rs.Seq, rs.TriggerLoads, events, st, b.ann, b.opts.Policy)
+			if err != nil {
+				return err
 			}
-			if st.Resyncs > 0 {
-				ds.CorruptSamples = 1
-				if b.opts.Policy == FaultFail {
-					return &CorruptionError{Seq: rs.Seq, Resyncs: st.Resyncs, LostBytes: st.LostBytes}
-				}
+			if b.opts.SampleSink != nil {
+				b.opts.SampleSink(i, sample)
 			}
-			recs := eventsToRecords(events, b.ann, &ds)
-			if len(recs) > 0 {
-				slots[i].sample = &trace.Sample{
-					Seq:          rs.Seq,
-					TriggerLoads: rs.TriggerLoads,
-					Records:      recs,
-				}
-			}
+			slots[i].sample = sample
 			slots[i].ds = ds
 			if b.opts.Progress != nil {
 				mu.Lock()

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 
 	"github.com/memgaze/memgaze-go/internal/instrument"
@@ -119,71 +118,25 @@ func (cp *Capture) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadCapture deserialises a capture written by Write.
+// ReadCapture deserialises a capture written by Write, buffering every
+// sample. For bounded-memory ingestion of large captures, use
+// NewCaptureReader (sample-at-a-time) or BuildCaptureStream (decode
+// pipelined against the read).
 func ReadCapture(r io.Reader) (*Capture, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
-	}
-	if string(magic[:]) != "MGPT" {
-		return nil, fmt.Errorf("pt: bad capture magic %q", magic)
-	}
-	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
-	ver, err := readU()
+	cr, err := NewCaptureReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if ver != captureVersion {
-		return nil, fmt.Errorf("pt: unsupported capture version %d", ver)
-	}
-	hlen, err := readU()
-	if err != nil {
-		return nil, err
-	}
-	if hlen > maxCaptureSection {
-		return nil, fmt.Errorf("pt: capture header of %d bytes exceeds limit", hlen)
-	}
-	hdr := make([]byte, hlen)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, err
-	}
-	cp := &Capture{}
-	if err := json.Unmarshal(hdr, cp); err != nil {
-		return nil, fmt.Errorf("pt: capture header: %w", err)
-	}
-	if cp.Mode == ModeFull {
-		return nil, ErrFullModeCapture
-	}
-	if cp.Ann == nil {
-		return nil, errors.New("pt: capture has no annotations")
-	}
-	n, err := readU()
-	if err != nil {
-		return nil, err
-	}
-	cp.Samples = make([]RawSample, 0, min(n, 4096))
-	for i := uint64(0); i < n; i++ {
-		seq, err := readU()
+	cp := cr.Head()
+	cp.Samples = make([]RawSample, 0, min(uint64(cr.Samples()), 4096))
+	for {
+		rs, err := cr.Next()
+		if errors.Is(err, io.EOF) {
+			return cp, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		trg, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		rlen, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		if rlen > maxCaptureSection {
-			return nil, fmt.Errorf("pt: capture sample of %d bytes exceeds limit", rlen)
-		}
-		raw := make([]byte, rlen)
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, err
-		}
-		cp.Samples = append(cp.Samples, RawSample{Seq: int(seq), TriggerLoads: trg, Raw: raw})
+		cp.Samples = append(cp.Samples, rs)
 	}
-	return cp, nil
 }

@@ -67,3 +67,50 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamDecode is the chunk-boundary twin of FuzzDecode: for any
+// input and any chunk size, the streaming decoder must produce exactly
+// DecodeWindow's events and byte accounting — no boundary placement may
+// change what decodes, what resyncs, or what is charged as lost.
+//
+// Run with `go test -fuzz=FuzzStreamDecode ./internal/pt/`; the seed
+// corpus replays every FuzzDecode seed at adversarial chunk sizes.
+func FuzzStreamDecode(f *testing.F) {
+	clean, _ := cleanStream(160)
+	seeds := [][]byte{
+		{},
+		{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef},
+		append([]byte(nil), clean[:40]...),
+		bytes.Repeat([]byte{hdrPSB0, hdrPSB1}, 6),
+		{hdrFUP, 0x80, 0x80},
+		{hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPTW, 0x30},
+		Inject(clean, FaultBitFlip, 3),
+		Inject(clean, FaultDropPSB, 5),
+		clean,
+	}
+	for _, s := range seeds {
+		for _, chunk := range []uint16{1, 7, 64} {
+			f.Add(s, chunk)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16) {
+		chunkSize := int(chunk)%512 + 1
+		wantEvents, wantStats := DecodeWindow(data)
+		events, st, err := DecodeStream(bytes.NewReader(data), chunkSize)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunkSize, err)
+		}
+		if st != wantStats {
+			t.Fatalf("chunk %d: stats %+v, want %+v", chunkSize, st, wantStats)
+		}
+		if len(events) != len(wantEvents) {
+			t.Fatalf("chunk %d: %d events, want %d", chunkSize, len(events), len(wantEvents))
+		}
+		for i := range events {
+			if events[i] != wantEvents[i] {
+				t.Fatalf("chunk %d: event %d = %+v, want %+v", chunkSize, i, events[i], wantEvents[i])
+			}
+		}
+	})
+}

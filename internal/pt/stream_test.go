@@ -1,0 +1,398 @@
+package pt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/iotest"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// adversarialChunks are the chunk sizes the equivalence tests replay
+// every corpus entry through: 1 byte (every boundary is adversarial),
+// primes (never aligned with packet sizes), and aligned powers of two.
+var adversarialChunks = []int{1, 2, 3, 5, 7, 11, 13, 17, 31, 64, 256, 4096}
+
+// streamCorpus is every FuzzDecode seed plus injected faults of every
+// class: the inputs whose chunked decode must match DecodeWindow.
+func streamCorpus() [][]byte {
+	clean, _ := cleanStream(160)
+	corpus := [][]byte{
+		{},
+		{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef},
+		append([]byte(nil), clean[:40]...),
+		bytes.Repeat([]byte{hdrPSB0, hdrPSB1}, 6),
+		{hdrFUP, 0x80, 0x80}, // dangling varint
+		{hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPSB0, hdrPSB1, hdrPTW, 0x30},
+		clean,
+		// Pads on both sides: framing across chunk boundaries.
+		append(append(bytes.Repeat([]byte{hdrPad}, 16), clean...), bytes.Repeat([]byte{hdrPad}, 16)...),
+		// Ends inside the next sync pattern: the held-back prefix must
+		// flush as framing, not loss.
+		append(append([]byte(nil), clean...), hdrPSB0, hdrPSB1, hdrPSB0),
+		// Varint overflow: ten continuation bytes and more.
+		append(append([]byte(nil), clean[:8]...),
+			hdrFUP, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02),
+	}
+	for f := FaultBitFlip; f <= FaultDropPSB; f++ {
+		for seed := uint64(0); seed < 8; seed++ {
+			corpus = append(corpus, Inject(clean, f, seed))
+		}
+	}
+	return corpus
+}
+
+// TestStreamDecodeEquivalence is the tentpole contract: for every
+// corpus input and every chunk size — including 1-byte chunks, where
+// every packet straddles a boundary — the streamed decode produces
+// exactly DecodeWindow's events and byte accounting.
+func TestStreamDecodeEquivalence(t *testing.T) {
+	for ci, data := range streamCorpus() {
+		wantEvents, wantStats := DecodeWindow(data)
+		for _, chunk := range adversarialChunks {
+			events, st, err := DecodeStream(bytes.NewReader(data), chunk)
+			if err != nil {
+				t.Fatalf("corpus %d chunk %d: %v", ci, chunk, err)
+			}
+			if st != wantStats {
+				t.Fatalf("corpus %d chunk %d: stats %+v, want %+v", ci, chunk, st, wantStats)
+			}
+			if len(events) != len(wantEvents) {
+				t.Fatalf("corpus %d chunk %d: %d events, want %d", ci, chunk, len(events), len(wantEvents))
+			}
+			for i := range events {
+				if events[i] != wantEvents[i] {
+					t.Fatalf("corpus %d chunk %d: event %d = %+v, want %+v",
+						ci, chunk, i, events[i], wantEvents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDecodeShortReads pins that equivalence does not depend on
+// the reader filling the chunk: a reader that returns one byte per call
+// still decodes identically.
+func TestStreamDecodeShortReads(t *testing.T) {
+	data, want := cleanStream(160)
+	events, st, err := DecodeStream(iotest.OneByteReader(bytes.NewReader(data)), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LostBytes != 0 || len(events) != len(want) {
+		t.Fatalf("one-byte reads: %d events, stats %+v", len(events), st)
+	}
+	for i := range events {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// errAfterReader serves its buffer, then fails with err.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestStreamDecoderReadError pins the error path: events decoded before
+// a transport failure drain first, then the error surfaces — sticky,
+// and never dressed up as io.EOF.
+func TestStreamDecoderReadError(t *testing.T) {
+	data, want := cleanStream(64)
+	boom := errors.New("connection reset")
+	d := NewStreamDecoder(&errAfterReader{data: data, err: boom}, 16)
+	var events []Event
+	for {
+		evs, err := d.Next()
+		events = append(events, evs...)
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+			break
+		}
+	}
+	if len(events) != len(want) {
+		t.Fatalf("drained %d events before the error, want %d", len(events), len(want))
+	}
+	if _, err := d.Next(); !errors.Is(err, boom) {
+		t.Fatal("read error is not sticky")
+	}
+}
+
+// TestCaptureReaderStreams walks a serialised capture sample by sample
+// and checks the framing and payloads match the buffered read; payloads
+// left unread are skipped transparently.
+func TestCaptureReaderStreams(t *testing.T) {
+	notes := handNotes()
+	col := captureWorkload(t)
+	cp, err := col.Capture(notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cr, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Samples() != len(cp.Samples) {
+		t.Fatalf("Samples() = %d, want %d", cr.Samples(), len(cp.Samples))
+	}
+	if cr.Head().TotalLoads != cp.TotalLoads || cr.Head().Ann == nil {
+		t.Fatalf("header mismatch: %+v", cr.Head())
+	}
+	for i, want := range cp.Samples {
+		h, err := cr.NextHeader()
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if h.Seq != want.Seq || h.TriggerLoads != want.TriggerLoads || h.RawLen != len(want.Raw) {
+			t.Fatalf("sample %d header = %+v, want seq %d trig %d len %d",
+				i, h, want.Seq, want.TriggerLoads, len(want.Raw))
+		}
+		switch i % 3 {
+		case 0: // payload via ReadRaw
+			raw, err := cr.ReadRaw()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, want.Raw) {
+				t.Fatalf("sample %d payload differs", i)
+			}
+		case 1: // payload via the incremental reader
+			raw, err := io.ReadAll(cr.RawReader())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, want.Raw) {
+				t.Fatalf("sample %d payload differs", i)
+			}
+		default: // leave it unread: NextHeader must skip it
+		}
+	}
+	if _, err := cr.NextHeader(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last sample: %v, want io.EOF", err)
+	}
+}
+
+// TestCaptureReaderTruncation pins that a capture cut off mid-samples
+// fails loudly: io.EOF means only "all promised samples delivered",
+// never "the connection died early".
+func TestCaptureReaderTruncation(t *testing.T) {
+	col := captureWorkload(t)
+	cp, err := col.Capture(handNotes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, len(full)/2 + 3} {
+		cr, err := NewCaptureReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // cut inside the header: already an error
+		}
+		sawErr := false
+		for {
+			_, err := cr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Errorf("truncation at %d read as a clean capture", cut)
+		}
+	}
+}
+
+// TestBuildCaptureStreamEquivalence is the build-level identity: the
+// streamed build — any worker count, any chunk size, including chunks
+// small enough to force the inline StreamDecoder path — produces a
+// trace byte-identical to the buffered ReadCapture+Build, with the same
+// stats, and its sample sink sees every window exactly once.
+func TestBuildCaptureStreamEquivalence(t *testing.T) {
+	notes := handNotes()
+	col := driveSampled(100, 4<<10, 10_000)
+	cp, err := col.Capture(notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	want, wantDS, err := cp.NewBuilder().Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		// chunk 64 makes every ~4KB sample take the inline path
+		// (>= 4 chunks); 1<<20 keeps them all on the pooled path.
+		for _, chunk := range []int{64, 1 << 20} {
+			var mu sync.Mutex
+			seen := map[int]int{}
+			got, gotDS, err := BuildCaptureStream(context.Background(), bytes.NewReader(buf.Bytes()),
+				WithWorkers(workers), WithChunkBytes(chunk),
+				WithSampleSink(func(idx int, s *trace.Sample) {
+					mu.Lock()
+					seen[idx]++
+					mu.Unlock()
+				}),
+			)
+			if err != nil {
+				t.Fatalf("workers %d chunk %d: %v", workers, chunk, err)
+			}
+			gotEnc, err := got.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotEnc, wantEnc) {
+				t.Fatalf("workers %d chunk %d: streamed trace differs from buffered (%d vs %d bytes)",
+					workers, chunk, len(gotEnc), len(wantEnc))
+			}
+			if gotDS != wantDS {
+				t.Fatalf("workers %d chunk %d: stats %+v, want %+v", workers, chunk, gotDS, wantDS)
+			}
+			if got.Hash() != want.Hash() {
+				t.Fatalf("workers %d chunk %d: hashes differ", workers, chunk)
+			}
+			if len(seen) != len(cp.Samples) {
+				t.Fatalf("workers %d chunk %d: sink saw %d windows, want %d",
+					workers, chunk, len(seen), len(cp.Samples))
+			}
+			for idx, n := range seen {
+				if n != 1 {
+					t.Fatalf("workers %d chunk %d: sink saw window %d %d times", workers, chunk, idx, n)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCaptureStreamFaultFail pins that the streamed build under
+// FaultFail fails with the same *CorruptionError as the buffered one.
+func TestBuildCaptureStreamFaultFail(t *testing.T) {
+	notes := handNotes()
+	col := driveSampled(100, 4<<10, 10_000)
+	samples := col.Samples()
+	k := len(samples) / 2
+	orig := samples[k].Raw
+	// Not every bit flip breaks packet syntax; find a seed that does.
+	var (
+		cp       *Capture
+		wantCorr *CorruptionError
+	)
+	for seed := uint64(0); seed < 64; seed++ {
+		samples[k].Raw = Inject(orig, FaultBitFlip, seed)
+		c, err := col.Capture(notes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, buildErr := c.NewBuilder(WithFaultPolicy(FaultFail)).Build(context.Background())
+		if errors.As(buildErr, &wantCorr) {
+			cp = c
+			break
+		}
+	}
+	if cp == nil {
+		t.Fatal("no bit-flip seed produced a corrupt sample")
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{64, 1 << 20} {
+		_, _, err := BuildCaptureStream(context.Background(), bytes.NewReader(buf.Bytes()),
+			WithChunkBytes(chunk), WithFaultPolicy(FaultFail))
+		var corr *CorruptionError
+		if !errors.As(err, &corr) {
+			t.Fatalf("chunk %d: %v, want *CorruptionError", chunk, err)
+		}
+		if corr.Seq != wantCorr.Seq || corr.Resyncs != wantCorr.Resyncs || corr.LostBytes != wantCorr.LostBytes {
+			t.Fatalf("chunk %d: %+v, want %+v", chunk, corr, wantCorr)
+		}
+	}
+}
+
+// cancelOnReadReader cancels a context the first time it is read, then
+// keeps serving bytes: how a client disconnect surfaces mid-stream.
+type cancelOnReadReader struct {
+	r      io.Reader
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnReadReader) Read(p []byte) (int, error) {
+	c.cancel()
+	return c.r.Read(p)
+}
+
+// TestBuildCaptureStreamCancel pins that cancellation between samples
+// aborts the build with the context's error even while the transport
+// keeps delivering bytes.
+func TestBuildCaptureStreamCancel(t *testing.T) {
+	col := driveSampled(100, 4<<10, 10_000)
+	cp, err := col.Capture(handNotes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err = BuildCaptureStream(ctx, &cancelOnReadReader{r: bytes.NewReader(buf.Bytes()), cancel: cancel})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildCaptureStreamTruncated pins that a connection dying
+// mid-capture aborts the streamed build with a transport error rather
+// than returning a silently short trace.
+func TestBuildCaptureStreamTruncated(t *testing.T) {
+	col := driveSampled(100, 4<<10, 10_000)
+	cp, err := col.Capture(handNotes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Len() * 3 / 4
+	_, _, err = BuildCaptureStream(context.Background(), bytes.NewReader(buf.Bytes()[:cut]))
+	if err == nil {
+		t.Fatal("truncated capture built without error")
+	}
+}

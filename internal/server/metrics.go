@@ -14,27 +14,71 @@ import (
 // endpoints are the fixed label values of the per-endpoint metric
 // families. Fixing the set at construction keeps every hot-path update
 // a plain atomic add — no locks, no map writes after init.
-var endpoints = []string{"upload", "get", "delete", "analyze", "healthz", "metrics"}
+var endpoints = []string{"upload", "stream", "get", "raw", "delete", "analyze", "healthz", "metrics"}
 
-// latencyBuckets are the histogram upper bounds in seconds.
-var latencyBuckets = [numLatencyBuckets]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+// latencyBuckets are the request-latency upper bounds in seconds.
+var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
-const numLatencyBuckets = 10
+// streamByteBuckets are the streamed-upload size upper bounds in bytes:
+// 4 KiB through 1 GiB, a power-of-16-ish ladder around the default
+// chunk size and the default upload quota.
+var streamByteBuckets = []float64{4 << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
 
-// histogram is a fixed-bucket latency histogram with atomic counters.
-// Observe is lock-free; Write renders the cumulative Prometheus form.
+// histogram is a fixed-bucket histogram with atomic counters over
+// caller-chosen bounds (seconds, bytes, …). Observe is lock-free;
+// writeProm renders the cumulative Prometheus form.
 type histogram struct {
-	counts   [numLatencyBuckets + 1]atomic.Uint64 // +1: the +Inf bucket
-	count    atomic.Uint64
-	sumNanos atomic.Int64
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1: the last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Int64 // in the native unit (nanoseconds, bytes, …)
 }
 
-func (h *histogram) Observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets[:], s)
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records v in the native unit of the rendered family (seconds,
+// bytes); sumv is what accumulates into _sum — for latency histograms
+// the integer nanoseconds, to keep the hot path free of float rounding.
+func (h *histogram) observe(v float64, sumv int64) {
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
+	h.sum.Add(sumv)
+}
+
+// Observe records one value in the histogram's native unit.
+func (h *histogram) Observe(v float64) { h.observe(v, int64(v)) }
+
+// ObserveDuration records a latency sample.
+func (h *histogram) ObserveDuration(d time.Duration) { h.observe(d.Seconds(), int64(d)) }
+
+// writeProm renders the family's cumulative buckets, sum, and count.
+// labels is the rendered label set including braces ("{endpoint=\"x\"}"
+// or ""); sumScale divides the raw sum into the rendered unit (1e9 for
+// nanoseconds → seconds, 1 for bytes).
+func (h *histogram) writeProm(w io.Writer, name, labels string, sumScale float64) {
+	sep, close := "{", "}"
+	if labels != "" {
+		labels = labels[1 : len(labels)-1] // strip braces, re-joined below
+		sep = "{" + labels + ","
+	} else {
+		labels = ""
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", name, sep, fmtFloat(ub), close, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, sep, close, cum)
+	lb := ""
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lb, fmtFloat(float64(h.sum.Load())/sumScale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lb, h.count.Load())
 }
 
 // durSum is a cumulative duration/count pair (a Prometheus summary
@@ -63,20 +107,26 @@ type Metrics struct {
 	cacheMisses atomic.Uint64
 	coalesced   atomic.Uint64
 
+	// streamBytes is the per-upload bytes-streamed histogram and
+	// streamsInFlight the live gauge of open streamed uploads.
+	streamBytes     *histogram
+	streamsInFlight atomic.Int64
+
 	analysis map[string]*durSum
 }
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		requests: make(map[string]*atomic.Uint64, len(endpoints)),
-		errors:   make(map[string]*atomic.Uint64, len(endpoints)),
-		latency:  make(map[string]*histogram, len(endpoints)),
-		analysis: make(map[string]*durSum),
+		requests:    make(map[string]*atomic.Uint64, len(endpoints)),
+		errors:      make(map[string]*atomic.Uint64, len(endpoints)),
+		latency:     make(map[string]*histogram, len(endpoints)),
+		streamBytes: newHistogram(streamByteBuckets),
+		analysis:    make(map[string]*durSum),
 	}
 	for _, ep := range endpoints {
 		m.requests[ep] = &atomic.Uint64{}
 		m.errors[ep] = &atomic.Uint64{}
-		m.latency[ep] = &histogram{}
+		m.latency[ep] = newHistogram(latencyBuckets)
 	}
 	for _, a := range engine.AllAnalyses() {
 		m.analysis[a.String()] = &durSum{}
@@ -109,17 +159,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCach
 
 	fmt.Fprint(w, "# HELP memgazed_request_duration_seconds Request latency, by endpoint.\n# TYPE memgazed_request_duration_seconds histogram\n")
 	for _, ep := range endpoints {
-		h := m.latency[ep]
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "memgazed_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmtFloat(ub), cum)
-		}
-		cum += h.counts[numLatencyBuckets].Load()
-		fmt.Fprintf(w, "memgazed_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
-		fmt.Fprintf(w, "memgazed_request_duration_seconds_sum{endpoint=%q} %s\n", ep, fmtFloat(time.Duration(h.sumNanos.Load()).Seconds()))
-		fmt.Fprintf(w, "memgazed_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count.Load())
+		m.latency[ep].writeProm(w, "memgazed_request_duration_seconds",
+			fmt.Sprintf("{endpoint=%q}", ep), float64(time.Second))
 	}
+
+	fmt.Fprint(w, "# HELP memgazed_stream_bytes Bytes received per streamed upload.\n# TYPE memgazed_stream_bytes histogram\n")
+	m.streamBytes.writeProm(w, "memgazed_stream_bytes", "", 1)
+	fmt.Fprint(w, "# HELP memgazed_streams_in_flight Streamed uploads currently open.\n# TYPE memgazed_streams_in_flight gauge\n")
+	fmt.Fprintf(w, "memgazed_streams_in_flight %d\n", m.streamsInFlight.Load())
 
 	fmt.Fprint(w, "# HELP memgazed_result_cache_hits_total Analyze requests served from the result cache.\n# TYPE memgazed_result_cache_hits_total counter\n")
 	fmt.Fprintf(w, "memgazed_result_cache_hits_total %d\n", m.cacheHits.Load())

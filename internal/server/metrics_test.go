@@ -9,11 +9,11 @@ import (
 // TestHistogramBuckets pins bucket assignment and the cumulative
 // Prometheus rendering.
 func TestHistogramBuckets(t *testing.T) {
-	var h histogram
-	h.Observe(200 * time.Microsecond) // <= 0.0005
-	h.Observe(3 * time.Millisecond)   // <= 0.005
-	h.Observe(3 * time.Millisecond)
-	h.Observe(20 * time.Second) // +Inf
+	h := newHistogram(latencyBuckets)
+	h.ObserveDuration(200 * time.Microsecond) // <= 0.0005
+	h.ObserveDuration(3 * time.Millisecond)   // <= 0.005
+	h.ObserveDuration(3 * time.Millisecond)
+	h.ObserveDuration(20 * time.Second) // +Inf
 	if h.count.Load() != 4 {
 		t.Fatalf("count = %d", h.count.Load())
 	}
@@ -23,12 +23,23 @@ func TestHistogramBuckets(t *testing.T) {
 	if got := h.counts[2].Load(); got != 2 {
 		t.Errorf("bucket le=0.005 = %d", got)
 	}
-	if got := h.counts[numLatencyBuckets].Load(); got != 1 {
+	if got := h.counts[len(latencyBuckets)].Load(); got != 1 {
 		t.Errorf("+Inf bucket = %d", got)
 	}
 	wantSum := (200*time.Microsecond + 6*time.Millisecond + 20*time.Second).Nanoseconds()
-	if h.sumNanos.Load() != wantSum {
-		t.Errorf("sum = %d, want %d", h.sumNanos.Load(), wantSum)
+	if h.sum.Load() != wantSum {
+		t.Errorf("sum = %d, want %d", h.sum.Load(), wantSum)
+	}
+
+	// Native-unit observation: a bytes histogram buckets by value.
+	hb := newHistogram(streamByteBuckets)
+	hb.Observe(1000)      // <= 4096
+	hb.Observe(100 << 20) // <= 256 MiB
+	if got := hb.counts[0].Load(); got != 1 {
+		t.Errorf("byte bucket 0 = %d", got)
+	}
+	if hb.sum.Load() != 1000+100<<20 {
+		t.Errorf("byte sum = %d", hb.sum.Load())
 	}
 }
 
@@ -40,7 +51,7 @@ func TestPrometheusRendering(t *testing.T) {
 	rc := newResultCache(1000)
 	m.requests["analyze"].Add(3)
 	m.errors["analyze"].Add(1)
-	m.latency["analyze"].Observe(2 * time.Millisecond)
+	m.latency["analyze"].ObserveDuration(2 * time.Millisecond)
 	m.cacheHits.Add(2)
 	m.coalesced.Add(1)
 	m.ObserveAnalysis("mrc", 5*time.Millisecond)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +56,11 @@ type Config struct {
 	// BuildWorkers bounds samples decoded concurrently per PT-capture
 	// upload (default GOMAXPROCS).
 	BuildWorkers int
+	// StreamChunkBytes is the read granularity of streamed uploads
+	// (PUT /v1/traces:stream): peak raw memory per streamed PT build is
+	// O(StreamChunkBytes × BuildWorkers) regardless of capture size
+	// (default pt.DefaultStreamChunk, 256 KiB).
+	StreamChunkBytes int
 }
 
 func (c *Config) applyDefaults() {
@@ -73,6 +79,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 256 << 20
 	}
+	if c.StreamChunkBytes <= 0 {
+		c.StreamChunkBytes = pt.DefaultStreamChunk
+	}
 }
 
 // Server is the memgazed HTTP service. Create one with New, serve it
@@ -80,7 +89,9 @@ func (c *Config) applyDefaults() {
 // the listener has drained. Endpoints:
 //
 //	POST   /v1/traces              upload a trace (ContentTypeTrace) or raw PT capture (ContentTypePT)
+//	PUT    /v1/traces:stream       streamed upload: chunked transfer, bounded memory, mid-stream quota
 //	GET    /v1/traces/{id}         trace metadata
+//	GET    /v1/traces/{id}/raw     download the trace's MGTR encoding (streamed)
 //	DELETE /v1/traces/{id}         evict a trace (and its cached results)
 //	POST   /v1/traces/{id}/analyze run a set of engine analyses, JSON Report
 //	GET    /v1/healthz             liveness
@@ -134,7 +145,9 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/traces", s.instrument("upload", s.handleUpload))
+	mux.Handle("PUT /v1/traces:stream", s.instrument("stream", s.handleStream))
 	mux.Handle("GET /v1/traces/{id}", s.instrument("get", s.handleGet))
+	mux.Handle("GET /v1/traces/{id}/raw", s.instrument("raw", s.handleRaw))
 	mux.Handle("DELETE /v1/traces/{id}", s.instrument("delete", s.handleDelete))
 	mux.Handle("POST /v1/traces/{id}/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
@@ -181,9 +194,23 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// Unwrap exposes the underlying writer to http.ResponseController, which
-// recovers any other optional interfaces (io.ReaderFrom, deadlines).
+// Unwrap exposes the underlying writer to http.ResponseController,
+// which recovers the deadline and flush interfaces through the wrapper.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// ReadFrom forwards io.ReaderFrom to the underlying writer. io.Copy
+// does not know about Unwrap, so without this the wrapper would hide
+// net/http's ReadFrom — and with it the sendfile/splice fast path —
+// from every streamed response body. Of the remaining optional
+// interfaces, Flusher is forwarded above, deadline control is recovered
+// via Unwrap, and Hijacker/Pusher are deliberately not forwarded: no
+// endpoint upgrades connections or pushes.
+func (w *statusWriter) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(r)
+	}
+	return io.Copy(w.ResponseWriter, r)
+}
 
 // instrument wraps a handler with the endpoint's request counter
 // (incremented on arrival, so coalesced waiters are visible while they
@@ -194,7 +221,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.metrics.latency[endpoint].Observe(time.Since(start))
+		s.metrics.latency[endpoint].ObserveDuration(time.Since(start))
 		if sw.status >= 400 {
 			s.metrics.errors[endpoint].Add(1)
 		}
@@ -296,6 +323,19 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
+// faultPolicy parses the ?fault query parameter shared by both upload
+// paths (resync, the default, or fail).
+func faultPolicy(r *http.Request) (pt.FaultPolicy, error) {
+	switch v := r.URL.Query().Get("fault"); v {
+	case "", "resync":
+		return pt.FaultResync, nil
+	case "fail":
+		return pt.FaultFail, nil
+	default:
+		return 0, fmt.Errorf("unknown fault policy %q", v)
+	}
+}
+
 // buildCapture decodes a raw PT capture upload through the Builder
 // pipeline. The fault policy comes from the ?fault query parameter
 // (resync, the default, or fail).
@@ -304,13 +344,9 @@ func (s *Server) buildCapture(r *http.Request, body []byte) (*trace.Trace, *pt.D
 	if err != nil {
 		return nil, nil, err
 	}
-	policy := pt.FaultResync
-	switch r.URL.Query().Get("fault") {
-	case "", "resync":
-	case "fail":
-		policy = pt.FaultFail
-	default:
-		return nil, nil, fmt.Errorf("unknown fault policy %q", r.URL.Query().Get("fault"))
+	policy, err := faultPolicy(r)
+	if err != nil {
+		return nil, nil, err
 	}
 	tr, ds, err := cp.NewBuilder(
 		pt.WithWorkers(s.cfg.BuildWorkers),
@@ -320,6 +356,136 @@ func (s *Server) buildCapture(r *http.Request, body []byte) (*trace.Trace, *pt.D
 		return nil, nil, err
 	}
 	return tr, &ds, nil
+}
+
+// countingReader counts bytes as they come off the wire — the
+// bytes-streamed histogram's source, observed whether or not the upload
+// succeeds.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleStream is PUT /v1/traces:stream: the bounded-memory upload
+// path. The body — chunked transfer or unknown Content-Length included
+// — is consumed incrementally: a PT capture decodes through
+// pt.BuildCaptureStream with samples pipelined onto the build workers
+// and headline diagnostics folded on the fly by engine.StreamAccum; an
+// MGTR trace decodes through trace.Read directly off the wire. The
+// byte quota is enforced mid-stream by http.MaxBytesReader (413 on
+// breach, nothing buffered), client disconnects surface between chunks
+// as context cancellation (503), and the stored id comes from the
+// trace's canonical encoding streamed through a trace.Hasher — so a
+// streamed upload of any valid body deduplicates against its buffered
+// twin byte-for-byte.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.streamsInFlight.Add(1)
+	defer s.metrics.streamsInFlight.Add(-1)
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)}
+	defer func() { s.metrics.streamBytes.Observe(float64(body.n)) }()
+
+	var (
+		tr    *trace.Trace
+		ds    *pt.DecodeStats
+		accum *engine.StreamAccum
+		err   error
+	)
+	ctype, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	switch strings.TrimSpace(ctype) {
+	case ContentTypePT:
+		var policy pt.FaultPolicy
+		policy, err = faultPolicy(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		accum = engine.NewStreamAccum(0)
+		var dsv pt.DecodeStats
+		tr, dsv, err = pt.BuildCaptureStream(r.Context(), body,
+			pt.WithWorkers(s.cfg.BuildWorkers),
+			pt.WithChunkBytes(s.cfg.StreamChunkBytes),
+			pt.WithFaultPolicy(policy),
+			pt.WithSampleSink(accum.AddSample),
+		)
+		ds = &dsv
+	case ContentTypeTrace, "application/octet-stream", "":
+		tr, err = trace.Read(body)
+	default:
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported content type %q", ctype)
+		return
+	}
+	if err != nil {
+		var mbe *http.MaxBytesError
+		var ce *pt.CorruptionError
+		switch {
+		case errors.As(err, &mbe):
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		case errors.As(err, &ce):
+			writeError(w, http.StatusUnprocessableEntity, "corrupt PT stream: %v", ce)
+		case errors.Is(err, context.Canceled) || r.Context().Err() != nil:
+			writeError(w, http.StatusServiceUnavailable, "stream cancelled")
+		default:
+			writeError(w, http.StatusBadRequest, "stream: %v", err)
+		}
+		return
+	}
+
+	// Identity from the canonical encoding, streamed through the
+	// incremental hasher: one serialisation pass, nothing materialised.
+	h := trace.NewHasher()
+	if err := tr.Write(h); err != nil {
+		writeError(w, http.StatusInternalServerError, "hashing: %v", err)
+		return
+	}
+	id, size := h.Sum()
+	added := s.store.Put(id, tr, size)
+
+	var info TraceInfo
+	if accum != nil {
+		// The PT path already folded the headline numbers window by
+		// window; no second walk over the built trace.
+		info = TraceInfo{
+			ID:      id,
+			Module:  tr.Module,
+			Mode:    tr.Mode,
+			Samples: accum.Samples(),
+			Records: accum.Records(),
+			Bytes:   size,
+			Rho:     accum.Rho(tr.TotalLoads, tr.Period),
+			Kappa:   accum.Kappa(),
+		}
+	} else {
+		info = traceInfo(id, tr, size)
+	}
+	info.Existed = !added
+	info.Decode = ds
+	status := http.StatusCreated
+	if !added {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// handleRaw is GET /v1/traces/{id}/raw: the streamed download twin of
+// the upload paths. The MGTR encoding is serialised straight into the
+// response via Trace.WriteTo — Content-Length is known from the store's
+// accounting, and nothing is buffered.
+func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, size, ok := s.store.Get(id) // a download is a use: bump recency
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeTrace)
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	tr.WriteTo(w)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -436,7 +602,7 @@ func (q *AnalyzeRequest) cacheKey(id string) string {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	tr, ok := s.store.Get(id)
+	tr, _, ok := s.store.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown trace %q", id)
 		return

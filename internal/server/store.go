@@ -137,18 +137,20 @@ func (s *Store) evictOver(keep string) {
 	}
 }
 
-// Get returns the trace stored under id, bumping its recency.
-func (s *Store) Get(id string) (*trace.Trace, bool) {
+// Get returns the trace stored under id and its encoded size, bumping
+// its recency.
+func (s *Store) Get(id string) (*trace.Trace, int64, bool) {
 	sh := &s.shards[shardIndex(id)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.entries[id]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
-	el.Value.(*storeEntry).stamp = s.clock.Add(1)
+	e := el.Value.(*storeEntry)
+	e.stamp = s.clock.Add(1)
 	sh.lru.MoveToFront(el)
-	return el.Value.(*storeEntry).tr, true
+	return e.tr, e.size, true
 }
 
 // Meta returns the trace and its stored encoded size without bumping

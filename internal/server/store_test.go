@@ -33,7 +33,7 @@ func TestStoreBudgetEviction(t *testing.T) {
 	}
 	// Touch id0 so it is MRU; the next insert must evict one of the
 	// others.
-	if _, ok := s.Get("id0"); !ok {
+	if _, _, ok := s.Get("id0"); !ok {
 		t.Fatal("id0 missing")
 	}
 	s.Put("id3", tinyTrace(3), 100)
@@ -43,17 +43,17 @@ func TestStoreBudgetEviction(t *testing.T) {
 	if s.Evictions() != 1 {
 		t.Fatalf("evictions = %d", s.Evictions())
 	}
-	if _, ok := s.Get("id0"); !ok {
+	if _, _, ok := s.Get("id0"); !ok {
 		t.Error("recently used id0 was evicted")
 	}
-	if _, ok := s.Get("id3"); !ok {
+	if _, _, ok := s.Get("id3"); !ok {
 		t.Error("newest insert was evicted")
 	}
 
 	// An oversized trace still lands (never evicts itself), pushing the
 	// rest out.
 	s.Put("big", tinyTrace(9), 1000)
-	if _, ok := s.Get("big"); !ok {
+	if _, _, ok := s.Get("big"); !ok {
 		t.Error("oversized trace rejected")
 	}
 	if s.Len() != 1 {

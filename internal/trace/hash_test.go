@@ -82,3 +82,54 @@ func TestHashAndSize(t *testing.T) {
 		t.Errorf("HashAndSize size = %d, want %d", size, want)
 	}
 }
+
+// TestWriteTo pins the io.WriterTo variant: same bytes as Write, with
+// the byte count reported.
+func TestWriteTo(t *testing.T) {
+	tr := synthetic(7, 3, 40)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, buf.Bytes()) {
+		t.Error("WriteTo bytes differ from Encode")
+	}
+	if n != int64(len(enc)) {
+		t.Errorf("WriteTo reported %d bytes, want %d", n, len(enc))
+	}
+}
+
+// TestHasher pins the incremental identity: bytes fed chunk by chunk —
+// as an upload body arrives — yield the same (hash, size) pair as the
+// single-pass HashAndSize, regardless of chunking.
+func TestHasher(t *testing.T) {
+	tr := synthetic(7, 3, 40)
+	wantID, wantSize := tr.HashAndSize()
+
+	// Streamed whole via WriteTo.
+	h := NewHasher()
+	if _, err := tr.WriteTo(h); err != nil {
+		t.Fatal(err)
+	}
+	if id, size := h.Sum(); id != wantID || size != wantSize {
+		t.Errorf("WriteTo into Hasher = (%s, %d), want (%s, %d)", id, size, wantID, wantSize)
+	}
+
+	// Fed byte by byte, as a chunked transfer would.
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHasher()
+	for _, b := range enc {
+		h2.Write([]byte{b})
+	}
+	if id, size := h2.Sum(); id != wantID || size != wantSize {
+		t.Errorf("byte-wise Hasher = (%s, %d), want (%s, %d)", id, size, wantID, wantSize)
+	}
+}

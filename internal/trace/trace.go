@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"iter"
 	"sort"
@@ -445,10 +446,45 @@ func (t *Trace) EncodedSize() int64 {
 // HashAndSize returns Hash and EncodedSize from a single serialisation
 // pass — what an upload path wants, instead of walking the trace twice.
 func (t *Trace) HashAndSize() (string, int64) {
-	h := sha256.New()
+	h := NewHasher()
+	t.Write(h)
+	return h.Sum()
+}
+
+// WriteTo streams the trace's MGTR encoding to w and reports the bytes
+// written, implementing io.WriterTo: io.Copy-style consumers — a raw
+// download response, a store spilling to disk — serialise a trace
+// without materialising the encoding in memory first.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	var cw countWriter
-	t.Write(io.MultiWriter(h, &cw))
-	return hex.EncodeToString(h.Sum(nil)), cw.n
+	err := t.Write(io.MultiWriter(&cw, w))
+	return cw.n, err
+}
+
+// Hasher computes a trace's content identity incrementally: an
+// io.Writer that hashes and counts every MGTR byte written through it.
+// Stream a trace into one (t.Write(h), or tee a serialised body through
+// it as it is read) and Sum returns the same pair as HashAndSize —
+// without the encoding ever being resident.
+type Hasher struct {
+	h hash.Hash
+	n int64
+}
+
+// NewHasher returns a Hasher ready to receive MGTR bytes.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Write feeds bytes into the identity; it never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	h.h.Write(p)
+	h.n += int64(len(p))
+	return len(p), nil
+}
+
+// Sum returns the content hash of the bytes written so far and their
+// count. It does not consume the state: more writes may follow.
+func (h *Hasher) Sum() (id string, size int64) {
+	return hex.EncodeToString(h.h.Sum(nil)), h.n
 }
 
 type countWriter struct{ n int64 }

@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	maxUpload := fs.Int64("max-upload", 256<<20, "maximum upload body bytes (enforced mid-stream on chunked uploads)")
 	buildWorkers := fs.Int("build-workers", 0, "samples decoded concurrently per PT-capture upload (0 = GOMAXPROCS)")
 	streamChunk := fs.Int("stream-chunk", 0, "read granularity of streamed uploads in bytes (0 = 256 KiB); peak streamed-build memory is O(stream-chunk × build-workers)")
+	sweepShards := fs.Int("sweep-shards", 0, "sample shards per analysis trace walk (0 = GOMAXPROCS, 1 = sequential; output is identical at every count)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +71,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxUploadBytes:   *maxUpload,
 		BuildWorkers:     *buildWorkers,
 		StreamChunkBytes: *streamChunk,
+		SweepShards:      *sweepShards,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"context"
+	"slices"
+
+	"github.com/memgaze/memgaze-go/internal/pool"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// SortedAddrsCtx returns every record address of the trace, sorted —
+// the index behind per-region distinct-block counts.
+func SortedAddrsCtx(ctx context.Context, t *trace.Trace) ([]uint64, error) {
+	addrs := make([]uint64, 0, t.Len())
+	cur := -1
+	for si, r := range t.Records() {
+		if si != cur {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cur = si
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	slices.Sort(addrs)
+	return addrs, nil
+}
+
+// SortedAddrsSharded is SortedAddrsCtx computed as a per-shard sort
+// followed by a k-way merge. A sorted multiset has one representation,
+// so the result is byte-identical at every shard count. shards <= 0
+// selects GOMAXPROCS.
+func SortedAddrsSharded(ctx context.Context, t *trace.Trace, shards int) ([]uint64, error) {
+	shards = resolveShards(shards, len(t.Samples))
+	if shards <= 1 {
+		return SortedAddrsCtx(ctx, t)
+	}
+	res := make([][]uint64, shards)
+	tasks := make([]func(context.Context) error, shards)
+	for i := range tasks {
+		lo, hi := shardRange(len(t.Samples), shards, i)
+		tasks[i] = func(ctx context.Context) error {
+			n := 0
+			for si := lo; si < hi; si++ {
+				n += len(t.Samples[si].Records)
+			}
+			addrs := make([]uint64, 0, n)
+			for si := lo; si < hi; si++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				s := t.Samples[si]
+				for j := range s.Records {
+					addrs = append(addrs, s.Records[j].Addr)
+				}
+			}
+			slices.Sort(addrs)
+			res[i] = addrs
+			return nil
+		}
+	}
+	if err := pool.Run(ctx, shards, tasks); err != nil {
+		return nil, err
+	}
+	// Merge sorted runs pairwise in rounds: O(N log k) and each round
+	// halves the run count.
+	for len(res) > 1 {
+		next := make([][]uint64, 0, (len(res)+1)/2)
+		for i := 0; i < len(res); i += 2 {
+			if i+1 == len(res) {
+				next = append(next, res[i])
+				break
+			}
+			next = append(next, mergeSorted(res[i], res[i+1]))
+		}
+		res = next
+	}
+	return res[0], nil
+}
+
+// mergeSorted merges two sorted slices into a new sorted slice.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,6 +24,36 @@ func benchTrace(samples, recs int) *trace.Trace {
 		tr.Samples = append(tr.Samples, smp)
 	}
 	return tr
+}
+
+// BenchmarkSweep measures the sequential full sweep; -benchmem shows
+// the per-sample scratch maps are reused rather than reallocated.
+func BenchmarkSweep(b *testing.B) {
+	tr := benchTrace(256, 512)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSweep(ctx, tr, 64, SweepEverything); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSharded measures the sharded sweep at GOMAXPROCS
+// shards; run with -cpu=1,4 to see the map-reduce scaling and the
+// single-core overhead bound.
+func BenchmarkSweepSharded(b *testing.B) {
+	tr := benchTrace(256, 512)
+	st := StatsOf(tr)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSweepSharded(ctx, tr, 64, SweepEverything, 0, st); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkStackDistAccess(b *testing.B) {

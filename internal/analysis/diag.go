@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/pool"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -205,7 +206,11 @@ func (da *DiagAccum) Finish(rho float64) *Diag { return da.ac.finish(rho) }
 // x's samples followed by y's. Neither input is modified. The result is
 // finish- and merge-only: records cannot be added to it.
 func MergeDiagAccums(name string, x, y *DiagAccum) *DiagAccum {
-	a, b := x.ac, y.ac
+	return &DiagAccum{ac: mergeAccums(name, x.ac, y.ac)}
+}
+
+// mergeAccums merges two disjoint accumulations, a the earlier one.
+func mergeAccums(name string, a, b *accumulator) *accumulator {
 	m := &accumulator{
 		name:     name,
 		a:        a.a + b.a,
@@ -241,7 +246,7 @@ func MergeDiagAccums(name string, x, y *DiagAccum) *DiagAccum {
 			m.firstCls[addr] = c
 		}
 	}
-	return &DiagAccum{ac: m}
+	return m
 }
 
 // sortByHotness orders diagnostics by descending estimated loads with a
@@ -258,12 +263,18 @@ func sortByHotness(out []*Diag) {
 // keyedDiagnostics aggregates the trace into code windows keyed by
 // key(r) and computes a Diag for each, hottest first.
 func keyedDiagnostics(ctx context.Context, t *trace.Trace, blockSize uint64, key func(*trace.Record) string) ([]*Diag, error) {
-	rho := t.Rho()
+	return keyedDiagnosticsSharded(ctx, t, blockSize, 1, Stats{}, key)
+}
+
+// keyedDiagAccs walks samples [lo, hi), accumulating per-key state —
+// the sequential inner loop of keyedDiagnostics, reused per shard.
+func keyedDiagAccs(ctx context.Context, t *trace.Trace, blockSize uint64, lo, hi int, key func(*trace.Record) string) (map[string]*accumulator, error) {
 	accs := make(map[string]*accumulator)
-	for _, s := range t.Samples {
+	for si := lo; si < hi; si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		s := t.Samples[si]
 		for _, ac := range accs {
 			ac.startSample()
 		}
@@ -278,9 +289,56 @@ func keyedDiagnostics(ctx context.Context, t *trace.Trace, blockSize uint64, key
 			ac.add(r)
 		}
 	}
+	return accs, nil
+}
+
+// keyedDiagnosticsSharded is keyedDiagnostics over contiguous sample
+// shards walked concurrently. Per-key accumulations merge exactly (see
+// DiagAccum), with earlier shards taking first-touch precedence, so the
+// result is byte-identical to the sequential walk at every shard count.
+func keyedDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats, key func(*trace.Record) string) ([]*Diag, error) {
+	st = st.orStatsOf(t)
+	shards = resolveShards(shards, len(t.Samples))
+
+	var accs map[string]*accumulator
+	if shards <= 1 {
+		var err error
+		accs, err = keyedDiagAccs(ctx, t, blockSize, 0, len(t.Samples), key)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res := make([]map[string]*accumulator, shards)
+		tasks := make([]func(context.Context) error, shards)
+		for i := range tasks {
+			lo, hi := shardRange(len(t.Samples), shards, i)
+			tasks[i] = func(ctx context.Context) error {
+				m, err := keyedDiagAccs(ctx, t, blockSize, lo, hi, key)
+				if err != nil {
+					return err
+				}
+				res[i] = m
+				return nil
+			}
+		}
+		if err := pool.Run(ctx, shards, tasks); err != nil {
+			return nil, err
+		}
+		accs = res[0]
+		for _, m := range res[1:] {
+			for k, ac := range m {
+				if prev, ok := accs[k]; ok {
+					accs[k] = mergeAccums(k, prev, ac)
+				} else {
+					accs[k] = ac
+				}
+			}
+		}
+	}
+
 	out := make([]*Diag, 0, len(accs))
 	for _, ac := range accs {
-		out = append(out, ac.finish(rho))
+		out = append(out, ac.finish(st.Rho))
 	}
 	sortByHotness(out)
 	return out, nil
@@ -301,6 +359,15 @@ func FunctionDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint6
 	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string { return r.Proc })
 }
 
+// FunctionDiagnosticsSharded is FunctionDiagnosticsCtx computed over
+// contiguous sample shards walked concurrently, byte-identical to the
+// sequential result at every shard count. shards <= 0 selects
+// GOMAXPROCS; shards == 1 is the sequential path. st may carry
+// precomputed trace Stats (zero means compute on demand).
+func FunctionDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats) ([]*Diag, error) {
+	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, func(r *trace.Record) string { return r.Proc })
+}
+
 // LineDiagnostics aggregates the trace into source-line code windows
 // ("proc:line" keys) — the finest attribution granularity §III-D's
 // source remapping supports — and computes a Diag for each, hottest
@@ -313,6 +380,14 @@ func LineDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
 // LineDiagnosticsCtx is LineDiagnostics with cancellation.
 func LineDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint64) ([]*Diag, error) {
 	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string {
+		return fmt.Sprintf("%s:%d", r.Proc, r.Line)
+	})
+}
+
+// LineDiagnosticsSharded is LineDiagnosticsCtx over concurrent sample
+// shards; see FunctionDiagnosticsSharded for the contract.
+func LineDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats) ([]*Diag, error) {
+	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, func(r *trace.Record) string {
 		return fmt.Sprintf("%s:%d", r.Proc, r.Line)
 	})
 }

@@ -1,0 +1,37 @@
+package analysis
+
+import "github.com/memgaze/memgaze-go/internal/trace"
+
+// Stats carries the trace-global scalars — record and implied-access
+// counts plus the sample ratio ρ and compression ratio κ derived from
+// them — that several analyses consume. Computing them walks every
+// record, so callers running more than one analysis compute Stats once
+// (the engine memoizes it in the derived layer) and inject it instead
+// of letting each analysis re-walk the trace through Trace.Rho and
+// Trace.Kappa.
+//
+// The zero Stats means "not computed": functions accepting a Stats
+// treat it as a request to call StatsOf themselves. A computed Stats is
+// never zero — ρ and κ are at least 1, even for an empty trace.
+type Stats struct {
+	Records int
+	Implied uint64
+	Rho     float64
+	Kappa   float64
+}
+
+// StatsOf computes the trace's Stats in a single walk. Rho and Kappa
+// are bit-identical to Trace.Rho and Trace.Kappa.
+func StatsOf(t *trace.Trace) Stats {
+	records, implied := t.Counts()
+	rho, kappa := t.RhoKappa(records, implied)
+	return Stats{Records: records, Implied: implied, Rho: rho, Kappa: kappa}
+}
+
+// orStatsOf resolves a possibly-zero injected Stats.
+func (st Stats) orStatsOf(t *trace.Trace) Stats {
+	if st == (Stats{}) {
+		return StatsOf(t)
+	}
+	return st
+}

@@ -25,7 +25,9 @@ import (
 //
 // The flat analysis functions route through a sweep restricted to their
 // own part, so their results are unchanged; the engine requests all
-// parts at once and shares the result.
+// parts at once and shares the result. NewSweepSharded (sweep_sharded.go)
+// partitions the walk across sample shards and reduces to the identical
+// result.
 
 // SweepParts selects which products a sweep computes.
 type SweepParts uint
@@ -58,11 +60,35 @@ type TraceSweep struct {
 	SamplesOf, RecordsOf map[string]int
 }
 
+// sighting is the last observation of a block or address: the trigger
+// load count of its sample and the sample's index.
+type sighting struct {
+	trigger uint64
+	sample  int
+}
+
+// maxLog bounds the log2 reuse-interval histogram.
+const maxLog = 40
+
+// ibucket maps an interval length to its log2 histogram bucket.
+func ibucket(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v) - 1
+}
+
 // NewSweep walks the trace once and computes the requested parts.
 // blockSize applies to the distance profile; the interval histogram is
 // exact-address as in ReuseIntervalHistogram. It returns ctx.Err() as
 // soon as the context is done.
 func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts) (*TraceSweep, error) {
+	return newSweepSeq(ctx, t, blockSize, parts, Stats{})
+}
+
+// newSweepSeq is the sequential sweep with an optionally precomputed
+// Stats (zero means compute on demand).
+func newSweepSeq(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, st Stats) (*TraceSweep, error) {
 	sw := &TraceSweep{BlockSize: blockSize}
 	if parts&SweepPresence != 0 {
 		sw.SamplesOf = map[string]int{}
@@ -70,10 +96,6 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 	}
 
 	// Distance-profile state (block granularity).
-	type sighting struct {
-		trigger uint64
-		sample  int
-	}
 	var (
 		p           = &ReuseProfile{}
 		sd          *StackDist
@@ -91,19 +113,23 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 	}
 
 	// Interval-histogram state (exact addresses).
-	const maxLog = 40
 	var intraB, interB [maxLog]int
-	bucket := func(v uint64) int {
-		if v == 0 {
-			return 0
-		}
-		return bits.Len64(v) - 1
-	}
 	var lastSample map[uint64]int
 	var lastTrigger map[uint64]uint64
 	if parts&SweepIntervals != 0 {
 		lastSample = map[uint64]int{}
 		lastTrigger = map[uint64]uint64{}
+	}
+
+	// Per-sample scratch, reused across samples (clear keeps capacity, so
+	// the inner loop stops paying one map allocation per sample per part).
+	var seenAddr map[uint64]int  // addr -> record index (intervals)
+	var seenProc map[string]bool // presence
+	if parts&SweepIntervals != 0 {
+		seenAddr = map[uint64]int{}
+	}
+	if parts&SweepPresence != 0 {
+		seenProc = map[string]bool{}
 	}
 
 	for si, s := range t.Samples {
@@ -113,13 +139,11 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 		if parts&SweepDistances != 0 && len(s.Records) > 0 {
 			sd.Reset()
 		}
-		var seenAddr map[uint64]int  // addr -> record index (intervals)
-		var seenProc map[string]bool // presence
-		if parts&SweepIntervals != 0 {
-			seenAddr = map[uint64]int{}
+		if seenAddr != nil {
+			clear(seenAddr)
 		}
-		if parts&SweepPresence != 0 {
-			seenProc = map[string]bool{}
+		if seenProc != nil {
+			clear(seenProc)
 		}
 		for i := range s.Records {
 			r := &s.Records[i]
@@ -134,12 +158,12 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 
 			if parts&SweepIntervals != 0 {
 				if prev, ok := seenAddr[r.Addr]; ok {
-					intraB[bucket(uint64(i-prev))]++
+					intraB[ibucket(uint64(i-prev))]++
 				} else if ps, ok := lastSample[r.Addr]; ok && ps != si {
 					// R3: estimate the interval as the load-counter
 					// distance between the two samples' triggers.
 					if d := s.TriggerLoads - lastTrigger[r.Addr]; d > 0 {
-						interB[bucket(d)]++
+						interB[ibucket(d)]++
 					}
 				}
 				seenAddr[r.Addr] = i
@@ -176,71 +200,90 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 	}
 
 	if parts&SweepIntervals != 0 {
-		for l := 0; l < maxLog; l++ {
-			if intraB[l] == 0 && interB[l] == 0 {
-				continue
-			}
-			sw.Intervals = append(sw.Intervals, IntervalBucket{Log2: l, Intra: intraB[l], Inter: interB[l]})
-		}
-	}
-
-	if parts&SweepDistances != 0 && accesses > 0 {
-		bpa := 0.5
-		if bpaN > 0 {
-			bpa = bpaSum / float64(bpaN)
-		}
-		// Block population (Good–Turing over the block multiset): caps
-		// inter-sample distance estimates — no reuse distance can exceed
-		// the number of distinct blocks — and sets the true cold-miss
-		// rate.
-		var cs CSCounts
-		for _, n := range blockCounts {
-			cs.Unique++
-			if n == 1 {
-				cs.Singletons++
-			} else if n == 2 {
-				cs.Doubletons++
-			}
-			cs.Draws += float64(n)
-		}
-		rho, kappa := t.Rho(), t.Kappa()
-		estLoads := rho * kappa * float64(accesses)
-		popCap := EstimateUnique(dataflow.Irregular, cs, estLoads, cs.Unique*rho*kappa, 0)
-
-		// Turn trigger gaps into distance estimates.
-		interDists := make([]int, len(gaps))
-		for i, gap := range gaps {
-			est := bpa * gap / kappa
-			if est > popCap {
-				est = popCap
-			}
-			interDists[i] = int(est)
-		}
-		p.Estimated = append(p.Estimated, interDists...)
-
-		// Sparse samples mislabel most survivals: an address seen once is
-		// usually a reuse whose partner was not sampled, not a cold miss.
-		// The true cold rate is (distinct blocks ever touched) /
-		// (executed loads); the excess survivals get the empirical
-		// inter-sample distance distribution.
-		coldTrue := int(popCap / estLoads * float64(p.Total))
-		if coldTrue > p.Cold {
-			coldTrue = p.Cold
-		}
-		leftover := p.Cold - coldTrue
-		p.Cold = coldTrue
-		for i := 0; i < leftover; i++ {
-			if len(interDists) > 0 {
-				p.Estimated = append(p.Estimated, interDists[i%len(interDists)])
-			} else {
-				// No cross-sample evidence at all: treat as beyond any
-				// practical capacity.
-				p.Estimated = append(p.Estimated, int(popCap))
-			}
-		}
+		sw.Intervals = intervalBuckets(&intraB, &interB)
 	}
 	if parts&SweepDistances != 0 {
+		finishDistances(t, p, gaps, blockCounts, bpaSum, bpaN, accesses, st)
 		sw.Profile = p
 	}
 	return sw, nil
+}
+
+// intervalBuckets folds the dense histograms into the sparse
+// IntervalBucket list.
+func intervalBuckets(intraB, interB *[maxLog]int) []IntervalBucket {
+	var out []IntervalBucket
+	for l := 0; l < maxLog; l++ {
+		if intraB[l] == 0 && interB[l] == 0 {
+			continue
+		}
+		out = append(out, IntervalBucket{Log2: l, Intra: intraB[l], Inter: interB[l]})
+	}
+	return out
+}
+
+// finishDistances turns the walk's raw distance state into the final
+// ReuseProfile: trigger gaps become capped inter-sample distance
+// estimates, and excess survivals are relabeled using the block
+// population (Good–Turing over the block multiset). The sharded reduce
+// calls it with merged state; the order of gaps must be stream order
+// for the leftover replication to be deterministic.
+func finishDistances(t *trace.Trace, p *ReuseProfile, gaps []float64, blockCounts map[uint64]int, bpaSum float64, bpaN, accesses int, st Stats) {
+	if accesses == 0 {
+		return
+	}
+	bpa := 0.5
+	if bpaN > 0 {
+		bpa = bpaSum / float64(bpaN)
+	}
+	// Block population (Good–Turing over the block multiset): caps
+	// inter-sample distance estimates — no reuse distance can exceed
+	// the number of distinct blocks — and sets the true cold-miss
+	// rate.
+	var cs CSCounts
+	for _, n := range blockCounts {
+		cs.Unique++
+		if n == 1 {
+			cs.Singletons++
+		} else if n == 2 {
+			cs.Doubletons++
+		}
+		cs.Draws += float64(n)
+	}
+	st = st.orStatsOf(t)
+	rho, kappa := st.Rho, st.Kappa
+	estLoads := rho * kappa * float64(accesses)
+	popCap := EstimateUnique(dataflow.Irregular, cs, estLoads, cs.Unique*rho*kappa, 0)
+
+	// Turn trigger gaps into distance estimates.
+	interDists := make([]int, len(gaps))
+	for i, gap := range gaps {
+		est := bpa * gap / kappa
+		if est > popCap {
+			est = popCap
+		}
+		interDists[i] = int(est)
+	}
+	p.Estimated = append(p.Estimated, interDists...)
+
+	// Sparse samples mislabel most survivals: an address seen once is
+	// usually a reuse whose partner was not sampled, not a cold miss.
+	// The true cold rate is (distinct blocks ever touched) /
+	// (executed loads); the excess survivals get the empirical
+	// inter-sample distance distribution.
+	coldTrue := int(popCap / estLoads * float64(p.Total))
+	if coldTrue > p.Cold {
+		coldTrue = p.Cold
+	}
+	leftover := p.Cold - coldTrue
+	p.Cold = coldTrue
+	for i := 0; i < leftover; i++ {
+		if len(interDists) > 0 {
+			p.Estimated = append(p.Estimated, interDists[i%len(interDists)])
+		} else {
+			// No cross-sample evidence at all: treat as beyond any
+			// practical capacity.
+			p.Estimated = append(p.Estimated, int(popCap))
+		}
+	}
 }

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"context"
+	"runtime"
+
+	"github.com/memgaze/memgaze-go/internal/pool"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// Sample-sharded sweep: map-reduce over contiguous shards of t.Samples
+// with a deterministic ordered reduce, byte-identical to NewSweep at
+// every shard count.
+//
+// Why sharding is exact here: every intra-sample statistic (stack
+// distances, the intra interval histogram, per-procedure presence) is
+// computed from one sample alone, and shards hold whole samples — so
+// per-shard walks reproduce those exactly, and concatenating or summing
+// them in shard order reproduces the sequential stream. The only
+// cross-sample state is "when was this block/address last seen", used
+// to classify a sample-first access as an R3 reuse (with its trigger
+// gap) or a cold miss. A shard resolves that locally whenever the
+// previous sighting is inside the shard; the first in-shard sighting of
+// each block is emitted as a *pending event*, in stream order, and the
+// reduce replays shards in order against the accumulated last-sighting
+// map of all earlier shards. Because the reduce sees exactly the
+// sightings a sequential walk would have seen at that point, every
+// pending event resolves to the same classification and the same gap,
+// and appending resolutions in event order rebuilds the sequential gap
+// list element for element. Floating-point state that is
+// order-sensitive (the blocks-per-access mean) is carried as per-shard
+// term lists and folded in shard order, so even the rounding matches.
+
+// distEvent is one cross-sample event of a shard's distance stream, in
+// stream order: either an R3 trigger gap already resolved inside the
+// shard, or a pending first-in-shard sighting the reduce classifies
+// against earlier shards (R3 gap if the block was sighted before, cold
+// miss otherwise).
+type distEvent struct {
+	block   uint64  // pending: block whose earlier sighting is sought
+	trigger uint64  // pending: trigger loads of the sighting's sample
+	gap     float64 // resolved: trigger gap
+	pending bool
+}
+
+// interEvent is a pending first-in-shard address sighting of the
+// interval histogram. In-shard R3 intervals go straight into the
+// shard's bucket array (bucket counts are order-independent sums).
+type interEvent struct {
+	addr    uint64
+	trigger uint64
+}
+
+// sweepShard is the mergeable state one shard contributes.
+type sweepShard struct {
+	// Distances.
+	intra       []int               // exact intra-sample distances, stream order
+	events      []distEvent         // cross-sample events, stream order
+	lastSeen    map[uint64]sighting // block -> last sighting in shard
+	blockCounts map[uint64]int
+	bpaTerms    []float64 // blocks-per-access terms, one per non-empty sample
+	accesses    int
+
+	// Intervals.
+	intraB, interB [maxLog]int
+	interEvents    []interEvent
+	lastTrigger    map[uint64]uint64 // addr -> trigger of last sighting in shard
+
+	// Presence.
+	samplesOf, recordsOf map[string]int
+}
+
+// shardRange returns the half-open sample range of shard i of n over ns
+// samples: contiguous, balanced, covering [0, ns) exactly.
+func shardRange(ns, n, i int) (lo, hi int) {
+	return ns * i / n, ns * (i + 1) / n
+}
+
+// resolveShards normalizes a shard-count request: <= 0 selects
+// GOMAXPROCS, and a trace never splits finer than one sample per shard.
+func resolveShards(shards, samples int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > samples {
+		shards = samples
+	}
+	return shards
+}
+
+// NewSweepSharded computes NewSweep's result by walking contiguous
+// sample shards concurrently (on the engine's worker-pool primitive)
+// and reducing in shard order. The result is byte-identical to NewSweep
+// for every shard count. shards <= 0 selects GOMAXPROCS; shards == 1 is
+// the sequential path. st may carry precomputed trace Stats (zero means
+// compute on demand).
+func NewSweepSharded(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, shards int, st Stats) (*TraceSweep, error) {
+	shards = resolveShards(shards, len(t.Samples))
+	if shards <= 1 {
+		return newSweepSeq(ctx, t, blockSize, parts, st)
+	}
+	res := make([]*sweepShard, shards)
+	tasks := make([]func(context.Context) error, shards)
+	for i := range tasks {
+		lo, hi := shardRange(len(t.Samples), shards, i)
+		tasks[i] = func(ctx context.Context) error {
+			sh, err := sweepShardWalk(ctx, t, blockSize, parts, lo, hi)
+			if err != nil {
+				return err
+			}
+			res[i] = sh
+			return nil
+		}
+	}
+	if err := pool.Run(ctx, shards, tasks); err != nil {
+		return nil, err
+	}
+	return reduceSweep(t, blockSize, parts, res, st), nil
+}
+
+// sweepShardWalk runs the sequential per-sample logic over samples
+// [lo, hi), recording mergeable state instead of final products.
+func sweepShardWalk(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, lo, hi int) (*sweepShard, error) {
+	sh := &sweepShard{}
+	var sd *StackDist
+	if parts&SweepDistances != 0 {
+		sd = NewStackDist(blockSize)
+		sh.lastSeen = map[uint64]sighting{}
+		sh.blockCounts = map[uint64]int{}
+	}
+	var lastSample map[uint64]int
+	if parts&SweepIntervals != 0 {
+		lastSample = map[uint64]int{}
+		sh.lastTrigger = map[uint64]uint64{}
+	}
+	if parts&SweepPresence != 0 {
+		sh.samplesOf = map[string]int{}
+		sh.recordsOf = map[string]int{}
+	}
+	var seenAddr map[uint64]int  // addr -> record index (intervals)
+	var seenProc map[string]bool // presence
+	if parts&SweepIntervals != 0 {
+		seenAddr = map[uint64]int{}
+	}
+	if parts&SweepPresence != 0 {
+		seenProc = map[string]bool{}
+	}
+
+	for si := lo; si < hi; si++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := t.Samples[si]
+		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+			sd.Reset()
+		}
+		if seenAddr != nil {
+			clear(seenAddr)
+		}
+		if seenProc != nil {
+			clear(seenProc)
+		}
+		for i := range s.Records {
+			r := &s.Records[i]
+
+			if parts&SweepPresence != 0 {
+				sh.recordsOf[r.Proc]++
+				if !seenProc[r.Proc] {
+					seenProc[r.Proc] = true
+					sh.samplesOf[r.Proc]++
+				}
+			}
+
+			if parts&SweepIntervals != 0 {
+				if prev, ok := seenAddr[r.Addr]; ok {
+					sh.intraB[ibucket(uint64(i-prev))]++
+				} else if ps, ok := lastSample[r.Addr]; ok && ps != si {
+					// In-shard R3: both sightings local, resolve now.
+					if d := s.TriggerLoads - sh.lastTrigger[r.Addr]; d > 0 {
+						sh.interB[ibucket(d)]++
+					}
+				} else if !ok {
+					// First sighting in the shard: an earlier shard may
+					// still hold a previous one.
+					sh.interEvents = append(sh.interEvents, interEvent{addr: r.Addr, trigger: s.TriggerLoads})
+				}
+				seenAddr[r.Addr] = i
+				lastSample[r.Addr] = si
+				sh.lastTrigger[r.Addr] = s.TriggerLoads
+			}
+
+			if parts&SweepDistances != 0 {
+				sh.accesses++
+				b := r.Addr / blockSize
+				sh.blockCounts[b]++
+				switch d, _ := sd.Access(r.Addr); {
+				case d >= 0:
+					sh.intra = append(sh.intra, d)
+				default:
+					if prev, ok := sh.lastSeen[b]; ok && prev.sample != si {
+						sh.events = append(sh.events, distEvent{gap: float64(s.TriggerLoads - prev.trigger)})
+					} else {
+						// First sample-first access of b in the shard:
+						// cold or cross-shard R3 — the reduce decides.
+						sh.events = append(sh.events, distEvent{block: b, trigger: s.TriggerLoads, pending: true})
+					}
+				}
+				sh.lastSeen[b] = sighting{trigger: s.TriggerLoads, sample: si}
+			}
+		}
+		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+			sh.bpaTerms = append(sh.bpaTerms, float64(sd.Blocks())/float64(len(s.Records)))
+		}
+	}
+	return sh, nil
+}
+
+// reduceSweep replays shards in order, resolving pending events against
+// the accumulated state of earlier shards, then applies the sequential
+// tail math on the merged state.
+func reduceSweep(t *trace.Trace, blockSize uint64, parts SweepParts, shards []*sweepShard, st Stats) *TraceSweep {
+	sw := &TraceSweep{BlockSize: blockSize}
+	if parts&SweepPresence != 0 {
+		sw.SamplesOf = map[string]int{}
+		sw.RecordsOf = map[string]int{}
+	}
+
+	p := &ReuseProfile{}
+	var gaps []float64
+	lastSeen := map[uint64]sighting{}
+	blockCounts := map[uint64]int{}
+	var bpaSum float64
+	var bpaN, accesses int
+
+	var intraB, interB [maxLog]int
+	lastTrigger := map[uint64]uint64{}
+
+	for _, sh := range shards {
+		if parts&SweepDistances != 0 {
+			p.Intra = append(p.Intra, sh.intra...)
+			for _, ev := range sh.events {
+				if !ev.pending {
+					gaps = append(gaps, ev.gap)
+					continue
+				}
+				// The shard's first sighting of ev.block: against all
+				// earlier shards it is either a cross-shard R3 reuse or
+				// a true first-ever access (cold until the tail math
+				// relabels the excess).
+				if prev, ok := lastSeen[ev.block]; ok {
+					gaps = append(gaps, float64(ev.trigger-prev.trigger))
+				} else {
+					p.Cold++
+				}
+			}
+			for b, sg := range sh.lastSeen {
+				lastSeen[b] = sg
+			}
+			for b, n := range sh.blockCounts {
+				blockCounts[b] += n
+			}
+			// Fold blocks-per-access terms in sample order: this running
+			// float64 sum must follow the sequential addition order to
+			// round identically.
+			for _, term := range sh.bpaTerms {
+				bpaSum += term
+			}
+			bpaN += len(sh.bpaTerms)
+			accesses += sh.accesses
+			p.Total += sh.accesses
+		}
+
+		if parts&SweepIntervals != 0 {
+			for l := 0; l < maxLog; l++ {
+				intraB[l] += sh.intraB[l]
+				interB[l] += sh.interB[l]
+			}
+			for _, ev := range sh.interEvents {
+				if prev, ok := lastTrigger[ev.addr]; ok {
+					if d := ev.trigger - prev; d > 0 {
+						interB[ibucket(d)]++
+					}
+				}
+			}
+			for a, tr := range sh.lastTrigger {
+				lastTrigger[a] = tr
+			}
+		}
+
+		if parts&SweepPresence != 0 {
+			for k, v := range sh.samplesOf {
+				sw.SamplesOf[k] += v
+			}
+			for k, v := range sh.recordsOf {
+				sw.RecordsOf[k] += v
+			}
+		}
+	}
+
+	if parts&SweepIntervals != 0 {
+		sw.Intervals = intervalBuckets(&intraB, &interB)
+	}
+	if parts&SweepDistances != 0 {
+		finishDistances(t, p, gaps, blockCounts, bpaSum, bpaN, accesses, st)
+		sw.Profile = p
+	}
+	return sw
+}

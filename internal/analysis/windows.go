@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/pool"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -170,6 +171,12 @@ func GlobalPopulationsCtx(ctx context.Context, t *trace.Trace) ([3]float64, erro
 		}
 		wa.add(r)
 	}
+	return populationsOf(wa), nil
+}
+
+// populationsOf computes the per-class population estimates from an
+// accumulated window (only counts and first-touch classes matter).
+func populationsOf(wa *winAcc) [3]float64 {
 	var cs [3]CSCounts
 	for addr, n := range wa.counts {
 		k := int(wa.addrs[addr])
@@ -191,7 +198,53 @@ func GlobalPopulationsCtx(ctx context.Context, t *trace.Trace) ([3]float64, erro
 	if lat := wa.stridedLattice(); lat > 0 {
 		out[dataflow.Strided] = lat
 	}
-	return out, nil
+	return out
+}
+
+// GlobalPopulationsSharded is GlobalPopulationsCtx over contiguous
+// sample shards walked concurrently, byte-identical at every shard
+// count: per-address access counts merge by addition and first-touch
+// classes take the earliest shard's choice, which is exactly the state
+// a sequential walk accumulates. shards <= 0 selects GOMAXPROCS.
+func GlobalPopulationsSharded(ctx context.Context, t *trace.Trace, shards int) ([3]float64, error) {
+	shards = resolveShards(shards, len(t.Samples))
+	if shards <= 1 {
+		return GlobalPopulationsCtx(ctx, t)
+	}
+	res := make([]*winAcc, shards)
+	tasks := make([]func(context.Context) error, shards)
+	for i := range tasks {
+		lo, hi := shardRange(len(t.Samples), shards, i)
+		tasks[i] = func(ctx context.Context) error {
+			wa := newWinAcc()
+			for si := lo; si < hi; si++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				s := t.Samples[si]
+				for j := range s.Records {
+					wa.add(&s.Records[j])
+				}
+			}
+			res[i] = wa
+			return nil
+		}
+	}
+	if err := pool.Run(ctx, shards, tasks); err != nil {
+		return [3]float64{}, err
+	}
+	merged := res[0]
+	for _, wa := range res[1:] {
+		for addr, n := range wa.counts {
+			merged.counts[addr] += n
+		}
+		for addr, cls := range wa.addrs {
+			if _, ok := merged.addrs[addr]; !ok {
+				merged.addrs[addr] = cls
+			}
+		}
+	}
+	return populationsOf(merged), nil
 }
 
 func isInf(f float64) bool { return f > 1e300 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"slices"
 	"sort"
 	"sync"
 
@@ -47,6 +46,7 @@ type derived struct {
 	// them all.
 	sweepParts analysis.SweepParts
 
+	stats       memo[analysis.Stats]
 	funcDiags   memo[[]*analysis.Diag]
 	sweep       memo[*analysis.TraceSweep]
 	globalPop   memo[[3]float64]
@@ -70,11 +70,27 @@ func newDerived(t *trace.Trace, opts *Options) *derived {
 	return d
 }
 
+// Stats returns the trace-global scalar statistics (record counts, ρ,
+// κ). Several analyses consume them; computing them walks every record,
+// so the engine pays that walk once per Analyzer.
+func (d *derived) Stats(ctx context.Context) (analysis.Stats, error) {
+	return d.stats.get(func() (analysis.Stats, error) {
+		if err := ctx.Err(); err != nil {
+			return analysis.Stats{}, err
+		}
+		return analysis.StatsOf(d.t), nil
+	})
+}
+
 // FuncDiags returns the per-function diagnostics, shared by
 // AnalyzeFunctions and AnalyzeROI.
 func (d *derived) FuncDiags(ctx context.Context) ([]*analysis.Diag, error) {
 	return d.funcDiags.get(func() ([]*analysis.Diag, error) {
-		return analysis.FunctionDiagnosticsCtx(ctx, d.t, d.opts.BlockSize)
+		st, err := d.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.FunctionDiagnosticsSharded(ctx, d.t, d.opts.BlockSize, d.opts.SweepShards, st)
 	})
 }
 
@@ -82,7 +98,11 @@ func (d *derived) FuncDiags(ctx context.Context) ([]*analysis.Diag, error) {
 // AnalyzeReuseIntervals, and AnalyzeConfidence.
 func (d *derived) Sweep(ctx context.Context) (*analysis.TraceSweep, error) {
 	return d.sweep.get(func() (*analysis.TraceSweep, error) {
-		return analysis.NewSweep(ctx, d.t, d.opts.BlockSize, d.sweepParts)
+		st, err := d.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.NewSweepSharded(ctx, d.t, d.opts.BlockSize, d.sweepParts, d.opts.SweepShards, st)
 	})
 }
 
@@ -90,7 +110,7 @@ func (d *derived) Sweep(ctx context.Context) (*analysis.TraceSweep, error) {
 // trace-window histogram's inter-window extrapolation.
 func (d *derived) GlobalPop(ctx context.Context) ([3]float64, error) {
 	return d.globalPop.get(func() ([3]float64, error) {
-		return analysis.GlobalPopulationsCtx(ctx, d.t)
+		return analysis.GlobalPopulationsSharded(ctx, d.t, d.opts.SweepShards)
 	})
 }
 
@@ -98,19 +118,7 @@ func (d *derived) GlobalPop(ctx context.Context) ([3]float64, error) {
 // per-region distinct-block counts.
 func (d *derived) SortedAddrs(ctx context.Context) ([]uint64, error) {
 	return d.sortedAddrs.get(func() ([]uint64, error) {
-		addrs := make([]uint64, 0, d.t.Len())
-		cur := -1
-		for si, r := range d.t.Records() {
-			if si != cur {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				cur = si
-			}
-			addrs = append(addrs, r.Addr)
-		}
-		slices.Sort(addrs)
-		return addrs, nil
+		return analysis.SortedAddrsSharded(ctx, d.t, d.opts.SweepShards)
 	})
 }
 

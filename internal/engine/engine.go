@@ -70,12 +70,16 @@ func (a *Analyzer) Run(ctx context.Context) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	st, err := a.d.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Module:  a.t.Module,
 		Samples: len(a.t.Samples),
-		Records: a.t.NumRecords(),
-		Rho:     a.t.Rho(),
-		Kappa:   a.t.Kappa(),
+		Records: st.Records,
+		Rho:     st.Rho,
+		Kappa:   st.Kappa,
 	}
 	seen := make(map[Analysis]bool, len(a.opts.Analyses))
 	tasks := make([]func(context.Context) error, 0, len(a.opts.Analyses))

@@ -2,8 +2,8 @@ package engine
 
 import (
 	"context"
-	"runtime"
-	"sync"
+
+	"github.com/memgaze/memgaze-go/internal/pool"
 )
 
 // RunPool executes tasks on a bounded worker pool. The first task error
@@ -13,52 +13,9 @@ import (
 //
 // It is the shared concurrency primitive of the analysis engine and the
 // trace-build pipeline (internal/pt); workers <= 0 selects GOMAXPROCS.
+// The implementation lives in internal/pool so the analysis layer's
+// sharded trace walks run on the same primitive (same cancellation and
+// no-leak guarantees) without an import cycle.
 func RunPool(ctx context.Context, workers int, tasks []func(context.Context) error) error {
-	if len(tasks) == 0 {
-		return ctx.Err()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	tctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	ch := make(chan func(context.Context) error)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for task := range ch {
-				if tctx.Err() != nil {
-					continue
-				}
-				if err := task(tctx); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					cancel()
-				}
-			}
-		}()
-	}
-	for _, task := range tasks {
-		ch <- task
-	}
-	close(ch)
-	wg.Wait()
-
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return pool.Run(ctx, workers, tasks)
 }

@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestReportShardInvariant pins the engine-level determinism contract:
+// a full suite Report is byte-identical at every sweep-shard count.
+func TestReportShardInvariant(t *testing.T) {
+	tr := testTrace(24, 48)
+	ref, err := New(tr, WithAnalyses(AllAnalyses()...), WithSweepShards(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 2, 3, 5, 24, 99} {
+		rep, err := New(tr, WithAnalyses(AllAnalyses()...), WithSweepShards(shards)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, ref) {
+			t.Errorf("WithSweepShards(%d): Report diverges from sequential", shards)
+		}
+	}
+}

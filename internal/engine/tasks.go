@@ -23,7 +23,11 @@ func (a *Analyzer) runAnalysis(ctx context.Context, kind Analysis, rep *Report) 
 		rep.FunctionDiags = diags
 
 	case AnalyzeLines:
-		diags, err := analysis.LineDiagnosticsCtx(ctx, a.t, a.opts.BlockSize)
+		st, err := a.d.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		diags, err := analysis.LineDiagnosticsSharded(ctx, a.t, a.opts.BlockSize, a.opts.SweepShards, st)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/pt"
@@ -49,14 +50,19 @@ type StreamIngestPoint struct {
 }
 
 // BenchResult is the machine-readable benchmark report the CI
-// regression gate consumes (committed as BENCH_4.json).
+// regression gate consumes (committed as BENCH_5.json).
 type BenchResult struct {
 	GoVersion  string              `json:"go_version"`
 	ChunkBytes int                 `json:"chunk_bytes"`
 	Workers    int                 `json:"workers"`
 	Gate       []BenchMetric       `json:"gate"`
 	Stream     []StreamIngestPoint `json:"stream"`
-	Text       string              `json:"-"`
+	// SweepSequentialNs is the sequential (1-shard) time of the
+	// sweep_sharded gate workload — informational, not gated: on
+	// multi-core machines sharded/sequential shows the map-reduce
+	// speedup; on one CPU the two coincide.
+	SweepSequentialNs int64  `json:"sweep_sequential_ns"`
+	Text              string `json:"-"`
 }
 
 // benchTrace synthesises a deterministic trace for the serve benchmark.
@@ -228,6 +234,28 @@ func serveWarm(iters int) (int64, error) {
 	return total / int64(iters), nil
 }
 
+// sweepSharded measures the sample-sharded stack-distance sweep (all
+// parts, GOMAXPROCS shards) over a large synthetic trace, best of reps
+// — the derived layer's hot walk behind MRC, reuse intervals, and
+// confidence. The sequential time rides along so multi-core runs show
+// the map-reduce speedup; the gate entry tracks the sharded time, which
+// on one CPU equals the sequential path (shards resolve to 1).
+func sweepSharded(tr *trace.Trace, reps int) (sharded, sequential int64, err error) {
+	st := analysis.StatsOf(tr)
+	sharded, err = bestOf(reps, func() error {
+		_, err := analysis.NewSweepSharded(context.Background(), tr, 64, analysis.SweepEverything, 0, st)
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	sequential, err = bestOf(reps, func() error {
+		_, err := analysis.NewSweepSharded(context.Background(), tr, 64, analysis.SweepEverything, 1, st)
+		return err
+	})
+	return sharded, sequential, err
+}
+
 // buildPooled measures one pooled (GOMAXPROCS-worker) build of a
 // capture, best of reps.
 func buildPooled(capture []byte, reps int) (int64, error) {
@@ -355,6 +383,16 @@ func Bench(s Sizes) (*BenchResult, error) {
 	}
 	res.Gate = append(res.Gate, BenchMetric{Name: "build_pooled", NsPerOp: pooled})
 
+	// The sharded sweep over a large trace: samples scale with the
+	// workload sizes so quick/full control runtime here too.
+	sweepTr := benchTrace(s.MicroReps*4, 512)
+	shardedNs, seqNs, err := sweepSharded(sweepTr, 5)
+	if err != nil {
+		return nil, fmt.Errorf("sweep sharded: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "sweep_sharded", NsPerOp: shardedNs})
+	res.SweepSequentialNs = seqNs
+
 	// Streamed vs buffered ingest at 1× and 10× capture sizes, from a
 	// temp file so the streamed path never holds the capture in memory.
 	dir, err := os.MkdirTemp("", "memgaze-bench")
@@ -382,6 +420,11 @@ func Bench(s Sizes) (*BenchResult, error) {
 	gt := report.NewTable("Gated benchmarks (best-of-reps)", "name", "ns/op")
 	for _, m := range res.Gate {
 		gt.Add(m.Name, m.NsPerOp)
+	}
+	if res.SweepSequentialNs > 0 && shardedNs > 0 {
+		gt.Add("sweep_sequential (info)", res.SweepSequentialNs)
+		gt.Add(fmt.Sprintf("sweep speedup ×%d cores", res.Workers),
+			fmt.Sprintf("%.2fx", float64(res.SweepSequentialNs)/float64(shardedNs)))
 	}
 	st := report.NewTable("Streamed vs buffered ingest (chunked decode from disk)",
 		"capture", "records", "streamed", "buffered", "stream overhead", "buffered overhead")

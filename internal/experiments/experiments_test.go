@@ -538,8 +538,14 @@ func TestBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", res.Text)
-	if len(res.Gate) != 2 {
-		t.Fatalf("gate metrics = %d, want 2", len(res.Gate))
+	if len(res.Gate) != 3 {
+		t.Fatalf("gate metrics = %d, want 3", len(res.Gate))
+	}
+	if got := res.Gate[2].Name; got != "sweep_sharded" {
+		t.Errorf("gate[2] = %q, want sweep_sharded", got)
+	}
+	if res.SweepSequentialNs <= 0 {
+		t.Errorf("sweep_sequential_ns = %d, want > 0", res.SweepSequentialNs)
 	}
 	for _, m := range res.Gate {
 		if m.NsPerOp <= 0 {

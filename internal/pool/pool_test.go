@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllTasks(t *testing.T) {
+	var n atomic.Int32
+	tasks := make([]func(context.Context) error, 37)
+	for i := range tasks {
+		tasks[i] = func(context.Context) error { n.Add(1); return nil }
+	}
+	if err := Run(context.Background(), 4, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 37 {
+		t.Fatalf("ran %d of 37 tasks", n.Load())
+	}
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	tasks := []func(context.Context) error{
+		func(context.Context) error { ran.Add(1); return boom },
+	}
+	for i := 0; i < 16; i++ {
+		tasks = append(tasks, func(ctx context.Context) error {
+			ran.Add(1)
+			return ctx.Err()
+		})
+	}
+	// One worker: the failing task runs first, the rest must be drained
+	// without running (the pool checks the context before each task).
+	if err := Run(context.Background(), 1, tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d tasks ran after the failure, want 1", got)
+	}
+}
+
+func TestRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := make([]func(context.Context) error, 64)
+	for i := range tasks {
+		tasks[i] = func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+	}
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if err := Run(ctx, 8, tasks); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines: %d before, %d after", before, got)
+	}
+}

@@ -97,14 +97,47 @@ func (t *Trace) ImpliedConst() uint64 {
 	return n
 }
 
+// Counts returns NumRecords and ImpliedConst from a single walk over
+// the records — what callers deriving ρ and κ together want instead of
+// two (or, via Rho, three) separate passes.
+func (t *Trace) Counts() (records int, implied uint64) {
+	for _, s := range t.Samples {
+		records += len(s.Records)
+		for i := range s.Records {
+			implied += uint64(s.Records[i].Implied)
+		}
+	}
+	return records, implied
+}
+
+// RhoKappa computes the sample ratio ρ (Eq. 1) and compression ratio κ
+// (Eq. 2) from precomputed Counts, with exactly the arithmetic of Rho
+// and Kappa — callers holding the counts get identical floats without
+// re-walking the trace.
+func (t *Trace) RhoKappa(records int, implied uint64) (rho, kappa float64) {
+	kappa = 1
+	if records != 0 {
+		kappa = 1 + float64(implied)/float64(records)
+	}
+	decompressed := kappa * float64(records)
+	if decompressed == 0 {
+		return 1, kappa
+	}
+	executed := float64(t.TotalLoads)
+	if executed == 0 {
+		executed = float64(len(t.Samples)) * float64(t.Period)
+	}
+	if executed < decompressed {
+		return 1, kappa
+	}
+	return executed / decompressed, kappa
+}
+
 // Kappa returns the compression ratio κ(σ) = 1 + A_const(σ)/A(σ)
 // (Eq. 2). It is 1 for uncompressed traces and for empty traces.
 func (t *Trace) Kappa() float64 {
-	a := t.NumRecords()
-	if a == 0 {
-		return 1
-	}
-	return 1 + float64(t.ImpliedConst())/float64(a)
+	_, kappa := t.RhoKappa(t.Counts())
+	return kappa
 }
 
 // Rho returns the sample ratio ρ: all executed accesses to all sampled
@@ -112,18 +145,8 @@ func (t *Trace) Kappa() float64 {
 // definition. When the hardware load counter is available it is the
 // ground truth for executed accesses; otherwise |σ|·(w+z) estimates it.
 func (t *Trace) Rho() float64 {
-	decompressed := t.Kappa() * float64(t.NumRecords())
-	if decompressed == 0 {
-		return 1
-	}
-	executed := float64(t.TotalLoads)
-	if executed == 0 {
-		executed = float64(len(t.Samples)) * float64(t.Period)
-	}
-	if executed < decompressed {
-		return 1
-	}
-	return executed / decompressed
+	rho, _ := t.RhoKappa(t.Counts())
+	return rho
 }
 
 // MeanW returns the average observed window size w across samples.

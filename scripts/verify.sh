@@ -47,6 +47,7 @@ fi
 
 run "go test (shuffled)" go test -count=1 -shuffle=on ./...
 run "go test -race (engine)" go test -count=1 -race ./internal/engine/...
+run "go test -race (analysis)" go test -count=1 -race ./internal/analysis/...
 run "go test -race (pt)" go test -count=1 -race ./internal/pt/...
 run "go test -race (server)" go test -count=1 -race ./internal/server/...
 run "go test -race (cache)" go test -count=1 -race ./internal/cache/...

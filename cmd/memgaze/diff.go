@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	memgaze "github.com/memgaze/memgaze-go"
+	"github.com/memgaze/memgaze-go/internal/report"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// cmdDiff compares two traces analysis by analysis — the paper's
+// side-by-side case-study reading (miniVite v1 vs v3, O0 vs O3) as one
+// command. -a/-b name local .mgt files, or resident trace ids when
+// -server is set; the server path POSTs /v1/diff so both reports come
+// from (or land in) the service's result cache.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	a := fs.String("a", "", "first trace file, or trace id with -server (the candidate)")
+	b := fs.String("b", "", "second trace file, or trace id with -server (the baseline)")
+	base := fs.String("server", "", "memgazed base URL; -a/-b are then resident trace ids")
+	block := fs.Uint64("block", 64, "access-block size in bytes")
+	topK := fs.Int("top", 12, "rows per table (0 = all)")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		return fmt.Errorf("diff needs -a and -b")
+	}
+	if *block == 0 {
+		return fmt.Errorf("-block must be positive")
+	}
+
+	var d *memgaze.DiffReport
+	var err error
+	if *base != "" {
+		d, err = serverDiff(*base, *a, *b, *block, *topK)
+	} else {
+		d, err = localDiff(*a, *b, *block, *topK)
+	}
+	if err != nil {
+		return err
+	}
+	renderDiff(d, *block, *topK)
+	return nil
+}
+
+func localDiff(aPath, bPath string, block uint64, topK int) (*memgaze.DiffReport, error) {
+	load := func(p string) (*trace.Trace, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	ta, err := load(aPath)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := load(bPath)
+	if err != nil {
+		return nil, err
+	}
+	return memgaze.CompareTraces(context.Background(), ta, tb,
+		memgaze.WithDiffTopK(topK),
+		memgaze.WithDiffEngineOptions(
+			memgaze.WithBlockSize(block),
+			memgaze.WithAnalyses(memgaze.DiffAnalyses()...)))
+}
+
+func serverDiff(base, a, b string, block uint64, topK int) (*memgaze.DiffReport, error) {
+	names := make([]string, 0, len(memgaze.DiffAnalyses()))
+	for _, an := range memgaze.DiffAnalyses() {
+		names = append(names, an.String())
+	}
+	req := memgaze.DiffRequest{A: a, B: b, TopK: topK}
+	req.Analyses = names
+	req.BlockSize = block
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimSuffix(base, "/")+"/v1/diff",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		var env memgaze.ErrorEnvelope
+		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+			return nil, fmt.Errorf("server answered %s (%s): %s", resp.Status, env.Error.Code, env.Error.Message)
+		}
+		return nil, fmt.Errorf("server answered %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var d memgaze.DiffReport
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("decoding diff answer: %w", err)
+	}
+	return &d, nil
+}
+
+func renderDiff(d *memgaze.DiffReport, block uint64, topK int) {
+	fmt.Printf("A: %s — %d samples, %d records, κ=%.3f\n",
+		d.A.Module, d.A.Samples, d.A.Records, d.A.Kappa)
+	fmt.Printf("B: %s — %d samples, %d records, κ=%.3f\n\n",
+		d.B.Module, d.B.Samples, d.B.Records, d.B.Kappa)
+
+	if len(d.Functions) > 0 {
+		t := report.NewTable("Function shifts (Ŵ, F, D; Δ = A − B)",
+			"function", "Ŵ A", "Ŵ B", "ΔŴ", "F A", "F B", "ΔF", "D A", "D B", "ΔD", "note")
+		for _, s := range d.Functions {
+			note := s.OnlyIn
+			if note != "" {
+				note = "only " + note
+			}
+			if s.LowConfidence {
+				if note != "" {
+					note += ", "
+				}
+				note += "low-conf"
+			}
+			t.Add(s.Name, report.Count(s.LoadsA), report.Count(s.LoadsB), report.Count(s.DLoads),
+				report.Count(s.FA), report.Count(s.FB), report.Count(s.DF),
+				s.DistA, s.DistB, s.DDist, note)
+		}
+		fmt.Println(t.Render())
+	}
+
+	if len(d.MRC) > 0 {
+		t := report.NewTable("Miss-ratio deltas (Δ flagged * when the confidence bracket excludes zero)",
+			"capacity", "miss% A", "miss% B", "Δpp", "Δ low", "Δ high", "")
+		for _, m := range d.MRC {
+			sig := ""
+			if m.Significant {
+				sig = "*"
+			}
+			t.Add(report.Bytes(uint64(m.CacheBlocks)*block),
+				100*m.A, 100*m.B, 100*m.Delta, 100*m.Lo, 100*m.Hi, sig)
+		}
+		fmt.Println(t.Render())
+	}
+
+	if len(d.Growth) > 0 {
+		fmt.Printf("Footprint-growth divergence over normalized time: %s (mean |ΔF_A − ΔF_B| across %d intervals)\n\n",
+			report.FormatFloat(d.GrowthDivergence), len(d.Growth))
+	}
+
+	if len(d.Regions) > 0 {
+		t := report.NewTable("Region shifts (zoom leaves aligned by address overlap)",
+			"region A", "region B", "acc A", "acc B", "Δacc", "hot% A", "hot% B", "note")
+		rows := d.Regions
+		if topK > 0 && len(rows) > topK {
+			rows = rows[:topK]
+		}
+		span := func(lo, hi uint64) string {
+			if lo == 0 && hi == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%#x-%#x", lo, hi)
+		}
+		for _, r := range rows {
+			note := r.OnlyIn
+			if note != "" {
+				note = "only " + note
+			}
+			t.Add(span(r.LoA, r.HiA), span(r.LoB, r.HiB),
+				report.Count(float64(r.AccA)), report.Count(float64(r.AccB)),
+				report.Count(float64(r.DAcc)), r.PctA, r.PctB, note)
+		}
+		fmt.Println(t.Render())
+	}
+}

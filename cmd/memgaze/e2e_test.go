@@ -70,6 +70,17 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("compare output malformed:\n%.400s", cmp)
 	}
 
+	df := runCLI(t, bin, "diff", "-a", v1, "-b", v3, "-top", "6")
+	for _, want := range []string{
+		"A: miniVite-O3-v1", "B: miniVite-O3-v3",
+		"Function shifts", "Miss-ratio deltas", "Footprint-growth divergence",
+		"Region shifts",
+	} {
+		if !strings.Contains(df, want) {
+			t.Errorf("diff output missing %q:\n%.600s", want, df)
+		}
+	}
+
 	// instrument a temp .s file.
 	asm := filepath.Join(dir, "p.s")
 	src := "main: (frame 16)\n  .entry:\n    movi r4, 0x20000000\n    movi r5, 0\n" +

@@ -55,6 +55,8 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	case "upload":
 		err = cmdUpload(os.Args[2:])
 	case "help", "-h", "--help":
@@ -80,6 +82,7 @@ commands:
   analyze     run MemGaze analyses over a saved trace
   dump        print a saved trace's records (perf-script style)
   compare     side-by-side function diagnostics of two traces
+  diff        full cross-trace diff: function/MRC/growth/region deltas (local or served)
   upload      ship a trace or PT capture to a memgazed service
 
 run "memgaze <command> -h" for flags.

@@ -1,0 +1,29 @@
+package engine
+
+import "context"
+
+// DiffReports runs two analyzers' suites side by side and returns both
+// Reports — the engine entry point of cross-trace diffing. The two
+// suites run concurrently (each already bounds its own internal
+// parallelism), and each Analyzer keeps its memoized derived data, so
+// diffing after an earlier Run of either analyzer recomputes nothing.
+// Cancellation stops both suites and returns ctx.Err().
+func DiffReports(ctx context.Context, a, b *Analyzer) (*Report, *Report, error) {
+	var ra, rb *Report
+	tasks := []func(context.Context) error{
+		func(ctx context.Context) error {
+			var err error
+			ra, err = a.Run(ctx)
+			return err
+		},
+		func(ctx context.Context) error {
+			var err error
+			rb, err = b.Run(ctx)
+			return err
+		},
+	}
+	if err := RunPool(ctx, 2, tasks); err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
+}

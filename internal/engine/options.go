@@ -80,6 +80,15 @@ func ParseAnalysis(name string) (Analysis, bool) {
 	return 0, false
 }
 
+// AnalysisNames lists every analysis's flag-style name in suite order —
+// the valid inputs of ParseAnalysis, for clients building analysis
+// lists without magic strings.
+func AnalysisNames() []string {
+	out := make([]string, numAnalyses)
+	copy(out, analysisNames[:])
+	return out
+}
+
 // DefaultAnalyses is the standard suite: everything that needs no extra
 // configuration (regions, heatmap geometry, line attribution are
 // opt-in).

@@ -50,7 +50,7 @@ type StreamIngestPoint struct {
 }
 
 // BenchResult is the machine-readable benchmark report the CI
-// regression gate consumes (committed as BENCH_5.json).
+// regression gate consumes (committed as BENCH_6.json).
 type BenchResult struct {
 	GoVersion  string              `json:"go_version"`
 	ChunkBytes int                 `json:"chunk_bytes"`
@@ -234,6 +234,70 @@ func serveWarm(iters int) (int64, error) {
 	return total / int64(iters), nil
 }
 
+// diffServed measures the warm cross-trace diff path: two uploads, one
+// priming POST /v1/diff (which analyses both sides and caches the
+// DiffReport), then iters cached diffs; returns ns per diff.
+func diffServed(iters int) (int64, error) {
+	s := server.New(server.Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	trA := benchTrace(16, 200)
+	trB := benchTrace(12, 150)
+	trB.Module = "bench-b" // distinct content hash
+	upload := func(tr *trace.Trace) (string, error) {
+		enc, err := tr.Encode()
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.Post(hs.URL+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
+		if err != nil {
+			return "", err
+		}
+		var info server.TraceInfo
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		return info.ID, err
+	}
+	idA, err := upload(trA)
+	if err != nil {
+		return 0, err
+	}
+	idB, err := upload(trB)
+	if err != nil {
+		return 0, err
+	}
+	body := `{"a":"` + idA + `","b":"` + idB + `","analyses":["functions","mrc","confidence","interval-tree","zoom"]}`
+	diffOnce := func() error {
+		resp, err := http.Post(hs.URL+"/v1/diff", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("diff: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := diffOnce(); err != nil { // prime both reports and the diff cache
+		return 0, err
+	}
+	total, err := bestOf(3, func() error {
+		for i := 0; i < iters; i++ {
+			if err := diffOnce(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / int64(iters), nil
+}
+
 // sweepSharded measures the sample-sharded stack-distance sweep (all
 // parts, GOMAXPROCS shards) over a large synthetic trace, best of reps
 // — the derived layer's hot walk behind MRC, reuse intervals, and
@@ -392,6 +456,12 @@ func Bench(s Sizes) (*BenchResult, error) {
 	}
 	res.Gate = append(res.Gate, BenchMetric{Name: "sweep_sharded", NsPerOp: shardedNs})
 	res.SweepSequentialNs = seqNs
+
+	diffNs, err := diffServed(100)
+	if err != nil {
+		return nil, fmt.Errorf("diff served: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "diff_served", NsPerOp: diffNs})
 
 	// Streamed vs buffered ingest at 1× and 10× capture sizes, from a
 	// temp file so the streamed path never holds the capture in memory.

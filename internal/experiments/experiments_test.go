@@ -538,11 +538,14 @@ func TestBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", res.Text)
-	if len(res.Gate) != 3 {
-		t.Fatalf("gate metrics = %d, want 3", len(res.Gate))
+	if len(res.Gate) != 4 {
+		t.Fatalf("gate metrics = %d, want 4", len(res.Gate))
 	}
 	if got := res.Gate[2].Name; got != "sweep_sharded" {
 		t.Errorf("gate[2] = %q, want sweep_sharded", got)
+	}
+	if got := res.Gate[3].Name; got != "diff_served" {
+		t.Errorf("gate[3] = %q, want diff_served", got)
 	}
 	if res.SweepSequentialNs <= 0 {
 		t.Errorf("sweep_sequential_ns = %d, want > 0", res.SweepSequentialNs)

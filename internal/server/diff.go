@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/memgaze/memgaze-go/internal/diff"
+	"github.com/memgaze/memgaze-go/internal/engine"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// DiffRequest is the JSON body of POST /v1/diff: two resident trace
+// ids plus the embedded analysis parameters applied identically to
+// both sides. Deltas in the answer are A − B.
+type DiffRequest struct {
+	// A and B are the trace ids (content hashes) to compare.
+	A string `json:"a"`
+	B string `json:"b"`
+	// TopK truncates the function, line, and region sections of the
+	// DiffReport (0 = unlimited).
+	TopK int `json:"top_k,omitempty"`
+	// The analysis selection and parameters, exactly as in
+	// POST /v1/traces/{id}/analyze; both traces are analysed with them.
+	AnalyzeRequest
+}
+
+// cacheKey digests the normalised request under both content hashes —
+// the coalescing and result-cache identity of a diff. Both ids lead the
+// key so a DELETE of either trace invalidates it (see
+// resultCache.InvalidateTrace).
+func (q *DiffRequest) cacheKey() string {
+	norm, _ := json.Marshal(q) // struct marshal: deterministic field order
+	sum := sha256.Sum256(norm)
+	return q.A + "|" + q.B + "|" + hex.EncodeToString(sum[:])
+}
+
+// handleDiff is POST /v1/diff. Each side's Report is pulled through the
+// same result cache and singleflight layer the analyze endpoint uses —
+// a diff of two already-analysed traces costs two cache hits and no
+// engine run — and the finished DiffReport is itself cached, so a
+// repeat diff is one lookup.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "reading body: %v", err)
+		return
+	}
+	var req DiffRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "request: %v", err)
+		return
+	}
+	if req.A == "" || req.B == "" {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "both trace ids a and b are required")
+		return
+	}
+	opts, err := req.engineOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeUnknownAnalysis, "%v", err)
+		return
+	}
+	trA, _, ok := s.store.Get(req.A)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", req.A)
+		return
+	}
+	trB, _, ok := s.store.Get(req.B)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", req.B)
+		return
+	}
+
+	key := req.cacheKey()
+	if b, ok := s.results.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Memgazed-Cache", "hit")
+		w.Write(b)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
+		return s.runDiff(trA, trB, &req, opts, key)
+	})
+	if joined {
+		s.metrics.coalesced.Add(1)
+	}
+	s.writeAnalysisResult(w, b, err)
+}
+
+// runDiff is the diff singleflight leader's work: obtain both sides'
+// marshalled Reports through the analyze cache/flight layer (so a side
+// someone already analysed with the same parameters is a cache hit, and
+// a side being analysed right now is joined, not recomputed), diff the
+// decoded Reports, and cache the marshalled DiffReport. Detached from
+// the requesting client like every flight leader; each side's engine
+// run bounds itself with the server request timeout.
+func (s *Server) runDiff(trA, trB *trace.Trace, req *DiffRequest, opts []engine.Option, key string) ([]byte, error) {
+	ba, _, err := s.analyzedBytes(s.baseCtx, trA, req.AnalyzeRequest.cacheKey(req.A), opts)
+	if err != nil {
+		return nil, err
+	}
+	bb, _, err := s.analyzedBytes(s.baseCtx, trB, req.AnalyzeRequest.cacheKey(req.B), opts)
+	if err != nil {
+		return nil, err
+	}
+	var ra, rb engine.Report
+	if err := json.Unmarshal(ba, &ra); err != nil {
+		return nil, fmt.Errorf("decoding report %s: %w", req.A, err)
+	}
+	if err := json.Unmarshal(bb, &rb); err != nil {
+		return nil, fmt.Errorf("decoding report %s: %w", req.B, err)
+	}
+	d := diff.Diff(&ra, &rb, diff.WithTopK(req.TopK))
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("marshalling diff: %w", err)
+	}
+	s.results.Put(key, b)
+	return b, nil
+}

@@ -1,0 +1,47 @@
+package server
+
+// Stable machine-readable error codes of the /v1 API. Every error
+// response is the envelope {"error": {"code": ..., "message": ...}}:
+// the code is contract (clients switch on it; tests assert it), the
+// message is free-form context and may change between versions.
+const (
+	// ErrCodeTraceNotFound: the trace id names nothing resident (404).
+	ErrCodeTraceNotFound = "trace_not_found"
+	// ErrCodeUnsupportedMediaType: unknown upload Content-Type (415).
+	ErrCodeUnsupportedMediaType = "unsupported_media_type"
+	// ErrCodeBodyTooLarge: the body breached the upload quota (413).
+	ErrCodeBodyTooLarge = "body_too_large"
+	// ErrCodeCorruptPTStream: a PT capture failed to build under
+	// FaultFail, or its framing is corrupt (422).
+	ErrCodeCorruptPTStream = "corrupt_pt_stream"
+	// ErrCodeInvalidTrace: an MGTR body failed to decode (400).
+	ErrCodeInvalidTrace = "invalid_trace"
+	// ErrCodeInvalidCapture: a PT capture body failed to parse or
+	// build for a non-corruption reason (400).
+	ErrCodeInvalidCapture = "invalid_capture"
+	// ErrCodeInvalidRequest: malformed request JSON, unknown fields,
+	// missing required fields, or bad query parameters (400).
+	ErrCodeInvalidRequest = "invalid_request"
+	// ErrCodeUnknownAnalysis: an analysis name ParseAnalysis does not
+	// know (400).
+	ErrCodeUnknownAnalysis = "unknown_analysis"
+	// ErrCodeDeadlineExceeded: the analysis outran the request
+	// timeout (504).
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+	// ErrCodeCancelled: the work was cancelled — client disconnect or
+	// server shutdown (503).
+	ErrCodeCancelled = "cancelled"
+	// ErrCodeInternal: an unexpected server-side failure (500).
+	ErrCodeInternal = "internal"
+)
+
+// ErrorBody is the inner object of the /v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every /v1 error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Paging bounds of GET /v1/traces.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// TraceList is the paged answer of GET /v1/traces: resident trace
+// metadata in id order. Next, when set, is the cursor of the following
+// page — pass it back as ?after=.
+type TraceList struct {
+	Traces []TraceInfo `json:"traces"`
+	Next   string      `json:"next,omitempty"`
+}
+
+// handleList is GET /v1/traces: enumerate the store so clients can pick
+// analyze and diff targets without out-of-band bookkeeping. Pages are
+// keyed by id (?after=<id>, ?limit=<n>): ids are content hashes, so the
+// cursor is stable across inserts and evictions.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := defaultListLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "invalid limit %q", v)
+			return
+		}
+		limit = min(n, maxListLimit)
+	}
+	after := r.URL.Query().Get("after")
+
+	infos := s.store.List()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	if after != "" {
+		i := sort.Search(len(infos), func(i int) bool { return infos[i].ID > after })
+		infos = infos[i:]
+	}
+	out := TraceList{Traces: infos}
+	if len(infos) > limit {
+		out.Traces = infos[:limit]
+		out.Next = infos[limit-1].ID
+	}
+	if out.Traces == nil {
+		out.Traces = []TraceInfo{} // an empty store lists as [], not null
+	}
+	writeJSON(w, http.StatusOK, out)
+}

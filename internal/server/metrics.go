@@ -14,7 +14,7 @@ import (
 // endpoints are the fixed label values of the per-endpoint metric
 // families. Fixing the set at construction keeps every hot-path update
 // a plain atomic add — no locks, no map writes after init.
-var endpoints = []string{"upload", "stream", "get", "raw", "delete", "analyze", "healthz", "metrics"}
+var endpoints = []string{"upload", "stream", "list", "get", "raw", "delete", "analyze", "diff", "healthz", "metrics"}
 
 // latencyBuckets are the request-latency upper bounds in seconds.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}

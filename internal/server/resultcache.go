@@ -91,6 +91,22 @@ func (c *resultCache) InvalidatePrefix(prefix string) {
 	}
 }
 
+// InvalidateTrace drops every entry touching trace id: analyze keys
+// ("id|digest") by prefix, and diff keys ("a|b|digest") where id is
+// either side. Ids are hex content hashes, so "|" never appears inside
+// a segment and the substring test cannot false-positive.
+func (c *resultCache) InvalidateTrace(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, id+"|") || strings.Contains(key, "|"+id+"|") {
+			c.used -= int64(len(el.Value.(*rcEntry).val))
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
 // UsedBytes returns the resident response bytes.
 func (c *resultCache) UsedBytes() int64 {
 	c.mu.Lock()

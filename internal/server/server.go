@@ -95,12 +95,17 @@ func (c *Config) applyDefaults() {
 //
 //	POST   /v1/traces              upload a trace (ContentTypeTrace) or raw PT capture (ContentTypePT)
 //	PUT    /v1/traces:stream       streamed upload: chunked transfer, bounded memory, mid-stream quota
+//	GET    /v1/traces              paged listing of resident trace metadata
 //	GET    /v1/traces/{id}         trace metadata
 //	GET    /v1/traces/{id}/raw     download the trace's MGTR encoding (streamed)
 //	DELETE /v1/traces/{id}         evict a trace (and its cached results)
 //	POST   /v1/traces/{id}/analyze run a set of engine analyses, JSON Report
+//	POST   /v1/diff                compare two resident traces, JSON DiffReport
 //	GET    /v1/healthz             liveness
 //	GET    /metrics                Prometheus text metrics
+//
+// Error responses are the envelope {"error": {"code", "message"}} with
+// the stable codes of errors.go.
 type Server struct {
 	cfg     Config
 	store   *Store
@@ -151,10 +156,12 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/traces", s.instrument("upload", s.handleUpload))
 	mux.Handle("PUT /v1/traces:stream", s.instrument("stream", s.handleStream))
+	mux.Handle("GET /v1/traces", s.instrument("list", s.handleList))
 	mux.Handle("GET /v1/traces/{id}", s.instrument("get", s.handleGet))
 	mux.Handle("GET /v1/traces/{id}/raw", s.instrument("raw", s.handleRaw))
 	mux.Handle("DELETE /v1/traces/{id}", s.instrument("delete", s.handleDelete))
 	mux.Handle("POST /v1/traces/{id}/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.Handle("POST /v1/diff", s.instrument("diff", s.handleDiff))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
@@ -239,8 +246,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError answers with the structured /v1 error envelope: a stable
+// machine-readable code (the errors.go registry) plus a free-form
+// message.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // TraceInfo is the metadata answer of upload and GET /v1/traces/{id}.
@@ -278,10 +291,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge, "body exceeds %d bytes", mbe.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "reading body: %v", err)
 		return
 	}
 
@@ -295,24 +308,24 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			var ce *pt.CorruptionError
 			switch {
 			case errors.As(err, &ce):
-				writeError(w, http.StatusUnprocessableEntity, "corrupt PT stream: %v", ce)
+				writeError(w, http.StatusUnprocessableEntity, ErrCodeCorruptPTStream, "corrupt PT stream: %v", ce)
 			case errors.Is(err, context.Canceled):
 				// Client went away mid-build: same treatment as a
 				// cancelled analysis, not a client error.
-				writeError(w, http.StatusServiceUnavailable, "build cancelled")
+				writeError(w, http.StatusServiceUnavailable, ErrCodeCancelled, "build cancelled")
 			default:
-				writeError(w, http.StatusBadRequest, "PT capture: %v", err)
+				writeError(w, http.StatusBadRequest, ErrCodeInvalidCapture, "PT capture: %v", err)
 			}
 			return
 		}
 	case ContentTypeTrace, "application/octet-stream", "":
 		tr, err = trace.Decode(body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "trace: %v", err)
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidTrace, "trace: %v", err)
 			return
 		}
 	default:
-		writeError(w, http.StatusUnsupportedMediaType, "unsupported content type %q", ctype)
+		writeError(w, http.StatusUnsupportedMediaType, ErrCodeUnsupportedMediaType, "unsupported content type %q", ctype)
 		return
 	}
 
@@ -407,7 +420,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		var policy pt.FaultPolicy
 		policy, err = faultPolicy(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "%v", err)
 			return
 		}
 		accum = engine.NewStreamAccum(0)
@@ -422,7 +435,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	case ContentTypeTrace, "application/octet-stream", "":
 		tr, err = trace.Read(body)
 	default:
-		writeError(w, http.StatusUnsupportedMediaType, "unsupported content type %q", ctype)
+		writeError(w, http.StatusUnsupportedMediaType, ErrCodeUnsupportedMediaType, "unsupported content type %q", ctype)
 		return
 	}
 	if err != nil {
@@ -430,13 +443,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		var ce *pt.CorruptionError
 		switch {
 		case errors.As(err, &mbe):
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge, "body exceeds %d bytes", mbe.Limit)
 		case errors.As(err, &ce):
-			writeError(w, http.StatusUnprocessableEntity, "corrupt PT stream: %v", ce)
+			writeError(w, http.StatusUnprocessableEntity, ErrCodeCorruptPTStream, "corrupt PT stream: %v", ce)
 		case errors.Is(err, context.Canceled) || r.Context().Err() != nil:
-			writeError(w, http.StatusServiceUnavailable, "stream cancelled")
+			writeError(w, http.StatusServiceUnavailable, ErrCodeCancelled, "stream cancelled")
 		default:
-			writeError(w, http.StatusBadRequest, "stream: %v", err)
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidTrace, "stream: %v", err)
 		}
 		return
 	}
@@ -445,7 +458,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// incremental hasher: one serialisation pass, nothing materialised.
 	h := trace.NewHasher()
 	if err := tr.Write(h); err != nil {
-		writeError(w, http.StatusInternalServerError, "hashing: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "hashing: %v", err)
 		return
 	}
 	id, size := h.Sum()
@@ -485,7 +498,7 @@ func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, size, ok := s.store.Get(id) // a download is a use: bump recency
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
 		return
 	}
 	w.Header().Set("Content-Type", ContentTypeTrace)
@@ -497,7 +510,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, size, ok := s.store.Meta(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, traceInfo(id, tr, size))
@@ -506,10 +519,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.store.Delete(id) {
-		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
 		return
 	}
-	s.results.InvalidatePrefix(id + "|")
+	s.results.InvalidateTrace(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -609,58 +622,72 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, _, ok := s.store.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
 		return
 	}
 
 	var req AnalyzeRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "reading body: %v", err)
 		return
 	}
 	if len(body) > 0 {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "request: %v", err)
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "request: %v", err)
 			return
 		}
 	}
 	opts, err := req.engineOptions()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeUnknownAnalysis, "%v", err)
 		return
 	}
 
-	key := req.cacheKey(id)
+	b, hit, err := s.analyzedBytes(r.Context(), tr, req.cacheKey(id), opts)
+	if err == nil && hit {
+		w.Header().Set("X-Memgazed-Cache", "hit")
+	}
+	s.writeAnalysisResult(w, b, err)
+}
+
+// analyzedBytes returns the marshalled Report of tr under key — the
+// result-cache lookup, miss accounting, and singleflight execution
+// shared by the analyze and diff paths. hit reports a cache hit; ctx
+// bounds only this caller's wait (the leader's work is detached, as
+// always with the flight group).
+func (s *Server) analyzedBytes(ctx context.Context, tr *trace.Trace, key string, opts []engine.Option) (b []byte, hit bool, err error) {
 	if b, ok := s.results.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Memgazed-Cache", "hit")
-		w.Write(b)
-		return
+		return b, true, nil
 	}
 	s.metrics.cacheMisses.Add(1)
-
-	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
+	b, err, joined := s.flights.Do(ctx, key, func() ([]byte, error) {
 		return s.runAnalysis(tr, key, opts)
 	})
 	if joined {
 		s.metrics.coalesced.Add(1)
 	}
+	return b, false, err
+}
+
+// writeAnalysisResult maps an analysis or diff outcome onto the wire:
+// the JSON bytes on success, the shared error taxonomy otherwise.
+func (s *Server) writeAnalysisResult(w http.ResponseWriter, b []byte, err error) {
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "analysis exceeded %v", s.cfg.RequestTimeout)
+		writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, "analysis exceeded %v", s.cfg.RequestTimeout)
 	case errors.Is(err, context.Canceled):
 		// Client went away or the server is closing; nothing useful to
 		// say to the former, 503 for the latter.
-		writeError(w, http.StatusServiceUnavailable, "analysis cancelled")
+		writeError(w, http.StatusServiceUnavailable, ErrCodeCancelled, "analysis cancelled")
 	default:
-		writeError(w, http.StatusInternalServerError, "analysis: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "analysis: %v", err)
 	}
 }
 

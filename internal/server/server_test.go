@@ -89,6 +89,16 @@ func uploadTrace(t *testing.T, base string, tr *trace.Trace) TraceInfo {
 	return info
 }
 
+// errCode decodes the /v1 error envelope and returns its stable code.
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body %q is not the envelope: %v", body, err)
+	}
+	return env.Error.Code
+}
+
 func postAnalyze(t *testing.T, base, id, body string) (*http.Response, []byte) {
 	t.Helper()
 	resp, err := http.Post(base+"/v1/traces/"+id+"/analyze", "application/json", strings.NewReader(body))
@@ -137,24 +147,31 @@ func TestHandlers(t *testing.T) {
 		ctype  string
 		body   string
 		want   int
+		code   string // expected error.code; "" skips the envelope check
 	}{
-		{"healthz ok", "GET", hs.URL + "/v1/healthz", "", "", 200},
-		{"healthz bad method", "POST", hs.URL + "/v1/healthz", "", "", 405},
-		{"upload bad method", "GET", hs.URL + "/v1/traces", "", "", 405},
-		{"analyze bad method", "GET", hs.URL + "/v1/traces/" + info.ID + "/analyze", "", "", 405},
-		{"metrics ok", "GET", hs.URL + "/metrics", "", "", 200},
-		{"get unknown id", "GET", hs.URL + "/v1/traces/deadbeef", "", "", 404},
-		{"delete unknown id", "DELETE", hs.URL + "/v1/traces/deadbeef", "", "", 404},
-		{"analyze unknown id", "POST", hs.URL + "/v1/traces/deadbeef/analyze", "application/json", "{}", 404},
-		{"upload malformed trace", "POST", hs.URL + "/v1/traces", ContentTypeTrace, "not a trace", 400},
-		{"upload hostile trace header", "POST", hs.URL + "/v1/traces", ContentTypeTrace, hostile.String(), 400},
-		{"upload malformed capture", "POST", hs.URL + "/v1/traces", ContentTypePT, "not a capture", 400},
-		{"upload bad content type", "POST", hs.URL + "/v1/traces", "text/csv", "a,b", 415},
-		{"analyze malformed json", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", "{", 400},
-		{"analyze unknown field", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"nope":1}`, 400},
-		{"analyze unknown analysis", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"analyses":["bogus"]}`, 400},
-		{"analyze timeout", "POST", tinyHS.URL + "/v1/traces/" + tinyInfo.ID + "/analyze", "application/json", `{}`, 504},
-		{"get ok", "GET", hs.URL + "/v1/traces/" + info.ID, "", "", 200},
+		{"healthz ok", "GET", hs.URL + "/v1/healthz", "", "", 200, ""},
+		{"healthz bad method", "POST", hs.URL + "/v1/healthz", "", "", 405, ""},
+		{"traces bad method", "PATCH", hs.URL + "/v1/traces", "", "", 405, ""},
+		{"analyze bad method", "GET", hs.URL + "/v1/traces/" + info.ID + "/analyze", "", "", 405, ""},
+		{"metrics ok", "GET", hs.URL + "/metrics", "", "", 200, ""},
+		{"get unknown id", "GET", hs.URL + "/v1/traces/deadbeef", "", "", 404, ErrCodeTraceNotFound},
+		{"delete unknown id", "DELETE", hs.URL + "/v1/traces/deadbeef", "", "", 404, ErrCodeTraceNotFound},
+		{"analyze unknown id", "POST", hs.URL + "/v1/traces/deadbeef/analyze", "application/json", "{}", 404, ErrCodeTraceNotFound},
+		{"upload malformed trace", "POST", hs.URL + "/v1/traces", ContentTypeTrace, "not a trace", 400, ErrCodeInvalidTrace},
+		{"upload hostile trace header", "POST", hs.URL + "/v1/traces", ContentTypeTrace, hostile.String(), 400, ErrCodeInvalidTrace},
+		{"upload malformed capture", "POST", hs.URL + "/v1/traces", ContentTypePT, "not a capture", 400, ErrCodeInvalidCapture},
+		{"upload bad content type", "POST", hs.URL + "/v1/traces", "text/csv", "a,b", 415, ErrCodeUnsupportedMediaType},
+		{"analyze malformed json", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", "{", 400, ErrCodeInvalidRequest},
+		{"analyze unknown field", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"nope":1}`, 400, ErrCodeInvalidRequest},
+		{"analyze unknown analysis", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", `{"analyses":["bogus"]}`, 400, ErrCodeUnknownAnalysis},
+		{"analyze timeout", "POST", tinyHS.URL + "/v1/traces/" + tinyInfo.ID + "/analyze", "application/json", `{}`, 504, ErrCodeDeadlineExceeded},
+		{"get ok", "GET", hs.URL + "/v1/traces/" + info.ID, "", "", 200, ""},
+		{"list ok", "GET", hs.URL + "/v1/traces", "", "", 200, ""},
+		{"list bad limit", "GET", hs.URL + "/v1/traces?limit=bogus", "", "", 400, ErrCodeInvalidRequest},
+		{"diff missing ids", "POST", hs.URL + "/v1/diff", "application/json", `{"a":"` + info.ID + `"}`, 400, ErrCodeInvalidRequest},
+		{"diff unknown trace", "POST", hs.URL + "/v1/diff", "application/json", `{"a":"` + info.ID + `","b":"deadbeef"}`, 404, ErrCodeTraceNotFound},
+		{"diff unknown analysis", "POST", hs.URL + "/v1/diff", "application/json", `{"a":"` + info.ID + `","b":"` + info.ID + `","analyses":["bogus"]}`, 400, ErrCodeUnknownAnalysis},
+		{"diff malformed json", "POST", hs.URL + "/v1/diff", "application/json", "{", 400, ErrCodeInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,6 +190,11 @@ func TestHandlers(t *testing.T) {
 			resp.Body.Close()
 			if resp.StatusCode != tc.want {
 				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, b)
+			}
+			if tc.code != "" {
+				if got := errCode(t, b); got != tc.code {
+					t.Errorf("error.code = %q, want %q (body %s)", got, tc.code, b)
+				}
 			}
 		})
 	}

@@ -167,6 +167,28 @@ func (s *Store) Meta(id string) (*trace.Trace, int64, bool) {
 	return e.tr, e.size, true
 }
 
+// List returns metadata for every resident trace without bumping
+// recency (enumeration, like Meta, should not distort eviction order).
+// Order is unspecified; callers sort. The snapshot is per-shard
+// consistent, not globally atomic — fine for a listing endpoint.
+func (s *Store) List() []TraceInfo {
+	var out []TraceInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		snap := make([]*storeEntry, 0, len(sh.entries))
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			snap = append(snap, el.Value.(*storeEntry))
+		}
+		sh.mu.Unlock()
+		// Build the infos outside the lock: NumRecords walks samples.
+		for _, e := range snap {
+			out = append(out, traceInfo(e.id, e.tr, e.size))
+		}
+	}
+	return out
+}
+
 // Delete removes the trace stored under id, reporting whether it was
 // resident.
 func (s *Store) Delete(id string) bool {

@@ -220,6 +220,9 @@ func TestStreamQuotaMidStream(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d: %s", resp.StatusCode, b)
 	}
+	if got := errCode(t, b); got != ErrCodeBodyTooLarge {
+		t.Errorf("error.code = %q, want %q", got, ErrCodeBodyTooLarge)
+	}
 	// The server stops reading at the quota, but the client transport
 	// keeps pumping into kernel socket buffers until it sees the 413,
 	// and under a loaded machine (the full test suite, CI) that slack
@@ -235,9 +238,12 @@ func TestStreamQuotaMidStream(t *testing.T) {
 // TestStreamUnsupportedType pins the 415 on unknown stream content.
 func TestStreamUnsupportedType(t *testing.T) {
 	_, hs := newTestServer(t, Config{})
-	resp, _, _ := streamPut(t, hs.URL, "application/x-unknown", strings.NewReader("xx"))
+	resp, _, b := streamPut(t, hs.URL, "application/x-unknown", strings.NewReader("xx"))
 	if resp.StatusCode != http.StatusUnsupportedMediaType {
 		t.Errorf("status %d, want 415", resp.StatusCode)
+	}
+	if got := errCode(t, b); got != ErrCodeUnsupportedMediaType {
+		t.Errorf("error.code = %q, want %q", got, ErrCodeUnsupportedMediaType)
 	}
 }
 
@@ -245,9 +251,12 @@ func TestStreamUnsupportedType(t *testing.T) {
 func TestStreamMalformed(t *testing.T) {
 	_, hs := newTestServer(t, Config{})
 	for _, ctype := range []string{ContentTypeTrace, ContentTypePT} {
-		resp, _, _ := streamPut(t, hs.URL, ctype, strings.NewReader("not a valid body"))
+		resp, _, b := streamPut(t, hs.URL, ctype, strings.NewReader("not a valid body"))
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", ctype, resp.StatusCode)
+		}
+		if got := errCode(t, b); got != ErrCodeInvalidTrace {
+			t.Errorf("%s: error.code = %q, want %q", ctype, got, ErrCodeInvalidTrace)
 		}
 	}
 }

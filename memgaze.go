@@ -38,6 +38,7 @@ import (
 	"github.com/memgaze/memgaze-go/internal/cache"
 	"github.com/memgaze/memgaze-go/internal/core"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
+	"github.com/memgaze/memgaze-go/internal/diff"
 	"github.com/memgaze/memgaze-go/internal/engine"
 	"github.com/memgaze/memgaze-go/internal/heatmap"
 	"github.com/memgaze/memgaze-go/internal/instrument"
@@ -238,6 +239,14 @@ func DefaultAnalyses() []Analysis { return engine.DefaultAnalyses() }
 
 // AllAnalyses lists every analysis the engine knows.
 func AllAnalyses() []Analysis { return engine.AllAnalyses() }
+
+// AnalysisNames lists every analysis's wire name, in Analysis order —
+// the strings ParseAnalysis and the service's "analyses" fields accept.
+func AnalysisNames() []string { return engine.AnalysisNames() }
+
+// ParseAnalysis resolves an analysis wire name ("functions", "mrc", …)
+// to its Analysis, reporting whether the name is known.
+var ParseAnalysis = engine.ParseAnalysis
 
 // Analyzer options.
 var (
@@ -491,6 +500,54 @@ func BuildHeatmap(t *Trace, lo, hi uint64, rows, cols int, blockSize uint64) *He
 	return rep.Heatmap
 }
 
+// Cross-trace comparison. Every case study of the paper reads two
+// traces side by side; Compare (over Reports) and CompareTraces (over
+// traces, running both engine suites concurrently) serve that directly:
+//
+//	d, err := memgaze.CompareTraces(ctx, trA, trB, memgaze.WithDiffTopK(10))
+//	for _, f := range d.Functions { ... } // per-function shifts, A − B
+//
+// Deltas are A − B throughout; see DiffReport's sections for the MRC,
+// footprint-growth, symbol, and address-region comparisons.
+type (
+	// DiffReport is the full comparison of two Reports.
+	DiffReport = diff.DiffReport
+	// MRCDelta is one aligned capacity of two miss-ratio curves, with
+	// confidence bounds propagated through the subtraction.
+	MRCDelta = diff.MRCDelta
+	// GrowthPoint is one normalized-time point of the footprint-growth
+	// comparison.
+	GrowthPoint = diff.GrowthPoint
+	// SymbolShift is one function's or line's diagnostic shift.
+	SymbolShift = diff.SymbolShift
+	// RegionShift is one aligned pair of zoom-tree leaves.
+	RegionShift = diff.RegionShift
+	// DiffOption configures Compare and CompareTraces.
+	DiffOption = diff.Option
+)
+
+// Compare diffs two already-built Reports; deltas are A − B.
+func Compare(a, b *Report, opts ...DiffOption) *DiffReport { return diff.Diff(a, b, opts...) }
+
+// CompareTraces analyses both traces with identical options (the two
+// engine suites run concurrently) and diffs the Reports.
+func CompareTraces(ctx context.Context, a, b *Trace, opts ...DiffOption) (*DiffReport, error) {
+	return diff.DiffTraces(ctx, a, b, opts...)
+}
+
+// DiffAnalyses is the engine suite CompareTraces runs by default.
+func DiffAnalyses() []Analysis { return diff.DiffAnalyses() }
+
+// Diff options.
+var (
+	// WithDiffTopK truncates the symbol and region sections to the k
+	// largest shifts (0 = unlimited).
+	WithDiffTopK = diff.WithTopK
+	// WithDiffEngineOptions sets the engine options CompareTraces applies
+	// identically to both runs.
+	WithDiffEngineOptions = diff.WithEngineOptions
+)
+
 // The memgazed analysis service (cmd/memgazed). A Server holds uploaded
 // traces in a sharded, byte-budgeted LRU store and serves engine
 // analyses over HTTP with request coalescing, a result cache, and
@@ -510,8 +567,15 @@ type (
 	ServerConfig = server.Config
 	// AnalyzeRequest is the JSON body of POST /v1/traces/{id}/analyze.
 	AnalyzeRequest = server.AnalyzeRequest
+	// DiffRequest is the JSON body of POST /v1/diff.
+	DiffRequest = server.DiffRequest
 	// TraceInfo is the service's trace-metadata answer.
 	TraceInfo = server.TraceInfo
+	// TraceList is the paged answer of GET /v1/traces.
+	TraceList = server.TraceList
+	// ErrorEnvelope is the structured error body of every /v1 error
+	// answer: {"error": {"code", "message"}} with a stable code.
+	ErrorEnvelope = server.ErrorEnvelope
 	// PTCapture is the portable form of a collector's raw output — what
 	// a collection host POSTs to /v1/traces as ContentTypePT.
 	PTCapture = pt.Capture

@@ -67,4 +67,35 @@ func TestPublicFacade(t *testing.T) {
 	if len(mrc) != 2 || mrc[0].MissRatio < mrc[1].MissRatio {
 		t.Errorf("facade MRC = %+v", mrc)
 	}
+
+	// Analysis-name parsing through the facade.
+	names := memgaze.AnalysisNames()
+	if len(names) != len(memgaze.AllAnalyses()) {
+		t.Errorf("%d analysis names for %d analyses", len(names), len(memgaze.AllAnalyses()))
+	}
+	if a, ok := memgaze.ParseAnalysis("mrc"); !ok || a != memgaze.AnalyzeMRC {
+		t.Errorf("ParseAnalysis(mrc) = %v, %v", a, ok)
+	}
+	if _, ok := memgaze.ParseAnalysis("bogus"); ok {
+		t.Error("ParseAnalysis accepted an unknown name")
+	}
+
+	// Cross-trace comparison through the facade: a self-diff is zero.
+	d, err := memgaze.CompareTraces(t.Context(), res.Trace, res.Trace, memgaze.WithDiffTopK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Functions) == 0 {
+		t.Fatal("self-diff has no function shifts")
+	}
+	for _, f := range d.Functions {
+		if f.DLoads != 0 || f.OnlyIn != "" {
+			t.Errorf("self-diff function %q: %+v", f.Name, f)
+		}
+	}
+	for _, m := range d.MRC {
+		if m.Delta != 0 || m.Significant {
+			t.Errorf("self-diff MRC at %d blocks: %+v", m.CacheBlocks, m)
+		}
+	}
 }

@@ -88,7 +88,10 @@ func uploadTestCapture(t *testing.T, path string) {
 // real in-process memgazed: buffered MGTR, streamed MGTR (dedups to the
 // same id), and a streamed PT capture with a sniffed content type.
 func TestUploadCommand(t *testing.T) {
-	srv := memgaze.NewServer(memgaze.ServerConfig{})
+	srv, err := memgaze.NewServer(memgaze.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	hs := httptest.NewServer(srv)
 	defer hs.Close()

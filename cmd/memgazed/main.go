@@ -1,10 +1,12 @@
 // Command memgazed is the MemGaze-Go trace-analysis service: a
 // long-running HTTP daemon that accepts trace uploads (serialised
 // traces or raw PT captures), keeps them in a byte-budgeted in-memory
-// store, and serves analyzer-engine requests with request coalescing, a
+// store — or, with -data-dir, durably in an on-disk segment store that
+// survives restarts, with the in-memory store as a hot-tier cache —
+// and serves analyzer-engine requests with request coalescing, a
 // result cache, and Prometheus metrics.
 //
-//	memgazed -addr :8080 -store-budget 268435456 -workers 8 -timeout 30s
+//	memgazed -addr :8080 -data-dir /var/lib/memgazed -workers 8 -timeout 30s
 //
 //	curl -X POST --data-binary @pr.mgt -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces
 //	curl -T pr.mgt --no-buffer -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces:stream
@@ -55,6 +57,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	buildWorkers := fs.Int("build-workers", 0, "samples decoded concurrently per PT-capture upload (0 = GOMAXPROCS)")
 	streamChunk := fs.Int("stream-chunk", 0, "read granularity of streamed uploads in bytes (0 = 256 KiB); peak streamed-build memory is O(stream-chunk × build-workers)")
 	sweepShards := fs.Int("sweep-shards", 0, "sample shards per analysis trace walk (0 = GOMAXPROCS, 1 = sequential; output is identical at every count)")
+	dataDir := fs.String("data-dir", "", "durable trace storage directory: uploads write through to an on-disk segment store and survive restarts (empty = in-memory only)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -63,7 +66,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return err
 	}
 
-	srv := memgaze.NewServer(memgaze.ServerConfig{
+	srv, err := memgaze.NewServer(memgaze.ServerConfig{
 		StoreBudgetBytes: *storeBudget,
 		ResultCacheBytes: *resultCache,
 		Workers:          *workers,
@@ -72,7 +75,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		BuildWorkers:     *buildWorkers,
 		StreamChunkBytes: *streamChunk,
 		SweepShards:      *sweepShards,
+		DataDir:          *dataDir,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)

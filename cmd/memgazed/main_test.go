@@ -135,6 +135,88 @@ func TestRunLifecycle(t *testing.T) {
 	}
 }
 
+// TestRunDataDir drives the -data-dir flag through a full restart:
+// boot with a durable directory, upload, drain out, boot a second
+// daemon on the same directory and require the trace to survive with
+// the same content-hash id and the durable tier reported ready.
+func TestRunDataDir(t *testing.T) {
+	dir := t.TempDir()
+	boot := func(ctx context.Context) (string, *logCapture, chan error) {
+		logs := newLogCapture()
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-drain", "5s"}, logs)
+		}()
+		select {
+		case addr := <-logs.addrc:
+			return "http://" + addr, logs, done
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, logs.String())
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no listening line\n%s", logs.String())
+		}
+		panic("unreachable")
+	}
+	stop := func(cancel context.CancelFunc, done chan error, logs *logCapture) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after drain", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("run did not exit after cancel\n%s", logs.String())
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	base, logs, done := boot(ctx1)
+
+	enc, err := mainTestTrace().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/traces", memgaze.ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info memgaze.TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 || info.ID == "" {
+		t.Fatalf("upload: status %d info %+v", resp.StatusCode, info)
+	}
+	stop(cancel1, done, logs)
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base, logs, done = boot(ctx2)
+
+	resp, err = http.Get(base + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte(`"durable"`)) {
+		t.Fatalf("readyz after restart: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/v1/traces/" + info.ID + "/raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Equal(raw, enc) {
+		t.Fatalf("raw after restart: status %d, %d bytes (want %d)", resp.StatusCode, len(raw), len(enc))
+	}
+	stop(cancel2, done, logs)
+}
+
 // TestRunBadFlags: flag errors surface as errors, not panics or hangs.
 func TestRunBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {

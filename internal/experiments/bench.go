@@ -22,6 +22,7 @@ import (
 	"github.com/memgaze/memgaze-go/internal/pt"
 	"github.com/memgaze/memgaze-go/internal/report"
 	"github.com/memgaze/memgaze-go/internal/server"
+	"github.com/memgaze/memgaze-go/internal/storage"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -50,7 +51,7 @@ type StreamIngestPoint struct {
 }
 
 // BenchResult is the machine-readable benchmark report the CI
-// regression gate consumes (committed as BENCH_6.json).
+// regression gate consumes (committed as BENCH_7.json).
 type BenchResult struct {
 	GoVersion  string              `json:"go_version"`
 	ChunkBytes int                 `json:"chunk_bytes"`
@@ -185,7 +186,10 @@ func measurePeak(fn func(sample func()) (any, error)) (overhead int64, err error
 // serveWarm measures the result-cache repeat path: one upload, one
 // priming analyze, then iters cached analyzes; returns ns per analyze.
 func serveWarm(iters int) (int64, error) {
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		return 0, err
+	}
 	defer s.Close()
 	hs := httptest.NewServer(s)
 	defer hs.Close()
@@ -238,7 +242,10 @@ func serveWarm(iters int) (int64, error) {
 // priming POST /v1/diff (which analyses both sides and caches the
 // DiffReport), then iters cached diffs; returns ns per diff.
 func diffServed(iters int) (int64, error) {
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		return 0, err
+	}
 	defer s.Close()
 	hs := httptest.NewServer(s)
 	defer hs.Close()
@@ -296,6 +303,49 @@ func diffServed(iters int) (int64, error) {
 		return 0, err
 	}
 	return total / int64(iters), nil
+}
+
+// warmBoot measures durable-store recovery: the time storage.Open
+// takes to rebuild its in-memory index by scanning segment headers
+// over a directory pre-populated with traces. This is the restart
+// cost a -data-dir deployment pays before it can serve, so the gate
+// keeps it from silently regressing as the record framing or the
+// recovery scan evolves.
+func warmBoot(traces int) (int64, error) {
+	dir, err := os.MkdirTemp("", "memgaze-warmboot")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := storage.Open(storage.Config{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < traces; i++ {
+		tr := benchTrace(4+i, 64) // distinct sample counts → distinct content hashes
+		id, size := tr.HashAndSize()
+		meta := storage.Meta{Module: tr.Module, Mode: tr.Mode,
+			Samples: len(tr.Samples), Records: tr.NumRecords(),
+			Rho: tr.Rho(), Kappa: tr.Kappa(), Uploaded: time.Now().UTC()}
+		if _, err := st.Put(id, meta, size, tr); err != nil {
+			st.Close()
+			return 0, err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return 0, err
+	}
+	return bestOf(5, func() error {
+		re, err := storage.Open(storage.Config{Dir: dir, CompactInterval: -1})
+		if err != nil {
+			return err
+		}
+		if got := re.Len(); got != traces {
+			re.Close()
+			return fmt.Errorf("warm boot: recovered %d traces, want %d", got, traces)
+		}
+		return re.Close()
+	})
 }
 
 // sweepSharded measures the sample-sharded stack-distance sweep (all
@@ -462,6 +512,12 @@ func Bench(s Sizes) (*BenchResult, error) {
 		return nil, fmt.Errorf("diff served: %w", err)
 	}
 	res.Gate = append(res.Gate, BenchMetric{Name: "diff_served", NsPerOp: diffNs})
+
+	bootNs, err := warmBoot(32)
+	if err != nil {
+		return nil, fmt.Errorf("warm boot: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "warm_boot", NsPerOp: bootNs})
 
 	// Streamed vs buffered ingest at 1× and 10× capture sizes, from a
 	// temp file so the streamed path never holds the capture in memory.

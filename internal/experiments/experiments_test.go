@@ -538,14 +538,17 @@ func TestBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", res.Text)
-	if len(res.Gate) != 4 {
-		t.Fatalf("gate metrics = %d, want 4", len(res.Gate))
+	if len(res.Gate) != 5 {
+		t.Fatalf("gate metrics = %d, want 5", len(res.Gate))
 	}
 	if got := res.Gate[2].Name; got != "sweep_sharded" {
 		t.Errorf("gate[2] = %q, want sweep_sharded", got)
 	}
 	if got := res.Gate[3].Name; got != "diff_served" {
 		t.Errorf("gate[3] = %q, want diff_served", got)
+	}
+	if got := res.Gate[4].Name; got != "warm_boot" {
+		t.Errorf("gate[4] = %q, want warm_boot", got)
 	}
 	if res.SweepSequentialNs <= 0 {
 		t.Errorf("sweep_sequential_ns = %d, want > 0", res.SweepSequentialNs)

@@ -17,7 +17,10 @@ import (
 // the O(1) repeat path the cache exists for. Compare ns/op and
 // allocations with -benchmem.
 func BenchmarkServe(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	defer func() { hs.Close(); s.Close() }()
 

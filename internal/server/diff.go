@@ -66,14 +66,14 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrCodeUnknownAnalysis, "%v", err)
 		return
 	}
-	trA, _, ok := s.store.Get(req.A)
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", req.A)
+	trA, _, err := s.fetch(req.A)
+	if err != nil {
+		s.writeFetchError(w, req.A, err)
 		return
 	}
-	trB, _, ok := s.store.Get(req.B)
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", req.B)
+	trB, _, err := s.fetch(req.B)
+	if err != nil {
+		s.writeFetchError(w, req.B, err)
 		return
 	}
 

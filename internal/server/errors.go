@@ -31,6 +31,15 @@ const (
 	// ErrCodeCancelled: the work was cancelled — client disconnect or
 	// server shutdown (503).
 	ErrCodeCancelled = "cancelled"
+	// ErrCodeTraceDeleted: the trace id names a durably tombstoned key —
+	// it was stored and then deleted, and the tombstone survives
+	// restarts. Distinct from trace_not_found so clients don't re-probe
+	// the fleet for content that was removed on purpose (410).
+	ErrCodeTraceDeleted = "trace_deleted"
+	// ErrCodeStorageUnavailable: the durable tier failed — a disk-tier
+	// I/O error on read or write, or a replica whose storage is not
+	// ready (503; also the readyz not-ready answer).
+	ErrCodeStorageUnavailable = "storage_unavailable"
 	// ErrCodeInternal: an unexpected server-side failure (500).
 	ErrCodeInternal = "internal"
 )

@@ -20,10 +20,14 @@ type TraceList struct {
 	Next   string      `json:"next,omitempty"`
 }
 
-// handleList is GET /v1/traces: enumerate the store so clients can pick
-// analyze and diff targets without out-of-band bookkeeping. Pages are
-// keyed by id (?after=<id>, ?limit=<n>): ids are content hashes, so the
-// cursor is stable across inserts and evictions.
+// handleList is GET /v1/traces: enumerate the corpus so clients can
+// pick analyze and diff targets without out-of-band bookkeeping. Pages
+// are keyed by id (?after=<id>, ?limit=<n>): ids are content hashes, so
+// the cursor is stable across inserts and evictions. With a durable
+// tier the listing comes from the disk index — the full corpus, not
+// just what happens to be hot — with each entry's tier telling clients
+// whether a read will hit memory; entries never decode MGTR bytes, the
+// stored Meta blob carries everything.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	limit := defaultListLimit
 	if v := r.URL.Query().Get("limit"); v != "" {
@@ -36,7 +40,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	after := r.URL.Query().Get("after")
 
-	infos := s.store.List()
+	var infos []TraceInfo
+	if s.disk != nil {
+		entries := s.disk.List()
+		infos = make([]TraceInfo, 0, len(entries))
+		for _, e := range entries {
+			tier := tierDisk
+			if s.store.Contains(e.ID) {
+				tier = tierHot
+			}
+			infos = append(infos, diskInfo(e.ID, e.Meta, e.Size, tier))
+		}
+	} else {
+		infos = s.store.List()
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	if after != "" {
 		i := sort.Search(len(infos), func(i int) bool { return infos[i].ID > after })

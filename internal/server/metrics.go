@@ -9,12 +9,13 @@ import (
 	"time"
 
 	"github.com/memgaze/memgaze-go/internal/engine"
+	"github.com/memgaze/memgaze-go/internal/storage"
 )
 
 // endpoints are the fixed label values of the per-endpoint metric
 // families. Fixing the set at construction keeps every hot-path update
 // a plain atomic add — no locks, no map writes after init.
-var endpoints = []string{"upload", "stream", "list", "get", "raw", "delete", "analyze", "diff", "healthz", "metrics"}
+var endpoints = []string{"upload", "stream", "list", "get", "raw", "delete", "analyze", "diff", "healthz", "readyz", "metrics"}
 
 // latencyBuckets are the request-latency upper bounds in seconds.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
@@ -107,6 +108,10 @@ type Metrics struct {
 	cacheMisses atomic.Uint64
 	coalesced   atomic.Uint64
 
+	// promotions counts hot-tier misses served by decoding the durable
+	// copy back into memory.
+	promotions atomic.Uint64
+
 	// streamBytes is the per-upload bytes-streamed histogram and
 	// streamsInFlight the live gauge of open streamed uploads.
 	streamBytes     *histogram
@@ -146,8 +151,10 @@ func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WritePrometheus renders every metric family in Prometheus text
 // exposition format. Families and label values are emitted in a fixed
-// order, so the output is deterministic up to the counter values.
-func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCache) {
+// order, so the output is deterministic up to the counter values. disk
+// may be nil (memory-only mode); the durable-tier families are then
+// omitted entirely rather than rendered as zeroes.
+func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCache, disk *storage.Store) {
 	fmt.Fprint(w, "# HELP memgazed_requests_total Requests received, by endpoint.\n# TYPE memgazed_requests_total counter\n")
 	for _, ep := range endpoints {
 		fmt.Fprintf(w, "memgazed_requests_total{endpoint=%q} %d\n", ep, m.requests[ep].Load())
@@ -187,6 +194,32 @@ func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCach
 	fmt.Fprintf(w, "memgazed_result_cache_bytes %d\n", results.UsedBytes())
 	fmt.Fprint(w, "# HELP memgazed_result_cache_entries Responses resident in the result cache.\n# TYPE memgazed_result_cache_entries gauge\n")
 	fmt.Fprintf(w, "memgazed_result_cache_entries %d\n", results.Len())
+
+	if disk != nil {
+		st := disk.Stats()
+		fmt.Fprint(w, "# HELP memgazed_disk_promotions_total Hot-tier misses served by promoting the durable copy.\n# TYPE memgazed_disk_promotions_total counter\n")
+		fmt.Fprintf(w, "memgazed_disk_promotions_total %d\n", m.promotions.Load())
+		fmt.Fprint(w, "# HELP memgazed_disk_segments Segment files in the durable store.\n# TYPE memgazed_disk_segments gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_segments %d\n", st.Segments)
+		fmt.Fprint(w, "# HELP memgazed_disk_traces Live traces in the durable store.\n# TYPE memgazed_disk_traces gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_traces %d\n", st.LiveTraces)
+		fmt.Fprint(w, "# HELP memgazed_disk_tombstones Durably deleted trace keys awaiting compaction.\n# TYPE memgazed_disk_tombstones gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_tombstones %d\n", st.Tombstones)
+		fmt.Fprint(w, "# HELP memgazed_disk_live_bytes Payload bytes of live traces on disk.\n# TYPE memgazed_disk_live_bytes gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_live_bytes %d\n", st.LiveBytes)
+		fmt.Fprint(w, "# HELP memgazed_disk_dead_bytes Payload bytes superseded or tombstoned, reclaimable by compaction.\n# TYPE memgazed_disk_dead_bytes gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_dead_bytes %d\n", st.DeadBytes)
+		fmt.Fprint(w, "# HELP memgazed_disk_compactions_total Segments rewritten by the compactor.\n# TYPE memgazed_disk_compactions_total counter\n")
+		fmt.Fprintf(w, "memgazed_disk_compactions_total %d\n", st.Compactions)
+		fmt.Fprint(w, "# HELP memgazed_disk_recovery_live_records Records indexed by the boot scan.\n# TYPE memgazed_disk_recovery_live_records gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_recovery_live_records %d\n", st.Recovery.LiveRecords)
+		fmt.Fprint(w, "# HELP memgazed_disk_recovery_truncated_bytes Bytes cut off a torn segment tail at boot.\n# TYPE memgazed_disk_recovery_truncated_bytes gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_recovery_truncated_bytes %d\n", st.Recovery.TruncatedBytes)
+		fmt.Fprint(w, "# HELP memgazed_disk_recovery_corrupt_records Records dropped at boot to CRC or framing failure.\n# TYPE memgazed_disk_recovery_corrupt_records gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_recovery_corrupt_records %d\n", st.Recovery.CorruptRecords)
+		fmt.Fprint(w, "# HELP memgazed_disk_recovery_duration_seconds Boot scan duration.\n# TYPE memgazed_disk_recovery_duration_seconds gauge\n")
+		fmt.Fprintf(w, "memgazed_disk_recovery_duration_seconds %s\n", fmtFloat(st.Recovery.Duration.Seconds()))
+	}
 
 	fmt.Fprint(w, "# HELP memgazed_analysis_duration_seconds Engine time per completed analysis.\n# TYPE memgazed_analysis_duration_seconds summary\n")
 	names := make([]string, 0, len(m.analysis))

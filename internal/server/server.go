@@ -18,6 +18,7 @@ import (
 
 	"github.com/memgaze/memgaze-go/internal/engine"
 	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/storage"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -66,6 +67,16 @@ type Config struct {
 	// O(StreamChunkBytes × BuildWorkers) regardless of capture size
 	// (default pt.DefaultStreamChunk, 256 KiB).
 	StreamChunkBytes int
+	// DataDir, when non-empty, enables the durable tier: uploads write
+	// through to an append-only content-addressed segment store there
+	// (internal/storage) and the corpus survives restarts, with the
+	// in-memory store demoted to a hot-tier cache in front of the disk.
+	// Empty keeps the memory-only mode, where a restart loses the
+	// corpus.
+	DataDir string
+	// SegmentTargetBytes is the durable tier's segment roll size
+	// (default 64 MiB; only meaningful with DataDir set).
+	SegmentTargetBytes int64
 }
 
 func (c *Config) applyDefaults() {
@@ -95,13 +106,14 @@ func (c *Config) applyDefaults() {
 //
 //	POST   /v1/traces              upload a trace (ContentTypeTrace) or raw PT capture (ContentTypePT)
 //	PUT    /v1/traces:stream       streamed upload: chunked transfer, bounded memory, mid-stream quota
-//	GET    /v1/traces              paged listing of resident trace metadata
-//	GET    /v1/traces/{id}         trace metadata
-//	GET    /v1/traces/{id}/raw     download the trace's MGTR encoding (streamed)
-//	DELETE /v1/traces/{id}         evict a trace (and its cached results)
+//	GET    /v1/traces              paged listing of stored trace metadata (TraceInfo, with tier)
+//	GET    /v1/traces/{id}         trace metadata (TraceInfo)
+//	GET    /v1/traces/{id}/raw     download the trace's MGTR encoding (streamed; ETag = content hash, 304 on If-None-Match, HEAD probes)
+//	DELETE /v1/traces/{id}         delete a trace (durable tombstone with a DataDir; 410 afterwards)
 //	POST   /v1/traces/{id}/analyze run a set of engine analyses, JSON Report
-//	POST   /v1/diff                compare two resident traces, JSON DiffReport
-//	GET    /v1/healthz             liveness
+//	POST   /v1/diff                compare two stored traces, JSON DiffReport
+//	GET    /v1/healthz             liveness: the process is up
+//	GET    /v1/readyz              readiness: the durable tier can take writes (503 routes traffic away)
 //	GET    /metrics                Prometheus text metrics
 //
 // Error responses are the envelope {"error": {"code", "message"}} with
@@ -109,6 +121,7 @@ func (c *Config) applyDefaults() {
 type Server struct {
 	cfg     Config
 	store   *Store
+	disk    *storage.Store // durable tier; nil in memory-only mode
 	results *resultCache
 	flights *flightGroup
 	metrics *Metrics
@@ -126,8 +139,10 @@ type Server struct {
 	hookAnalyzeStart func()
 }
 
-// New creates a Server and starts its analysis worker pool.
-func New(cfg Config) *Server {
+// New creates a Server and starts its analysis worker pool. With
+// cfg.DataDir set it also opens (or recovers) the durable segment
+// store there; an unrecoverable data directory is the only error.
+func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -137,6 +152,16 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		jobs:    make(chan func()),
 		quit:    make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		disk, err := storage.Open(storage.Config{
+			Dir:                cfg.DataDir,
+			SegmentTargetBytes: cfg.SegmentTargetBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening durable store: %w", err)
+		}
+		s.disk = disk
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -163,9 +188,10 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/traces/{id}/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.Handle("POST /v1/diff", s.instrument("diff", s.handleDiff))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /v1/readyz", s.instrument("readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -177,14 +203,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the server's metrics for out-of-band inspection.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops the analysis worker pool and cancels any still-running
-// jobs. Call it only after the HTTP listener has drained (for graceful
-// shutdown: http.Server.Shutdown first, then Close); closing earlier
-// aborts in-flight analyses, which then answer 503.
+// Close stops the analysis worker pool, cancels any still-running
+// jobs, and — with a durable tier — syncs the active segment to stable
+// storage and closes the segment files, so a SIGTERM drain loses
+// nothing. Call it only after the HTTP listener has drained (for
+// graceful shutdown: http.Server.Shutdown first, then Close); closing
+// earlier aborts in-flight analyses, which then answer 503.
 func (s *Server) Close() {
 	s.baseCancel()
 	close(s.quit)
 	s.workers.Wait()
+	if s.disk != nil {
+		s.disk.Close()
+	}
 }
 
 // statusWriter captures the response code for the error counters.
@@ -256,7 +287,17 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	}})
 }
 
-// TraceInfo is the metadata answer of upload and GET /v1/traces/{id}.
+// Storage tiers of a TraceInfo.
+const (
+	// tierHot: resident in the in-memory cache (and, in durable mode,
+	// also on disk — hot is a cache in front of the durable tier).
+	tierHot = "hot"
+	// tierDisk: durable tier only; the next read promotes it.
+	tierDisk = "disk"
+)
+
+// TraceInfo is the stable metadata shape shared by uploads,
+// GET /v1/traces/{id}, and every GET /v1/traces listing entry.
 type TraceInfo struct {
 	ID      string  `json:"id"`
 	Module  string  `json:"module"`
@@ -266,7 +307,13 @@ type TraceInfo struct {
 	Bytes   int64   `json:"bytes"` // encoded (stored) size
 	Rho     float64 `json:"rho"`
 	Kappa   float64 `json:"kappa"`
-	// Existed is true when an upload deduplicated against a resident
+	// Tier is where the trace currently sits: "hot" (in-memory cache)
+	// or "disk" (durable tier only, promoted on next read).
+	Tier string `json:"tier"`
+	// Uploaded is when this content first arrived (dedup keeps the
+	// original time; in durable mode it survives restarts).
+	Uploaded time.Time `json:"uploaded"`
+	// Existed is true when an upload deduplicated against a stored
 	// trace with identical content.
 	Existed bool `json:"existed,omitempty"`
 	// Decode carries the build accounting of a PT-capture upload.
@@ -283,6 +330,123 @@ func traceInfo(id string, tr *trace.Trace, size int64) TraceInfo {
 		Bytes:   size,
 		Rho:     tr.Rho(),
 		Kappa:   tr.Kappa(),
+	}
+}
+
+// diskInfo builds the TraceInfo of a durable-tier index entry — no
+// MGTR decode; everything comes from the stored Meta blob.
+func diskInfo(id string, m storage.Meta, size int64, tier string) TraceInfo {
+	return TraceInfo{
+		ID:       id,
+		Module:   m.Module,
+		Mode:     m.Mode,
+		Samples:  m.Samples,
+		Records:  m.Records,
+		Bytes:    size,
+		Rho:      m.Rho,
+		Kappa:    m.Kappa,
+		Tier:     tier,
+		Uploaded: m.Uploaded,
+	}
+}
+
+// storeTrace lands a decoded upload in the tiers: write-through to the
+// durable store first when one is configured — a disk failure fails
+// the upload, so the hot tier never serves a trace the disk lost —
+// then the hot tier. It reports whether the content is new and the
+// upload time to answer with (dedup keeps the original's).
+func (s *Server) storeTrace(id string, tr *trace.Trace, size int64) (added bool, uploaded time.Time, err error) {
+	uploaded = time.Now().UTC()
+	if s.disk != nil {
+		m := storage.Meta{
+			Module:   tr.Module,
+			Mode:     tr.Mode,
+			Samples:  len(tr.Samples),
+			Records:  tr.NumRecords(),
+			Rho:      tr.Rho(),
+			Kappa:    tr.Kappa(),
+			Uploaded: uploaded,
+		}
+		added, err = s.disk.Put(id, m, size, tr)
+		if err != nil {
+			return false, time.Time{}, err
+		}
+		if !added {
+			if prev, _, ierr := s.disk.Info(id); ierr == nil {
+				uploaded = prev.Uploaded
+			}
+		}
+		s.store.Put(id, tr, size, uploaded)
+		return added, uploaded, nil
+	}
+	if !s.store.Put(id, tr, size, uploaded) {
+		if _, _, prev, ok := s.store.Meta(id); ok {
+			uploaded = prev
+		}
+		return false, uploaded, nil
+	}
+	return true, uploaded, nil
+}
+
+// fetch returns the trace under id for analysis or download: the hot
+// tier first (a read bumps recency), then the durable tier on a miss —
+// the disk copy is CRC-verified, decoded, and promoted into the hot
+// tier so repeat reads stay in memory. Errors are storage.ErrNotFound,
+// storage.ErrDeleted, or a wrapped disk failure; writeFetchError maps
+// them onto the /v1 registry.
+func (s *Server) fetch(id string) (*trace.Trace, int64, error) {
+	if tr, size, ok := s.store.Get(id); ok {
+		return tr, size, nil
+	}
+	if s.disk == nil {
+		return nil, 0, storage.ErrNotFound
+	}
+	b, m, err := s.disk.Get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	tr, err := trace.Decode(b)
+	if err != nil {
+		// The bytes passed their CRC but do not decode — a storage-side
+		// fault (format skew, not a client error).
+		return nil, 0, fmt.Errorf("decoding stored trace %s: %w", id, err)
+	}
+	s.metrics.promotions.Add(1)
+	s.store.Put(id, tr, int64(len(b)), m.Uploaded)
+	return tr, int64(len(b)), nil
+}
+
+// infoFor resolves a trace's TraceInfo without promoting or bumping
+// recency: the hot tier first, then the durable index (no payload
+// read). The error taxonomy matches fetch.
+func (s *Server) infoFor(id string) (TraceInfo, error) {
+	if tr, size, uploaded, ok := s.store.Meta(id); ok {
+		info := traceInfo(id, tr, size)
+		info.Tier = tierHot
+		info.Uploaded = uploaded
+		return info, nil
+	}
+	if s.disk == nil {
+		return TraceInfo{}, storage.ErrNotFound
+	}
+	m, size, err := s.disk.Info(id)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	return diskInfo(id, m, size, tierDisk), nil
+}
+
+// writeFetchError maps a fetch/infoFor error onto the error registry:
+// 404 trace_not_found, 410 trace_deleted (durably tombstoned), 503
+// storage_unavailable (the disk tier failed).
+func (s *Server) writeFetchError(w http.ResponseWriter, id string, err error) {
+	switch {
+	case errors.Is(err, storage.ErrNotFound):
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+	case errors.Is(err, storage.ErrDeleted):
+		writeError(w, http.StatusGone, ErrCodeTraceDeleted, "trace %q was deleted", id)
+	default:
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
 	}
 }
 
@@ -330,8 +494,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id, size := tr.HashAndSize()
-	added := s.store.Put(id, tr, size)
+	added, uploaded, err := s.storeTrace(id, tr, size)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
+		return
+	}
 	info := traceInfo(id, tr, size)
+	info.Tier = tierHot // an upload always lands hot
+	info.Uploaded = uploaded
 	info.Existed = !added
 	info.Decode = ds
 	status := http.StatusCreated
@@ -462,7 +632,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, size := h.Sum()
-	added := s.store.Put(id, tr, size)
+	added, uploaded, err := s.storeTrace(id, tr, size)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
+		return
+	}
 
 	var info TraceInfo
 	if accum != nil {
@@ -481,6 +655,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	} else {
 		info = traceInfo(id, tr, size)
 	}
+	info.Tier = tierHot
+	info.Uploaded = uploaded
 	info.Existed = !added
 	info.Decode = ds
 	status := http.StatusCreated
@@ -490,34 +666,86 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
-// handleRaw is GET /v1/traces/{id}/raw: the streamed download twin of
-// the upload paths. The MGTR encoding is serialised straight into the
-// response via Trace.WriteTo — Content-Length is known from the store's
-// accounting, and nothing is buffered.
+// etagMatch reports whether an If-None-Match header matches etag.
+// Weak validators compare equal — the content hash makes every stored
+// representation byte-identical, so W/ prefixes carry no information
+// here — and "*" matches any stored trace.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleRaw is GET (and HEAD) /v1/traces/{id}/raw: the streamed
+// download twin of the upload paths. The id is the content hash, so it
+// doubles as a strong ETag: If-None-Match answers 304 without touching
+// the payload, and HEAD probes the fleet for a hash — headers only, no
+// promotion, no recency bump. An actual download fetches through the
+// tiers (promoting a disk-resident trace) and serialises the MGTR
+// encoding straight into the response via Trace.WriteTo —
+// Content-Length is known from stored accounting, nothing is buffered.
 func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	tr, size, ok := s.store.Get(id) // a download is a use: bump recency
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+	info, err := s.infoFor(id)
+	if err != nil {
+		s.writeFetchError(w, id, err)
+		return
+	}
+	etag := `"` + id + `"`
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", ContentTypeTrace)
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Bytes, 10))
+	if r.Method == http.MethodHead {
+		return // existence probe: headers only
+	}
+	tr, _, err := s.fetch(id) // a download is a use: bump recency, promote
+	if err != nil {
+		s.writeFetchError(w, id, err)
+		return
+	}
 	tr.WriteTo(w)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	tr, size, ok := s.store.Meta(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+	info, err := s.infoFor(id)
+	if err != nil {
+		s.writeFetchError(w, id, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, traceInfo(id, tr, size))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.disk != nil {
+		ok, err := s.disk.Delete(id)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
+			return
+		}
+		if !ok {
+			// Not live: distinguish never-stored from already-deleted.
+			if _, _, ierr := s.disk.Info(id); errors.Is(ierr, storage.ErrDeleted) {
+				writeError(w, http.StatusGone, ErrCodeTraceDeleted, "trace %q already deleted", id)
+			} else {
+				writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+			}
+			return
+		}
+		s.store.Delete(id) // drop the hot copy with the durable one
+		s.results.InvalidateTrace(id)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	if !s.store.Delete(id) {
 		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
 		return
@@ -526,13 +754,32 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleHealthz is GET /v1/healthz: pure liveness — the process is up
+// and serving. Storage state is deliberately excluded; that is readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is GET /v1/readyz: the load-balancer routing probe. A
+// replica whose durable tier cannot take writes (sticky append/sync
+// failure) or whose compactor is wedged answers 503 so traffic drains
+// away while the process — still alive per healthz — keeps serving
+// what it can. Memory-only mode is always ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.disk == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "storage": "memory"})
+		return
+	}
+	if err := s.disk.Healthy(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "not ready: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "storage": "durable"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, s.store, s.results)
+	s.metrics.WritePrometheus(w, s.store, s.results, s.disk)
 }
 
 // AnalyzeRequest is the JSON body of POST /v1/traces/{id}/analyze.
@@ -620,9 +867,9 @@ func (q *AnalyzeRequest) cacheKey(id string) string {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	tr, _, ok := s.store.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+	tr, _, err := s.fetch(id)
+	if err != nil {
+		s.writeFetchError(w, id, err)
 		return
 	}
 

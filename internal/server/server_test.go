@@ -61,7 +61,10 @@ func testTrace(samples, recs int) *trace.Trace {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() { hs.Close(); s.Close() })
 	return s, hs

@@ -1,11 +1,15 @@
 // Package server is memgazed: MemGaze-Go's trace-analysis service. It
 // serves the analyzer engine and the trace-build pipeline over HTTP —
-// uploads land in a sharded in-memory trace store with LRU eviction
-// under a byte budget, analysis requests run on a shared worker pool
-// with per-request deadlines, duplicate in-flight requests coalesce
-// through a singleflight layer, finished reports sit in a size-bounded
-// result cache, and everything is observable in Prometheus text format
-// at /metrics. See DESIGN.md ("memgazed") for the architecture.
+// uploads write through to a durable on-disk segment store when
+// Config.DataDir is set (internal/storage: content-addressed,
+// append-only, restart-surviving) with the sharded in-memory LRU trace
+// store demoted to a hot-tier cache in front of it (memory-only without
+// a DataDir), analysis requests run on a shared worker pool with
+// per-request deadlines, duplicate in-flight requests coalesce through
+// a singleflight layer, finished reports sit in a size-bounded result
+// cache, and everything is observable in Prometheus text format at
+// /metrics. See DESIGN.md ("memgazed", "Durable segment store") for the
+// architecture.
 package server
 
 import (
@@ -13,6 +17,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -23,10 +28,11 @@ const numShards = 16
 
 // storeEntry is one resident trace.
 type storeEntry struct {
-	id    string
-	tr    *trace.Trace
-	size  int64  // MGTR-encoded bytes, the unit of budget accounting
-	stamp uint64 // recency from Store.clock; evictOver picks the global minimum
+	id       string
+	tr       *trace.Trace
+	size     int64     // MGTR-encoded bytes, the unit of budget accounting
+	uploaded time.Time // when the content first arrived (disk meta on promotion)
+	stamp    uint64    // recency from Store.clock; evictOver picks the global minimum
 }
 
 type storeShard struct {
@@ -72,7 +78,7 @@ func shardIndex(id string) int {
 // shard until the store is back under budget — but never the trace
 // just inserted, so a Put always succeeds even when the trace alone
 // exceeds the budget.
-func (s *Store) Put(id string, tr *trace.Trace, size int64) bool {
+func (s *Store) Put(id string, tr *trace.Trace, size int64, uploaded time.Time) bool {
 	sh := &s.shards[shardIndex(id)]
 	sh.mu.Lock()
 	if el, ok := sh.entries[id]; ok {
@@ -81,7 +87,7 @@ func (s *Store) Put(id string, tr *trace.Trace, size int64) bool {
 		sh.mu.Unlock()
 		return false
 	}
-	e := &storeEntry{id: id, tr: tr, size: size, stamp: s.clock.Add(1)}
+	e := &storeEntry{id: id, tr: tr, size: size, uploaded: uploaded, stamp: s.clock.Add(1)}
 	sh.entries[id] = sh.lru.PushFront(e)
 	sh.mu.Unlock()
 	s.used.Add(size)
@@ -153,18 +159,29 @@ func (s *Store) Get(id string) (*trace.Trace, int64, bool) {
 	return e.tr, e.size, true
 }
 
-// Meta returns the trace and its stored encoded size without bumping
-// recency (metadata endpoints should not distort eviction order).
-func (s *Store) Meta(id string) (*trace.Trace, int64, bool) {
+// Meta returns the trace, its stored encoded size, and its upload time
+// without bumping recency (metadata endpoints should not distort
+// eviction order).
+func (s *Store) Meta(id string) (*trace.Trace, int64, time.Time, bool) {
 	sh := &s.shards[shardIndex(id)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.entries[id]
 	if !ok {
-		return nil, 0, false
+		return nil, 0, time.Time{}, false
 	}
 	e := el.Value.(*storeEntry)
-	return e.tr, e.size, true
+	return e.tr, e.size, e.uploaded, true
+}
+
+// Contains reports residency without bumping recency — the tier probe
+// of listings and metadata answers.
+func (s *Store) Contains(id string) bool {
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[id]
+	return ok
 }
 
 // List returns metadata for every resident trace without bumping
@@ -183,7 +200,10 @@ func (s *Store) List() []TraceInfo {
 		sh.mu.Unlock()
 		// Build the infos outside the lock: NumRecords walks samples.
 		for _, e := range snap {
-			out = append(out, traceInfo(e.id, e.tr, e.size))
+			info := traceInfo(e.id, e.tr, e.size)
+			info.Tier = tierHot
+			info.Uploaded = e.uploaded
+			out = append(out, info)
 		}
 	}
 	return out

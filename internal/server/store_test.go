@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
@@ -24,7 +25,7 @@ func tinyTrace(seed int) *trace.Trace {
 func TestStoreBudgetEviction(t *testing.T) {
 	s := NewStore(300)
 	for i := 0; i < 3; i++ {
-		if !s.Put(fmt.Sprintf("id%d", i), tinyTrace(i), 100) {
+		if !s.Put(fmt.Sprintf("id%d", i), tinyTrace(i), 100, time.Now()) {
 			t.Fatalf("put %d not added", i)
 		}
 	}
@@ -36,7 +37,7 @@ func TestStoreBudgetEviction(t *testing.T) {
 	if _, _, ok := s.Get("id0"); !ok {
 		t.Fatal("id0 missing")
 	}
-	s.Put("id3", tinyTrace(3), 100)
+	s.Put("id3", tinyTrace(3), 100, time.Now())
 	if s.Len() != 3 || s.UsedBytes() != 300 {
 		t.Fatalf("after eviction: len=%d used=%d", s.Len(), s.UsedBytes())
 	}
@@ -52,7 +53,7 @@ func TestStoreBudgetEviction(t *testing.T) {
 
 	// An oversized trace still lands (never evicts itself), pushing the
 	// rest out.
-	s.Put("big", tinyTrace(9), 1000)
+	s.Put("big", tinyTrace(9), 1000, time.Now())
 	if _, _, ok := s.Get("big"); !ok {
 		t.Error("oversized trace rejected")
 	}
@@ -72,10 +73,10 @@ func TestStoreBudgetEviction(t *testing.T) {
 // resident entry.
 func TestStoreDedup(t *testing.T) {
 	s := NewStore(0)
-	if !s.Put("x", tinyTrace(1), 10) {
+	if !s.Put("x", tinyTrace(1), 10, time.Now()) {
 		t.Fatal("first put")
 	}
-	if s.Put("x", tinyTrace(1), 10) {
+	if s.Put("x", tinyTrace(1), 10, time.Now()) {
 		t.Fatal("second put of same id reported added")
 	}
 	if s.Len() != 1 || s.UsedBytes() != 10 {
@@ -98,7 +99,7 @@ func TestStoreConcurrent(t *testing.T) {
 				id := fmt.Sprintf("id%d", rng.Intn(100))
 				switch rng.Intn(4) {
 				case 0:
-					s.Put(id, tinyTrace(i), 64)
+					s.Put(id, tinyTrace(i), 64, time.Now())
 				case 1:
 					s.Get(id)
 				case 2:

@@ -1,0 +1,1008 @@
+// Package storage is memgazed's durable tier: an append-only,
+// content-addressed on-disk segment store. Traces land as CRC-guarded,
+// length-prefixed records in fixed-target-size segment files; a sparse
+// in-memory index (id → segment, offset, length, metadata) is rebuilt
+// by scanning record headers on boot; reads go through io.ReaderAt so
+// serving a trace never buffers a whole segment; deletes append
+// tombstones; and a background compactor rewrites segments whose live
+// ratio drops below a threshold. A torn tail write — the signature of a
+// crash mid-append — is truncated, not fatal, on recovery, and the loss
+// is surfaced in RecoveryStats. See DESIGN.md ("Durable segment store").
+//
+// # Record framing
+//
+// Every segment file starts with the 8-byte segment header: the magic
+// "MGSG" and a little-endian uint32 format version. Records follow
+// back to back:
+//
+//	u8      type        'P' (put) or 'T' (tombstone)
+//	u64le   seq         store-wide monotonic sequence number
+//	[32]    id          raw SHA-256 content hash (the trace id)
+//	u32le   metaLen     encoded Meta bytes
+//	u64le   payloadLen  MGTR payload bytes (0 for tombstones)
+//	u32le   metaCRC     CRC-32C of the meta bytes
+//	u32le   headerCRC   CRC-32C of the 57 bytes above
+//	[metaLen]    meta       JSON-encoded Meta
+//	[payloadLen] payload    the trace's MGTR encoding
+//	u32le   payloadCRC  CRC-32C of the payload (puts only)
+//
+// Boot replays records in sequence order — the highest seq for an id
+// wins — so compaction may move records to the log tail without
+// reordering history. The boot scan reads headers and meta but seeks
+// over payloads; only the active (highest-numbered) segment, the one a
+// crash can tear, is payload-verified in full.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	segMagic   = "MGSG"
+	segVersion = 1
+	segHdrLen  = 8
+
+	recTypePut  = 'P'
+	recTypeTomb = 'T'
+
+	// recHdrLen is the fixed record header: type(1) + seq(8) + id(32) +
+	// metaLen(4) + payloadLen(8) + metaCRC(4) + headerCRC(4).
+	recHdrLen = 61
+
+	// maxMetaLen bounds a record's metadata blob so a corrupt header
+	// cannot force a huge allocation during the boot scan.
+	maxMetaLen = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors of the read path.
+var (
+	// ErrNotFound: the id names nothing the store has ever accepted (or
+	// its records were lost to corruption).
+	ErrNotFound = errors.New("storage: trace not found")
+	// ErrDeleted: the id is tombstoned — it was stored and then deleted.
+	ErrDeleted = errors.New("storage: trace deleted")
+	// ErrClosed: the store has been closed.
+	ErrClosed = errors.New("storage: store closed")
+)
+
+// Config parameterises a Store. Zero fields take the defaults noted.
+type Config struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// SegmentTargetBytes seals the active segment once it reaches this
+	// size and rolls a new one (default 64 MiB). A single record may
+	// exceed it; segments are fixed-target, not fixed-limit.
+	SegmentTargetBytes int64
+	// CompactThreshold is the live-payload ratio below which a sealed
+	// segment is rewritten (default 0.5; <0 disables compaction).
+	CompactThreshold float64
+	// CompactInterval is the background compactor's poll period
+	// (default 30s; <=0 disables the background loop — CompactOnce
+	// still works, which is what tests drive).
+	CompactInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.SegmentTargetBytes <= 0 {
+		c.SegmentTargetBytes = 64 << 20
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = 0.5
+	}
+	if c.CompactInterval == 0 {
+		c.CompactInterval = 30 * time.Second
+	}
+}
+
+// Meta is the small per-trace metadata blob stored alongside the
+// payload, so listings and probes never decode MGTR bytes. It is what
+// survives a restart about a trace besides its encoding.
+type Meta struct {
+	Module   string    `json:"module"`
+	Mode     string    `json:"mode"`
+	Samples  int       `json:"samples"`
+	Records  int       `json:"records"`
+	Rho      float64   `json:"rho"`
+	Kappa    float64   `json:"kappa"`
+	Uploaded time.Time `json:"uploaded"`
+}
+
+// RecoveryStats describes what the boot scan found — and lost.
+type RecoveryStats struct {
+	// Segments scanned (and kept) on boot.
+	Segments int
+	// LiveRecords indexed after replay (puts minus tombstones).
+	LiveRecords int
+	// Tombstones live after replay.
+	Tombstones int
+	// TruncatedBytes cut off a torn segment tail.
+	TruncatedBytes int64
+	// CorruptRecords dropped to CRC or framing failure (each one is a
+	// lost put or tombstone).
+	CorruptRecords int
+	// Duration of the scan.
+	Duration time.Duration
+}
+
+// Stats is the store's live accounting, rendered at /metrics.
+type Stats struct {
+	Segments    int
+	LiveTraces  int
+	Tombstones  int
+	LiveBytes   int64 // payload bytes of index-winning puts
+	DeadBytes   int64 // payload bytes superseded or tombstoned
+	Compactions uint64
+	Recovery    RecoveryStats
+}
+
+// entry is one indexed live trace.
+type entry struct {
+	seg  *segment
+	off  int64 // payload offset within the segment file
+	size int64 // payload length
+	seq  uint64
+	meta Meta
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64 // current file size (append cursor for the active segment)
+
+	livePayload  int64 // payload bytes of records the index points at
+	totalPayload int64 // payload bytes of every put record in the file
+	tombs        int   // live tombstone records homed here
+}
+
+// Store is the durable trace tier. All methods are safe for concurrent
+// use: appends and compaction serialise under one writer lock, reads
+// share a reader lock and hit the file through ReadAt.
+type Store struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	segs    map[int]*segment
+	active  *segment
+	index   map[string]*entry
+	tombs   map[string]uint64 // id → seq of the winning tombstone
+	nextSeq uint64
+	nextSeg int
+	closed  bool
+
+	recovery    RecoveryStats
+	compactions atomic.Uint64
+
+	// Health state for readiness probes: the last append/sync failure
+	// (sticky until a write succeeds) and the last compaction failure
+	// (sticky until one succeeds).
+	writeErr   error
+	compactErr error
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Open opens (or creates) the store in cfg.Dir, scans every segment to
+// rebuild the index, truncates a torn active-segment tail, and starts
+// the background compactor.
+func Open(cfg Config) (*Store, error) {
+	cfg.applyDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("storage: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{
+		cfg:   cfg,
+		segs:  make(map[int]*segment),
+		index: make(map[string]*entry),
+		tombs: make(map[string]uint64),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if s.active == nil {
+		if err := s.rollLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CompactInterval > 0 && cfg.CompactThreshold > 0 {
+		go s.compactLoop()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+func segPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.mgseg", id))
+}
+
+// rollLocked seals the current active segment (if any) and opens a
+// fresh one. Caller holds mu (or is still single-goroutine in Open).
+func (s *Store) rollLocked() error {
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sealing segment %d: %w", s.active.id, err)
+		}
+	}
+	id := s.nextSeg
+	s.nextSeg++
+	path := segPath(s.cfg.Dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating segment: %w", err)
+	}
+	var hdr [segHdrLen]byte
+	copy(hdr[:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing segment header: %w", err)
+	}
+	seg := &segment{id: id, path: path, f: f, size: segHdrLen}
+	s.segs[id] = seg
+	s.active = seg
+	return nil
+}
+
+// recHeader is one parsed record header.
+type recHeader struct {
+	typ        byte
+	seq        uint64
+	id         string // hex
+	metaLen    uint32
+	payloadLen int64
+	metaCRC    uint32
+}
+
+// parseRecHeader decodes and CRC-verifies a fixed record header.
+func parseRecHeader(b []byte) (recHeader, error) {
+	var h recHeader
+	if got := crc32.Checksum(b[:recHdrLen-4], castagnoli); got != binary.LittleEndian.Uint32(b[recHdrLen-4:]) {
+		return h, errors.New("record header CRC mismatch")
+	}
+	h.typ = b[0]
+	if h.typ != recTypePut && h.typ != recTypeTomb {
+		return h, fmt.Errorf("unknown record type 0x%02x", h.typ)
+	}
+	h.seq = binary.LittleEndian.Uint64(b[1:])
+	h.id = hex.EncodeToString(b[9:41])
+	h.metaLen = binary.LittleEndian.Uint32(b[41:])
+	h.payloadLen = int64(binary.LittleEndian.Uint64(b[45:]))
+	h.metaCRC = binary.LittleEndian.Uint32(b[53:])
+	if h.metaLen > maxMetaLen {
+		return h, fmt.Errorf("metadata of %d bytes exceeds limit", h.metaLen)
+	}
+	if h.payloadLen < 0 {
+		return h, fmt.Errorf("negative payload length")
+	}
+	return h, nil
+}
+
+// appendRecord writes one framed record to the active segment and
+// returns the payload offset. payload streams through a CRC writer via
+// WriteTo; payloadLen must match what it writes. Caller holds mu.
+func (s *Store) appendRecord(typ byte, seq uint64, id string, meta []byte, payloadLen int64, payload io.WriterTo) (payloadOff int64, err error) {
+	rawID, err := hex.DecodeString(id)
+	if err != nil || len(rawID) != 32 {
+		return 0, fmt.Errorf("storage: id %q is not a hex SHA-256", id)
+	}
+	seg := s.active
+	start := seg.size
+
+	var hdr [recHdrLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], seq)
+	copy(hdr[9:41], rawID)
+	binary.LittleEndian.PutUint32(hdr[41:], uint32(len(meta)))
+	binary.LittleEndian.PutUint64(hdr[45:], uint64(payloadLen))
+	binary.LittleEndian.PutUint32(hdr[53:], crc32.Checksum(meta, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[57:], crc32.Checksum(hdr[:recHdrLen-4], castagnoli))
+
+	// All writes go through an offset-tracked WriteAt so appends are
+	// independent of the file cursor — recovery truncates and scans with
+	// ReadAt and never leaves the cursor anywhere meaningful.
+	ow := &offsetWriter{f: seg.f, off: start}
+
+	// On any failure, rewind the file to the record start so a partial
+	// append never survives into the next record's framing.
+	rollback := func(cause error) (int64, error) {
+		seg.f.Truncate(start)
+		seg.size = start
+		return 0, cause
+	}
+	if _, err := ow.Write(hdr[:]); err != nil {
+		return rollback(fmt.Errorf("storage: appending header: %w", err))
+	}
+	if len(meta) > 0 {
+		if _, err := ow.Write(meta); err != nil {
+			return rollback(fmt.Errorf("storage: appending metadata: %w", err))
+		}
+	}
+	payloadOff = start + recHdrLen + int64(len(meta))
+	if typ == recTypePut {
+		cw := &crcWriter{w: ow}
+		n, err := payload.WriteTo(cw)
+		if err != nil {
+			return rollback(fmt.Errorf("storage: appending payload: %w", err))
+		}
+		if n != payloadLen {
+			return rollback(fmt.Errorf("storage: payload wrote %d bytes, expected %d", n, payloadLen))
+		}
+		var tr [4]byte
+		binary.LittleEndian.PutUint32(tr[:], cw.sum)
+		if _, err := ow.Write(tr[:]); err != nil {
+			return rollback(fmt.Errorf("storage: appending payload CRC: %w", err))
+		}
+		seg.size = payloadOff + payloadLen + 4
+	} else {
+		seg.size = payloadOff
+	}
+	return payloadOff, nil
+}
+
+// offsetWriter appends to f at an explicit offset via WriteAt, keeping
+// record framing correct regardless of where the file cursor sits.
+type offsetWriter struct {
+	f   *os.File
+	off int64
+}
+
+func (o *offsetWriter) Write(p []byte) (int, error) {
+	n, err := o.f.WriteAt(p, o.off)
+	o.off += int64(n)
+	return n, err
+}
+
+// crcWriter computes CRC-32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// Put appends a trace under its content hash. payload streams the MGTR
+// encoding and must write exactly size bytes (trace.Trace implements
+// io.WriterTo with exactly its EncodedSize). It reports whether the
+// trace was newly stored: an id already live is a no-op dedup, and a
+// tombstoned id is resurrected. The record is flushed to the OS before
+// Put returns; fsync happens on segment seal, Sync, and Close.
+func (s *Store) Put(id string, meta Meta, size int64, payload io.WriterTo) (added bool, err error) {
+	metaB, err := json.Marshal(meta)
+	if err != nil {
+		return false, fmt.Errorf("storage: encoding metadata: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	if _, ok := s.index[id]; ok {
+		return false, nil // content-addressed dedup
+	}
+	if s.active.size >= s.cfg.SegmentTargetBytes {
+		if err := s.rollLocked(); err != nil {
+			s.writeErr = err
+			return false, err
+		}
+	}
+	seq := s.nextSeq
+	seg := s.active
+	off, err := s.appendRecord(recTypePut, seq, id, metaB, size, payload)
+	if err != nil {
+		s.writeErr = err
+		return false, err
+	}
+	s.nextSeq++
+	s.writeErr = nil
+	// A resurrecting put supersedes the tombstone; its record stays in
+	// place as dead weight until compaction rewrites that segment.
+	delete(s.tombs, id)
+	s.index[id] = &entry{seg: seg, off: off, size: size, seq: seq, meta: meta}
+	seg.livePayload += size
+	seg.totalPayload += size
+	return true, nil
+}
+
+// Delete appends a tombstone for id. It reports whether the id was
+// live; deleting an already-tombstoned or unknown id is a no-op false.
+func (s *Store) Delete(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	e, ok := s.index[id]
+	if !ok {
+		return false, nil
+	}
+	if s.active.size >= s.cfg.SegmentTargetBytes {
+		if err := s.rollLocked(); err != nil {
+			s.writeErr = err
+			return false, err
+		}
+	}
+	seq := s.nextSeq
+	if _, err := s.appendRecord(recTypeTomb, seq, id, nil, 0, nil); err != nil {
+		s.writeErr = err
+		return false, err
+	}
+	s.nextSeq++
+	s.writeErr = nil
+	delete(s.index, id)
+	s.tombs[id] = seq
+	s.active.tombs++
+	e.seg.livePayload -= e.size
+	return true, nil
+}
+
+// Get reads the payload (the trace's MGTR encoding) and metadata stored
+// under id, verifying the payload CRC. Errors are ErrNotFound,
+// ErrDeleted, or a wrapped I/O/corruption failure.
+func (s *Store) Get(id string) ([]byte, Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, Meta{}, ErrClosed
+	}
+	e, ok := s.index[id]
+	if !ok {
+		if _, dead := s.tombs[id]; dead {
+			return nil, Meta{}, ErrDeleted
+		}
+		return nil, Meta{}, ErrNotFound
+	}
+	buf := make([]byte, e.size+4)
+	if _, err := e.seg.f.ReadAt(buf, e.off); err != nil {
+		return nil, Meta{}, fmt.Errorf("storage: reading %s: %w", id, err)
+	}
+	payload, tr := buf[:e.size], buf[e.size:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(tr) {
+		return nil, Meta{}, fmt.Errorf("storage: payload CRC mismatch for %s (segment %d)", id, e.seg.id)
+	}
+	return payload, e.meta, nil
+}
+
+// Reader returns a CRC-unverified io.SectionReader over the stored
+// payload plus its metadata — the zero-copy path for callers that
+// verify integrity end to end themselves (the id is the content hash).
+// The reader is valid only until the record's segment is compacted;
+// callers that hold it across requests should use Get instead.
+func (s *Store) Reader(id string) (*io.SectionReader, Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, Meta{}, ErrClosed
+	}
+	e, ok := s.index[id]
+	if !ok {
+		if _, dead := s.tombs[id]; dead {
+			return nil, Meta{}, ErrDeleted
+		}
+		return nil, Meta{}, ErrNotFound
+	}
+	return io.NewSectionReader(e.seg.f, e.off, e.size), e.meta, nil
+}
+
+// Info returns the stored metadata and payload size for id without
+// touching the payload. The error taxonomy matches Get.
+func (s *Store) Info(id string) (Meta, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Meta{}, 0, ErrClosed
+	}
+	e, ok := s.index[id]
+	if !ok {
+		if _, dead := s.tombs[id]; dead {
+			return Meta{}, 0, ErrDeleted
+		}
+		return Meta{}, 0, ErrNotFound
+	}
+	return e.meta, e.size, nil
+}
+
+// IndexEntry is one live trace in a List snapshot.
+type IndexEntry struct {
+	ID   string
+	Size int64
+	Meta Meta
+}
+
+// List snapshots the live index in unspecified order; callers sort.
+func (s *Store) List() []IndexEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]IndexEntry, 0, len(s.index))
+	for id, e := range s.index {
+		out = append(out, IndexEntry{ID: id, Size: e.size, Meta: e.meta})
+	}
+	return out
+}
+
+// Len returns the number of live traces.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Segments:    len(s.segs),
+		LiveTraces:  len(s.index),
+		Tombstones:  len(s.tombs),
+		Compactions: s.compactions.Load(),
+		Recovery:    s.recovery,
+	}
+	for _, seg := range s.segs {
+		st.LiveBytes += seg.livePayload
+		st.DeadBytes += seg.totalPayload - seg.livePayload
+	}
+	return st
+}
+
+// Healthy reports the store's readiness: nil, or the sticky append/sync
+// or compaction failure a load balancer should route away from.
+func (s *Store) Healthy() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.writeErr != nil {
+		return fmt.Errorf("disk write failing: %w", s.writeErr)
+	}
+	if s.compactErr != nil {
+		return fmt.Errorf("compactor wedged: %w", s.compactErr)
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.active.f.Sync(); err != nil {
+		s.writeErr = err
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
+// Close stops the compactor, syncs the active segment, and closes every
+// segment file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	close(s.quit)
+	<-s.done
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var first error
+	if err := s.active.f.Sync(); err != nil && first == nil {
+		first = err
+	}
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) compactLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			if _, err := s.CompactOnce(); err != nil {
+				s.mu.Lock()
+				s.compactErr = err
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// CompactOnce rewrites at most one sealed segment whose live-payload
+// ratio is below the configured threshold: live puts and still-winning
+// tombstones are re-appended to the active segment with their original
+// sequence numbers (so replay order is unaffected), the index is
+// rewired, and the old file is deleted. It returns the number of
+// segments compacted (0 or 1).
+func (s *Store) CompactOnce() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.cfg.CompactThreshold <= 0 {
+		return 0, nil
+	}
+	victim := s.pickVictimLocked()
+	if victim == nil {
+		return 0, nil
+	}
+	if err := s.compactSegmentLocked(victim); err != nil {
+		s.compactErr = err
+		return 0, err
+	}
+	s.compactErr = nil
+	s.compactions.Add(1)
+	return 1, nil
+}
+
+// pickVictimLocked returns the sealed segment with the lowest live
+// ratio below the threshold, or nil. A segment holding only dead bytes
+// and stale tombstones has ratio 0 and compacts first.
+func (s *Store) pickVictimLocked() *segment {
+	var victim *segment
+	victimRatio := s.cfg.CompactThreshold
+	for _, seg := range s.segs {
+		if seg == s.active {
+			continue
+		}
+		if seg.totalPayload == 0 && seg.tombs == 0 {
+			return seg // pure dead weight: reclaim immediately
+		}
+		ratio := 1.0
+		if seg.totalPayload > 0 {
+			ratio = float64(seg.livePayload) / float64(seg.totalPayload)
+		} else {
+			ratio = 0 // only tombstones: carry them forward, drop the file
+		}
+		if ratio < victimRatio {
+			victim, victimRatio = seg, ratio
+		}
+	}
+	return victim
+}
+
+// compactSegmentLocked moves victim's live records to the active
+// segment and removes the file. Caller holds mu.
+func (s *Store) compactSegmentLocked(victim *segment) error {
+	err := scanSegment(victim.f, victim.size, true, func(h recHeader, metaB []byte, payloadOff int64, payload []byte) error {
+		switch h.typ {
+		case recTypePut:
+			e, ok := s.index[h.id]
+			if !ok || e.seg != victim || e.seq != h.seq {
+				return nil // superseded or deleted: drop
+			}
+			if s.active.size >= s.cfg.SegmentTargetBytes {
+				if err := s.rollLocked(); err != nil {
+					return err
+				}
+			}
+			seg := s.active
+			off, err := s.appendRecord(recTypePut, h.seq, h.id, metaB, h.payloadLen, bytesWriterTo(payload))
+			if err != nil {
+				return err
+			}
+			e.seg, e.off = seg, off
+			seg.livePayload += h.payloadLen
+			seg.totalPayload += h.payloadLen
+		case recTypeTomb:
+			if seq, ok := s.tombs[h.id]; !ok || seq != h.seq {
+				return nil // superseded by a later put or tombstone
+			}
+			if s.active.size >= s.cfg.SegmentTargetBytes {
+				if err := s.rollLocked(); err != nil {
+					return err
+				}
+			}
+			if _, err := s.appendRecord(recTypeTomb, h.seq, h.id, nil, 0, nil); err != nil {
+				return err
+			}
+			s.active.tombs++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("storage: compacting segment %d: %w", victim.id, err)
+	}
+	if err := s.active.f.Sync(); err != nil {
+		return fmt.Errorf("storage: compacting segment %d: sync: %w", victim.id, err)
+	}
+	victim.f.Close()
+	if err := os.Remove(victim.path); err != nil {
+		return fmt.Errorf("storage: removing compacted segment %d: %w", victim.id, err)
+	}
+	delete(s.segs, victim.id)
+	return nil
+}
+
+// bytesWriterTo adapts a byte slice to io.WriterTo for re-appends.
+type bytesWriterTo []byte
+
+func (b bytesWriterTo) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// scanSegment walks every record of a segment file via ReadAt from the
+// 8-byte header to limit. withPayload loads (and CRC-verifies) each
+// put's payload and hands it to fn; otherwise payload is nil and the
+// scan seeks over it. fn receives the parsed header, the raw meta
+// bytes, and the payload's file offset. Scanning stops at the first
+// framing or CRC failure with a *scanError carrying the record's start
+// offset — recovery turns that into a truncation point.
+type scanError struct {
+	off   int64 // offset of the record that failed
+	cause error
+}
+
+func (e *scanError) Error() string { return fmt.Sprintf("record at %d: %v", e.off, e.cause) }
+func (e *scanError) Unwrap() error { return e.cause }
+
+func scanSegment(f io.ReaderAt, limit int64, withPayload bool, fn func(h recHeader, metaB []byte, payloadOff int64, payload []byte) error) error {
+	off := int64(segHdrLen)
+	var hdr [recHdrLen]byte
+	for off < limit {
+		if off+recHdrLen > limit {
+			return &scanError{off, io.ErrUnexpectedEOF}
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return &scanError{off, err}
+		}
+		h, err := parseRecHeader(hdr[:])
+		if err != nil {
+			return &scanError{off, err}
+		}
+		metaB := []byte(nil)
+		metaOff := off + recHdrLen
+		if h.metaLen > 0 {
+			if metaOff+int64(h.metaLen) > limit {
+				return &scanError{off, io.ErrUnexpectedEOF}
+			}
+			metaB = make([]byte, h.metaLen)
+			if _, err := f.ReadAt(metaB, metaOff); err != nil {
+				return &scanError{off, err}
+			}
+			if crc32.Checksum(metaB, castagnoli) != h.metaCRC {
+				return &scanError{off, errors.New("metadata CRC mismatch")}
+			}
+		}
+		payloadOff := metaOff + int64(h.metaLen)
+		next := payloadOff
+		var payload []byte
+		if h.typ == recTypePut {
+			next = payloadOff + h.payloadLen + 4
+			if next > limit {
+				return &scanError{off, io.ErrUnexpectedEOF}
+			}
+			if withPayload {
+				buf := make([]byte, h.payloadLen+4)
+				if _, err := f.ReadAt(buf, payloadOff); err != nil {
+					return &scanError{off, err}
+				}
+				payload = buf[:h.payloadLen]
+				if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[h.payloadLen:]) {
+					return &scanError{off, errors.New("payload CRC mismatch")}
+				}
+			}
+		}
+		if err := fn(h, metaB, payloadOff, payload); err != nil {
+			return err
+		}
+		off = next
+	}
+	return nil
+}
+
+// recover scans the data directory and rebuilds the in-memory index.
+// The active (highest-numbered) segment — the only one a crash can
+// leave mid-write — is payload-verified in full and truncated at the
+// first bad record; sealed segments are header-scanned, and a framing
+// failure there drops the segment's remaining records (counted, never
+// fatal).
+func (s *Store) recover() error {
+	t0 := time.Now()
+	names, err := filepath.Glob(filepath.Join(s.cfg.Dir, "seg-*.mgseg"))
+	if err != nil {
+		return fmt.Errorf("storage: scanning %s: %w", s.cfg.Dir, err)
+	}
+	sort.Strings(names)
+
+	type rawSeg struct {
+		id   int
+		path string
+	}
+	var raws []rawSeg
+	for _, path := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(path), "seg-%d.mgseg", &id); err != nil {
+			continue // not ours
+		}
+		raws = append(raws, rawSeg{id, path})
+	}
+
+	for i, rs := range raws {
+		isActive := i == len(raws)-1
+		seg, err := s.recoverSegment(rs.id, rs.path, isActive)
+		if err != nil {
+			return err
+		}
+		if seg == nil {
+			continue // unreadable header: left in place, not adopted
+		}
+		s.segs[seg.id] = seg
+		if seg.id >= s.nextSeg {
+			s.nextSeg = seg.id + 1
+		}
+		if isActive {
+			s.active = seg
+		}
+	}
+
+	// Settle per-segment live accounting now that replay has decided
+	// the winners.
+	for _, e := range s.index {
+		e.seg.livePayload += e.size
+	}
+	s.recovery.Segments = len(s.segs)
+	s.recovery.LiveRecords = len(s.index)
+	s.recovery.Tombstones = len(s.tombs)
+	s.recovery.Duration = time.Since(t0)
+	return nil
+}
+
+// recoverSegment opens and replays one segment file. For the active
+// segment, verify is full (payload CRCs) and a bad record truncates the
+// file there; for sealed segments a bad record abandons the rest of the
+// scan but leaves the file alone (its payloads are still reachable for
+// already-replayed records).
+func (s *Store) recoverSegment(id int, path string, isActive bool) (*segment, error) {
+	flags := os.O_RDONLY
+	if isActive {
+		flags = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, flags, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	size := st.Size()
+	var hdr [segHdrLen]byte
+	if size < segHdrLen {
+		// A crash can tear even the 8-byte segment header of a
+		// just-rolled segment; rewrite it if this is the active file.
+		if !isActive {
+			f.Close()
+			s.recovery.CorruptRecords++
+			return nil, nil
+		}
+		s.recovery.TruncatedBytes += size
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: truncating torn %s: %w", path, err)
+		}
+		copy(hdr[:4], segMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: rewriting header of %s: %w", path, err)
+		}
+		return &segment{id: id, path: path, f: f, size: segHdrLen}, nil
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading header of %s: %w", path, err)
+	}
+	if string(hdr[:4]) != segMagic || binary.LittleEndian.Uint32(hdr[4:]) != segVersion {
+		f.Close()
+		if isActive {
+			return nil, fmt.Errorf("storage: %s: bad segment header", path)
+		}
+		s.recovery.CorruptRecords++
+		return nil, nil
+	}
+
+	seg := &segment{id: id, path: path, f: f, size: size}
+	replay := func(h recHeader, metaB []byte, payloadOff int64, _ []byte) error {
+		if h.seq >= s.nextSeq {
+			s.nextSeq = h.seq + 1
+		}
+		switch h.typ {
+		case recTypePut:
+			seg.totalPayload += h.payloadLen
+			if old, ok := s.index[h.id]; ok && old.seq >= h.seq {
+				return nil
+			}
+			if tseq, dead := s.tombs[h.id]; dead {
+				if tseq > h.seq {
+					return nil
+				}
+				delete(s.tombs, h.id)
+			}
+			var m Meta
+			if err := json.Unmarshal(metaB, &m); err != nil {
+				// CRC-valid but undecodable metadata: drop the record
+				// rather than fail the boot.
+				s.recovery.CorruptRecords++
+				return nil
+			}
+			s.index[h.id] = &entry{seg: seg, off: payloadOff, size: h.payloadLen, seq: h.seq, meta: m}
+		case recTypeTomb:
+			if old, ok := s.index[h.id]; ok {
+				if old.seq > h.seq {
+					return nil
+				}
+				delete(s.index, h.id)
+			}
+			if tseq, ok := s.tombs[h.id]; !ok || h.seq > tseq {
+				s.tombs[h.id] = h.seq
+				seg.tombs++
+			}
+		}
+		return nil
+	}
+
+	if err := scanSegment(f, size, isActive, replay); err != nil {
+		var se *scanError
+		if !errors.As(err, &se) {
+			f.Close()
+			return nil, fmt.Errorf("storage: recovering %s: %w", path, err)
+		}
+		s.recovery.CorruptRecords++
+		if isActive {
+			// A torn or corrupt tail: cut the log there. Everything
+			// before se.off replayed; everything after is unreachable
+			// without its framing anyway.
+			s.recovery.TruncatedBytes += size - se.off
+			if err := f.Truncate(se.off); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("storage: truncating torn tail of %s: %w", path, err)
+			}
+			seg.size = se.off
+		}
+		// Sealed segment: keep what replayed; the unreadable rest stays
+		// as dead bytes until compaction rewrites the survivors.
+	}
+	return seg, nil
+}

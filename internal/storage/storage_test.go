@@ -1,0 +1,520 @@
+package storage
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// payload fabricates deterministic trace-like bytes of the given size
+// and returns them with their content hash — the id a real upload would
+// derive from the MGTR encoding.
+func payload(seed byte, size int) (string, []byte) {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), b
+}
+
+func metaFor(id string, n int) Meta {
+	return Meta{Module: "m-" + id[:8], Mode: "sampled", Samples: n, Records: n * 10,
+		Rho: 1.5, Kappa: 1.1, Uploaded: time.Unix(1700000000, 0).UTC()}
+}
+
+func openTest(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	cfg.Dir = dir
+	if cfg.CompactInterval == 0 {
+		cfg.CompactInterval = -1 // tests drive CompactOnce explicitly
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func put(t *testing.T, s *Store, id string, b []byte) {
+	t.Helper()
+	added, err := s.Put(id, metaFor(id, len(b)/100+1), int64(len(b)), bytesWriterTo(b))
+	if err != nil {
+		t.Fatalf("Put %s: %v", id[:8], err)
+	}
+	if !added {
+		t.Fatalf("Put %s: not added", id[:8])
+	}
+}
+
+// TestPutGetRoundTrip pins the basic contract: bytes and metadata
+// survive Put/Get, dedup is a no-op, and Info never touches payloads.
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	id, b := payload(1, 10_000)
+	put(t, s, id, b)
+
+	added, err := s.Put(id, metaFor(id, 1), int64(len(b)), bytesWriterTo(b))
+	if err != nil || added {
+		t.Fatalf("dedup Put = (%v, %v), want (false, nil)", added, err)
+	}
+
+	got, m, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Error("payload round trip mismatch")
+	}
+	if m != metaFor(id, len(b)/100+1) {
+		t.Errorf("meta = %+v", m)
+	}
+	if m2, size, err := s.Info(id); err != nil || size != int64(len(b)) || m2 != m {
+		t.Errorf("Info = %+v, %d, %v", m2, size, err)
+	}
+	if _, _, err := s.Get("ab"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get unknown = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDeleteTombstoneAndResurrect pins the delete lifecycle: a deleted
+// id answers ErrDeleted (not ErrNotFound), and a re-put of identical
+// content resurrects it.
+func TestDeleteTombstoneAndResurrect(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	id, b := payload(2, 5_000)
+	put(t, s, id, b)
+
+	if ok, err := s.Delete(id); !ok || err != nil {
+		t.Fatalf("Delete = (%v, %v)", ok, err)
+	}
+	if _, _, err := s.Get(id); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("Get deleted = %v, want ErrDeleted", err)
+	}
+	if ok, err := s.Delete(id); ok || err != nil {
+		t.Fatalf("second Delete = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	put(t, s, id, b) // resurrect
+	got, _, err := s.Get(id)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("resurrected Get: %v", err)
+	}
+}
+
+// TestRecoveryRebuildsIndex closes a populated store and reopens the
+// directory: every live trace, tombstone, and metadata blob must come
+// back from the segment scan alone.
+func TestRecoveryRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10}) // force several segments
+	var ids []string
+	var bodies [][]byte
+	for i := 0; i < 12; i++ {
+		id, b := payload(byte(i), 3_000+i*100)
+		put(t, s, id, b)
+		ids = append(ids, id)
+		bodies = append(bodies, b)
+	}
+	if _, err := s.Delete(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10})
+	if r.Len() != 11 {
+		t.Fatalf("recovered %d traces, want 11", r.Len())
+	}
+	for i, id := range ids {
+		if i == 3 {
+			if _, _, err := r.Get(id); !errors.Is(err, ErrDeleted) {
+				t.Errorf("deleted id recovered as %v, want ErrDeleted", err)
+			}
+			continue
+		}
+		got, m, err := r.Get(id)
+		if err != nil {
+			t.Fatalf("Get %s after recovery: %v", id[:8], err)
+		}
+		if !bytes.Equal(got, bodies[i]) {
+			t.Errorf("payload %d mismatch after recovery", i)
+		}
+		if m.Uploaded.IsZero() || m.Module == "" {
+			t.Errorf("meta %d lost in recovery: %+v", i, m)
+		}
+	}
+	rec := r.Stats().Recovery
+	if rec.LiveRecords != 11 || rec.Tombstones != 1 || rec.CorruptRecords != 0 || rec.TruncatedBytes != 0 {
+		t.Errorf("recovery stats %+v", rec)
+	}
+	// New writes append cleanly after recovery.
+	id, b := payload(99, 2_000)
+	put(t, r, id, b)
+	if got, _, err := r.Get(id); err != nil || !bytes.Equal(got, b) {
+		t.Errorf("post-recovery Put/Get: %v", err)
+	}
+}
+
+// activeSegment returns the path of the highest-numbered segment file.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.mgseg"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
+}
+
+// TestRecoveryTruncatesTornTail is the crash fault-injection test: the
+// active segment is cut mid-record at several depths, and boot must
+// recover every intact earlier trace, truncate the torn record, and
+// surface the loss in the recovery stats.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	// Cut points: inside the record header, inside the metadata, inside
+	// the payload, and inside the trailing CRC.
+	for _, cut := range []int64{recHdrLen / 2, recHdrLen + 10, recHdrLen + 200, 2} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir, Config{})
+			idA, bA := payload(10, 4_000)
+			idB, bB := payload(20, 4_000)
+			put(t, s, idA, bA)
+			tailStart := s.active.size
+			put(t, s, idB, bB)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			seg := activeSegment(t, dir)
+			if err := os.Truncate(seg, tailStart+cut); err != nil {
+				t.Fatal(err)
+			}
+
+			r := openTest(t, dir, Config{})
+			got, _, err := r.Get(idA)
+			if err != nil || !bytes.Equal(got, bA) {
+				t.Fatalf("intact trace lost to the torn tail: %v", err)
+			}
+			if _, _, err := r.Get(idB); !errors.Is(err, ErrNotFound) {
+				t.Errorf("torn trace Get = %v, want ErrNotFound", err)
+			}
+			rec := r.Stats().Recovery
+			if rec.TruncatedBytes != cut || rec.CorruptRecords != 1 {
+				t.Errorf("recovery stats %+v, want TruncatedBytes=%d CorruptRecords=1", rec, cut)
+			}
+			// The truncated log must accept appends again.
+			put(t, r, idB, bB)
+			if got, _, err := r.Get(idB); err != nil || !bytes.Equal(got, bB) {
+				t.Errorf("re-put after truncation: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryDropsBitFlippedTail is the corruption fault-injection
+// test: single-bit flips in the tail record's header, metadata, and
+// payload must each drop exactly that record on boot, keep every
+// earlier trace, and count the loss.
+func TestRecoveryDropsBitFlippedTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		at   func(tailStart, tailEnd int64) int64
+	}{
+		{"header", func(s, _ int64) int64 { return s + 5 }},
+		{"meta", func(s, _ int64) int64 { return s + recHdrLen + 3 }},
+		{"payload", func(_, e int64) int64 { return e - 100 }},
+		{"trailer-crc", func(_, e int64) int64 { return e - 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir, Config{})
+			idA, bA := payload(30, 4_000)
+			idB, bB := payload(40, 4_000)
+			put(t, s, idA, bA)
+			tailStart := s.active.size
+			put(t, s, idB, bB)
+			tailEnd := s.active.size
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			seg := activeSegment(t, dir)
+			f, err := os.OpenFile(seg, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := tc.at(tailStart, tailEnd)
+			var b [1]byte
+			if _, err := f.ReadAt(b[:], off); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x10
+			if _, err := f.WriteAt(b[:], off); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			r := openTest(t, dir, Config{})
+			if got, _, err := r.Get(idA); err != nil || !bytes.Equal(got, bA) {
+				t.Fatalf("intact trace lost to the bit flip: %v", err)
+			}
+			if _, _, err := r.Get(idB); !errors.Is(err, ErrNotFound) {
+				t.Errorf("corrupt trace Get = %v, want ErrNotFound", err)
+			}
+			rec := r.Stats().Recovery
+			if rec.CorruptRecords != 1 {
+				t.Errorf("CorruptRecords = %d, want 1 (stats %+v)", rec.CorruptRecords, rec)
+			}
+			if rec.TruncatedBytes != tailEnd-tailStart {
+				t.Errorf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, tailEnd-tailStart)
+			}
+		})
+	}
+}
+
+// TestCompaction fills two sealed segments, deletes most of their
+// traces, and runs the compactor: dead bytes must be reclaimed (files
+// removed), survivors must still read back, and the tombstones must
+// still win after a restart — compaction may not reorder history.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{SegmentTargetBytes: 16 << 10, CompactThreshold: 0.5})
+	var ids []string
+	var bodies [][]byte
+	for i := 0; i < 10; i++ {
+		id, b := payload(byte(50+i), 4_000)
+		put(t, s, id, b)
+		ids = append(ids, id)
+		bodies = append(bodies, b)
+	}
+	segsBefore := s.Stats().Segments
+	if segsBefore < 3 {
+		t.Fatalf("want several segments, got %d", segsBefore)
+	}
+	// Delete everything but two survivors: live ratio collapses.
+	for i, id := range ids {
+		if i == 2 || i == 7 {
+			continue
+		}
+		if _, err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for {
+		n, err := s.CompactOnce()
+		if err != nil {
+			t.Fatalf("CompactOnce: %v", err)
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no segment was compacted")
+	}
+	st := s.Stats()
+	if st.Compactions != uint64(total) {
+		t.Errorf("Compactions = %d, want %d", st.Compactions, total)
+	}
+	if st.Segments >= segsBefore {
+		t.Errorf("segments %d did not shrink from %d", st.Segments, segsBefore)
+	}
+	for _, i := range []int{2, 7} {
+		got, _, err := s.Get(ids[i])
+		if err != nil || !bytes.Equal(got, bodies[i]) {
+			t.Fatalf("survivor %d unreadable after compaction: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the compacted log must replay to the same state even
+	// though compaction moved old records to the tail.
+	r := openTest(t, dir, Config{SegmentTargetBytes: 16 << 10})
+	if r.Len() != 2 {
+		t.Fatalf("recovered %d traces after compaction, want 2", r.Len())
+	}
+	for i, id := range ids {
+		_, _, err := r.Get(id)
+		switch {
+		case i == 2 || i == 7:
+			if err != nil {
+				t.Errorf("survivor %d: %v", i, err)
+			}
+		default:
+			if !errors.Is(err, ErrDeleted) {
+				t.Errorf("deleted %d = %v, want ErrDeleted", i, err)
+			}
+		}
+	}
+}
+
+// TestCompactionPreservesResurrection pins the sequence-number
+// contract directly: delete, re-put (resurrect), compact the segment
+// holding the tombstone, restart — the resurrected trace must survive,
+// because the carried-forward tombstone keeps its old seq.
+func TestCompactionPreservesResurrection(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10, CompactThreshold: 0.9})
+	id, b := payload(60, 4_000)
+	put(t, s, id, b)
+	if _, err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	// Roll past the segment holding put+tombstone, then resurrect.
+	filler, fb := payload(61, 8_000)
+	put(t, s, filler, fb)
+	put(t, s, id, b)
+	for {
+		n, err := s.CompactOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10})
+	got, _, err := r.Get(id)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("resurrected trace lost after compaction+restart: %v", err)
+	}
+}
+
+// TestKillWithoutClose simulates a crash: the first store is abandoned
+// without Close (no final fsync), and a fresh Open on the directory
+// must still serve everything the OS accepted.
+func TestKillWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, CompactInterval: -1}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, b := payload(70, 6_000)
+	if _, err := s.Put(id, metaFor(id, 1), int64(len(b)), bytesWriterTo(b)); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon s: no Close, no Sync — the file descriptors leak until
+	// process exit, exactly like a kill -9.
+	r := openTest(t, dir, Config{})
+	got, _, err := r.Get(id)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("corpus lost without clean shutdown: %v", err)
+	}
+}
+
+// TestGetDetectsSealedCorruption: a bit flip in a sealed segment (not
+// payload-verified at boot) must surface as a read error, not silent
+// bad bytes.
+func TestGetDetectsSealedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{SegmentTargetBytes: 4 << 10})
+	idA, bA := payload(80, 5_000) // fills segment 0 past target
+	idB, bB := payload(81, 3_000) // lands in segment 1
+	put(t, s, idA, bA)
+	put(t, s, idB, bB)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the first (sealed) segment.
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.mgseg"))
+	sort.Strings(names)
+	f, err := os.OpenFile(names[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	off := int64(segHdrLen + recHdrLen + 300)
+	f.ReadAt(one[:], off)
+	one[0] ^= 0x04
+	f.WriteAt(one[:], off)
+	f.Close()
+
+	r := openTest(t, dir, Config{SegmentTargetBytes: 4 << 10})
+	if _, _, err := r.Get(idA); err == nil || errors.Is(err, ErrNotFound) {
+		t.Errorf("corrupt sealed read = %v, want CRC failure", err)
+	}
+	if got, _, err := r.Get(idB); err != nil || !bytes.Equal(got, bB) {
+		t.Errorf("unrelated trace: %v", err)
+	}
+}
+
+// TestStatsAccounting pins live/dead byte accounting through deletes.
+func TestStatsAccounting(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	idA, bA := payload(90, 2_000)
+	idB, bB := payload(91, 3_000)
+	put(t, s, idA, bA)
+	put(t, s, idB, bB)
+	st := s.Stats()
+	if st.LiveBytes != 5_000 || st.DeadBytes != 0 || st.LiveTraces != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.Delete(idA)
+	st = s.Stats()
+	if st.LiveBytes != 3_000 || st.DeadBytes != 2_000 || st.Tombstones != 1 {
+		t.Fatalf("stats after delete %+v", st)
+	}
+	if err := s.Healthy(); err != nil {
+		t.Errorf("Healthy = %v", err)
+	}
+}
+
+// TestListSnapshot pins List contents.
+func TestListSnapshot(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	idA, bA := payload(95, 1_000)
+	idB, bB := payload(96, 2_000)
+	put(t, s, idA, bA)
+	put(t, s, idB, bB)
+	l := s.List()
+	if len(l) != 2 {
+		t.Fatalf("List len %d", len(l))
+	}
+	sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+	for _, e := range l {
+		if e.Meta.Module == "" || e.Size == 0 {
+			t.Errorf("entry %+v missing meta", e)
+		}
+	}
+}
+
+// TestSegmentHeaderSelfDescribes sanity-checks the on-disk layout: the
+// file leads with the magic and version so foreign files are rejected.
+func TestSegmentHeaderSelfDescribes(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	id, b := payload(99, 100)
+	put(t, s, id, b)
+	s.Close()
+	raw, err := os.ReadFile(activeSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:4]) != segMagic || binary.LittleEndian.Uint32(raw[4:8]) != segVersion {
+		t.Fatalf("segment header %x", raw[:8])
+	}
+}

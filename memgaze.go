@@ -553,7 +553,8 @@ var (
 // analyses over HTTP with request coalescing, a result cache, and
 // Prometheus metrics at /metrics:
 //
-//	srv := memgaze.NewServer(memgaze.ServerConfig{Workers: 8})
+//	srv, err := memgaze.NewServer(memgaze.ServerConfig{Workers: 8, DataDir: "/var/lib/memgazed"})
+//	if err != nil { ... }
 //	defer srv.Close()
 //	http.ListenAndServe(":8080", srv)
 //
@@ -590,8 +591,10 @@ const (
 )
 
 // NewServer creates a memgazed service and starts its shared analysis
-// worker pool.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// worker pool. With cfg.DataDir set it opens (or recovers) the durable
+// on-disk segment store there, so the trace corpus survives restarts;
+// an unrecoverable data directory is the only error.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // ReadPTCapture deserialises a capture written by PTCapture.Write.
 var ReadPTCapture = pt.ReadCapture

@@ -52,6 +52,7 @@ run "go test -race (pt)" go test -count=1 -race ./internal/pt/...
 run "go test -race (server)" go test -count=1 -race ./internal/server/...
 run "go test -race (cache)" go test -count=1 -race ./internal/cache/...
 run "go test -race (diff)" go test -count=1 -race ./internal/diff/...
+run "go test -race (storage)" go test -count=1 -race ./internal/storage/...
 
 if [ "${VERIFY_QUICK:-0}" = "1" ]; then
     echo "VERIFY_QUICK=1: skipping fuzz smoke and memgazed smoke"

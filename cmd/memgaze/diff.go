@@ -97,11 +97,7 @@ func serverDiff(base, a, b string, block uint64, topK int) (*memgaze.DiffReport,
 		return nil, err
 	}
 	if resp.StatusCode >= 300 {
-		var env memgaze.ErrorEnvelope
-		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
-			return nil, fmt.Errorf("server answered %s (%s): %s", resp.Status, env.Error.Code, env.Error.Message)
-		}
-		return nil, fmt.Errorf("server answered %s: %s", resp.Status, bytes.TrimSpace(raw))
+		return nil, serverError(resp.Status, raw)
 	}
 	var d memgaze.DiffReport
 	if err := json.Unmarshal(raw, &d); err != nil {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	memgaze "github.com/memgaze/memgaze-go"
+)
+
+// serverError shapes a non-2xx memgazed answer into a readable error:
+// a /v1 structured envelope renders as its code and message, and
+// anything else (an intermediary in the path, a plain-text failure)
+// falls back to the trimmed raw body.
+func serverError(status string, raw []byte) error {
+	var env memgaze.ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		return fmt.Errorf("server answered %s (%s): %s", status, env.Error.Code, env.Error.Message)
+	}
+	return fmt.Errorf("server answered %s: %s", status, bytes.TrimSpace(raw))
+}

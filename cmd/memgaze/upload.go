@@ -59,7 +59,7 @@ func uploadBody(client *http.Client, base, ctype string, body io.Reader, stream 
 		return info, err
 	}
 	if resp.StatusCode >= 300 {
-		return info, fmt.Errorf("server answered %s: %s", resp.Status, bytes.TrimSpace(b))
+		return info, serverError(resp.Status, b)
 	}
 	if err := json.Unmarshal(b, &info); err != nil {
 		return info, fmt.Errorf("decoding server answer: %w", err)

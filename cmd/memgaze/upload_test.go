@@ -1,10 +1,12 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	memgaze "github.com/memgaze/memgaze-go"
@@ -151,5 +153,34 @@ func TestUploadCommand(t *testing.T) {
 	}
 	if err := cmdUpload([]string{"-server", hs.URL, "-trace", junk}); err == nil {
 		t.Error("junk magic accepted")
+	}
+}
+
+// TestServerErrorEnvelope pins the CLI's rendering of non-2xx answers:
+// a /v1 structured envelope prints its code and message — not a raw
+// body dump — and an unstructured body falls back to the trimmed bytes.
+func TestServerErrorEnvelope(t *testing.T) {
+	env := `{"error":{"code":"peer_unavailable","message":"replica b:1 owning 0abc is down"}}`
+	err := serverError("503 Service Unavailable", []byte(env))
+	want := "server answered 503 Service Unavailable (peer_unavailable): replica b:1 owning 0abc is down"
+	if err == nil || err.Error() != want {
+		t.Errorf("envelope error = %v, want %q", err, want)
+	}
+	err = serverError("502 Bad Gateway", []byte("  <html>proxy</html>\n"))
+	if err == nil || err.Error() != "server answered 502 Bad Gateway: <html>proxy</html>" {
+		t.Errorf("raw fallback = %v", err)
+	}
+
+	// End to end: uploadBody surfaces the envelope the same way, with a
+	// nonzero-exit error rather than decoded TraceInfo.
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, env)
+	}))
+	defer hs.Close()
+	_, err = uploadBody(http.DefaultClient, hs.URL, memgaze.ContentTypeTrace, strings.NewReader("MGTR"), false)
+	if err == nil || !strings.Contains(err.Error(), "(peer_unavailable): replica b:1 owning 0abc is down") {
+		t.Errorf("uploadBody error = %v, want envelope rendering", err)
 	}
 }

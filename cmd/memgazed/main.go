@@ -4,9 +4,13 @@
 // store — or, with -data-dir, durably in an on-disk segment store that
 // survives restarts, with the in-memory store as a hot-tier cache —
 // and serves analyzer-engine requests with request coalescing, a
-// result cache, and Prometheus metrics.
+// result cache, and Prometheus metrics. With -peers it joins a static
+// replica ring: each trace id is owned by one replica (rendezvous
+// hashing over the content hash) and requests sent to any replica are
+// proxied transparently to the owner.
 //
 //	memgazed -addr :8080 -data-dir /var/lib/memgazed -workers 8 -timeout 30s
+//	memgazed -addr :8081 -advertise 127.0.0.1:8081 -peers 127.0.0.1:8081,127.0.0.1:8082
 //
 //	curl -X POST --data-binary @pr.mgt -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces
 //	curl -T pr.mgt --no-buffer -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces:stream
@@ -26,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +44,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memgazed: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated addresses, blanks
+// dropped so trailing commas and spacing are forgiven.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // run starts the service and blocks until the listener fails or ctx is
@@ -58,6 +75,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	streamChunk := fs.Int("stream-chunk", 0, "read granularity of streamed uploads in bytes (0 = 256 KiB); peak streamed-build memory is O(stream-chunk × build-workers)")
 	sweepShards := fs.Int("sweep-shards", 0, "sample shards per analysis trace walk (0 = GOMAXPROCS, 1 = sequential; output is identical at every count)")
 	dataDir := fs.String("data-dir", "", "durable trace storage directory: uploads write through to an on-disk segment store and survive restarts (empty = in-memory only)")
+	peers := fs.String("peers", "", "comma-separated static replica set (advertise addresses, this replica included); each trace id is owned by one replica via rendezvous hashing and requests proxy transparently (empty = single-node)")
+	advertise := fs.String("advertise", "", "this replica's own address exactly as listed in -peers (required with -peers)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,6 +95,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		StreamChunkBytes: *streamChunk,
 		SweepShards:      *sweepShards,
 		DataDir:          *dataDir,
+		Peers:            splitPeers(*peers),
+		Advertise:        *advertise,
 	})
 	if err != nil {
 		return err

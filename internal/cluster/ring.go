@@ -1,0 +1,47 @@
+// Package cluster turns a set of memgazed replicas into one fleet: a
+// static-peer ring assigns every trace id an owner replica by
+// rendezvous hashing, a background prober tracks which peers are
+// serving via their /v1/readyz endpoints, and a retrying proxy client
+// forwards requests to owners. Ownership is a pure function of (peer
+// set, trace id) — every replica configured with the same -peers list
+// computes the same owner for every key, with no coordination, no
+// gossip, and no persistent membership state. Trace ids are content
+// hashes (the same bytes land at the same key on any replica), so
+// routing by id is routing by content. See DESIGN.md ("Cluster
+// routing").
+package cluster
+
+import (
+	"hash/fnv"
+)
+
+// Owner returns the rendezvous-hash owner of key among peers: the peer
+// whose score fnv64a(peer || 0x00 || key) is highest, ties broken by
+// the lexicographically smaller peer name. Every replica evaluating
+// the same peer set gets the same answer regardless of slice order,
+// and removing one peer reassigns only that peer's keys — the
+// highest-random-weight property that makes a static fleet rebalance
+// minimally when the list changes. peers must be non-empty; Owner
+// returns "" otherwise.
+func Owner(peers []string, key string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range peers {
+		s := score(p, key)
+		if best == "" || s > bestScore || (s == bestScore && p < best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// score hashes one (peer, key) pair. FNV-64a is enough here: keys are
+// already SHA-256 content hashes, so the input is uniformly
+// distributed and the hash only needs to mix the peer name in.
+func score(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// contentID synthesises a trace-id-shaped key (hex SHA-256), the only
+// key shape the ring ever sees in production.
+func contentID(seed int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("trace-%d", seed)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestOwnerDeterministicAndOrderFree pins the rendezvous core: the
+// owner is a pure function of (peer set, key) and does not depend on
+// the order the peers are listed in — the property that lets every
+// replica route without coordination.
+func TestOwnerDeterministicAndOrderFree(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8080",
+		"http://10.0.0.2:8080",
+		"http://10.0.0.3:8080",
+	}
+	shuffled := []string{peers[2], peers[0], peers[1]}
+	for i := 0; i < 200; i++ {
+		key := contentID(i)
+		a := Owner(peers, key)
+		if b := Owner(peers, key); b != a {
+			t.Fatalf("Owner not deterministic: %s then %s", a, b)
+		}
+		if b := Owner(shuffled, key); b != a {
+			t.Fatalf("Owner depends on peer order: %s vs %s", a, b)
+		}
+	}
+	if Owner(nil, contentID(0)) != "" {
+		t.Error("Owner of empty peer set should be empty")
+	}
+}
+
+// TestOwnerDistribution checks that rendezvous hashing spreads
+// content-hash keys across all peers — no peer starves, none hogs.
+func TestOwnerDistribution(t *testing.T) {
+	peers := []string{
+		"http://a:1", "http://b:2", "http://c:3", "http://d:4",
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[Owner(peers, contentID(i))]++
+	}
+	for _, p := range peers {
+		got := counts[p]
+		// Expect n/4 = 1000 per peer; allow a wide 2x band — the test
+		// pins "spread", not a exact balance statistic.
+		if got < n/8 || got > n/2 {
+			t.Errorf("peer %s owns %d of %d keys (counts %v)", p, got, n, counts)
+		}
+	}
+}
+
+// TestOwnerMinimalReassignment pins the highest-random-weight
+// property: removing one peer reassigns only that peer's keys, every
+// other key keeps its owner.
+func TestOwnerMinimalReassignment(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	without := []string{"http://a:1", "http://c:3"}
+	for i := 0; i < 1000; i++ {
+		key := contentID(i)
+		before := Owner(peers, key)
+		after := Owner(without, key)
+		if before != "http://b:2" && after != before {
+			t.Fatalf("key %d moved from %s to %s though its owner was not removed", i, before, after)
+		}
+		if before == "http://b:2" && after == "http://b:2" {
+			t.Fatalf("key %d still owned by the removed peer", i)
+		}
+	}
+}
+
+// TestNormalize pins address canonicalisation: scheme-less host:port
+// and the full URL spelling identify the same peer.
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"10.0.0.1:8080":            "http://10.0.0.1:8080",
+		"http://10.0.0.1:8080":     "http://10.0.0.1:8080",
+		"http://10.0.0.1:8080/":    "http://10.0.0.1:8080",
+		" host:1 ":                 "http://host:1",
+		"https://replica.internal": "https://replica.internal",
+		"":                         "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestOwnerStableUnderRandomKeys fuzzes a little: any hex string gets
+// an owner from the set, never an empty answer with a non-empty set.
+func TestOwnerStableUnderRandomKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	peers := []string{"http://x:1", "http://y:2"}
+	set := map[string]bool{peers[0]: true, peers[1]: true}
+	for i := 0; i < 500; i++ {
+		b := make([]byte, 32)
+		rng.Read(b)
+		if o := Owner(peers, hex.EncodeToString(b)); !set[o] {
+			t.Fatalf("owner %q is not in the peer set", o)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"github.com/memgaze/memgaze-go/internal/analysis"
+	"github.com/memgaze/memgaze-go/internal/cluster"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/pt"
@@ -51,7 +53,7 @@ type StreamIngestPoint struct {
 }
 
 // BenchResult is the machine-readable benchmark report the CI
-// regression gate consumes (committed as BENCH_7.json).
+// regression gate consumes (committed as BENCH_8.json).
 type BenchResult struct {
 	GoVersion  string              `json:"go_version"`
 	ChunkBytes int                 `json:"chunk_bytes"`
@@ -222,6 +224,92 @@ func serveWarm(iters int) (int64, error) {
 		return nil
 	}
 	if err := analyze(); err != nil { // prime the cache
+		return 0, err
+	}
+	total, err := bestOf(3, func() error {
+		for i := 0; i < iters; i++ {
+			if err := analyze(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / int64(iters), nil
+}
+
+// clusterProxy measures the warm proxied-analyze path of a two-replica
+// ring on real listeners: one upload, a priming analyze through the
+// non-owner (which forwards to the owner and caches the Report
+// replica-locally), then iters repeats — each a local cache hit on the
+// proxying replica. Gated against serve_warm-like cost: the number
+// tracks routing and cache overhead, not engine work, so a regression
+// means the proxy layer itself got slower.
+func clusterProxy(iters int) (int64, error) {
+	const n = 2
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	for i := range lns {
+		s, err := server.New(server.Config{Peers: peers, Advertise: peers[i], ProbeInterval: -1})
+		if err != nil {
+			return 0, err
+		}
+		defer s.Close()
+		hs := &http.Server{Handler: s}
+		go hs.Serve(lns[i])
+		defer hs.Close()
+	}
+
+	enc, err := benchTrace(16, 200).Encode()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post("http://"+peers[0]+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		return 0, err
+	}
+	var info server.TraceInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+
+	// The vantage is whichever replica does NOT own the trace, so every
+	// analyze below crosses the proxy layer.
+	norm := make([]string, n)
+	for i, p := range peers {
+		norm[i] = cluster.Normalize(p)
+	}
+	vantage := peers[0]
+	if cluster.Owner(norm, info.ID) == norm[0] {
+		vantage = peers[1]
+	}
+	analyze := func() error {
+		resp, err := http.Post("http://"+vantage+"/v1/traces/"+info.ID+"/analyze",
+			"application/json", strings.NewReader(`{"analyses":["functions","mrc"]}`))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("proxied analyze: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := analyze(); err != nil { // prime the vantage's local cache
 		return 0, err
 	}
 	total, err := bestOf(3, func() error {
@@ -512,6 +600,12 @@ func Bench(s Sizes) (*BenchResult, error) {
 		return nil, fmt.Errorf("diff served: %w", err)
 	}
 	res.Gate = append(res.Gate, BenchMetric{Name: "diff_served", NsPerOp: diffNs})
+
+	proxyNs, err := clusterProxy(100)
+	if err != nil {
+		return nil, fmt.Errorf("cluster proxy: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "cluster_proxy", NsPerOp: proxyNs})
 
 	bootNs, err := warmBoot(32)
 	if err != nil {

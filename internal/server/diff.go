@@ -66,15 +66,23 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrCodeUnknownAnalysis, "%v", err)
 		return
 	}
-	trA, _, err := s.fetch(req.A)
-	if err != nil {
-		s.writeFetchError(w, req.A, err)
-		return
-	}
-	trB, _, err := s.fetch(req.B)
-	if err != nil {
-		s.writeFetchError(w, req.B, err)
-		return
+	sides := []*diffSide{{id: req.A}, {id: req.B}}
+	for _, sd := range sides {
+		// A side owned by another replica resolves remotely inside
+		// runDiff — as a proxied analyze, so its Report lands in this
+		// replica's result cache like any other; a local side prefetches
+		// here so a missing trace answers before any engine work.
+		if s.cluster != nil && !isInternal(r) {
+			if owner := s.cluster.Owner(sd.id); !s.cluster.IsSelf(owner) {
+				sd.owner = owner
+				continue
+			}
+		}
+		sd.tr, _, err = s.fetch(sd.id)
+		if err != nil {
+			s.writeFetchError(w, sd.id, err)
+			return
+		}
 	}
 
 	key := req.cacheKey()
@@ -88,7 +96,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cacheMisses.Add(1)
 
 	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
-		return s.runDiff(trA, trB, &req, opts, key)
+		return s.runDiff(sides[0], sides[1], &req, opts, key)
 	})
 	if joined {
 		s.metrics.coalesced.Add(1)
@@ -96,19 +104,59 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	s.writeAnalysisResult(w, b, err)
 }
 
+// diffSide is one side of a diff after routing: a locally fetched trace
+// (tr set), or a remotely owned id (owner set) whose Report comes from
+// the owner.
+type diffSide struct {
+	id    string
+	owner string // non-empty: the replica owning this side
+	tr    *trace.Trace
+}
+
+// sideBytes resolves one diff side's marshalled Report: a local side
+// goes through the analyze cache/flight layer as always; a remote side
+// is a proxied analyze against its owner — same cache key as a direct
+// proxied analyze, so the sides and the analyze endpoint share cached
+// Reports both ways.
+func (s *Server) sideBytes(sd *diffSide, areq *AnalyzeRequest, opts []engine.Option) ([]byte, error) {
+	akey := areq.cacheKey(sd.id)
+	if sd.owner == "" {
+		b, _, err := s.analyzedBytes(s.baseCtx, sd.tr, akey, opts)
+		return b, err
+	}
+	s.metrics.clusterProxied["analyze"].Add(1) // a remote side is a proxied analyze
+	if b, ok := s.results.Get(akey); ok {
+		s.metrics.cacheHits.Add(1)
+		return b, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	body, err := json.Marshal(areq)
+	if err != nil {
+		return nil, fmt.Errorf("marshalling side request: %w", err)
+	}
+	b, err, joined := s.flights.Do(s.baseCtx, akey, func() ([]byte, error) {
+		return s.fetchRemoteAnalysis(sd.owner, "/v1/traces/"+sd.id+"/analyze", body, akey)
+	})
+	if joined {
+		s.metrics.coalesced.Add(1)
+	}
+	return b, err
+}
+
 // runDiff is the diff singleflight leader's work: obtain both sides'
 // marshalled Reports through the analyze cache/flight layer (so a side
-// someone already analysed with the same parameters is a cache hit, and
-// a side being analysed right now is joined, not recomputed), diff the
-// decoded Reports, and cache the marshalled DiffReport. Detached from
-// the requesting client like every flight leader; each side's engine
-// run bounds itself with the server request timeout.
-func (s *Server) runDiff(trA, trB *trace.Trace, req *DiffRequest, opts []engine.Option, key string) ([]byte, error) {
-	ba, _, err := s.analyzedBytes(s.baseCtx, trA, req.AnalyzeRequest.cacheKey(req.A), opts)
+// someone already analysed with the same parameters is a cache hit, a
+// side being analysed right now is joined, not recomputed, and a side
+// owned by another replica proxies to its owner), diff the decoded
+// Reports, and cache the marshalled DiffReport. Detached from the
+// requesting client like every flight leader; each side's engine run
+// bounds itself with the server request timeout.
+func (s *Server) runDiff(sideA, sideB *diffSide, req *DiffRequest, opts []engine.Option, key string) ([]byte, error) {
+	ba, err := s.sideBytes(sideA, &req.AnalyzeRequest, opts)
 	if err != nil {
 		return nil, err
 	}
-	bb, _, err := s.analyzedBytes(s.baseCtx, trB, req.AnalyzeRequest.cacheKey(req.B), opts)
+	bb, err := s.sideBytes(sideB, &req.AnalyzeRequest, opts)
 	if err != nil {
 		return nil, err
 	}

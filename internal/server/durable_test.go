@@ -164,6 +164,33 @@ func TestDurableListTiers(t *testing.T) {
 		t.Errorf("tiers = %v, want %s disk and %s hot", tiers, a.ID[:8], b.ID[:8])
 	}
 
+	// ?tier narrows the listing to one tier, fleet contract included in
+	// single-node mode; anything else is a 400.
+	for _, tc := range []struct{ tier, wantID string }{
+		{tierHot, b.ID},
+		{tierDisk, a.ID},
+	} {
+		resp, err := http.Get(hs.URL + "/v1/traces?tier=" + tc.tier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fl TraceList
+		json.NewDecoder(resp.Body).Decode(&fl)
+		resp.Body.Close()
+		if len(fl.Traces) != 1 || fl.Traces[0].ID != tc.wantID {
+			t.Errorf("?tier=%s listed %d traces, want exactly %s", tc.tier, len(fl.Traces), tc.wantID[:8])
+		}
+	}
+	resp, err = http.Get(hs.URL + "/v1/traces?tier=lukewarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, badBody) != ErrCodeInvalidRequest {
+		t.Errorf("?tier=lukewarm = %d %s, want 400 invalid_request", resp.StatusCode, badBody)
+	}
+
 	// Reading the evicted trace falls back to disk and promotes it.
 	resp, body := postAnalyze(t, hs.URL, a.ID, `{"analyses":["mrc"]}`)
 	if resp.StatusCode != http.StatusOK {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/memgaze/memgaze-go/internal/cluster"
 	"github.com/memgaze/memgaze-go/internal/engine"
 	"github.com/memgaze/memgaze-go/internal/storage"
 )
@@ -16,6 +17,12 @@ import (
 // families. Fixing the set at construction keeps every hot-path update
 // a plain atomic add — no locks, no map writes after init.
 var endpoints = []string{"upload", "stream", "list", "get", "raw", "delete", "analyze", "diff", "healthz", "readyz", "metrics"}
+
+// clusterEndpoints are the fleet-routed endpoints: the ones whose
+// requests are either served locally (this replica owns the key, or
+// the scatter scope) or proxied to the owner. Diff sides proxy as
+// analyze calls, so diff itself is not in the set.
+var clusterEndpoints = []string{"upload", "stream", "list", "get", "raw", "delete", "analyze"}
 
 // latencyBuckets are the request-latency upper bounds in seconds.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
@@ -117,21 +124,34 @@ type Metrics struct {
 	streamBytes     *histogram
 	streamsInFlight atomic.Int64
 
+	// clusterProxied counts requests forwarded to an owner replica and
+	// clusterLocal the cluster-routed requests this replica owned — the
+	// fleet's routing split, by endpoint. Both stay zero (and their
+	// families unrendered) outside cluster mode.
+	clusterProxied map[string]*atomic.Uint64
+	clusterLocal   map[string]*atomic.Uint64
+
 	analysis map[string]*durSum
 }
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		requests:    make(map[string]*atomic.Uint64, len(endpoints)),
-		errors:      make(map[string]*atomic.Uint64, len(endpoints)),
-		latency:     make(map[string]*histogram, len(endpoints)),
-		streamBytes: newHistogram(streamByteBuckets),
-		analysis:    make(map[string]*durSum),
+		requests:       make(map[string]*atomic.Uint64, len(endpoints)),
+		errors:         make(map[string]*atomic.Uint64, len(endpoints)),
+		latency:        make(map[string]*histogram, len(endpoints)),
+		streamBytes:    newHistogram(streamByteBuckets),
+		clusterProxied: make(map[string]*atomic.Uint64, len(clusterEndpoints)),
+		clusterLocal:   make(map[string]*atomic.Uint64, len(clusterEndpoints)),
+		analysis:       make(map[string]*durSum),
 	}
 	for _, ep := range endpoints {
 		m.requests[ep] = &atomic.Uint64{}
 		m.errors[ep] = &atomic.Uint64{}
 		m.latency[ep] = newHistogram(latencyBuckets)
+	}
+	for _, ep := range clusterEndpoints {
+		m.clusterProxied[ep] = &atomic.Uint64{}
+		m.clusterLocal[ep] = &atomic.Uint64{}
 	}
 	for _, a := range engine.AllAnalyses() {
 		m.analysis[a.String()] = &durSum{}
@@ -153,8 +173,9 @@ func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // exposition format. Families and label values are emitted in a fixed
 // order, so the output is deterministic up to the counter values. disk
 // may be nil (memory-only mode); the durable-tier families are then
-// omitted entirely rather than rendered as zeroes.
-func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCache, disk *storage.Store) {
+// omitted entirely rather than rendered as zeroes. cl may likewise be
+// nil (single-node mode), omitting the cluster families.
+func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCache, disk *storage.Store, cl *cluster.Cluster) {
 	fmt.Fprint(w, "# HELP memgazed_requests_total Requests received, by endpoint.\n# TYPE memgazed_requests_total counter\n")
 	for _, ep := range endpoints {
 		fmt.Fprintf(w, "memgazed_requests_total{endpoint=%q} %d\n", ep, m.requests[ep].Load())
@@ -219,6 +240,33 @@ func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCach
 		fmt.Fprintf(w, "memgazed_disk_recovery_corrupt_records %d\n", st.Recovery.CorruptRecords)
 		fmt.Fprint(w, "# HELP memgazed_disk_recovery_duration_seconds Boot scan duration.\n# TYPE memgazed_disk_recovery_duration_seconds gauge\n")
 		fmt.Fprintf(w, "memgazed_disk_recovery_duration_seconds %s\n", fmtFloat(st.Recovery.Duration.Seconds()))
+	}
+
+	if cl != nil {
+		fmt.Fprint(w, "# HELP memgazed_cluster_proxied_requests_total Requests proxied to the owner replica, by endpoint.\n# TYPE memgazed_cluster_proxied_requests_total counter\n")
+		for _, ep := range clusterEndpoints {
+			fmt.Fprintf(w, "memgazed_cluster_proxied_requests_total{endpoint=%q} %d\n", ep, m.clusterProxied[ep].Load())
+		}
+		fmt.Fprint(w, "# HELP memgazed_cluster_local_requests_total Cluster-routed requests served by this replica, by endpoint.\n# TYPE memgazed_cluster_local_requests_total counter\n")
+		for _, ep := range clusterEndpoints {
+			fmt.Fprintf(w, "memgazed_cluster_local_requests_total{endpoint=%q} %d\n", ep, m.clusterLocal[ep].Load())
+		}
+		st := cl.Status()
+		fmt.Fprint(w, "# HELP memgazed_cluster_peer_up Peer liveness from the readyz prober (1 = serving).\n# TYPE memgazed_cluster_peer_up gauge\n")
+		for _, p := range st {
+			up := 0
+			if p.Up {
+				up = 1
+			}
+			fmt.Fprintf(w, "memgazed_cluster_peer_up{peer=%q} %d\n", p.Name, up)
+		}
+		fmt.Fprint(w, "# HELP memgazed_cluster_probe_latency_seconds Last readyz probe round-trip per peer.\n# TYPE memgazed_cluster_probe_latency_seconds gauge\n")
+		for _, p := range st {
+			if p.Self {
+				continue // self is never probed
+			}
+			fmt.Fprintf(w, "memgazed_cluster_probe_latency_seconds{peer=%q} %s\n", p.Name, fmtFloat(p.ProbeLatency.Seconds()))
+		}
 	}
 
 	fmt.Fprint(w, "# HELP memgazed_analysis_duration_seconds Engine time per completed analysis.\n# TYPE memgazed_analysis_duration_seconds summary\n")

@@ -58,8 +58,8 @@ func TestPrometheusRendering(t *testing.T) {
 	m.ObserveAnalysis("not-an-analysis", time.Second) // ignored, no panic
 
 	var b1, b2 strings.Builder
-	m.WritePrometheus(&b1, store, rc, nil)
-	m.WritePrometheus(&b2, store, rc, nil)
+	m.WritePrometheus(&b1, store, rc, nil, nil)
+	m.WritePrometheus(&b2, store, rc, nil, nil)
 	out := b1.String()
 	if out != b2.String() {
 		t.Error("rendering is not deterministic")

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/memgaze/memgaze-go/internal/cluster"
+	"github.com/memgaze/memgaze-go/internal/pt"
+	"github.com/memgaze/memgaze-go/internal/trace"
+)
+
+// This file is the server side of cluster routing: deciding, per
+// request, whether this replica owns the addressed key, and proxying to
+// the owner when it does not. The ring itself (rendezvous hashing,
+// membership, the retrying transport) lives in internal/cluster; here
+// is only the HTTP glue — relay semantics, the peer_unavailable
+// contract, and the replica-local result cache in front of proxied
+// analyses. See DESIGN.md "Cluster routing".
+
+// isInternal reports whether r came from a fleet peer. Internal
+// requests are always served from the local corpus: a peer routed the
+// request here because this replica owns the key (or because it is
+// scatter-gathering every replica's local listing), so re-routing would
+// loop.
+func isInternal(r *http.Request) bool { return r.Header.Get(cluster.PeerHeader) != "" }
+
+// routeOwner makes the routing decision for a key-addressed request:
+// ("", false) means serve locally — single-node mode, fleet-internal
+// request, or this replica owns the key — and (owner, true) means the
+// request must go to owner. The decision is counted into the cluster
+// routing-split metrics under endpoint.
+func (s *Server) routeOwner(r *http.Request, endpoint, id string) (string, bool) {
+	if s.cluster == nil || isInternal(r) {
+		return "", false
+	}
+	owner := s.cluster.Owner(id)
+	if s.cluster.IsSelf(owner) {
+		s.metrics.clusterLocal[endpoint].Add(1)
+		return "", false
+	}
+	s.metrics.clusterProxied[endpoint].Add(1)
+	return owner, true
+}
+
+// routeByID is the transparent-relay form of the routing decision for
+// bodyless key-addressed endpoints (get, raw, delete): when the key is
+// owned elsewhere it forwards the request verbatim — method, path,
+// query, and headers, so conditional-request headers like If-None-Match
+// keep working through the proxy — and relays the owner's response. It
+// reports whether it wrote the response.
+func (s *Server) routeByID(w http.ResponseWriter, r *http.Request, endpoint, id string) bool {
+	owner, proxied := s.routeOwner(r, endpoint, id)
+	if !proxied {
+		return false
+	}
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	resp, err := s.cluster.Roundtrip(r.Context(), owner, r.Method, path, r.Header, nil)
+	if err != nil {
+		s.writePeerUnavailable(w, owner, err)
+		return true
+	}
+	defer resp.Body.Close()
+	relayResponse(w, resp)
+	return true
+}
+
+// proxyDelete forwards a DELETE to the owner and, when the owner
+// confirms, drops any reports this replica's result cache holds for the
+// key. Other replicas' cached reports age out by LRU — acceptable
+// because content addressing keeps stale reports correct, just no
+// longer wanted.
+func (s *Server) proxyDelete(w http.ResponseWriter, r *http.Request, owner, id string) {
+	resp, err := s.cluster.Roundtrip(r.Context(), owner, r.Method, r.URL.Path, r.Header, nil)
+	if err != nil {
+		s.writePeerUnavailable(w, owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 {
+		s.results.InvalidateTrace(id)
+	}
+	relayResponse(w, resp)
+}
+
+// relayResponse copies an owner's answer — status, headers, body — onto
+// the client connection unmodified, so proxied requests are
+// indistinguishable from local ones (ETags, error envelopes, and cache
+// headers all pass through).
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// writePeerUnavailable answers the peer_unavailable contract: the
+// replica owning this key is down, ownership is static, so nobody can
+// serve it until the owner rejoins (503).
+func (s *Server) writePeerUnavailable(w http.ResponseWriter, owner string, err error) {
+	writeError(w, http.StatusServiceUnavailable, ErrCodePeerUnavailable,
+		"replica %s owns this key and is unreachable: %v", owner, err)
+}
+
+// relayError carries a non-200 owner response through the singleflight
+// layer so writeAnalysisResult can replay it verbatim — the owner's 404
+// or 410 envelope is the answer, not a proxy failure.
+type relayError struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func (e *relayError) Error() string {
+	return fmt.Sprintf("owner answered %d: %s", e.status, e.body)
+}
+
+func (e *relayError) write(w http.ResponseWriter) {
+	if e.contentType != "" {
+		w.Header().Set("Content-Type", e.contentType)
+	}
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// peerDownError carries a proxy transport failure through the
+// singleflight layer; writeAnalysisResult maps it onto the
+// peer_unavailable contract.
+type peerDownError struct {
+	peer  string
+	cause error
+}
+
+func (e *peerDownError) Error() string {
+	return fmt.Sprintf("peer %s unavailable: %v", e.peer, e.cause)
+}
+
+func (e *peerDownError) Unwrap() error { return e.cause }
+
+// proxyAnalyzeRequest handles an analyze whose trace is owned
+// elsewhere: the request body parses locally (its errors are ours to
+// answer — the same 400s a local analyze gives), and the report comes
+// from the owner through the replica-local result cache and the
+// singleflight group, so repeated proxied analyses are local cache hits
+// and concurrent ones collapse to one owner round-trip.
+func (s *Server) proxyAnalyzeRequest(w http.ResponseWriter, r *http.Request, owner, id string) {
+	var req AnalyzeRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "request: %v", err)
+			return
+		}
+	}
+	if _, err := req.engineOptions(); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeUnknownAnalysis, "%v", err)
+		return
+	}
+	key := req.cacheKey(id)
+	if b, ok := s.results.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Memgazed-Cache", "hit")
+		w.Write(b)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
+		return s.fetchRemoteAnalysis(owner, "/v1/traces/"+id+"/analyze", body, key)
+	})
+	if joined {
+		s.metrics.coalesced.Add(1)
+	}
+	s.writeAnalysisResult(w, b, err)
+}
+
+// fetchRemoteAnalysis is the proxied-analyze singleflight leader's
+// work: one POST to the owner under the cluster request timeout,
+// detached from any single client (s.baseCtx, like every flight
+// leader). A 200 report populates the local result cache under the same
+// key a local analyze would use, which is what makes the cache
+// replica-local rather than owner-only.
+func (s *Server) fetchRemoteAnalysis(owner, path string, body []byte, key string) ([]byte, error) {
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := s.cluster.Roundtrip(s.baseCtx, owner, http.MethodPost, path, hdr, body)
+	if err != nil {
+		return nil, &peerDownError{peer: owner, cause: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &peerDownError{peer: owner, cause: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &relayError{
+			status:      resp.StatusCode,
+			contentType: resp.Header.Get("Content-Type"),
+			body:        b,
+		}
+	}
+	s.results.Put(key, b)
+	return b, nil
+}
+
+// forwardUpload lands an upload whose content hash is owned by another
+// replica. The expensive part — a PT capture's decode and build —
+// already ran here on the receiving replica; only the built trace's
+// canonical MGTR encoding travels, as an internal POST /v1/traces. The
+// owner's verdict (created vs deduplicated) relays back with the local
+// build accounting re-attached, so clients cannot tell routed uploads
+// from direct ones.
+func (s *Server) forwardUpload(w http.ResponseWriter, r *http.Request, owner, id string, tr *trace.Trace, ds *pt.DecodeStats) {
+	enc, err := tr.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "encoding trace: %v", err)
+		return
+	}
+	hdr := http.Header{"Content-Type": []string{ContentTypeTrace}}
+	resp, err := s.cluster.Roundtrip(r.Context(), owner, http.MethodPost, "/v1/traces", hdr, enc)
+	if err != nil {
+		s.writePeerUnavailable(w, owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.writePeerUnavailable(w, owner, err)
+		return
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		(&relayError{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: body}).write(w)
+		return
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "owner %s answered unparseable info: %v", owner, err)
+		return
+	}
+	info.Decode = ds // the capture decoded here; the owner never saw it
+	w.Header().Set("Location", "/v1/traces/"+id)
+	writeJSON(w, resp.StatusCode, info)
+}

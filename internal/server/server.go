@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/memgaze/memgaze-go/internal/cluster"
 	"github.com/memgaze/memgaze-go/internal/engine"
 	"github.com/memgaze/memgaze-go/internal/pt"
 	"github.com/memgaze/memgaze-go/internal/storage"
@@ -77,6 +78,23 @@ type Config struct {
 	// SegmentTargetBytes is the durable tier's segment roll size
 	// (default 64 MiB; only meaningful with DataDir set).
 	SegmentTargetBytes int64
+	// Peers, when non-empty, joins this replica to a static memgazed
+	// fleet: the full replica set's advertise addresses, this replica's
+	// included. Every replica must be configured with the same set —
+	// trace ownership is a pure rendezvous-hash function of it. Empty
+	// keeps single-node mode.
+	Peers []string
+	// Advertise is this replica's own address exactly as it appears in
+	// Peers (required when Peers is set; spellings normalize, so
+	// "host:port" matches "http://host:port").
+	Advertise string
+	// ProbeInterval is the peer readyz prober's period (default 2s;
+	// negative disables the background loop — tests drive probes
+	// explicitly).
+	ProbeInterval time.Duration
+	// PeerTimeout bounds one proxied peer request end to end, retries
+	// included (default 60s).
+	PeerTimeout time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -121,7 +139,8 @@ func (c *Config) applyDefaults() {
 type Server struct {
 	cfg     Config
 	store   *Store
-	disk    *storage.Store // durable tier; nil in memory-only mode
+	disk    *storage.Store   // durable tier; nil in memory-only mode
+	cluster *cluster.Cluster // fleet membership + proxy; nil single-node
 	results *resultCache
 	flights *flightGroup
 	metrics *Metrics
@@ -162,6 +181,21 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("opening durable store: %w", err)
 		}
 		s.disk = disk
+	}
+	if len(cfg.Peers) > 0 {
+		cl, err := cluster.New(cluster.Config{
+			Self:           cfg.Advertise,
+			Peers:          cfg.Peers,
+			ProbeInterval:  cfg.ProbeInterval,
+			RequestTimeout: cfg.PeerTimeout,
+		})
+		if err != nil {
+			if s.disk != nil {
+				s.disk.Close()
+			}
+			return nil, err
+		}
+		s.cluster = cl
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -213,6 +247,9 @@ func (s *Server) Close() {
 	s.baseCancel()
 	close(s.quit)
 	s.workers.Wait()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	if s.disk != nil {
 		s.disk.Close()
 	}
@@ -494,6 +531,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id, size := tr.HashAndSize()
+	if owner, proxied := s.routeOwner(r, "upload", id); proxied {
+		s.forwardUpload(w, r, owner, id, tr, ds)
+		return
+	}
 	added, uploaded, err := s.storeTrace(id, tr, size)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
@@ -508,6 +549,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if !added {
 		status = http.StatusOK
 	}
+	w.Header().Set("Location", "/v1/traces/"+id)
 	writeJSON(w, status, info)
 }
 
@@ -632,6 +674,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, size := h.Sum()
+	if owner, proxied := s.routeOwner(r, "stream", id); proxied {
+		s.forwardUpload(w, r, owner, id, tr, ds)
+		return
+	}
 	added, uploaded, err := s.storeTrace(id, tr, size)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
@@ -663,6 +709,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !added {
 		status = http.StatusOK
 	}
+	w.Header().Set("Location", "/v1/traces/"+id)
 	writeJSON(w, status, info)
 }
 
@@ -690,6 +737,9 @@ func etagMatch(header, etag string) bool {
 // Content-Length is known from stored accounting, nothing is buffered.
 func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.routeByID(w, r, "raw", id) {
+		return
+	}
 	info, err := s.infoFor(id)
 	if err != nil {
 		s.writeFetchError(w, id, err)
@@ -716,6 +766,9 @@ func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.routeByID(w, r, "get", id) {
+		return
+	}
 	info, err := s.infoFor(id)
 	if err != nil {
 		s.writeFetchError(w, id, err)
@@ -726,6 +779,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if owner, proxied := s.routeOwner(r, "delete", id); proxied {
+		s.proxyDelete(w, r, owner, id)
+		return
+	}
 	if s.disk != nil {
 		ok, err := s.disk.Delete(id)
 		if err != nil {
@@ -779,7 +836,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, s.store, s.results, s.disk)
+	s.metrics.WritePrometheus(w, s.store, s.results, s.disk, s.cluster)
 }
 
 // AnalyzeRequest is the JSON body of POST /v1/traces/{id}/analyze.
@@ -867,6 +924,10 @@ func (q *AnalyzeRequest) cacheKey(id string) string {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if owner, proxied := s.routeOwner(r, "analyze", id); proxied {
+		s.proxyAnalyzeRequest(w, r, owner, id)
+		return
+	}
 	tr, _, err := s.fetch(id)
 	if err != nil {
 		s.writeFetchError(w, id, err)
@@ -923,10 +984,18 @@ func (s *Server) analyzedBytes(ctx context.Context, tr *trace.Trace, key string,
 // writeAnalysisResult maps an analysis or diff outcome onto the wire:
 // the JSON bytes on success, the shared error taxonomy otherwise.
 func (s *Server) writeAnalysisResult(w http.ResponseWriter, b []byte, err error) {
+	var re *relayError
+	var pe *peerDownError
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
+	case errors.As(err, &re):
+		// A proxied analysis the owner answered with an error: the
+		// owner's envelope is the answer, replayed verbatim.
+		re.write(w)
+	case errors.As(err, &pe):
+		s.writePeerUnavailable(w, pe.peer, pe.cause)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, "analysis exceeded %v", s.cfg.RequestTimeout)
 	case errors.Is(err, context.Canceled):

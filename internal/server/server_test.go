@@ -532,3 +532,54 @@ func TestNoSharedTimingCache(t *testing.T) {
 		}
 	}
 }
+
+// TestUploadLocationHeader pins the Location contract of both upload
+// paths: create and dedup answers alike point clients at the trace's
+// canonical resource, /v1/traces/{id}.
+func TestUploadLocationHeader(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	tr := testTrace(3, 20)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tr.HashAndSize()
+	want := "/v1/traces/" + id
+
+	resp, err := http.Post(hs.URL+"/v1/traces", ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || resp.Header.Get("Location") != want {
+		t.Fatalf("upload = %d Location %q, want 201 %q", resp.StatusCode, resp.Header.Get("Location"), want)
+	}
+
+	// The dedup repeat (200) carries the same Location.
+	resp, err = http.Post(hs.URL+"/v1/traces", ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Location") != want {
+		t.Fatalf("dedup upload = %d Location %q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+
+	// The streamed path answers identically.
+	req, err := http.NewRequest(http.MethodPut, hs.URL+"/v1/traces:stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeTrace)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Location") != want {
+		t.Fatalf("streamed upload = %d Location %q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+}

@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCompactionDeleteOrderings pins the two serialised orders a
+// compaction/DELETE race can resolve to (Put, Delete, and CompactOnce
+// all serialise under one mutex) — in both, the tombstone must win.
+func TestCompactionDeleteOrderings(t *testing.T) {
+	// seal builds the fixed layout both subtests need: target and filler
+	// share the first, sealed segment (3 KB each against a 4 KiB target
+	// rolls the third put into a fresh active segment), so deleting
+	// either drops the sealed segment's live ratio to 0.5 — an eligible
+	// compaction victim under the 0.6 threshold.
+	seal := func(t *testing.T, s *Store) (target, filler, later string, bodies map[string][]byte) {
+		t.Helper()
+		bodies = make(map[string][]byte)
+		var bt, bf, bl []byte
+		target, bt = payload(10, 3_000)
+		filler, bf = payload(20, 3_000)
+		later, bl = payload(30, 3_000)
+		for id, b := range map[string][]byte{target: bt, filler: bf, later: bl} {
+			bodies[id] = b
+		}
+		put(t, s, target, bt)
+		put(t, s, filler, bf)
+		put(t, s, later, bl) // rolls: target+filler's segment is sealed
+		if st := s.Stats(); st.Segments < 2 {
+			t.Fatalf("layout: %d segments, want the first sealed", st.Segments)
+		}
+		return target, filler, later, bodies
+	}
+	cfg := Config{SegmentTargetBytes: 4 << 10, CompactThreshold: 0.6}
+
+	// Compaction first: the moved put keeps its ORIGINAL seqno, so the
+	// tombstone appended afterwards carries a strictly higher one and
+	// shadows it on replay.
+	t.Run("compact then delete", func(t *testing.T) {
+		dir := t.TempDir()
+		s := openTest(t, dir, cfg)
+		target, filler, later, bodies := seal(t, s)
+		if ok, err := s.Delete(filler); !ok || err != nil {
+			t.Fatalf("Delete filler = (%v, %v)", ok, err)
+		}
+		origSeq := s.index[target].seq
+		if n, err := s.CompactOnce(); n != 1 || err != nil {
+			t.Fatalf("CompactOnce = (%d, %v), want (1, nil)", n, err)
+		}
+		if got := s.index[target].seq; got != origSeq {
+			t.Fatalf("moved put re-stamped: seq %d, want original %d", got, origSeq)
+		}
+		if b, _, err := s.Get(target); err != nil || !bytes.Equal(b, bodies[target]) {
+			t.Fatalf("Get after compaction: %v", err)
+		}
+
+		if ok, err := s.Delete(target); !ok || err != nil {
+			t.Fatalf("Delete target = (%v, %v)", ok, err)
+		}
+		tombSeq, ok := s.tombs[target]
+		if !ok || tombSeq <= origSeq {
+			t.Fatalf("tombstone seq %d (present %v), want > moved put's %d", tombSeq, ok, origSeq)
+		}
+		if _, _, err := s.Get(target); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("Get after delete = %v, want ErrDeleted", err)
+		}
+
+		// Replay must reach the same verdict: the re-appended put is in
+		// the log with its stale seqno and loses to the tombstone.
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r := openTest(t, dir, cfg)
+		if _, _, err := r.Get(target); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("recovered Get = %v, want ErrDeleted", err)
+		}
+		if seq, ok := r.tombs[target]; !ok || seq != tombSeq {
+			t.Fatalf("recovered tombstone seq = (%d, %v), want %d", seq, ok, tombSeq)
+		}
+		if b, _, err := r.Get(later); err != nil || !bytes.Equal(b, bodies[later]) {
+			t.Fatalf("bystander Get after recovery: %v", err)
+		}
+		put(t, r, target, bodies[target]) // identical content resurrects
+		if b, _, err := r.Get(target); err != nil || !bytes.Equal(b, bodies[target]) {
+			t.Fatalf("resurrected Get: %v", err)
+		}
+	})
+
+	// Delete first: by the time compaction scans the victim, the index no
+	// longer claims the put, so it is dropped rather than moved.
+	t.Run("delete then compact", func(t *testing.T) {
+		dir := t.TempDir()
+		s := openTest(t, dir, cfg)
+		target, _, later, bodies := seal(t, s)
+		if ok, err := s.Delete(target); !ok || err != nil {
+			t.Fatalf("Delete target = (%v, %v)", ok, err)
+		}
+		dead := s.Stats().DeadBytes
+		if n, err := s.CompactOnce(); n != 1 || err != nil {
+			t.Fatalf("CompactOnce = (%d, %v), want (1, nil)", n, err)
+		}
+		if st := s.Stats(); st.DeadBytes >= dead {
+			t.Fatalf("DeadBytes %d not reclaimed (was %d)", st.DeadBytes, dead)
+		}
+		if _, _, err := s.Get(target); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("Get after compaction = %v, want ErrDeleted", err)
+		}
+
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r := openTest(t, dir, cfg)
+		if _, _, err := r.Get(target); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("recovered Get = %v, want ErrDeleted", err)
+		}
+		if b, _, err := r.Get(later); err != nil || !bytes.Equal(b, bodies[later]) {
+			t.Fatalf("bystander Get after recovery: %v", err)
+		}
+	})
+}
+
+// TestCompactionRacesDelete runs compaction concurrently with deletes
+// of records living in the segments being rewritten. Whichever way each
+// pair serialises, a deleted id must answer ErrDeleted ever after —
+// a moved put must never resurrect it — and survivors must stay intact,
+// both live and across a reopen.
+func TestCompactionRacesDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10, CompactThreshold: 0.95})
+
+	const n = 32
+	ids := make([]string, n)
+	bodies := make([][]byte, n)
+	for i := range ids {
+		ids[i], bodies[i] = payload(byte(i), 2_000+i*13)
+		put(t, s, ids[i], bodies[i])
+	}
+	if st := s.Stats(); st.Segments < 4 {
+		t.Fatalf("layout: %d segments, want several sealed", st.Segments)
+	}
+
+	// Deletes make segments eligible as they land, so compaction keeps
+	// finding fresh victims while tombstones for their records race in.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan error, n+2)
+	wg.Add(3)
+	go func() { // delete every even id
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < n; i += 2 {
+			if ok, err := s.Delete(ids[i]); !ok || err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() { // compact until the deletes finish and no victim remains
+		defer wg.Done()
+		idle := false
+		for {
+			nc, err := s.CompactOnce()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if nc == 0 {
+				select {
+				case <-done:
+					if idle {
+						return // second consecutive dry pass after all deletes
+					}
+					idle = true
+				default:
+				}
+				continue
+			}
+			idle = false
+		}
+	}()
+	go func() { // concurrent reads of survivors
+		defer wg.Done()
+		for i := 1; i < n; i += 2 {
+			if _, _, err := s.Get(ids[i]); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent phase: %v", err)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compaction ran during the race")
+	}
+
+	check := func(t *testing.T, st *Store) {
+		t.Helper()
+		for i, id := range ids {
+			if i%2 == 0 {
+				if _, _, err := st.Get(id); !errors.Is(err, ErrDeleted) {
+					t.Errorf("deleted id %d: Get = %v, want ErrDeleted", i, err)
+				}
+				continue
+			}
+			b, _, err := st.Get(id)
+			if err != nil || !bytes.Equal(b, bodies[i]) {
+				t.Errorf("survivor %d: Get = %v", i, err)
+			}
+		}
+		if got := st.Len(); got != n/2 {
+			t.Errorf("Len = %d, want %d", got, n/2)
+		}
+	}
+	check(t, s)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Config{SegmentTargetBytes: 8 << 10, CompactThreshold: 0.95})
+	check(t, r)
+	put(t, r, ids[0], bodies[0]) // tombstoned id resurrects after the dust settles
+	if b, _, err := r.Get(ids[0]); err != nil || !bytes.Equal(b, bodies[0]) {
+		t.Fatalf("resurrected Get: %v", err)
+	}
+}

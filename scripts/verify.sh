@@ -50,6 +50,7 @@ run "go test -race (engine)" go test -count=1 -race ./internal/engine/...
 run "go test -race (analysis)" go test -count=1 -race ./internal/analysis/...
 run "go test -race (pt)" go test -count=1 -race ./internal/pt/...
 run "go test -race (server)" go test -count=1 -race ./internal/server/...
+run "go test -race (cluster)" go test -count=1 -race ./internal/cluster/...
 run "go test -race (cache)" go test -count=1 -race ./internal/cache/...
 run "go test -race (diff)" go test -count=1 -race ./internal/diff/...
 run "go test -race (storage)" go test -count=1 -race ./internal/storage/...

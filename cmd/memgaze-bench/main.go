@@ -8,11 +8,11 @@
 //
 // With -json or -gate the command instead runs the regression-gated
 // benchmark suite: -json writes machine-readable results (the committed
-// BENCH_8.json baseline format) and -gate compares against a baseline,
+// BENCH_9.json baseline format) and -gate compares against a baseline,
 // exiting nonzero if a gated benchmark regressed beyond -gate-threshold
 // percent.
 //
-//	memgaze-bench -quick -json BENCH_new.json -gate BENCH_8.json
+//	memgaze-bench -quick -json BENCH_new.json -gate BENCH_9.json
 package main
 
 import (

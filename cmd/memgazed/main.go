@@ -5,12 +5,15 @@
 // survives restarts, with the in-memory store as a hot-tier cache —
 // and serves analyzer-engine requests with request coalescing, a
 // result cache, and Prometheus metrics. With -peers it joins a static
-// replica ring: each trace id is owned by one replica (rendezvous
-// hashing over the content hash) and requests sent to any replica are
-// proxied transparently to the owner.
+// replica ring: each trace id is owned by the top -replication replicas
+// of its rendezvous order (hashing over the content hash), uploads
+// write through to all owners, and requests sent to any replica are
+// proxied transparently to the first live owner — the fleet keeps
+// answering through single-node loss, and a background repair loop
+// re-replicates data and tombstones to rejoining peers.
 //
 //	memgazed -addr :8080 -data-dir /var/lib/memgazed -workers 8 -timeout 30s
-//	memgazed -addr :8081 -advertise 127.0.0.1:8081 -peers 127.0.0.1:8081,127.0.0.1:8082
+//	memgazed -addr :8081 -advertise 127.0.0.1:8081 -peers 127.0.0.1:8081,127.0.0.1:8082 -replication 2
 //
 //	curl -X POST --data-binary @pr.mgt -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces
 //	curl -T pr.mgt --no-buffer -H 'Content-Type: application/x-memgaze-trace' localhost:8080/v1/traces:stream
@@ -75,8 +78,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	streamChunk := fs.Int("stream-chunk", 0, "read granularity of streamed uploads in bytes (0 = 256 KiB); peak streamed-build memory is O(stream-chunk × build-workers)")
 	sweepShards := fs.Int("sweep-shards", 0, "sample shards per analysis trace walk (0 = GOMAXPROCS, 1 = sequential; output is identical at every count)")
 	dataDir := fs.String("data-dir", "", "durable trace storage directory: uploads write through to an on-disk segment store and survive restarts (empty = in-memory only)")
-	peers := fs.String("peers", "", "comma-separated static replica set (advertise addresses, this replica included); each trace id is owned by one replica via rendezvous hashing and requests proxy transparently (empty = single-node)")
+	peers := fs.String("peers", "", "comma-separated static replica set (advertise addresses, this replica included); each trace id is owned by its top -replication replicas via rendezvous hashing and requests proxy transparently to the first live owner (empty = single-node)")
 	advertise := fs.String("advertise", "", "this replica's own address exactly as listed in -peers (required with -peers)")
+	replication := fs.Int("replication", 2, "replicas owning each trace: uploads fan out to this many owners and reads fail over among them (clamped to the peer count; 1 = single-owner fast-fail; only with -peers)")
+	repairInterval := fs.Duration("repair-interval", 30*time.Second, "anti-entropy repair period: each round re-replicates under-replicated traces and propagates tombstones to rejoined peers (< 0 disables; only with -peers and -replication > 1)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,6 +102,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		DataDir:          *dataDir,
 		Peers:            splitPeers(*peers),
 		Advertise:        *advertise,
+		Replication:      *replication,
+		RepairInterval:   *repairInterval,
 	})
 	if err != nil {
 		return err

@@ -35,6 +35,11 @@ type Config struct {
 	// replica must be configured with the same set — ownership is a
 	// pure function of it.
 	Peers []string
+	// Replication is how many replicas own each key: every trace is
+	// written to the top-Replication peers of its rendezvous order and
+	// reads fail over along that order (default 2; clamped to the peer
+	// count; 1 reproduces the single-owner fast-fail ring).
+	Replication int
 	// ProbeInterval is the membership prober's period (default 2s;
 	// <0 disables the background loop — ProbeNow still works, which is
 	// what tests drive).
@@ -55,6 +60,11 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	if c.Replication == 0 {
+		c.Replication = 2
+	} else if c.Replication < 0 {
+		c.Replication = 1
+	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 2 * time.Second
 	}
@@ -149,6 +159,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: Self %q is not in the peer set %v", self, names)
 	}
 	sort.Strings(names)
+	if cfg.Replication > len(names) {
+		cfg.Replication = len(names)
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		self:   self,
@@ -172,11 +185,23 @@ func (c *Cluster) Self() string { return c.self }
 // Peers returns the sorted normalized peer set, self included.
 func (c *Cluster) Peers() []string { return c.names }
 
-// Owner returns the replica owning key. Ownership is static over the
-// full configured set: a down peer still owns its keys (requests for
-// them fail fast with peer_unavailable rather than silently landing on
-// a replica that does not have the data).
+// Owner returns the replica leading key's rendezvous order — the
+// primary owner. Ownership is static over the full configured set: a
+// down peer still owns its keys, and callers fail over along Owners
+// rather than rehashing onto replicas that never held the data.
 func (c *Cluster) Owner(key string) string { return Owner(c.names, key) }
+
+// Owners returns key's replica set: the first Replication peers of its
+// rendezvous order. Every replica computes the same list in the same
+// order, so writes fan out to it and reads walk it front to back —
+// membership changes the peer *answering*, never the set *owning*.
+func (c *Cluster) Owners(key string) []string {
+	return Owners(c.names, key, c.cfg.Replication)
+}
+
+// Replication returns the ownership factor: how many replicas hold
+// each key (clamped to the peer count at construction).
+func (c *Cluster) Replication() int { return c.cfg.Replication }
 
 // IsSelf reports whether the (normalized) peer name is this replica.
 func (c *Cluster) IsSelf(name string) bool { return Normalize(name) == c.self }

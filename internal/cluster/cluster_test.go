@@ -208,3 +208,41 @@ func TestBackgroundProber(t *testing.T) {
 		t.Fatalf("background prober made %d probes", probes.Load())
 	}
 }
+
+// TestReplicationClampAndOwners pins the replication factor plumbing:
+// the default is 2, negatives collapse to 1, the factor clamps to the
+// peer set size, and Cluster.Owners honours it with the self-consistent
+// rendezvous order (first entry == Owner).
+func TestReplicationClampAndOwners(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	mk := func(replication int) *Cluster {
+		t.Helper()
+		c, err := New(Config{Self: peers[0], Peers: peers, Replication: replication, ProbeInterval: -1})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	if got := mk(0).Replication(); got != 2 {
+		t.Errorf("default replication = %d, want 2", got)
+	}
+	if got := mk(-5).Replication(); got != 1 {
+		t.Errorf("negative replication = %d, want 1", got)
+	}
+	if got := mk(99).Replication(); got != len(peers) {
+		t.Errorf("oversized replication = %d, want clamp to %d", got, len(peers))
+	}
+	c := mk(2)
+	key := "deadbeef"
+	owners := c.Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("Owners returned %d peers, want 2", len(owners))
+	}
+	if owners[0] != c.Owner(key) {
+		t.Errorf("Owners[0] = %s, Owner = %s", owners[0], c.Owner(key))
+	}
+	if owners[0] == owners[1] {
+		t.Error("Owners repeats a peer")
+	}
+}

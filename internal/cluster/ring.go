@@ -1,18 +1,21 @@
 // Package cluster turns a set of memgazed replicas into one fleet: a
-// static-peer ring assigns every trace id an owner replica by
-// rendezvous hashing, a background prober tracks which peers are
+// static-peer ring assigns every trace id its owner replicas by
+// rendezvous hashing (the top-K peers of the key's score order, K the
+// replication factor), a background prober tracks which peers are
 // serving via their /v1/readyz endpoints, and a retrying proxy client
 // forwards requests to owners. Ownership is a pure function of (peer
 // set, trace id) — every replica configured with the same -peers list
-// computes the same owner for every key, with no coordination, no
-// gossip, and no persistent membership state. Trace ids are content
+// computes the same owner order for every key, with no coordination,
+// no gossip, and no persistent membership state. Trace ids are content
 // hashes (the same bytes land at the same key on any replica), so
-// routing by id is routing by content. See DESIGN.md ("Cluster
-// routing").
+// routing by id is routing by content, and replicas of a trace are
+// byte-identical by construction. See DESIGN.md ("Cluster routing" and
+// "Replicated ownership").
 package cluster
 
 import (
 	"hash/fnv"
+	"sort"
 )
 
 // Owner returns the rendezvous-hash owner of key among peers: the peer
@@ -33,6 +36,43 @@ func Owner(peers []string, key string) string {
 		}
 	}
 	return best
+}
+
+// Owners returns the first k peers of key's rendezvous order: every
+// peer scored by fnv64a(peer || 0x00 || key), sorted by descending
+// score with ties broken by the lexicographically smaller name. The
+// order has two properties replicated ownership leans on: it is a pure
+// function of (peer set, key) — every replica walks the same list —
+// and it is prefix-stable, so Owners(peers, key, 1)[0] == Owner(peers,
+// key) and raising the replication factor only appends owners, never
+// reshuffles the ones already holding copies. k is clamped to the peer
+// count; k <= 0 or an empty peer set returns nil.
+func Owners(peers []string, key string, k int) []string {
+	if len(peers) == 0 || k <= 0 {
+		return nil
+	}
+	type scored struct {
+		name string
+		s    uint64
+	}
+	sc := make([]scored, len(peers))
+	for i, p := range peers {
+		sc[i] = scored{name: p, s: score(p, key)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].s != sc[j].s {
+			return sc[i].s > sc[j].s
+		}
+		return sc[i].name < sc[j].name
+	})
+	if k > len(sc) {
+		k = len(sc)
+	}
+	out := make([]string, k)
+	for i := range out {
+		out[i] = sc[i].name
+	}
+	return out
 }
 
 // score hashes one (peer, key) pair. FNV-64a is enough here: keys are

@@ -113,3 +113,58 @@ func TestOwnerStableUnderRandomKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestOwnersTopK pins the replicated-ownership order: deterministic,
+// order-free, prefix-stable (Owners(k)[0..k-2] == Owners(k-1), and the
+// first entry is always Owner), clamped to the peer count, and made of
+// distinct peers from the set.
+func TestOwnersTopK(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8080",
+		"http://10.0.0.2:8080",
+		"http://10.0.0.3:8080",
+		"http://10.0.0.4:8080",
+	}
+	shuffled := []string{peers[2], peers[0], peers[3], peers[1]}
+	set := map[string]bool{}
+	for _, p := range peers {
+		set[p] = true
+	}
+	for i := 0; i < 300; i++ {
+		key := contentID(i)
+		full := Owners(peers, key, len(peers))
+		if len(full) != len(peers) {
+			t.Fatalf("full order has %d entries, want %d", len(full), len(peers))
+		}
+		seen := map[string]bool{}
+		for _, o := range full {
+			if !set[o] || seen[o] {
+				t.Fatalf("full order %v repeats or leaves the peer set", full)
+			}
+			seen[o] = true
+		}
+		if full[0] != Owner(peers, key) {
+			t.Fatalf("Owners(...)[0] = %s, Owner = %s", full[0], Owner(peers, key))
+		}
+		for k := 1; k <= len(peers); k++ {
+			pre := Owners(peers, key, k)
+			if len(pre) != k {
+				t.Fatalf("Owners k=%d returned %d entries", k, len(pre))
+			}
+			for j := range pre {
+				if pre[j] != full[j] {
+					t.Fatalf("k=%d not a prefix of the full order: %v vs %v", k, pre, full)
+				}
+			}
+		}
+		if got := Owners(shuffled, key, 2); got[0] != full[0] || got[1] != full[1] {
+			t.Fatalf("Owners depends on peer slice order: %v vs %v", got, full[:2])
+		}
+	}
+	if got := Owners(peers, contentID(1), 99); len(got) != len(peers) {
+		t.Errorf("k over the peer count not clamped: %d entries", len(got))
+	}
+	if Owners(peers, contentID(1), 0) != nil || Owners(nil, contentID(1), 2) != nil {
+		t.Error("k <= 0 or an empty peer set should return nil")
+	}
+}

@@ -53,7 +53,7 @@ type StreamIngestPoint struct {
 }
 
 // BenchResult is the machine-readable benchmark report the CI
-// regression gate consumes (committed as BENCH_8.json).
+// regression gate consumes (committed as BENCH_9.json).
 type BenchResult struct {
 	GoVersion  string              `json:"go_version"`
 	ChunkBytes int                 `json:"chunk_bytes"`
@@ -310,6 +310,110 @@ func clusterProxy(iters int) (int64, error) {
 		return nil
 	}
 	if err := analyze(); err != nil { // prime the vantage's local cache
+		return 0, err
+	}
+	total, err := bestOf(3, func() error {
+		for i := 0; i < iters; i++ {
+			if err := analyze(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / int64(iters), nil
+}
+
+// clusterFailover measures the warm degraded-fleet analyze path: a
+// three-replica ring at the default replication of 2, one upload, then
+// the PRIMARY owner of the trace is killed and every analyze goes
+// through the one replica that owns nothing — so each request crosses
+// the failover route (skip the dead owner, reach the surviving one) on
+// top of the proxy layer clusterProxy already gates. The priming
+// analyze pays the transport retries that mark the dead peer down;
+// the measured iterations are what a steady degraded fleet serves.
+func clusterFailover(iters int) (int64, error) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	hss := make([]*http.Server, n)
+	for i := range lns {
+		s, err := server.New(server.Config{Peers: peers, Advertise: peers[i],
+			ProbeInterval: -1, RepairInterval: -1})
+		if err != nil {
+			return 0, err
+		}
+		defer s.Close()
+		hss[i] = &http.Server{Handler: s}
+		go hss[i].Serve(lns[i])
+		defer hss[i].Close()
+	}
+
+	enc, err := benchTrace(16, 200).Encode()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post("http://"+peers[0]+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
+	if err != nil {
+		return 0, err
+	}
+	var info server.TraceInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+
+	// Rendezvous order of the id: owners[0] is the primary to kill; the
+	// vantage is the one replica that is not an owner at replication 2.
+	norm := make([]string, n)
+	idx := map[string]int{}
+	for i, p := range peers {
+		norm[i] = cluster.Normalize(p)
+		idx[norm[i]] = i
+	}
+	owners := cluster.Owners(norm, info.ID, 2)
+	owned := map[int]bool{}
+	for _, o := range owners {
+		owned[idx[o]] = true
+	}
+	vantage := ""
+	for i, p := range peers {
+		if !owned[i] {
+			vantage = p
+		}
+	}
+	// Kill the primary owner from the network: stop accepting and sever
+	// its listener. (Its Server object is reaped by the deferred closes.)
+	primary := idx[owners[0]]
+	hss[primary].Close()
+	lns[primary].Close()
+
+	analyze := func() error {
+		resp, err := http.Post("http://"+vantage+"/v1/traces/"+info.ID+"/analyze",
+			"application/json", strings.NewReader(`{"analyses":["functions","mrc"]}`))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("failover analyze: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := analyze(); err != nil { // cascade past the dead owner, mark it down, warm the cache
 		return 0, err
 	}
 	total, err := bestOf(3, func() error {
@@ -606,6 +710,12 @@ func Bench(s Sizes) (*BenchResult, error) {
 		return nil, fmt.Errorf("cluster proxy: %w", err)
 	}
 	res.Gate = append(res.Gate, BenchMetric{Name: "cluster_proxy", NsPerOp: proxyNs})
+
+	failNs, err := clusterFailover(100)
+	if err != nil {
+		return nil, fmt.Errorf("cluster failover: %w", err)
+	}
+	res.Gate = append(res.Gate, BenchMetric{Name: "cluster_failover", NsPerOp: failNs})
 
 	bootNs, err := warmBoot(32)
 	if err != nil {

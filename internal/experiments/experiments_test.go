@@ -538,8 +538,8 @@ func TestBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", res.Text)
-	if len(res.Gate) != 6 {
-		t.Fatalf("gate metrics = %d, want 6", len(res.Gate))
+	if len(res.Gate) != 7 {
+		t.Fatalf("gate metrics = %d, want 7", len(res.Gate))
 	}
 	if got := res.Gate[2].Name; got != "sweep_sharded" {
 		t.Errorf("gate[2] = %q, want sweep_sharded", got)
@@ -550,8 +550,11 @@ func TestBenchRuns(t *testing.T) {
 	if got := res.Gate[4].Name; got != "cluster_proxy" {
 		t.Errorf("gate[4] = %q, want cluster_proxy", got)
 	}
-	if got := res.Gate[5].Name; got != "warm_boot" {
-		t.Errorf("gate[5] = %q, want warm_boot", got)
+	if got := res.Gate[5].Name; got != "cluster_failover" {
+		t.Errorf("gate[5] = %q, want cluster_failover", got)
+	}
+	if got := res.Gate[6].Name; got != "warm_boot" {
+		t.Errorf("gate[6] = %q, want warm_boot", got)
 	}
 	if res.SweepSequentialNs <= 0 {
 		t.Errorf("sweep_sequential_ns = %d, want > 0", res.SweepSequentialNs)

@@ -17,11 +17,12 @@ import (
 // kill/restart cycle — ownership is bound to it), its own durable data
 // directory, and the shared static peer set.
 type fleetReplica struct {
-	addr  string // host:port, the advertise address
-	dir   string
-	peers []string
-	srv   *Server
-	hs    *http.Server
+	addr        string // host:port, the advertise address
+	dir         string
+	peers       []string
+	replication int // 0 = the server default (2)
+	srv         *Server
+	hs          *http.Server
 }
 
 func (fr *fleetReplica) url() string { return "http://" + fr.addr }
@@ -32,10 +33,12 @@ func (fr *fleetReplica) url() string { return "http://" + fr.addr }
 func (fr *fleetReplica) start(t *testing.T, ln net.Listener) {
 	t.Helper()
 	srv, err := New(Config{
-		DataDir:       fr.dir,
-		Peers:         fr.peers,
-		Advertise:     fr.addr,
-		ProbeInterval: -1, // tests drive ProbeNow explicitly
+		DataDir:        fr.dir,
+		Peers:          fr.peers,
+		Advertise:      fr.addr,
+		Replication:    fr.replication,
+		ProbeInterval:  -1, // tests drive ProbeNow explicitly
+		RepairInterval: -1, // and repairNow likewise
 	})
 	if err != nil {
 		t.Fatalf("replica %s: New: %v", fr.addr, err)
@@ -60,9 +63,17 @@ func (fr *fleetReplica) stop() {
 	fr.srv, fr.hs = nil, nil
 }
 
-// newFleet builds an n-replica fleet: ports are allocated first so
-// every replica can be configured with the complete static peer set.
+// newFleet builds an n-replica fleet at the default replication factor
+// (2): ports are allocated first so every replica can be configured
+// with the complete static peer set.
 func newFleet(t *testing.T, n int) []*fleetReplica {
+	t.Helper()
+	return newFleetR(t, n, 0)
+}
+
+// newFleetR is newFleet with an explicit replication factor
+// (0 = server default; 1 = the single-owner fast-fail ring).
+func newFleetR(t *testing.T, n, replication int) []*fleetReplica {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	peers := make([]string, n)
@@ -74,7 +85,7 @@ func newFleet(t *testing.T, n int) []*fleetReplica {
 		}
 		lns[i] = ln
 		peers[i] = ln.Addr().String()
-		reps[i] = &fleetReplica{addr: peers[i], dir: t.TempDir()}
+		reps[i] = &fleetReplica{addr: peers[i], dir: t.TempDir(), replication: replication}
 	}
 	for i, fr := range reps {
 		fr.peers = peers
@@ -112,6 +123,32 @@ func ownerOf(t *testing.T, reps []*fleetReplica, id string) (owner *fleetReplica
 	return owner, others
 }
 
+// ownersOf splits a fleet by top-k ownership of id: the owning replicas
+// in rendezvous order, then the rest.
+func ownersOf(t *testing.T, reps []*fleetReplica, id string, k int) (owners, others []*fleetReplica) {
+	t.Helper()
+	names := make([]string, len(reps))
+	byName := make(map[string]*fleetReplica, len(reps))
+	for i, fr := range reps {
+		names[i] = cluster.Normalize(fr.addr)
+		byName[names[i]] = fr
+	}
+	want := cluster.Owners(names, id, k)
+	for _, n := range want {
+		owners = append(owners, byName[n])
+		delete(byName, n)
+	}
+	for _, n := range names {
+		if fr, ok := byName[n]; ok {
+			others = append(others, fr)
+		}
+	}
+	if len(owners) != k {
+		t.Fatalf("resolved %d owners of %s, want %d", len(owners), id, k)
+	}
+	return owners, others
+}
+
 // doReq performs one request and returns the drained response.
 func doReq(t *testing.T, method, url string, hdr http.Header, body []byte) (*http.Response, []byte) {
 	t.Helper()
@@ -139,10 +176,12 @@ func doReq(t *testing.T, method, url string, hdr http.Header, body []byte) (*htt
 }
 
 // TestClusterEndToEnd drives the headline fleet contract on three
-// replicas: a trace uploaded through any replica is owned by exactly
-// one, yet fetchable byte-identically and analyzable — report
-// byte-identical to a single-node memgazed — through every replica,
-// with proxied repeats served from the replica-local result cache.
+// replicas at the default replication factor (2): a trace uploaded
+// through any replica lands on exactly its K owners (the quorum ack
+// plus the synchronous fan-out), and is fetchable byte-identically and
+// analyzable — report byte-identical to a single-node memgazed —
+// through every replica, with proxied repeats served from the
+// replica-local result cache.
 func TestClusterEndToEnd(t *testing.T) {
 	reps := newFleet(t, 3)
 	tr := testTrace(6, 40)
@@ -151,7 +190,8 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	id, _ := tr.HashAndSize()
-	owner, others := ownerOf(t, reps, id)
+	owners, others := ownersOf(t, reps, id, 2)
+	nonOwner := others[0]
 
 	// The single-node reference for byte-identical answers.
 	_, ref := newTestServer(t, Config{})
@@ -161,8 +201,8 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatalf("reference analyze: %d: %s", refResp.StatusCode, refReport)
 	}
 
-	// Upload through a replica that does NOT own the hash.
-	resp, body := doReq(t, http.MethodPost, others[0].url()+"/v1/traces",
+	// Upload through the replica that does NOT own the hash.
+	resp, body := doReq(t, http.MethodPost, nonOwner.url()+"/v1/traces",
 		http.Header{"Content-Type": []string{ContentTypeTrace}}, enc)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("routed upload: %d: %s", resp.StatusCode, body)
@@ -171,11 +211,21 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatalf("routed upload Location = %q", loc)
 	}
 
-	// The owner holds the bytes; the receiving replica kept nothing.
-	if got := len(owner.srv.localInfos("")); got != 1 {
-		t.Fatalf("owner corpus size = %d, want 1", got)
+	// Both owners hold the bytes — with identical metadata, the ack's
+	// upload time travelling on the fan-out — and the receiving replica
+	// kept nothing.
+	var uploadedAt []string
+	for i, o := range owners {
+		infos := o.srv.localInfos("")
+		if len(infos) != 1 {
+			t.Fatalf("owner %d corpus size = %d, want 1", i, len(infos))
+		}
+		uploadedAt = append(uploadedAt, infos[0].Uploaded.Format("2006-01-02T15:04:05.999999999"))
 	}
-	if got := len(others[0].srv.localInfos("")); got != 0 {
+	if uploadedAt[0] != uploadedAt[1] {
+		t.Fatalf("owners disagree on the upload time: %s vs %s", uploadedAt[0], uploadedAt[1])
+	}
+	if got := len(nonOwner.srv.localInfos("")); got != 0 {
 		t.Fatalf("non-owner kept %d traces after forwarding", got)
 	}
 
@@ -198,31 +248,36 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 
 	// A proxied repeat is a replica-local cache hit: no second trip.
-	warm, rep := postAnalyze(t, others[0].url(), id, `{"analyses":["functions","mrc"]}`)
+	warm, rep := postAnalyze(t, nonOwner.url(), id, `{"analyses":["functions","mrc"]}`)
 	if warm.Header.Get("X-Memgazed-Cache") != "hit" {
 		t.Error("repeated proxied analyze missed the local result cache")
 	}
 	if !bytes.Equal(rep, refReport) {
 		t.Error("cached proxied report differs")
 	}
-	if got := others[0].srv.metrics.clusterProxied["analyze"].Load(); got == 0 {
+	if got := nonOwner.srv.metrics.clusterProxied["analyze"].Load(); got == 0 {
 		t.Error("proxied-analyze counter never moved")
 	}
 
 	// A fleet-internal request is never re-routed (loop prevention):
 	// a peer-marked GET on a non-owner answers from its own empty
 	// corpus, 404.
-	resp, body = doReq(t, http.MethodGet, others[0].url()+"/v1/traces/"+id,
+	resp, body = doReq(t, http.MethodGet, nonOwner.url()+"/v1/traces/"+id,
 		http.Header{cluster.PeerHeader: []string{"http://tester"}}, nil)
 	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != ErrCodeTraceNotFound {
 		t.Fatalf("internal-scoped get = %d %s, want local 404", resp.StatusCode, body)
 	}
 
-	// DELETE through a non-owner tombstones on the owner; afterwards the
-	// whole fleet answers 410.
-	resp, body = doReq(t, http.MethodDelete, others[1].url()+"/v1/traces/"+id, nil, nil)
+	// DELETE through the non-owner tombstones on every owner;
+	// afterwards the whole fleet answers 410.
+	resp, body = doReq(t, http.MethodDelete, nonOwner.url()+"/v1/traces/"+id, nil, nil)
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("routed delete: %d: %s", resp.StatusCode, body)
+	}
+	for i, o := range owners {
+		if got := len(o.srv.localInfos("")); got != 0 {
+			t.Fatalf("owner %d still lists %d live traces after the routed delete", i, got)
+		}
 	}
 	for _, fr := range reps {
 		resp, body := doReq(t, http.MethodGet, fr.url()+"/v1/traces/"+id, nil, nil)
@@ -304,13 +359,15 @@ func TestClusterScatterList(t *testing.T) {
 	}
 }
 
-// TestClusterKillAndRejoin is the availability contract: killing a
-// non-owner leaves owned keys serving; killing the owner answers the
-// structured 503 peer_unavailable (while locally cached reports keep
-// serving); a restarted owner rejoins via the prober and serves again
-// with no client-side changes.
-func TestClusterKillAndRejoin(t *testing.T) {
-	reps := newFleet(t, 3)
+// TestClusterKillAndRejoinSingleOwner is the availability contract of
+// the -replication=1 fast-fail ring (replicated failover has its own
+// suite in replication_test.go): killing a non-owner leaves owned keys
+// serving; killing the sole owner answers the structured 503
+// peer_unavailable (while locally cached reports keep serving); a
+// restarted owner rejoins via the prober and serves again with no
+// client-side changes.
+func TestClusterKillAndRejoinSingleOwner(t *testing.T) {
+	reps := newFleetR(t, 3, 1)
 	tr := testTrace(5, 30)
 	enc, err := tr.Encode()
 	if err != nil {

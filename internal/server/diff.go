@@ -5,12 +5,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
 	"github.com/memgaze/memgaze-go/internal/diff"
 	"github.com/memgaze/memgaze-go/internal/engine"
+	"github.com/memgaze/memgaze-go/internal/storage"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
@@ -68,18 +70,28 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	sides := []*diffSide{{id: req.A}, {id: req.B}}
 	for _, sd := range sides {
-		// A side owned by another replica resolves remotely inside
-		// runDiff — as a proxied analyze, so its Report lands in this
-		// replica's result cache like any other; a local side prefetches
-		// here so a missing trace answers before any engine work.
+		// A side owned by other replicas resolves remotely inside
+		// runDiff — as a proxied analyze walking the side's live owners,
+		// so its Report lands in this replica's result cache like any
+		// other; a self-owned side prefetches here so a missing trace
+		// answers before any engine work, falling back to the other
+		// owners when the local copy has not landed yet.
 		if s.cluster != nil && !isInternal(r) {
-			if owner := s.cluster.Owner(sd.id); !s.cluster.IsSelf(owner) {
-				sd.owner = owner
+			plan := s.ownerPlan(sd.id)
+			sd.remotes = plan.remotes
+			if !plan.local {
+				if len(plan.remotes) == 0 {
+					s.writeNoLiveOwner(w, sd.id)
+					return
+				}
 				continue
 			}
 		}
 		sd.tr, _, err = s.fetch(sd.id)
 		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) && len(sd.remotes) > 0 {
+				continue // another owner holds the copy; resolve remotely
+			}
 			s.writeFetchError(w, sd.id, err)
 			return
 		}
@@ -105,22 +117,22 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 }
 
 // diffSide is one side of a diff after routing: a locally fetched trace
-// (tr set), or a remotely owned id (owner set) whose Report comes from
-// the owner.
+// (tr set), or an id whose Report comes from its live remote owners
+// (remotes set, in rendezvous order).
 type diffSide struct {
-	id    string
-	owner string // non-empty: the replica owning this side
-	tr    *trace.Trace
+	id      string
+	remotes []string // failover candidates when tr is nil
+	tr      *trace.Trace
 }
 
-// sideBytes resolves one diff side's marshalled Report: a local side
-// goes through the analyze cache/flight layer as always; a remote side
-// is a proxied analyze against its owner — same cache key as a direct
-// proxied analyze, so the sides and the analyze endpoint share cached
-// Reports both ways.
+// sideBytes resolves one diff side's marshalled Report: a locally held
+// side goes through the analyze cache/flight layer as always; a remote
+// side is a proxied analyze walking the side's live owners — same cache
+// key as a direct proxied analyze, so the sides and the analyze
+// endpoint share cached Reports both ways.
 func (s *Server) sideBytes(sd *diffSide, areq *AnalyzeRequest, opts []engine.Option) ([]byte, error) {
 	akey := areq.cacheKey(sd.id)
-	if sd.owner == "" {
+	if sd.tr != nil {
 		b, _, err := s.analyzedBytes(s.baseCtx, sd.tr, akey, opts)
 		return b, err
 	}
@@ -135,7 +147,7 @@ func (s *Server) sideBytes(sd *diffSide, areq *AnalyzeRequest, opts []engine.Opt
 		return nil, fmt.Errorf("marshalling side request: %w", err)
 	}
 	b, err, joined := s.flights.Do(s.baseCtx, akey, func() ([]byte, error) {
-		return s.fetchRemoteAnalysis(sd.owner, "/v1/traces/"+sd.id+"/analyze", body, akey)
+		return s.fetchRemoteAnalysis(sd.remotes, "/v1/traces/"+sd.id+"/analyze", body, akey)
 	})
 	if joined {
 		s.metrics.coalesced.Add(1)

@@ -40,10 +40,12 @@ const (
 	// I/O error on read or write, or a replica whose storage is not
 	// ready (503; also the readyz not-ready answer).
 	ErrCodeStorageUnavailable = "storage_unavailable"
-	// ErrCodePeerUnavailable: the fleet replica owning this trace id is
-	// down or unreachable, so the request cannot be served anywhere —
-	// ownership is static, no other replica has the data. Retry once
-	// the owner rejoins; the prober readmits it automatically (503).
+	// ErrCodePeerUnavailable: every fleet replica owning this trace id
+	// is down or unreachable, so the request cannot be served anywhere —
+	// ownership is static over the configured set, and all of the key's
+	// K owners are out at once (with replication 1, its single owner).
+	// Retry once an owner rejoins; the prober readmits it automatically
+	// and the repair loop heals any divergence (503).
 	ErrCodePeerUnavailable = "peer_unavailable"
 	// ErrCodeInternal: an unexpected server-side failure (500).
 	ErrCodeInternal = "internal"

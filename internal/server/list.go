@@ -173,11 +173,20 @@ func (s *Server) scatterList(w http.ResponseWriter, r *http.Request, local []Tra
 		merged = append(merged, pg.traces...)
 		more = more || pg.more
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].ID != merged[j].ID {
+			return merged[i].ID < merged[j].ID
+		}
+		// Replicated ownership lists every id from each of its K owners;
+		// sort the hot-tier copy first so dedup below keeps it — the
+		// listing then tells clients a read will hit memory somewhere.
+		return merged[i].Tier == tierHot && merged[j].Tier != tierHot
+	})
 	out := merged[:0]
 	for _, in := range merged {
-		// Content hashes are globally unique, but a corpus predating the
-		// fleet may hold a key another replica now owns — keep one entry.
+		// Every id appears once per live owner (replication factor K),
+		// plus possibly a pre-fleet stray — keep one entry, the hot-tier
+		// one when any copy is hot (the sort above put it first).
 		if len(out) > 0 && out[len(out)-1].ID == in.ID {
 			continue
 		}

@@ -131,6 +131,17 @@ type Metrics struct {
 	clusterProxied map[string]*atomic.Uint64
 	clusterLocal   map[string]*atomic.Uint64
 
+	// Replicated-ownership counters: upload fan-out copies attempted and
+	// failed, copies and tombstones pushed by the anti-entropy repair
+	// loop, and the last repair scan's count of ids with at least one
+	// owner missing its copy (or down). All stay zero outside cluster
+	// mode with replication > 1.
+	replFanout          atomic.Uint64
+	replFanoutFailures  atomic.Uint64
+	replRepairCopies    atomic.Uint64
+	replRepairTombs     atomic.Uint64
+	replUnderReplicated atomic.Int64
+
 	analysis map[string]*durSum
 }
 
@@ -251,6 +262,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, store *Store, results *resultCach
 		for _, ep := range clusterEndpoints {
 			fmt.Fprintf(w, "memgazed_cluster_local_requests_total{endpoint=%q} %d\n", ep, m.clusterLocal[ep].Load())
 		}
+		fmt.Fprint(w, "# HELP memgazed_cluster_replication_fanout_total Upload fan-out copies attempted to secondary owners.\n# TYPE memgazed_cluster_replication_fanout_total counter\n")
+		fmt.Fprintf(w, "memgazed_cluster_replication_fanout_total %d\n", m.replFanout.Load())
+		fmt.Fprint(w, "# HELP memgazed_cluster_replication_fanout_failures_total Upload fan-out copies that failed (healed later by repair).\n# TYPE memgazed_cluster_replication_fanout_failures_total counter\n")
+		fmt.Fprintf(w, "memgazed_cluster_replication_fanout_failures_total %d\n", m.replFanoutFailures.Load())
+		fmt.Fprint(w, "# HELP memgazed_cluster_replication_repair_copies_total Trace copies pushed to under-replicated owners by the repair loop.\n# TYPE memgazed_cluster_replication_repair_copies_total counter\n")
+		fmt.Fprintf(w, "memgazed_cluster_replication_repair_copies_total %d\n", m.replRepairCopies.Load())
+		fmt.Fprint(w, "# HELP memgazed_cluster_replication_repair_tombstones_total Tombstones propagated between owners by the repair loop.\n# TYPE memgazed_cluster_replication_repair_tombstones_total counter\n")
+		fmt.Fprintf(w, "memgazed_cluster_replication_repair_tombstones_total %d\n", m.replRepairTombs.Load())
+		fmt.Fprint(w, "# HELP memgazed_cluster_replication_underreplicated Ids missing at least one owner copy at the last repair scan.\n# TYPE memgazed_cluster_replication_underreplicated gauge\n")
+		fmt.Fprintf(w, "memgazed_cluster_replication_underreplicated %d\n", m.replUnderReplicated.Load())
 		st := cl.Status()
 		fmt.Fprint(w, "# HELP memgazed_cluster_peer_up Peer liveness from the readyz prober (1 = serving).\n# TYPE memgazed_cluster_peer_up gauge\n")
 		for _, p := range st {

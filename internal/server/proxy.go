@@ -6,86 +6,160 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/memgaze/memgaze-go/internal/cluster"
 	"github.com/memgaze/memgaze-go/internal/pt"
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
-// This file is the server side of cluster routing: deciding, per
-// request, whether this replica owns the addressed key, and proxying to
-// the owner when it does not. The ring itself (rendezvous hashing,
-// membership, the retrying transport) lives in internal/cluster; here
-// is only the HTTP glue — relay semantics, the peer_unavailable
-// contract, and the replica-local result cache in front of proxied
-// analyses. See DESIGN.md "Cluster routing".
+// This file is the server side of cluster routing under replicated
+// ownership: deciding, per request, whether this replica is among the
+// addressed key's owners, fanning writes out to the other owners, and
+// failing reads over along the key's rendezvous order when the leading
+// owner is down. The ring itself (rendezvous hashing, membership, the
+// retrying transport) lives in internal/cluster; here is only the HTTP
+// glue — relay semantics, the peer_unavailable contract, and the
+// replica-local result cache in front of proxied analyses. See
+// DESIGN.md "Cluster routing" and "Replicated ownership".
 
 // isInternal reports whether r came from a fleet peer. Internal
 // requests are always served from the local corpus: a peer routed the
 // request here because this replica owns the key (or because it is
-// scatter-gathering every replica's local listing), so re-routing would
-// loop.
+// scatter-gathering every replica's local listing, or fanning out a
+// replication write), so re-routing would loop.
 func isInternal(r *http.Request) bool { return r.Header.Get(cluster.PeerHeader) != "" }
 
-// routeOwner makes the routing decision for a key-addressed request:
-// ("", false) means serve locally — single-node mode, fleet-internal
-// request, or this replica owns the key — and (owner, true) means the
-// request must go to owner. The decision is counted into the cluster
-// routing-split metrics under endpoint.
-func (s *Server) routeOwner(r *http.Request, endpoint, id string) (string, bool) {
-	if s.cluster == nil || isInternal(r) {
-		return "", false
+// headerUploaded carries the original upload time on fleet-internal
+// writes — fan-out copies and repair pushes — so every replica of a
+// trace agrees on its metadata. Honoured only on internal requests;
+// clients cannot backdate uploads.
+const headerUploaded = "X-Memgazed-Uploaded"
+
+// internalUploadTime extracts the propagated upload time of an internal
+// replication write; zero means "stamp now" (a direct client upload, or
+// a peer old enough not to send the header).
+func internalUploadTime(r *http.Request) time.Time {
+	if !isInternal(r) {
+		return time.Time{}
 	}
-	owner := s.cluster.Owner(id)
-	if s.cluster.IsSelf(owner) {
-		s.metrics.clusterLocal[endpoint].Add(1)
-		return "", false
+	if v := r.Header.Get(headerUploaded); v != "" {
+		if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+			return t
+		}
 	}
-	s.metrics.clusterProxied[endpoint].Add(1)
-	return owner, true
+	return time.Time{}
 }
 
-// routeByID is the transparent-relay form of the routing decision for
-// bodyless key-addressed endpoints (get, raw, delete): when the key is
-// owned elsewhere it forwards the request verbatim — method, path,
-// query, and headers, so conditional-request headers like If-None-Match
-// keep working through the proxy — and relays the owner's response. It
-// reports whether it wrote the response.
-func (s *Server) routeByID(w http.ResponseWriter, r *http.Request, endpoint, id string) bool {
-	owner, proxied := s.routeOwner(r, endpoint, id)
-	if !proxied {
-		return false
+// routePlan is the routing decision for one key-addressed request under
+// replicated ownership: serve from the local corpus when this replica
+// is an owner, with the live remote owners — in rendezvous order — as
+// the forwarding targets or miss fallbacks.
+type routePlan struct {
+	// local: this replica is in the key's owner set; serve (or store)
+	// locally first.
+	local bool
+	// remotes are the other live owners in rendezvous order: the write
+	// fan-out set when local, the failover-walk candidates when not.
+	remotes []string
+}
+
+// ownerPlan computes the replicated routing plan for id without
+// touching the per-endpoint metrics (diff sides account as proxied
+// analyzes inside sideBytes instead).
+func (s *Server) ownerPlan(id string) routePlan {
+	var plan routePlan
+	for _, o := range s.cluster.Owners(id) {
+		if s.cluster.IsSelf(o) {
+			plan.local = true
+		} else if s.cluster.Up(o) {
+			plan.remotes = append(plan.remotes, o)
+		}
 	}
+	return plan
+}
+
+// planRoute makes the routing decision for a key-addressed request and
+// counts it into the cluster routing-split metrics under endpoint. ok
+// is false when no owner of the key is live anywhere — the
+// peer_unavailable contract (writeNoLiveOwner) is then the only answer
+// left, modulo locally cached results.
+func (s *Server) planRoute(r *http.Request, endpoint, id string) (plan routePlan, ok bool) {
+	if s.cluster == nil || isInternal(r) {
+		return routePlan{local: true}, true
+	}
+	plan = s.ownerPlan(id)
+	if plan.local {
+		s.metrics.clusterLocal[endpoint].Add(1)
+	} else {
+		s.metrics.clusterProxied[endpoint].Add(1)
+	}
+	return plan, plan.local || len(plan.remotes) > 0
+}
+
+// writeNoLiveOwner answers the all-owners-down form of the
+// peer_unavailable contract: every replica in this key's owner set is
+// down, so nobody can serve it until one rejoins (the prober readmits
+// automatically, and the repair loop heals any divergence).
+func (s *Server) writeNoLiveOwner(w http.ResponseWriter, id string) {
+	writeError(w, http.StatusServiceUnavailable, ErrCodePeerUnavailable,
+		"every replica owning trace %q is down", id)
+}
+
+// writePeerUnavailable answers the transport-failure form of the
+// peer_unavailable contract: the owners believed live did not answer.
+func (s *Server) writePeerUnavailable(w http.ResponseWriter, peer string, err error) {
+	writeError(w, http.StatusServiceUnavailable, ErrCodePeerUnavailable,
+		"replica %s did not answer and no other owner of this key is live: %v", peer, err)
+}
+
+// relayFirst forwards the request verbatim — method, path, query, and
+// headers, so conditional-request headers like If-None-Match keep
+// working through the proxy — to the first candidate that answers,
+// walking the key's live owners in rendezvous order. A 404 cascades to
+// the next owner (an owner that missed the upload fan-out simply does
+// not have the copy yet; another one does), as does a transport
+// failure; any other response — 200, 304, 410, 503 — is the answer and
+// relays as-is. All-owners-404 relays the last 404 (the fleet genuinely
+// never stored the key); nobody answering at all is peer_unavailable.
+func (s *Server) relayFirst(w http.ResponseWriter, r *http.Request, candidates []string, id string) {
 	path := r.URL.Path
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	resp, err := s.cluster.Roundtrip(r.Context(), owner, r.Method, path, r.Header, nil)
-	if err != nil {
-		s.writePeerUnavailable(w, owner, err)
-		return true
-	}
-	defer resp.Body.Close()
-	relayResponse(w, resp)
-	return true
-}
-
-// proxyDelete forwards a DELETE to the owner and, when the owner
-// confirms, drops any reports this replica's result cache holds for the
-// key. Other replicas' cached reports age out by LRU — acceptable
-// because content addressing keeps stale reports correct, just no
-// longer wanted.
-func (s *Server) proxyDelete(w http.ResponseWriter, r *http.Request, owner, id string) {
-	resp, err := s.cluster.Roundtrip(r.Context(), owner, r.Method, r.URL.Path, r.Header, nil)
-	if err != nil {
-		s.writePeerUnavailable(w, owner, err)
+	var notFound *http.Response // last drained 404, replayed if nobody has the key
+	var notFoundBody []byte
+	var lastPeer string
+	var lastErr error
+	for _, p := range candidates {
+		resp, err := s.cluster.Roundtrip(r.Context(), p, r.Method, path, r.Header, nil)
+		if err != nil {
+			lastPeer, lastErr = p, err
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			notFound, notFoundBody = resp, b
+			continue
+		}
+		defer resp.Body.Close()
+		relayResponse(w, resp)
 		return
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 400 {
-		s.results.InvalidateTrace(id)
+	if notFound != nil {
+		for k, vs := range notFound.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(notFound.StatusCode)
+		w.Write(notFoundBody)
+		return
 	}
-	relayResponse(w, resp)
+	if lastErr != nil {
+		s.writePeerUnavailable(w, lastPeer, lastErr)
+		return
+	}
+	s.writeNoLiveOwner(w, id)
 }
 
 // relayResponse copies an owner's answer — status, headers, body — onto
@@ -98,14 +172,6 @@ func relayResponse(w http.ResponseWriter, resp *http.Response) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-}
-
-// writePeerUnavailable answers the peer_unavailable contract: the
-// replica owning this key is down, ownership is static, so nobody can
-// serve it until the owner rejoins (503).
-func (s *Server) writePeerUnavailable(w http.ResponseWriter, owner string, err error) {
-	writeError(w, http.StatusServiceUnavailable, ErrCodePeerUnavailable,
-		"replica %s owns this key and is unreachable: %v", owner, err)
 }
 
 // relayError carries a non-200 owner response through the singleflight
@@ -143,13 +209,19 @@ func (e *peerDownError) Error() string {
 
 func (e *peerDownError) Unwrap() error { return e.cause }
 
-// proxyAnalyzeRequest handles an analyze whose trace is owned
-// elsewhere: the request body parses locally (its errors are ours to
+// errNoLiveOwner is the cause carried when an analyze has no live owner
+// left to ask.
+var errNoLiveOwner = fmt.Errorf("no live owner")
+
+// proxyAnalyzeRequest handles an analyze whose trace this replica does
+// not hold: the request body parses locally (its errors are ours to
 // answer — the same 400s a local analyze gives), and the report comes
-// from the owner through the replica-local result cache and the
-// singleflight group, so repeated proxied analyses are local cache hits
-// and concurrent ones collapse to one owner round-trip.
-func (s *Server) proxyAnalyzeRequest(w http.ResponseWriter, r *http.Request, owner, id string) {
+// from the key's live owners through the replica-local result cache and
+// the singleflight group, so repeated proxied analyses are local cache
+// hits and concurrent ones collapse to one owner round-trip. owners may
+// be empty — a cached report still serves with every owner down; only
+// an uncached one is peer_unavailable then.
+func (s *Server) proxyAnalyzeRequest(w http.ResponseWriter, r *http.Request, owners []string, id string) {
 	var req AnalyzeRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	if err != nil {
@@ -178,7 +250,7 @@ func (s *Server) proxyAnalyzeRequest(w http.ResponseWriter, r *http.Request, own
 	}
 	s.metrics.cacheMisses.Add(1)
 	b, err, joined := s.flights.Do(r.Context(), key, func() ([]byte, error) {
-		return s.fetchRemoteAnalysis(owner, "/v1/traces/"+id+"/analyze", body, key)
+		return s.fetchRemoteAnalysis(owners, "/v1/traces/"+id+"/analyze", body, key)
 	})
 	if joined {
 		s.metrics.coalesced.Add(1)
@@ -187,56 +259,99 @@ func (s *Server) proxyAnalyzeRequest(w http.ResponseWriter, r *http.Request, own
 }
 
 // fetchRemoteAnalysis is the proxied-analyze singleflight leader's
-// work: one POST to the owner under the cluster request timeout,
-// detached from any single client (s.baseCtx, like every flight
-// leader). A 200 report populates the local result cache under the same
-// key a local analyze would use, which is what makes the cache
-// replica-local rather than owner-only.
-func (s *Server) fetchRemoteAnalysis(owner, path string, body []byte, key string) ([]byte, error) {
+// work: POST to the key's live owners in rendezvous order — cascading
+// past transport failures and 404s (an owner that missed the fan-out)
+// to the next owner — under the cluster request timeout, detached from
+// any single client (s.baseCtx, like every flight leader). A 200 report
+// populates the local result cache under the same key a local analyze
+// would use, which is what makes the cache replica-local rather than
+// owner-only. A 410 is authoritative (the trace was deleted) and does
+// not cascade.
+func (s *Server) fetchRemoteAnalysis(owners []string, path string, body []byte, key string) ([]byte, error) {
 	hdr := http.Header{"Content-Type": []string{"application/json"}}
-	resp, err := s.cluster.Roundtrip(s.baseCtx, owner, http.MethodPost, path, hdr, body)
-	if err != nil {
-		return nil, &peerDownError{peer: owner, cause: err}
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, &peerDownError{peer: owner, cause: err}
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, &relayError{
+	var notFound *relayError
+	var lastPeer string
+	var lastErr error
+	for _, owner := range owners {
+		resp, err := s.cluster.Roundtrip(s.baseCtx, owner, http.MethodPost, path, hdr, body)
+		if err != nil {
+			lastPeer, lastErr = owner, err
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastPeer, lastErr = owner, err
+			continue
+		}
+		re := &relayError{
 			status:      resp.StatusCode,
 			contentType: resp.Header.Get("Content-Type"),
 			body:        b,
 		}
+		if resp.StatusCode == http.StatusNotFound {
+			notFound = re
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, re
+		}
+		s.results.Put(key, b)
+		return b, nil
 	}
-	s.results.Put(key, b)
-	return b, nil
+	if notFound != nil {
+		return nil, notFound
+	}
+	if lastErr != nil {
+		return nil, &peerDownError{peer: lastPeer, cause: lastErr}
+	}
+	return nil, &peerDownError{peer: "owners", cause: errNoLiveOwner}
 }
 
-// forwardUpload lands an upload whose content hash is owned by another
-// replica. The expensive part — a PT capture's decode and build —
+// forwardUpload lands an upload whose content hash this replica does
+// not own. The expensive part — a PT capture's decode and build —
 // already ran here on the receiving replica; only the built trace's
-// canonical MGTR encoding travels, as an internal POST /v1/traces. The
-// owner's verdict (created vs deduplicated) relays back with the local
+// canonical MGTR encoding travels, as internal POST /v1/traces calls:
+// the first live owner to accept it is the durable ack the client's
+// 201 stands on (quorum = 1), the remaining owners get best-effort
+// fan-out copies stamped with the ack's upload time, and any owner the
+// fan-out missed is healed later by the anti-entropy repair loop. The
+// ack's verdict (created vs deduplicated) relays back with the local
 // build accounting re-attached, so clients cannot tell routed uploads
 // from direct ones.
-func (s *Server) forwardUpload(w http.ResponseWriter, r *http.Request, owner, id string, tr *trace.Trace, ds *pt.DecodeStats) {
+func (s *Server) forwardUpload(w http.ResponseWriter, r *http.Request, owners []string, id string, tr *trace.Trace, ds *pt.DecodeStats) {
 	enc, err := tr.Encode()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "encoding trace: %v", err)
 		return
 	}
 	hdr := http.Header{"Content-Type": []string{ContentTypeTrace}}
-	resp, err := s.cluster.Roundtrip(r.Context(), owner, http.MethodPost, "/v1/traces", hdr, enc)
-	if err != nil {
-		s.writePeerUnavailable(w, owner, err)
-		return
+	var resp *http.Response
+	var body []byte
+	var rest []string // owners still to replicate after the ack
+	var lastPeer string
+	var lastErr error
+	for i, o := range owners {
+		rt, err := s.cluster.Roundtrip(r.Context(), o, http.MethodPost, "/v1/traces", hdr, enc)
+		if err != nil {
+			lastPeer, lastErr = o, err
+			continue
+		}
+		b, err := io.ReadAll(rt.Body)
+		rt.Body.Close()
+		if err != nil {
+			lastPeer, lastErr = o, err
+			continue
+		}
+		resp, body, rest = rt, b, owners[i+1:]
+		break
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		s.writePeerUnavailable(w, owner, err)
+	if resp == nil {
+		if lastErr != nil {
+			s.writePeerUnavailable(w, lastPeer, lastErr)
+		} else {
+			s.writeNoLiveOwner(w, id)
+		}
 		return
 	}
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
@@ -245,10 +360,115 @@ func (s *Server) forwardUpload(w http.ResponseWriter, r *http.Request, owner, id
 	}
 	var info TraceInfo
 	if err := json.Unmarshal(body, &info); err != nil {
-		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "owner %s answered unparseable info: %v", owner, err)
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "owner answered unparseable info: %v", err)
 		return
 	}
+	s.fanoutUpload(enc, info.Uploaded, rest)
 	info.Decode = ds // the capture decoded here; the owner never saw it
 	w.Header().Set("Location", "/v1/traces/"+id)
 	writeJSON(w, resp.StatusCode, info)
+}
+
+// replicateUpload fans a locally acked upload out to the id's other
+// owners. A no-op for single-node, fleet-internal (the acking owner
+// already fans out), and replication-1 requests — planRoute leaves
+// remotes empty for all three.
+func (s *Server) replicateUpload(r *http.Request, tr *trace.Trace, uploaded time.Time, owners []string) {
+	if len(owners) == 0 {
+		return
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		return // the durable ack stands; repair re-replicates later
+	}
+	s.fanoutUpload(enc, uploaded, owners)
+}
+
+// fanoutUpload best-effort replicates an accepted upload's canonical
+// bytes to the remaining owners, stamping the ack's upload time so
+// every copy carries identical metadata. Failures only count — the
+// durable ack already happened, and the repair loop re-replicates when
+// the owner comes back. Detached from the client (s.baseCtx): a client
+// disconnecting after its ack must not strand a copy.
+func (s *Server) fanoutUpload(enc []byte, uploaded time.Time, owners []string) {
+	if len(owners) == 0 {
+		return
+	}
+	hdr := http.Header{
+		"Content-Type": []string{ContentTypeTrace},
+		headerUploaded: []string{uploaded.UTC().Format(time.RFC3339Nano)},
+	}
+	for _, o := range owners {
+		s.metrics.replFanout.Add(1)
+		resp, err := s.cluster.Roundtrip(s.baseCtx, o, http.MethodPost, "/v1/traces", hdr, enc)
+		if err != nil {
+			s.metrics.replFanoutFailures.Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			s.metrics.replFanoutFailures.Add(1)
+		}
+	}
+}
+
+// clusterDelete applies a DELETE to every live owner of id — the local
+// corpus when this replica is one, fleet-internal DELETEs to the rest —
+// and answers the strongest outcome: tombstoning on any live owner is a
+// success even if another owner is down, because the repair loop
+// propagates the tombstone when it rejoins. Outcome rank: 204 (deleted
+// somewhere) > 410 (already deleted everywhere asked) > 404 (nobody
+// ever had it) > failure.
+func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, plan routePlan, id string) {
+	rank := func(status int) int {
+		switch status {
+		case http.StatusNoContent:
+			return 3
+		case http.StatusGone:
+			return 2
+		case http.StatusNotFound:
+			return 1
+		default:
+			return 0
+		}
+	}
+	best := 0
+	var bestErr error
+	answered := false // at least one owner actually processed the delete
+	record := func(status int, err error) {
+		answered = true
+		if best == 0 || rank(status) > rank(best) {
+			best, bestErr = status, err
+		}
+	}
+	if plan.local {
+		record(s.deleteLocal(id))
+	}
+	var lastPeer string
+	var lastErr error
+	for _, o := range plan.remotes {
+		resp, err := s.cluster.Roundtrip(r.Context(), o, http.MethodDelete, r.URL.Path, nil, nil)
+		if err != nil {
+			lastPeer, lastErr = o, err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		record(resp.StatusCode, fmt.Errorf("owner %s answered %d", o, resp.StatusCode))
+	}
+	if !answered {
+		if lastErr != nil {
+			s.writePeerUnavailable(w, lastPeer, lastErr)
+		} else {
+			s.writeNoLiveOwner(w, id)
+		}
+		return
+	}
+	if best == http.StatusNoContent {
+		// Reports over deleted content age out of peers by LRU; ours go
+		// now, like a local delete's.
+		s.results.InvalidateTrace(id)
+	}
+	s.writeDeleteStatus(w, id, best, bestErr)
 }

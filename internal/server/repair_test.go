@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/cluster"
+)
+
+// TestRepairRejoinCopy: an owner that was down during an upload misses
+// the fan-out; reads through it still succeed by owner-miss fallback,
+// and the next repair round on the surviving owner pushes the copy —
+// after which nothing is under-replicated.
+func TestRepairRejoinCopy(t *testing.T) {
+	reps := newFleet(t, 3)
+	tr := testTrace(4, 18)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tr.HashAndSize()
+	owners, others := ownersOf(t, reps, id, 2)
+
+	owners[1].stop()
+	probeAll(append([]*fleetReplica{owners[0]}, others...))
+	uploadTrace(t, others[0].url(), tr)
+	if !hasLocal(owners[0], id) {
+		t.Fatal("surviving owner missing the quorum copy")
+	}
+
+	owners[1].start(t, nil)
+	probeAll(reps)
+	if hasLocal(owners[1], id) {
+		t.Fatal("rejoined owner has the copy before any repair ran")
+	}
+
+	// The rejoined owner co-owns the key but lacks the copy: an external
+	// read through it falls back to the owner that has it.
+	resp, raw := doReq(t, http.MethodGet, owners[1].url()+"/v1/traces/"+id+"/raw", nil, nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, enc) {
+		t.Fatalf("read through the copyless owner = %d (%d bytes), want fallback 200", resp.StatusCode, len(raw))
+	}
+
+	st := owners[0].srv.repairNow()
+	if st.pushedCopies == 0 {
+		t.Fatalf("repair pushed no copies: %+v", st)
+	}
+	if !hasLocal(owners[1], id) {
+		t.Fatal("rejoined owner still missing the copy after repair")
+	}
+	if got := owners[0].srv.metrics.replRepairCopies.Load(); got == 0 {
+		t.Error("repair-copies counter never moved")
+	}
+	if st := owners[0].srv.repairNow(); st.underReplicated != 0 || st.pushedCopies != 0 {
+		t.Fatalf("second repair round not clean: %+v", st)
+	}
+}
+
+// TestRepairTombstonePush: a DELETE that lands while one owner is down
+// tombstones only the live owners; when the stale owner rejoins still
+// serving the content, the next repair round pushes the tombstone —
+// the content stays deleted fleet-wide, no resurrection.
+func TestRepairTombstonePush(t *testing.T) {
+	reps := newFleet(t, 3)
+	tr := testTrace(5, 22)
+	id, _ := tr.HashAndSize()
+	owners, others := ownersOf(t, reps, id, 2)
+
+	uploadTrace(t, others[0].url(), tr)
+	owners[1].stop()
+	probeAll(append([]*fleetReplica{owners[0]}, others...))
+	resp, body := doReq(t, http.MethodDelete, others[0].url()+"/v1/traces/"+id, nil, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete with one owner down = %d: %s", resp.StatusCode, body)
+	}
+
+	// The stale owner rejoins with its pre-delete copy intact.
+	owners[1].start(t, nil)
+	probeAll(reps)
+	if !hasLocal(owners[1], id) {
+		t.Fatal("rejoined owner lost its stale copy without repair")
+	}
+
+	// Even before repair, the fleet answers 410: the surviving owner's
+	// tombstone is authoritative and relays immediately.
+	resp, body = doReq(t, http.MethodGet, others[0].url()+"/v1/traces/"+id, nil, nil)
+	if resp.StatusCode != http.StatusGone || errCode(t, body) != ErrCodeTraceDeleted {
+		t.Fatalf("get before repair = %d %s, want 410", resp.StatusCode, body)
+	}
+
+	st := owners[0].srv.repairNow()
+	if st.pushedTombstones == 0 {
+		t.Fatalf("repair pushed no tombstones: %+v", st)
+	}
+	if hasLocal(owners[1], id) {
+		t.Fatal("stale owner still serves the deleted content after repair")
+	}
+	if got := owners[0].srv.metrics.replRepairTombs.Load(); got == 0 {
+		t.Error("repair-tombstones counter never moved")
+	}
+	// The tombstone is now durable on the rejoined owner too: a
+	// fleet-internal GET answers 410 from its own corpus.
+	resp, body = doReq(t, http.MethodGet, owners[1].url()+"/v1/traces/"+id,
+		http.Header{cluster.PeerHeader: []string{"http://tester"}}, nil)
+	if resp.StatusCode != http.StatusGone || errCode(t, body) != ErrCodeTraceDeleted {
+		t.Fatalf("internal get on the repaired owner = %d %s, want 410", resp.StatusCode, body)
+	}
+}
+
+// TestRepairTombstonePull is the other propagation direction: the
+// stale owner's own repair round discovers a peer's tombstone for a
+// key it still serves and deletes its local copy — tombstones win.
+func TestRepairTombstonePull(t *testing.T) {
+	reps := newFleet(t, 3)
+	tr := testTrace(3, 16)
+	id, _ := tr.HashAndSize()
+	owners, others := ownersOf(t, reps, id, 2)
+
+	uploadTrace(t, others[0].url(), tr)
+	owners[1].stop()
+	probeAll(append([]*fleetReplica{owners[0]}, others...))
+	if resp, body := doReq(t, http.MethodDelete, others[0].url()+"/v1/traces/"+id, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete with one owner down = %d: %s", resp.StatusCode, body)
+	}
+
+	owners[1].start(t, nil)
+	probeAll(reps)
+	st := owners[1].srv.repairNow()
+	if st.pulledTombstones == 0 {
+		t.Fatalf("stale owner's repair pulled no tombstones: %+v", st)
+	}
+	if hasLocal(owners[1], id) {
+		t.Fatal("stale owner still serves the deleted content after pulling the tombstone")
+	}
+	// Pulling materialised a durable local tombstone, not a bare drop.
+	resp, body := doReq(t, http.MethodGet, owners[1].url()+"/v1/traces/"+id,
+		http.Header{cluster.PeerHeader: []string{"http://tester"}}, nil)
+	if resp.StatusCode != http.StatusGone || errCode(t, body) != ErrCodeTraceDeleted {
+		t.Fatalf("internal get after the pull = %d %s, want 410", resp.StatusCode, body)
+	}
+}
+
+// TestRepairConcurrentDelete races repair rounds on every replica
+// against client DELETEs of the whole corpus (run under -race in CI's
+// cluster-chaos lane). Whatever interleaving happens, the fleet must
+// converge: after a final repair round everything answers 410 from
+// every vantage and no live copies remain anywhere.
+func TestRepairConcurrentDelete(t *testing.T) {
+	reps := newFleet(t, 3)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		tr := testTrace(2, 8+i)
+		info := uploadTrace(t, reps[i%3].url(), tr)
+		ids = append(ids, info.ID)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 4; round++ {
+			for _, fr := range reps {
+				fr.srv.repairNow()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i, id := range ids {
+			vantage := reps[(i+1)%3]
+			resp, body := doReq(t, http.MethodDelete, vantage.url()+"/v1/traces/"+id, nil, nil)
+			if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusGone {
+				t.Errorf("concurrent delete of %s = %d: %s", id, resp.StatusCode, body)
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, fr := range reps {
+		fr.srv.repairNow()
+	}
+	for _, fr := range reps {
+		if got := len(fr.srv.localInfos("")); got != 0 {
+			t.Fatalf("replica %s still holds %d live traces after converging", fr.addr, got)
+		}
+	}
+	for _, id := range ids {
+		for _, fr := range reps {
+			resp, body := doReq(t, http.MethodGet, fr.url()+"/v1/traces/"+id, nil, nil)
+			if resp.StatusCode != http.StatusGone || errCode(t, body) != ErrCodeTraceDeleted {
+				t.Fatalf("get %s via %s after converging = %d %s, want 410", id, fr.addr, resp.StatusCode, body)
+			}
+		}
+	}
+}

@@ -95,6 +95,19 @@ type Config struct {
 	// PeerTimeout bounds one proxied peer request end to end, retries
 	// included (default 60s).
 	PeerTimeout time.Duration
+	// Replication is how many replicas own each trace: uploads write
+	// through to the top-Replication peers of the id's rendezvous order
+	// (quorum = 1 durable ack, best-effort fan-out to the rest) and
+	// reads fail over along it (default 2, clamped to the peer count;
+	// 1 reproduces the single-owner fast-fail ring; only meaningful
+	// with Peers set).
+	Replication int
+	// RepairInterval is the anti-entropy repair loop's period: each
+	// round re-replicates under-replicated ids to rejoined owners and
+	// propagates tombstones (default 30s; negative disables the loop —
+	// tests drive repairNow explicitly; only meaningful with Peers set
+	// and Replication > 1).
+	RepairInterval time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -115,6 +128,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.StreamChunkBytes <= 0 {
 		c.StreamChunkBytes = pt.DefaultStreamChunk
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 30 * time.Second
 	}
 }
 
@@ -186,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 		cl, err := cluster.New(cluster.Config{
 			Self:           cfg.Advertise,
 			Peers:          cfg.Peers,
+			Replication:    cfg.Replication,
 			ProbeInterval:  cfg.ProbeInterval,
 			RequestTimeout: cfg.PeerTimeout,
 		})
@@ -198,6 +215,13 @@ func New(cfg Config) (*Server, error) {
 		s.cluster = cl
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if s.cluster != nil && s.cluster.Replication() > 1 && cfg.RepairInterval > 0 {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			s.repairLoop(cfg.RepairInterval)
+		}()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go func() {
@@ -391,9 +415,14 @@ func diskInfo(id string, m storage.Meta, size int64, tier string) TraceInfo {
 // durable store first when one is configured — a disk failure fails
 // the upload, so the hot tier never serves a trace the disk lost —
 // then the hot tier. It reports whether the content is new and the
-// upload time to answer with (dedup keeps the original's).
-func (s *Server) storeTrace(id string, tr *trace.Trace, size int64) (added bool, uploaded time.Time, err error) {
-	uploaded = time.Now().UTC()
+// upload time to answer with (dedup keeps the original's). A non-zero
+// at is a replication write carrying the ack's upload time, so every
+// owner's copy agrees on the metadata; zero stamps now.
+func (s *Server) storeTrace(id string, tr *trace.Trace, size int64, at time.Time) (added bool, uploaded time.Time, err error) {
+	uploaded = at.UTC()
+	if at.IsZero() {
+		uploaded = time.Now().UTC()
+	}
 	if s.disk != nil {
 		m := storage.Meta{
 			Module:   tr.Module,
@@ -531,15 +560,21 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id, size := tr.HashAndSize()
-	if owner, proxied := s.routeOwner(r, "upload", id); proxied {
-		s.forwardUpload(w, r, owner, id, tr, ds)
+	plan, ok := s.planRoute(r, "upload", id)
+	if !ok {
+		s.writeNoLiveOwner(w, id)
 		return
 	}
-	added, uploaded, err := s.storeTrace(id, tr, size)
+	if !plan.local {
+		s.forwardUpload(w, r, plan.remotes, id, tr, ds)
+		return
+	}
+	added, uploaded, err := s.storeTrace(id, tr, size, internalUploadTime(r))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
 		return
 	}
+	s.replicateUpload(r, tr, uploaded, plan.remotes)
 	info := traceInfo(id, tr, size)
 	info.Tier = tierHot // an upload always lands hot
 	info.Uploaded = uploaded
@@ -674,15 +709,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, size := h.Sum()
-	if owner, proxied := s.routeOwner(r, "stream", id); proxied {
-		s.forwardUpload(w, r, owner, id, tr, ds)
+	plan, ok := s.planRoute(r, "stream", id)
+	if !ok {
+		s.writeNoLiveOwner(w, id)
 		return
 	}
-	added, uploaded, err := s.storeTrace(id, tr, size)
+	if !plan.local {
+		s.forwardUpload(w, r, plan.remotes, id, tr, ds)
+		return
+	}
+	added, uploaded, err := s.storeTrace(id, tr, size, internalUploadTime(r))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
 		return
 	}
+	s.replicateUpload(r, tr, uploaded, plan.remotes)
 
 	var info TraceInfo
 	if accum != nil {
@@ -737,11 +778,23 @@ func etagMatch(header, etag string) bool {
 // Content-Length is known from stored accounting, nothing is buffered.
 func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if s.routeByID(w, r, "raw", id) {
+	plan, ok := s.planRoute(r, "raw", id)
+	if !ok {
+		s.writeNoLiveOwner(w, id)
+		return
+	}
+	if !plan.local {
+		s.relayFirst(w, r, plan.remotes, id)
 		return
 	}
 	info, err := s.infoFor(id)
 	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) && len(plan.remotes) > 0 {
+			// An owner too, but the copy has not landed here (yet):
+			// another owner has it.
+			s.relayFirst(w, r, plan.remotes, id)
+			return
+		}
 		s.writeFetchError(w, id, err)
 		return
 	}
@@ -766,11 +819,21 @@ func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if s.routeByID(w, r, "get", id) {
+	plan, ok := s.planRoute(r, "get", id)
+	if !ok {
+		s.writeNoLiveOwner(w, id)
+		return
+	}
+	if !plan.local {
+		s.relayFirst(w, r, plan.remotes, id)
 		return
 	}
 	info, err := s.infoFor(id)
 	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) && len(plan.remotes) > 0 {
+			s.relayFirst(w, r, plan.remotes, id)
+			return
+		}
 		s.writeFetchError(w, id, err)
 		return
 	}
@@ -779,36 +842,60 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if owner, proxied := s.routeOwner(r, "delete", id); proxied {
-		s.proxyDelete(w, r, owner, id)
+	plan, ok := s.planRoute(r, "delete", id)
+	if !ok {
+		s.writeNoLiveOwner(w, id)
 		return
 	}
+	if s.cluster == nil || isInternal(r) {
+		status, err := s.deleteLocal(id)
+		s.writeDeleteStatus(w, id, status, err)
+		return
+	}
+	s.clusterDelete(w, r, plan, id)
+}
+
+// deleteLocal applies a delete to the local tiers only and reports the
+// outcome as an HTTP status: 204 deleted (durable tombstone with a
+// disk tier), 410 already tombstoned, 404 never stored, 503 the disk
+// tier failed (err carries the cause then).
+func (s *Server) deleteLocal(id string) (int, error) {
 	if s.disk != nil {
 		ok, err := s.disk.Delete(id)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
-			return
+			return http.StatusServiceUnavailable, err
 		}
 		if !ok {
 			// Not live: distinguish never-stored from already-deleted.
 			if _, _, ierr := s.disk.Info(id); errors.Is(ierr, storage.ErrDeleted) {
-				writeError(w, http.StatusGone, ErrCodeTraceDeleted, "trace %q already deleted", id)
-			} else {
-				writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+				return http.StatusGone, nil
 			}
-			return
+			return http.StatusNotFound, nil
 		}
 		s.store.Delete(id) // drop the hot copy with the durable one
 		s.results.InvalidateTrace(id)
-		w.WriteHeader(http.StatusNoContent)
-		return
+		return http.StatusNoContent, nil
 	}
 	if !s.store.Delete(id) {
-		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
-		return
+		return http.StatusNotFound, nil
 	}
 	s.results.InvalidateTrace(id)
-	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent, nil
+}
+
+// writeDeleteStatus renders a delete outcome (deleteLocal's or the
+// strongest of a clusterDelete's) onto the wire in the /v1 envelope.
+func (s *Server) writeDeleteStatus(w http.ResponseWriter, id string, status int, err error) {
+	switch status {
+	case http.StatusNoContent:
+		w.WriteHeader(http.StatusNoContent)
+	case http.StatusGone:
+		writeError(w, http.StatusGone, ErrCodeTraceDeleted, "trace %q already deleted", id)
+	case http.StatusNotFound:
+		writeError(w, http.StatusNotFound, ErrCodeTraceNotFound, "unknown trace %q", id)
+	default:
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStorageUnavailable, "durable store: %v", err)
+	}
 }
 
 // handleHealthz is GET /v1/healthz: pure liveness — the process is up
@@ -924,12 +1011,21 @@ func (q *AnalyzeRequest) cacheKey(id string) string {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if owner, proxied := s.routeOwner(r, "analyze", id); proxied {
-		s.proxyAnalyzeRequest(w, r, owner, id)
+	plan, _ := s.planRoute(r, "analyze", id)
+	// Not an owner: proxy — even with every owner down, because the
+	// replica-local result cache may still hold the report (checked
+	// inside; only an uncached analyze is peer_unavailable then).
+	if !plan.local {
+		s.proxyAnalyzeRequest(w, r, plan.remotes, id)
 		return
 	}
 	tr, _, err := s.fetch(id)
 	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) && len(plan.remotes) > 0 {
+			// An owner missing its copy: another owner resolves it.
+			s.proxyAnalyzeRequest(w, r, plan.remotes, id)
+			return
+		}
 		s.writeFetchError(w, id, err)
 		return
 	}

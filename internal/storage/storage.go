@@ -545,6 +545,24 @@ func (s *Store) List() []IndexEntry {
 	return out
 }
 
+// Tombstones snapshots the ids of every live tombstone in id order:
+// keys that were stored and then deleted, whose deletion is still
+// material (tombstones survive compaction — the compactor re-homes
+// them rather than dropping them). The anti-entropy repair loop
+// enumerates these to propagate deletes to replicas that missed them
+// while down; together with List it is the store's full enumerable
+// state.
+func (s *Store) Tombstones() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tombs))
+	for id := range s.tombs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Len returns the number of live traces.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -518,3 +518,46 @@ func TestSegmentHeaderSelfDescribes(t *testing.T) {
 		t.Fatalf("segment header %x", raw[:8])
 	}
 }
+
+// TestTombstones pins the tombstone enumeration the cluster repair
+// loop walks: sorted deleted ids, shrinking when a re-put resurrects
+// one, and surviving recovery.
+func TestTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	var ids []string
+	var bodies [][]byte
+	for i := 0; i < 3; i++ {
+		id, b := payload(byte(40+i), 2_000)
+		put(t, s, id, b)
+		ids = append(ids, id)
+		bodies = append(bodies, b)
+	}
+	if got := s.Tombstones(); len(got) != 0 {
+		t.Fatalf("fresh store lists %d tombstones", len(got))
+	}
+	for _, id := range ids[:2] {
+		if ok, err := s.Delete(id); !ok || err != nil {
+			t.Fatalf("Delete(%s) = (%v, %v)", id, ok, err)
+		}
+	}
+	want := append([]string(nil), ids[:2]...)
+	sort.Strings(want)
+	got := s.Tombstones()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Tombstones = %v, want %v", got, want)
+	}
+
+	put(t, s, ids[0], bodies[0]) // resurrect: the tombstone must drop
+	if got := s.Tombstones(); len(got) != 1 || got[0] != ids[1] {
+		t.Fatalf("Tombstones after resurrect = %v, want [%s]", got, ids[1])
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Config{})
+	if got := r.Tombstones(); len(got) != 1 || got[0] != ids[1] {
+		t.Fatalf("Tombstones after recovery = %v, want [%s]", got, ids[1])
+	}
+}

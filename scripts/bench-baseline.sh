@@ -1,0 +1,28 @@
+#!/bin/sh
+# Print the path of the newest committed benchmark baseline: the
+# BENCH_<N>.json with the highest N in the repo root. The bench gate
+# (CI and VERIFY_BENCH=1 scripts/verify.sh) resolves its baseline
+# through this script so rolling to a new BENCH_N.json can never
+# silently desync from a hardcoded filename. Run from the repo root.
+set -eu
+
+best=""
+bestn=-1
+for f in BENCH_*.json; do
+    [ -e "$f" ] || break # glob matched nothing
+    n=${f#BENCH_}
+    n=${n%.json}
+    case $n in
+        *[!0-9]*) continue ;; # BENCH_new.json and friends are not baselines
+    esac
+    if [ "$n" -gt "$bestn" ]; then
+        bestn=$n
+        best=$f
+    fi
+done
+
+if [ -z "$best" ]; then
+    echo "bench-baseline: no BENCH_<N>.json baseline in $(pwd)" >&2
+    exit 1
+fi
+echo "$best"

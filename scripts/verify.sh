@@ -8,6 +8,8 @@
 # message so CI logs point at the broken stage without scrolling.
 #
 #   VERIFY_QUICK=1 scripts/verify.sh   # skip fuzz + daemon smoke
+#   VERIFY_BENCH=1 scripts/verify.sh   # also run the benchmark gate
+#                                      # against the latest BENCH_N.json
 set -eu
 
 stage=""
@@ -91,5 +93,14 @@ grep -q '^memgazed_requests_total' "$smokedir/metrics" || die
 kill -TERM "$pid"
 wait "$pid" || { echo "memgazed did not drain cleanly" >&2; cat "$smokedir/log" >&2; die; }
 grep -q 'drained, exiting' "$smokedir/log" || die
+
+# Opt-in benchmark regression gate: CI runs this in its own job against
+# the newest committed baseline (resolved, never hardcoded).
+if [ "${VERIFY_BENCH:-0}" = "1" ]; then
+    begin "bench gate"
+    baseline=$(scripts/bench-baseline.sh) || die
+    echo "baseline: $baseline"
+    go run ./cmd/memgaze-bench -quick -gate "$baseline" -gate-threshold 20 || die
+fi
 
 echo "verify OK"

@@ -147,25 +147,36 @@ func runBenchGate(sizes experiments.Sizes, jsonPath, gatePath string, threshold 
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", gatePath, err)
 	}
-	baseline := map[string]int64{}
+	baseline := map[string]experiments.BenchMetric{}
 	for _, m := range base.Gate {
-		baseline[m.Name] = m.NsPerOp
+		baseline[m.Name] = m
 	}
 	regressed := false
-	for _, m := range res.Gate {
-		old, ok := baseline[m.Name]
-		if !ok || old <= 0 {
-			fmt.Printf("gate %-14s %12d ns/op  (no baseline, not gated)\n", m.Name, m.NsPerOp)
-			continue
-		}
-		pct := 100 * (float64(m.NsPerOp) - float64(old)) / float64(old)
+	check := func(name, unit string, cur, old int64) {
+		pct := 100 * (float64(cur) - float64(old)) / float64(old)
 		verdict := "ok"
 		if pct > threshold {
 			verdict = "REGRESSED"
 			regressed = true
 		}
-		fmt.Printf("gate %-14s %12d ns/op  baseline %12d  %+6.1f%%  %s\n",
-			m.Name, m.NsPerOp, old, pct, verdict)
+		fmt.Printf("gate %-14s %12d %-9s baseline %12d  %+6.1f%%  %s\n",
+			name, cur, unit, old, pct, verdict)
+	}
+	for _, m := range res.Gate {
+		old, ok := baseline[m.Name]
+		if !ok || old.NsPerOp <= 0 {
+			fmt.Printf("gate %-14s %12d ns/op     (no baseline, not gated)\n", m.Name, m.NsPerOp)
+			continue
+		}
+		check(m.Name, "ns/op", m.NsPerOp, old.NsPerOp)
+		// Allocation metrics gate only when both sides recorded them,
+		// so pre-PR-10 baselines still parse and gate latency alone.
+		if old.AllocsPerOp > 0 && m.AllocsPerOp > 0 {
+			check(m.Name, "allocs/op", m.AllocsPerOp, old.AllocsPerOp)
+		}
+		if old.BytesPerOp > 0 && m.BytesPerOp > 0 {
+			check(m.Name, "B/op", m.BytesPerOp, old.BytesPerOp)
+		}
 	}
 	if regressed {
 		return fmt.Errorf("gated benchmarks regressed beyond %.0f%% of %s", threshold, gatePath)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
 // buildCLI compiles the memgaze binary once per test run.
@@ -97,5 +99,61 @@ func TestCLIEndToEnd(t *testing.T) {
 	// list and help never fail.
 	if l := runCLI(t, bin, "list"); !strings.Contains(l, "gap:pr") {
 		t.Errorf("list output malformed:\n%s", l)
+	}
+}
+
+// TestCLIConvert downgrades a traced file to the legacy v2 row format,
+// upgrades it back with `memgaze convert`, and verifies the content
+// hash survived the round trip.
+func TestCLIConvert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	mgt := filepath.Join(dir, "t.mgt")
+	runCLI(t, bin, "trace", "-workload", "minivite:v1", "-scale", "9",
+		"-period", "8000", "-o", mgt)
+
+	f, err := os.Open(mgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := tr.Hash()
+	legacy, err := tr.EncodeLegacy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(dir, "legacy.mgt")
+	if err := os.WriteFile(old, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-place upgrade, then to a separate -o path.
+	out := runCLI(t, bin, "convert", "-trace", old)
+	if !strings.Contains(out, wantHash) {
+		t.Errorf("convert lost the content hash (want %s):\n%s", wantHash, out)
+	}
+	upgraded, err := os.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Decode(upgraded)
+	if err != nil {
+		t.Fatalf("converted file unreadable: %v", err)
+	}
+	if h := got.Hash(); h != wantHash {
+		t.Errorf("converted hash %s, want %s", h, wantHash)
+	}
+
+	sep := filepath.Join(dir, "out.mgt")
+	runCLI(t, bin, "convert", "-trace", mgt, "-o", sep)
+	if _, err := os.Stat(sep); err != nil {
+		t.Errorf("convert -o did not write the output: %v", err)
 	}
 }

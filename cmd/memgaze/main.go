@@ -53,6 +53,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "dump":
 		err = cmdDump(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "diff":
@@ -81,6 +83,7 @@ commands:
   trace       execute a workload under a trace collector and save the trace
   analyze     run MemGaze analyses over a saved trace
   dump        print a saved trace's records (perf-script style)
+  convert     rewrite a .mgt file in the current (v3 columnar) wire format
   compare     side-by-side function diagnostics of two traces
   diff        full cross-trace diff: function/MRC/growth/region deltas (local or served)
   upload      ship a trace or PT capture to a memgazed service
@@ -321,7 +324,7 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	fmt.Printf("%s: %d samples, %d records (w̄=%.0f), ρ=%.1f κ=%.3f\n",
-		tr.Module, len(tr.Samples), tr.NumRecords(), tr.MeanW(), tr.Rho(), tr.Kappa())
+		tr.Module, tr.NumSamples(), tr.NumRecords(), tr.MeanW(), tr.Rho(), tr.Kappa())
 	fmt.Printf("trace: %s recorded (%s on disk: %s); overhead %.1f%%, ptwrite ratio %.3f\n",
 		report.Bytes(tr.Bytes), *out, fileSize(*out), 100*overhead, ptwRatio)
 	if tr.DroppedEvents > 0 {
@@ -379,7 +382,7 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	fmt.Printf("module %s (%s): %d samples, %d records, ρ=%.1f κ=%.3f\n\n",
-		tr.Module, tr.Mode, len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
+		tr.Module, tr.Mode, tr.NumSamples(), tr.NumRecords(), tr.Rho(), tr.Kappa())
 
 	// One engine run covers the whole report: the requested analyses
 	// share derived data (diagnostics, the stack-distance sweep, the
@@ -565,13 +568,13 @@ func cmdDump(args []string) error {
 		return err
 	}
 	fmt.Printf("# module %s mode %s period %d buffer %d B\n", tr.Module, tr.Mode, tr.Period, tr.BufBytes)
-	fmt.Printf("# %d samples, %d records, rho %.1f kappa %.3f\n", len(tr.Samples), tr.NumRecords(), tr.Rho(), tr.Kappa())
+	fmt.Printf("# %d samples, %d records, rho %.1f kappa %.3f\n", tr.NumSamples(), tr.NumRecords(), tr.Rho(), tr.Kappa())
 	if tr.LostBytes > 0 {
 		fmt.Printf("# decode lost %s of payload to resync (buffer wrap / corruption)\n", report.Bytes(tr.LostBytes))
 	}
-	for si, s := range tr.Samples {
+	for si, s := range tr.AllSamples() {
 		if *samples > 0 && si >= *samples {
-			fmt.Printf("... %d more samples\n", len(tr.Samples)-si)
+			fmt.Printf("... %d more samples\n", tr.NumSamples()-si)
 			break
 		}
 		fmt.Printf("sample %d cpu %d trigger@%d loads, w=%d\n", s.Seq, s.CPU, s.TriggerLoads, len(s.Records))
@@ -585,6 +588,61 @@ func cmdDump(args []string) error {
 				r.TS, r.IP, r.Addr, r.Class, r.Implied, r.Proc, r.Line)
 		}
 	}
+	return nil
+}
+
+// cmdConvert rewrites a trace file in the current wire format. Old v1/v2
+// row-oriented files read forever, but the v3 columnar encoding is
+// smaller and is what every writer now produces; convert upgrades
+// archives in place (or to -o) without touching content — the content
+// hash, which is defined over the canonical v3 encoding, is printed so
+// callers can verify nothing moved.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("trace", "trace.mgt", "trace file to convert")
+	out := fs.String("o", "", "output path (default: replace the input atomically)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	dst := *out
+	replace := dst == "" || dst == *in
+	if replace {
+		dst = *in + ".tmp"
+	}
+	g, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(g); err != nil {
+		g.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := g.Close(); err != nil {
+		os.Remove(dst)
+		return err
+	}
+	if replace {
+		if err := os.Rename(dst, *in); err != nil {
+			os.Remove(dst)
+			return err
+		}
+		dst = *in
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: v3, %d samples, %d records, %s, hash %s\n",
+		dst, tr.NumSamples(), tr.NumRecords(), report.Bytes(uint64(st.Size())), tr.Hash())
 	return nil
 }
 
@@ -654,7 +712,7 @@ func cmdCompare(args []string) error {
 	}
 	fmt.Println(t.Render())
 	fmt.Printf("A: %d samples, %d records, κ=%.3f   B: %d samples, %d records, κ=%.3f\n",
-		len(ta.Samples), ta.NumRecords(), ta.Kappa(),
-		len(tb.Samples), tb.NumRecords(), tb.Kappa())
+		ta.NumSamples(), ta.NumRecords(), ta.Kappa(),
+		tb.NumSamples(), tb.NumRecords(), tb.Kappa())
 	return nil
 }

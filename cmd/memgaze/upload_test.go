@@ -46,7 +46,7 @@ func uploadTestTrace() *trace.Trace {
 				Addr: 0x2000_0000 + uint64(i)*64, Proc: "f", Line: int32(i),
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

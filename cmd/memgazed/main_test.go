@@ -58,7 +58,7 @@ func mainTestTrace() *trace.Trace {
 			TS: uint64(i), Proc: "main", Line: int32(i % 4),
 		})
 	}
-	tr.Samples = append(tr.Samples, smp)
+	tr.AppendSample(smp)
 	return tr
 }
 

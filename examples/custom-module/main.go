@@ -95,7 +95,7 @@ func main() {
 	fmt.Printf("listwalk: %d B -> %d B instrumented, %d ptwrites\n",
 		res.OrigSize, res.InstrSize, res.Notes.NumPTWrites)
 	fmt.Printf("trace: %d samples, %d records, overhead %.0f%%\n\n",
-		len(res.Trace.Samples), res.Trace.NumRecords(), 100*res.Overhead())
+		res.Trace.NumSamples(), res.Trace.NumRecords(), 100*res.Overhead())
 
 	t := report.NewTable("Per-function diagnostics", "function", "est loads", "F", "Fstr%", "D")
 	for _, d := range memgaze.FunctionDiagnostics(res.Trace, 64) {

@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("one sampled trace: %d samples, %d records (1/%.0f of all loads)\n\n",
-		len(res.Trace.Samples), res.Trace.NumRecords(), res.Trace.Rho())
+		res.Trace.NumSamples(), res.Trace.NumRecords(), res.Trace.Rho())
 
 	// One engine run, one reuse-distance sweep: the curve and its
 	// bounds at every cache size come out of the same Report. (The old

@@ -39,7 +39,7 @@ func main() {
 		}
 
 		cpus := map[int]bool{}
-		for _, s := range res.Trace.Samples {
+		for _, s := range res.Trace.AllSamples() {
 			cpus[s.CPU] = true
 		}
 		hot := w.Regions()[0]
@@ -57,7 +57,7 @@ func main() {
 		// decoded packets, sync framing, and payload lost to buffer
 		// wraps — nothing disappears silently.
 		t.Add(workers, report.Count(float64(res.BaseStats.Cycles)),
-			len(res.Trace.Samples), len(cpus), d.D, fstr,
+			res.Trace.NumSamples(), len(cpus), d.D, fstr,
 			report.Bytes(uint64(res.Decode.PacketBytes)),
 			report.Bytes(uint64(res.Decode.SkippedBytes)))
 		_ = serialD

@@ -48,7 +48,7 @@ func main() {
 	fmt.Printf("  binary: %d B -> %d B instrumented (%d ptwrites inserted)\n",
 		res.OrigSize, res.InstrSize, res.Notes.NumPTWrites)
 	fmt.Printf("  trace:  %d samples, %d records, %s; sampled 1/%.0f of all loads\n",
-		len(tr.Samples), tr.NumRecords(), report.Bytes(tr.Bytes), tr.Rho())
+		tr.NumSamples(), tr.NumRecords(), report.Bytes(tr.Bytes), tr.Rho())
 	fmt.Printf("  compression kappa = %.3f; tracing overhead = %.0f%%\n\n",
 		tr.Kappa(), 100*res.Overhead())
 

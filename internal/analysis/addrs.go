@@ -9,18 +9,18 @@ import (
 )
 
 // SortedAddrsCtx returns every record address of the trace, sorted —
-// the index behind per-region distinct-block counts.
+// the index behind per-region distinct-block counts. The address column
+// is copied sample range by sample range (views may be non-dense), then
+// sorted.
 func SortedAddrsCtx(ctx context.Context, t *trace.Trace) ([]uint64, error) {
+	col := t.Addrs()
 	addrs := make([]uint64, 0, t.Len())
-	cur := -1
-	for si, r := range t.Records() {
-		if si != cur {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			cur = si
+	for si := 0; si < t.NumSamples(); si++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		addrs = append(addrs, r.Addr)
+		lo, hi := t.SampleRange(si)
+		addrs = append(addrs, col[lo:hi]...)
 	}
 	slices.Sort(addrs)
 	return addrs, nil
@@ -31,28 +31,27 @@ func SortedAddrsCtx(ctx context.Context, t *trace.Trace) ([]uint64, error) {
 // so the result is byte-identical at every shard count. shards <= 0
 // selects GOMAXPROCS.
 func SortedAddrsSharded(ctx context.Context, t *trace.Trace, shards int) ([]uint64, error) {
-	shards = resolveShards(shards, len(t.Samples))
+	shards = resolveShards(shards, t.NumSamples())
 	if shards <= 1 {
 		return SortedAddrsCtx(ctx, t)
 	}
+	col := t.Addrs()
 	res := make([][]uint64, shards)
 	tasks := make([]func(context.Context) error, shards)
 	for i := range tasks {
-		lo, hi := shardRange(len(t.Samples), shards, i)
+		lo, hi := shardRange(t.NumSamples(), shards, i)
 		tasks[i] = func(ctx context.Context) error {
 			n := 0
 			for si := lo; si < hi; si++ {
-				n += len(t.Samples[si].Records)
+				n += t.SampleInfo(si).W()
 			}
 			addrs := make([]uint64, 0, n)
 			for si := lo; si < hi; si++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				s := t.Samples[si]
-				for j := range s.Records {
-					addrs = append(addrs, s.Records[j].Addr)
-				}
+				rlo, rhi := t.SampleRange(si)
+				addrs = append(addrs, col[rlo:rhi]...)
 			}
 			slices.Sort(addrs)
 			res[i] = addrs

@@ -21,7 +21,7 @@ func benchTrace(samples, recs int) *trace.Trace {
 				Proc:  "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

@@ -123,18 +123,11 @@ func SampleConfidenceCtx(ctx context.Context, t *trace.Trace, cfg ConfidenceConf
 	return out, nil
 }
 
-// halfTrace keeps samples whose index ≡ parity (mod 2). TotalLoads is
-// halved so ρ stays comparable.
+// halfTrace keeps samples whose index ≡ parity (mod 2) — a column-
+// sharing view; TotalLoads is halved so ρ stays comparable.
 func halfTrace(t *trace.Trace, parity int) *trace.Trace {
-	nt := &trace.Trace{
-		Module: t.Module, Mode: t.Mode, Period: t.Period,
-		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads / 2,
-	}
-	for i, s := range t.Samples {
-		if i%2 == parity {
-			nt.Samples = append(nt.Samples, s)
-		}
-	}
+	nt := t.FilterSamples(func(i int) bool { return i%2 == parity })
+	nt.TotalLoads = t.TotalLoads / 2
 	return nt
 }
 

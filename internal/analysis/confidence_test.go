@@ -25,7 +25,7 @@ func TestSampleConfidenceFlagsSparseFunctions(t *testing.T) {
 				})
 			}
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	out := SampleConfidence(tr, ConfidenceConfig{})
 	byName := map[string]Confidence{}

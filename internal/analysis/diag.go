@@ -81,18 +81,22 @@ func newAccumulator(name string, blockSize uint64) *accumulator {
 // startSample resets intra-sample state (the reuse-distance stream).
 func (ac *accumulator) startSample() { ac.dist.Reset() }
 
-func (ac *accumulator) add(r *trace.Record) {
+func (ac *accumulator) add(r *trace.Record) { ac.addVals(r.Addr, r.Implied, r.Class) }
+
+// addVals is the column-direct form of add: the walks feed it straight
+// from the addrs/implied/classes columns.
+func (ac *accumulator) addVals(addr uint64, implied uint32, class dataflow.Class) {
 	ac.a++
-	ac.implied += uint64(r.Implied)
-	if r.Class == dataflow.Constant {
+	ac.implied += uint64(implied)
+	if class == dataflow.Constant {
 		ac.constAcc++
 	}
-	ac.constAcc += uint64(r.Implied)
-	if _, ok := ac.firstCls[r.Addr]; !ok {
-		ac.firstCls[r.Addr] = r.Class
+	ac.constAcc += uint64(implied)
+	if _, ok := ac.firstCls[addr]; !ok {
+		ac.firstCls[addr] = class
 	}
-	ac.counts[r.Addr]++
-	if d, _ := ac.dist.Access(r.Addr); d >= 0 {
+	ac.counts[addr]++
+	if d, _ := ac.dist.Access(addr); d >= 0 {
 		ac.sumD += float64(d)
 		ac.reuses++
 		if d > ac.dmax {
@@ -194,6 +198,18 @@ func (da *DiagAccum) StartSample() { da.ac.startSample() }
 // Add accumulates one record. Not valid on a merged accumulation.
 func (da *DiagAccum) Add(r *trace.Record) { da.ac.add(r) }
 
+// AddSampleCols accumulates sample si of t straight from its columns:
+// StartSample followed by every record of the sample, without
+// materialising Records.
+func (da *DiagAccum) AddSampleCols(t *trace.Trace, si int) {
+	da.ac.startSample()
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
+	lo, hi := t.SampleRange(si)
+	for j := lo; j < hi; j++ {
+		da.ac.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
+	}
+}
+
 // Counts returns the observed accesses and implied constant accesses so
 // far — the inputs of κ and ρ for the accumulated window.
 func (da *DiagAccum) Counts() (a int, implied uint64) { return da.ac.a, da.ac.implied }
@@ -260,60 +276,80 @@ func sortByHotness(out []*Diag) {
 	})
 }
 
-// keyedDiagnostics aggregates the trace into code windows keyed by
-// key(r) and computes a Diag for each, hottest first.
-func keyedDiagnostics(ctx context.Context, t *trace.Trace, blockSize uint64, key func(*trace.Record) string) ([]*Diag, error) {
-	return keyedDiagnosticsSharded(ctx, t, blockSize, 1, Stats{}, key)
+// diagKey identifies a code window without materialising a string per
+// record: the interned proc id in the high half, the line number's bits
+// in the low half (zero for whole-procedure windows). Key equality is
+// exactly "same proc and line", so aggregation matches the old
+// string-keyed walk; the display name is rendered once per window.
+type diagKey uint64
+
+func procKey(procID uint32) diagKey { return diagKey(procID) << 32 }
+func lineKey(procID uint32, line int32) diagKey {
+	return diagKey(procID)<<32 | diagKey(uint32(line))
 }
 
 // keyedDiagAccs walks samples [lo, hi), accumulating per-key state —
 // the sequential inner loop of keyedDiagnostics, reused per shard.
-func keyedDiagAccs(ctx context.Context, t *trace.Trace, blockSize uint64, lo, hi int, key func(*trace.Record) string) (map[string]*accumulator, error) {
-	accs := make(map[string]*accumulator)
+// byLine selects line-granularity keys; otherwise records aggregate per
+// procedure.
+func keyedDiagAccs(ctx context.Context, t *trace.Trace, blockSize uint64, lo, hi int, byLine bool, name func(diagKey) string) (map[diagKey]*accumulator, error) {
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
+	procIDs, lines := t.ProcIDs(), t.Lines()
+	accs := make(map[diagKey]*accumulator)
 	for si := lo; si < hi; si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s := t.Samples[si]
+		rlo, rhi := t.SampleRange(si)
 		for _, ac := range accs {
 			ac.startSample()
 		}
-		for i := range s.Records {
-			r := &s.Records[i]
-			k := key(r)
+		for j := rlo; j < rhi; j++ {
+			k := procKey(procIDs[j])
+			if byLine {
+				k = lineKey(procIDs[j], lines[j])
+			}
 			ac, ok := accs[k]
 			if !ok {
-				ac = newAccumulator(k, blockSize)
+				ac = newAccumulator(name(k), blockSize)
 				accs[k] = ac
 			}
-			ac.add(r)
+			ac.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
 		}
 	}
 	return accs, nil
 }
 
-// keyedDiagnosticsSharded is keyedDiagnostics over contiguous sample
-// shards walked concurrently. Per-key accumulations merge exactly (see
-// DiagAccum), with earlier shards taking first-touch precedence, so the
-// result is byte-identical to the sequential walk at every shard count.
-func keyedDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats, key func(*trace.Record) string) ([]*Diag, error) {
+// keyedDiagnosticsSharded aggregates the trace into code windows keyed
+// per procedure or per line, over contiguous sample shards walked
+// concurrently. Per-key accumulations merge exactly (see DiagAccum),
+// with earlier shards taking first-touch precedence, so the result is
+// byte-identical to the sequential walk at every shard count.
+func keyedDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats, byLine bool) ([]*Diag, error) {
 	st = st.orStatsOf(t)
-	shards = resolveShards(shards, len(t.Samples))
+	shards = resolveShards(shards, t.NumSamples())
+	procs := t.Procs()
+	name := func(k diagKey) string {
+		if byLine {
+			return fmt.Sprintf("%s:%d", procs[uint32(k>>32)], int32(uint32(k)))
+		}
+		return procs[uint32(k>>32)]
+	}
 
-	var accs map[string]*accumulator
+	var accs map[diagKey]*accumulator
 	if shards <= 1 {
 		var err error
-		accs, err = keyedDiagAccs(ctx, t, blockSize, 0, len(t.Samples), key)
+		accs, err = keyedDiagAccs(ctx, t, blockSize, 0, t.NumSamples(), byLine, name)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		res := make([]map[string]*accumulator, shards)
+		res := make([]map[diagKey]*accumulator, shards)
 		tasks := make([]func(context.Context) error, shards)
 		for i := range tasks {
-			lo, hi := shardRange(len(t.Samples), shards, i)
+			lo, hi := shardRange(t.NumSamples(), shards, i)
 			tasks[i] = func(ctx context.Context) error {
-				m, err := keyedDiagAccs(ctx, t, blockSize, lo, hi, key)
+				m, err := keyedDiagAccs(ctx, t, blockSize, lo, hi, byLine, name)
 				if err != nil {
 					return err
 				}
@@ -328,7 +364,7 @@ func keyedDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint
 		for _, m := range res[1:] {
 			for k, ac := range m {
 				if prev, ok := accs[k]; ok {
-					accs[k] = mergeAccums(k, prev, ac)
+					accs[k] = mergeAccums(prev.name, prev, ac)
 				} else {
 					accs[k] = ac
 				}
@@ -356,7 +392,7 @@ func FunctionDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
 // FunctionDiagnosticsCtx is FunctionDiagnostics with cancellation: it
 // returns ctx.Err() as soon as the context is done.
 func FunctionDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint64) ([]*Diag, error) {
-	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string { return r.Proc })
+	return keyedDiagnosticsSharded(ctx, t, blockSize, 1, Stats{}, false)
 }
 
 // FunctionDiagnosticsSharded is FunctionDiagnosticsCtx computed over
@@ -365,7 +401,7 @@ func FunctionDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint6
 // GOMAXPROCS; shards == 1 is the sequential path. st may carry
 // precomputed trace Stats (zero means compute on demand).
 func FunctionDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats) ([]*Diag, error) {
-	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, func(r *trace.Record) string { return r.Proc })
+	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, false)
 }
 
 // LineDiagnostics aggregates the trace into source-line code windows
@@ -379,17 +415,13 @@ func LineDiagnostics(t *trace.Trace, blockSize uint64) []*Diag {
 
 // LineDiagnosticsCtx is LineDiagnostics with cancellation.
 func LineDiagnosticsCtx(ctx context.Context, t *trace.Trace, blockSize uint64) ([]*Diag, error) {
-	return keyedDiagnostics(ctx, t, blockSize, func(r *trace.Record) string {
-		return fmt.Sprintf("%s:%d", r.Proc, r.Line)
-	})
+	return keyedDiagnosticsSharded(ctx, t, blockSize, 1, Stats{}, true)
 }
 
 // LineDiagnosticsSharded is LineDiagnosticsCtx over concurrent sample
 // shards; see FunctionDiagnosticsSharded for the contract.
 func LineDiagnosticsSharded(ctx context.Context, t *trace.Trace, blockSize uint64, shards int, st Stats) ([]*Diag, error) {
-	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, func(r *trace.Record) string {
-		return fmt.Sprintf("%s:%d", r.Proc, r.Line)
-	})
+	return keyedDiagnosticsSharded(ctx, t, blockSize, shards, st, true)
 }
 
 // Region is an address range [Lo, Hi) with a display name.
@@ -417,18 +449,19 @@ func RegionDiagnosticsCtx(ctx context.Context, t *trace.Trace, regions []Region,
 	for i, g := range regions {
 		accs[i] = newAccumulator(g.Name, blockSize)
 	}
-	for _, s := range t.Samples {
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
+	for si := 0; si < t.NumSamples(); si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		lo, hi := t.SampleRange(si)
 		for _, ac := range accs {
 			ac.startSample()
 		}
-		for i := range s.Records {
-			r := &s.Records[i]
+		for i := lo; i < hi; i++ {
 			for j := range regions {
-				if regions[j].Contains(r.Addr) {
-					accs[j].add(r)
+				if regions[j].Contains(addrs[i]) {
+					accs[j].addVals(addrs[i], implied[i], dataflow.Class(classes[i]))
 					break
 				}
 			}
@@ -445,9 +478,10 @@ func RegionDiagnosticsCtx(ctx context.Context, t *trace.Trace, regions []Region,
 // accessed within [lo, hi) across the whole trace.
 func BlocksTouched(t *trace.Trace, lo, hi, blockSize uint64) int {
 	blocks := make(map[uint64]struct{})
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			a := s.Records[i].Addr
+	addrs := t.Addrs()
+	for si := 0; si < t.NumSamples(); si++ {
+		rlo, rhi := t.SampleRange(si)
+		for _, a := range addrs[rlo:rhi] {
 			if a >= lo && a < hi {
 				blocks[a/blockSize] = struct{}{}
 			}

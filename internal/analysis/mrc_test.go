@@ -21,7 +21,7 @@ func cyclicTrace(blocks, rounds, samples int) *trace.Trace {
 				})
 			}
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

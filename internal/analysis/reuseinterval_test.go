@@ -13,7 +13,8 @@ func TestReuseIntervalCategoriesIntra(t *testing.T) {
 	for _, a := range addrs {
 		smp.Records = append(smp.Records, trace.Record{Addr: a, Proc: "f"})
 	}
-	tr := &trace.Trace{Period: 1000, Samples: []*trace.Sample{smp}}
+	tr := &trace.Trace{Period: 1000}
+	tr.SetSamples(smp)
 	h := ReuseIntervalHistogram(tr)
 	if len(h) != 1 || h[0].Log2 != 2 || h[0].Intra != 1 || h[0].Inter != 0 {
 		t.Errorf("histogram = %+v, want one intra bucket at log2=2", h)
@@ -27,7 +28,8 @@ func TestReuseIntervalCategoriesInter(t *testing.T) {
 		return &trace.Sample{TriggerLoads: trigger,
 			Records: []trace.Record{{Addr: 0x10, Proc: "f"}}}
 	}
-	tr := &trace.Trace{Period: 1000, Samples: []*trace.Sample{mk(1000), mk(2000)}}
+	tr := &trace.Trace{Period: 1000}
+	tr.SetSamples(mk(1000), mk(2000))
 	h := ReuseIntervalHistogram(tr)
 	if len(h) != 1 || h[0].Log2 != 9 || h[0].Inter != 1 || h[0].Intra != 0 {
 		t.Errorf("histogram = %+v, want one inter bucket at log2=9", h)

@@ -50,7 +50,7 @@ func synthTrace(samples, recs int) *trace.Trace {
 			}
 			smp.Records = append(smp.Records, rec)
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -119,7 +119,7 @@ func TestShardedEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			for _, shards := range shardCounts(len(tr.Samples)) {
+			for _, shards := range shardCounts(tr.NumSamples()) {
 				sw, err := analysis.NewSweepSharded(ctx, tr, blockSize, analysis.SweepEverything, shards, st)
 				if err != nil {
 					t.Fatal(err)

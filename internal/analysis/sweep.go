@@ -23,6 +23,11 @@ import (
 //   - SweepPresence — per-procedure sample/record presence counts, the
 //     sample-density half of SampleConfidence (§VI-A).
 //
+// The walk reads the trace's columns directly — the addrs, procIDs and
+// trigger values it needs are sequential scans over flat arrays, and
+// per-procedure presence is counted in dense arrays indexed by interned
+// proc id (folded to name-keyed maps once at the end).
+//
 // The flat analysis functions route through a sweep restricted to their
 // own part, so their results are unchanged; the engine requests all
 // parts at once and shares the result. NewSweepSharded (sweep_sharded.go)
@@ -78,6 +83,53 @@ func ibucket(v uint64) int {
 	return bits.Len64(v) - 1
 }
 
+// presence is the dense per-procedure presence state: counts indexed by
+// interned proc id, plus a seen-this-sample marker that avoids a
+// per-sample clear (the marker stores the sample index it was last set
+// in).
+type presence struct {
+	samplesOf, recordsOf []int
+	seenIn               []int
+}
+
+func newPresence(n int) *presence {
+	p := &presence{
+		samplesOf: make([]int, n),
+		recordsOf: make([]int, n),
+		seenIn:    make([]int, n),
+	}
+	for i := range p.seenIn {
+		p.seenIn[i] = -1
+	}
+	return p
+}
+
+func (p *presence) add(id uint32, si int) {
+	p.recordsOf[id]++
+	if p.seenIn[id] != si {
+		p.seenIn[id] = si
+		p.samplesOf[id]++
+	}
+}
+
+// fold converts the dense counts to the name-keyed maps of the public
+// result.
+func (p *presence) fold(names []string) (samplesOf, recordsOf map[string]int) {
+	samplesOf, recordsOf = map[string]int{}, map[string]int{}
+	for id, n := range p.recordsOf {
+		if n > 0 {
+			recordsOf[names[id]] += n
+			samplesOf[names[id]] += p.samplesOf[id]
+		}
+	}
+	return samplesOf, recordsOf
+}
+
+// mapHint sizes a map that will hold roughly one entry per distinct
+// block or address: pre-sizing skips the intermediate bucket arrays an
+// incrementally grown map allocates and discards.
+func mapHint(records int) int { return min(records/4, 1<<20) }
+
 // NewSweep walks the trace once and computes the requested parts.
 // blockSize applies to the distance profile; the interval histogram is
 // exact-address as in ReuseIntervalHistogram. It returns ctx.Err() as
@@ -90,9 +142,12 @@ func NewSweep(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sweep
 // Stats (zero means compute on demand).
 func newSweepSeq(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, st Stats) (*TraceSweep, error) {
 	sw := &TraceSweep{BlockSize: blockSize}
+	addrs, procIDs := t.Addrs(), t.ProcIDs()
+	nrec := t.NumRecords()
+
+	var pres *presence
 	if parts&SweepPresence != 0 {
-		sw.SamplesOf = map[string]int{}
-		sw.RecordsOf = map[string]int{}
+		pres = newPresence(len(t.Procs()))
 	}
 
 	// Distance-profile state (block granularity).
@@ -108,97 +163,95 @@ func newSweepSeq(ctx context.Context, t *trace.Trace, blockSize uint64, parts Sw
 	)
 	if parts&SweepDistances != 0 {
 		sd = NewStackDist(blockSize)
-		lastSeen = map[uint64]sighting{}
-		blockCounts = map[uint64]int{}
+		// Block-keyed maps stay far smaller than address-keyed ones —
+		// several records share a block — so hint a quarter as much.
+		lastSeen = make(map[uint64]sighting, mapHint(nrec)/4)
+		blockCounts = make(map[uint64]int, mapHint(nrec)/4)
+		// Nearly every cross-sample reuse lands one gap entry; size the
+		// slice once instead of paying the append growth tax.
+		gaps = make([]float64, 0, min(nrec, 1<<20))
 	}
 
-	// Interval-histogram state (exact addresses).
+	// Interval-histogram state (exact addresses). One sighting map
+	// carries both the last sample index and its trigger.
 	var intraB, interB [maxLog]int
-	var lastSample map[uint64]int
-	var lastTrigger map[uint64]uint64
+	var lastAddr map[uint64]sighting
 	if parts&SweepIntervals != 0 {
-		lastSample = map[uint64]int{}
-		lastTrigger = map[uint64]uint64{}
+		lastAddr = make(map[uint64]sighting, mapHint(nrec))
 	}
 
 	// Per-sample scratch, reused across samples (clear keeps capacity, so
-	// the inner loop stops paying one map allocation per sample per part).
-	var seenAddr map[uint64]int  // addr -> record index (intervals)
-	var seenProc map[string]bool // presence
+	// the inner loop stops paying one map allocation per sample).
+	var seenAddr map[uint64]int // addr -> record index (intervals)
 	if parts&SweepIntervals != 0 {
 		seenAddr = map[uint64]int{}
 	}
-	if parts&SweepPresence != 0 {
-		seenProc = map[string]bool{}
-	}
 
-	for si, s := range t.Samples {
+	for si := 0; si < t.NumSamples(); si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+		info := t.SampleInfo(si)
+		lo, hi := info.Lo, info.Hi
+		trigger := info.TriggerLoads
+		if parts&SweepDistances != 0 && hi > lo {
 			sd.Reset()
 		}
 		if seenAddr != nil {
 			clear(seenAddr)
 		}
-		if seenProc != nil {
-			clear(seenProc)
-		}
-		for i := range s.Records {
-			r := &s.Records[i]
+		for j := lo; j < hi; j++ {
+			addr := addrs[j]
 
 			if parts&SweepPresence != 0 {
-				sw.RecordsOf[r.Proc]++
-				if !seenProc[r.Proc] {
-					seenProc[r.Proc] = true
-					sw.SamplesOf[r.Proc]++
-				}
+				pres.add(procIDs[j], si)
 			}
 
 			if parts&SweepIntervals != 0 {
-				if prev, ok := seenAddr[r.Addr]; ok {
-					intraB[ibucket(uint64(i-prev))]++
-				} else if ps, ok := lastSample[r.Addr]; ok && ps != si {
+				if prev, ok := seenAddr[addr]; ok {
+					intraB[ibucket(uint64(j-lo-prev))]++
+				} else if ls, ok := lastAddr[addr]; ok && ls.sample != si {
 					// R3: estimate the interval as the load-counter
 					// distance between the two samples' triggers.
-					if d := s.TriggerLoads - lastTrigger[r.Addr]; d > 0 {
+					if d := trigger - ls.trigger; d > 0 {
 						interB[ibucket(d)]++
 					}
 				}
-				seenAddr[r.Addr] = i
-				lastSample[r.Addr] = si
-				lastTrigger[r.Addr] = s.TriggerLoads
+				seenAddr[addr] = j - lo
+				lastAddr[addr] = sighting{trigger: trigger, sample: si}
 			}
 
 			if parts&SweepDistances != 0 {
 				accesses++
 				p.Total++
-				b := r.Addr / blockSize
+				b := addr / blockSize
 				blockCounts[b]++
-				switch d, _ := sd.Access(r.Addr); {
+				switch d, _ := sd.Access(addr); {
 				case d >= 0:
 					p.Intra = append(p.Intra, d)
 				default:
 					if prev, ok := lastSeen[b]; ok && prev.sample != si {
 						// R3 reuse: the distance is estimated after the
 						// pass, once the blocks-per-load rate is known.
-						gaps = append(gaps, float64(s.TriggerLoads-prev.trigger))
+						gaps = append(gaps, float64(trigger-prev.trigger))
 					} else {
 						p.Cold++
 					}
 				}
-				lastSeen[b] = sighting{trigger: s.TriggerLoads, sample: si}
+				lastSeen[b] = sighting{trigger: trigger, sample: si}
 			}
 		}
-		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+		if parts&SweepDistances != 0 && hi > lo {
 			// Mean new-blocks-per-load within samples bounds how fast the
 			// stack grows during unobserved gaps.
-			bpaSum += float64(sd.Blocks()) / float64(len(s.Records))
+			bpaSum += float64(sd.Blocks()) / float64(hi-lo)
 			bpaN++
 		}
 	}
 
+	if parts&SweepPresence != 0 {
+		sw.SamplesOf, sw.RecordsOf = pres.fold(t.Procs())
+	}
 	if parts&SweepIntervals != 0 {
 		sw.Intervals = intervalBuckets(&intraB, &interB)
 	}
@@ -255,17 +308,6 @@ func finishDistances(t *trace.Trace, p *ReuseProfile, gaps []float64, blockCount
 	estLoads := rho * kappa * float64(accesses)
 	popCap := EstimateUnique(dataflow.Irregular, cs, estLoads, cs.Unique*rho*kappa, 0)
 
-	// Turn trigger gaps into distance estimates.
-	interDists := make([]int, len(gaps))
-	for i, gap := range gaps {
-		est := bpa * gap / kappa
-		if est > popCap {
-			est = popCap
-		}
-		interDists[i] = int(est)
-	}
-	p.Estimated = append(p.Estimated, interDists...)
-
 	// Sparse samples mislabel most survivals: an address seen once is
 	// usually a reuse whose partner was not sampled, not a cold miss.
 	// The true cold rate is (distinct blocks ever touched) /
@@ -277,13 +319,29 @@ func finishDistances(t *trace.Trace, p *ReuseProfile, gaps []float64, blockCount
 	}
 	leftover := p.Cold - coldTrue
 	p.Cold = coldTrue
+
+	// Turn trigger gaps into distance estimates. One exact allocation
+	// holds everything Estimated will ever contain here; the leftover
+	// replication indexes the freshly written prefix in place.
+	out := make([]int, 0, len(p.Estimated)+len(gaps)+leftover)
+	out = append(out, p.Estimated...)
+	start := len(out)
+	for _, gap := range gaps {
+		est := bpa * gap / kappa
+		if est > popCap {
+			est = popCap
+		}
+		out = append(out, int(est))
+	}
+	interDists := out[start:]
 	for i := 0; i < leftover; i++ {
 		if len(interDists) > 0 {
-			p.Estimated = append(p.Estimated, interDists[i%len(interDists)])
+			out = append(out, interDists[i%len(interDists)])
 		} else {
 			// No cross-sample evidence at all: treat as beyond any
 			// practical capacity.
-			p.Estimated = append(p.Estimated, int(popCap))
+			out = append(out, int(popCap))
 		}
 	}
+	p.Estimated = out
 }

@@ -8,9 +8,11 @@ import (
 	"github.com/memgaze/memgaze-go/internal/trace"
 )
 
-// Sample-sharded sweep: map-reduce over contiguous shards of t.Samples
-// with a deterministic ordered reduce, byte-identical to NewSweep at
-// every shard count.
+// Sample-sharded sweep: map-reduce over contiguous sample shards with a
+// deterministic ordered reduce, byte-identical to NewSweep at every
+// shard count. With the columnar arena a shard of whole samples is a
+// contiguous column range, so each walk is a sequential scan over the
+// shared flat slices — no per-shard copying.
 //
 // Why sharding is exact here: every intra-sample statistic (stack
 // distances, the intra interval histogram, per-procedure presence) is
@@ -64,10 +66,10 @@ type sweepShard struct {
 	// Intervals.
 	intraB, interB [maxLog]int
 	interEvents    []interEvent
-	lastTrigger    map[uint64]uint64 // addr -> trigger of last sighting in shard
+	lastAddr       map[uint64]sighting // addr -> last sighting in shard
 
-	// Presence.
-	samplesOf, recordsOf map[string]int
+	// Presence, dense by interned proc id.
+	pres *presence
 }
 
 // shardRange returns the half-open sample range of shard i of n over ns
@@ -95,14 +97,14 @@ func resolveShards(shards, samples int) int {
 // the sequential path. st may carry precomputed trace Stats (zero means
 // compute on demand).
 func NewSweepSharded(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, shards int, st Stats) (*TraceSweep, error) {
-	shards = resolveShards(shards, len(t.Samples))
+	shards = resolveShards(shards, t.NumSamples())
 	if shards <= 1 {
 		return newSweepSeq(ctx, t, blockSize, parts, st)
 	}
 	res := make([]*sweepShard, shards)
 	tasks := make([]func(context.Context) error, shards)
 	for i := range tasks {
-		lo, hi := shardRange(len(t.Samples), shards, i)
+		lo, hi := shardRange(t.NumSamples(), shards, i)
 		tasks[i] = func(ctx context.Context) error {
 			sh, err := sweepShardWalk(ctx, t, blockSize, parts, lo, hi)
 			if err != nil {
@@ -122,94 +124,86 @@ func NewSweepSharded(ctx context.Context, t *trace.Trace, blockSize uint64, part
 // [lo, hi), recording mergeable state instead of final products.
 func sweepShardWalk(ctx context.Context, t *trace.Trace, blockSize uint64, parts SweepParts, lo, hi int) (*sweepShard, error) {
 	sh := &sweepShard{}
+	addrs, procIDs := t.Addrs(), t.ProcIDs()
+	nrec := 0
+	for si := lo; si < hi; si++ {
+		nrec += t.SampleInfo(si).W()
+	}
 	var sd *StackDist
 	if parts&SweepDistances != 0 {
 		sd = NewStackDist(blockSize)
-		sh.lastSeen = map[uint64]sighting{}
-		sh.blockCounts = map[uint64]int{}
+		sh.lastSeen = make(map[uint64]sighting, mapHint(nrec)/4)
+		sh.blockCounts = make(map[uint64]int, mapHint(nrec)/4)
 	}
-	var lastSample map[uint64]int
 	if parts&SweepIntervals != 0 {
-		lastSample = map[uint64]int{}
-		sh.lastTrigger = map[uint64]uint64{}
+		sh.lastAddr = make(map[uint64]sighting, mapHint(nrec))
 	}
 	if parts&SweepPresence != 0 {
-		sh.samplesOf = map[string]int{}
-		sh.recordsOf = map[string]int{}
+		sh.pres = newPresence(len(t.Procs()))
 	}
-	var seenAddr map[uint64]int  // addr -> record index (intervals)
-	var seenProc map[string]bool // presence
+	var seenAddr map[uint64]int // addr -> record index (intervals)
 	if parts&SweepIntervals != 0 {
 		seenAddr = map[uint64]int{}
-	}
-	if parts&SweepPresence != 0 {
-		seenProc = map[string]bool{}
 	}
 
 	for si := lo; si < hi; si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s := t.Samples[si]
-		if parts&SweepDistances != 0 && len(s.Records) > 0 {
+		info := t.SampleInfo(si)
+		rlo, rhi := info.Lo, info.Hi
+		trigger := info.TriggerLoads
+		if parts&SweepDistances != 0 && rhi > rlo {
 			sd.Reset()
 		}
 		if seenAddr != nil {
 			clear(seenAddr)
 		}
-		if seenProc != nil {
-			clear(seenProc)
-		}
-		for i := range s.Records {
-			r := &s.Records[i]
+		for j := rlo; j < rhi; j++ {
+			addr := addrs[j]
 
 			if parts&SweepPresence != 0 {
-				sh.recordsOf[r.Proc]++
-				if !seenProc[r.Proc] {
-					seenProc[r.Proc] = true
-					sh.samplesOf[r.Proc]++
-				}
+				sh.pres.add(procIDs[j], si)
 			}
 
 			if parts&SweepIntervals != 0 {
-				if prev, ok := seenAddr[r.Addr]; ok {
-					sh.intraB[ibucket(uint64(i-prev))]++
-				} else if ps, ok := lastSample[r.Addr]; ok && ps != si {
+				if prev, ok := seenAddr[addr]; ok {
+					sh.intraB[ibucket(uint64(j-rlo-prev))]++
+				} else if ls, ok := sh.lastAddr[addr]; ok && ls.sample != si {
 					// In-shard R3: both sightings local, resolve now.
-					if d := s.TriggerLoads - sh.lastTrigger[r.Addr]; d > 0 {
+					if d := trigger - ls.trigger; d > 0 {
 						sh.interB[ibucket(d)]++
 					}
 				} else if !ok {
 					// First sighting in the shard: an earlier shard may
 					// still hold a previous one.
-					sh.interEvents = append(sh.interEvents, interEvent{addr: r.Addr, trigger: s.TriggerLoads})
+					sh.interEvents = append(sh.interEvents, interEvent{addr: addr, trigger: trigger})
 				}
-				seenAddr[r.Addr] = i
-				lastSample[r.Addr] = si
-				sh.lastTrigger[r.Addr] = s.TriggerLoads
+				seenAddr[addr] = j - rlo
+				sh.lastAddr[addr] = sighting{trigger: trigger, sample: si}
 			}
 
 			if parts&SweepDistances != 0 {
 				sh.accesses++
-				b := r.Addr / blockSize
+				b := addr / blockSize
 				sh.blockCounts[b]++
-				switch d, _ := sd.Access(r.Addr); {
+				switch d, _ := sd.Access(addr); {
 				case d >= 0:
 					sh.intra = append(sh.intra, d)
 				default:
 					if prev, ok := sh.lastSeen[b]; ok && prev.sample != si {
-						sh.events = append(sh.events, distEvent{gap: float64(s.TriggerLoads - prev.trigger)})
+						sh.events = append(sh.events, distEvent{gap: float64(trigger - prev.trigger)})
 					} else {
 						// First sample-first access of b in the shard:
 						// cold or cross-shard R3 — the reduce decides.
-						sh.events = append(sh.events, distEvent{block: b, trigger: s.TriggerLoads, pending: true})
+						sh.events = append(sh.events, distEvent{block: b, trigger: trigger, pending: true})
 					}
 				}
-				sh.lastSeen[b] = sighting{trigger: s.TriggerLoads, sample: si}
+				sh.lastSeen[b] = sighting{trigger: trigger, sample: si}
 			}
 		}
-		if parts&SweepDistances != 0 && len(s.Records) > 0 {
-			sh.bpaTerms = append(sh.bpaTerms, float64(sd.Blocks())/float64(len(s.Records)))
+		if parts&SweepDistances != 0 && rhi > rlo {
+			sh.bpaTerms = append(sh.bpaTerms, float64(sd.Blocks())/float64(rhi-rlo))
 		}
 	}
 	return sh, nil
@@ -220,20 +214,29 @@ func sweepShardWalk(ctx context.Context, t *trace.Trace, blockSize uint64, parts
 // tail math on the merged state.
 func reduceSweep(t *trace.Trace, blockSize uint64, parts SweepParts, shards []*sweepShard, st Stats) *TraceSweep {
 	sw := &TraceSweep{BlockSize: blockSize}
+	var pres *presence
 	if parts&SweepPresence != 0 {
-		sw.SamplesOf = map[string]int{}
-		sw.RecordsOf = map[string]int{}
+		pres = newPresence(len(t.Procs()))
 	}
 
+	nrec := t.NumRecords()
 	p := &ReuseProfile{}
 	var gaps []float64
-	lastSeen := map[uint64]sighting{}
-	blockCounts := map[uint64]int{}
+	var lastSeen map[uint64]sighting
+	var blockCounts map[uint64]int
+	if parts&SweepDistances != 0 {
+		gaps = make([]float64, 0, min(nrec, 1<<20))
+		lastSeen = make(map[uint64]sighting, mapHint(nrec)/4)
+		blockCounts = make(map[uint64]int, mapHint(nrec)/4)
+	}
 	var bpaSum float64
 	var bpaN, accesses int
 
 	var intraB, interB [maxLog]int
-	lastTrigger := map[uint64]uint64{}
+	var lastAddr map[uint64]sighting
+	if parts&SweepIntervals != 0 {
+		lastAddr = make(map[uint64]sighting, mapHint(nrec))
+	}
 
 	for _, sh := range shards {
 		if parts&SweepDistances != 0 {
@@ -276,27 +279,28 @@ func reduceSweep(t *trace.Trace, blockSize uint64, parts SweepParts, shards []*s
 				interB[l] += sh.interB[l]
 			}
 			for _, ev := range sh.interEvents {
-				if prev, ok := lastTrigger[ev.addr]; ok {
-					if d := ev.trigger - prev; d > 0 {
+				if prev, ok := lastAddr[ev.addr]; ok {
+					if d := ev.trigger - prev.trigger; d > 0 {
 						interB[ibucket(d)]++
 					}
 				}
 			}
-			for a, tr := range sh.lastTrigger {
-				lastTrigger[a] = tr
+			for a, sg := range sh.lastAddr {
+				lastAddr[a] = sg
 			}
 		}
 
 		if parts&SweepPresence != 0 {
-			for k, v := range sh.samplesOf {
-				sw.SamplesOf[k] += v
-			}
-			for k, v := range sh.recordsOf {
-				sw.RecordsOf[k] += v
+			for id := range sh.pres.recordsOf {
+				pres.recordsOf[id] += sh.pres.recordsOf[id]
+				pres.samplesOf[id] += sh.pres.samplesOf[id]
 			}
 		}
 	}
 
+	if parts&SweepPresence != 0 {
+		sw.SamplesOf, sw.RecordsOf = pres.fold(t.Procs())
+	}
 	if parts&SweepIntervals != 0 {
 		sw.Intervals = intervalBuckets(&intraB, &interB)
 	}

@@ -125,15 +125,19 @@ func (wa *winAcc) reset() {
 	clear(wa.counts)
 }
 
-func (wa *winAcc) add(r *trace.Record) {
-	wa.weight += 1 + float64(r.Implied)
-	cls, ok := wa.addrs[r.Addr]
+func (wa *winAcc) add(r *trace.Record) { wa.addVals(r.Addr, r.Implied, r.Class) }
+
+// addVals is the column-direct form of add: the walks feed it straight
+// from the addrs/implied/classes columns.
+func (wa *winAcc) addVals(addr uint64, implied uint32, class dataflow.Class) {
+	wa.weight += 1 + float64(implied)
+	cls, ok := wa.addrs[addr]
 	if !ok {
-		cls = r.Class
-		wa.addrs[r.Addr] = cls
+		cls = class
+		wa.addrs[addr] = cls
 	}
-	wa.clsWeight[cls] += 1 + float64(r.Implied)
-	wa.counts[r.Addr]++
+	wa.clsWeight[cls] += 1 + float64(implied)
+	wa.counts[addr]++
 }
 
 // stridedLattice estimates the lattice population of the accumulated
@@ -161,15 +165,15 @@ func GlobalPopulations(t *trace.Trace) [3]float64 {
 // GlobalPopulationsCtx is GlobalPopulations with cancellation.
 func GlobalPopulationsCtx(ctx context.Context, t *trace.Trace) ([3]float64, error) {
 	wa := newWinAcc()
-	cur := -1
-	for si, r := range t.Records() {
-		if si != cur {
-			if err := ctx.Err(); err != nil {
-				return [3]float64{}, err
-			}
-			cur = si
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
+	for si := 0; si < t.NumSamples(); si++ {
+		if err := ctx.Err(); err != nil {
+			return [3]float64{}, err
 		}
-		wa.add(r)
+		lo, hi := t.SampleRange(si)
+		for j := lo; j < hi; j++ {
+			wa.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
+		}
 	}
 	return populationsOf(wa), nil
 }
@@ -207,23 +211,24 @@ func populationsOf(wa *winAcc) [3]float64 {
 // classes take the earliest shard's choice, which is exactly the state
 // a sequential walk accumulates. shards <= 0 selects GOMAXPROCS.
 func GlobalPopulationsSharded(ctx context.Context, t *trace.Trace, shards int) ([3]float64, error) {
-	shards = resolveShards(shards, len(t.Samples))
+	shards = resolveShards(shards, t.NumSamples())
 	if shards <= 1 {
 		return GlobalPopulationsCtx(ctx, t)
 	}
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
 	res := make([]*winAcc, shards)
 	tasks := make([]func(context.Context) error, shards)
 	for i := range tasks {
-		lo, hi := shardRange(len(t.Samples), shards, i)
+		lo, hi := shardRange(t.NumSamples(), shards, i)
 		tasks[i] = func(ctx context.Context) error {
 			wa := newWinAcc()
 			for si := lo; si < hi; si++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				s := t.Samples[si]
-				for j := range s.Records {
-					wa.add(&s.Records[j])
+				rlo, rhi := t.SampleRange(si)
+				for j := rlo; j < rhi; j++ {
+					wa.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
 				}
 			}
 			res[i] = wa
@@ -318,30 +323,35 @@ func meanOf(m *WindowMetrics) {
 func intraWindows(ctx context.Context, t *trace.Trace, w uint64) (WindowMetrics, error) {
 	var m WindowMetrics
 	wa := newWinAcc()
-	cur := -1
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
 	flushTail := func() {
 		if wa.weight >= float64(w)/2 {
 			wa.flush(&m, float64(w)/wa.weight, [3]float64{})
 		}
 	}
-	for si, r := range t.Records() {
-		if si != cur {
-			if err := ctx.Err(); err != nil {
-				return WindowMetrics{}, err
-			}
-			if cur >= 0 {
-				flushTail()
-			}
-			wa.reset()
-			cur = si
+	started := false
+	for si := 0; si < t.NumSamples(); si++ {
+		if err := ctx.Err(); err != nil {
+			return WindowMetrics{}, err
 		}
-		wa.add(r)
-		if wa.weight >= float64(w) {
-			wa.flush(&m, 1, [3]float64{})
-			wa.reset()
+		lo, hi := t.SampleRange(si)
+		if lo == hi {
+			continue
+		}
+		if started {
+			flushTail()
+		}
+		wa.reset()
+		started = true
+		for j := lo; j < hi; j++ {
+			wa.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
+			if wa.weight >= float64(w) {
+				wa.flush(&m, 1, [3]float64{})
+				wa.reset()
+			}
 		}
 	}
-	if cur >= 0 {
+	if started {
 		flushTail()
 	}
 	meanOf(&m)
@@ -373,7 +383,12 @@ func interWindows(ctx context.Context, t *trace.Trace, ws []uint64, k int, globa
 			wa.flush(&ms[i], ratio, globalPop)
 		}
 	}
-	for si, r := range t.Records() {
+	addrs, implied, classes := t.Addrs(), t.Implied(), t.Classes()
+	for si := 0; si < t.NumSamples(); si++ {
+		lo, hi := t.SampleRange(si)
+		if lo == hi {
+			continue
+		}
 		if g := si / k; g != group {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -384,7 +399,9 @@ func interWindows(ctx context.Context, t *trace.Trace, ws []uint64, k int, globa
 			wa.reset()
 			group = g
 		}
-		wa.add(r)
+		for j := lo; j < hi; j++ {
+			wa.addVals(addrs[j], implied[j], dataflow.Class(classes[j]))
+		}
 	}
 	if group >= 0 {
 		flushGroup()

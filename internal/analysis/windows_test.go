@@ -21,7 +21,8 @@ func fullStridedTrace(elems, passes int) *trace.Trace {
 			})
 		}
 	}
-	t := &trace.Trace{Module: "m", Mode: "full", Samples: []*trace.Sample{smp}}
+	t := &trace.Trace{Module: "m", Mode: "full"}
+	t.SetSamples(smp)
 	t.TotalLoads = uint64(elems * passes)
 	return t
 }
@@ -89,7 +90,8 @@ func TestCapturesSurvivalsWithinWindows(t *testing.T) {
 			}
 		}
 	}
-	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 80}
+	tr := &trace.Trace{TotalLoads: 80}
+	tr.SetSamples(smp)
 	hist := WindowHistogram(tr, []uint64{8})
 	if hist[0].C != 4 || hist[0].S != 0 {
 		t.Errorf("C=%v S=%v, want 4, 0", hist[0].C, hist[0].S)
@@ -154,7 +156,8 @@ func TestFunctionDiagnosticsBasics(t *testing.T) {
 		}
 		samples = append(samples, smp)
 	}
-	tr := &trace.Trace{Samples: samples, Period: 1000, TotalLoads: 8 * 1000}
+	tr := &trace.Trace{Period: 1000, TotalLoads: 8 * 1000}
+	tr.SetSamples(samples...)
 	// Word granularity so the streamer's block sharing does not register
 	// as reuse.
 	diags := FunctionDiagnostics(tr, 8)
@@ -200,7 +203,8 @@ func TestRegionDiagnosticsRestriction(t *testing.T) {
 			Addr: uint64(0x9000 + i*8), Class: dataflow.Strided, Proc: "f",
 		})
 	}
-	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 200}
+	tr := &trace.Trace{TotalLoads: 200}
+	tr.SetSamples(smp)
 	regions := []Region{
 		{Name: "hot", Lo: 0x1000, Hi: 0x2000},
 		{Name: "stream", Lo: 0x9000, Hi: 0x10000},
@@ -234,7 +238,8 @@ func TestLineDiagnostics(t *testing.T) {
 			})
 		}
 	}
-	tr := &trace.Trace{Samples: []*trace.Sample{smp}, TotalLoads: 125}
+	tr := &trace.Trace{TotalLoads: 125}
+	tr.SetSamples(smp)
 	diags := LineDiagnostics(tr, 64)
 	if len(diags) != 2 {
 		t.Fatalf("line windows = %d", len(diags))

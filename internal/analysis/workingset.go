@@ -38,27 +38,29 @@ func WorkingSetCtx(ctx context.Context, t *trace.Trace, k int, pageSize uint64) 
 	if k <= 0 {
 		k = 8
 	}
-	if k > len(t.Samples) {
-		k = len(t.Samples)
+	if k > t.NumSamples() {
+		k = t.NumSamples()
 	}
 	rho := t.Rho()
+	addrs, impliedCol := t.Addrs(), t.Implied()
 	var out []WorkingSetPoint
 	for i := 0; i < k; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		start := i * len(t.Samples) / k
-		end := (i + 1) * len(t.Samples) / k
+		start := i * t.NumSamples() / k
+		end := (i + 1) * t.NumSamples() / k
 		if end == start {
 			continue
 		}
 		counts := map[uint64]int{}
 		var draws, implied float64
-		for _, s := range t.Samples[start:end] {
-			for j := range s.Records {
-				counts[s.Records[j].Addr/pageSize]++
+		for si := start; si < end; si++ {
+			lo, hi := t.SampleRange(si)
+			for j := lo; j < hi; j++ {
+				counts[addrs[j]/pageSize]++
 				draws++
-				implied += float64(s.Records[j].Implied)
+				implied += float64(impliedCol[j])
 			}
 		}
 		var cs CSCounts

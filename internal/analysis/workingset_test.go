@@ -22,7 +22,7 @@ func twoPhaseTrace() *trace.Trace {
 				Class: dataflow.Irregular, Proc: "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -75,7 +75,7 @@ func TestSuggestROI(t *testing.T) {
 	addN("hotA", 700)
 	addN("hotB", 250)
 	addN("cold", 50)
-	tr.Samples = []*trace.Sample{smp}
+	tr.SetSamples(smp)
 
 	if roi := SuggestROI(tr, 60); len(roi) != 1 || roi[0] != "hotA" {
 		t.Errorf("ROI@60 = %v", roi)

@@ -21,11 +21,11 @@ func TestPipelineStr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Trace.Samples) == 0 {
+	if res.Trace.NumSamples() == 0 {
 		t.Fatal("no samples collected")
 	}
 	t.Logf("samples=%d records=%d meanW=%.0f rho=%.1f kappa=%.3f overhead=%.1f%% ptwRatio=%.3f",
-		len(res.Trace.Samples), res.Trace.NumRecords(), res.Trace.MeanW(),
+		res.Trace.NumSamples(), res.Trace.NumRecords(), res.Trace.MeanW(),
 		res.Trace.Rho(), res.Trace.Kappa(), 100*res.Overhead(), res.PTWriteRatio())
 	t.Logf("decode: %+v", res.Decode)
 	if res.Decode.OrphanEvents > 0 {
@@ -33,7 +33,7 @@ func TestPipelineStr(t *testing.T) {
 	}
 	// All non-constant records of a pure strided benchmark must be
 	// classified Strided.
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		for _, r := range s.Records {
 			if r.Proc == "str1_0" && r.Class == dataflow.Irregular {
 				t.Fatalf("strided benchmark produced irregular record: %+v", r)
@@ -60,7 +60,7 @@ func TestPipelineIrrO0(t *testing.T) {
 		t.Errorf("O0 kappa = %.3f, want ≈2", k)
 	}
 	var irr, str int
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		for _, r := range s.Records {
 			switch r.Class {
 			case dataflow.Irregular:

@@ -37,7 +37,7 @@ func TestSelectiveInstrumentationROI(t *testing.T) {
 	if res.Trace.NumRecords() == 0 {
 		t.Fatal("no records")
 	}
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		for _, r := range s.Records {
 			if r.Proc != "str1_0" {
 				t.Fatalf("record from outside ROI: %q", r.Proc)
@@ -59,7 +59,7 @@ func TestHardwareGuardsLimitTracing(t *testing.T) {
 	if res.Trace.NumRecords() == 0 {
 		t.Fatal("no records")
 	}
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		for _, r := range s.Records {
 			if r.Proc != "irr_1" {
 				t.Fatalf("hardware guard leaked proc %q", r.Proc)
@@ -94,7 +94,7 @@ func TestOptModeReducesOverheadAndRecords(t *testing.T) {
 	if ro.Stats.PTWrites >= rc.Stats.PTWrites {
 		t.Errorf("opt recorded %d ptwrites, continuous %d", ro.Stats.PTWrites, rc.Stats.PTWrites)
 	}
-	if len(ro.Trace.Samples) == 0 {
+	if ro.Trace.NumSamples() == 0 {
 		t.Error("opt mode produced no samples")
 	}
 	// Samples still carry full windows (85-100% readable).
@@ -189,7 +189,7 @@ func TestSampleWindowsWithinBufferCapacity(t *testing.T) {
 	}
 	// A record consumes ≥ 4 bytes encoded; the buffer bounds w.
 	maxW := cfg.BufBytes / 4
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		if len(s.Records) > maxW {
 			t.Errorf("sample %d has %d records, impossible for %d B buffer",
 				s.Seq, len(s.Records), cfg.BufBytes)
@@ -218,7 +218,7 @@ func TestHotspotROIFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range focused.Trace.Samples {
+	for _, s := range focused.Trace.AllSamples() {
 		for _, r := range s.Records {
 			if r.Proc != roi[0] {
 				t.Fatalf("record outside ROI: %q", r.Proc)

@@ -52,7 +52,7 @@ func TestParallelPRSpmvMatchesSerial(t *testing.T) {
 
 	// Merged trace carries samples from multiple workers.
 	cpus := map[int]bool{}
-	for _, s := range res.Trace.Samples {
+	for _, s := range res.Trace.AllSamples() {
 		cpus[s.CPU] = true
 	}
 	if len(cpus) < 2 {
@@ -62,8 +62,8 @@ func TestParallelPRSpmvMatchesSerial(t *testing.T) {
 		t.Errorf("orphans: %d", res.Decode.OrphanEvents)
 	}
 	// Merged samples are ordered by trigger progress.
-	for i := 1; i < len(res.Trace.Samples); i++ {
-		if res.Trace.Samples[i].TriggerLoads < res.Trace.Samples[i-1].TriggerLoads {
+	for i := 1; i < res.Trace.NumSamples(); i++ {
+		if res.Trace.SampleAt(i).TriggerLoads < res.Trace.SampleAt(i-1).TriggerLoads {
 			t.Fatal("merged samples not ordered")
 		}
 	}

@@ -41,7 +41,7 @@ func synthTrace(seed int64, samples, recs int) *trace.Trace {
 				Line:  int32(rng.Intn(20)),
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

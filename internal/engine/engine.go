@@ -76,7 +76,7 @@ func (a *Analyzer) Run(ctx context.Context) (*Report, error) {
 	}
 	rep := &Report{
 		Module:  a.t.Module,
-		Samples: len(a.t.Samples),
+		Samples: a.t.NumSamples(),
 		Records: st.Records,
 		Rho:     st.Rho,
 		Kappa:   st.Kappa,

@@ -45,7 +45,7 @@ func testTrace(samples, recs int) *trace.Trace {
 			}
 			smp.Records = append(smp.Records, rec)
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -162,7 +162,7 @@ func TestReportMatchesFlatAnalyses(t *testing.T) {
 func TestIntervalDiagsFastPath(t *testing.T) {
 	tr := testTrace(64, 128)
 	tree := interval.Build(tr, 64)
-	got := intervalDiagsFromTree(tree, len(tr.Samples), 8)
+	got := intervalDiagsFromTree(tree, tr.NumSamples(), 8)
 	if got == nil {
 		t.Fatal("fast path not taken for n=64, k=8")
 	}
@@ -170,7 +170,7 @@ func TestIntervalDiagsFastPath(t *testing.T) {
 		t.Errorf("fast path diverges\n got: %.300s\nwant: %.300s", fmtDiags(got), fmtDiags(want))
 	}
 	// Misaligned splits must decline so the caller recomputes.
-	if d := intervalDiagsFromTree(tree, len(tr.Samples), 7); d != nil {
+	if d := intervalDiagsFromTree(tree, tr.NumSamples(), 7); d != nil {
 		t.Error("fast path claimed a misaligned 7-way split")
 	}
 }

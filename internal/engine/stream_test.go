@@ -14,7 +14,7 @@ import (
 // trace in sample order, exactly as a batch analysis walks it.
 func wholeTraceDiag(tr *trace.Trace, block uint64, rho float64) *analysis.Diag {
 	acc := analysis.NewDiagAccum("trace", block)
-	for _, s := range tr.Samples {
+	for _, s := range tr.AllSamples() {
 		acc.StartSample()
 		for i := range s.Records {
 			acc.Add(&s.Records[i])
@@ -34,8 +34,8 @@ func TestStreamAccumExact(t *testing.T) {
 
 	// Interleave nil windows (decoded-to-nothing captures) with real
 	// ones, as BuildCaptureStream's sink sees them.
-	windows := make([]*trace.Sample, 0, len(tr.Samples)+3)
-	for i, s := range tr.Samples {
+	windows := make([]*trace.Sample, 0, tr.NumSamples()+3)
+	for i, s := range tr.AllSamples() {
 		windows = append(windows, s)
 		if i%4 == 1 {
 			windows = append(windows, nil)
@@ -67,8 +67,8 @@ func TestStreamAccumExact(t *testing.T) {
 		if got := sa.Records(); got != tr.NumRecords() {
 			t.Fatalf("trial %d: Records = %d, want %d", trial, got, tr.NumRecords())
 		}
-		if got := sa.Samples(); got != len(tr.Samples) {
-			t.Fatalf("trial %d: Samples = %d, want %d", trial, got, len(tr.Samples))
+		if got := sa.Samples(); got != tr.NumSamples() {
+			t.Fatalf("trial %d: Samples = %d, want %d", trial, got, tr.NumSamples())
 		}
 		if got, want := sa.Kappa(), tr.Kappa(); got != want {
 			t.Fatalf("trial %d: Kappa = %v, want %v", trial, got, want)
@@ -104,7 +104,7 @@ func TestStreamAccumFallbackRho(t *testing.T) {
 	tr := testTrace(6, 40)
 	tr.TotalLoads = 0
 	sa := NewStreamAccum(64)
-	for i, s := range tr.Samples {
+	for i, s := range tr.AllSamples() {
 		sa.AddSample(i, s)
 	}
 	if got, want := sa.Rho(0, tr.Period), tr.Rho(); got != want {

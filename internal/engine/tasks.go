@@ -111,7 +111,7 @@ func (a *Analyzer) runAnalysis(ctx context.Context, kind Analysis, rep *Report) 
 			// When the k-way split falls on tree-node boundaries (k a
 			// power-of-two fraction of the sample count), the tree
 			// already holds every interval's diagnostics.
-			rep.IntervalDiags = intervalDiagsFromTree(tree, len(a.t.Samples), a.opts.TimeIntervals)
+			rep.IntervalDiags = intervalDiagsFromTree(tree, a.t.NumSamples(), a.opts.TimeIntervals)
 			if rep.IntervalDiags == nil {
 				diags, err := interval.IntervalDiagnosticsCtx(ctx, a.t, a.opts.TimeIntervals, a.opts.BlockSize)
 				if err != nil {

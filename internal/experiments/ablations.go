@@ -137,7 +137,7 @@ func AblationSweep(s Sizes) (*SweepResult, error) {
 			m := analysis.MAPE(analysis.WindowHistogram(r.Trace, windows), refHist)
 			res.Rows = append(res.Rows, SweepRow{
 				Period: period, BufBytes: buf,
-				Bytes: r.Trace.Bytes, Samples: len(r.Trace.Samples),
+				Bytes: r.Trace.Bytes, Samples: r.Trace.NumSamples(),
 				MAPEF: m.F,
 			})
 		}
@@ -205,9 +205,11 @@ func AblationZoomContiguity(s Sizes) (*ZoomAblationResult, error) {
 func hotBlocksD(r *core.AppResult, lf *zoom.Node) (float64, bool) {
 	// Count accesses per block within the leaf.
 	counts := map[uint64]int{}
-	for _, smp := range r.Trace.Samples {
-		for i := range smp.Records {
-			a := smp.Records[i].Addr
+	tr := r.Trace
+	addrs := tr.Addrs()
+	for si := 0; si < tr.NumSamples(); si++ {
+		lo, hi := tr.SampleRange(si)
+		for _, a := range addrs[lo:hi] {
 			if a >= lf.Lo && a < lf.Hi {
 				counts[a/64]++
 			}
@@ -233,10 +235,10 @@ func hotBlocksD(r *core.AppResult, lf *zoom.Node) (float64, bool) {
 	dist := analysis.NewStackDist(64)
 	var sum float64
 	var n int
-	for _, smp := range r.Trace.Samples {
+	for si := 0; si < tr.NumSamples(); si++ {
+		lo, hi := tr.SampleRange(si)
 		dist.Reset()
-		for i := range smp.Records {
-			a := smp.Records[i].Addr
+		for _, a := range addrs[lo:hi] {
 			if a >= lf.Lo && a < lf.Hi && hot[a/64] {
 				if d, _ := dist.Access(a); d >= 0 {
 					sum += float64(d)
@@ -329,11 +331,11 @@ func AblationParallel(s Sizes) (*ParallelResult, error) {
 		hist := analysis.WindowHistogram(r.Trace, windows)
 		row := ParallelRow{
 			Workers: workers, Cycles: r.BaseStats.Cycles,
-			Overhead: r.Overhead(), Samples: len(r.Trace.Samples),
+			Overhead: r.Overhead(), Samples: r.Trace.NumSamples(),
 		}
 		cpus := map[int]bool{}
-		for _, smp := range r.Trace.Samples {
-			cpus[smp.CPU] = true
+		for si := 0; si < r.Trace.NumSamples(); si++ {
+			cpus[r.Trace.SampleInfo(si).CPU] = true
 		}
 		row.CPUs = len(cpus)
 		if refHist == nil {

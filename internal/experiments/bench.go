@@ -19,6 +19,7 @@ import (
 
 	"github.com/memgaze/memgaze-go/internal/analysis"
 	"github.com/memgaze/memgaze-go/internal/cluster"
+	"github.com/memgaze/memgaze-go/internal/core"
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 	"github.com/memgaze/memgaze-go/internal/instrument"
 	"github.com/memgaze/memgaze-go/internal/pt"
@@ -26,14 +27,21 @@ import (
 	"github.com/memgaze/memgaze-go/internal/server"
 	"github.com/memgaze/memgaze-go/internal/storage"
 	"github.com/memgaze/memgaze-go/internal/trace"
+	"github.com/memgaze/memgaze-go/internal/workloads/minivite"
 )
 
-// BenchMetric is one gated benchmark: a name and its best-of-reps
-// nanoseconds per operation. The CI gate compares these against a
-// committed baseline and fails on regressions beyond a threshold.
+// BenchMetric is one gated benchmark: a name, its best-of-reps
+// nanoseconds per operation, and the allocation behaviour of that
+// fastest run — so GC-pressure regressions gate exactly like latency
+// ones. The CI gate compares these against a committed baseline and
+// fails on regressions beyond a threshold; the alloc fields are
+// omitted when zero so older baselines parse (and simply do not gate
+// them).
 type BenchMetric struct {
-	Name    string `json:"name"`
-	NsPerOp int64  `json:"ns_per_op"`
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
 }
 
 // StreamIngestPoint is one capture size of the streamed-vs-buffered
@@ -60,6 +68,12 @@ type BenchResult struct {
 	Workers    int                 `json:"workers"`
 	Gate       []BenchMetric       `json:"gate"`
 	Stream     []StreamIngestPoint `json:"stream"`
+	// EncodedV2Bytes and EncodedV3Bytes compare the legacy row wire
+	// format with the columnar delta+varint v3 format on the same O0
+	// miniVite trace — the frame-chatter-heavy case §III-B's
+	// compression argument targets. v3 must not be larger.
+	EncodedV2Bytes int64 `json:"encoded_v2_bytes,omitempty"`
+	EncodedV3Bytes int64 `json:"encoded_v3_bytes,omitempty"`
 	// SweepSequentialNs is the sequential (1-shard) time of the
 	// sweep_sharded gate workload — informational, not gated: on
 	// multi-core machines sharded/sequential shows the map-reduce
@@ -82,7 +96,7 @@ func benchTrace(samples, recs int) *trace.Trace {
 				Class: dataflow.Class(rng.Intn(3)), Proc: "f", Line: int32(rng.Intn(20)),
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -122,19 +136,39 @@ func benchCapture(loads int) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// bestOf runs fn reps times and returns the fastest wall-clock run in
-// nanoseconds — the stable statistic for a regression gate (medians
-// drift with scheduler noise; minima track the machine's capability).
-func bestOf(reps int, fn func() error) (int64, error) {
-	best := int64(0)
+// opStats is one benchmark measurement: wall-clock nanoseconds plus
+// the heap allocation count and bytes of the same run.
+type opStats struct {
+	Ns, Allocs, Bytes int64
+}
+
+// per divides every statistic by the iteration count, turning a
+// whole-run measurement into a per-operation one.
+func (o opStats) per(iters int) opStats {
+	n := int64(iters)
+	return opStats{Ns: o.Ns / n, Allocs: o.Allocs / n, Bytes: o.Bytes / n}
+}
+
+// bestOf runs fn reps times and returns the fastest wall-clock run —
+// the stable statistic for a regression gate (medians drift with
+// scheduler noise; minima track the machine's capability) — along with
+// that run's allocation count and bytes, read from the runtime's
+// cumulative counters around the call.
+func bestOf(reps int, fn func() error) (opStats, error) {
+	var best opStats
+	var before, after runtime.MemStats
 	for r := 0; r < reps; r++ {
+		runtime.ReadMemStats(&before)
 		t0 := time.Now()
 		if err := fn(); err != nil {
-			return 0, err
+			return opStats{}, err
 		}
 		d := time.Since(t0).Nanoseconds()
-		if best == 0 || d < best {
-			best = d
+		runtime.ReadMemStats(&after)
+		if best.Ns == 0 || d < best.Ns {
+			best = opStats{Ns: d,
+				Allocs: int64(after.Mallocs - before.Mallocs),
+				Bytes:  int64(after.TotalAlloc - before.TotalAlloc)}
 		}
 	}
 	return best, nil
@@ -187,10 +221,10 @@ func measurePeak(fn func(sample func()) (any, error)) (overhead int64, err error
 
 // serveWarm measures the result-cache repeat path: one upload, one
 // priming analyze, then iters cached analyzes; returns ns per analyze.
-func serveWarm(iters int) (int64, error) {
+func serveWarm(iters int) (opStats, error) {
 	s, err := server.New(server.Config{})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	defer s.Close()
 	hs := httptest.NewServer(s)
@@ -198,17 +232,17 @@ func serveWarm(iters int) (int64, error) {
 
 	enc, err := benchTrace(16, 200).Encode()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	resp, err := http.Post(hs.URL+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	var info server.TraceInfo
 	err = json.NewDecoder(resp.Body).Decode(&info)
 	resp.Body.Close()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	analyze := func() error {
 		resp, err := http.Post(hs.URL+"/v1/traces/"+info.ID+"/analyze", "application/json",
@@ -224,7 +258,7 @@ func serveWarm(iters int) (int64, error) {
 		return nil
 	}
 	if err := analyze(); err != nil { // prime the cache
-		return 0, err
+		return opStats{}, err
 	}
 	total, err := bestOf(3, func() error {
 		for i := 0; i < iters; i++ {
@@ -235,9 +269,9 @@ func serveWarm(iters int) (int64, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
-	return total / int64(iters), nil
+	return total.per(iters), nil
 }
 
 // clusterProxy measures the warm proxied-analyze path of a two-replica
@@ -247,14 +281,14 @@ func serveWarm(iters int) (int64, error) {
 // proxying replica. Gated against serve_warm-like cost: the number
 // tracks routing and cache overhead, not engine work, so a regression
 // means the proxy layer itself got slower.
-func clusterProxy(iters int) (int64, error) {
+func clusterProxy(iters int) (opStats, error) {
 	const n = 2
 	lns := make([]net.Listener, n)
 	peers := make([]string, n)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return 0, err
+			return opStats{}, err
 		}
 		defer ln.Close()
 		lns[i] = ln
@@ -263,7 +297,7 @@ func clusterProxy(iters int) (int64, error) {
 	for i := range lns {
 		s, err := server.New(server.Config{Peers: peers, Advertise: peers[i], ProbeInterval: -1})
 		if err != nil {
-			return 0, err
+			return opStats{}, err
 		}
 		defer s.Close()
 		hs := &http.Server{Handler: s}
@@ -273,17 +307,17 @@ func clusterProxy(iters int) (int64, error) {
 
 	enc, err := benchTrace(16, 200).Encode()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	resp, err := http.Post("http://"+peers[0]+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	var info server.TraceInfo
 	err = json.NewDecoder(resp.Body).Decode(&info)
 	resp.Body.Close()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 
 	// The vantage is whichever replica does NOT own the trace, so every
@@ -310,7 +344,7 @@ func clusterProxy(iters int) (int64, error) {
 		return nil
 	}
 	if err := analyze(); err != nil { // prime the vantage's local cache
-		return 0, err
+		return opStats{}, err
 	}
 	total, err := bestOf(3, func() error {
 		for i := 0; i < iters; i++ {
@@ -321,9 +355,9 @@ func clusterProxy(iters int) (int64, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
-	return total / int64(iters), nil
+	return total.per(iters), nil
 }
 
 // clusterFailover measures the warm degraded-fleet analyze path: a
@@ -334,14 +368,14 @@ func clusterProxy(iters int) (int64, error) {
 // top of the proxy layer clusterProxy already gates. The priming
 // analyze pays the transport retries that mark the dead peer down;
 // the measured iterations are what a steady degraded fleet serves.
-func clusterFailover(iters int) (int64, error) {
+func clusterFailover(iters int) (opStats, error) {
 	const n = 3
 	lns := make([]net.Listener, n)
 	peers := make([]string, n)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return 0, err
+			return opStats{}, err
 		}
 		defer ln.Close()
 		lns[i] = ln
@@ -352,7 +386,7 @@ func clusterFailover(iters int) (int64, error) {
 		s, err := server.New(server.Config{Peers: peers, Advertise: peers[i],
 			ProbeInterval: -1, RepairInterval: -1})
 		if err != nil {
-			return 0, err
+			return opStats{}, err
 		}
 		defer s.Close()
 		hss[i] = &http.Server{Handler: s}
@@ -362,17 +396,17 @@ func clusterFailover(iters int) (int64, error) {
 
 	enc, err := benchTrace(16, 200).Encode()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	resp, err := http.Post("http://"+peers[0]+"/v1/traces", server.ContentTypeTrace, bytes.NewReader(enc))
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	var info server.TraceInfo
 	err = json.NewDecoder(resp.Body).Decode(&info)
 	resp.Body.Close()
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 
 	// Rendezvous order of the id: owners[0] is the primary to kill; the
@@ -414,7 +448,7 @@ func clusterFailover(iters int) (int64, error) {
 		return nil
 	}
 	if err := analyze(); err != nil { // cascade past the dead owner, mark it down, warm the cache
-		return 0, err
+		return opStats{}, err
 	}
 	total, err := bestOf(3, func() error {
 		for i := 0; i < iters; i++ {
@@ -425,18 +459,18 @@ func clusterFailover(iters int) (int64, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
-	return total / int64(iters), nil
+	return total.per(iters), nil
 }
 
 // diffServed measures the warm cross-trace diff path: two uploads, one
 // priming POST /v1/diff (which analyses both sides and caches the
 // DiffReport), then iters cached diffs; returns ns per diff.
-func diffServed(iters int) (int64, error) {
+func diffServed(iters int) (opStats, error) {
 	s, err := server.New(server.Config{})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	defer s.Close()
 	hs := httptest.NewServer(s)
@@ -461,11 +495,11 @@ func diffServed(iters int) (int64, error) {
 	}
 	idA, err := upload(trA)
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	idB, err := upload(trB)
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	body := `{"a":"` + idA + `","b":"` + idB + `","analyses":["functions","mrc","confidence","interval-tree","zoom"]}`
 	diffOnce := func() error {
@@ -481,7 +515,7 @@ func diffServed(iters int) (int64, error) {
 		return nil
 	}
 	if err := diffOnce(); err != nil { // prime both reports and the diff cache
-		return 0, err
+		return opStats{}, err
 	}
 	total, err := bestOf(3, func() error {
 		for i := 0; i < iters; i++ {
@@ -492,9 +526,9 @@ func diffServed(iters int) (int64, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
-	return total / int64(iters), nil
+	return total.per(iters), nil
 }
 
 // warmBoot measures durable-store recovery: the time storage.Open
@@ -503,29 +537,29 @@ func diffServed(iters int) (int64, error) {
 // cost a -data-dir deployment pays before it can serve, so the gate
 // keeps it from silently regressing as the record framing or the
 // recovery scan evolves.
-func warmBoot(traces int) (int64, error) {
+func warmBoot(traces int) (opStats, error) {
 	dir, err := os.MkdirTemp("", "memgaze-warmboot")
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	defer os.RemoveAll(dir)
 	st, err := storage.Open(storage.Config{Dir: dir, CompactInterval: -1})
 	if err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	for i := 0; i < traces; i++ {
 		tr := benchTrace(4+i, 64) // distinct sample counts → distinct content hashes
 		id, size := tr.HashAndSize()
 		meta := storage.Meta{Module: tr.Module, Mode: tr.Mode,
-			Samples: len(tr.Samples), Records: tr.NumRecords(),
+			Samples: tr.NumSamples(), Records: tr.NumRecords(),
 			Rho: tr.Rho(), Kappa: tr.Kappa(), Uploaded: time.Now().UTC()}
 		if _, err := st.Put(id, meta, size, tr); err != nil {
 			st.Close()
-			return 0, err
+			return opStats{}, err
 		}
 	}
 	if err := st.Close(); err != nil {
-		return 0, err
+		return opStats{}, err
 	}
 	return bestOf(5, func() error {
 		re, err := storage.Open(storage.Config{Dir: dir, CompactInterval: -1})
@@ -546,14 +580,14 @@ func warmBoot(traces int) (int64, error) {
 // confidence. The sequential time rides along so multi-core runs show
 // the map-reduce speedup; the gate entry tracks the sharded time, which
 // on one CPU equals the sequential path (shards resolve to 1).
-func sweepSharded(tr *trace.Trace, reps int) (sharded, sequential int64, err error) {
+func sweepSharded(tr *trace.Trace, reps int) (sharded, sequential opStats, err error) {
 	st := analysis.StatsOf(tr)
 	sharded, err = bestOf(reps, func() error {
 		_, err := analysis.NewSweepSharded(context.Background(), tr, 64, analysis.SweepEverything, 0, st)
 		return err
 	})
 	if err != nil {
-		return 0, 0, err
+		return opStats{}, opStats{}, err
 	}
 	sequential, err = bestOf(reps, func() error {
 		_, err := analysis.NewSweepSharded(context.Background(), tr, 64, analysis.SweepEverything, 1, st)
@@ -564,7 +598,7 @@ func sweepSharded(tr *trace.Trace, reps int) (sharded, sequential int64, err err
 
 // buildPooled measures one pooled (GOMAXPROCS-worker) build of a
 // capture, best of reps.
-func buildPooled(capture []byte, reps int) (int64, error) {
+func buildPooled(capture []byte, reps int) (opStats, error) {
 	return bestOf(reps, func() error {
 		cp, err := pt.ReadCapture(bytes.NewReader(capture))
 		if err != nil {
@@ -635,16 +669,18 @@ func streamIngest(path string, scale, chunk int) (StreamIngestPoint, error) {
 	if err != nil {
 		return pnt, err
 	}
-	pnt.BufferedNs = bufNs
+	pnt.BufferedNs = bufNs.Ns
 	pnt.Records = tr.NumRecords()
 	bufHash := tr.Hash()
-	if pnt.StreamedNs, err = bestOf(3, func() error {
+	strNs, err := bestOf(3, func() error {
 		t, err := streamed(nop)
 		tr = t
 		return err
-	}); err != nil {
+	})
+	if err != nil {
 		return pnt, err
 	}
+	pnt.StreamedNs = strNs.Ns
 	if h := tr.Hash(); h != bufHash {
 		return pnt, fmt.Errorf("streamed build diverged: %s != %s", h, bufHash)
 	}
@@ -676,7 +712,11 @@ func Bench(s Sizes) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve warm: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "serve_warm", NsPerOp: warm})
+	gate := func(name string, st opStats) {
+		res.Gate = append(res.Gate, BenchMetric{Name: name,
+			NsPerOp: st.Ns, AllocsPerOp: st.Allocs, BytesPerOp: st.Bytes})
+	}
+	gate("serve_warm", warm)
 
 	baseLoads := s.MicroAccesses * s.MicroReps
 	capture, err := benchCapture(baseLoads)
@@ -687,7 +727,7 @@ func Bench(s Sizes) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build pooled: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "build_pooled", NsPerOp: pooled})
+	gate("build_pooled", pooled)
 
 	// The sharded sweep over a large trace: samples scale with the
 	// workload sizes so quick/full control runtime here too.
@@ -696,32 +736,59 @@ func Bench(s Sizes) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep sharded: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "sweep_sharded", NsPerOp: shardedNs})
-	res.SweepSequentialNs = seqNs
+	gate("sweep_sharded", shardedNs)
+	res.SweepSequentialNs = seqNs.Ns
 
 	diffNs, err := diffServed(100)
 	if err != nil {
 		return nil, fmt.Errorf("diff served: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "diff_served", NsPerOp: diffNs})
+	gate("diff_served", diffNs)
 
 	proxyNs, err := clusterProxy(100)
 	if err != nil {
 		return nil, fmt.Errorf("cluster proxy: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "cluster_proxy", NsPerOp: proxyNs})
+	gate("cluster_proxy", proxyNs)
 
 	failNs, err := clusterFailover(100)
 	if err != nil {
 		return nil, fmt.Errorf("cluster failover: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "cluster_failover", NsPerOp: failNs})
+	gate("cluster_failover", failNs)
 
 	bootNs, err := warmBoot(32)
 	if err != nil {
 		return nil, fmt.Errorf("warm boot: %w", err)
 	}
-	res.Gate = append(res.Gate, BenchMetric{Name: "warm_boot", NsPerOp: bootNs})
+	gate("warm_boot", bootNs)
+
+	// encode_v3 gates the columnar writer: serialisation cost of the
+	// sweep trace in the v3 delta+varint format.
+	encNs, err := bestOf(5, func() error {
+		_, err := sweepTr.Encode()
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("encode v3: %w", err)
+	}
+	gate("encode_v3", encNs)
+
+	// On-disk comparison of the two wire formats over an O0 trace.
+	o0App, _ := s.miniviteApp(minivite.V1, minivite.O0, true)
+	o0, err := core.RunApp(o0App, s.fullModeConfig())
+	if err != nil {
+		return nil, fmt.Errorf("O0 trace: %w", err)
+	}
+	v3enc, err := o0.Trace.Encode()
+	if err != nil {
+		return nil, err
+	}
+	v2enc, err := o0.Trace.EncodeLegacy(2)
+	if err != nil {
+		return nil, err
+	}
+	res.EncodedV2Bytes, res.EncodedV3Bytes = int64(len(v2enc)), int64(len(v3enc))
 
 	// Streamed vs buffered ingest at 1× and 10× capture sizes, from a
 	// temp file so the streamed path never holds the capture in memory.
@@ -747,14 +814,14 @@ func Bench(s Sizes) (*BenchResult, error) {
 		res.Stream = append(res.Stream, pnt)
 	}
 
-	gt := report.NewTable("Gated benchmarks (best-of-reps)", "name", "ns/op")
+	gt := report.NewTable("Gated benchmarks (best-of-reps)", "name", "ns/op", "allocs/op", "B/op")
 	for _, m := range res.Gate {
-		gt.Add(m.Name, m.NsPerOp)
+		gt.Add(m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
 	}
-	if res.SweepSequentialNs > 0 && shardedNs > 0 {
-		gt.Add("sweep_sequential (info)", res.SweepSequentialNs)
+	if res.SweepSequentialNs > 0 && shardedNs.Ns > 0 {
+		gt.Add("sweep_sequential (info)", res.SweepSequentialNs, "", "")
 		gt.Add(fmt.Sprintf("sweep speedup ×%d cores", res.Workers),
-			fmt.Sprintf("%.2fx", float64(res.SweepSequentialNs)/float64(shardedNs)))
+			fmt.Sprintf("%.2fx", float64(res.SweepSequentialNs)/float64(shardedNs.Ns)), "", "")
 	}
 	st := report.NewTable("Streamed vs buffered ingest (chunked decode from disk)",
 		"capture", "records", "streamed", "buffered", "stream overhead", "buffered overhead")
@@ -766,5 +833,10 @@ func Bench(s Sizes) (*BenchResult, error) {
 			report.Bytes(uint64(p.StreamedOverhead)), report.Bytes(uint64(p.BufferedOverhead)))
 	}
 	res.Text = gt.Render() + "\n" + st.Render()
+	if res.EncodedV2Bytes > 0 {
+		res.Text += fmt.Sprintf("\nO0 miniVite wire size: v2 %s, v3 %s (%.2fx)\n",
+			report.Bytes(uint64(res.EncodedV2Bytes)), report.Bytes(uint64(res.EncodedV3Bytes)),
+			float64(res.EncodedV2Bytes)/float64(res.EncodedV3Bytes))
+	}
 	return res, nil
 }

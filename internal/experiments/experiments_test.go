@@ -538,8 +538,8 @@ func TestBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", res.Text)
-	if len(res.Gate) != 7 {
-		t.Fatalf("gate metrics = %d, want 7", len(res.Gate))
+	if len(res.Gate) != 8 {
+		t.Fatalf("gate metrics = %d, want 8", len(res.Gate))
 	}
 	if got := res.Gate[2].Name; got != "sweep_sharded" {
 		t.Errorf("gate[2] = %q, want sweep_sharded", got)
@@ -555,6 +555,12 @@ func TestBenchRuns(t *testing.T) {
 	}
 	if got := res.Gate[6].Name; got != "warm_boot" {
 		t.Errorf("gate[6] = %q, want warm_boot", got)
+	}
+	if got := res.Gate[7].Name; got != "encode_v3" {
+		t.Errorf("gate[7] = %q, want encode_v3", got)
+	}
+	if res.EncodedV3Bytes <= 0 || res.EncodedV3Bytes >= res.EncodedV2Bytes {
+		t.Errorf("v3 O0 wire size %dB not smaller than v2 %dB", res.EncodedV3Bytes, res.EncodedV2Bytes)
 	}
 	if res.SweepSequentialNs <= 0 {
 		t.Errorf("sweep_sequential_ns = %d, want > 0", res.SweepSequentialNs)

@@ -46,28 +46,29 @@ func BuildCtx(ctx context.Context, t *trace.Trace, lo, hi uint64, rows, cols int
 	h.Access = mat(rows, cols)
 	h.Dist = mat(rows, cols)
 	h.distSumCnt = imat(rows, cols)
-	if hi <= lo || len(t.Samples) == 0 {
+	if hi <= lo || t.NumSamples() == 0 {
 		return h, nil
 	}
 	span := hi - lo
+	addrs := t.Addrs()
 	dist := analysis.NewStackDist(blockSize)
-	for si, s := range t.Samples {
+	for si := 0; si < t.NumSamples(); si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c := si * cols / len(t.Samples)
+		rlo, rhi := t.SampleRange(si)
+		c := si * cols / t.NumSamples()
 		dist.Reset()
-		for i := range s.Records {
-			rec := &s.Records[i]
-			if rec.Addr < lo || rec.Addr >= hi {
+		for _, addr := range addrs[rlo:rhi] {
+			if addr < lo || addr >= hi {
 				continue
 			}
-			r := int((rec.Addr - lo) * uint64(rows) / span)
+			r := int((addr - lo) * uint64(rows) / span)
 			if r >= rows {
 				r = rows - 1
 			}
 			h.Access[r][c]++
-			if d, _ := dist.Access(rec.Addr); d >= 0 {
+			if d, _ := dist.Access(addr); d >= 0 {
 				h.Dist[r][c] += float64(d)
 				h.distSumCnt[r][c]++
 			}

@@ -21,7 +21,7 @@ func cornerTrace() *trace.Trace {
 				Addr: base + uint64(i%4)*64, Proc: "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

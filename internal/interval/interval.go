@@ -53,22 +53,21 @@ func Build(t *trace.Trace, blockSize uint64) *Tree {
 // of O(records · log samples).
 func BuildCtx(ctx context.Context, t *trace.Trace, blockSize uint64) (*Tree, error) {
 	tr := &Tree{trace: t, blockSize: blockSize}
-	level := make([]*Node, 0, len(t.Samples))
-	accs := make([]*analysis.DiagAccum, 0, len(t.Samples))
-	for i, s := range t.Samples {
+	level := make([]*Node, 0, t.NumSamples())
+	accs := make([]*analysis.DiagAccum, 0, t.NumSamples())
+	ts := t.TS()
+	for i := 0; i < t.NumSamples(); i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		lo, hi := t.SampleRange(i)
 		n := &Node{Level: 0, Start: i, End: i + 1}
-		if len(s.Records) > 0 {
-			n.StartTS = s.Records[0].TS
-			n.EndTS = s.Records[len(s.Records)-1].TS
+		if hi > lo {
+			n.StartTS = ts[lo]
+			n.EndTS = ts[hi-1]
 		}
 		ac := analysis.NewDiagAccum("interval", blockSize)
-		ac.StartSample()
-		for j := range s.Records {
-			ac.Add(&s.Records[j])
-		}
+		ac.AddSampleCols(t, i)
 		n.Diag = ac.Finish(tr.rhoFor(i, i+1, ac))
 		level = append(level, n)
 		accs = append(accs, ac)
@@ -125,7 +124,7 @@ func (tr *Tree) rhoFor(start, end int, ac *analysis.DiagAccum) float64 {
 		return 1
 	}
 	var total uint64
-	if n := len(tr.trace.Samples); n > 0 {
+	if n := tr.trace.NumSamples(); n > 0 {
 		total = tr.trace.TotalLoads * uint64(end-start) / uint64(n)
 	}
 	executed := float64(total)
@@ -140,15 +139,13 @@ func (tr *Tree) rhoFor(start, end int, ac *analysis.DiagAccum) float64 {
 
 // diagFor computes diagnostics over samples [start, end).
 func (tr *Tree) diagFor(ctx context.Context, start, end int) (*analysis.Diag, error) {
-	sub := &trace.Trace{
-		Module: tr.trace.Module, Mode: tr.trace.Mode,
-		Period: tr.trace.Period, BufBytes: tr.trace.BufBytes,
-		Samples: tr.trace.Samples[start:end],
-	}
+	// A column-sharing view over [start, end); no record copying.
+	sub := tr.trace.SampleSlice(start, end)
 	// Attribute a proportional share of the execution's loads so ρ stays
 	// the global sample ratio.
-	if len(tr.trace.Samples) > 0 {
-		sub.TotalLoads = tr.trace.TotalLoads * uint64(end-start) / uint64(len(tr.trace.Samples))
+	sub.TotalLoads = 0
+	if n := tr.trace.NumSamples(); n > 0 {
+		sub.TotalLoads = tr.trace.TotalLoads * uint64(end-start) / uint64(n)
 	}
 	regions := []analysis.Region{{Name: "interval", Lo: 0, Hi: ^uint64(0)}}
 	diags, err := analysis.RegionDiagnosticsCtx(ctx, sub, regions, tr.blockSize)
@@ -191,17 +188,17 @@ func IntervalDiagnostics(t *trace.Trace, k int, blockSize uint64) []*analysis.Di
 
 // IntervalDiagnosticsCtx is IntervalDiagnostics with cancellation.
 func IntervalDiagnosticsCtx(ctx context.Context, t *trace.Trace, k int, blockSize uint64) ([]*analysis.Diag, error) {
-	if k <= 0 || len(t.Samples) == 0 {
+	if k <= 0 || t.NumSamples() == 0 {
 		return nil, nil
 	}
-	if k > len(t.Samples) {
-		k = len(t.Samples)
+	if k > t.NumSamples() {
+		k = t.NumSamples()
 	}
 	tr := &Tree{trace: t, blockSize: blockSize}
 	out := make([]*analysis.Diag, 0, k)
 	for i := 0; i < k; i++ {
-		start := i * len(t.Samples) / k
-		end := (i + 1) * len(t.Samples) / k
+		start := i * t.NumSamples() / k
+		end := (i + 1) * t.NumSamples() / k
 		if end == start {
 			continue
 		}
@@ -235,16 +232,18 @@ func IntraLocalityHistogram(t *trace.Trace, windows []uint64, blockSize uint64) 
 		var nD int
 		dist := analysis.NewStackDist(blockSize)
 		addrs := make(map[uint64]struct{})
-		for _, s := range t.Samples {
-			for start := 0; start+int(w) <= len(s.Records); start += int(w) {
+		col := t.Addrs()
+		for si := 0; si < t.NumSamples(); si++ {
+			lo, hi := t.SampleRange(si)
+			for start := lo; start+int(w) <= hi; start += int(w) {
 				dist.Reset()
 				clear(addrs)
 				var dSum float64
 				var dn int
 				for i := start; i < start+int(w); i++ {
-					r := &s.Records[i]
-					addrs[r.Addr] = struct{}{}
-					if d, _ := dist.Access(r.Addr); d >= 0 {
+					a := col[i]
+					addrs[a] = struct{}{}
+					if d, _ := dist.Access(a); d >= 0 {
 						dSum += float64(d)
 						dn++
 					}

@@ -28,7 +28,7 @@ func phasedTrace() *trace.Trace {
 				Addr: addr, TS: ts, Class: dataflow.Irregular, Proc: "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -73,7 +73,7 @@ func TestTreeStructure(t *testing.T) {
 // sample count exercises leftover-node promotion between levels.
 func TestMergedBuildMatchesRescan(t *testing.T) {
 	tr := phasedTrace()
-	tr.Samples = tr.Samples[:13]
+	tr = tr.SampleSlice(0, 13)
 	tree := Build(tr, 64)
 	var walk func(n *Node)
 	walk = func(n *Node) {

@@ -181,10 +181,18 @@ func (b *Builder) buildSampled(ctx context.Context) (*trace.Trace, DecodeStats, 
 		BufBytes: b.col.cfg.BufBytes,
 	}
 	var ds DecodeStats
+	nrec := 0
+	for i := range slots {
+		if slots[i].sample != nil {
+			nrec += len(slots[i].sample.Records)
+		}
+	}
+	t.Reserve(len(slots), nrec)
 	for i := range slots {
 		ds.Add(slots[i].ds)
 		if slots[i].sample != nil {
-			t.Samples = append(t.Samples, slots[i].sample)
+			// Emit straight into the trace's columns, in sample order.
+			t.AppendSample(slots[i].sample)
 		}
 	}
 	t.TotalLoads = b.col.Loads()
@@ -215,7 +223,8 @@ func (b *Builder) buildFull(ctx context.Context) (*trace.Trace, DecodeStats, err
 		RecordedEvents: b.col.EventsRecorded(),
 	}
 	if len(recs) > 0 {
-		t.Samples = []*trace.Sample{{Seq: 0, TriggerLoads: b.col.Loads(), Records: recs}}
+		t.Reserve(1, len(recs))
+		t.AppendSample(&trace.Sample{Seq: 0, TriggerLoads: b.col.Loads(), Records: recs})
 	}
 	ds.Records = len(recs)
 	if b.opts.Progress != nil {

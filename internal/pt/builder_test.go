@@ -30,7 +30,7 @@ func dumpTrace(tr *trace.Trace) string {
 	fmt.Fprintf(&b, "module=%s mode=%s period=%d buf=%d loads=%d bytes=%d rec=%d dropped=%d\n",
 		tr.Module, tr.Mode, tr.Period, tr.BufBytes, tr.TotalLoads, tr.Bytes,
 		tr.RecordedEvents, tr.DroppedEvents)
-	for _, s := range tr.Samples {
+	for _, s := range tr.AllSamples() {
 		fmt.Fprintf(&b, "sample %d @%d\n", s.Seq, s.TriggerLoads)
 		for _, r := range s.Records {
 			fmt.Fprintf(&b, "  %+v\n", r)
@@ -48,8 +48,8 @@ func TestDeprecatedBuildWrappersMatchBuilder(t *testing.T) {
 
 	col := driveSampled(100, 4<<10, 5000)
 	wantTr, wantDS := BuildSampledTrace(col, notes)
-	if len(wantTr.Samples) < 5 {
-		t.Fatalf("samples = %d, want enough to exercise the pool", len(wantTr.Samples))
+	if wantTr.NumSamples() < 5 {
+		t.Fatalf("samples = %d, want enough to exercise the pool", wantTr.NumSamples())
 	}
 	for _, workers := range []int{0, 1, 3, 8, 64} {
 		tr, ds, err := NewBuilder(col, notes, WithWorkers(workers)).Build(context.Background())

@@ -227,10 +227,18 @@ producer:
 		BufBytes: cp.BufBytes,
 	}
 	var ds DecodeStats
+	nrec := 0
+	for i := range slots {
+		if slots[i].sample != nil {
+			nrec += len(slots[i].sample.Records)
+		}
+	}
+	t.Reserve(len(slots), nrec)
 	for i := range slots {
 		ds.Add(slots[i].ds)
 		if slots[i].sample != nil {
-			t.Samples = append(t.Samples, slots[i].sample)
+			// Emit straight into the trace's columns, in sample order.
+			t.AppendSample(slots[i].sample)
 		}
 	}
 	t.TotalLoads = cp.TotalLoads

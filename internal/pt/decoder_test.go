@@ -98,8 +98,8 @@ func TestSampledTraceBuildFromHandNotes(t *testing.T) {
 		col.OnLoad(ts)
 	}
 	tr, ds := BuildSampledTrace(col, notes)
-	if len(tr.Samples) < 5 {
-		t.Fatalf("samples = %d", len(tr.Samples))
+	if tr.NumSamples() < 5 {
+		t.Fatalf("samples = %d", tr.NumSamples())
 	}
 	if ds.OrphanEvents > 0 {
 		t.Errorf("orphans = %d", ds.OrphanEvents)
@@ -107,7 +107,7 @@ func TestSampledTraceBuildFromHandNotes(t *testing.T) {
 	if tr.TotalLoads != 1000 {
 		t.Errorf("loads = %d", tr.TotalLoads)
 	}
-	for _, s := range tr.Samples {
+	for _, s := range tr.AllSamples() {
 		for _, r := range s.Records {
 			if r.IP != 0x205 || (r.Addr-0x5010)%8 != 0 {
 				t.Fatalf("bad record %+v", r)

@@ -212,10 +212,10 @@ func TestBuilderFaultTolerance(t *testing.T) {
 func checkUntouched(t *testing.T, got, clean *trace.Trace, corruptSeq int) {
 	t.Helper()
 	cleanBySeq := map[int]string{}
-	for _, s := range clean.Samples {
+	for _, s := range clean.AllSamples() {
 		cleanBySeq[s.Seq] = dumpSample(s)
 	}
-	for _, s := range got.Samples {
+	for _, s := range got.AllSamples() {
 		if s.Seq == corruptSeq {
 			continue
 		}

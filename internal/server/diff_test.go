@@ -44,7 +44,7 @@ func diffTestTrace(seed int64, samples, recs int) *trace.Trace {
 			}
 			smp.Records = append(smp.Records, rec)
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }

@@ -386,7 +386,7 @@ func traceInfo(id string, tr *trace.Trace, size int64) TraceInfo {
 		ID:      id,
 		Module:  tr.Module,
 		Mode:    tr.Mode,
-		Samples: len(tr.Samples),
+		Samples: tr.NumSamples(),
 		Records: tr.NumRecords(),
 		Bytes:   size,
 		Rho:     tr.Rho(),
@@ -427,7 +427,7 @@ func (s *Server) storeTrace(id string, tr *trace.Trace, size int64, at time.Time
 		m := storage.Meta{
 			Module:   tr.Module,
 			Mode:     tr.Mode,
-			Samples:  len(tr.Samples),
+			Samples:  tr.NumSamples(),
 			Records:  tr.NumRecords(),
 			Rho:      tr.Rho(),
 			Kappa:    tr.Kappa(),

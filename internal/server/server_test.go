@@ -54,7 +54,7 @@ func testTrace(samples, recs int) *trace.Trace {
 			}
 			smp.Records = append(smp.Records, rec)
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -143,6 +143,30 @@ func TestHandlers(t *testing.T) {
 	}
 	writeU(1 << 35) // string-table count
 
+	// A ~25-byte v3 body whose sample index claims 2^35 records: the
+	// columnar reader must refuse the implausible total up front, so
+	// memgazed answers 400 invalid_trace instead of OOMing on column
+	// preallocation.
+	var hostileV3 bytes.Buffer
+	writeU3 := func(v uint64) {
+		var b [10]byte
+		n := binary.PutUvarint(b[:], v)
+		hostileV3.Write(b[:n])
+	}
+	hostileV3.WriteString("MGTR")
+	writeU3(3) // version
+	writeU3(0) // module ""
+	writeU3(0) // mode ""
+	for i := 0; i < 7; i++ {
+		writeU3(0) // fixed header fields
+	}
+	writeU3(0)       // empty string table
+	writeU3(1)       // one sample...
+	writeU3(0)       // seq
+	writeU3(0)       // cpu
+	writeU3(0)       // trigger
+	writeU3(1 << 35) // ...claiming 2^35 records
+
 	cases := []struct {
 		name   string
 		method string
@@ -162,6 +186,7 @@ func TestHandlers(t *testing.T) {
 		{"analyze unknown id", "POST", hs.URL + "/v1/traces/deadbeef/analyze", "application/json", "{}", 404, ErrCodeTraceNotFound},
 		{"upload malformed trace", "POST", hs.URL + "/v1/traces", ContentTypeTrace, "not a trace", 400, ErrCodeInvalidTrace},
 		{"upload hostile trace header", "POST", hs.URL + "/v1/traces", ContentTypeTrace, hostile.String(), 400, ErrCodeInvalidTrace},
+		{"upload hostile v3 record count", "POST", hs.URL + "/v1/traces", ContentTypeTrace, hostileV3.String(), 400, ErrCodeInvalidTrace},
 		{"upload malformed capture", "POST", hs.URL + "/v1/traces", ContentTypePT, "not a capture", 400, ErrCodeInvalidCapture},
 		{"upload bad content type", "POST", hs.URL + "/v1/traces", "text/csv", "a,b", 415, ErrCodeUnsupportedMediaType},
 		{"analyze malformed json", "POST", hs.URL + "/v1/traces/" + info.ID + "/analyze", "application/json", "{", 400, ErrCodeInvalidRequest},
@@ -228,7 +253,7 @@ func TestUploadDedupAndLifecycle(t *testing.T) {
 	var got TraceInfo
 	json.NewDecoder(resp.Body).Decode(&got)
 	resp.Body.Close()
-	if got.Records != tr.NumRecords() || got.Samples != len(tr.Samples) {
+	if got.Records != tr.NumRecords() || got.Samples != tr.NumSamples() {
 		t.Fatalf("metadata %+v", got)
 	}
 

@@ -11,12 +11,11 @@ import (
 )
 
 func tinyTrace(seed int) *trace.Trace {
-	return &trace.Trace{
-		Module: fmt.Sprintf("m%d", seed),
-		Samples: []*trace.Sample{{
-			Records: []trace.Record{{IP: uint64(seed), Addr: uint64(seed) * 64, Proc: "p"}},
-		}},
-	}
+	tr := &trace.Trace{Module: fmt.Sprintf("m%d", seed)}
+	tr.SetSamples(&trace.Sample{
+		Records: []trace.Record{{IP: uint64(seed), Addr: uint64(seed) * 64, Proc: "p"}},
+	})
+	return tr
 }
 
 // TestStoreBudgetEviction pins the accounting: inserts beyond the

@@ -21,7 +21,7 @@ func ExampleTrace_Kappa() {
 			Implied: 1, // each record stands for one elided Constant load
 		})
 	}
-	t.Samples = []*trace.Sample{s}
+	t.SetSamples(s)
 	fmt.Printf("kappa = %.1f\n", t.Kappa())
 	fmt.Printf("rho   = %.0f\n", t.Rho())
 	// Output:
@@ -32,9 +32,9 @@ func ExampleTrace_Kappa() {
 // Traces serialise to the compact MGTR format and read back intact.
 func ExampleTrace_Write() {
 	t := &trace.Trace{Module: "demo", Mode: "sampled", Period: 1000}
-	t.Samples = []*trace.Sample{{
+	t.SetSamples(&trace.Sample{
 		Records: []trace.Record{{IP: 0x401000, Addr: 0x2000, Proc: "f"}},
-	}}
+	})
 	var buf bytes.Buffer
 	if err := t.Write(&buf); err != nil {
 		fmt.Println(err)

@@ -52,7 +52,7 @@ func TestHash(t *testing.T) {
 	}
 	// A single-record mutation must change the hash.
 	d := synthetic(7, 3, 40)
-	d.Samples[0].Records[0].Addr++
+	d.Addrs()[0]++
 	if a.Hash() == d.Hash() {
 		t.Error("mutated trace hash unchanged")
 	}

@@ -8,24 +8,35 @@
 // the reconstructed effective data address, a timestamp in core cycles,
 // the static access class, and the number of Constant loads the record
 // implies under trace compression.
+//
+// # Columnar arena
+//
+// The in-memory representation is a columnar arena: one flat slice per
+// record field (addrs, ips, ts, classes, implied, strides, lines,
+// interned proc-name ids) plus a per-sample offset index. The garbage
+// collector sees a handful of large pointer-free slices instead of
+// millions of Record structs, walks touch only the columns they read,
+// and a contiguous sample range is a contiguous column range — which is
+// what makes the sharded walks cache-friendly and the hot inner loops
+// sequential scans.
+//
+// Analyses read the columns through accessors (Addrs, IPs, TS, Classes,
+// Implied, Strides, Lines, ProcIDs) indexed by the absolute record
+// ranges SampleRange reports. Record and Sample remain as interchange
+// structs: builders append them (AppendSample), observers receive them
+// (SampleAt, Records), but the trace never stores them.
 package trace
 
 import (
-	"bufio"
-	"bytes"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"fmt"
-	"hash"
-	"io"
 	"iter"
 	"sort"
 
 	"github.com/memgaze/memgaze-go/internal/dataflow"
 )
 
-// Record is one decoded load-level access.
+// Record is one decoded load-level access — the interchange form of a
+// single column row. Builders construct Records and tests assert on
+// them; the trace itself stores each field in its own column.
 type Record struct {
 	IP      uint64 // load instruction address (instrumented module)
 	Addr    uint64 // effective data address
@@ -38,7 +49,7 @@ type Record struct {
 }
 
 // Sample is one contiguous recorded window: the contents of the trace
-// buffer at a sampling trigger.
+// buffer at a sampling trigger, in interchange (array-of-structs) form.
 type Sample struct {
 	Seq          int      // sample index within the trace
 	CPU          int      // logical CPU / worker the sample came from
@@ -50,14 +61,25 @@ type Sample struct {
 // sample — A(σ) for a single sample.
 func (s *Sample) W() int { return len(s.Records) }
 
-// Trace is a collected memory trace: sampled (MemGaze) or full.
+// SampleInfo is the per-sample entry of the offset index: the sample's
+// identity plus its absolute record range [Lo, Hi) in the columns.
+type SampleInfo struct {
+	Seq          int
+	CPU          int
+	TriggerLoads uint64
+	Lo, Hi       int
+}
+
+// W returns the number of records in the sample.
+func (si SampleInfo) W() int { return si.Hi - si.Lo }
+
+// Trace is a collected memory trace: sampled (MemGaze) or full. Record
+// data lives in the columnar arena; see the package comment.
 type Trace struct {
 	Module   string
 	Mode     string // "sampled", "sampled-opt", or "full"
 	Period   uint64 // w+z in loads; 0 for full traces
 	BufBytes int    // hardware buffer size; 0 for full traces
-
-	Samples []*Sample
 
 	// TotalLoads is the hardware load counter at the end of the run: all
 	// executed loads, including uninstrumented Constant loads.
@@ -74,13 +96,92 @@ type Trace struct {
 	// summed from the build's DecodeStats so a saved trace carries its
 	// own decode-quality record.
 	LostBytes uint64
+
+	// Columnar arena. For a trace built by appending, record index space
+	// is dense [0, len(addrs)); for a sample-subset view (SampleSlice,
+	// FilterSamples) the columns are shared with the parent and the
+	// index entries address them absolutely.
+	addrs   []uint64
+	ips     []uint64
+	ts      []uint64
+	classes []byte
+	implied []uint32
+	strides []int32
+	lines   []int32
+	procIDs []uint32
+
+	procs   []string          // interned proc names, first-appearance order
+	procIdx map[string]uint32 // build-side intern index
+	samples []SampleInfo      // per-sample offset index
+
+	// view marks a trace whose columns are shared with another trace
+	// (SampleSlice, FilterSamples). Views are read-only.
+	view bool
+}
+
+// NumSamples returns the number of samples in the trace.
+func (t *Trace) NumSamples() int { return len(t.samples) }
+
+// SampleInfo returns sample i's index entry: identity and the absolute
+// record range [Lo, Hi) its records occupy in the columns.
+func (t *Trace) SampleInfo(i int) SampleInfo { return t.samples[i] }
+
+// SampleRange returns the absolute record index range [lo, hi) of
+// sample i in the columns.
+func (t *Trace) SampleRange(i int) (lo, hi int) {
+	s := &t.samples[i]
+	return s.Lo, s.Hi
+}
+
+// Addrs returns the effective-address column. The slice is the trace's
+// backing storage: callers must treat it as read-only and index it only
+// within SampleRange spans.
+func (t *Trace) Addrs() []uint64 { return t.addrs }
+
+// IPs returns the load-instruction address column (read-only).
+func (t *Trace) IPs() []uint64 { return t.ips }
+
+// TS returns the timestamp column (read-only).
+func (t *Trace) TS() []uint64 { return t.ts }
+
+// Classes returns the access-class column (read-only).
+func (t *Trace) Classes() []byte { return t.classes }
+
+// Implied returns the implied-Constant-loads column (read-only).
+func (t *Trace) Implied() []uint32 { return t.implied }
+
+// Strides returns the static-stride column (read-only).
+func (t *Trace) Strides() []int32 { return t.strides }
+
+// Lines returns the source-line column (read-only).
+func (t *Trace) Lines() []int32 { return t.lines }
+
+// ProcIDs returns the interned proc-name id column (read-only). Ids
+// index the Procs table.
+func (t *Trace) ProcIDs() []uint32 { return t.procIDs }
+
+// Procs returns the interned proc-name table (read-only): ProcIDs
+// values index it.
+func (t *Trace) Procs() []string { return t.procs }
+
+// ProcName returns the proc name behind an interned id.
+func (t *Trace) ProcName(id uint32) string { return t.procs[id] }
+
+// At materialises record i (absolute column index) in interchange form.
+func (t *Trace) At(i int) Record {
+	return Record{
+		IP: t.ips[i], Addr: t.addrs[i], TS: t.ts[i],
+		Class:   dataflow.Class(t.classes[i]),
+		Implied: t.implied[i], Stride: t.strides[i],
+		Line: t.lines[i], Proc: t.procs[t.procIDs[i]],
+	}
 }
 
 // NumRecords returns A(σ): total observed accesses across all samples.
 func (t *Trace) NumRecords() int {
 	n := 0
-	for _, s := range t.Samples {
-		n += len(s.Records)
+	for i := range t.samples {
+		n += t.samples[i].Hi - t.samples[i].Lo
 	}
 	return n
 }
@@ -88,23 +189,19 @@ func (t *Trace) NumRecords() int {
 // ImpliedConst returns A_const(σ): the Constant accesses implied by the
 // observed records under trace compression.
 func (t *Trace) ImpliedConst() uint64 {
-	var n uint64
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			n += uint64(s.Records[i].Implied)
-		}
-	}
-	return n
+	_, implied := t.Counts()
+	return implied
 }
 
 // Counts returns NumRecords and ImpliedConst from a single walk over
-// the records — what callers deriving ρ and κ together want instead of
-// two (or, via Rho, three) separate passes.
+// the implied column — what callers deriving ρ and κ together want
+// instead of two (or, via Rho, three) separate passes.
 func (t *Trace) Counts() (records int, implied uint64) {
-	for _, s := range t.Samples {
-		records += len(s.Records)
-		for i := range s.Records {
-			implied += uint64(s.Records[i].Implied)
+	for i := range t.samples {
+		s := &t.samples[i]
+		records += s.Hi - s.Lo
+		for _, v := range t.implied[s.Lo:s.Hi] {
+			implied += uint64(v)
 		}
 	}
 	return records, implied
@@ -125,7 +222,7 @@ func (t *Trace) RhoKappa(records int, implied uint64) (rho, kappa float64) {
 	}
 	executed := float64(t.TotalLoads)
 	if executed == 0 {
-		executed = float64(len(t.Samples)) * float64(t.Period)
+		executed = float64(len(t.samples)) * float64(t.Period)
 	}
 	if executed < decompressed {
 		return 1, kappa
@@ -151,10 +248,10 @@ func (t *Trace) Rho() float64 {
 
 // MeanW returns the average observed window size w across samples.
 func (t *Trace) MeanW() float64 {
-	if len(t.Samples) == 0 {
+	if len(t.samples) == 0 {
 		return 0
 	}
-	return float64(t.NumRecords()) / float64(len(t.Samples))
+	return float64(t.NumRecords()) / float64(len(t.samples))
 }
 
 // Len returns the total number of records in the trace — the length of
@@ -162,15 +259,23 @@ func (t *Trace) MeanW() float64 {
 // range-style callers.
 func (t *Trace) Len() int { return t.NumRecords() }
 
-// Records returns an iterator over every record in trace order, keyed by
-// the index of the sample the record belongs to. It is the preferred way
-// for analyses to walk a trace: sample boundaries are visible (the key
-// changes), yet callers never index Samples directly.
+// Records returns an iterator over every record in trace order, keyed
+// by the index of the sample the record belongs to. The yielded pointer
+// refers to a scratch Record reused across iterations: it is valid only
+// until the next iteration step and must not be retained. Hot walks
+// should read the columns directly; Records is the convenient form for
+// everything else.
 func (t *Trace) Records() iter.Seq2[int, *Record] {
 	return func(yield func(int, *Record) bool) {
-		for si, s := range t.Samples {
-			for i := range s.Records {
-				if !yield(si, &s.Records[i]) {
+		var r Record
+		for si := range t.samples {
+			s := &t.samples[si]
+			for i := s.Lo; i < s.Hi; i++ {
+				r.IP, r.Addr, r.TS = t.ips[i], t.addrs[i], t.ts[i]
+				r.Class = dataflow.Class(t.classes[i])
+				r.Implied, r.Stride = t.implied[i], t.strides[i]
+				r.Line, r.Proc = t.lines[i], t.procs[t.procIDs[i]]
+				if !yield(si, &r) {
 					return
 				}
 			}
@@ -181,346 +286,227 @@ func (t *Trace) Records() iter.Seq2[int, *Record] {
 // AllRecords returns every record in trace order. The slice is fresh.
 func (t *Trace) AllRecords() []Record {
 	out := make([]Record, 0, t.NumRecords())
-	for _, s := range t.Samples {
-		out = append(out, s.Records...)
+	for si := range t.samples {
+		out = t.appendSampleRecords(out, si)
 	}
 	return out
 }
 
-// FilterProc returns a shallow trace containing only records of the
-// given procedures (a code-window restriction, §IV-B). Sample structure
-// is preserved; empty samples are dropped.
-func (t *Trace) FilterProc(procs ...string) *Trace {
-	want := make(map[string]bool, len(procs))
-	for _, p := range procs {
-		want[p] = true
+// SampleRecords materialises sample i's records. The slice is fresh.
+func (t *Trace) SampleRecords(i int) []Record {
+	return t.appendSampleRecords(make([]Record, 0, t.samples[i].W()), i)
+}
+
+func (t *Trace) appendSampleRecords(out []Record, si int) []Record {
+	s := &t.samples[si]
+	for i := s.Lo; i < s.Hi; i++ {
+		out = append(out, t.At(i))
 	}
-	nt := &Trace{Module: t.Module, Mode: t.Mode, Period: t.Period,
-		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads, Bytes: t.Bytes}
-	for _, s := range t.Samples {
-		var recs []Record
-		for _, r := range s.Records {
-			if want[r.Proc] {
-				recs = append(recs, r)
-			}
+	return out
+}
+
+// SampleAt materialises sample i in interchange form: identity plus a
+// fresh Records slice.
+func (t *Trace) SampleAt(i int) *Sample {
+	s := t.samples[i]
+	return &Sample{Seq: s.Seq, CPU: s.CPU, TriggerLoads: s.TriggerLoads,
+		Records: t.SampleRecords(i)}
+}
+
+// AllSamples materialises every sample in interchange form — the
+// compatibility walk for callers that want the old []*Sample shape.
+func (t *Trace) AllSamples() []*Sample {
+	out := make([]*Sample, len(t.samples))
+	for i := range t.samples {
+		out[i] = t.SampleAt(i)
+	}
+	return out
+}
+
+// intern returns the id of a proc name, adding it to the table on first
+// sight (first-appearance order, the determinism contract of the wire
+// format).
+func (t *Trace) intern(proc string) uint32 {
+	// Consecutive records overwhelmingly share a procedure, so check the
+	// previous record's name before paying for a map lookup. The probe
+	// uses only existing columns — no cache state that could differ
+	// between an appended and a decoded trace.
+	if n := len(t.procIDs); n > 0 {
+		if id := t.procIDs[n-1]; proc == t.procs[id] {
+			return id
 		}
-		if len(recs) > 0 {
-			nt.Samples = append(nt.Samples, &Sample{Seq: s.Seq, TriggerLoads: s.TriggerLoads, Records: recs})
+	}
+	if t.procIdx == nil {
+		t.procIdx = make(map[string]uint32, 8)
+		for i, p := range t.procs {
+			t.procIdx[p] = uint32(i)
+		}
+	}
+	if id, ok := t.procIdx[proc]; ok {
+		return id
+	}
+	id := uint32(len(t.procs))
+	t.procIdx[proc] = id
+	t.procs = append(t.procs, proc)
+	return id
+}
+
+func (t *Trace) mutable() {
+	if t.view {
+		panic("trace: appending to a shared-column view")
+	}
+}
+
+// AddSample starts a new, empty sample; subsequent AppendRecord calls
+// fill it.
+func (t *Trace) AddSample(seq, cpu int, trigger uint64) {
+	t.mutable()
+	n := len(t.addrs)
+	t.samples = append(t.samples, SampleInfo{Seq: seq, CPU: cpu,
+		TriggerLoads: trigger, Lo: n, Hi: n})
+}
+
+// AppendRecord appends one record to the most recent sample.
+func (t *Trace) AppendRecord(r *Record) {
+	t.mutable()
+	t.addrs = append(t.addrs, r.Addr)
+	t.ips = append(t.ips, r.IP)
+	t.ts = append(t.ts, r.TS)
+	t.classes = append(t.classes, byte(r.Class))
+	t.implied = append(t.implied, r.Implied)
+	t.strides = append(t.strides, r.Stride)
+	t.lines = append(t.lines, r.Line)
+	t.procIDs = append(t.procIDs, t.intern(r.Proc))
+	t.samples[len(t.samples)-1].Hi = len(t.addrs)
+}
+
+// AppendSample appends one interchange-form sample: its identity and
+// every record, in order.
+func (t *Trace) AppendSample(s *Sample) {
+	t.AddSample(s.Seq, s.CPU, s.TriggerLoads)
+	for i := range s.Records {
+		t.AppendRecord(&s.Records[i])
+	}
+}
+
+// SetSamples replaces the trace's contents with the given samples — the
+// literal-construction convenience for tests and synthetic traces.
+func (t *Trace) SetSamples(ss ...*Sample) {
+	t.mutable()
+	t.addrs, t.ips, t.ts = nil, nil, nil
+	t.classes, t.implied = nil, nil
+	t.strides, t.lines, t.procIDs = nil, nil, nil
+	t.procs, t.procIdx, t.samples = nil, nil, nil
+	n := 0
+	for _, s := range ss {
+		n += len(s.Records)
+	}
+	t.Reserve(len(ss), n)
+	for _, s := range ss {
+		t.AppendSample(s)
+	}
+}
+
+// Reserve grows the arena to hold at least samples index entries and
+// records column rows without further allocation.
+func (t *Trace) Reserve(samples, records int) {
+	t.mutable()
+	if c := cap(t.samples) - len(t.samples); c < samples {
+		grown := make([]SampleInfo, len(t.samples), len(t.samples)+samples)
+		copy(grown, t.samples)
+		t.samples = grown
+	}
+	if c := cap(t.addrs) - len(t.addrs); c < records {
+		t.addrs = grow(t.addrs, records)
+		t.ips = grow(t.ips, records)
+		t.ts = grow(t.ts, records)
+		t.classes = grow(t.classes, records)
+		t.implied = grow(t.implied, records)
+		t.strides = grow(t.strides, records)
+		t.lines = grow(t.lines, records)
+		t.procIDs = grow(t.procIDs, records)
+	}
+}
+
+func grow[T any](s []T, n int) []T {
+	out := make([]T, len(s), len(s)+n)
+	copy(out, s)
+	return out
+}
+
+// SampleSlice returns a read-only view over samples [start, end):
+// shared columns, a sub-sliced offset index, and copied metadata.
+// Callers restricting ρ (TotalLoads) rescale it on the view.
+func (t *Trace) SampleSlice(start, end int) *Trace {
+	nt := t.metaClone()
+	nt.samples = t.samples[start:end:end]
+	return nt
+}
+
+// FilterSamples returns a read-only view keeping the samples the
+// predicate accepts (by sample index): shared columns, fresh index.
+func (t *Trace) FilterSamples(keep func(i int) bool) *Trace {
+	nt := t.metaClone()
+	nt.samples = nil
+	for i := range t.samples {
+		if keep(i) {
+			nt.samples = append(nt.samples, t.samples[i])
 		}
 	}
 	return nt
 }
 
-// fileVersion is the on-disk format version written after the "MGTR"
-// magic bytes. Version 2 added LostBytes to the header; version-1 files
-// still read (the field defaults to zero).
-const fileVersion = 2
-
-// maxSection bounds a single length-prefixed string in the MGTR
-// format, so a corrupt or hostile length prefix cannot force a huge
-// allocation before the read fails.
-const maxSection = 1 << 30
-
-// maxPrealloc bounds slice capacity reserved from a count read out of
-// the header. Counts above it are still honoured — the slices grow by
-// append, so an inflated count fails with io.EOF once the input runs
-// out instead of OOMing up front.
-const maxPrealloc = 1 << 16
-
-// Write serialises the trace in a compact binary format: a header, then
-// per sample a record count and delta-encoded records. Proc names are
-// interned in a string table.
-func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	// String table.
-	strIdx := map[string]uint32{}
-	var strs []string
-	intern := func(s string) uint32 {
-		if i, ok := strIdx[s]; ok {
-			return i
-		}
-		i := uint32(len(strs))
-		strIdx[s] = i
-		strs = append(strs, s)
-		return i
+// metaClone copies the trace's metadata and column references into a
+// view marked read-only.
+func (t *Trace) metaClone() *Trace {
+	return &Trace{
+		Module: t.Module, Mode: t.Mode, Period: t.Period,
+		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads, Bytes: t.Bytes,
+		DroppedEvents: t.DroppedEvents, RecordedEvents: t.RecordedEvents,
+		LostBytes: t.LostBytes,
+		addrs:     t.addrs, ips: t.ips, ts: t.ts, classes: t.classes,
+		implied: t.implied, strides: t.strides, lines: t.lines,
+		procIDs: t.procIDs, procs: t.procs, samples: t.samples,
+		view: true,
 	}
-	for _, s := range t.Samples {
-		for i := range s.Records {
-			intern(s.Records[i].Proc)
-		}
-	}
-
-	writeU := func(v uint64) { var b [binary.MaxVarintLen64]byte; n := binary.PutUvarint(b[:], v); bw.Write(b[:n]) }
-	writeStr := func(s string) { writeU(uint64(len(s))); bw.WriteString(s) }
-
-	bw.WriteString("MGTR")
-	writeU(fileVersion)
-	writeStr(t.Module)
-	writeStr(t.Mode)
-	writeU(t.Period)
-	writeU(uint64(t.BufBytes))
-	writeU(t.TotalLoads)
-	writeU(t.Bytes)
-	writeU(t.DroppedEvents)
-	writeU(t.RecordedEvents)
-	writeU(t.LostBytes)
-	writeU(uint64(len(strs)))
-	for _, s := range strs {
-		writeStr(s)
-	}
-	writeU(uint64(len(t.Samples)))
-	for _, s := range t.Samples {
-		writeU(uint64(s.Seq))
-		writeU(uint64(s.CPU))
-		writeU(s.TriggerLoads)
-		writeU(uint64(len(s.Records)))
-		var lastIP, lastAddr, lastTS uint64
-		for i := range s.Records {
-			r := &s.Records[i]
-			writeU(zigzag(int64(r.IP - lastIP)))
-			writeU(zigzag(int64(r.Addr - lastAddr)))
-			writeU(r.TS - lastTS)
-			writeU(uint64(r.Class))
-			writeU(uint64(r.Implied))
-			writeU(zigzag(int64(r.Stride)))
-			writeU(zigzag(int64(r.Line)))
-			writeU(uint64(strIdx[r.Proc]))
-			lastIP, lastAddr, lastTS = r.IP, r.Addr, r.TS
-		}
-	}
-	return bw.Flush()
 }
 
-// Read deserialises a trace written by Write.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
-	}
-	if string(magic[:]) != "MGTR" {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
-	readStr := func() (string, error) {
-		n, err := readU()
-		if err != nil {
-			return "", err
-		}
-		if n > maxSection {
-			return "", fmt.Errorf("trace: string of %d bytes exceeds limit", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
-	}
-	ver, err := readU()
-	if err != nil {
-		return nil, err
-	}
-	if ver < 1 || ver > fileVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	t := &Trace{}
-	if t.Module, err = readStr(); err != nil {
-		return nil, err
-	}
-	if t.Mode, err = readStr(); err != nil {
-		return nil, err
-	}
-	gets := []*uint64{&t.Period, nil, &t.TotalLoads, &t.Bytes, &t.DroppedEvents, &t.RecordedEvents}
-	if ver >= 2 {
-		gets = append(gets, &t.LostBytes)
-	}
-	for i, p := range gets {
-		v, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		if i == 1 {
-			t.BufBytes = int(v)
-		} else {
-			*p = v
-		}
-	}
-	nstr, err := readU()
-	if err != nil {
-		return nil, err
-	}
-	strs := make([]string, 0, min(nstr, maxPrealloc))
-	for i := uint64(0); i < nstr; i++ {
-		s, err := readStr()
-		if err != nil {
-			return nil, err
-		}
-		strs = append(strs, s)
-	}
-	nsmp, err := readU()
-	if err != nil {
-		return nil, err
-	}
-	for si := uint64(0); si < nsmp; si++ {
-		seq, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		cpu, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		trg, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		nrec, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		s := &Sample{Seq: int(seq), CPU: int(cpu), TriggerLoads: trg,
-			Records: make([]Record, 0, min(nrec, maxPrealloc))}
-		var lastIP, lastAddr, lastTS uint64
-		for ri := uint64(0); ri < nrec; ri++ {
-			dip, err := readU()
-			if err != nil {
-				return nil, err
+// FilterProc returns a trace containing only records of the given
+// procedures (a code-window restriction, §IV-B). Sample structure is
+// preserved; empty samples are dropped. The result owns fresh columns.
+func (t *Trace) FilterProc(procs ...string) *Trace {
+	want := make(map[uint32]bool, len(procs))
+	for _, p := range procs {
+		for id, name := range t.procs {
+			if name == p {
+				want[uint32(id)] = true
 			}
-			daddr, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			dts, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			cls, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			imp, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			stride, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			line, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			sidx, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			if sidx >= nstr {
-				return nil, fmt.Errorf("trace: bad string index %d", sidx)
-			}
-			lastIP += uint64(unzigzag(dip))
-			lastAddr += uint64(unzigzag(daddr))
-			lastTS += dts
-			s.Records = append(s.Records, Record{
-				IP: lastIP, Addr: lastAddr, TS: lastTS,
-				Class: dataflow.Class(cls), Implied: uint32(imp),
-				Stride: int32(unzigzag(stride)),
-				Line:   int32(unzigzag(line)), Proc: strs[sidx],
-			})
 		}
-		t.Samples = append(t.Samples, s)
 	}
-	return t, nil
-}
-
-// Encode serialises the trace to its MGTR binary form in memory — the
-// HTTP-friendly counterpart of Write. Decode inverts it.
-func (t *Trace) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := t.Write(&buf); err != nil {
-		return nil, err
+	nt := &Trace{Module: t.Module, Mode: t.Mode, Period: t.Period,
+		BufBytes: t.BufBytes, TotalLoads: t.TotalLoads, Bytes: t.Bytes}
+	for si := range t.samples {
+		s := &t.samples[si]
+		started := false
+		for i := s.Lo; i < s.Hi; i++ {
+			if !want[t.procIDs[i]] {
+				continue
+			}
+			if !started {
+				nt.AddSample(s.Seq, 0, s.TriggerLoads)
+				started = true
+			}
+			r := t.At(i)
+			nt.AppendRecord(&r)
+		}
 	}
-	return buf.Bytes(), nil
+	return nt
 }
-
-// Decode deserialises a trace from its MGTR binary form, as produced by
-// Encode or Write.
-func Decode(b []byte) (*Trace, error) {
-	return Read(bytes.NewReader(b))
-}
-
-// Hash returns the trace's content hash: the hex SHA-256 of its MGTR
-// encoding. Two traces hash equal exactly when their serialised forms
-// are byte-identical, so the hash survives a Write/Read round trip and
-// is a stable identity for content-addressed stores.
-func (t *Trace) Hash() string {
-	h := sha256.New()
-	t.Write(h) // hash.Hash writes never fail
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// EncodedSize returns the size in bytes of the trace's MGTR encoding
-// without materialising it.
-func (t *Trace) EncodedSize() int64 {
-	var cw countWriter
-	t.Write(&cw)
-	return cw.n
-}
-
-// HashAndSize returns Hash and EncodedSize from a single serialisation
-// pass — what an upload path wants, instead of walking the trace twice.
-func (t *Trace) HashAndSize() (string, int64) {
-	h := NewHasher()
-	t.Write(h)
-	return h.Sum()
-}
-
-// WriteTo streams the trace's MGTR encoding to w and reports the bytes
-// written, implementing io.WriterTo: io.Copy-style consumers — a raw
-// download response, a store spilling to disk — serialise a trace
-// without materialising the encoding in memory first.
-func (t *Trace) WriteTo(w io.Writer) (int64, error) {
-	var cw countWriter
-	err := t.Write(io.MultiWriter(&cw, w))
-	return cw.n, err
-}
-
-// Hasher computes a trace's content identity incrementally: an
-// io.Writer that hashes and counts every MGTR byte written through it.
-// Stream a trace into one (t.Write(h), or tee a serialised body through
-// it as it is read) and Sum returns the same pair as HashAndSize —
-// without the encoding ever being resident.
-type Hasher struct {
-	h hash.Hash
-	n int64
-}
-
-// NewHasher returns a Hasher ready to receive MGTR bytes.
-func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
-
-// Write feeds bytes into the identity; it never fails.
-func (h *Hasher) Write(p []byte) (int, error) {
-	h.h.Write(p)
-	h.n += int64(len(p))
-	return len(p), nil
-}
-
-// Sum returns the content hash of the bytes written so far and their
-// count. It does not consume the state: more writes may follow.
-func (h *Hasher) Sum() (id string, size int64) {
-	return hex.EncodeToString(h.h.Sum(nil)), h.n
-}
-
-type countWriter struct{ n int64 }
-
-func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
-
-func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Merge combines per-CPU traces (one per worker, as perf merges per-CPU
 // PT buffers) into a single trace. Samples are tagged with their worker
 // index, interleaved by trigger position, and renumbered; load counters
-// and sizes are summed.
+// and sizes are summed. The merged trace owns fresh columns.
 func Merge(parts []*Trace) *Trace {
 	if len(parts) == 0 {
 		return &Trace{}
@@ -530,33 +516,61 @@ func Merge(parts []*Trace) *Trace {
 		Period: parts[0].Period, BufBytes: parts[0].BufBytes,
 	}
 	type tagged struct {
-		s   *Sample
-		cpu int
+		part, si int
+		trigger  uint64
 	}
 	var all []tagged
+	records := 0
 	for cpu, p := range parts {
 		out.TotalLoads += p.TotalLoads
 		out.Bytes += p.Bytes
 		out.DroppedEvents += p.DroppedEvents
 		out.RecordedEvents += p.RecordedEvents
 		out.LostBytes += p.LostBytes
-		for _, s := range p.Samples {
-			all = append(all, tagged{s, cpu})
+		records += p.NumRecords()
+		for si := range p.samples {
+			all = append(all, tagged{part: cpu, si: si, trigger: p.samples[si].TriggerLoads})
 		}
 	}
 	// Interleave by per-worker trigger progress so the merged timeline
 	// advances fairly across workers.
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].s.TriggerLoads != all[j].s.TriggerLoads {
-			return all[i].s.TriggerLoads < all[j].s.TriggerLoads
+		if all[i].trigger != all[j].trigger {
+			return all[i].trigger < all[j].trigger
 		}
-		return all[i].cpu < all[j].cpu
+		return all[i].part < all[j].part
 	})
-	for i, ts := range all {
-		ns := *ts.s
-		ns.Seq = i
-		ns.CPU = ts.cpu
-		out.Samples = append(out.Samples, &ns)
+	out.Reserve(len(all), records)
+	// Per-part proc-id remap tables, filled lazily as samples arrive.
+	remaps := make([][]int32, len(parts))
+	for seq, ts := range all {
+		p := parts[ts.part]
+		s := p.samples[ts.si]
+		out.AddSample(seq, ts.part, s.TriggerLoads)
+		remap := remaps[ts.part]
+		if remap == nil {
+			remap = make([]int32, len(p.procs))
+			for i := range remap {
+				remap[i] = -1
+			}
+			remaps[ts.part] = remap
+		}
+		// Remap can grow stale if p.procs grew since (it cannot: parts
+		// are not mutated during Merge), so indexing is safe.
+		out.addrs = append(out.addrs, p.addrs[s.Lo:s.Hi]...)
+		out.ips = append(out.ips, p.ips[s.Lo:s.Hi]...)
+		out.ts = append(out.ts, p.ts[s.Lo:s.Hi]...)
+		out.classes = append(out.classes, p.classes[s.Lo:s.Hi]...)
+		out.implied = append(out.implied, p.implied[s.Lo:s.Hi]...)
+		out.strides = append(out.strides, p.strides[s.Lo:s.Hi]...)
+		out.lines = append(out.lines, p.lines[s.Lo:s.Hi]...)
+		for _, id := range p.procIDs[s.Lo:s.Hi] {
+			if remap[id] < 0 {
+				remap[id] = int32(out.intern(p.procs[id]))
+			}
+			out.procIDs = append(out.procIDs, uint32(remap[id]))
+		}
+		out.samples[len(out.samples)-1].Hi = len(out.addrs)
 	}
 	return out
 }

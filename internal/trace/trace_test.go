@@ -35,7 +35,7 @@ func synthetic(seed int64, samples, recsPer int) *Trace {
 				Proc:    procs[rng.Intn(len(procs))],
 			})
 		}
-		t.Samples = append(t.Samples, smp)
+		t.AppendSample(smp)
 	}
 	t.Bytes = uint64(t.NumRecords()) * 10
 	t.RecordedEvents = uint64(t.NumRecords())
@@ -170,7 +170,7 @@ func TestKappaAndRho(t *testing.T) {
 		// Every other record implies one constant: κ = 1.5.
 		smp.Records = append(smp.Records, Record{Addr: uint64(i), Implied: uint32(i % 2)})
 	}
-	tr.Samples = []*Sample{smp}
+	tr.SetSamples(smp)
 	if k := tr.Kappa(); k != 1.5 {
 		t.Errorf("kappa = %v, want 1.5", k)
 	}
@@ -184,7 +184,8 @@ func TestKappaAndRho(t *testing.T) {
 		t.Error("empty trace identities broken")
 	}
 	// Full trace: rho clamps to 1.
-	full := &Trace{TotalLoads: 100, Samples: []*Sample{{Records: make([]Record, 100)}}}
+	full := &Trace{TotalLoads: 100}
+	full.SetSamples(&Sample{Records: make([]Record, 100)})
 	if full.Rho() != 1 {
 		t.Errorf("full-trace rho = %v, want 1", full.Rho())
 	}
@@ -196,7 +197,7 @@ func TestFilterProc(t *testing.T) {
 	if ft.NumRecords() == 0 {
 		t.Fatal("filter removed everything")
 	}
-	for _, s := range ft.Samples {
+	for _, s := range ft.AllSamples() {
 		for _, r := range s.Records {
 			if r.Proc != "alpha" {
 				t.Fatalf("leaked proc %q", r.Proc)
@@ -231,12 +232,12 @@ func TestMergeInterleavesPerCPUTraces(t *testing.T) {
 		t.Errorf("merged loads %d", m.TotalLoads)
 	}
 	cpus := map[int]int{}
-	for i, s := range m.Samples {
+	for i, s := range m.AllSamples() {
 		cpus[s.CPU]++
 		if s.Seq != i {
 			t.Errorf("sample %d has seq %d", i, s.Seq)
 		}
-		if i > 0 && s.TriggerLoads < m.Samples[i-1].TriggerLoads {
+		if i > 0 && s.TriggerLoads < m.SampleAt(i-1).TriggerLoads {
 			t.Error("merged samples not ordered by trigger progress")
 		}
 	}
@@ -244,7 +245,7 @@ func TestMergeInterleavesPerCPUTraces(t *testing.T) {
 		t.Errorf("cpu sample counts = %v", cpus)
 	}
 	// Merge must not mutate the inputs.
-	if a.Samples[0].CPU != 0 || a.Samples[0].Seq != 0 {
+	if a.SampleAt(0).CPU != 0 || a.SampleAt(0).Seq != 0 {
 		t.Error("merge mutated input trace")
 	}
 	// Degenerate merges.

@@ -116,7 +116,7 @@ func TestVariantAccessProfile(t *testing.T) {
 			t.Fatal(err)
 		}
 		var insertA, strided, dyn int
-		for _, s := range res.Trace.Samples {
+		for _, s := range res.Trace.AllSamples() {
 			for _, rec := range s.Records {
 				if rec.Proc == "map.insert" {
 					insertA++
@@ -140,7 +140,7 @@ func TestVariantAccessProfile(t *testing.T) {
 		}
 		profs = append(profs, p)
 		t.Logf("v%d: cycles=%d loads=%d insertRecords=%d strided%%=%.1f samples=%d",
-			variant, p.cycles, p.loads, insertA, p.fstrPct, len(res.Trace.Samples))
+			variant, p.cycles, p.loads, insertA, p.fstrPct, res.Trace.NumSamples())
 	}
 	// Paper shape: v1 has the fewest map-insert accesses' *loads* overall
 	// but the most irregular profile; v2 has the most insert accesses

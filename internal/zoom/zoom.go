@@ -8,7 +8,6 @@
 package zoom
 
 import (
-	"cmp"
 	"context"
 	"slices"
 	"sort"
@@ -89,12 +88,6 @@ func (n *Node) Blocks(t *trace.Trace, block uint64) int {
 	return analysis.BlocksTouched(t, n.Lo, n.Hi, block)
 }
 
-// access is a flattened record reference used during recursion.
-type access struct {
-	addr uint64
-	proc string
-}
-
 // Build runs the zoom over all trace records and returns the root node,
 // whose range spans the accessed address space.
 func Build(t *trace.Trace, cfg Config) *Node {
@@ -106,21 +99,27 @@ func Build(t *trace.Trace, cfg Config) *Node {
 // the context is done.
 func BuildCtx(ctx context.Context, t *trace.Trace, cfg Config) (*Node, error) {
 	cfg.fill()
-	var accs []access
+	// The recursion only needs the sorted address multiset: copy the
+	// address column sample range by sample range and sort.
+	col := t.Addrs()
+	accs := make([]uint64, 0, t.Len())
 	lo, hi := ^uint64(0), uint64(0)
-	for _, r := range t.Records() {
-		accs = append(accs, access{r.Addr, r.Proc})
-		if r.Addr < lo {
-			lo = r.Addr
-		}
-		if r.Addr >= hi {
-			hi = r.Addr + 1
+	for si := 0; si < t.NumSamples(); si++ {
+		rlo, rhi := t.SampleRange(si)
+		for _, addr := range col[rlo:rhi] {
+			accs = append(accs, addr)
+			if addr < lo {
+				lo = addr
+			}
+			if addr >= hi {
+				hi = addr + 1
+			}
 		}
 	}
 	if len(accs) == 0 {
 		return &Node{}, nil
 	}
-	slices.SortFunc(accs, func(a, b access) int { return cmp.Compare(a.addr, b.addr) })
+	slices.Sort(accs)
 	root := &Node{Lo: lo, Hi: hi, Accesses: len(accs), Pct: 100}
 	if err := recurse(ctx, root, accs, cfg, len(accs)); err != nil {
 		return nil, err
@@ -133,7 +132,7 @@ func BuildCtx(ctx context.Context, t *trace.Trace, cfg Config) (*Node, error) {
 
 // recurse splits node's accesses (sorted by address) into hot contiguous
 // page runs and descends.
-func recurse(ctx context.Context, n *Node, accs []access, cfg Config, total int) error {
+func recurse(ctx context.Context, n *Node, accs []uint64, cfg Config, total int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -153,11 +152,11 @@ func recurse(ctx context.Context, n *Node, accs []access, cfg Config, total int)
 	var runs []run
 	i := 0
 	for i < len(accs) {
-		p := accs[i].addr / page
+		p := accs[i] / page
 		j := i
 		endPage := p
 		for j < len(accs) {
-			q := accs[j].addr / page
+			q := accs[j] / page
 			if q == endPage {
 				j++
 				continue
@@ -227,12 +226,17 @@ func fillLeafDiags(ctx context.Context, root *Node, t *trace.Trace, cfg Config) 
 		lf.Funcs = make(map[string]int)
 		lf.Lines = make(map[string]int)
 	}
-	for _, r := range t.Records() {
-		for _, lf := range leaves {
-			if r.Addr >= lf.Lo && r.Addr < lf.Hi {
-				lf.Funcs[r.Proc]++
-				lf.Lines[r.Proc+":"+strconv.Itoa(int(r.Line))]++
-				break
+	addrs, procIDs, lines := t.Addrs(), t.ProcIDs(), t.Lines()
+	for si := 0; si < t.NumSamples(); si++ {
+		rlo, rhi := t.SampleRange(si)
+		for j := rlo; j < rhi; j++ {
+			for _, lf := range leaves {
+				if addrs[j] >= lf.Lo && addrs[j] < lf.Hi {
+					proc := t.ProcName(procIDs[j])
+					lf.Funcs[proc]++
+					lf.Lines[proc+":"+strconv.Itoa(int(lines[j]))]++
+					break
+				}
 			}
 		}
 	}
@@ -304,22 +308,21 @@ func BuildOverTime(t *trace.Trace, k int, cfg Config) [][]*Node {
 	if k <= 0 {
 		k = 8
 	}
-	if k > len(t.Samples) {
-		k = len(t.Samples)
+	if k > t.NumSamples() {
+		k = t.NumSamples()
 	}
 	var out [][]*Node
 	for i := 0; i < k; i++ {
-		start := i * len(t.Samples) / k
-		end := (i + 1) * len(t.Samples) / k
+		start := i * t.NumSamples() / k
+		end := (i + 1) * t.NumSamples() / k
 		if end == start {
 			continue
 		}
-		sub := &trace.Trace{
-			Module: t.Module, Mode: t.Mode, Period: t.Period,
-			BufBytes: t.BufBytes, Samples: t.Samples[start:end],
-		}
-		if len(t.Samples) > 0 {
-			sub.TotalLoads = t.TotalLoads * uint64(end-start) / uint64(len(t.Samples))
+		// Column-sharing view with a proportional share of the loads.
+		sub := t.SampleSlice(start, end)
+		sub.TotalLoads = 0
+		if n := t.NumSamples(); n > 0 {
+			sub.TotalLoads = t.TotalLoads * uint64(end-start) / uint64(n)
 		}
 		out = append(out, Leaves(Build(sub, cfg)))
 	}

@@ -24,7 +24,7 @@ func twoObjectTrace() *trace.Trace {
 				Addr: 0x900000 + uint64(i%32)*64, Class: dataflow.Strided, Proc: "warm",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
@@ -89,7 +89,7 @@ func TestThresholdFiltersColdRegions(t *testing.T) {
 	// Add a third region with only 2% of accesses: below the 10%
 	// threshold it must not become its own leaf.
 	tr := twoObjectTrace()
-	for _, smp := range tr.Samples {
+	for _, smp := range tr.AllSamples() {
 		for i := 0; i < 2; i++ {
 			smp.Records = append(smp.Records, trace.Record{
 				Addr: 0x4000000 + uint64(i)*64, Class: dataflow.Irregular, Proc: "cold",
@@ -121,7 +121,7 @@ func TestContiguityKeepsObjectsWhole(t *testing.T) {
 				Class: dataflow.Irregular, Proc: "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	root := Build(tr, DefaultConfig())
 	leaves := Leaves(root)
@@ -142,7 +142,8 @@ func TestEmptyTraceZoom(t *testing.T) {
 
 func TestHotLinesAttribution(t *testing.T) {
 	tr := twoObjectTrace()
-	for _, s := range tr.Samples {
+	ss := tr.AllSamples()
+	for _, s := range ss {
 		for i := range s.Records {
 			if s.Records[i].Proc == "hot" {
 				s.Records[i].Line = 42
@@ -151,6 +152,7 @@ func TestHotLinesAttribution(t *testing.T) {
 			}
 		}
 	}
+	tr.SetSamples(ss...)
 	leaves := Leaves(Build(tr, DefaultConfig()))
 	if len(leaves) != 2 {
 		t.Fatalf("leaves = %d", len(leaves))
@@ -178,7 +180,7 @@ func TestBuildOverTimeShowsDrift(t *testing.T) {
 				Addr: base + uint64(i%64)*64, Class: dataflow.Irregular, Proc: "f",
 			})
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	slices := BuildOverTime(tr, 2, DefaultConfig())
 	if len(slices) != 2 {

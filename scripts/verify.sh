@@ -48,6 +48,7 @@ else
 fi
 
 run "go test (shuffled)" go test -count=1 -shuffle=on ./...
+run "go test -race (trace)" go test -count=1 -race ./internal/trace/...
 run "go test -race (engine)" go test -count=1 -race ./internal/engine/...
 run "go test -race (analysis)" go test -count=1 -race ./internal/analysis/...
 run "go test -race (pt)" go test -count=1 -race ./internal/pt/...
@@ -63,8 +64,10 @@ if [ "${VERIFY_QUICK:-0}" = "1" ]; then
     exit 0
 fi
 
-run "fuzz smoke (FuzzDecode)" \
+run "fuzz smoke (FuzzDecode pt)" \
     go test -run '^FuzzDecode$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/pt/
+run "fuzz smoke (FuzzDecode trace)" \
+    go test -run '^FuzzDecode$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/trace/
 run "fuzz smoke (FuzzStreamDecode)" \
     go test -run '^FuzzStreamDecode$' -fuzz '^FuzzStreamDecode$' -fuzztime 10s ./internal/pt/
 

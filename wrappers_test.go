@@ -37,7 +37,7 @@ func wrapperTrace() *memgaze.Trace {
 			}
 			smp.Records = append(smp.Records, rec)
 		}
-		tr.Samples = append(tr.Samples, smp)
+		tr.AppendSample(smp)
 	}
 	return tr
 }
